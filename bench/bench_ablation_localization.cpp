@@ -1,0 +1,58 @@
+// Ablation: how location-annotation accuracy propagates into REM quality.
+//
+// The paper's design requirement (i) is "accurate location-annotated
+// sampling"; this quantifies why. The same campaign is run with increasingly
+// degraded localization (anchor survey error and ranging noise scaled up) and
+// the downstream model RMSE is measured. Only a simulation substrate can
+// hold the RF world fixed while corrupting only the localization.
+#include <cstdio>
+
+#include "mission/campaign.hpp"
+#include "ml/metrics.hpp"
+#include "ml/model_zoo.hpp"
+#include "radio/scenario.hpp"
+#include "util/stats.hpp"
+
+int main() {
+  using namespace remgen;
+
+  std::printf("%-22s %14s %12s %12s\n", "localization", "annot-err(cm)", "samples",
+              "holdoutRMSE");
+  struct Grade {
+    const char* name;
+    double survey_sigma_m;
+    double noise_scale;
+  };
+  for (const Grade grade : {Grade{"survey 1 cm", 0.01, 1.0}, Grade{"survey 5 cm (paper)", 0.05, 1.0},
+                            Grade{"survey 15 cm", 0.15, 1.0}, Grade{"survey 30 cm", 0.30, 2.0},
+                            Grade{"survey 60 cm", 0.60, 4.0}}) {
+    util::Rng rng(2022);
+    const radio::Scenario scenario = radio::Scenario::make_apartment(rng);
+    mission::CampaignConfig config;
+    config.uav.lps.anchor_survey_sigma_m = grade.survey_sigma_m;
+    config.uav.lps.ranging.twr_noise_sigma_m *= grade.noise_scale;
+    config.uav.lps.ranging.tdoa_noise_sigma_m *= grade.noise_scale;
+    const mission::CampaignResult result = mission::run_campaign(scenario, config, rng);
+    if (result.dataset.empty()) continue;
+
+    // Annotation error proxy: sample position vs commanded waypoint.
+    util::OnlineStats annotation;
+    for (const data::Sample& s : result.dataset.samples()) {
+      const auto& slab = result.assignments[static_cast<std::size_t>(s.uav_id)];
+      if (static_cast<std::size_t>(s.waypoint_index) >= slab.size()) continue;
+      annotation.add(s.position.distance_to(slab[static_cast<std::size_t>(s.waypoint_index)]));
+    }
+
+    const data::Dataset prepared = result.dataset.filter_min_samples_per_mac(16);
+    if (prepared.size() < 100) continue;
+    util::Rng split_rng(99);
+    const data::DatasetSplit split = prepared.split(0.75, split_rng);
+    const auto model = ml::make_model(ml::ModelKind::KnnScaled16);
+    model->fit(split.train);
+    std::printf("%-22s %14.1f %12zu %12.3f\n", grade.name, annotation.mean() * 100.0,
+                result.dataset.size(), ml::evaluate(*model, split.test).rmse);
+  }
+  std::printf("\nshape check: degrading localization inflates the spatial-model RMSE toward "
+              "the baseline — accurate annotation is what the spatial models feed on\n");
+  return 0;
+}

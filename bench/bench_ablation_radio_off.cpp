@@ -1,0 +1,65 @@
+// Ablation of the paper's key design decision: automatically turning the
+// Crazyradio off while the REM receiver scans.
+//
+// Runs the identical two-UAV campaign twice — once with the radio-off
+// mitigation (the paper's default) and once leaving the radio on — and
+// compares dataset size, per-scan detections, and the resulting model
+// quality. The paper's Figure 5 establishes that the interference is
+// significant at every Crazyradio frequency; this shows its end-to-end cost.
+#include <cstdio>
+
+#include "mission/campaign.hpp"
+#include "ml/metrics.hpp"
+#include "ml/model_zoo.hpp"
+#include "radio/scenario.hpp"
+
+namespace {
+
+using namespace remgen;
+
+struct Outcome {
+  std::size_t samples = 0;
+  double samples_per_scan = 0.0;
+  std::size_t macs = 0;
+  double rmse = 0.0;
+};
+
+Outcome run(bool radio_off_during_scan) {
+  util::Rng rng(2022);
+  const radio::Scenario scenario = radio::Scenario::make_apartment(rng);
+  mission::CampaignConfig config;
+  config.mission.radio_off_during_scan = radio_off_during_scan;
+  const mission::CampaignResult result = mission::run_campaign(scenario, config, rng);
+
+  Outcome out;
+  out.samples = result.dataset.size();
+  std::size_t scans = 0;
+  for (const auto& s : result.uav_stats) scans += s.scans_completed;
+  out.samples_per_scan = scans == 0 ? 0.0 : static_cast<double>(out.samples) / scans;
+  out.macs = result.dataset.distinct_macs().size();
+
+  const data::Dataset prepared = result.dataset.filter_min_samples_per_mac(16);
+  util::Rng split_rng(99);
+  const data::DatasetSplit split = prepared.split(0.75, split_rng);
+  const auto model = ml::make_model(ml::ModelKind::KnnScaled16);
+  model->fit(split.train);
+  out.rmse = ml::evaluate(*model, split.test).rmse;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const Outcome off = run(/*radio_off_during_scan=*/true);
+  const Outcome on = run(/*radio_off_during_scan=*/false);
+
+  std::printf("%-24s %12s %12s\n", "metric", "radio-off", "radio-on");
+  std::printf("%-24s %12zu %12zu\n", "samples collected", off.samples, on.samples);
+  std::printf("%-24s %12.1f %12.1f\n", "samples per scan", off.samples_per_scan,
+              on.samples_per_scan);
+  std::printf("%-24s %12zu %12zu\n", "distinct MACs", off.macs, on.macs);
+  std::printf("%-24s %12.3f %12.3f\n", "kNN holdout RMSE (dBm)", off.rmse, on.rmse);
+  std::printf("\nshape check: radio-off collects substantially more samples per scan and "
+              "more distinct MACs\n");
+  return 0;
+}

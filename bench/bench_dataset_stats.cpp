@@ -1,0 +1,36 @@
+// Dataset statistics reproduction (Section III-A/B text):
+//   2696 samples total (1495 by UAV A, 1201 by UAV B)
+//   UAV A active 5 min 3 s, UAV B 5 min 0 s
+//   73 distinct MAC addresses, 49 SSIDs, mean RSS around -73 dBm
+//   preprocessing (drop MACs with < 16 samples): 2565 retained, 131 dropped
+// Run across several seeds to show the statistics are stable properties of
+// the simulated campaign, not a lucky draw.
+#include <cstdio>
+
+#include "mission/campaign.hpp"
+#include "radio/scenario.hpp"
+
+int main() {
+  using namespace remgen;
+
+  std::printf("%6s %7s %7s %7s %6s %6s %9s %9s %8s\n", "seed", "total", "uavA", "uavB", "macs",
+              "ssids", "meanRSS", "retained", "dropped");
+  for (const std::uint64_t seed : {2022ull, 7ull, 99ull, 1234ull, 31415ull}) {
+    util::Rng rng(seed);
+    const radio::Scenario scenario = radio::Scenario::make_apartment(rng);
+    const mission::CampaignConfig config;
+    const mission::CampaignResult result = mission::run_campaign(scenario, config, rng);
+
+    const auto per_uav = result.dataset.samples_per_uav();
+    std::size_t dropped = 0;
+    const data::Dataset retained = result.dataset.filter_min_samples_per_mac(16, &dropped);
+    std::printf("%6llu %7zu %7zu %7zu %6zu %6zu %9.1f %9zu %8zu\n",
+                static_cast<unsigned long long>(seed), result.dataset.size(),
+                per_uav.count(0) ? per_uav.at(0) : 0, per_uav.count(1) ? per_uav.at(1) : 0,
+                result.dataset.distinct_macs().size(), result.dataset.distinct_ssids().size(),
+                result.dataset.mean_rss_dbm(), retained.size(), dropped);
+  }
+  std::printf("\npaper reference: total 2696 (A 1495 / B 1201), 73 MACs, 49 SSIDs, "
+              "mean RSS ~-73 dBm, 2565 retained / 131 dropped\n");
+  return 0;
+}

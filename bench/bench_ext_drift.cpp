@@ -1,0 +1,116 @@
+// Extension benchmark: REM staleness / drift detection.
+//
+// The paper motivates periodic REM regeneration ("the REMs can become
+// obsolete due to long-term changes in the signal propagation"). This bench
+// closes that loop: a full campaign builds the REM; then the environment
+// changes (a router is moved across the building, another is unplugged, a
+// third gets a power boost, and a brand-new AP appears); a *small* probe
+// flight (12 waypoints instead of 72) is enough for the drift detector to
+// pinpoint exactly which transmitters no longer match the map.
+#include <cstdio>
+
+#include "core/drift.hpp"
+#include "core/rem_builder.hpp"
+#include "mission/campaign.hpp"
+#include "ml/model_zoo.hpp"
+#include "radio/scenario.hpp"
+
+namespace {
+
+using namespace remgen;
+
+/// Runs a small probe campaign (12 waypoints, 1 UAV) against a scenario.
+data::Dataset probe_flight(const radio::Scenario& scenario, std::uint64_t seed) {
+  util::Rng rng(seed);
+  mission::CampaignConfig config;
+  config.grid = {.nx = 3, .ny = 2, .nz = 2, .margin_m = 0.3};
+  config.uav_count = 1;
+  return mission::run_campaign(scenario, config, rng).dataset;
+}
+
+}  // namespace
+
+int main() {
+  using namespace remgen;
+
+  // 1. Baseline world and its REM from the full 72-waypoint campaign.
+  util::Rng rng(2022);
+  const radio::Scenario original = radio::Scenario::make_apartment(rng);
+  util::Rng campaign_rng(7);
+  const mission::CampaignConfig full_config;
+  const mission::CampaignResult campaign =
+      mission::run_campaign(original, full_config, campaign_rng);
+  const auto model = ml::make_model(ml::ModelKind::PerMacKnn);
+  const core::RadioEnvironmentMap rem = core::build_rem(
+      campaign.dataset, *model, original.scan_volume(), core::RemBuilderConfig{});
+  std::printf("REM built from %zu samples, %zu transmitters mapped\n", campaign.dataset.size(),
+              rem.macs().size());
+
+  // 2. The world changes. Track which MACs we touched.
+  std::vector<std::string> moved, unplugged, boosted;
+  util::Rng variant_rng(2022);  // same seed: identical world except the edits
+  const radio::Scenario changed = radio::Scenario::make_apartment(
+      variant_rng, radio::ScenarioConfig{}, radio::EnvironmentConfig{},
+      [&](std::vector<radio::AccessPoint>& aps) {
+        // The own router moves to the opposite side of the room.
+        aps[0].position = {0.4, 2.9, 0.4};
+        moved.push_back(aps[0].mac.to_string());
+        // A strong neighbour gets unplugged.
+        aps[3].tx_power_dbm -= 60.0;
+        unplugged.push_back(aps[3].mac.to_string());
+        // Another neighbour upgrades to a high-power router.
+        aps[5].tx_power_dbm += 8.0;
+        boosted.push_back(aps[5].mac.to_string());
+        // A brand-new AP appears two rooms away.
+        radio::AccessPoint fresh;
+        util::Rng mac_rng(424242);
+        fresh.mac = radio::MacAddress::random(mac_rng);
+        fresh.ssid = "new-tenant";
+        fresh.channel = 6;
+        fresh.tx_power_dbm = 16.0;
+        fresh.position = {6.0, -2.0, 1.2};
+        aps.push_back(fresh);
+      });
+
+  // 3. Control: probing the unchanged world must not flag drift.
+  const core::DriftReport control = core::detect_drift(rem, probe_flight(original, 99).samples());
+  std::printf("\ncontrol probe (unchanged world): %zu MACs judged, %zu drifted, stale=%s\n",
+              control.judged_macs, control.drifted_macs, control.rem_stale ? "YES" : "no");
+
+  // 4. Probing the changed world.
+  const data::Dataset probe = probe_flight(changed, 99);
+  const core::DriftReport report = core::detect_drift(rem, probe.samples());
+  std::printf("drift probe   (changed world):   %zu MACs judged, %zu drifted, %zu unknown, "
+              "stale=%s\n\n",
+              report.judged_macs, report.drifted_macs, report.unknown_macs,
+              report.rem_stale ? "YES" : "no");
+
+  std::printf("%-20s %8s %12s %11s %10s %s\n", "mac", "samples", "mean-res(dB)",
+              "rms-res(dB)", "drifted", "ground truth");
+  auto truth_label = [&](const std::string& mac) {
+    for (const auto& m : moved)
+      if (m == mac) return "moved across the room";
+    for (const auto& m : unplugged)
+      if (m == mac) return "unplugged";
+    for (const auto& m : boosted)
+      if (m == mac) return "power +8 dB";
+    return "";
+  };
+  int printed = 0;
+  for (const core::MacDrift& d : report.per_mac) {
+    const char* label = truth_label(d.mac.to_string());
+    if (!d.drifted && label[0] == '\0' && printed >= 8) continue;
+    std::printf("%-20s %8zu %12.2f %11.2f %10s %s\n", d.mac.to_string().c_str(), d.samples,
+                d.mean_residual_db, d.rms_residual_db, d.drifted ? "YES" : "no", label);
+    ++printed;
+    if (printed >= 14) break;
+  }
+  for (const radio::MacAddress& mac : report.vanished) {
+    std::printf("vanished: %-20s %s\n", mac.to_string().c_str(),
+                truth_label(mac.to_string()));
+  }
+  std::printf("\nshape check: the moved/boosted transmitters top the drift table, the "
+              "unplugged one is reported vanished, the new AP shows up as an unknown MAC, "
+              "and the control probe stays clean\n");
+  return 0;
+}

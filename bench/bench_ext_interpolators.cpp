@@ -1,0 +1,55 @@
+// Extension benchmark: geostatistical interpolators (IDW, ordinary kriging)
+// versus the paper's estimator suite on the same campaign dataset and split.
+// Kriging additionally reports calibrated per-prediction uncertainty, which
+// the REM surfaces as sigma_db.
+#include <cstdio>
+#include <memory>
+
+#include "mission/campaign.hpp"
+#include "ml/kriging.hpp"
+#include "ml/metrics.hpp"
+#include "ml/model_zoo.hpp"
+#include "radio/scenario.hpp"
+
+int main() {
+  using namespace remgen;
+
+  util::Rng rng(2022);
+  const radio::Scenario scenario = radio::Scenario::make_apartment(rng);
+  const mission::CampaignConfig campaign_config;
+  const mission::CampaignResult campaign = mission::run_campaign(scenario, campaign_config, rng);
+  const data::Dataset prepared = campaign.dataset.filter_min_samples_per_mac(16);
+
+  util::Rng split_rng = rng.fork("split");
+  const data::DatasetSplit split = prepared.split(0.75, split_rng);
+
+  std::printf("%-28s %10s %10s %8s\n", "model", "RMSE(dBm)", "MAE(dBm)", "R2");
+  for (const ml::ModelKind kind : ml::all_model_kinds(/*include_extensions=*/true)) {
+    const std::unique_ptr<ml::Estimator> model = ml::make_model(kind);
+    model->fit(split.train);
+    const ml::RegressionMetrics m = ml::evaluate(*model, split.test);
+    std::printf("%-28s %10.4f %10.4f %8.4f\n", ml::model_kind_name(kind), m.rmse, m.mae, m.r2);
+  }
+
+  // Kriging uncertainty calibration: fraction of test residuals within 1 and
+  // 2 predicted sigmas (expect roughly 0.68 / 0.95 when calibrated).
+  ml::KrigingRegressor kriging;
+  kriging.fit(split.train);
+  std::size_t within1 = 0;
+  std::size_t within2 = 0;
+  std::size_t n = 0;
+  for (const data::Sample& s : split.test) {
+    const auto p = kriging.predict_with_sigma(s);
+    if (p.sigma <= 0.0) continue;
+    const double err = std::abs(p.value - s.rss_dbm);
+    if (err <= p.sigma) ++within1;
+    if (err <= 2.0 * p.sigma) ++within2;
+    ++n;
+  }
+  if (n > 0) {
+    std::printf("\nkriging uncertainty calibration: %.2f within 1 sigma (ideal 0.68), "
+                "%.2f within 2 sigma (ideal 0.95), n=%zu\n",
+                static_cast<double>(within1) / n, static_cast<double>(within2) / n, n);
+  }
+  return 0;
+}

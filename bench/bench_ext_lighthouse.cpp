@@ -1,0 +1,101 @@
+// Extension benchmark: the paper's named future work — replacing the UWB
+// Loco Positioning System with BitCraze's Lighthouse infrared system, which
+// is claimed to offer "comparable precision, while requiring less anchors and
+// being cheaper", plus "further self-interference mitigation".
+//
+// Part 1 compares hover/trajectory localization accuracy (2 Lighthouse base
+// stations vs 4/6/8 UWB anchors). Part 2 runs the identical two-UAV REM
+// campaign with both stacks and compares the end-to-end dataset and model
+// quality. Part 3 quantifies the self-interference argument: the infrared
+// system emits no RF, so localization adds zero beacon-loss probability,
+// whereas UWB would block the 3-7 GHz band for REM sampling.
+#include <cstdio>
+
+#include "lighthouse/lighthouse.hpp"
+#include "mission/campaign.hpp"
+#include "ml/metrics.hpp"
+#include "ml/model_zoo.hpp"
+#include "radio/scenario.hpp"
+#include "util/stats.hpp"
+#include "uwb/lps.hpp"
+
+namespace {
+
+using namespace remgen;
+
+geom::Aabb volume() { return geom::Aabb({0, 0, 0}, {3.74, 3.20, 2.10}); }
+
+double hover_error_m(uwb::PositioningSystem& system, std::uint64_t seed) {
+  util::Rng rng(seed);
+  const geom::Vec3 truth{1.8, 1.6, 1.0};
+  system.initialize_at(truth);
+  util::OnlineStats error;
+  for (int i = 0; i < 3000; ++i) {
+    system.step(0.01, truth, {});
+    if (i > 500) error.add(system.estimated_position().distance_to(truth));
+  }
+  return error.mean();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("--- part 1: hover localization accuracy ---\n");
+  std::printf("%-28s %10s %14s\n", "system", "infra", "hover-err(cm)");
+  for (const std::size_t anchors : {4, 6, 8}) {
+    double total = 0.0;
+    for (std::uint64_t seed = 0; seed < 5; ++seed) {
+      uwb::LocoPositioningSystem lps(uwb::corner_anchors_subset(volume(), anchors), nullptr,
+                                     uwb::LpsConfig{}, util::Rng(100 + seed));
+      total += hover_error_m(lps, 200 + seed);
+    }
+    std::printf("%-28s %7zu dev %14.1f\n", "UWB LPS (TDoA)", anchors, total / 5.0 * 100.0);
+  }
+  {
+    double total = 0.0;
+    for (std::uint64_t seed = 0; seed < 5; ++seed) {
+      lighthouse::LighthouseSystem lh(lighthouse::standard_two_station_setup(volume()), nullptr,
+                                      lighthouse::LighthouseConfig{}, util::Rng(300 + seed));
+      total += hover_error_m(lh, 400 + seed);
+    }
+    std::printf("%-28s %7u dev %14.1f\n", "Lighthouse (IR sweeps)", 2u, total / 5.0 * 100.0);
+  }
+
+  std::printf("\n--- part 2: end-to-end REM campaign ---\n");
+  std::printf("%-14s %9s %9s %12s %16s\n", "positioning", "samples", "macs", "holdoutRMSE",
+              "annotation-err");
+  for (const auto kind : {mission::PositioningKind::Uwb, mission::PositioningKind::Lighthouse}) {
+    util::Rng rng(2022);
+    const radio::Scenario scenario = radio::Scenario::make_apartment(rng);
+    mission::CampaignConfig config;
+    config.positioning = kind;
+    const mission::CampaignResult result = mission::run_campaign(scenario, config, rng);
+
+    const data::Dataset prepared = result.dataset.filter_min_samples_per_mac(16);
+    util::Rng split_rng(99);
+    const data::DatasetSplit split = prepared.split(0.75, split_rng);
+    const auto model = ml::make_model(ml::ModelKind::KnnScaled16);
+    model->fit(split.train);
+    const double rmse = ml::evaluate(*model, split.test).rmse;
+
+    // Annotation error: mean distance from each sample's annotated position
+    // to its commanded waypoint (includes hold drift).
+    util::OnlineStats annotation;
+    for (const data::Sample& s : result.dataset.samples()) {
+      const auto& slab = result.assignments[static_cast<std::size_t>(s.uav_id)];
+      annotation.add(s.position.distance_to(slab[static_cast<std::size_t>(s.waypoint_index)]));
+    }
+    std::printf("%-14s %9zu %9zu %12.3f %13.1f cm\n",
+                kind == mission::PositioningKind::Uwb ? "UWB" : "Lighthouse",
+                result.dataset.size(), result.dataset.distinct_macs().size(), rmse,
+                annotation.mean() * 100.0);
+  }
+
+  std::printf("\n--- part 3: self-interference with the REM receiver ---\n");
+  std::printf("UWB LPS      : occupies 3.5-6.5 GHz; REM sampling in that band is impossible\n");
+  std::printf("Lighthouse   : infrared only — adds 0.00 beacon-loss probability on every\n");
+  std::printf("               RF channel; any-band REM sampling remains clean\n");
+  std::printf("(the Crazyradio control link remains the only RF interferer; the radio-off\n");
+  std::printf(" scan procedure still applies to it)\n");
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Figure 6 reproduction: number of samples per UAV and scanned location.
+//
+// Paper result: UAV A collected 1495 samples, UAV B 1201, across 36 waypoints
+// each; counts increase toward the building core (+x / -y), and UAV B (low-x
+// half, behind the 40 cm-thicker wall segment) collects fewer per location.
+// This bench runs the full two-UAV campaign and prints per-location sample
+// counts as two 2D tables (waypoints projected on the x-y plane, summed over
+// the three z-layers).
+#include <cstdio>
+#include <map>
+
+#include "mission/campaign.hpp"
+#include "radio/scenario.hpp"
+
+int main() {
+  using namespace remgen;
+
+  util::Rng rng(2022);
+  const radio::Scenario scenario = radio::Scenario::make_apartment(rng);
+  const mission::CampaignConfig config;
+  const mission::CampaignResult result = mission::run_campaign(scenario, config, rng);
+
+  for (const mission::UavMissionStats& s : result.uav_stats) {
+    std::printf("UAV %c: %zu samples over %zu waypoints (active %dm%02ds)\n",
+                static_cast<char>('A' + s.uav_id), s.samples_collected, s.waypoints_commanded,
+                static_cast<int>(s.active_time_s) / 60, static_cast<int>(s.active_time_s) % 60);
+  }
+
+  // Aggregate sample counts on an (x, y) grid of 0.5 m cells per UAV.
+  constexpr double kCell = 0.5;
+  std::map<int, std::map<std::pair<int, int>, std::size_t>> per_uav;
+  for (const data::Sample& s : result.dataset.samples()) {
+    const int gx = static_cast<int>(s.position.x / kCell);
+    const int gy = static_cast<int>(s.position.y / kCell);
+    ++per_uav[s.uav_id][{gx, gy}];
+  }
+
+  const geom::Aabb& vol = scenario.scan_volume();
+  const int nx = static_cast<int>(vol.size().x / kCell) + 1;
+  const int ny = static_cast<int>(vol.size().y / kCell) + 1;
+  for (const auto& [uav, cells] : per_uav) {
+    std::printf("\nsample count of drone %c (x ->, y v; %.1f m cells, z summed):\n",
+                static_cast<char>('A' + uav), kCell);
+    for (int gy = ny - 1; gy >= 0; --gy) {
+      std::printf("y=%.1f |", static_cast<double>(gy) * kCell);
+      for (int gx = 0; gx < nx; ++gx) {
+        const auto it = cells.find({gx, gy});
+        std::printf(" %4zu", it == cells.end() ? std::size_t{0} : it->second);
+      }
+      std::printf("\n");
+    }
+  }
+  std::printf("\nshape check: drone A (high-x half) outcollects drone B; counts grow "
+              "with +x and -y\n");
+  return 0;
+}

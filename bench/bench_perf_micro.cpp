@@ -1,0 +1,133 @@
+// Performance microbenchmarks (google-benchmark): the hot paths of the
+// toolchain — propagation queries, full scans, EKF steps, kNN prediction
+// (brute force vs KD-tree), neural-net epochs, kriging solves, and REM
+// rasterisation.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/rem_builder.hpp"
+#include "mission/campaign.hpp"
+#include "ml/kdtree.hpp"
+#include "ml/model_zoo.hpp"
+#include "ml/neural_net.hpp"
+#include "radio/scenario.hpp"
+#include "uwb/lps.hpp"
+
+namespace {
+
+using namespace remgen;
+
+/// Shared fixture state, built once.
+struct Fixture {
+  util::Rng rng{2022};
+  radio::Scenario scenario = radio::Scenario::make_apartment(rng);
+  data::Dataset dataset;
+
+  Fixture() {
+    mission::CampaignConfig config;
+    util::Rng campaign_rng = rng.fork("campaign");
+    dataset = mission::run_campaign(scenario, config, campaign_rng)
+                  .dataset.filter_min_samples_per_mac(16);
+  }
+};
+
+Fixture& fixture() {
+  static Fixture f;
+  return f;
+}
+
+void BM_PropagationMeanRss(benchmark::State& state) {
+  Fixture& f = fixture();
+  const auto& env = f.scenario.environment();
+  util::Rng rng(1);
+  std::size_t ap = 0;
+  for (auto _ : state) {
+    const geom::Vec3 p{rng.uniform(0.0, 3.7), rng.uniform(0.0, 3.2), rng.uniform(0.0, 2.1)};
+    benchmark::DoNotOptimize(env.mean_rss_dbm(ap, p));
+    ap = (ap + 1) % env.access_points().size();
+  }
+}
+BENCHMARK(BM_PropagationMeanRss);
+
+void BM_FullScan(benchmark::State& state) {
+  Fixture& f = fixture();
+  const auto& env = f.scenario.environment();
+  util::Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(env.scan({1.8, 1.6, 1.0}, 2.1, nullptr, rng));
+  }
+}
+BENCHMARK(BM_FullScan);
+
+void BM_EkfStepWithUpdate(benchmark::State& state) {
+  Fixture& f = fixture();
+  uwb::LpsConfig config;
+  uwb::LocoPositioningSystem lps(
+      uwb::corner_anchors(f.scenario.scan_volume()), nullptr, config, util::Rng(3));
+  lps.initialize_at({1.8, 1.6, 1.0});
+  for (auto _ : state) {
+    lps.step(0.01, {1.8, 1.6, 1.0}, {});
+  }
+}
+BENCHMARK(BM_EkfStepWithUpdate);
+
+void BM_KnnPredictBrute(benchmark::State& state) {
+  Fixture& f = fixture();
+  const auto model = ml::make_model(ml::ModelKind::KnnScaled16);
+  model->fit(f.dataset.samples());
+  const data::Sample& query = f.dataset.samples().front();
+  for (auto _ : state) benchmark::DoNotOptimize(model->predict(query));
+}
+BENCHMARK(BM_KnnPredictBrute);
+
+void BM_KdTreeNearest16(benchmark::State& state) {
+  Fixture& f = fixture();
+  std::vector<geom::Vec3> points;
+  for (const data::Sample& s : f.dataset.samples()) points.push_back(s.position);
+  const ml::KdTree tree(points);
+  util::Rng rng(4);
+  for (auto _ : state) {
+    const geom::Vec3 q{rng.uniform(0.0, 3.7), rng.uniform(0.0, 3.2), rng.uniform(0.0, 2.1)};
+    benchmark::DoNotOptimize(tree.nearest(q, 16));
+  }
+}
+BENCHMARK(BM_KdTreeNearest16);
+
+void BM_NeuralNetTrainEpoch(benchmark::State& state) {
+  Fixture& f = fixture();
+  for (auto _ : state) {
+    ml::NeuralNetConfig config;
+    config.epochs = 1;
+    ml::NeuralNetRegressor net(config);
+    net.fit(f.dataset.samples());
+    benchmark::DoNotOptimize(net.final_training_loss());
+  }
+}
+BENCHMARK(BM_NeuralNetTrainEpoch);
+
+void BM_KrigingFit(benchmark::State& state) {
+  Fixture& f = fixture();
+  for (auto _ : state) {
+    const auto model = ml::make_model(ml::ModelKind::Kriging);
+    model->fit(f.dataset.samples());
+    benchmark::DoNotOptimize(model.get());
+  }
+}
+BENCHMARK(BM_KrigingFit);
+
+void BM_RemBuild25cm(benchmark::State& state) {
+  Fixture& f = fixture();
+  for (auto _ : state) {
+    const auto model = ml::make_model(ml::ModelKind::PerMacKnn);
+    core::RemBuilderConfig config;
+    config.voxel_m = 0.25;
+    benchmark::DoNotOptimize(
+        core::build_rem(f.dataset, *model, f.scenario.scan_volume(), config));
+  }
+}
+BENCHMARK(BM_RemBuild25cm);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,83 @@
+// Coverage planning: the application the paper's introduction motivates —
+// using the REM to find "dark" connectivity regions and plan where to add an
+// access point to cover them.
+#include <cstdio>
+#include <vector>
+
+#include "core/coverage.hpp"
+#include "util/stats.hpp"
+#include "core/rem_builder.hpp"
+#include "mission/campaign.hpp"
+#include "radio/scenario.hpp"
+
+int main() {
+  using namespace remgen;
+
+  util::Rng rng(2022);
+  const radio::Scenario scenario = radio::Scenario::make_apartment(rng);
+  const mission::CampaignConfig campaign_config;
+  std::printf("running two-UAV campaign...\n");
+  const mission::CampaignResult campaign = mission::run_campaign(scenario, campaign_config, rng);
+
+  const auto model = ml::make_model(ml::ModelKind::KnnScaled16);
+  core::RemBuilderConfig rem_config;
+  rem_config.voxel_m = 0.25;
+  const core::RadioEnvironmentMap rem =
+      core::build_rem(campaign.dataset, *model, scenario.scan_volume(), rem_config);
+
+  // Pick the planning threshold from the REM itself: the 25th percentile of
+  // the predicted best-AP signal. Everything below it is the "dark" quartile
+  // we want a new AP to serve (a real deployment would use its MCS target).
+  std::vector<double> best_rss;
+  const geom::GridGeometry& g = rem.geometry();
+  for (std::size_t iz = 0; iz < g.nz(); ++iz) {
+    for (std::size_t iy = 0; iy < g.ny(); ++iy) {
+      for (std::size_t ix = 0; ix < g.nx(); ++ix) {
+        if (const auto best = rem.best_ap(g.voxel_center({ix, iy, iz}))) {
+          best_rss.push_back(best->cell.rss_dbm);
+        }
+      }
+    }
+  }
+  const double threshold_dbm = util::percentile(best_rss, 25.0);
+  std::printf("planning threshold: %.1f dBm (25th percentile of predicted best-AP RSS)\n",
+              threshold_dbm);
+  const core::CoverageReport before = core::analyze_coverage(rem, threshold_dbm);
+  std::printf("coverage at %.0f dBm: %.1f%%, %zu dark voxels\n", threshold_dbm,
+              before.covered_fraction * 100.0, before.dark_voxel_count);
+  if (!before.dark_voxels.empty()) {
+    // Centroid of the dark region.
+    geom::Vec3 centroid;
+    for (const geom::VoxelIndex& v : before.dark_voxels) {
+      centroid += rem.geometry().voxel_center(v);
+    }
+    centroid = centroid / static_cast<double>(before.dark_voxels.size());
+    std::printf("dark-region centroid: %s\n", centroid.to_string().c_str());
+  }
+
+  // Candidate AP positions: a coarse grid of wall- and shelf-mountable spots.
+  std::vector<geom::Vec3> candidates;
+  for (const double x : {0.3, 1.2, 2.5, 3.4}) {
+    for (const double y : {0.3, 1.6, 2.9}) {
+      candidates.push_back({x, y, 1.9});
+    }
+  }
+  core::PlacementConfig placement;
+  placement.threshold_dbm = threshold_dbm;
+  placement.tx_power_dbm = 10.0;  // a modest mesh-extender node
+  const auto ranked =
+      core::rank_ap_placements(rem, scenario.floorplan(), candidates, placement);
+
+  std::printf("\ncandidate AP placements, best first (%zu candidates):\n", ranked.size());
+  std::printf("%-24s %18s %18s\n", "position", "newly-covered", "coverage-after");
+  for (std::size_t i = 0; i < ranked.size(); ++i) {
+    if (i >= 5 && i + 2 < ranked.size()) {
+      if (i == 5) std::printf("  ...\n");
+      continue;
+    }
+    std::printf("%-24s %18zu %17.1f%%\n", ranked[i].position.to_string().c_str(),
+                ranked[i].newly_covered_voxels,
+                ranked[i].predicted_coverage_fraction * 100.0);
+  }
+  return 0;
+}

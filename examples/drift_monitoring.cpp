@@ -1,0 +1,88 @@
+// REM lifecycle: build the map, live with it, notice when it goes stale,
+// re-fly only what changed.
+//
+// The paper motivates periodic REM regeneration because "the REMs can become
+// obsolete due to long-term changes in the signal propagation". This example
+// shows the full loop the library supports: a full campaign builds the REM;
+// cheap 12-waypoint probe flights monitor it; when the environment changes
+// (here: the apartment's router is moved), the drift detector flags the
+// transmitter and a fresh campaign restores the map.
+#include <cstdio>
+
+#include "core/drift.hpp"
+#include "core/rem_builder.hpp"
+#include "mission/campaign.hpp"
+#include "ml/model_zoo.hpp"
+#include "radio/scenario.hpp"
+
+namespace {
+
+using namespace remgen;
+
+data::Dataset probe_flight(const radio::Scenario& scenario, std::uint64_t seed) {
+  util::Rng rng(seed);
+  mission::CampaignConfig config;
+  config.grid = {.nx = 3, .ny = 2, .nz = 2, .margin_m = 0.3};
+  config.uav_count = 1;
+  config.mission.adaptive_leg_timing = true;
+  return mission::run_campaign(scenario, config, rng).dataset;
+}
+
+core::RadioEnvironmentMap build_map(const radio::Scenario& scenario,
+                                    const data::Dataset& dataset) {
+  const auto model = ml::make_model(ml::ModelKind::PerMacKnn);
+  return core::build_rem(dataset, *model, scenario.scan_volume(), core::RemBuilderConfig{});
+}
+
+void report(const char* when, const core::DriftReport& r) {
+  std::printf("%-28s judged %2zu MACs | drifted %zu | vanished %zu | unknown %zu -> %s\n",
+              when, r.judged_macs, r.drifted_macs, r.vanished.size(), r.unknown_macs,
+              r.rem_stale || r.drifted_macs > 0 ? "ATTENTION" : "map is healthy");
+}
+
+}  // namespace
+
+int main() {
+  using namespace remgen;
+
+  // Month 0: full campaign, build the REM.
+  util::Rng rng(2022);
+  const radio::Scenario world = radio::Scenario::make_apartment(rng);
+  util::Rng campaign_rng(7);
+  const mission::CampaignResult campaign =
+      mission::run_campaign(world, mission::CampaignConfig{}, campaign_rng);
+  const core::RadioEnvironmentMap rem = build_map(world, campaign.dataset);
+  std::printf("month 0: REM built from %zu samples (%zu transmitters)\n\n",
+              campaign.dataset.size(), rem.macs().size());
+
+  // Months 1-2: routine probe flights against the unchanged world.
+  report("month 1 probe:", core::detect_drift(rem, probe_flight(world, 111).samples()));
+  report("month 2 probe:", core::detect_drift(rem, probe_flight(world, 102).samples()));
+
+  // Month 3: the tenant moves the router to the other end of the room.
+  util::Rng variant_rng(2022);
+  radio::MacAddress moved_mac;
+  const radio::Scenario changed = radio::Scenario::make_apartment(
+      variant_rng, radio::ScenarioConfig{}, radio::EnvironmentConfig{},
+      [&](std::vector<radio::AccessPoint>& aps) {
+        aps[0].position = {0.4, 2.9, 0.4};
+        moved_mac = aps[0].mac;
+      });
+  const core::DriftReport month3 =
+      core::detect_drift(rem, probe_flight(changed, 103).samples());
+  report("month 3 probe:", month3);
+  for (const core::MacDrift& d : month3.per_mac) {
+    if (!d.drifted) continue;
+    std::printf("  -> %s drifted (mean %+.1f dB, rms %.1f dB)%s\n",
+                d.mac.to_string().c_str(), d.mean_residual_db, d.rms_residual_db,
+                d.mac == moved_mac ? "  <- the moved router" : "");
+  }
+
+  // Re-fly and rebuild: the fresh map absorbs the change.
+  util::Rng refly_rng(8);
+  const mission::CampaignResult refly =
+      mission::run_campaign(changed, mission::CampaignConfig{}, refly_rng);
+  const core::RadioEnvironmentMap fresh = build_map(changed, refly.dataset);
+  report("after re-fly:", core::detect_drift(fresh, probe_flight(changed, 104).samples()));
+  return 0;
+}

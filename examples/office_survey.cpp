@@ -1,0 +1,71 @@
+// Office survey: deploying the toolchain in a brand-new environment (design
+// requirement ii) — an open-plan office floor with ceiling-mounted enterprise
+// APs — and answering the questions an IT team would ask: which AP serves
+// each zone, where the corporate SSID is weakest, and how the per-AP fields
+// look.
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "core/rem_builder.hpp"
+#include "mission/campaign.hpp"
+#include "ml/model_zoo.hpp"
+#include "radio/scenario.hpp"
+
+int main() {
+  using namespace remgen;
+
+  util::Rng rng(2022);
+  const radio::Scenario office = radio::Scenario::make_office(rng);
+  std::printf("office floor: %zu transmitters, scan volume %.1f x %.1f x %.1f m\n",
+              office.environment().access_points().size(), office.scan_volume().size().x,
+              office.scan_volume().size().y, office.scan_volume().size().z);
+
+  // Three sequential UAVs survey the open-plan area with optimized routes.
+  mission::CampaignConfig config;
+  config.uav_count = 3;
+  config.optimize_route = true;
+  config.mission.adaptive_leg_timing = true;
+  const mission::CampaignResult campaign = mission::run_campaign(office, config, rng);
+  std::printf("survey: %zu samples across %zu flights\n\n", campaign.dataset.size(),
+              campaign.uav_stats.size());
+
+  const auto model = ml::make_model(ml::ModelKind::Kriging);
+  core::RemBuilderConfig rem_config;
+  rem_config.voxel_m = 0.5;
+  const core::RadioEnvironmentMap rem =
+      core::build_rem(campaign.dataset, *model, office.scan_volume(), rem_config);
+
+  // Zone report: which AP dominates each quadrant of the floor section, and
+  // the weakest best-AP signal in it (the IT team's "is this zone covered?").
+  const geom::Aabb& vol = office.scan_volume();
+  std::printf("%-14s %-20s %12s %14s\n", "zone", "dominant AP", "best(dBm)", "weakest(dBm)");
+  for (int qx = 0; qx < 2; ++qx) {
+    for (int qy = 0; qy < 2; ++qy) {
+      const double x0 = vol.min.x + qx * vol.size().x / 2.0;
+      const double y0 = vol.min.y + qy * vol.size().y / 2.0;
+      std::map<radio::MacAddress, int> votes;
+      double weakest = 0.0;
+      double strongest = -200.0;
+      for (double x = x0 + 0.3; x < x0 + vol.size().x / 2.0; x += 0.6) {
+        for (double y = y0 + 0.3; y < y0 + vol.size().y / 2.0; y += 0.6) {
+          const auto best = rem.best_ap({x, y, 1.2});
+          if (!best) continue;
+          ++votes[best->mac];
+          weakest = std::min(weakest, best->cell.rss_dbm);
+          strongest = std::max(strongest, best->cell.rss_dbm);
+        }
+      }
+      const auto dominant = std::max_element(
+          votes.begin(), votes.end(),
+          [](const auto& a, const auto& b) { return a.second < b.second; });
+      std::printf("  (%d,%d)%8s %-20s %12.1f %14.1f\n", qx, qy, "",
+                  dominant == votes.end() ? "-" : dominant->first.to_string().c_str(),
+                  strongest, weakest);
+    }
+  }
+
+  std::printf("\ncoverage at -67 dBm (VoIP-grade): %.1f%% of the surveyed volume\n",
+              rem.coverage_fraction(-67.0) * 100.0);
+  return 0;
+}

@@ -1,0 +1,163 @@
+#include "core/adaptive.hpp"
+
+#include <algorithm>
+
+#include "geom/grid3.hpp"
+#include "mission/planner.hpp"
+#include "mission/waypoint.hpp"
+#include "ml/kriging.hpp"
+#include "util/contracts.hpp"
+#include "util/fmt.hpp"
+#include "util/log.hpp"
+#include "uwb/anchor.hpp"
+#include "uwb/lps.hpp"
+
+namespace remgen::core {
+
+std::vector<geom::Vec3> pick_uncertain_locations(const data::Dataset& dataset,
+                                                 const geom::Aabb& volume, std::size_t count,
+                                                 double min_separation_m,
+                                                 double candidate_voxel_m,
+                                                 std::size_t min_samples_per_mac) {
+  REMGEN_EXPECTS(!dataset.empty());
+  REMGEN_EXPECTS(count > 0);
+
+  const data::Dataset prepared = dataset.filter_min_samples_per_mac(min_samples_per_mac);
+  if (prepared.empty()) return {};
+
+  ml::KrigingRegressor kriging;
+  kriging.fit(prepared.samples());
+
+  // Representative query sample per MAC (channel matters only for encoders).
+  std::vector<data::Sample> queries;
+  for (const radio::MacAddress& mac : prepared.distinct_macs()) {
+    data::Sample q;
+    q.mac = mac;
+    queries.push_back(q);
+  }
+
+  // Mean kriging sigma per candidate voxel, with a margin inside the volume.
+  const geom::Aabb inset(volume.min + geom::Vec3{0.25, 0.25, 0.25},
+                         volume.max - geom::Vec3{0.25, 0.25, 0.25});
+  const geom::GridGeometry grid =
+      geom::GridGeometry::with_resolution(inset, candidate_voxel_m);
+  std::vector<std::pair<double, geom::Vec3>> scored;
+  scored.reserve(grid.voxel_count());
+  for (std::size_t iz = 0; iz < grid.nz(); ++iz) {
+    for (std::size_t iy = 0; iy < grid.ny(); ++iy) {
+      for (std::size_t ix = 0; ix < grid.nx(); ++ix) {
+        const geom::Vec3 p = grid.voxel_center({ix, iy, iz});
+        double sigma_sum = 0.0;
+        for (data::Sample& q : queries) {
+          q.position = p;
+          sigma_sum += kriging.predict_with_sigma(q).sigma;
+        }
+        scored.emplace_back(sigma_sum / static_cast<double>(queries.size()), p);
+      }
+    }
+  }
+  std::sort(scored.begin(), scored.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+
+  // Greedy pick with minimum separation.
+  std::vector<geom::Vec3> picked;
+  for (const auto& [sigma, p] : scored) {
+    if (picked.size() >= count) break;
+    bool ok = true;
+    for (const geom::Vec3& q : picked) {
+      if (p.distance_to(q) < min_separation_m) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) picked.push_back(p);
+  }
+  return picked;
+}
+
+namespace {
+
+using namespace mission;
+
+/// Flies one fresh UAV over `waypoints`, appending samples to `dataset`.
+void fly_round(const radio::Scenario& scenario, const AdaptiveSamplingConfig& config,
+               const std::vector<geom::Vec3>& waypoints, int uav_id, util::Rng& rng,
+               data::Dataset& dataset) {
+  geom::Vec3 start = waypoints.front();
+  start.z = 0.0;
+  util::Rng uav_rng = rng.fork(util::format("adaptive-uav-{}", uav_id));
+  auto positioning = std::make_unique<uwb::LocoPositioningSystem>(
+      uwb::corner_anchors(scenario.scan_volume()), &scenario.floorplan(), config.uav.lps,
+      uav_rng.fork("lps"));
+  uav::Crazyflie uav(uav_id, scenario.environment(), std::move(positioning), config.uav, start,
+                     uav_rng);
+  for (int i = 0; i < 100; ++i) uav.step(config.mission.tick_s);
+  BaseStation station(config.mission);
+  const UavMissionStats stats = station.run_mission(uav, waypoints, dataset);
+  util::logf(util::LogLevel::Info, "adaptive", "flight {}: {} waypoints, {} samples", uav_id,
+             stats.waypoints_commanded, stats.samples_collected);
+}
+
+}  // namespace
+
+AdaptiveSamplingResult run_adaptive_campaign(const radio::Scenario& scenario,
+                                             const AdaptiveSamplingConfig& config,
+                                             util::Rng& rng) {
+  REMGEN_EXPECTS(config.rounds > 0);
+  REMGEN_EXPECTS(config.waypoints_per_round > 0);
+  AdaptiveSamplingResult result;
+
+  // Bootstrap: coarse even grid, as a regular (single-UAV) flight.
+  WaypointGridConfig bootstrap;
+  bootstrap.nx = config.initial_nx;
+  bootstrap.ny = config.initial_ny;
+  bootstrap.nz = config.initial_nz;
+  bootstrap.margin_m = 0.3;
+  std::vector<geom::Vec3> waypoints =
+      generate_waypoint_grid(scenario.scan_volume(), bootstrap);
+  fly_round(scenario, config, waypoints, 0, rng, result.dataset);
+  result.visited = waypoints;
+  result.waypoints_per_flight.push_back(waypoints.size());
+
+  // Refinement flights: go where the kriging posterior is widest.
+  for (std::size_t round = 1; round <= config.rounds; ++round) {
+    if (result.dataset.empty()) break;
+    std::vector<geom::Vec3> next = pick_uncertain_locations(
+        result.dataset, scenario.scan_volume(), config.waypoints_per_round,
+        config.min_separation_m, config.candidate_voxel_m, config.min_samples_per_mac);
+    if (next.empty()) break;
+    geom::Vec3 start = next.front();
+    start.z = config.mission.takeoff_height_m;
+    next = plan_route(next, start);
+    fly_round(scenario, config, next, static_cast<int>(round), rng, result.dataset);
+    result.visited.insert(result.visited.end(), next.begin(), next.end());
+    result.waypoints_per_flight.push_back(next.size());
+  }
+
+  // Final uncertainty level (for reporting).
+  const data::Dataset prepared =
+      result.dataset.filter_min_samples_per_mac(config.min_samples_per_mac);
+  if (!prepared.empty()) {
+    ml::KrigingRegressor kriging;
+    kriging.fit(prepared.samples());
+    double sigma_sum = 0.0;
+    std::size_t n = 0;
+    const geom::GridGeometry grid =
+        geom::GridGeometry::with_resolution(scenario.scan_volume(), 0.5);
+    for (std::size_t iz = 0; iz < grid.nz(); ++iz) {
+      for (std::size_t iy = 0; iy < grid.ny(); ++iy) {
+        for (std::size_t ix = 0; ix < grid.nx(); ++ix) {
+          data::Sample q;
+          q.mac = *prepared.distinct_macs().begin();
+          q.position = grid.voxel_center({ix, iy, iz});
+          sigma_sum += kriging.predict_with_sigma(q).sigma;
+          ++n;
+        }
+      }
+    }
+    result.final_mean_sigma_db = n > 0 ? sigma_sum / static_cast<double>(n) : 0.0;
+  }
+  return result;
+}
+
+}  // namespace remgen::core

@@ -1,0 +1,55 @@
+// Uncertainty-driven adaptive REM sampling.
+//
+// The paper samples a fixed, evenly spread waypoint grid and names "deriving
+// the fundamental limitations on the density of 3D REMs" as future work. This
+// extension spends the same flight budget smarter: after an initial coarse
+// grid, each subsequent (sequential-fleet) flight visits the locations where
+// the current REM is most uncertain — the kriging posterior standard
+// deviation — so measurements go where the map needs them.
+#pragma once
+
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "mission/base_station.hpp"
+#include "radio/scenario.hpp"
+#include "util/rng.hpp"
+
+namespace remgen::core {
+
+/// Adaptive campaign parameters.
+struct AdaptiveSamplingConfig {
+  std::size_t initial_nx = 3;          ///< Coarse bootstrap grid.
+  std::size_t initial_ny = 2;
+  std::size_t initial_nz = 2;
+  std::size_t rounds = 3;              ///< Refinement flights after bootstrap.
+  std::size_t waypoints_per_round = 6; ///< Locations per refinement flight.
+  double min_separation_m = 0.45;      ///< Spacing between picked locations.
+  double candidate_voxel_m = 0.35;     ///< Resolution of the uncertainty scan.
+  std::size_t min_samples_per_mac = 8; ///< Kriging fit threshold.
+  mission::MissionConfig mission{.adaptive_leg_timing = true};
+  uav::CrazyflieConfig uav;
+};
+
+/// Outcome of an adaptive campaign.
+struct AdaptiveSamplingResult {
+  data::Dataset dataset;
+  std::vector<geom::Vec3> visited;            ///< All waypoints, flight order.
+  std::vector<std::size_t> waypoints_per_flight;
+  double final_mean_sigma_db = 0.0;           ///< Mean kriging sigma at the end.
+};
+
+/// Runs bootstrap + `rounds` uncertainty-driven refinement flights (each on a
+/// fresh UAV, as in the paper's sequential fleet).
+[[nodiscard]] AdaptiveSamplingResult run_adaptive_campaign(const radio::Scenario& scenario,
+                                                           const AdaptiveSamplingConfig& config,
+                                                           util::Rng& rng);
+
+/// Scores candidate locations by mean kriging sigma over the fitted
+/// transmitters and greedily picks `count` well-separated maxima. Exposed for
+/// tests. `dataset` must be non-empty.
+[[nodiscard]] std::vector<geom::Vec3> pick_uncertain_locations(
+    const data::Dataset& dataset, const geom::Aabb& volume, std::size_t count,
+    double min_separation_m, double candidate_voxel_m, std::size_t min_samples_per_mac);
+
+}  // namespace remgen::core

@@ -1,0 +1,51 @@
+#include "core/coverage.hpp"
+
+#include <algorithm>
+
+#include "radio/pathloss.hpp"
+
+namespace remgen::core {
+
+CoverageReport analyze_coverage(const RadioEnvironmentMap& rem, double threshold_dbm) {
+  CoverageReport report;
+  report.threshold_dbm = threshold_dbm;
+  report.covered_fraction = rem.coverage_fraction(threshold_dbm);
+  report.dark_voxels = rem.dark_voxels(threshold_dbm);
+  report.dark_voxel_count = report.dark_voxels.size();
+  return report;
+}
+
+std::vector<PlacementCandidate> rank_ap_placements(const RadioEnvironmentMap& rem,
+                                                   const geom::Floorplan& floorplan,
+                                                   const std::vector<geom::Vec3>& candidates,
+                                                   const PlacementConfig& config) {
+  const CoverageReport before = analyze_coverage(rem, config.threshold_dbm);
+  const radio::MultiWallModel model(floorplan, config.pathloss_exponent,
+                                    config.reference_loss_db);
+  const geom::GridGeometry& g = rem.geometry();
+  const std::size_t total = g.voxel_count();
+
+  std::vector<PlacementCandidate> out;
+  out.reserve(candidates.size());
+  for (const geom::Vec3& c : candidates) {
+    std::size_t newly = 0;
+    for (const geom::VoxelIndex& v : before.dark_voxels) {
+      const geom::Vec3 p = g.voxel_center(v);
+      const double rss = config.tx_power_dbm - model.loss_db(c, p);
+      if (rss >= config.threshold_dbm) ++newly;
+    }
+    PlacementCandidate cand;
+    cand.position = c;
+    cand.newly_covered_voxels = newly;
+    const double covered_voxels =
+        before.covered_fraction * static_cast<double>(total) + static_cast<double>(newly);
+    cand.predicted_coverage_fraction = covered_voxels / static_cast<double>(total);
+    out.push_back(cand);
+  }
+  std::sort(out.begin(), out.end(), [](const PlacementCandidate& a, const PlacementCandidate& b) {
+    return a.newly_covered_voxels > b.newly_covered_voxels;
+  });
+  return out;
+}
+
+}  // namespace remgen::core

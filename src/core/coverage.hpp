@@ -1,0 +1,48 @@
+// Coverage analysis and AP-placement planning on top of a REM — the
+// applications the paper's introduction motivates ("planning the extensions
+// of any wireless networking infrastructure by adding APs or base stations to
+// cover 'dark' connectivity regions").
+#pragma once
+
+#include <vector>
+
+#include "core/rem.hpp"
+#include "geom/floorplan.hpp"
+
+namespace remgen::core {
+
+/// Summary of REM coverage at a threshold.
+struct CoverageReport {
+  double threshold_dbm = -80.0;
+  double covered_fraction = 0.0;
+  std::size_t dark_voxel_count = 0;
+  std::vector<geom::VoxelIndex> dark_voxels;
+};
+
+/// Computes the coverage report of a REM at `threshold_dbm`.
+[[nodiscard]] CoverageReport analyze_coverage(const RadioEnvironmentMap& rem,
+                                              double threshold_dbm);
+
+/// One evaluated AP placement candidate.
+struct PlacementCandidate {
+  geom::Vec3 position;
+  double predicted_coverage_fraction = 0.0;  ///< Coverage if an AP were added here.
+  std::size_t newly_covered_voxels = 0;
+};
+
+/// Parameters for placement evaluation.
+struct PlacementConfig {
+  double threshold_dbm = -80.0;
+  double tx_power_dbm = 17.0;
+  double pathloss_exponent = 2.0;
+  double reference_loss_db = 40.2;
+};
+
+/// Evaluates candidate AP positions against the REM's dark voxels using a
+/// multi-wall path-loss prediction for the hypothetical new AP, and returns
+/// candidates ordered best-first.
+[[nodiscard]] std::vector<PlacementCandidate> rank_ap_placements(
+    const RadioEnvironmentMap& rem, const geom::Floorplan& floorplan,
+    const std::vector<geom::Vec3>& candidates, const PlacementConfig& config = {});
+
+}  // namespace remgen::core

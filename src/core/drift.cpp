@@ -1,0 +1,95 @@
+#include "core/drift.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "util/contracts.hpp"
+
+namespace remgen::core {
+
+DriftReport detect_drift(const RadioEnvironmentMap& rem, std::span<const data::Sample> probe,
+                         const DriftConfig& config) {
+  REMGEN_EXPECTS(config.min_samples_per_mac > 0);
+
+  struct Accumulator {
+    std::size_t n = 0;
+    double sum = 0.0;
+    double sum_sq = 0.0;
+  };
+  std::map<radio::MacAddress, Accumulator> residuals;
+  std::set<radio::MacAddress> unknown;
+
+  for (const data::Sample& s : probe) {
+    const auto cell = rem.query(s.mac, s.position);
+    if (!cell) {
+      unknown.insert(s.mac);
+      continue;
+    }
+    Accumulator& acc = residuals[s.mac];
+    const double r = s.rss_dbm - cell->rss_dbm;
+    ++acc.n;
+    acc.sum += r;
+    acc.sum_sq += r * r;
+  }
+
+  DriftReport report;
+  report.unknown_macs = unknown.size();
+  double total_sq = 0.0;
+  std::size_t total_n = 0;
+  for (const auto& [mac, acc] : residuals) {
+    if (acc.n < config.min_samples_per_mac) continue;
+    MacDrift d;
+    d.mac = mac;
+    d.samples = acc.n;
+    d.mean_residual_db = acc.sum / static_cast<double>(acc.n);
+    d.rms_residual_db = std::sqrt(acc.sum_sq / static_cast<double>(acc.n));
+    d.drifted = std::abs(d.mean_residual_db) > config.mean_residual_threshold_db ||
+                d.rms_residual_db > config.rms_residual_threshold_db;
+    report.per_mac.push_back(d);
+    total_sq += acc.sum_sq;
+    total_n += acc.n;
+  }
+  std::sort(report.per_mac.begin(), report.per_mac.end(),
+            [](const MacDrift& a, const MacDrift& b) {
+              return std::max(std::abs(a.mean_residual_db), a.rms_residual_db) >
+                     std::max(std::abs(b.mean_residual_db), b.rms_residual_db);
+            });
+
+  // Vanished transmitters: mapped, loudly predicted at the probed locations,
+  // yet completely absent from the probe.
+  std::vector<geom::Vec3> probed_positions;
+  {
+    std::set<std::pair<int, int>> seen_scans;
+    for (const data::Sample& s : probe) {
+      if (seen_scans.insert({s.uav_id, s.waypoint_index}).second) {
+        probed_positions.push_back(s.position);
+      }
+    }
+  }
+  for (const radio::MacAddress& mac : rem.macs()) {
+    if (residuals.count(mac) || probed_positions.empty()) continue;
+    double best_predicted = -1e9;
+    for (const geom::Vec3& p : probed_positions) {
+      if (const auto cell = rem.query(mac, p)) {
+        best_predicted = std::max(best_predicted, cell->rss_dbm);
+      }
+    }
+    if (best_predicted > config.vanished_predicted_dbm) report.vanished.push_back(mac);
+  }
+
+  report.judged_macs = report.per_mac.size();
+  for (const MacDrift& d : report.per_mac) {
+    if (d.drifted) ++report.drifted_macs;
+  }
+  report.overall_rms_db =
+      total_n > 0 ? std::sqrt(total_sq / static_cast<double>(total_n)) : 0.0;
+  report.rem_stale =
+      report.judged_macs > 0 &&
+      static_cast<double>(report.drifted_macs) >=
+          config.stale_fraction * static_cast<double>(report.judged_macs);
+  return report;
+}
+
+}  // namespace remgen::core

@@ -1,0 +1,68 @@
+// REM staleness detection.
+//
+// The paper's introduction motivates periodic REM regeneration: "the REMs can
+// become obsolete due to long-term changes in the signal propagation". This
+// module closes that loop: given a (small) set of freshly collected probe
+// samples, it compares them against the REM's predictions and reports, per
+// transmitter, whether the map still describes reality — so a fleet operator
+// can re-fly only when (and, per MAC, where) it is actually needed.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/rem.hpp"
+#include "data/sample.hpp"
+
+namespace remgen::core {
+
+/// Detection thresholds.
+struct DriftConfig {
+  double mean_residual_threshold_db = 6.0;  ///< |mean(new - predicted)| above
+                                            ///< this flags a drifted MAC
+                                            ///< (power change / vanishing).
+  double rms_residual_threshold_db = 11.0;   ///< RMS above this flags a drifted
+                                            ///< MAC even with small mean — the
+                                            ///< signature of a *relocated*
+                                            ///< transmitter, whose residuals
+                                            ///< change sign across the room.
+  std::size_t min_samples_per_mac = 5;      ///< Below this a MAC is not judged.
+  double stale_fraction = 0.25;             ///< REM is stale when this fraction
+                                            ///< of judged MACs drifted.
+  double vanished_predicted_dbm = -78.0;    ///< A mapped MAC whose predicted
+                                            ///< RSS at the probed locations is
+                                            ///< above this but which produced
+                                            ///< zero probe samples is reported
+                                            ///< as vanished.
+};
+
+/// Per-transmitter drift verdict.
+struct MacDrift {
+  radio::MacAddress mac;
+  std::size_t samples = 0;
+  double mean_residual_db = 0.0;  ///< mean(observed - predicted); signed.
+  double rms_residual_db = 0.0;
+  bool drifted = false;
+};
+
+/// Whole-map verdict.
+struct DriftReport {
+  std::vector<MacDrift> per_mac;   ///< Judged MACs, worst first.
+  std::size_t judged_macs = 0;
+  std::size_t drifted_macs = 0;
+  std::size_t unknown_macs = 0;    ///< Probe MACs the REM has never seen
+                                   ///< (new transmitters in the environment).
+  std::vector<radio::MacAddress> vanished;  ///< Mapped MACs the REM expects to
+                                            ///< hear at the probed locations
+                                            ///< but which produced no samples.
+  double overall_rms_db = 0.0;     ///< RMS residual over all judged samples.
+  bool rem_stale = false;
+};
+
+/// Compares probe samples against the REM and returns the drift report.
+/// Probe samples whose MAC the REM does not map count toward unknown_macs.
+[[nodiscard]] DriftReport detect_drift(const RadioEnvironmentMap& rem,
+                                       std::span<const data::Sample> probe,
+                                       const DriftConfig& config = {});
+
+}  // namespace remgen::core

@@ -1,0 +1,34 @@
+#include "core/pipeline.hpp"
+
+#include "util/contracts.hpp"
+#include "util/log.hpp"
+
+namespace remgen::core {
+
+PipelineResult run_pipeline(const radio::Scenario& scenario, const PipelineConfig& config,
+                            util::Rng& rng) {
+  PipelineResult result;
+  result.campaign = mission::run_campaign(scenario, config.campaign, rng);
+  REMGEN_EXPECTS(!result.campaign.dataset.empty());
+
+  result.preprocessed = result.campaign.dataset.filter_min_samples_per_mac(
+      config.min_samples_per_mac, &result.dropped_samples);
+  REMGEN_EXPECTS(!result.preprocessed.empty());
+
+  // Held-out evaluation of the configured model.
+  util::Rng split_rng = rng.fork("train-test-split");
+  const data::DatasetSplit split = result.preprocessed.split(config.train_fraction, split_rng);
+  const std::unique_ptr<ml::Estimator> estimator = ml::make_model(config.model);
+  estimator->fit(split.train);
+  result.holdout = ml::evaluate(*estimator, split.test);
+  util::logf(util::LogLevel::Info, "pipeline", "{}: holdout RMSE {:.3f} dBm",
+             estimator->name(), result.holdout.rmse);
+
+  // The deliverable REM is built on all preprocessed data.
+  RemBuilderConfig rem_config = config.rem;
+  rem_config.min_samples_per_mac = config.min_samples_per_mac;
+  result.rem = build_rem(result.preprocessed, config.model, scenario.scan_volume(), rem_config);
+  return result;
+}
+
+}  // namespace remgen::core

@@ -1,0 +1,73 @@
+#include "core/rem_builder.hpp"
+
+#include <map>
+
+#include "ml/kriging.hpp"
+#include "util/contracts.hpp"
+
+namespace remgen::core {
+
+RadioEnvironmentMap build_rem(const data::Dataset& dataset, ml::Estimator& estimator,
+                              const geom::Aabb& volume, const RemBuilderConfig& config) {
+  REMGEN_EXPECTS(!dataset.empty());
+  const data::Dataset prepared =
+      dataset.filter_min_samples_per_mac(config.min_samples_per_mac);
+  REMGEN_EXPECTS(!prepared.empty());
+
+  estimator.fit(prepared.samples());
+
+  // Representative channel per MAC (most frequent) so estimators with channel
+  // features can be queried sensibly.
+  std::map<radio::MacAddress, std::map<int, std::size_t>> channel_counts;
+  for (const data::Sample& s : prepared.samples()) ++channel_counts[s.mac][s.channel];
+  std::map<radio::MacAddress, int> channel_of;
+  std::vector<radio::MacAddress> macs;
+  for (const auto& [mac, counts] : channel_counts) {
+    int best_channel = 1;
+    std::size_t best_count = 0;
+    for (const auto& [channel, count] : counts) {
+      if (count > best_count) {
+        best_count = count;
+        best_channel = channel;
+      }
+    }
+    channel_of[mac] = best_channel;
+    macs.push_back(mac);
+  }
+
+  const auto* kriging = dynamic_cast<const ml::KrigingRegressor*>(&estimator);
+
+  RadioEnvironmentMap rem(geom::GridGeometry::with_resolution(volume, config.voxel_m), macs);
+  const geom::GridGeometry& g = rem.geometry();
+  for (const radio::MacAddress& mac : macs) {
+    data::Sample query;
+    query.mac = mac;
+    query.channel = channel_of.at(mac);
+    for (std::size_t iz = 0; iz < g.nz(); ++iz) {
+      for (std::size_t iy = 0; iy < g.ny(); ++iy) {
+        for (std::size_t ix = 0; ix < g.nx(); ++ix) {
+          const geom::VoxelIndex v{ix, iy, iz};
+          query.position = g.voxel_center(v);
+          RemCell cell;
+          if (kriging != nullptr) {
+            const auto p = kriging->predict_with_sigma(query);
+            cell.rss_dbm = p.value;
+            cell.sigma_db = p.sigma;
+          } else {
+            cell.rss_dbm = estimator.predict(query);
+          }
+          rem.set_cell(mac, v, cell);
+        }
+      }
+    }
+  }
+  return rem;
+}
+
+RadioEnvironmentMap build_rem(const data::Dataset& dataset, ml::ModelKind kind,
+                              const geom::Aabb& volume, const RemBuilderConfig& config) {
+  const std::unique_ptr<ml::Estimator> estimator = ml::make_model(kind);
+  return build_rem(dataset, *estimator, volume, config);
+}
+
+}  // namespace remgen::core

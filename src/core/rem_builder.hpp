@@ -1,0 +1,32 @@
+// REM builder: trains an estimator on a sample dataset and rasterises its
+// predictions onto a voxel grid over the scan volume.
+#pragma once
+
+#include <memory>
+
+#include "core/rem.hpp"
+#include "data/dataset.hpp"
+#include "ml/estimator.hpp"
+#include "ml/model_zoo.hpp"
+
+namespace remgen::core {
+
+/// Builder parameters.
+struct RemBuilderConfig {
+  double voxel_m = 0.25;            ///< Raster resolution.
+  std::size_t min_samples_per_mac = 16;  ///< The paper's preprocessing rule.
+};
+
+/// Builds a REM from a dataset with the given (unfitted) estimator. The
+/// estimator is fitted on the preprocessed dataset inside this call. Kriging
+/// estimators additionally populate per-cell uncertainty.
+[[nodiscard]] RadioEnvironmentMap build_rem(const data::Dataset& dataset,
+                                            ml::Estimator& estimator, const geom::Aabb& volume,
+                                            const RemBuilderConfig& config = {});
+
+/// Convenience: builds with a model-zoo kind.
+[[nodiscard]] RadioEnvironmentMap build_rem(const data::Dataset& dataset, ml::ModelKind kind,
+                                            const geom::Aabb& volume,
+                                            const RemBuilderConfig& config = {});
+
+}  // namespace remgen::core

@@ -1,0 +1,81 @@
+// Dataset: the collected sample set plus the preprocessing and descriptive
+// statistics the paper's analysis performs on it.
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "data/sample.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace remgen::data {
+
+/// Train/test partition of a dataset.
+struct DatasetSplit {
+  std::vector<Sample> train;
+  std::vector<Sample> test;
+};
+
+/// Mutable container of samples with dataset-level operations.
+class Dataset {
+ public:
+  Dataset() = default;
+  explicit Dataset(std::vector<Sample> samples) : samples_(std::move(samples)) {}
+
+  void add(Sample sample) { samples_.push_back(std::move(sample)); }
+  void append(const Dataset& other);
+
+  [[nodiscard]] const std::vector<Sample>& samples() const noexcept { return samples_; }
+  [[nodiscard]] std::size_t size() const noexcept { return samples_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return samples_.empty(); }
+
+  /// Distinct MAC addresses present.
+  [[nodiscard]] std::set<radio::MacAddress> distinct_macs() const;
+
+  /// Distinct SSIDs present.
+  [[nodiscard]] std::set<std::string> distinct_ssids() const;
+
+  /// Mean RSS over all samples (requires non-empty).
+  [[nodiscard]] double mean_rss_dbm() const;
+
+  /// Sample count per MAC.
+  [[nodiscard]] std::map<radio::MacAddress, std::size_t> samples_per_mac() const;
+
+  /// Sample count per waypoint index.
+  [[nodiscard]] std::map<int, std::size_t> samples_per_waypoint() const;
+
+  /// Sample count per UAV id.
+  [[nodiscard]] std::map<int, std::size_t> samples_per_uav() const;
+
+  /// The paper's preprocessing: drops every sample whose MAC has fewer than
+  /// `min_samples` observations (16 in the paper). Returns the new dataset
+  /// and reports how many samples were dropped via `dropped` if non-null.
+  [[nodiscard]] Dataset filter_min_samples_per_mac(std::size_t min_samples,
+                                                   std::size_t* dropped = nullptr) const;
+
+  /// Histogram of sample positions along one axis (0=x, 1=y, 2=z) with the
+  /// given bin width, as (bin lower edge, count) pairs covering the data.
+  [[nodiscard]] std::vector<std::pair<double, std::size_t>> axis_histogram(
+      int axis, double bin_width) const;
+
+  /// Random shuffle + split: `train_fraction` of samples into train, rest
+  /// into test. Deterministic given the RNG state.
+  [[nodiscard]] DatasetSplit split(double train_fraction, util::Rng& rng) const;
+
+  /// Writes the dataset as CSV (header: x,y,z,ssid,rss_dbm,mac,channel,
+  /// timestamp_s,uav_id,waypoint_index).
+  void write_csv(std::ostream& out) const;
+
+  /// Parses a dataset from CSV written by write_csv. Throws
+  /// std::runtime_error on malformed input.
+  [[nodiscard]] static Dataset read_csv(std::istream& in);
+
+ private:
+  std::vector<Sample> samples_;
+};
+
+}  // namespace remgen::data

@@ -1,0 +1,113 @@
+#include "data/encoding.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "util/contracts.hpp"
+
+namespace remgen::data {
+
+FeatureEncoder FeatureEncoder::fit(std::span<const Sample> samples, const FeatureConfig& config) {
+  REMGEN_EXPECTS(!samples.empty());
+  FeatureEncoder enc;
+  enc.config_ = config;
+
+  // Sorted vocabularies make the encoding independent of sample order.
+  std::set<radio::MacAddress> macs;
+  std::set<int> channels;
+  geom::Vec3 lo = samples.front().position;
+  geom::Vec3 hi = lo;
+  for (const Sample& s : samples) {
+    macs.insert(s.mac);
+    channels.insert(s.channel);
+    lo = {std::min(lo.x, s.position.x), std::min(lo.y, s.position.y),
+          std::min(lo.z, s.position.z)};
+    hi = {std::max(hi.x, s.position.x), std::max(hi.y, s.position.y),
+          std::max(hi.z, s.position.z)};
+  }
+  int next = 0;
+  for (const radio::MacAddress& mac : macs) enc.mac_index_[mac] = next++;
+  next = 0;
+  for (const int c : channels) enc.channel_index_[c] = next++;
+
+  enc.position_min_ = lo;
+  constexpr double kEps = 1e-9;
+  enc.position_range_ = {std::max(hi.x - lo.x, kEps), std::max(hi.y - lo.y, kEps),
+                         std::max(hi.z - lo.z, kEps)};
+
+  enc.dimension_ = 0;
+  if (config.include_position) enc.dimension_ += 3;
+  if (config.include_mac_onehot) enc.dimension_ += enc.mac_index_.size();
+  if (config.include_channel_onehot) enc.dimension_ += enc.channel_index_.size();
+  REMGEN_ENSURES(enc.dimension_ > 0);
+  return enc;
+}
+
+int FeatureEncoder::mac_index(const radio::MacAddress& mac) const {
+  const auto it = mac_index_.find(mac);
+  return it == mac_index_.end() ? -1 : it->second;
+}
+
+std::vector<double> FeatureEncoder::encode(const Sample& sample) const {
+  std::vector<double> out;
+  out.reserve(dimension_);
+  if (config_.include_position) {
+    if (config_.normalize_position) {
+      out.push_back((sample.position.x - position_min_.x) / position_range_.x);
+      out.push_back((sample.position.y - position_min_.y) / position_range_.y);
+      out.push_back((sample.position.z - position_min_.z) / position_range_.z);
+    } else {
+      out.push_back(sample.position.x);
+      out.push_back(sample.position.y);
+      out.push_back(sample.position.z);
+    }
+  }
+  if (config_.include_mac_onehot) {
+    const std::size_t base = out.size();
+    out.resize(base + mac_index_.size(), 0.0);
+    if (const int idx = mac_index(sample.mac); idx >= 0) {
+      out[base + static_cast<std::size_t>(idx)] = config_.mac_onehot_scale;
+    }
+  }
+  if (config_.include_channel_onehot) {
+    const std::size_t base = out.size();
+    out.resize(base + channel_index_.size(), 0.0);
+    if (const auto it = channel_index_.find(sample.channel); it != channel_index_.end()) {
+      out[base + static_cast<std::size_t>(it->second)] = 1.0;
+    }
+  }
+  REMGEN_ENSURES(out.size() == dimension_);
+  return out;
+}
+
+std::vector<std::vector<double>> FeatureEncoder::encode_all(
+    std::span<const Sample> samples) const {
+  std::vector<std::vector<double>> out;
+  out.reserve(samples.size());
+  for (const Sample& s : samples) out.push_back(encode(s));
+  return out;
+}
+
+TargetScaler TargetScaler::fit(std::span<const double> values) {
+  REMGEN_EXPECTS(!values.empty());
+  TargetScaler scaler;
+  double acc = 0.0;
+  for (const double v : values) acc += v;
+  scaler.mean_ = acc / static_cast<double>(values.size());
+  double var = 0.0;
+  for (const double v : values) var += (v - scaler.mean_) * (v - scaler.mean_);
+  var /= static_cast<double>(values.size());
+  scaler.std_ = var > 1e-12 ? std::sqrt(var) : 1.0;
+  return scaler;
+}
+
+std::vector<double> rss_targets(std::span<const Sample> samples) {
+  std::vector<double> out;
+  out.reserve(samples.size());
+  for (const Sample& s : samples) out.push_back(s.rss_dbm);
+  return out;
+}
+
+}  // namespace remgen::data

@@ -1,0 +1,24 @@
+// The location-annotated measurement record the toolchain produces and the
+// ML stage consumes.
+#pragma once
+
+#include <string>
+
+#include "geom/vec3.hpp"
+#include "radio/mac_address.hpp"
+
+namespace remgen::data {
+
+/// One (location, ssid, rssi, mac, channel) observation.
+struct Sample {
+  geom::Vec3 position;       ///< UAV position estimate at scan time (m).
+  std::string ssid;
+  double rss_dbm = 0.0;
+  radio::MacAddress mac;
+  int channel = 0;
+  double timestamp_s = 0.0;  ///< Campaign time of the scan.
+  int uav_id = -1;           ///< Which UAV collected it.
+  int waypoint_index = -1;   ///< Which waypoint the scan belonged to.
+};
+
+}  // namespace remgen::data

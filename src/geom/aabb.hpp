@@ -1,0 +1,65 @@
+// Axis-aligned bounding box: the scan volume and room extents.
+#pragma once
+
+#include <algorithm>
+#include <array>
+
+#include "geom/vec3.hpp"
+#include "util/contracts.hpp"
+
+namespace remgen::geom {
+
+/// Axis-aligned box defined by min/max corners (min <= max componentwise).
+struct Aabb {
+  Vec3 min;
+  Vec3 max;
+
+  constexpr Aabb() = default;
+  Aabb(const Vec3& min_, const Vec3& max_) : min(min_), max(max_) {
+    REMGEN_EXPECTS(min.x <= max.x && min.y <= max.y && min.z <= max.z);
+  }
+
+  /// Box from an origin corner and positive sizes.
+  [[nodiscard]] static Aabb from_size(const Vec3& origin, const Vec3& size) {
+    return Aabb(origin, origin + size);
+  }
+
+  /// Edge lengths.
+  [[nodiscard]] Vec3 size() const { return max - min; }
+
+  /// Geometric centre.
+  [[nodiscard]] Vec3 center() const { return (min + max) * 0.5; }
+
+  /// Volume in cubic meters.
+  [[nodiscard]] double volume() const {
+    const Vec3 s = size();
+    return s.x * s.y * s.z;
+  }
+
+  /// True iff the point lies inside or on the boundary.
+  [[nodiscard]] bool contains(const Vec3& p) const {
+    return p.x >= min.x && p.x <= max.x && p.y >= min.y && p.y <= max.y && p.z >= min.z &&
+           p.z <= max.z;
+  }
+
+  /// Componentwise clamp of a point into the box.
+  [[nodiscard]] Vec3 clamp(const Vec3& p) const {
+    return {std::clamp(p.x, min.x, max.x), std::clamp(p.y, min.y, max.y),
+            std::clamp(p.z, min.z, max.z)};
+  }
+
+  /// The 8 corner points, in z-major order.
+  [[nodiscard]] std::array<Vec3, 8> corners() const {
+    return {Vec3{min.x, min.y, min.z}, Vec3{max.x, min.y, min.z}, Vec3{min.x, max.y, min.z},
+            Vec3{max.x, max.y, min.z}, Vec3{min.x, min.y, max.z}, Vec3{max.x, min.y, max.z},
+            Vec3{min.x, max.y, max.z}, Vec3{max.x, max.y, max.z}};
+  }
+
+  /// Smallest box containing both boxes.
+  [[nodiscard]] Aabb united(const Aabb& o) const {
+    return Aabb({std::min(min.x, o.min.x), std::min(min.y, o.min.y), std::min(min.z, o.min.z)},
+                {std::max(max.x, o.max.x), std::max(max.y, o.max.y), std::max(max.z, o.max.z)});
+  }
+};
+
+}  // namespace remgen::geom

@@ -1,0 +1,134 @@
+#include "geom/floorplan.hpp"
+
+#include <algorithm>
+
+namespace remgen::geom {
+
+std::size_t Floorplan::add_wall(Wall wall) {
+  walls_.push_back(std::move(wall));
+  return walls_.size() - 1;
+}
+
+std::vector<WallCrossing> Floorplan::crossings(const Vec3& a, const Vec3& b) const {
+  std::vector<WallCrossing> out;
+  for (std::size_t i = 0; i < walls_.size(); ++i) {
+    if (const auto t = walls_[i].intersect_segment(a, b)) {
+      out.push_back({i, *t, walls_[i].loss_db()});
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const WallCrossing& l, const WallCrossing& r) { return l.t < r.t; });
+  return out;
+}
+
+double Floorplan::total_penetration_loss_db(const Vec3& a, const Vec3& b) const {
+  double acc = 0.0;
+  for (const Wall& w : walls_) {
+    if (w.intersect_segment(a, b)) acc += w.loss_db();
+  }
+  return acc;
+}
+
+std::size_t Floorplan::wall_count_between(const Vec3& a, const Vec3& b) const {
+  std::size_t n = 0;
+  for (const Wall& w : walls_) {
+    if (w.intersect_segment(a, b)) ++n;
+  }
+  return n;
+}
+
+ApartmentModel make_apartment_model() {
+  // Coordinate frame: the scan volume's origin corner is (0, 0, 0); x grows
+  // along the 3.74 m edge, y along the 3.20 m edge, z up. The building core
+  // (with most neighbours' APs) lies toward +x and -y, matching the paper's
+  // observation that sample counts grow with x and shrink with y.
+  ApartmentModel model;
+  model.scan_volume = Aabb({0.0, 0.0, 0.0}, {3.74, 3.20, 2.10});
+
+  Floorplan& fp = model.floorplan;
+  constexpr double kFloorHeight = 2.6;  // storey height in the building
+
+  // --- Living-room envelope -------------------------------------------------
+  // Exterior facade behind -x (street side): brick.
+  fp.add_wall(Wall::vertical({-0.15, -4.0, 0.0}, {-0.15, 8.0, 0.0}, 0.0, kFloorHeight,
+                             WallMaterial::Brick, 0.0, "facade-west"));
+  // Interior wall toward the rest of the apartment/building at +x: drywall.
+  fp.add_wall(Wall::vertical({3.95, -4.0, 0.0}, {3.95, 8.0, 0.0}, 0.0, kFloorHeight,
+                             WallMaterial::Drywall, 0.0, "interior-east"));
+  // Wall at +y (away from building centre): concrete party wall to the
+  // neighbouring unit on the quieter side.
+  fp.add_wall(Wall::vertical({-4.0, 3.40, 0.0}, {8.0, 3.40, 0.0}, 0.0, kFloorHeight,
+                             WallMaterial::Concrete, 0.0, "party-north"));
+  // Wall at -y (toward building centre / corridor). "There is a wall segment
+  // that is 40 cm wider where UAV B's measurements are taken compared to UAV
+  // A": the low-x half is a thick load-bearing segment, the high-x half an
+  // ordinary partition. Units directly south of the room lie behind the
+  // thick segment for UAV B's half and behind the thin one for UAV A's half.
+  fp.add_wall(Wall::vertical({-4.0, -0.20, 0.0}, {1.87, -0.20, 0.0}, 0.0, kFloorHeight,
+                             WallMaterial::Concrete, 6.0, "corridor-south-thick"));
+  fp.add_wall(Wall::vertical({1.87, -0.20, 0.0}, {8.0, -0.20, 0.0}, 0.0, kFloorHeight,
+                             WallMaterial::Drywall, 0.0, "corridor-south"));
+
+  // --- Further interior partitions toward the building core -----------------
+  fp.add_wall(Wall::vertical({6.5, -10.0, 0.0}, {6.5, 8.0, 0.0}, 0.0, kFloorHeight,
+                             WallMaterial::Drywall, 0.0, "interior-east-2"));
+  fp.add_wall(Wall::vertical({-4.0, -5.0, 0.0}, {10.0, -5.0, 0.0}, 0.0, kFloorHeight,
+                             WallMaterial::Drywall, 0.0, "corridor-south-2"));
+  fp.add_wall(Wall::vertical({10.5, -10.0, 0.0}, {10.5, 8.0, 0.0}, 0.0, kFloorHeight,
+                             WallMaterial::Drywall, 0.0, "core-east"));
+  fp.add_wall(Wall::vertical({15.0, -10.0, 0.0}, {15.0, 8.0, 0.0}, 0.0, kFloorHeight,
+                             WallMaterial::Drywall, 0.0, "core-east-2"));
+  
+  // --- Floor slabs above and below (APs on other storeys) --------------------
+  for (const double z : {-0.05, kFloorHeight, -kFloorHeight, 2.0 * kFloorHeight}) {
+    fp.add_wall(Wall::slab(-6.0, -10.0, 20.0, 10.0, z, WallMaterial::ReinforcedConcrete, 0.0,
+                           "slab"));
+  }
+
+  // Vertical extent: one storey below, the ground storey, and routers up to
+  // two storeys above (the topmost reachable through two slabs).
+  model.building_bounds = Aabb({-6.0, -10.0, -kFloorHeight}, {20.0, 10.0, 3.0 * kFloorHeight});
+  return model;
+}
+
+ApartmentModel make_office_model() {
+  // Frame: the scan volume's origin corner is (0, 0, 0); x runs along the
+  // open-plan area, y toward the meeting-room block, z up. The floor is one
+  // slice of a multi-storey office tower.
+  ApartmentModel model;
+  model.scan_volume = Aabb({0.0, 0.0, 0.0}, {6.0, 4.5, 2.4});
+
+  Floorplan& fp = model.floorplan;
+  constexpr double kFloorHeight = 3.0;
+
+  // Curtain-wall facade (glass) behind -x.
+  fp.add_wall(Wall::vertical({-0.2, -6.0, 0.0}, {-0.2, 12.0, 0.0}, 0.0, kFloorHeight,
+                             WallMaterial::Glass, 0.0, "facade"));
+  // Glazed meeting-room front at +y with a drywall back wall behind it.
+  fp.add_wall(Wall::vertical({-4.0, 4.8, 0.0}, {14.0, 4.8, 0.0}, 0.0, kFloorHeight,
+                             WallMaterial::Glass, 0.0, "meeting-front"));
+  fp.add_wall(Wall::vertical({-4.0, 8.0, 0.0}, {14.0, 8.0, 0.0}, 0.0, kFloorHeight,
+                             WallMaterial::Drywall, 0.0, "meeting-back"));
+  // Meeting-room dividers (drywall) slicing the block along y.
+  for (const double x : {0.0, 4.0, 8.0}) {
+    fp.add_wall(Wall::vertical({x, 4.8, 0.0}, {x, 8.0, 0.0}, 0.0, kFloorHeight,
+                               WallMaterial::Drywall, 0.0, "meeting-divider"));
+  }
+  // Concrete service core at the far +x end (lifts, risers).
+  fp.add_wall(Wall::vertical({10.0, -6.0, 0.0}, {10.0, 12.0, 0.0}, 0.0, kFloorHeight,
+                             WallMaterial::Concrete, 0.0, "core-wall"));
+  // Corridor partition at -y toward the other wing.
+  fp.add_wall(Wall::vertical({-4.0, -1.5, 0.0}, {14.0, -1.5, 0.0}, 0.0, kFloorHeight,
+                             WallMaterial::Drywall, 0.0, "corridor"));
+
+  // Floor slabs above and below.
+  for (const double z : {-0.05, kFloorHeight, -kFloorHeight, 2.0 * kFloorHeight}) {
+    fp.add_wall(Wall::slab(-4.0, -6.0, 14.0, 12.0, z, WallMaterial::ReinforcedConcrete, 0.0,
+                           "slab"));
+  }
+
+  model.building_bounds = Aabb({-4.0, -6.0, -kFloorHeight}, {14.0, 12.0, 2.0 * kFloorHeight});
+  return model;
+}
+
+}  // namespace remgen::geom

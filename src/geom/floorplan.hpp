@@ -1,0 +1,71 @@
+// Floorplan: the set of walls making up an indoor environment, with queries
+// used by the propagation and UWB models (wall crossings along a segment).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "geom/aabb.hpp"
+#include "geom/wall.hpp"
+
+namespace remgen::geom {
+
+/// One wall crossing along a segment.
+struct WallCrossing {
+  std::size_t wall_index;  ///< Index into Floorplan::walls().
+  double t;                ///< Segment parameter in (0, 1).
+  double loss_db;          ///< Penetration loss of the crossed wall.
+};
+
+/// Immutable-after-construction collection of walls plus overall bounds.
+class Floorplan {
+ public:
+  Floorplan() = default;
+
+  /// Adds a wall; returns its index.
+  std::size_t add_wall(Wall wall);
+
+  /// All walls.
+  [[nodiscard]] const std::vector<Wall>& walls() const noexcept { return walls_; }
+
+  /// Crossings of segment a->b sorted by t. Endpoints touching a wall plane
+  /// do not count (see Wall::intersect_segment).
+  [[nodiscard]] std::vector<WallCrossing> crossings(const Vec3& a, const Vec3& b) const;
+
+  /// Sum of penetration losses of all walls crossed by segment a->b, in dB.
+  [[nodiscard]] double total_penetration_loss_db(const Vec3& a, const Vec3& b) const;
+
+  /// Number of walls crossed by segment a->b.
+  [[nodiscard]] std::size_t wall_count_between(const Vec3& a, const Vec3& b) const;
+
+  /// True iff no wall lies between the two points.
+  [[nodiscard]] bool line_of_sight(const Vec3& a, const Vec3& b) const {
+    return wall_count_between(a, b) == 0;
+  }
+
+ private:
+  std::vector<Wall> walls_;
+};
+
+/// Builds the demonstration environment modelled after the paper: a living
+/// room (3.74 m x 3.20 m x 2.10 m scan volume) inside a condo apartment in a
+/// larger apartment building. The building extends toward +x / -y (the paper
+/// observes more APs in that direction); the wall segment on UAV B's side
+/// (low x) is 40 cm thicker. `scan_volume` receives the cuboid the UAVs scan.
+struct ApartmentModel {
+  Floorplan floorplan;
+  Aabb scan_volume;       ///< The 3.74 x 3.20 x 2.10 m cuboid.
+  Aabb building_bounds;   ///< Extent of the whole modelled building.
+};
+
+/// Constructs the apartment/building model used by the validation campaign.
+[[nodiscard]] ApartmentModel make_apartment_model();
+
+/// A second, structurally different environment — an open-plan office floor
+/// with a meeting-room block — exercising the paper's design requirement (ii):
+/// "straightforward deployment of the system in unknown complex indoor
+/// environments". The scan volume is a 6.0 x 4.5 x 2.4 m section of the
+/// open-plan area next to the glazed meeting rooms.
+[[nodiscard]] ApartmentModel make_office_model();
+
+}  // namespace remgen::geom

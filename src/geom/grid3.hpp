@@ -1,0 +1,108 @@
+// Regular 3D voxel grid over an AABB: the spatial index backing REM rasters
+// and the correlated shadowing field.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "geom/aabb.hpp"
+#include "util/contracts.hpp"
+
+namespace remgen::geom {
+
+/// Integer voxel coordinate.
+struct VoxelIndex {
+  std::size_t ix = 0;
+  std::size_t iy = 0;
+  std::size_t iz = 0;
+  constexpr bool operator==(const VoxelIndex&) const = default;
+};
+
+/// Geometry of a regular grid over a box: voxel counts per axis and the
+/// mapping between world points and voxels.
+class GridGeometry {
+ public:
+  /// Grid with the given voxel counts (all > 0) over `bounds`.
+  GridGeometry(const Aabb& bounds, std::size_t nx, std::size_t ny, std::size_t nz)
+      : bounds_(bounds), nx_(nx), ny_(ny), nz_(nz) {
+    REMGEN_EXPECTS(nx > 0 && ny > 0 && nz > 0);
+  }
+
+  /// Grid with (approximately) the given voxel edge length; at least one
+  /// voxel per axis.
+  [[nodiscard]] static GridGeometry with_resolution(const Aabb& bounds, double voxel_m) {
+    REMGEN_EXPECTS(voxel_m > 0.0);
+    const Vec3 s = bounds.size();
+    auto count = [voxel_m](double extent) {
+      const auto n = static_cast<std::size_t>(extent / voxel_m + 0.5);
+      return n == 0 ? std::size_t{1} : n;
+    };
+    return GridGeometry(bounds, count(s.x), count(s.y), count(s.z));
+  }
+
+  [[nodiscard]] const Aabb& bounds() const noexcept { return bounds_; }
+  [[nodiscard]] std::size_t nx() const noexcept { return nx_; }
+  [[nodiscard]] std::size_t ny() const noexcept { return ny_; }
+  [[nodiscard]] std::size_t nz() const noexcept { return nz_; }
+  [[nodiscard]] std::size_t voxel_count() const noexcept { return nx_ * ny_ * nz_; }
+
+  /// Flat index of a voxel.
+  [[nodiscard]] std::size_t flat(const VoxelIndex& v) const {
+    REMGEN_EXPECTS(v.ix < nx_ && v.iy < ny_ && v.iz < nz_);
+    return (v.iz * ny_ + v.iy) * nx_ + v.ix;
+  }
+
+  /// Voxel containing a point (points outside are clamped to the border).
+  [[nodiscard]] VoxelIndex voxel_of(const Vec3& p) const {
+    const Vec3 q = bounds_.clamp(p);
+    const Vec3 s = bounds_.size();
+    auto axis = [](double value, double lo, double extent, std::size_t n) {
+      if (extent <= 0.0) return std::size_t{0};
+      auto i = static_cast<std::size_t>((value - lo) / extent * static_cast<double>(n));
+      return i >= n ? n - 1 : i;
+    };
+    return {axis(q.x, bounds_.min.x, s.x, nx_), axis(q.y, bounds_.min.y, s.y, ny_),
+            axis(q.z, bounds_.min.z, s.z, nz_)};
+  }
+
+  /// World-space centre of a voxel.
+  [[nodiscard]] Vec3 voxel_center(const VoxelIndex& v) const {
+    REMGEN_EXPECTS(v.ix < nx_ && v.iy < ny_ && v.iz < nz_);
+    const Vec3 s = bounds_.size();
+    return {bounds_.min.x + s.x * (static_cast<double>(v.ix) + 0.5) / static_cast<double>(nx_),
+            bounds_.min.y + s.y * (static_cast<double>(v.iy) + 0.5) / static_cast<double>(ny_),
+            bounds_.min.z + s.z * (static_cast<double>(v.iz) + 0.5) / static_cast<double>(nz_)};
+  }
+
+ private:
+  Aabb bounds_;
+  std::size_t nx_;
+  std::size_t ny_;
+  std::size_t nz_;
+};
+
+/// Dense per-voxel scalar field over a GridGeometry.
+template <typename T>
+class VoxelField {
+ public:
+  VoxelField(GridGeometry geometry, T fill = T{})
+      : geometry_(std::move(geometry)), values_(geometry_.voxel_count(), fill) {}
+
+  [[nodiscard]] const GridGeometry& geometry() const noexcept { return geometry_; }
+
+  [[nodiscard]] T& at(const VoxelIndex& v) { return values_[geometry_.flat(v)]; }
+  [[nodiscard]] const T& at(const VoxelIndex& v) const { return values_[geometry_.flat(v)]; }
+
+  /// Value of the voxel containing a world point.
+  [[nodiscard]] const T& at_point(const Vec3& p) const { return at(geometry_.voxel_of(p)); }
+  [[nodiscard]] T& at_point(const Vec3& p) { return at(geometry_.voxel_of(p)); }
+
+  [[nodiscard]] const std::vector<T>& values() const noexcept { return values_; }
+  [[nodiscard]] std::vector<T>& values() noexcept { return values_; }
+
+ private:
+  GridGeometry geometry_;
+  std::vector<T> values_;
+};
+
+}  // namespace remgen::geom

@@ -1,0 +1,84 @@
+// 3D vector type used throughout the simulator (positions, velocities).
+#pragma once
+
+#include <cmath>
+#include <string>
+
+#include "util/fmt.hpp"
+
+namespace remgen::geom {
+
+/// Plain 3D vector of doubles with value semantics.
+struct Vec3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  constexpr Vec3() = default;
+  constexpr Vec3(double x_, double y_, double z_) : x(x_), y(y_), z(z_) {}
+
+  constexpr Vec3 operator+(const Vec3& o) const { return {x + o.x, y + o.y, z + o.z}; }
+  constexpr Vec3 operator-(const Vec3& o) const { return {x - o.x, y - o.y, z - o.z}; }
+  constexpr Vec3 operator*(double s) const { return {x * s, y * s, z * s}; }
+  constexpr Vec3 operator/(double s) const { return {x / s, y / s, z / s}; }
+  constexpr Vec3 operator-() const { return {-x, -y, -z}; }
+
+  constexpr Vec3& operator+=(const Vec3& o) {
+    x += o.x;
+    y += o.y;
+    z += o.z;
+    return *this;
+  }
+  constexpr Vec3& operator-=(const Vec3& o) {
+    x -= o.x;
+    y -= o.y;
+    z -= o.z;
+    return *this;
+  }
+  constexpr Vec3& operator*=(double s) {
+    x *= s;
+    y *= s;
+    z *= s;
+    return *this;
+  }
+
+  constexpr bool operator==(const Vec3&) const = default;
+
+  /// Dot product.
+  [[nodiscard]] constexpr double dot(const Vec3& o) const { return x * o.x + y * o.y + z * o.z; }
+
+  /// Cross product.
+  [[nodiscard]] constexpr Vec3 cross(const Vec3& o) const {
+    return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+  }
+
+  /// Squared Euclidean norm.
+  [[nodiscard]] constexpr double norm2() const { return dot(*this); }
+
+  /// Euclidean norm.
+  [[nodiscard]] double norm() const { return std::sqrt(norm2()); }
+
+  /// Unit vector in this direction; returns zero vector for (near-)zero input.
+  [[nodiscard]] Vec3 normalized() const {
+    const double n = norm();
+    if (n < 1e-12) return {};
+    return *this / n;
+  }
+
+  /// Euclidean distance to another point.
+  [[nodiscard]] double distance_to(const Vec3& o) const { return (*this - o).norm(); }
+
+  /// "(x, y, z)" with 3 decimals, for logs and debugging.
+  [[nodiscard]] std::string to_string() const {
+    return util::format("({:.3f}, {:.3f}, {:.3f})", x, y, z);
+  }
+};
+
+constexpr Vec3 operator*(double s, const Vec3& v) { return v * s; }
+
+/// Linear interpolation between a and b at parameter t in [0, 1].
+[[nodiscard]] constexpr Vec3 lerp(const Vec3& a, const Vec3& b, double t) {
+  return a + (b - a) * t;
+}
+
+}  // namespace remgen::geom

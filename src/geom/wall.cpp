@@ -1,0 +1,87 @@
+#include "geom/wall.hpp"
+
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace remgen::geom {
+
+double material_loss_db(WallMaterial material) {
+  switch (material) {
+    case WallMaterial::Drywall: return 3.0;
+    case WallMaterial::Brick: return 8.0;
+    case WallMaterial::Concrete: return 12.0;
+    case WallMaterial::ReinforcedConcrete: return 20.0;
+    case WallMaterial::Glass: return 2.0;
+    case WallMaterial::Wood: return 4.0;
+  }
+  return 0.0;
+}
+
+const char* material_name(WallMaterial material) {
+  switch (material) {
+    case WallMaterial::Drywall: return "drywall";
+    case WallMaterial::Brick: return "brick";
+    case WallMaterial::Concrete: return "concrete";
+    case WallMaterial::ReinforcedConcrete: return "reinforced-concrete";
+    case WallMaterial::Glass: return "glass";
+    case WallMaterial::Wood: return "wood";
+  }
+  return "?";
+}
+
+Wall::Wall(Vec3 origin, Vec3 edge_u, Vec3 edge_v, WallMaterial material, double extra_loss_db,
+           std::string name)
+    : origin_(origin),
+      u_(edge_u),
+      v_(edge_v),
+      material_(material),
+      extra_loss_db_(extra_loss_db),
+      name_(std::move(name)) {
+  REMGEN_EXPECTS(extra_loss_db >= 0.0);
+  normal_ = u_.cross(v_).normalized();
+  REMGEN_EXPECTS(normal_.norm2() > 0.5);  // non-degenerate rectangle
+}
+
+Wall Wall::vertical(const Vec3& p0, const Vec3& p1, double z0, double z1, WallMaterial material,
+                    double extra_loss_db, std::string name) {
+  REMGEN_EXPECTS(z1 > z0);
+  const Vec3 base{p0.x, p0.y, z0};
+  const Vec3 u{p1.x - p0.x, p1.y - p0.y, 0.0};
+  const Vec3 v{0.0, 0.0, z1 - z0};
+  return Wall(base, u, v, material, extra_loss_db, std::move(name));
+}
+
+Wall Wall::slab(double x0, double y0, double x1, double y1, double z, WallMaterial material,
+                double extra_loss_db, std::string name) {
+  REMGEN_EXPECTS(x1 > x0 && y1 > y0);
+  return Wall({x0, y0, z}, {x1 - x0, 0.0, 0.0}, {0.0, y1 - y0, 0.0}, material, extra_loss_db,
+              std::move(name));
+}
+
+double Wall::loss_db() const noexcept { return material_loss_db(material_) + extra_loss_db_; }
+
+std::optional<double> Wall::intersect_segment(const Vec3& a, const Vec3& b) const {
+  const Vec3 dir = b - a;
+  const double denom = dir.dot(normal_);
+  if (std::abs(denom) < 1e-12) return std::nullopt;  // parallel to the plane
+  const double t = (origin_ - a).dot(normal_) / denom;
+  // Strict interior crossing: endpoints touching the plane do not count.
+  if (t <= 1e-9 || t >= 1.0 - 1e-9) return std::nullopt;
+  const Vec3 p = a + dir * t;
+  // Express p - origin in the (u, v) basis via normal equations of the 2x2 system.
+  const Vec3 w = p - origin_;
+  const double uu = u_.dot(u_);
+  const double uv = u_.dot(v_);
+  const double vv = v_.dot(v_);
+  const double wu = w.dot(u_);
+  const double wv = w.dot(v_);
+  const double det = uu * vv - uv * uv;
+  if (std::abs(det) < 1e-15) return std::nullopt;
+  const double su = (wu * vv - wv * uv) / det;
+  const double sv = (wv * uu - wu * uv) / det;
+  if (su < 0.0 || su > 1.0 || sv < 0.0 || sv > 1.0) return std::nullopt;
+  return t;
+}
+
+}  // namespace remgen::geom

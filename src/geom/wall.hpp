@@ -1,0 +1,77 @@
+// Walls: finite planar rectangles with material attenuation, used by the
+// multi-wall path-loss model and the UWB NLoS model.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "geom/vec3.hpp"
+
+namespace remgen::geom {
+
+/// Common indoor construction materials with typical 2.4 GHz attenuations.
+enum class WallMaterial {
+  Drywall,        // interior partition, ~3 dB
+  Brick,          // ~8 dB
+  Concrete,       // load-bearing, ~12 dB
+  ReinforcedConcrete,  // floor slabs, ~20 dB
+  Glass,          // window, ~2 dB
+  Wood,           // door, ~4 dB
+};
+
+/// Typical penetration loss in dB at 2.4 GHz for a material.
+[[nodiscard]] double material_loss_db(WallMaterial material);
+
+/// Human-readable material name.
+[[nodiscard]] const char* material_name(WallMaterial material);
+
+/// A finite rectangular wall. The rectangle is described by an origin corner
+/// and two edge vectors (u, v) that must be non-degenerate and orthogonal
+/// enough for the param test; thickness contributes extra attenuation for
+/// thick walls.
+class Wall {
+ public:
+  /// Builds a wall; `extra_loss_db` is added on top of the material loss
+  /// (e.g. the paper's "40 cm wider wall segment" carries extra loss).
+  Wall(Vec3 origin, Vec3 edge_u, Vec3 edge_v, WallMaterial material,
+       double extra_loss_db = 0.0, std::string name = {});
+
+  /// Convenience: vertical wall spanning [p0..p1] horizontally and
+  /// [z0..z1] vertically (p0/p1 must differ in exactly one of x or y... any
+  /// horizontal direction is allowed).
+  [[nodiscard]] static Wall vertical(const Vec3& p0, const Vec3& p1, double z0, double z1,
+                                     WallMaterial material, double extra_loss_db = 0.0,
+                                     std::string name = {});
+
+  /// Convenience: horizontal slab (floor/ceiling) covering the rectangle
+  /// [x0,x1] x [y0,y1] at height z.
+  [[nodiscard]] static Wall slab(double x0, double y0, double x1, double y1, double z,
+                                 WallMaterial material, double extra_loss_db = 0.0,
+                                 std::string name = {});
+
+  /// Total penetration loss of this wall in dB.
+  [[nodiscard]] double loss_db() const noexcept;
+
+  [[nodiscard]] WallMaterial material() const noexcept { return material_; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const Vec3& origin() const noexcept { return origin_; }
+  [[nodiscard]] const Vec3& edge_u() const noexcept { return u_; }
+  [[nodiscard]] const Vec3& edge_v() const noexcept { return v_; }
+  [[nodiscard]] Vec3 normal() const noexcept { return normal_; }
+
+  /// Parameter t in (0,1) where segment a->b crosses the wall rectangle, or
+  /// nullopt if it does not cross. Touching endpoints do not count as a
+  /// crossing (a transmitter mounted on a wall is not attenuated by it).
+  [[nodiscard]] std::optional<double> intersect_segment(const Vec3& a, const Vec3& b) const;
+
+ private:
+  Vec3 origin_;
+  Vec3 u_;
+  Vec3 v_;
+  Vec3 normal_;
+  WallMaterial material_;
+  double extra_loss_db_;
+  std::string name_;
+};
+
+}  // namespace remgen::geom

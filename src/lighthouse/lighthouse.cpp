@@ -1,0 +1,118 @@
+#include "lighthouse/lighthouse.hpp"
+
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace remgen::lighthouse {
+
+std::vector<BaseStation> standard_two_station_setup(const geom::Aabb& volume) {
+  // Opposite upper corners, each yawed to face the volume centre.
+  const geom::Vec3 c = volume.center();
+  const geom::Vec3 p0{volume.min.x, volume.min.y, volume.max.z};
+  const geom::Vec3 p1{volume.max.x, volume.max.y, volume.max.z};
+  return {
+      {0, p0, std::atan2(c.y - p0.y, c.x - p0.x)},
+      {1, p1, std::atan2(c.y - p1.y, c.x - p1.x)},
+  };
+}
+
+SweepMeasurement SweepModel::true_bearing(const BaseStation& station, const geom::Vec3& tag) {
+  const geom::Vec3 d = tag - station.position;
+  const double c = std::cos(station.yaw_rad);
+  const double s = std::sin(station.yaw_rad);
+  const double rx = c * d.x + s * d.y;
+  const double ry = -s * d.x + c * d.y;
+  SweepMeasurement m;
+  m.station_id = station.id;
+  m.azimuth_rad = std::atan2(ry, rx);
+  m.elevation_rad = std::atan2(d.z, std::sqrt(rx * rx + ry * ry));
+  return m;
+}
+
+bool SweepModel::visible(const BaseStation& station, const geom::Vec3& tag) const {
+  const double distance = station.position.distance_to(tag);
+  if (distance > config_.max_range_m || distance < 0.05) return false;
+  const SweepMeasurement bearing = true_bearing(station, tag);
+  if (std::abs(bearing.azimuth_rad) > config_.fov_rad / 2.0) return false;
+  if (std::abs(bearing.elevation_rad) > config_.fov_rad / 2.0) return false;
+  // Infrared: any wall blocks the sweep entirely.
+  if (floorplan_ != nullptr && !floorplan_->line_of_sight(station.position, tag)) return false;
+  return true;
+}
+
+std::optional<SweepMeasurement> SweepModel::measure(const BaseStation& station,
+                                                    const geom::Vec3& tag,
+                                                    util::Rng& rng) const {
+  if (!visible(station, tag)) return std::nullopt;
+  if (rng.bernoulli(config_.dropout_probability)) return std::nullopt;
+  SweepMeasurement m = true_bearing(station, tag);
+  m.azimuth_rad += rng.gaussian(0.0, config_.angle_noise_rad);
+  m.elevation_rad += rng.gaussian(0.0, config_.angle_noise_rad);
+  return m;
+}
+
+LighthouseSystem::LighthouseSystem(std::vector<BaseStation> stations,
+                                   const geom::Floorplan* floorplan,
+                                   const LighthouseConfig& config, util::Rng rng)
+    : stations_(std::move(stations)),
+      model_(floorplan, config),
+      config_(config),
+      ekf_(config.ekf),
+      rng_(rng) {
+  REMGEN_EXPECTS(!stations_.empty());
+  REMGEN_EXPECTS(config.sweeps_per_second > 0.0);
+  REMGEN_EXPECTS(config.deck_size_m >= 0.0);
+  // The 4 photodiodes at the corners of the deck (the UAV flies near-level
+  // with yaw 0, so the offsets are world-fixed).
+  const double h = config.deck_size_m / 2.0;
+  diode_offsets_ = {{-h, -h, 0.0}, {h, -h, 0.0}, {h, h, 0.0}, {-h, h, 0.0}};
+  surveyed_stations_ = stations_;
+  for (BaseStation& s : surveyed_stations_) {
+    s.position += {rng_.gaussian(0.0, config.station_survey_sigma_m),
+                   rng_.gaussian(0.0, config.station_survey_sigma_m),
+                   rng_.gaussian(0.0, config.station_survey_sigma_m)};
+  }
+}
+
+void LighthouseSystem::initialize_at(const geom::Vec3& true_position) {
+  ekf_.reset(true_position);
+}
+
+void LighthouseSystem::step(double dt, const geom::Vec3& true_position,
+                            const geom::Vec3& accel_world) {
+  REMGEN_EXPECTS(dt > 0.0);
+  ekf_.predict(dt, accel_world);
+  sweep_debt_ += dt * config_.sweeps_per_second;
+  while (sweep_debt_ >= 1.0) {
+    sweep_debt_ -= 1.0;
+    const std::size_t i = next_station_;
+    next_station_ = (next_station_ + 1) % stations_.size();
+    const geom::Vec3& diode = diode_offsets_[next_diode_];
+    next_diode_ = (next_diode_ + 1) % diode_offsets_.size();
+
+    // The sweep illuminates one photodiode at true_position + diode.
+    const auto sweep = model_.measure(stations_[i], true_position + diode, rng_);
+    if (!sweep) continue;
+    const BaseStation& believed = surveyed_stations_[i];
+    // A bearing to (p + diode) from station b equals a bearing to p from a
+    // virtual station at (b - diode), which keeps the EKF update generic.
+    const geom::Vec3 virtual_origin = believed.position - diode;
+    // Honest measurement noise: the optical sweep noise plus the angular
+    // bias induced by the station survey error at the current range. Without
+    // the survey term the filter becomes overconfident and its innovation
+    // gate starts rejecting the (biased) sweeps of the other station.
+    const double range =
+        std::max(0.3, (ekf_.position() - believed.position).norm());
+    const double survey_rad = config_.station_survey_sigma_m / range;
+    const double sigma = std::sqrt(config_.angle_noise_rad * config_.angle_noise_rad +
+                                   survey_rad * survey_rad);
+    bool fused =
+        ekf_.update_azimuth(virtual_origin, believed.yaw_rad, sweep->azimuth_rad, sigma);
+    fused |= ekf_.update_elevation(virtual_origin, believed.yaw_rad, sweep->elevation_rad,
+                                   sigma);
+    if (fused) ++sweeps_fused_;
+  }
+}
+
+}  // namespace remgen::lighthouse

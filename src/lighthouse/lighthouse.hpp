@@ -1,0 +1,126 @@
+// Lighthouse infrared positioning — the paper's named future work.
+//
+// "Future work will focus on integrating the BitCraze's infrared system
+// called Lighthouse for UAV localization, which features comparable
+// precision, while requiring less anchors and being cheaper. In addition to
+// further self-interference mitigation, this effort is expected to make the
+// system even easier to deploy."
+//
+// Model: SteamVR-style base stations sweep the volume with rotating infrared
+// planes; the tag's photodiodes recover, per visible station, an azimuth and
+// an elevation angle with sub-milliradian noise. The tag fuses these bearing
+// measurements in the same EKF the UWB stack uses. Infrared needs line of
+// sight (any wall blocks it) and — crucially for REM generation — emits no
+// RF, so it cannot interfere with any REM-sampling receiver, in any band.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "geom/floorplan.hpp"
+#include "uwb/ekf.hpp"
+#include "uwb/positioning.hpp"
+#include "util/rng.hpp"
+
+namespace remgen::lighthouse {
+
+/// One wall/tripod-mounted base station. `yaw_rad` is the horizontal facing
+/// direction of its optical axis (x-axis of the station frame).
+struct BaseStation {
+  int id = 0;
+  geom::Vec3 position;
+  double yaw_rad = 0.0;
+};
+
+/// Optical and scheduling parameters of the sweep system.
+struct LighthouseConfig {
+  double angle_noise_rad = 0.0005;   ///< Per-sweep bearing noise (~0.03 deg).
+  double sweeps_per_second = 120.0;  ///< Azimuth+elevation pairs delivered/s
+                                     ///< (both stations combined).
+  double fov_rad = 2.0;              ///< ~115 deg usable field of view.
+  double max_range_m = 6.0;          ///< Optical range of the V2 stations.
+  double dropout_probability = 0.02; ///< Occlusion glitches.
+  double deck_size_m = 0.03;         ///< Side of the square 4-photodiode deck.
+                                     ///< The angular disparity across the
+                                     ///< diodes is what makes range observable
+                                     ///< from a single base station.
+  double station_survey_sigma_m = 0.01;  ///< Stations are surveyed optically,
+                                         ///< much tighter than UWB anchors.
+  uwb::EkfConfig ekf;
+};
+
+/// Places two base stations in opposite upper corners of the volume, facing
+/// its centre — the standard two-station deployment.
+[[nodiscard]] std::vector<BaseStation> standard_two_station_setup(const geom::Aabb& volume);
+
+/// One simulated sweep observation.
+struct SweepMeasurement {
+  int station_id = 0;
+  double azimuth_rad = 0.0;
+  double elevation_rad = 0.0;
+};
+
+/// Generates sweep measurements against ground truth (exposed for tests).
+class SweepModel {
+ public:
+  /// `floorplan` may be null (no occlusion checks) and must otherwise
+  /// outlive the model.
+  SweepModel(const geom::Floorplan* floorplan, const LighthouseConfig& config)
+      : floorplan_(floorplan), config_(config) {}
+
+  /// True bearing angles from `station` to `tag` in the station frame.
+  [[nodiscard]] static SweepMeasurement true_bearing(const BaseStation& station,
+                                                     const geom::Vec3& tag);
+
+  /// True iff the tag is visible: in range, inside the FoV cone, and with
+  /// line of sight.
+  [[nodiscard]] bool visible(const BaseStation& station, const geom::Vec3& tag) const;
+
+  /// One noisy sweep, or nullopt when the tag is not visible or the sweep
+  /// glitched.
+  [[nodiscard]] std::optional<SweepMeasurement> measure(const BaseStation& station,
+                                                        const geom::Vec3& tag,
+                                                        util::Rng& rng) const;
+
+ private:
+  const geom::Floorplan* floorplan_;
+  LighthouseConfig config_;
+};
+
+/// The tag-side Lighthouse stack: sweeps from the visible stations fused by
+/// the shared EKF. Drop-in replacement for the UWB LPS on the Crazyflie.
+class LighthouseSystem final : public uwb::PositioningSystem {
+ public:
+  /// Requires at least one station; `floorplan` may be null.
+  LighthouseSystem(std::vector<BaseStation> stations, const geom::Floorplan* floorplan,
+                   const LighthouseConfig& config, util::Rng rng);
+
+  void initialize_at(const geom::Vec3& true_position) override;
+  void step(double dt, const geom::Vec3& true_position,
+            const geom::Vec3& accel_world) override;
+
+  [[nodiscard]] geom::Vec3 estimated_position() const override { return ekf_.position(); }
+  [[nodiscard]] geom::Vec3 estimated_velocity() const override { return ekf_.velocity(); }
+  [[nodiscard]] double position_sigma() const override { return ekf_.position_sigma(); }
+
+  [[nodiscard]] const std::vector<BaseStation>& stations() const noexcept { return stations_; }
+  [[nodiscard]] const LighthouseConfig& config() const noexcept { return config_; }
+
+  /// Sweeps accepted by the filter since construction (diagnostics).
+  [[nodiscard]] std::size_t sweeps_fused() const noexcept { return sweeps_fused_; }
+
+ private:
+  std::vector<BaseStation> stations_;           ///< True poses (generate sweeps).
+  std::vector<BaseStation> surveyed_stations_;  ///< What the filter is told.
+  SweepModel model_;
+  LighthouseConfig config_;
+  uwb::Ekf ekf_;
+  util::Rng rng_;
+  std::vector<geom::Vec3> diode_offsets_;  ///< Photodiode positions on the deck.
+  double sweep_debt_ = 0.0;
+  std::size_t next_station_ = 0;
+  std::size_t next_diode_ = 0;
+  std::size_t sweeps_fused_ = 0;
+};
+
+}  // namespace remgen::lighthouse

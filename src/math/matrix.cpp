@@ -1,0 +1,192 @@
+#include "math/matrix.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace remgen::math {
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> init) {
+  rows_ = init.size();
+  cols_ = rows_ == 0 ? 0 : init.begin()->size();
+  data_.reserve(rows_ * cols_);
+  for (const auto& row : init) {
+    REMGEN_EXPECTS(row.size() == cols_);
+    data_.insert(data_.end(), row.begin(), row.end());
+  }
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::column(const std::vector<double>& values) {
+  Matrix m(values.size(), 1);
+  for (std::size_t i = 0; i < values.size(); ++i) m(i, 0) = values[i];
+  return m;
+}
+
+Matrix Matrix::diagonal(const std::vector<double>& values) {
+  Matrix m(values.size(), values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) m(i, i) = values[i];
+  return m;
+}
+
+Matrix Matrix::operator+(const Matrix& other) const {
+  REMGEN_EXPECTS(rows_ == other.rows_ && cols_ == other.cols_);
+  Matrix out(rows_, cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] = data_[i] + other.data_[i];
+  return out;
+}
+
+Matrix Matrix::operator-(const Matrix& other) const {
+  REMGEN_EXPECTS(rows_ == other.rows_ && cols_ == other.cols_);
+  Matrix out(rows_, cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] = data_[i] - other.data_[i];
+  return out;
+}
+
+Matrix Matrix::operator*(const Matrix& other) const {
+  REMGEN_EXPECTS(cols_ == other.rows_);
+  Matrix out(rows_, other.cols_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double aik = data_[i * cols_ + k];
+      if (aik == 0.0) continue;
+      for (std::size_t j = 0; j < other.cols_; ++j) {
+        out.data_[i * other.cols_ + j] += aik * other.data_[k * other.cols_ + j];
+      }
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::operator*(double s) const {
+  Matrix out(rows_, cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] = data_[i] * s;
+  return out;
+}
+
+Matrix& Matrix::operator+=(const Matrix& other) {
+  REMGEN_EXPECTS(rows_ == other.rows_ && cols_ == other.cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix out(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) out(c, r) = (*this)(r, c);
+  }
+  return out;
+}
+
+double Matrix::frobenius_norm() const {
+  double acc = 0.0;
+  for (const double v : data_) acc += v * v;
+  return std::sqrt(acc);
+}
+
+double Matrix::max_abs() const {
+  double m = 0.0;
+  for (const double v : data_) m = std::max(m, std::abs(v));
+  return m;
+}
+
+std::vector<double> Matrix::column_vector(std::size_t c) const {
+  REMGEN_EXPECTS(c < cols_);
+  std::vector<double> out(rows_);
+  for (std::size_t r = 0; r < rows_; ++r) out[r] = (*this)(r, c);
+  return out;
+}
+
+Matrix lu_solve(Matrix a, Matrix b) {
+  REMGEN_EXPECTS(a.rows() == a.cols());
+  REMGEN_EXPECTS(a.rows() == b.rows());
+  const std::size_t n = a.rows();
+  const std::size_t m = b.cols();
+
+  // Partial-pivoting Gaussian elimination on the augmented system.
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t pivot = col;
+    double best = std::abs(a(col, col));
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double v = std::abs(a(r, col));
+      if (v > best) {
+        best = v;
+        pivot = r;
+      }
+    }
+    if (best < 1e-12) throw std::runtime_error("lu_solve: singular matrix");
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(a(col, c), a(pivot, c));
+      for (std::size_t c = 0; c < m; ++c) std::swap(b(col, c), b(pivot, c));
+    }
+    const double inv_pivot = 1.0 / a(col, col);
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double factor = a(r, col) * inv_pivot;
+      if (factor == 0.0) continue;
+      for (std::size_t c = col; c < n; ++c) a(r, c) -= factor * a(col, c);
+      for (std::size_t c = 0; c < m; ++c) b(r, c) -= factor * b(col, c);
+    }
+  }
+  // Back substitution.
+  Matrix x(n, m);
+  for (std::size_t ri = n; ri-- > 0;) {
+    for (std::size_t c = 0; c < m; ++c) {
+      double acc = b(ri, c);
+      for (std::size_t k = ri + 1; k < n; ++k) acc -= a(ri, k) * x(k, c);
+      x(ri, c) = acc / a(ri, ri);
+    }
+  }
+  return x;
+}
+
+Matrix inverse(const Matrix& a) { return lu_solve(a, Matrix::identity(a.rows())); }
+
+Matrix cholesky_solve(Matrix a, Matrix b) {
+  REMGEN_EXPECTS(a.rows() == a.cols());
+  REMGEN_EXPECTS(a.rows() == b.rows());
+  const std::size_t n = a.rows();
+  const std::size_t m = b.cols();
+
+  // In-place lower Cholesky factor.
+  for (std::size_t j = 0; j < n; ++j) {
+    double diag = a(j, j);
+    for (std::size_t k = 0; k < j; ++k) diag -= a(j, k) * a(j, k);
+    if (diag <= 0.0) throw std::runtime_error("cholesky_solve: not positive definite");
+    const double ljj = std::sqrt(diag);
+    a(j, j) = ljj;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double v = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) v -= a(i, k) * a(j, k);
+      a(i, j) = v / ljj;
+    }
+  }
+  // Forward solve L y = b, then backward solve L^T x = y.
+  for (std::size_t c = 0; c < m; ++c) {
+    for (std::size_t i = 0; i < n; ++i) {
+      double acc = b(i, c);
+      for (std::size_t k = 0; k < i; ++k) acc -= a(i, k) * b(k, c);
+      b(i, c) = acc / a(i, i);
+    }
+    for (std::size_t ii = n; ii-- > 0;) {
+      double acc = b(ii, c);
+      for (std::size_t k = ii + 1; k < n; ++k) acc -= a(k, ii) * b(k, c);
+      b(ii, c) = acc / a(ii, ii);
+    }
+  }
+  return b;
+}
+
+Matrix least_squares(const Matrix& a, const Matrix& b, double lambda) {
+  REMGEN_EXPECTS(lambda >= 0.0);
+  REMGEN_EXPECTS(a.rows() == b.rows());
+  const Matrix at = a.transposed();
+  Matrix normal = at * a;
+  for (std::size_t i = 0; i < normal.rows(); ++i) normal(i, i) += lambda;
+  return lu_solve(std::move(normal), at * b);
+}
+
+}  // namespace remgen::math

@@ -1,0 +1,105 @@
+// Small dense row-major matrix of doubles.
+//
+// This is not a general-purpose BLAS: it provides exactly the operations the
+// estimation and learning code needs (products, transpose, LU/Cholesky solves,
+// inverses of small systems) with contract-checked dimensions.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <vector>
+
+#include "util/contracts.hpp"
+
+namespace remgen::math {
+
+/// Dense row-major matrix. Value semantics; sizes fixed at construction but
+/// reassignable by copy/move.
+class Matrix {
+ public:
+  /// Empty 0x0 matrix.
+  Matrix() = default;
+
+  /// rows x cols matrix filled with `fill`.
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// Builds from nested initializer lists; all rows must have equal length.
+  Matrix(std::initializer_list<std::initializer_list<double>> init);
+
+  /// Identity matrix of size n.
+  [[nodiscard]] static Matrix identity(std::size_t n);
+
+  /// Column vector from values.
+  [[nodiscard]] static Matrix column(const std::vector<double>& values);
+
+  /// Diagonal matrix from values.
+  [[nodiscard]] static Matrix diagonal(const std::vector<double>& values);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+
+  /// Element access with bounds contracts.
+  [[nodiscard]] double& operator()(std::size_t r, std::size_t c) {
+    REMGEN_EXPECTS(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] double operator()(std::size_t r, std::size_t c) const {
+    REMGEN_EXPECTS(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  /// Raw storage (row-major), e.g. for tests.
+  [[nodiscard]] const std::vector<double>& data() const noexcept { return data_; }
+
+  /// Matrix sum; dimensions must match.
+  [[nodiscard]] Matrix operator+(const Matrix& other) const;
+
+  /// Matrix difference; dimensions must match.
+  [[nodiscard]] Matrix operator-(const Matrix& other) const;
+
+  /// Matrix product; inner dimensions must match.
+  [[nodiscard]] Matrix operator*(const Matrix& other) const;
+
+  /// Scalar product.
+  [[nodiscard]] Matrix operator*(double s) const;
+
+  /// In-place sum.
+  Matrix& operator+=(const Matrix& other);
+
+  /// Transpose.
+  [[nodiscard]] Matrix transposed() const;
+
+  /// Frobenius norm.
+  [[nodiscard]] double frobenius_norm() const;
+
+  /// Maximum absolute element.
+  [[nodiscard]] double max_abs() const;
+
+  /// Extracts a single column as a std::vector.
+  [[nodiscard]] std::vector<double> column_vector(std::size_t c) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Solves A x = b via LU decomposition with partial pivoting.
+/// A must be square and b must have A.rows() rows. Throws std::runtime_error
+/// if A is (numerically) singular.
+[[nodiscard]] Matrix lu_solve(Matrix a, Matrix b);
+
+/// Inverse of a square matrix via LU. Throws std::runtime_error if singular.
+[[nodiscard]] Matrix inverse(const Matrix& a);
+
+/// Solves A x = b for symmetric positive-definite A via Cholesky.
+/// Throws std::runtime_error if A is not positive definite.
+[[nodiscard]] Matrix cholesky_solve(Matrix a, Matrix b);
+
+/// Solves the linear least-squares problem min ||A x - b||_2 via the normal
+/// equations with Tikhonov damping `lambda` (>= 0) on the diagonal.
+[[nodiscard]] Matrix least_squares(const Matrix& a, const Matrix& b, double lambda = 0.0);
+
+}  // namespace remgen::math

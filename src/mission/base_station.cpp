@@ -1,0 +1,171 @@
+#include "mission/base_station.hpp"
+
+#include <sstream>
+
+#include "util/contracts.hpp"
+#include "util/fmt.hpp"
+#include "util/log.hpp"
+
+namespace remgen::mission {
+
+BaseStation::BaseStation(const MissionConfig& config) : config_(config) {
+  REMGEN_EXPECTS(config.tick_s > 0.0);
+  REMGEN_EXPECTS(config.scan_window_s > 0.0);
+}
+
+void BaseStation::drain_telemetry(uav::Crazyflie& uav, data::Dataset& out) {
+  for (const uav::CrtpPacket& packet : uav.link().base_receive(uav.now())) {
+    if (packet.port != "tlm") continue;
+    std::istringstream in(packet.payload);
+    std::string kind;
+    in >> kind;
+    if (kind == "state") {
+      geom::Vec3 p;
+      double battery;
+      std::string mode;
+      if (in >> p.x >> p.y >> p.z >> battery >> mode) last_battery_fraction_ = battery;
+    } else if (kind == "scanmeta") {
+      int wp;
+      geom::Vec3 p;
+      std::size_t n;
+      if (in >> wp >> p.x >> p.y >> p.z >> n) {
+        last_scan_waypoint_ = wp;
+        last_scan_position_ = p;
+      }
+    } else if (kind == "scanres") {
+      int wp;
+      std::string ssid;
+      int rssi;
+      std::string mac_text;
+      int channel;
+      if (in >> wp >> ssid >> rssi >> mac_text >> channel) {
+        const auto mac = radio::MacAddress::parse(mac_text);
+        if (!mac || wp != last_scan_waypoint_) continue;
+        data::Sample sample;
+        sample.position = last_scan_position_;
+        sample.ssid = ssid;
+        sample.rss_dbm = rssi;
+        sample.mac = *mac;
+        sample.channel = channel;
+        sample.timestamp_s = uav.now();
+        sample.uav_id = uav.id();
+        sample.waypoint_index = wp;
+        out.add(std::move(sample));
+        ++samples_this_mission_;
+      }
+    }
+  }
+}
+
+void BaseStation::fly_phase(uav::Crazyflie& uav, const geom::Vec3& setpoint, double duration,
+                            data::Dataset& out) {
+  double next_setpoint = 0.0;
+  for (double t = 0.0; t < duration; t += config_.tick_s) {
+    if (t >= next_setpoint) {
+      uav.link().base_send({"cmd", util::format("goto {:.4f} {:.4f} {:.4f}", setpoint.x,
+                                                setpoint.y, setpoint.z)},
+                           uav.now());
+      next_setpoint = t + config_.setpoint_period_s;
+    }
+    uav.step(config_.tick_s);
+    drain_telemetry(uav, out);
+  }
+}
+
+void BaseStation::wait_phase(uav::Crazyflie& uav, double duration, data::Dataset& out) {
+  for (double t = 0.0; t < duration; t += config_.tick_s) {
+    uav.step(config_.tick_s);
+    drain_telemetry(uav, out);
+  }
+}
+
+UavMissionStats BaseStation::run_mission(uav::Crazyflie& uav,
+                                         const std::vector<geom::Vec3>& waypoints,
+                                         data::Dataset& out) {
+  UavMissionStats stats;
+  stats.uav_id = uav.id();
+  last_battery_fraction_ = 1.0;
+  last_scan_waypoint_ = -1;
+  samples_this_mission_ = 0;
+
+  const double mission_start = uav.now();
+  const std::size_t scans_before = uav.completed_scans();
+
+  // Take off.
+  uav.link().base_send({"cmd", util::format("takeoff {:.2f}", config_.takeoff_height_m)},
+                       uav.now());
+  geom::Vec3 hover = uav.estimated_position();
+  hover.z = config_.takeoff_height_m;
+  fly_phase(uav, hover, config_.takeoff_time_s, out);
+
+  for (std::size_t i = 0; i < waypoints.size(); ++i) {
+    if (last_battery_fraction_ < config_.battery_abort_fraction) {
+      stats.aborted_on_battery = true;
+      util::logf(util::LogLevel::Info, "base-station",
+                 "uav {}: battery at {:.0f}%, aborting after {} waypoints", uav.id(),
+                 last_battery_fraction_ * 100.0, i);
+      break;
+    }
+    const geom::Vec3& wp = waypoints[i];
+    ++stats.waypoints_commanded;
+
+    // (ii) fly to the waypoint. With adaptive timing the leg duration comes
+    // from the actual leg length; the paper's fixed 4 s otherwise.
+    double fly_time = config_.fly_time_s;
+    if (config_.adaptive_leg_timing) {
+      const geom::Vec3 from = i == 0 ? uav.estimated_position() : waypoints[i - 1];
+      fly_time = config_.leg_timing.fly_time_s(from.distance_to(wp));
+    }
+    fly_phase(uav, wp, fly_time, out);
+
+    for (int attempt = 0; attempt <= config_.scan_retries; ++attempt) {
+      // (iii) initiate the on-demand scan.
+      uav.link().base_send({"cmd", util::format("scan {}", i)}, uav.now());
+      fly_phase(uav, wp, config_.scan_command_lead_s, out);
+
+      // (iv) shut down the Crazyradio while the scan runs.
+      if (config_.radio_off_during_scan) {
+        uav.link().set_radio_enabled(false, uav.now());
+        wait_phase(uav, config_.scan_window_s, out);
+        // (v) restart the radio after the scan.
+        uav.link().set_radio_enabled(true, uav.now());
+      } else {
+        fly_phase(uav, wp, config_.scan_window_s, out);
+      }
+
+      // (vi) fetch/parse/store results (they flush from the CRTP TX queue).
+      fly_phase(uav, wp, config_.fetch_time_s, out);
+
+      // The scan command or its results can be lost on air; retry if this
+      // waypoint produced no metadata.
+      if (last_scan_waypoint_ == static_cast<int>(i)) break;
+    }
+  }
+
+  // Land and shut down.
+  double landed_for = 0.0;
+  for (double t = 0.0; t < config_.landing_time_s; t += config_.tick_s) {
+    if (static_cast<int>(t / config_.setpoint_period_s) !=
+        static_cast<int>((t - config_.tick_s) / config_.setpoint_period_s) ||
+        t == 0.0) {
+      uav.link().base_send({"cmd", "land"}, uav.now());
+    }
+    uav.step(config_.tick_s);
+    drain_telemetry(uav, out);
+    if (!uav.flying()) {
+      landed_for += config_.tick_s;
+      if (landed_for > 0.2) break;
+    }
+  }
+  uav.link().base_send({"cmd", "stop"}, uav.now());
+  wait_phase(uav, 0.1, out);
+
+  stats.active_time_s = uav.now() - mission_start;
+  stats.scans_completed = uav.completed_scans() - scans_before;
+  stats.samples_collected = samples_this_mission_;
+  stats.tx_queue_drops = uav.link().tx_queue_drops();
+  stats.battery_remaining_fraction = uav.battery().fraction_remaining();
+  return stats;
+}
+
+}  // namespace remgen::mission

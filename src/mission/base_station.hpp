@@ -1,0 +1,86 @@
+// The base-station client: the C++ counterpart of the paper's custom Python
+// application built on the Crazyflie Python library.
+//
+// For every configured waypoint it (i) keeps feeding position setpoints to
+// fly the UAV there, (ii) initiates an on-demand scan, (iii) shuts down the
+// Crazyradio while the scan is running, (iv) restarts the radio after the
+// scan, (v) fetches, parses and stores the results, and finally lands the
+// UAV. Multiple UAVs are flown sequentially with matching waypoint sets.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "mission/planner.hpp"
+#include "uav/crazyflie.hpp"
+
+namespace remgen::mission {
+
+/// Per-mission timing/behaviour parameters.
+struct MissionConfig {
+  double takeoff_height_m = 1.0;
+  double takeoff_time_s = 3.0;
+  double fly_time_s = 4.0;        ///< The paper's 4 s per leg.
+  bool adaptive_leg_timing = false;  ///< Derive per-leg flight time from the
+                                     ///< leg length (extension) instead of
+                                     ///< the fixed fly_time_s.
+  LegTiming leg_timing;           ///< Used when adaptive_leg_timing is set.
+  double scan_command_lead_s = 0.15;  ///< Gap between scan command and radio-off.
+  double scan_window_s = 3.0;     ///< The paper's 3 s radio-off scan window.
+  double fetch_time_s = 0.8;      ///< Result-collection window after radio-on.
+  double landing_time_s = 4.0;
+  double setpoint_period_s = 0.2; ///< Client setpoint feed rate.
+  bool radio_off_during_scan = true;  ///< The paper's default mitigation.
+  int scan_retries = 1;           ///< Re-issue a scan whose results never arrived.
+  double battery_abort_fraction = 0.10;  ///< Land below this reported charge.
+  double tick_s = 0.01;           ///< Co-simulation step.
+};
+
+/// Outcome of one single-UAV mission.
+struct UavMissionStats {
+  int uav_id = -1;
+  double active_time_s = 0.0;      ///< Takeoff to motors-off.
+  std::size_t waypoints_commanded = 0;
+  std::size_t scans_completed = 0;
+  std::size_t samples_collected = 0;
+  bool aborted_on_battery = false;
+  std::size_t tx_queue_drops = 0;  ///< Scan telemetry lost to queue overflow.
+  double battery_remaining_fraction = 1.0;
+};
+
+/// Drives one UAV at a time through its waypoint list.
+class BaseStation {
+ public:
+  explicit BaseStation(const MissionConfig& config);
+
+  /// Runs a complete mission: take off, visit every waypoint (fly + scan +
+  /// fetch), land. Collected samples are appended to `out`. The UAV object
+  /// is stepped by this call (co-simulation).
+  UavMissionStats run_mission(uav::Crazyflie& uav, const std::vector<geom::Vec3>& waypoints,
+                              data::Dataset& out);
+
+  [[nodiscard]] const MissionConfig& config() const noexcept { return config_; }
+
+ private:
+  /// Steps the UAV for `duration` while re-sending `setpoint` at the client
+  /// rate; drains telemetry into the dataset/state as it arrives.
+  void fly_phase(uav::Crazyflie& uav, const geom::Vec3& setpoint, double duration,
+                 data::Dataset& out);
+
+  /// Steps the UAV for `duration` without sending anything (radio may be off).
+  void wait_phase(uav::Crazyflie& uav, double duration, data::Dataset& out);
+
+  /// Processes pending telemetry packets.
+  void drain_telemetry(uav::Crazyflie& uav, data::Dataset& out);
+
+  MissionConfig config_;
+
+  // Per-mission parse state.
+  geom::Vec3 last_scan_position_;
+  int last_scan_waypoint_ = -1;
+  double last_battery_fraction_ = 1.0;
+  std::size_t samples_this_mission_ = 0;
+};
+
+}  // namespace remgen::mission

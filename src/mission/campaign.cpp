@@ -1,0 +1,75 @@
+#include "mission/campaign.hpp"
+
+#include "mission/planner.hpp"
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+#include "util/fmt.hpp"
+#include "util/log.hpp"
+
+namespace remgen::mission {
+
+CampaignResult run_campaign(const radio::Scenario& scenario, const CampaignConfig& config,
+                            util::Rng& rng) {
+  REMGEN_EXPECTS(config.uav_count > 0);
+  CampaignResult result;
+
+  const std::vector<geom::Vec3> waypoints =
+      generate_waypoint_grid(scenario.scan_volume(), config.grid);
+  std::vector<std::vector<geom::Vec3>> slabs =
+      split_waypoints_by_axis(waypoints, config.split_axis, config.uav_count);
+
+  // UAV 0 (drone A) takes the highest slab along the split axis.
+  std::reverse(slabs.begin(), slabs.end());
+  result.assignments = slabs;
+
+  const std::vector<uwb::Anchor> anchors =
+      config.anchor_count == 8
+          ? uwb::corner_anchors(scenario.scan_volume())
+          : uwb::corner_anchors_subset(scenario.scan_volume(), config.anchor_count);
+
+  BaseStation station(config.mission);
+  for (std::size_t u = 0; u < slabs.size(); ++u) {
+    if (slabs[u].empty()) continue;
+    // Each UAV starts on the floor beneath its first waypoint.
+    geom::Vec3 start = slabs[u].front();
+    start.z = 0.0;
+    if (config.optimize_route) {
+      geom::Vec3 airborne_start = start;
+      airborne_start.z = config.mission.takeoff_height_m;
+      slabs[u] = plan_route(slabs[u], airborne_start);
+      result.assignments[u] = slabs[u];  // keep the report in sync
+    }
+    util::Rng uav_rng = rng.fork(util::format("uav-{}", u));
+    std::unique_ptr<uwb::PositioningSystem> positioning;
+    if (config.positioning == PositioningKind::Lighthouse) {
+      positioning = std::make_unique<lighthouse::LighthouseSystem>(
+          lighthouse::standard_two_station_setup(scenario.scan_volume()),
+          &scenario.floorplan(), config.lighthouse, uav_rng.fork("lighthouse"));
+    } else {
+      positioning = std::make_unique<uwb::LocoPositioningSystem>(
+          anchors, &scenario.floorplan(), config.uav.lps, uav_rng.fork("lps"));
+    }
+    std::unique_ptr<uav::RemReceiverDeck> deck;
+    REMGEN_EXPECTS(!config.receivers.empty());
+    if (config.receivers[u % config.receivers.size()] == ReceiverKind::Ble) {
+      deck = std::make_unique<uav::BleScannerDeck>(scenario.ble_environment(), config.ble_deck,
+                                                   uav_rng.fork("ble-deck"));
+    }
+    uav::Crazyflie uav(static_cast<int>(u), scenario.environment(), std::move(positioning),
+                       config.uav, start, uav_rng, std::move(deck));
+    // Give the deck time to finish its AT handshake before the mission.
+    for (int i = 0; i < 100; ++i) uav.step(config.mission.tick_s);
+
+    UavMissionStats stats = station.run_mission(uav, slabs[u], result.dataset);
+    util::logf(util::LogLevel::Info, "campaign",
+               "uav {}: {} waypoints, {} scans, {} samples, active {:.1f}s", stats.uav_id,
+               stats.waypoints_commanded, stats.scans_completed, stats.samples_collected,
+               stats.active_time_s);
+    result.uav_stats.push_back(stats);
+  }
+  return result;
+}
+
+}  // namespace remgen::mission

@@ -1,0 +1,64 @@
+// Campaign runner: the end-to-end measurement collection the paper's
+// validation performs — a waypoint grid over the scan volume, split across a
+// sequentially operated UAV fleet, producing one location-annotated Dataset.
+#pragma once
+
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "lighthouse/lighthouse.hpp"
+#include "mission/base_station.hpp"
+#include "mission/waypoint.hpp"
+#include "radio/scenario.hpp"
+#include "uav/crazyflie.hpp"
+#include "uwb/anchor.hpp"
+#include "util/rng.hpp"
+
+namespace remgen::mission {
+
+/// Localization technology mounted on the fleet.
+enum class PositioningKind {
+  Uwb,         ///< Loco Positioning System (the paper's demonstration).
+  Lighthouse,  ///< Infrared sweeps (the paper's named future work).
+};
+
+/// REM-sampling receiver technology mounted on a UAV.
+enum class ReceiverKind {
+  Wifi,  ///< ESP-01 over UART/AT (the paper's demonstration).
+  Ble,   ///< BLE observer over I2C (the modular-integration extension).
+};
+
+/// Full campaign configuration.
+struct CampaignConfig {
+  WaypointGridConfig grid;          ///< 6x4x3 = 72 waypoints by default.
+  MissionConfig mission;
+  uav::CrazyflieConfig uav;
+  std::size_t uav_count = 2;
+  PositioningKind positioning = PositioningKind::Uwb;
+  std::size_t anchor_count = 8;     ///< UWB anchors at the volume corners.
+  lighthouse::LighthouseConfig lighthouse;  ///< Used when positioning = Lighthouse
+                                            ///< (two corner stations).
+  std::vector<ReceiverKind> receivers{ReceiverKind::Wifi};  ///< Deck carried by
+                                            ///< UAV u = receivers[u % size].
+  scanner::BleModuleConfig ble_deck;        ///< BLE module timing, when used.
+  int split_axis = 0;               ///< UAV slabs along x, as in the paper.
+  bool optimize_route = false;      ///< Re-order each UAV's waypoints with the
+                                    ///< energy-aware planner (extension)
+                                    ///< instead of the serpentine order.
+};
+
+/// Campaign outcome.
+struct CampaignResult {
+  data::Dataset dataset;
+  std::vector<UavMissionStats> uav_stats;
+  std::vector<std::vector<geom::Vec3>> assignments;  ///< Waypoints per UAV.
+};
+
+/// Runs the campaign against a scenario. UAV ids are assigned so that UAV 0
+/// ("drone A") covers the highest-coordinate slab along the split axis (the
+/// building-core side) and the last UAV covers the lowest slab, matching the
+/// paper's drone A / drone B layout.
+[[nodiscard]] CampaignResult run_campaign(const radio::Scenario& scenario,
+                                          const CampaignConfig& config, util::Rng& rng);
+
+}  // namespace remgen::mission

@@ -1,0 +1,120 @@
+#include "mission/planner.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/contracts.hpp"
+
+namespace remgen::mission {
+
+double route_length(const std::vector<geom::Vec3>& route, const geom::Vec3* start) {
+  double total = 0.0;
+  const geom::Vec3* previous = start;
+  for (const geom::Vec3& w : route) {
+    if (previous != nullptr) total += previous->distance_to(w);
+    previous = &w;
+  }
+  return total;
+}
+
+std::vector<geom::Vec3> nearest_neighbor_route(const std::vector<geom::Vec3>& waypoints,
+                                               const geom::Vec3& start) {
+  std::vector<geom::Vec3> remaining = waypoints;
+  std::vector<geom::Vec3> route;
+  route.reserve(waypoints.size());
+  geom::Vec3 cursor = start;
+  while (!remaining.empty()) {
+    std::size_t best = 0;
+    double best_distance = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < remaining.size(); ++i) {
+      const double d = cursor.distance_to(remaining[i]);
+      if (d < best_distance) {
+        best_distance = d;
+        best = i;
+      }
+    }
+    cursor = remaining[best];
+    route.push_back(remaining[best]);
+    remaining.erase(remaining.begin() + static_cast<std::ptrdiff_t>(best));
+  }
+  return route;
+}
+
+std::vector<geom::Vec3> two_opt(std::vector<geom::Vec3> route, const geom::Vec3& start,
+                                int max_rounds) {
+  REMGEN_EXPECTS(max_rounds > 0);
+  if (route.size() < 3) return route;
+
+  auto point_before = [&](std::size_t i) -> const geom::Vec3& {
+    return i == 0 ? start : route[i - 1];
+  };
+
+  for (int round = 0; round < max_rounds; ++round) {
+    bool improved = false;
+    for (std::size_t i = 0; i + 1 < route.size(); ++i) {
+      for (std::size_t j = i + 1; j < route.size(); ++j) {
+        // Reversing route[i..j] replaces edges (i-1,i) and (j,j+1) with
+        // (i-1,j) and (i,j+1).
+        const geom::Vec3& a = point_before(i);
+        const geom::Vec3& b = route[i];
+        const geom::Vec3& c = route[j];
+        const double removed = a.distance_to(b);
+        const double added = a.distance_to(c);
+        double removed_tail = 0.0;
+        double added_tail = 0.0;
+        if (j + 1 < route.size()) {
+          removed_tail = c.distance_to(route[j + 1]);
+          added_tail = b.distance_to(route[j + 1]);
+        }
+        if (added + added_tail + 1e-12 < removed + removed_tail) {
+          std::reverse(route.begin() + static_cast<std::ptrdiff_t>(i),
+                       route.begin() + static_cast<std::ptrdiff_t>(j + 1));
+          improved = true;
+        }
+      }
+    }
+    if (!improved) break;
+  }
+  return route;
+}
+
+std::vector<geom::Vec3> plan_route(const std::vector<geom::Vec3>& waypoints,
+                                   const geom::Vec3& start) {
+  return two_opt(nearest_neighbor_route(waypoints, start), start);
+}
+
+double LegTiming::fly_time_s(double leg_length_m) const {
+  REMGEN_EXPECTS(leg_length_m >= 0.0);
+  return std::max(min_leg_s, leg_length_m / cruise_speed_mps + settle_time_s);
+}
+
+MissionEstimate estimate_mission(const std::vector<geom::Vec3>& route, const geom::Vec3& start,
+                                 const LegTiming& timing, double scan_time_s,
+                                 const uav::BatteryConfig& battery_config) {
+  MissionEstimate estimate;
+  const uav::Battery battery(battery_config);
+
+  // Take-off and landing flat costs.
+  constexpr double kTakeoffLandingTime = 7.0;
+  double time = kTakeoffLandingTime;
+  double charge =
+      battery.current_ma(true, 0.3, false) * kTakeoffLandingTime / 3600.0;
+
+  const geom::Vec3* previous = &start;
+  for (const geom::Vec3& w : route) {
+    const double leg = previous->distance_to(w);
+    const double fly = timing.fly_time_s(leg);
+    const double speed = leg / fly;
+    time += fly + scan_time_s;
+    charge += battery.current_ma(true, speed, false) * fly / 3600.0;
+    charge += battery.current_ma(true, 0.05, true) * scan_time_s / 3600.0;
+    previous = &w;
+  }
+  estimate.flight_time_s = time;
+  estimate.charge_mah = charge;
+  estimate.feasible =
+      charge <= battery_config.capacity_mah * battery_config.usable_fraction;
+  return estimate;
+}
+
+}  // namespace remgen::mission

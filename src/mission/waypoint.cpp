@@ -1,0 +1,74 @@
+#include "mission/waypoint.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/contracts.hpp"
+
+namespace remgen::mission {
+
+std::vector<geom::Vec3> generate_waypoint_grid(const geom::Aabb& volume,
+                                               const WaypointGridConfig& config) {
+  REMGEN_EXPECTS(config.nx > 0 && config.ny > 0 && config.nz > 0);
+  const geom::Vec3 lo = volume.min + geom::Vec3{config.margin_m, config.margin_m, config.margin_m};
+  const geom::Vec3 hi = volume.max - geom::Vec3{config.margin_m, config.margin_m, config.margin_m};
+  REMGEN_EXPECTS(lo.x < hi.x && lo.y < hi.y && lo.z < hi.z);
+
+  auto coord = [](double a, double b, std::size_t i, std::size_t n) {
+    if (n == 1) return (a + b) * 0.5;
+    return a + (b - a) * static_cast<double>(i) / static_cast<double>(n - 1);
+  };
+
+  std::vector<geom::Vec3> waypoints;
+  waypoints.reserve(config.nx * config.ny * config.nz);
+  for (std::size_t iz = 0; iz < config.nz; ++iz) {
+    for (std::size_t iy = 0; iy < config.ny; ++iy) {
+      // Serpentine: alternate x direction per row, and mirror rows per layer.
+      const bool reverse_x = (iy + iz) % 2 == 1;
+      for (std::size_t k = 0; k < config.nx; ++k) {
+        const std::size_t ix = reverse_x ? config.nx - 1 - k : k;
+        waypoints.push_back({coord(lo.x, hi.x, ix, config.nx), coord(lo.y, hi.y, iy, config.ny),
+                             coord(lo.z, hi.z, iz, config.nz)});
+      }
+    }
+  }
+  return waypoints;
+}
+
+std::vector<std::vector<geom::Vec3>> split_waypoints_by_axis(
+    const std::vector<geom::Vec3>& waypoints, int axis, std::size_t groups) {
+  REMGEN_EXPECTS(axis >= 0 && axis <= 2);
+  REMGEN_EXPECTS(groups > 0);
+  auto value = [axis](const geom::Vec3& p) {
+    switch (axis) {
+      case 0: return p.x;
+      case 1: return p.y;
+      default: return p.z;
+    }
+  };
+
+  // Rank waypoints by axis coordinate, stable against the input order.
+  std::vector<std::size_t> order(waypoints.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return value(waypoints[a]) < value(waypoints[b]);
+  });
+
+  std::vector<std::vector<geom::Vec3>> out(groups);
+  const std::size_t per_group = (waypoints.size() + groups - 1) / groups;
+  // Collect each group's member indices, then restore the original
+  // (serpentine) flight ordering inside the group.
+  for (std::size_t g = 0; g < groups; ++g) {
+    const std::size_t begin = g * per_group;
+    const std::size_t end = std::min(begin + per_group, waypoints.size());
+    if (begin >= end) continue;
+    std::vector<std::size_t> members(order.begin() + static_cast<std::ptrdiff_t>(begin),
+                                     order.begin() + static_cast<std::ptrdiff_t>(end));
+    std::sort(members.begin(), members.end());
+    out[g].reserve(members.size());
+    for (const std::size_t i : members) out[g].push_back(waypoints[i]);
+  }
+  return out;
+}
+
+}  // namespace remgen::mission

@@ -1,0 +1,34 @@
+// Waypoint planning: an evenly spread 3D grid over the scan volume, ordered
+// for short flight legs, split into per-UAV assignments.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "geom/aabb.hpp"
+#include "geom/vec3.hpp"
+
+namespace remgen::mission {
+
+/// Waypoint grid parameters. Defaults give the paper's 72 locations.
+struct WaypointGridConfig {
+  std::size_t nx = 6;
+  std::size_t ny = 4;
+  std::size_t nz = 3;
+  double margin_m = 0.25;  ///< Stand-off from the volume boundary.
+};
+
+/// Generates nx*ny*nz waypoints evenly spread over `volume` (inset by the
+/// margin), ordered serpentine within each z-layer so consecutive waypoints
+/// are adjacent.
+[[nodiscard]] std::vector<geom::Vec3> generate_waypoint_grid(const geom::Aabb& volume,
+                                                             const WaypointGridConfig& config);
+
+/// Splits waypoints into `groups` contiguous blocks along the given axis
+/// (0=x, 1=y, 2=z): each UAV covers a spatial slab, as in the paper where
+/// each of the two UAVs scanned its own half of the room. Group 0 holds the
+/// lowest-coordinate slab. Within each group the original ordering is kept.
+[[nodiscard]] std::vector<std::vector<geom::Vec3>> split_waypoints_by_axis(
+    const std::vector<geom::Vec3>& waypoints, int axis, std::size_t groups);
+
+}  // namespace remgen::mission

@@ -1,0 +1,29 @@
+#include "ml/baseline.hpp"
+
+#include "util/contracts.hpp"
+
+namespace remgen::ml {
+
+void MeanPerMacBaseline::fit(std::span<const data::Sample> train) {
+  REMGEN_EXPECTS(!train.empty());
+  std::unordered_map<radio::MacAddress, std::pair<double, std::size_t>> acc;
+  double total = 0.0;
+  for (const data::Sample& s : train) {
+    auto& [sum, count] = acc[s.mac];
+    sum += s.rss_dbm;
+    ++count;
+    total += s.rss_dbm;
+  }
+  mean_per_mac_.clear();
+  for (const auto& [mac, sum_count] : acc) {
+    mean_per_mac_[mac] = sum_count.first / static_cast<double>(sum_count.second);
+  }
+  global_mean_ = total / static_cast<double>(train.size());
+}
+
+double MeanPerMacBaseline::predict(const data::Sample& query) const {
+  const auto it = mean_per_mac_.find(query.mac);
+  return it == mean_per_mac_.end() ? global_mean_ : it->second;
+}
+
+}  // namespace remgen::ml

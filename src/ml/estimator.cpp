@@ -1,0 +1,13 @@
+#include "ml/estimator.hpp"
+
+namespace remgen::ml {
+
+std::vector<double> predict_all(const Estimator& estimator,
+                                std::span<const data::Sample> queries) {
+  std::vector<double> out;
+  out.reserve(queries.size());
+  for (const data::Sample& q : queries) out.push_back(estimator.predict(q));
+  return out;
+}
+
+}  // namespace remgen::ml

@@ -1,0 +1,37 @@
+// Regression estimator interface for RSS prediction.
+//
+// Estimators consume training Samples directly (position + MAC + channel +
+// RSS); feature encoding is an implementation detail of each estimator, which
+// keeps per-MAC model families natural to express.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "data/sample.hpp"
+
+namespace remgen::ml {
+
+/// A trainable RSS regressor.
+class Estimator {
+ public:
+  virtual ~Estimator() = default;
+
+  /// Trains on the given samples. May be called once per instance.
+  virtual void fit(std::span<const data::Sample> train) = 0;
+
+  /// Predicts the RSS (dBm) for a query sample (its rss_dbm field is ignored).
+  /// Only valid after fit().
+  [[nodiscard]] virtual double predict(const data::Sample& query) const = 0;
+
+  /// Short human-readable model name for reports.
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Predicts every sample in `queries`.
+[[nodiscard]] std::vector<double> predict_all(const Estimator& estimator,
+                                              std::span<const data::Sample> queries);
+
+}  // namespace remgen::ml

@@ -1,0 +1,65 @@
+// Exhaustive hyperparameter grid search with a held-out validation split —
+// the tuning procedure the paper uses for its kNN and NN configurations
+// ("the validation set was taken out of the training set").
+#pragma once
+
+#include <functional>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "ml/estimator.hpp"
+#include "ml/metrics.hpp"
+#include "util/contracts.hpp"
+#include "util/rng.hpp"
+
+namespace remgen::ml {
+
+/// One evaluated grid point.
+template <typename Config>
+struct GridPoint {
+  Config config;
+  double validation_rmse = 0.0;
+};
+
+/// Grid-search outcome: the winning config and every evaluated point.
+template <typename Config>
+struct GridSearchResult {
+  Config best;
+  double best_rmse = std::numeric_limits<double>::infinity();
+  std::vector<GridPoint<Config>> evaluated;
+};
+
+/// Evaluates `candidates` by fitting `make_estimator(config)` on a
+/// train/validation split of `train` (validation carved out of the training
+/// set) and returns the config minimising validation RMSE.
+///
+/// `make_estimator` must return a std::unique_ptr<Estimator>.
+template <typename Config, typename Builder>
+[[nodiscard]] GridSearchResult<Config> grid_search(const std::vector<Config>& candidates,
+                                                   Builder&& make_estimator,
+                                                   const std::vector<data::Sample>& train,
+                                                   double validation_fraction, util::Rng& rng) {
+  REMGEN_EXPECTS(!candidates.empty());
+  REMGEN_EXPECTS(validation_fraction > 0.0 && validation_fraction < 1.0);
+
+  const data::Dataset dataset{std::vector<data::Sample>(train)};
+  const data::DatasetSplit split = dataset.split(1.0 - validation_fraction, rng);
+  REMGEN_EXPECTS(!split.train.empty() && !split.test.empty());
+
+  GridSearchResult<Config> result;
+  for (const Config& config : candidates) {
+    const std::unique_ptr<Estimator> estimator = make_estimator(config);
+    estimator->fit(split.train);
+    const double rmse = evaluate(*estimator, split.test).rmse;
+    result.evaluated.push_back({config, rmse});
+    if (rmse < result.best_rmse) {
+      result.best_rmse = rmse;
+      result.best = config;
+    }
+  }
+  return result;
+}
+
+}  // namespace remgen::ml

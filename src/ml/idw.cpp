@@ -1,0 +1,60 @@
+#include "ml/idw.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.hpp"
+#include "util/fmt.hpp"
+
+namespace remgen::ml {
+
+IdwRegressor::IdwRegressor(const IdwConfig& config) : config_(config) {
+  REMGEN_EXPECTS(config.power > 0.0);
+}
+
+void IdwRegressor::fit(std::span<const data::Sample> train) {
+  REMGEN_EXPECTS(!train.empty());
+  fallback_.fit(train);
+  per_mac_.clear();
+  for (const data::Sample& s : train) {
+    MacData& d = per_mac_[s.mac];
+    d.positions.push_back(s.position);
+    d.values.push_back(s.rss_dbm);
+  }
+}
+
+double IdwRegressor::predict(const data::Sample& query) const {
+  const auto it = per_mac_.find(query.mac);
+  if (it == per_mac_.end()) return fallback_.predict(query);
+  const MacData& d = it->second;
+
+  // Optionally restrict to the nearest max_neighbors samples.
+  std::vector<std::pair<double, std::size_t>> dist(d.positions.size());
+  for (std::size_t i = 0; i < d.positions.size(); ++i) {
+    dist[i] = {d.positions[i].distance_to(query.position), i};
+  }
+  std::size_t use = dist.size();
+  if (config_.max_neighbors > 0 && config_.max_neighbors < use) {
+    use = config_.max_neighbors;
+    std::nth_element(dist.begin(), dist.begin() + static_cast<std::ptrdiff_t>(use - 1),
+                     dist.end());
+  }
+
+  constexpr double kExactEps = 1e-9;
+  double weighted = 0.0;
+  double weight_sum = 0.0;
+  for (std::size_t i = 0; i < use; ++i) {
+    const auto [dd, idx] = dist[i];
+    if (dd < kExactEps) return d.values[idx];
+    const double w = 1.0 / std::pow(dd, config_.power);
+    weighted += w * d.values[idx];
+    weight_sum += w;
+  }
+  return weighted / weight_sum;
+}
+
+std::string IdwRegressor::name() const {
+  return util::format("idw(p={:.1f},max_n={})", config_.power, config_.max_neighbors);
+}
+
+}  // namespace remgen::ml

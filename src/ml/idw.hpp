@@ -1,0 +1,40 @@
+// Inverse-distance-weighting interpolation (extension beyond the paper's
+// estimator set): the classic geostatistical baseline for radio-map
+// interpolation, fitted per MAC address on the (x, y, z) coordinates.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "ml/baseline.hpp"
+#include "ml/estimator.hpp"
+
+namespace remgen::ml {
+
+/// IDW hyperparameters.
+struct IdwConfig {
+  double power = 2.0;          ///< Weight exponent: w = 1 / d^power.
+  std::size_t max_neighbors = 0;  ///< 0 = use every sample of the MAC.
+};
+
+/// Per-MAC inverse distance weighting with mean-per-MAC fallback.
+class IdwRegressor final : public Estimator {
+ public:
+  explicit IdwRegressor(const IdwConfig& config = {});
+
+  void fit(std::span<const data::Sample> train) override;
+  [[nodiscard]] double predict(const data::Sample& query) const override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  struct MacData {
+    std::vector<geom::Vec3> positions;
+    std::vector<double> values;
+  };
+
+  IdwConfig config_;
+  std::unordered_map<radio::MacAddress, MacData> per_mac_;
+  MeanPerMacBaseline fallback_;
+};
+
+}  // namespace remgen::ml

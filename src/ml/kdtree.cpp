@@ -1,0 +1,109 @@
+#include "ml/kdtree.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace remgen::ml {
+
+namespace {
+double axis_value(const geom::Vec3& p, int axis) {
+  switch (axis) {
+    case 0: return p.x;
+    case 1: return p.y;
+    default: return p.z;
+  }
+}
+}  // namespace
+
+KdTree::KdTree(std::span<const geom::Vec3> points)
+    : points_(points.begin(), points.end()) {
+  if (points_.empty()) return;
+  std::vector<std::size_t> indices(points_.size());
+  for (std::size_t i = 0; i < indices.size(); ++i) indices[i] = i;
+  nodes_.reserve(points_.size());
+  root_ = build(indices, 0, indices.size(), 0);
+}
+
+int KdTree::build(std::vector<std::size_t>& indices, std::size_t begin, std::size_t end,
+                  int depth) {
+  if (begin >= end) return -1;
+  const int axis = depth % 3;
+  const std::size_t mid = begin + (end - begin) / 2;
+  std::nth_element(indices.begin() + static_cast<std::ptrdiff_t>(begin),
+                   indices.begin() + static_cast<std::ptrdiff_t>(mid),
+                   indices.begin() + static_cast<std::ptrdiff_t>(end),
+                   [&](std::size_t a, std::size_t b) {
+                     return axis_value(points_[a], axis) < axis_value(points_[b], axis);
+                   });
+  const int node_index = static_cast<int>(nodes_.size());
+  nodes_.push_back({indices[mid], axis, -1, -1});
+  const int left = build(indices, begin, mid, depth + 1);
+  const int right = build(indices, mid + 1, end, depth + 1);
+  nodes_[static_cast<std::size_t>(node_index)].left = left;
+  nodes_[static_cast<std::size_t>(node_index)].right = right;
+  return node_index;
+}
+
+void KdTree::search_knn(int node, const geom::Vec3& query, std::size_t k,
+                        std::vector<KdHit>& heap) const {
+  if (node < 0) return;
+  const Node& n = nodes_[static_cast<std::size_t>(node)];
+  const geom::Vec3& p = points_[n.point];
+  const double d = p.distance_to(query);
+
+  auto worse = [](const KdHit& a, const KdHit& b) { return a.distance < b.distance; };
+  if (heap.size() < k) {
+    heap.push_back({n.point, d});
+    std::push_heap(heap.begin(), heap.end(), worse);
+  } else if (d < heap.front().distance) {
+    std::pop_heap(heap.begin(), heap.end(), worse);
+    heap.back() = {n.point, d};
+    std::push_heap(heap.begin(), heap.end(), worse);
+  }
+
+  const double diff = axis_value(query, n.axis) - axis_value(p, n.axis);
+  const int near = diff <= 0.0 ? n.left : n.right;
+  const int far = diff <= 0.0 ? n.right : n.left;
+  search_knn(near, query, k, heap);
+  if (heap.size() < k || std::abs(diff) < heap.front().distance) {
+    search_knn(far, query, k, heap);
+  }
+}
+
+std::vector<KdHit> KdTree::nearest(const geom::Vec3& query, std::size_t k) const {
+  REMGEN_EXPECTS(k > 0);
+  std::vector<KdHit> heap;
+  heap.reserve(k + 1);
+  search_knn(root_, query, k, heap);
+  std::sort(heap.begin(), heap.end(),
+            [](const KdHit& a, const KdHit& b) { return a.distance < b.distance; });
+  return heap;
+}
+
+void KdTree::search_radius(int node, const geom::Vec3& query, double radius,
+                           std::vector<KdHit>& hits) const {
+  if (node < 0) return;
+  const Node& n = nodes_[static_cast<std::size_t>(node)];
+  const geom::Vec3& p = points_[n.point];
+  const double d = p.distance_to(query);
+  if (d <= radius) hits.push_back({n.point, d});
+
+  const double diff = axis_value(query, n.axis) - axis_value(p, n.axis);
+  const int near = diff <= 0.0 ? n.left : n.right;
+  const int far = diff <= 0.0 ? n.right : n.left;
+  search_radius(near, query, radius, hits);
+  if (std::abs(diff) <= radius) search_radius(far, query, radius, hits);
+}
+
+std::vector<KdHit> KdTree::within(const geom::Vec3& query, double radius) const {
+  REMGEN_EXPECTS(radius >= 0.0);
+  std::vector<KdHit> hits;
+  search_radius(root_, query, radius, hits);
+  std::sort(hits.begin(), hits.end(),
+            [](const KdHit& a, const KdHit& b) { return a.distance < b.distance; });
+  return hits;
+}
+
+}  // namespace remgen::ml

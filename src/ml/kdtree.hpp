@@ -1,0 +1,55 @@
+// KD-tree over 3D points: an ablation/acceleration structure for the
+// coordinates-only per-MAC kNN and for dense REM raster queries (the paper's
+// brute-force scikit-learn kNN is O(n) per query; the tree makes raster
+// generation tractable at fine resolutions).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "geom/vec3.hpp"
+
+namespace remgen::ml {
+
+/// Nearest-neighbour hit.
+struct KdHit {
+  std::size_t index;   ///< Index into the point set given at build time.
+  double distance;     ///< Euclidean distance to the query.
+};
+
+/// Static KD-tree over a fixed point set.
+class KdTree {
+ public:
+  /// Builds the tree (O(n log n)). Point indices refer to `points` order.
+  explicit KdTree(std::span<const geom::Vec3> points);
+
+  /// The k nearest points to `query`, ordered by ascending distance.
+  /// Returns fewer than k hits if the point set is smaller.
+  [[nodiscard]] std::vector<KdHit> nearest(const geom::Vec3& query, std::size_t k) const;
+
+  /// All points within `radius` of `query`, ordered by ascending distance.
+  [[nodiscard]] std::vector<KdHit> within(const geom::Vec3& query, double radius) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return points_.size(); }
+
+ private:
+  struct Node {
+    std::size_t point = 0;     ///< Index into points_.
+    int axis = 0;
+    int left = -1;
+    int right = -1;
+  };
+
+  int build(std::vector<std::size_t>& indices, std::size_t begin, std::size_t end, int depth);
+  void search_knn(int node, const geom::Vec3& query, std::size_t k,
+                  std::vector<KdHit>& heap) const;
+  void search_radius(int node, const geom::Vec3& query, double radius,
+                     std::vector<KdHit>& hits) const;
+
+  std::vector<geom::Vec3> points_;
+  std::vector<Node> nodes_;
+  int root_ = -1;
+};
+
+}  // namespace remgen::ml

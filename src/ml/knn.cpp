@@ -1,0 +1,83 @@
+#include "ml/knn.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.hpp"
+#include "util/fmt.hpp"
+
+namespace remgen::ml {
+
+double minkowski_distance(std::span<const double> a, std::span<const double> b, double p) {
+  REMGEN_EXPECTS(a.size() == b.size());
+  REMGEN_EXPECTS(p >= 1.0);
+  if (p == 2.0) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      const double d = a[i] - b[i];
+      acc += d * d;
+    }
+    return std::sqrt(acc);
+  }
+  if (p == 1.0) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) acc += std::abs(a[i] - b[i]);
+    return acc;
+  }
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += std::pow(std::abs(a[i] - b[i]), p);
+  return std::pow(acc, 1.0 / p);
+}
+
+KnnRegressor::KnnRegressor(const KnnConfig& config)
+    : config_(config), encoder_() {
+  REMGEN_EXPECTS(config.n_neighbors > 0);
+}
+
+void KnnRegressor::fit(std::span<const data::Sample> train) {
+  REMGEN_EXPECTS(!train.empty());
+  encoder_ = data::FeatureEncoder::fit(train, config_.features);
+  features_ = encoder_.encode_all(train);
+  targets_ = data::rss_targets(train);
+  fitted_ = true;
+}
+
+double KnnRegressor::predict(const data::Sample& query) const {
+  REMGEN_EXPECTS(fitted_);
+  const std::vector<double> q = encoder_.encode(query);
+  const std::size_t k = std::min(config_.n_neighbors, features_.size());
+
+  // Partial selection of the k smallest distances.
+  std::vector<std::pair<double, std::size_t>> dist(features_.size());
+  for (std::size_t i = 0; i < features_.size(); ++i) {
+    dist[i] = {minkowski_distance(q, features_[i], config_.minkowski_p), i};
+  }
+  std::nth_element(dist.begin(), dist.begin() + static_cast<std::ptrdiff_t>(k - 1), dist.end());
+
+  if (config_.weights == KnnWeights::Uniform) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < k; ++i) acc += targets_[dist[i].second];
+    return acc / static_cast<double>(k);
+  }
+
+  // Distance weighting (scikit-learn semantics): an exact match dominates.
+  constexpr double kExactEps = 1e-12;
+  double weighted = 0.0;
+  double weight_sum = 0.0;
+  for (std::size_t i = 0; i < k; ++i) {
+    const double d = dist[i].first;
+    if (d < kExactEps) return targets_[dist[i].second];
+    const double w = 1.0 / d;
+    weighted += w * targets_[dist[i].second];
+    weight_sum += w;
+  }
+  return weighted / weight_sum;
+}
+
+std::string KnnRegressor::name() const {
+  return util::format("knn(k={},weights={},p={:.0f},mac_scale={:.1f})", config_.n_neighbors,
+                      config_.weights == KnnWeights::Distance ? "distance" : "uniform",
+                      config_.minkowski_p, config_.features.mac_onehot_scale);
+}
+
+}  // namespace remgen::ml

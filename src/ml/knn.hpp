@@ -1,0 +1,48 @@
+// k-nearest-neighbours regression, mirroring the scikit-learn configuration
+// surface the paper tunes: metric=minkowski with exponent p, weights in
+// {uniform, distance}, n_neighbors, and the feature-space tricks (one-hot
+// encoded MAC block, optionally scaled).
+#pragma once
+
+#include <vector>
+
+#include "data/encoding.hpp"
+#include "ml/estimator.hpp"
+
+namespace remgen::ml {
+
+/// Neighbour weighting scheme.
+enum class KnnWeights { Uniform, Distance };
+
+/// kNN hyperparameters.
+struct KnnConfig {
+  std::size_t n_neighbors = 3;
+  KnnWeights weights = KnnWeights::Distance;
+  double minkowski_p = 2.0;  ///< p=2 is Euclidean (the paper's grid-search pick).
+  data::FeatureConfig features{};  ///< Position + one-hot MAC by default.
+};
+
+/// Brute-force kNN regressor over the encoded feature space.
+class KnnRegressor final : public Estimator {
+ public:
+  explicit KnnRegressor(const KnnConfig& config = {});
+
+  void fit(std::span<const data::Sample> train) override;
+  [[nodiscard]] double predict(const data::Sample& query) const override;
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] const KnnConfig& config() const noexcept { return config_; }
+
+ private:
+  KnnConfig config_;
+  data::FeatureEncoder encoder_;
+  std::vector<std::vector<double>> features_;
+  std::vector<double> targets_;
+  bool fitted_ = false;
+};
+
+/// Minkowski distance of order p between equal-length vectors.
+[[nodiscard]] double minkowski_distance(std::span<const double> a, std::span<const double> b,
+                                        double p);
+
+}  // namespace remgen::ml

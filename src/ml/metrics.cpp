@@ -1,0 +1,33 @@
+#include "ml/metrics.hpp"
+
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace remgen::ml {
+
+RegressionMetrics evaluate(const Estimator& estimator, std::span<const data::Sample> test) {
+  REMGEN_EXPECTS(!test.empty());
+  double se = 0.0;
+  double ae = 0.0;
+  double mean_y = 0.0;
+  for (const data::Sample& s : test) mean_y += s.rss_dbm;
+  mean_y /= static_cast<double>(test.size());
+
+  double ss_tot = 0.0;
+  for (const data::Sample& s : test) {
+    const double pred = estimator.predict(s);
+    const double err = pred - s.rss_dbm;
+    se += err * err;
+    ae += std::abs(err);
+    ss_tot += (s.rss_dbm - mean_y) * (s.rss_dbm - mean_y);
+  }
+  RegressionMetrics m;
+  const double n = static_cast<double>(test.size());
+  m.rmse = std::sqrt(se / n);
+  m.mae = ae / n;
+  m.r2 = ss_tot > 1e-12 ? 1.0 - se / ss_tot : 0.0;
+  return m;
+}
+
+}  // namespace remgen::ml

@@ -1,0 +1,22 @@
+// Regression evaluation metrics.
+#pragma once
+
+#include <span>
+
+#include "data/sample.hpp"
+#include "ml/estimator.hpp"
+
+namespace remgen::ml {
+
+/// Standard regression metrics on a held-out set.
+struct RegressionMetrics {
+  double rmse = 0.0;
+  double mae = 0.0;
+  double r2 = 0.0;  ///< Coefficient of determination vs the test-set mean.
+};
+
+/// Evaluates a fitted estimator on `test` (must be non-empty).
+[[nodiscard]] RegressionMetrics evaluate(const Estimator& estimator,
+                                         std::span<const data::Sample> test);
+
+}  // namespace remgen::ml

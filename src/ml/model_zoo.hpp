@@ -1,0 +1,35 @@
+// Factory for the paper's estimator suite (Figure 8) plus the extension
+// interpolators, so benches/examples can enumerate models uniformly.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ml/estimator.hpp"
+
+namespace remgen::ml {
+
+/// The models compared in the paper's Figure 8, plus extensions.
+enum class ModelKind {
+  BaselineMeanPerMac,  ///< Mean per MAC (paper RMSE 4.8107 dBm).
+  KnnK3Distance,       ///< kNN, k=3, distance weights, plain one-hot.
+  KnnScaled16,         ///< kNN, one-hot x3, k=16 (paper's best, 4.4186 dBm).
+  PerMacKnn,           ///< One kNN per MAC on coordinates only.
+  NeuralNet16,         ///< 16-node sigmoid hidden layer, Adam (4.4870 dBm).
+  Idw,                 ///< Extension: inverse distance weighting.
+  Kriging,             ///< Extension: ordinary kriging.
+};
+
+/// All kinds, in the order the paper (then extensions) lists them.
+[[nodiscard]] std::vector<ModelKind> all_model_kinds(bool include_extensions = true);
+
+/// Constructs a fresh, unfitted estimator of the given kind with the paper's
+/// tuned hyperparameters.
+[[nodiscard]] std::unique_ptr<Estimator> make_model(ModelKind kind);
+
+/// Stable identifier for reports.
+[[nodiscard]] const char* model_kind_name(ModelKind kind);
+
+}  // namespace remgen::ml

@@ -1,0 +1,42 @@
+#include "ml/per_mac_knn.hpp"
+
+#include "util/contracts.hpp"
+#include "util/fmt.hpp"
+
+namespace remgen::ml {
+
+PerMacKnn::PerMacKnn(const KnnConfig& config) : config_(config) {
+  // Samples with the same MAC only: the one-hot block is constant within a
+  // group, so the feature set reduces to the coordinates.
+  config_.features.include_position = true;
+  config_.features.include_mac_onehot = false;
+  config_.features.include_channel_onehot = false;
+}
+
+void PerMacKnn::fit(std::span<const data::Sample> train) {
+  REMGEN_EXPECTS(!train.empty());
+  fallback_.fit(train);
+
+  std::unordered_map<radio::MacAddress, std::vector<data::Sample>> groups;
+  for (const data::Sample& s : train) groups[s.mac].push_back(s);
+
+  models_.clear();
+  for (auto& [mac, samples] : groups) {
+    auto model = std::make_unique<KnnRegressor>(config_);
+    model->fit(samples);
+    models_[mac] = std::move(model);
+  }
+}
+
+double PerMacKnn::predict(const data::Sample& query) const {
+  const auto it = models_.find(query.mac);
+  if (it == models_.end()) return fallback_.predict(query);
+  return it->second->predict(query);
+}
+
+std::string PerMacKnn::name() const {
+  return util::format("per-mac-knn(k={},weights={})", config_.n_neighbors,
+                      config_.weights == KnnWeights::Distance ? "distance" : "uniform");
+}
+
+}  // namespace remgen::ml

@@ -1,0 +1,24 @@
+// Wi-Fi access point description used by the propagation environment.
+#pragma once
+
+#include <string>
+
+#include "geom/vec3.hpp"
+#include "radio/mac_address.hpp"
+
+namespace remgen::radio {
+
+/// One 802.11 BSS transmitter. A physical router advertising several SSIDs
+/// appears as several AccessPoints sharing a position (multi-BSSID), and one
+/// SSID may appear behind several MACs (mesh/extender deployments) — both
+/// occur in the paper's dataset (73 MACs vs 49 SSIDs).
+struct AccessPoint {
+  MacAddress mac;
+  std::string ssid;
+  int channel = 1;              ///< 2.4 GHz channel 1-13.
+  double tx_power_dbm = 17.0;   ///< EIRP including antenna gain.
+  geom::Vec3 position;          ///< Transmit antenna location (m).
+  double beacon_interval_s = 0.1024;  ///< Standard 102.4 ms TBTT.
+};
+
+}  // namespace remgen::radio

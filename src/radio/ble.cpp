@@ -1,0 +1,127 @@
+#include "radio/ble.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.hpp"
+#include "util/fmt.hpp"
+
+namespace remgen::radio {
+
+double ble_adv_channel_center_mhz(int channel) {
+  switch (channel) {
+    case 37: return 2402.0;
+    case 38: return 2426.0;
+    case 39: return 2480.0;
+  }
+  REMGEN_EXPECTS(false && "not a BLE advertising channel");
+  return 0.0;
+}
+
+BleEnvironment::BleEnvironment(const geom::Floorplan& floorplan, std::vector<BleDevice> devices,
+                               const geom::Aabb& shadowing_bounds,
+                               const BleEnvironmentConfig& config, util::Rng& rng)
+    : floorplan_(&floorplan),
+      devices_(std::move(devices)),
+      config_(config),
+      pathloss_(floorplan, config.pathloss_exponent, config.reference_loss_db) {
+  shadowing_.reserve(devices_.size());
+  for (const BleDevice& d : devices_) {
+    REMGEN_EXPECTS(d.adv_interval_s > 0.0);
+    util::Rng child = rng.fork("ble-shadowing-" + d.address.to_string());
+    shadowing_.emplace_back(shadowing_bounds, config.shadowing_sigma_db,
+                            config.shadowing_decorrelation_m, child);
+  }
+}
+
+double BleEnvironment::mean_rss_dbm(std::size_t device_index, const geom::Vec3& p) const {
+  REMGEN_EXPECTS(device_index < devices_.size());
+  const BleDevice& d = devices_[device_index];
+  const double distance = d.position.distance_to(p);
+  const double clutter = config_.clutter_db_per_m * std::max(0.0, distance - 1.0);
+  return d.tx_power_dbm - pathloss_.loss_db(d.position, p) - clutter +
+         shadowing_[device_index].at(p);
+}
+
+double BleEnvironment::adv_decode_probability(double rss_dbm) const {
+  const double snr = rss_dbm - config_.noise_floor_dbm;
+  const double x = (snr - config_.snr50_db) / config_.snr_slope_db;
+  return 1.0 / (1.0 + std::exp(-x));
+}
+
+std::vector<BleDetection> BleEnvironment::scan(const geom::Vec3& position,
+                                               double scan_duration_s,
+                                               const CrazyradioInterference* interference,
+                                               util::Rng& rng) const {
+  REMGEN_EXPECTS(scan_duration_s > 0.0);
+  const double dwell_s = scan_duration_s / static_cast<double>(kBleAdvChannels.size());
+
+  std::vector<BleDetection> detections;
+  for (std::size_t i = 0; i < devices_.size(); ++i) {
+    const BleDevice& device = devices_[i];
+    const double mean = mean_rss_dbm(i, position);
+    if (adv_decode_probability(mean + 5.0 * config_.fading_sigma_db) < 1e-4) continue;
+
+    // Each advertising event hits all three channels; the observer catches
+    // events that land inside one of its per-channel dwells.
+    double best_rss = -1e9;
+    int detected_channel = 0;
+    for (const int channel : kBleAdvChannels) {
+      const double loss_prob =
+          interference != nullptr
+              ? interference->beacon_loss_probability_mhz(ble_adv_channel_center_mhz(channel),
+                                                          kBleChannelBandwidthMhz)
+              : 0.0;
+      const std::uint32_t events = rng.poisson(dwell_s / device.adv_interval_s);
+      for (std::uint32_t e = 0; e < events; ++e) {
+        const double rss = mean + rng.gaussian(0.0, config_.fading_sigma_db);
+        if (!rng.bernoulli(adv_decode_probability(rss))) continue;
+        if (loss_prob > 0.0 && rng.bernoulli(loss_prob)) continue;
+        if (detected_channel == 0) detected_channel = channel;
+        best_rss = std::max(best_rss, rss);
+      }
+    }
+    if (detected_channel != 0) {
+      detections.push_back({i, std::round(best_rss * 4.0) / 4.0, detected_channel});
+    }
+  }
+  return detections;
+}
+
+std::vector<BleDevice> make_ble_population(const geom::Aabb& building_bounds,
+                                           const BlePopulationConfig& config, util::Rng& rng) {
+  REMGEN_EXPECTS(config.device_count > 0);
+  static constexpr const char* kKinds[] = {"tile", "band", "tv", "buds", "scale", "tag", "hub"};
+
+  std::vector<BleDevice> devices;
+  devices.reserve(config.device_count);
+  for (std::size_t i = 0; i < config.device_count; ++i) {
+    BleDevice d;
+    d.address = MacAddress::random(rng);
+    d.name = util::format("{}-{:02d}", kKinds[rng.index(std::size(kKinds))], i);
+    d.tx_power_dbm = rng.gaussian(config.tx_power_mean_dbm, config.tx_power_sigma_db);
+    d.adv_interval_s = rng.uniform(0.1, 1.0);
+    if (i < 4) {
+      // Own-apartment devices.
+      d.position = {rng.uniform(0.3, 3.5), rng.uniform(0.3, 3.0), rng.uniform(0.2, 1.8)};
+    } else {
+      // Neighbours, skewed toward the building core like the Wi-Fi APs.
+      const double u = rng.uniform01();
+      if (u < 0.5) {
+        d.position = {rng.uniform(6.0, building_bounds.max.x - 0.5), rng.uniform(-8.0, 5.0),
+                      0.0};
+      } else if (u < 0.8) {
+        d.position = {rng.uniform(-2.0, 3.0), rng.uniform(building_bounds.min.y + 0.5, -2.0),
+                      0.0};
+      } else {
+        d.position = {rng.uniform(-2.0, 6.0), rng.uniform(-4.0, 6.0), 0.0};
+      }
+      const double floor_z = rng.bernoulli(0.5) ? 0.0 : (rng.bernoulli(0.5) ? 2.6 : -2.6);
+      d.position.z = floor_z + rng.uniform(0.2, 1.8);
+    }
+    devices.push_back(std::move(d));
+  }
+  return devices;
+}
+
+}  // namespace remgen::radio

@@ -1,0 +1,114 @@
+// Bluetooth Low Energy advertisement environment.
+//
+// The paper's modular design requirement: "a simple integration of different
+// REM-sampling device (e.g., Wi-Fi, LoRa, BLE, mmWave) with the UAV,
+// extending the REM capabilities beyond the traditional Wi-Fi." This is the
+// BLE instantiation of the RF ground truth: advertisers (beacons, wearables,
+// TVs, peripherals) broadcast on the three 2.4 GHz advertising channels
+// (37/38/39); an observer dwelling on those channels captures ADV packets
+// whose RSSI it reports. Propagation reuses the same multi-wall + shadowing
+// + fading machinery as the Wi-Fi environment.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "geom/aabb.hpp"
+#include "geom/floorplan.hpp"
+#include "radio/interference.hpp"
+#include "radio/mac_address.hpp"
+#include "radio/pathloss.hpp"
+#include "radio/shadowing.hpp"
+#include "util/rng.hpp"
+
+namespace remgen::radio {
+
+/// The three BLE advertising channels.
+inline constexpr std::array<int, 3> kBleAdvChannels{37, 38, 39};
+
+/// Occupied bandwidth of a BLE channel in MHz.
+inline constexpr double kBleChannelBandwidthMhz = 2.0;
+
+/// Centre frequency of a BLE advertising channel (37, 38 or 39).
+[[nodiscard]] double ble_adv_channel_center_mhz(int channel);
+
+/// One BLE advertiser.
+struct BleDevice {
+  MacAddress address;          ///< Random static address.
+  std::string name;            ///< Shortened local name from the ADV payload.
+  double tx_power_dbm = 0.0;   ///< Typical beacon/peripheral power.
+  geom::Vec3 position;
+  double adv_interval_s = 0.2; ///< Advertising interval (20 ms - 10 s legal).
+};
+
+/// Stochastic-process tunables (BLE's 1 Mb/s GFSK is a little more sensitive
+/// than Wi-Fi DSSS beacons).
+struct BleEnvironmentConfig {
+  double pathloss_exponent = 2.0;
+  double reference_loss_db = 40.2;
+  double clutter_db_per_m = 1.4;
+  double shadowing_sigma_db = 2.0;
+  double shadowing_decorrelation_m = 1.3;
+  double fading_sigma_db = 3.8;
+  double noise_floor_dbm = -98.0;
+  double snr50_db = 3.0;
+  double snr_slope_db = 1.5;
+};
+
+/// One advertiser detected during a scan window.
+struct BleDetection {
+  std::size_t device_index;  ///< Index into BleEnvironment::devices().
+  double rss_dbm;
+  int channel;               ///< Advertising channel the packet decoded on.
+};
+
+/// Immutable-after-construction BLE ground truth.
+class BleEnvironment {
+ public:
+  /// `floorplan` must outlive the environment.
+  BleEnvironment(const geom::Floorplan& floorplan, std::vector<BleDevice> devices,
+                 const geom::Aabb& shadowing_bounds, const BleEnvironmentConfig& config,
+                 util::Rng& rng);
+
+  [[nodiscard]] const std::vector<BleDevice>& devices() const noexcept { return devices_; }
+  [[nodiscard]] const BleEnvironmentConfig& config() const noexcept { return config_; }
+
+  /// Deterministic mean RSS of device i at point p.
+  [[nodiscard]] double mean_rss_dbm(std::size_t device_index, const geom::Vec3& p) const;
+
+  /// Probability that one ADV packet received at `rss_dbm` decodes.
+  [[nodiscard]] double adv_decode_probability(double rss_dbm) const;
+
+  /// One passive scan: the observer dwells `scan_duration_s / 3` on each
+  /// advertising channel; a device is reported if at least one of its ADV
+  /// packets decodes. Each advertising event transmits on all three channels,
+  /// so a device's detection channel is whichever dwell caught it first.
+  [[nodiscard]] std::vector<BleDetection> scan(const geom::Vec3& position,
+                                               double scan_duration_s,
+                                               const CrazyradioInterference* interference,
+                                               util::Rng& rng) const;
+
+ private:
+  const geom::Floorplan* floorplan_;
+  std::vector<BleDevice> devices_;
+  BleEnvironmentConfig config_;
+  MultiWallModel pathloss_;
+  std::vector<ShadowingField> shadowing_;
+};
+
+/// Parameters of the synthetic BLE population.
+struct BlePopulationConfig {
+  std::size_t device_count = 28;  ///< Beacons, wearables, TVs, peripherals.
+  double tx_power_mean_dbm = -1.0;
+  double tx_power_sigma_db = 4.0;
+};
+
+/// Generates a BLE population over the building: a few devices in the own
+/// apartment (trackers, a TV) plus neighbours' devices skewed toward the
+/// building core, mirroring the Wi-Fi population's geometry.
+[[nodiscard]] std::vector<BleDevice> make_ble_population(const geom::Aabb& building_bounds,
+                                                         const BlePopulationConfig& config,
+                                                         util::Rng& rng);
+
+}  // namespace remgen::radio

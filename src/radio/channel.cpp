@@ -1,0 +1,35 @@
+#include "radio/channel.hpp"
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+
+namespace remgen::radio {
+
+double wifi_channel_center_mhz(int channel) {
+  REMGEN_EXPECTS(is_valid_wifi_channel(channel));
+  return 2412.0 + 5.0 * static_cast<double>(channel - 1);
+}
+
+bool is_valid_wifi_channel(int channel) { return channel >= 1 && channel <= kNumWifiChannels; }
+
+double carrier_overlap_fraction(double carrier_mhz, double carrier_bw_mhz, int channel) {
+  return carrier_overlap_fraction_mhz(carrier_mhz, carrier_bw_mhz,
+                                      wifi_channel_center_mhz(channel),
+                                      kWifiChannelBandwidthMhz);
+}
+
+double carrier_overlap_fraction_mhz(double carrier_mhz, double carrier_bw_mhz,
+                                    double victim_mhz, double victim_bw_mhz) {
+  REMGEN_EXPECTS(carrier_bw_mhz > 0.0);
+  REMGEN_EXPECTS(victim_bw_mhz > 0.0);
+  const double ch_lo = victim_mhz - victim_bw_mhz / 2.0;
+  const double ch_hi = victim_mhz + victim_bw_mhz / 2.0;
+  const double ca_lo = carrier_mhz - carrier_bw_mhz / 2.0;
+  const double ca_hi = carrier_mhz + carrier_bw_mhz / 2.0;
+  const double overlap = std::min(ch_hi, ca_hi) - std::max(ch_lo, ca_lo);
+  if (overlap <= 0.0) return 0.0;
+  return overlap / carrier_bw_mhz;
+}
+
+}  // namespace remgen::radio

@@ -1,0 +1,34 @@
+// IEEE 802.11 b/g/n 2.4 GHz channel map and spectral-overlap helpers.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace remgen::radio {
+
+/// Number of 2.4 GHz Wi-Fi channels modelled (EU band: channels 1-13).
+inline constexpr int kNumWifiChannels = 13;
+
+/// Occupied bandwidth of an 802.11b/g channel in MHz (DSSS mask).
+inline constexpr double kWifiChannelBandwidthMhz = 22.0;
+
+/// Centre frequency in MHz of Wi-Fi channel `channel` (1-13).
+[[nodiscard]] double wifi_channel_center_mhz(int channel);
+
+/// True iff `channel` is a valid 2.4 GHz channel number.
+[[nodiscard]] bool is_valid_wifi_channel(int channel);
+
+/// Fraction (0..1) of a narrowband carrier of width `carrier_bw_mhz` centred
+/// at `carrier_mhz` that falls inside the occupied band of Wi-Fi `channel`.
+[[nodiscard]] double carrier_overlap_fraction(double carrier_mhz, double carrier_bw_mhz,
+                                              int channel);
+
+/// Same, against an arbitrary victim band centred at `victim_mhz` with width
+/// `victim_bw_mhz` (e.g. a 2 MHz BLE advertising channel).
+[[nodiscard]] double carrier_overlap_fraction_mhz(double carrier_mhz, double carrier_bw_mhz,
+                                                  double victim_mhz, double victim_bw_mhz);
+
+/// The set of non-overlapping channels commonly used by deployments (1/6/11).
+inline constexpr std::array<int, 3> kPrimaryChannels{1, 6, 11};
+
+}  // namespace remgen::radio

@@ -1,0 +1,87 @@
+#include "radio/environment.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace remgen::radio {
+
+RadioEnvironment::RadioEnvironment(const geom::Floorplan& floorplan,
+                                   std::vector<AccessPoint> access_points,
+                                   const geom::Aabb& shadowing_bounds,
+                                   const EnvironmentConfig& config, util::Rng& rng)
+    : floorplan_(&floorplan),
+      aps_(std::move(access_points)),
+      config_(config),
+      pathloss_(floorplan, config.pathloss_exponent, config.reference_loss_db),
+      aps_by_channel_(kNumWifiChannels) {
+  shadowing_.reserve(aps_.size());
+  for (std::size_t i = 0; i < aps_.size(); ++i) {
+    REMGEN_EXPECTS(is_valid_wifi_channel(aps_[i].channel));
+    REMGEN_EXPECTS(aps_[i].beacon_interval_s > 0.0);
+    util::Rng child = rng.fork("shadowing-" + aps_[i].mac.to_string());
+    shadowing_.emplace_back(shadowing_bounds, config.shadowing_sigma_db,
+                            config.shadowing_decorrelation_m, child);
+    aps_by_channel_[static_cast<std::size_t>(aps_[i].channel - 1)].push_back(i);
+  }
+}
+
+double RadioEnvironment::mean_rss_dbm(std::size_t ap_index, const geom::Vec3& p) const {
+  REMGEN_EXPECTS(ap_index < aps_.size());
+  const AccessPoint& ap = aps_[ap_index];
+  const double distance = ap.position.distance_to(p);
+  const double clutter = config_.clutter_db_per_m * std::max(0.0, distance - 1.0);
+  return ap.tx_power_dbm - pathloss_.loss_db(ap.position, p) - clutter +
+         shadowing_[ap_index].at(p);
+}
+
+double RadioEnvironment::sample_rss_dbm(std::size_t ap_index, const geom::Vec3& p,
+                                        util::Rng& rng) const {
+  return mean_rss_dbm(ap_index, p) + rng.gaussian(0.0, config_.fading_sigma_db);
+}
+
+double RadioEnvironment::beacon_decode_probability(double rss_dbm) const {
+  const double snr = rss_dbm - config_.noise_floor_dbm;
+  const double x = (snr - config_.snr50_db) / config_.snr_slope_db;
+  return 1.0 / (1.0 + std::exp(-x));
+}
+
+std::vector<Detection> RadioEnvironment::scan(const geom::Vec3& position, double scan_duration_s,
+                                              const CrazyradioInterference* interference,
+                                              util::Rng& rng) const {
+  REMGEN_EXPECTS(scan_duration_s > 0.0);
+  const double dwell_s = scan_duration_s / static_cast<double>(kNumWifiChannels);
+
+  std::vector<Detection> detections;
+  for (int channel = 1; channel <= kNumWifiChannels; ++channel) {
+    const double loss_prob =
+        interference != nullptr ? interference->beacon_loss_probability(channel) : 0.0;
+    for (const std::size_t ap_index : aps_by_channel_[static_cast<std::size_t>(channel - 1)]) {
+      const AccessPoint& ap = aps_[ap_index];
+      const double mean = mean_rss_dbm(ap_index, position);
+      // Quick reject: if even a +5-sigma fade cannot decode, skip the AP.
+      if (beacon_decode_probability(mean + 5.0 * config_.fading_sigma_db) < 1e-4) continue;
+
+      const double expected_beacons = dwell_s / ap.beacon_interval_s;
+      const std::uint32_t beacons = rng.poisson(expected_beacons);
+      double best_rss = -1e9;
+      bool detected = false;
+      for (std::uint32_t b = 0; b < beacons; ++b) {
+        const double rss = mean + rng.gaussian(0.0, config_.fading_sigma_db);
+        if (!rng.bernoulli(beacon_decode_probability(rss))) continue;
+        if (loss_prob > 0.0 && rng.bernoulli(loss_prob)) continue;
+        detected = true;
+        best_rss = std::max(best_rss, rss);
+      }
+      if (detected) {
+        // Quantise to 0.25 dB; driver-level integer truncation happens later.
+        const double quantised = std::round(best_rss * 4.0) / 4.0;
+        detections.push_back({ap_index, quantised, channel});
+      }
+    }
+  }
+  return detections;
+}
+
+}  // namespace remgen::radio

@@ -1,0 +1,88 @@
+// RadioEnvironment: the simulated RF ground truth.
+//
+// Combines a floorplan-aware multi-wall path-loss model, a frozen correlated
+// shadowing field per access point, and per-measurement small-scale fading
+// into (a) a deterministic mean-RSS surface and (b) a stochastic beacon-scan
+// process that the ESP8266 scanner model samples from.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "geom/aabb.hpp"
+#include "geom/floorplan.hpp"
+#include "radio/access_point.hpp"
+#include "radio/interference.hpp"
+#include "radio/pathloss.hpp"
+#include "radio/shadowing.hpp"
+#include "util/rng.hpp"
+
+namespace remgen::radio {
+
+/// Tunables of the stochastic propagation/reception process.
+struct EnvironmentConfig {
+  double pathloss_exponent = 2.0;       ///< Indoor LoS-like exponent; walls add the rest.
+  double reference_loss_db = 40.2;      ///< 1 m loss at 2.44 GHz.
+  double clutter_db_per_m = 1.4;        ///< Furniture/people clutter loss beyond 1 m
+                                        ///< (ITU-style linear in-building term).
+  double shadowing_sigma_db = 2.0;      ///< Std-dev of the frozen spatial field.
+  double shadowing_decorrelation_m = 1.3;
+  double fading_sigma_db = 3.8;         ///< Per-beacon small-scale variation.
+  double noise_floor_dbm = -95.0;       ///< Thermal + NF of the scanner.
+  double snr50_db = 4.0;                ///< SNR at 50% beacon decode probability.
+  double snr_slope_db = 1.5;            ///< Logistic slope of the decode curve.
+};
+
+/// One AP detected during a scan.
+struct Detection {
+  std::size_t ap_index;  ///< Index into RadioEnvironment::access_points().
+  double rss_dbm;        ///< Reported (integer-quantised) RSS.
+  int channel;           ///< Channel the AP beacons on.
+};
+
+/// Immutable-after-construction RF ground truth.
+class RadioEnvironment {
+ public:
+  /// `floorplan` must outlive the environment. `shadowing_bounds` bounds the
+  /// region where shadowing is resolved (queries outside are clamped); pass
+  /// the scan volume expanded by ~1 m.
+  RadioEnvironment(const geom::Floorplan& floorplan, std::vector<AccessPoint> access_points,
+                   const geom::Aabb& shadowing_bounds, const EnvironmentConfig& config,
+                   util::Rng& rng);
+
+  [[nodiscard]] const std::vector<AccessPoint>& access_points() const noexcept { return aps_; }
+  [[nodiscard]] const EnvironmentConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const geom::Floorplan& floorplan() const noexcept { return *floorplan_; }
+
+  /// Deterministic mean RSS of AP `ap_index` at point `p` in dBm
+  /// (tx power - path loss + frozen shadowing). This is the quantity the REM
+  /// aims to reconstruct.
+  [[nodiscard]] double mean_rss_dbm(std::size_t ap_index, const geom::Vec3& p) const;
+
+  /// One stochastic RSS observation (mean + small-scale fading), unquantised.
+  [[nodiscard]] double sample_rss_dbm(std::size_t ap_index, const geom::Vec3& p,
+                                      util::Rng& rng) const;
+
+  /// Probability that a single beacon received at `rss_dbm` decodes, given
+  /// the configured noise floor and decode curve (no interference).
+  [[nodiscard]] double beacon_decode_probability(double rss_dbm) const;
+
+  /// Simulates one passive scan sweep: the receiver dwells
+  /// `scan_duration_s / 13` on each channel and reports every AP from which
+  /// at least one beacon decoded. `interference` may be null (no Crazyradio).
+  /// The reported RSS is the strongest decoded beacon, quantised to 0.25 dB
+  /// (ESP8266-style integer-ish reporting is applied by the scanner driver).
+  [[nodiscard]] std::vector<Detection> scan(const geom::Vec3& position, double scan_duration_s,
+                                            const CrazyradioInterference* interference,
+                                            util::Rng& rng) const;
+
+ private:
+  const geom::Floorplan* floorplan_;
+  std::vector<AccessPoint> aps_;
+  EnvironmentConfig config_;
+  MultiWallModel pathloss_;
+  std::vector<ShadowingField> shadowing_;  ///< One frozen field per AP.
+  std::vector<std::vector<std::size_t>> aps_by_channel_;  ///< [channel-1] -> AP indices.
+};
+
+}  // namespace remgen::radio

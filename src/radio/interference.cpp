@@ -1,0 +1,22 @@
+#include "radio/interference.hpp"
+
+namespace remgen::radio {
+
+double CrazyradioInterference::beacon_loss_probability(int channel) const {
+  return beacon_loss_probability_mhz(wifi_channel_center_mhz(channel),
+                                     kWifiChannelBandwidthMhz);
+}
+
+double CrazyradioInterference::beacon_loss_probability_mhz(double victim_mhz,
+                                                           double victim_bw_mhz) const {
+  if (!enabled_) return 0.0;
+  const double overlap = carrier_overlap_fraction_mhz(config_.carrier_mhz,
+                                                      config_.carrier_bw_mhz, victim_mhz,
+                                                      victim_bw_mhz);
+  // Blend between far-carrier desense and full co-channel corruption.
+  const double on_air_loss =
+      config_.desense_loss + (config_.inband_loss - config_.desense_loss) * overlap;
+  return config_.duty_cycle * on_air_loss;
+}
+
+}  // namespace remgen::radio

@@ -1,0 +1,69 @@
+// Crazyradio (nRF24LU1) self-interference model.
+//
+// The paper's Figure 5 shows that a transmitting Crazyradio mounted
+// centimetres from the ESP8266 scanner significantly reduces the number of
+// detected APs on *every* Wi-Fi channel, worst where the carrier overlaps the
+// channel. Two effects are modelled:
+//   1. co-channel collisions: the ~2 MHz GFSK carrier corrupts beacons on
+//      overlapping Wi-Fi channels in proportion to spectral overlap;
+//   2. broadband receiver desensitisation: a strong (-20 dBm-ish at the
+//      antenna) near-field carrier compresses the scanner's front end and
+//      raises its effective noise floor band-wide.
+// Both are expressed as a per-channel probability that an individual beacon
+// is lost, scaled by the radio's transmit duty cycle.
+#pragma once
+
+#include "radio/channel.hpp"
+#include "util/contracts.hpp"
+
+namespace remgen::radio {
+
+/// Crazyradio CRTP carrier parameters relevant to interference.
+struct CrazyradioConfig {
+  double carrier_mhz = 2450.0;  ///< nRF24 channel centre (2400-2525 MHz).
+  double carrier_bw_mhz = 2.0;  ///< Occupied bandwidth of the GFSK carrier.
+  double duty_cycle = 0.80;     ///< Fraction of time the link is on air
+                                ///< (CRTP polls continuously).
+  double inband_loss = 0.95;    ///< Beacon-loss probability at full spectral
+                                ///< overlap while the carrier is on air.
+  double desense_loss = 0.55;   ///< Beacon-loss probability far from the
+                                ///< carrier (front-end desense), on air.
+};
+
+/// Interference state of the Crazyradio as seen by a co-located scanner.
+class CrazyradioInterference {
+ public:
+  explicit CrazyradioInterference(CrazyradioConfig config = {}) : config_(config) {
+    REMGEN_EXPECTS(config.duty_cycle >= 0.0 && config.duty_cycle <= 1.0);
+    REMGEN_EXPECTS(config.inband_loss >= 0.0 && config.inband_loss <= 1.0);
+    REMGEN_EXPECTS(config.desense_loss >= 0.0 && config.desense_loss <= 1.0);
+  }
+
+  /// Turns the radio on/off (the paper's key mitigation is turning it off
+  /// during scans).
+  void set_enabled(bool enabled) noexcept { enabled_ = enabled; }
+  [[nodiscard]] bool enabled() const noexcept { return enabled_; }
+
+  /// Retunes the carrier (MHz). Valid Crazyradio range is 2400-2525.
+  void set_carrier_mhz(double mhz) {
+    REMGEN_EXPECTS(mhz >= 2400.0 && mhz <= 2525.0);
+    config_.carrier_mhz = mhz;
+  }
+  [[nodiscard]] double carrier_mhz() const noexcept { return config_.carrier_mhz; }
+
+  [[nodiscard]] const CrazyradioConfig& config() const noexcept { return config_; }
+
+  /// Probability that one beacon on Wi-Fi `channel` is lost to this
+  /// interferer. Zero when the radio is off.
+  [[nodiscard]] double beacon_loss_probability(int channel) const;
+
+  /// Same for an arbitrary victim band (e.g. a BLE advertising channel).
+  [[nodiscard]] double beacon_loss_probability_mhz(double victim_mhz,
+                                                   double victim_bw_mhz) const;
+
+ private:
+  CrazyradioConfig config_;
+  bool enabled_ = true;
+};
+
+}  // namespace remgen::radio

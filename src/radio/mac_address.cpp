@@ -1,0 +1,52 @@
+#include "radio/mac_address.hpp"
+
+#include <cctype>
+
+#include "util/fmt.hpp"
+
+namespace remgen::radio {
+
+namespace {
+int hex_digit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+}  // namespace
+
+std::optional<MacAddress> MacAddress::parse(std::string_view text) {
+  if (text.size() != 17) return std::nullopt;
+  std::array<std::uint8_t, 6> octets{};
+  for (int i = 0; i < 6; ++i) {
+    const int hi = hex_digit(text[static_cast<std::size_t>(i * 3)]);
+    const int lo = hex_digit(text[static_cast<std::size_t>(i * 3 + 1)]);
+    if (hi < 0 || lo < 0) return std::nullopt;
+    if (i < 5 && text[static_cast<std::size_t>(i * 3 + 2)] != ':') return std::nullopt;
+    octets[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(hi * 16 + lo);
+  }
+  return MacAddress(octets);
+}
+
+MacAddress MacAddress::random(util::Rng& rng) {
+  std::array<std::uint8_t, 6> octets{};
+  const std::uint64_t bits = rng.bits();
+  for (int i = 0; i < 6; ++i) {
+    octets[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(bits >> (8 * i));
+  }
+  octets[0] = static_cast<std::uint8_t>((octets[0] | 0x02u) & 0xFEu);  // local, unicast
+  return MacAddress(octets);
+}
+
+std::string MacAddress::to_string() const {
+  return util::format("{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}", octets_[0], octets_[1],
+                      octets_[2], octets_[3], octets_[4], octets_[5]);
+}
+
+std::uint64_t MacAddress::to_u64() const noexcept {
+  std::uint64_t v = 0;
+  for (const std::uint8_t o : octets_) v = (v << 8) | o;
+  return v;
+}
+
+}  // namespace remgen::radio

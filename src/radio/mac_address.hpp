@@ -1,0 +1,52 @@
+// IEEE 802 MAC addresses: value type, formatting, parsing, random generation.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "util/rng.hpp"
+
+namespace remgen::radio {
+
+/// 48-bit MAC address value type.
+class MacAddress {
+ public:
+  /// All-zero address.
+  constexpr MacAddress() = default;
+
+  /// From six octets.
+  constexpr explicit MacAddress(const std::array<std::uint8_t, 6>& octets) : octets_(octets) {}
+
+  /// Parses "aa:bb:cc:dd:ee:ff" (case-insensitive); nullopt on malformed input.
+  [[nodiscard]] static std::optional<MacAddress> parse(std::string_view text);
+
+  /// Generates a random locally-administered unicast address.
+  [[nodiscard]] static MacAddress random(util::Rng& rng);
+
+  /// Canonical lower-case "aa:bb:cc:dd:ee:ff".
+  [[nodiscard]] std::string to_string() const;
+
+  [[nodiscard]] const std::array<std::uint8_t, 6>& octets() const noexcept { return octets_; }
+
+  /// Packs the address into the low 48 bits of a u64 (big-endian octet order).
+  [[nodiscard]] std::uint64_t to_u64() const noexcept;
+
+  auto operator<=>(const MacAddress&) const = default;
+
+ private:
+  std::array<std::uint8_t, 6> octets_{};
+};
+
+}  // namespace remgen::radio
+
+template <>
+struct std::hash<remgen::radio::MacAddress> {
+  std::size_t operator()(const remgen::radio::MacAddress& mac) const noexcept {
+    return std::hash<std::uint64_t>{}(mac.to_u64());
+  }
+};

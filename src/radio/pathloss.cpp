@@ -1,0 +1,35 @@
+#include "radio/pathloss.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace remgen::radio {
+
+LogDistanceModel::LogDistanceModel(double exponent, double reference_loss_db)
+    : exponent_(exponent), reference_loss_db_(reference_loss_db) {
+  REMGEN_EXPECTS(exponent >= 1.0);
+  REMGEN_EXPECTS(reference_loss_db >= 0.0);
+}
+
+double LogDistanceModel::loss_db(const geom::Vec3& tx, const geom::Vec3& rx) const {
+  // Clamp below 10 cm: the model is not valid in the reactive near field and
+  // the clamp keeps the loss finite when tx == rx.
+  const double d = std::max(tx.distance_to(rx), 0.1);
+  return reference_loss_db_ + 10.0 * exponent_ * std::log10(d);
+}
+
+MultiWallModel::MultiWallModel(const geom::Floorplan& floorplan, double exponent,
+                               double reference_loss_db)
+    : floorplan_(&floorplan), base_(exponent, reference_loss_db) {}
+
+double MultiWallModel::loss_db(const geom::Vec3& tx, const geom::Vec3& rx) const {
+  return base_.loss_db(tx, rx) + wall_loss_db(tx, rx);
+}
+
+double MultiWallModel::wall_loss_db(const geom::Vec3& tx, const geom::Vec3& rx) const {
+  return floorplan_->total_penetration_loss_db(tx, rx);
+}
+
+}  // namespace remgen::radio

@@ -1,0 +1,59 @@
+// Large-scale path-loss models for indoor propagation.
+//
+// The primary model is a multi-wall log-distance model (COST-231 MWM
+// flavour): free-space-like log-distance attenuation plus the summed
+// penetration losses of every wall crossed by the direct path. A plain
+// log-distance model is provided for comparison/ablation.
+#pragma once
+
+#include <memory>
+
+#include "geom/floorplan.hpp"
+#include "geom/vec3.hpp"
+
+namespace remgen::radio {
+
+/// Interface: deterministic large-scale path loss between two points, in dB.
+class PathLossModel {
+ public:
+  virtual ~PathLossModel() = default;
+
+  /// Path loss in dB (>= 0) from transmitter at `tx` to receiver at `rx`.
+  [[nodiscard]] virtual double loss_db(const geom::Vec3& tx, const geom::Vec3& rx) const = 0;
+};
+
+/// Log-distance model: PL(d) = PL(d0) + 10 n log10(d / d0).
+class LogDistanceModel final : public PathLossModel {
+ public:
+  /// `exponent` is the path-loss exponent n (>= 1), `reference_loss_db` the
+  /// loss at d0 = 1 m (at 2.44 GHz free space this is ~40.2 dB).
+  explicit LogDistanceModel(double exponent = 2.0, double reference_loss_db = 40.2);
+
+  [[nodiscard]] double loss_db(const geom::Vec3& tx, const geom::Vec3& rx) const override;
+
+  [[nodiscard]] double exponent() const noexcept { return exponent_; }
+
+ private:
+  double exponent_;
+  double reference_loss_db_;
+};
+
+/// Multi-wall model: log-distance with exponent ~2 plus per-wall penetration
+/// losses from the floorplan.
+class MultiWallModel final : public PathLossModel {
+ public:
+  /// The floorplan must outlive the model.
+  MultiWallModel(const geom::Floorplan& floorplan, double exponent = 2.0,
+                 double reference_loss_db = 40.2);
+
+  [[nodiscard]] double loss_db(const geom::Vec3& tx, const geom::Vec3& rx) const override;
+
+  /// Wall-only part of the loss (useful in tests).
+  [[nodiscard]] double wall_loss_db(const geom::Vec3& tx, const geom::Vec3& rx) const;
+
+ private:
+  const geom::Floorplan* floorplan_;
+  LogDistanceModel base_;
+};
+
+}  // namespace remgen::radio

@@ -1,0 +1,187 @@
+#include "radio/scenario.hpp"
+
+#include "util/contracts.hpp"
+#include "util/fmt.hpp"
+
+namespace remgen::radio {
+
+namespace {
+
+/// Storey selector: same floor most likely, then adjacent, then two up.
+double draw_floor_z(util::Rng& rng) {
+  const double u = rng.uniform01();
+  if (u < 0.30) return 0.0;
+  if (u < 0.60) return 2.6;
+  if (u < 0.90) return -2.6;
+  return 5.2;
+}
+
+/// Draws an AP position from the building-wing mixture. The mixture is what
+/// produces the spatial statistics the paper reports: most neighbours live in
+/// the east and south wings (building core at +x / -y), a few units share the
+/// quieter north/west side, and every wing mixes same-floor and cross-floor
+/// units so a substantial AP subpopulation sits in the marginal-detectability
+/// band whose detection probability varies across the room.
+geom::Vec3 draw_ap_position(const geom::Aabb& bounds, double core_bias, util::Rng& rng) {
+  // core_bias shifts weight from the quiet wings to the core wings.
+  const double core_weight = core_bias / (core_bias + 1.0);  // 0.75 at default 3.0
+  geom::Vec3 p;
+  const double u = rng.uniform01();
+  if (u < core_weight * 0.55) {
+    // East wing: the corridor and units toward +x.
+    p = {rng.uniform(8.0, bounds.max.x - 0.5), rng.uniform(-8.0, 5.0), 0.0};
+  } else if (u < core_weight) {
+    // South wing: the units directly south of the room (straight-north paths
+    // into the room cross the thick or thin corridor-wall segment depending
+    // on which half of the room receives them).
+    p = {rng.uniform(-2.0, 2.5), rng.uniform(bounds.min.y + 0.5, -4.5), 0.0};
+  } else if (u < core_weight + (1.0 - core_weight) * 0.5) {
+    // Same floor, own and adjacent units.
+    p = {rng.uniform(-2.0, 6.0), rng.uniform(-4.5, 6.0), 0.0};
+  } else {
+    // Quiet north/west side.
+    p = {rng.uniform(bounds.min.x + 0.5, 4.0), rng.uniform(3.5, bounds.max.y - 0.5), 0.0};
+  }
+  p.z = draw_floor_z(rng) + rng.uniform(0.3, 2.1);  // router on furniture/wall
+  return p;
+}
+
+int draw_channel(double primary_prob, util::Rng& rng) {
+  if (rng.bernoulli(primary_prob)) {
+    return kPrimaryChannels[rng.index(kPrimaryChannels.size())];
+  }
+  return static_cast<int>(rng.uniform_int(1, kNumWifiChannels));
+}
+
+}  // namespace
+
+std::vector<AccessPoint> make_ap_population(const geom::Aabb& building_bounds,
+                                            const ScenarioConfig& config, util::Rng& rng) {
+  REMGEN_EXPECTS(config.ssid_count > 0);
+  REMGEN_EXPECTS(config.mac_count >= config.ssid_count);
+
+  std::vector<AccessPoint> aps;
+  aps.reserve(config.mac_count);
+
+  // Each SSID gets one primary BSS; the remaining MAC budget is spent on
+  // extra BSSes (mesh nodes / extenders / guest BSSIDs) for random SSIDs.
+  std::vector<std::string> ssids;
+  ssids.reserve(config.ssid_count);
+  for (std::size_t i = 0; i < config.ssid_count; ++i) {
+    ssids.push_back(util::format("home-net-{:03d}", i + 1));
+  }
+
+  auto add_bss = [&](const std::string& ssid) {
+    AccessPoint ap;
+    ap.mac = MacAddress::random(rng);
+    ap.ssid = ssid;
+    ap.channel = draw_channel(config.primary_channel_prob, rng);
+    ap.tx_power_dbm = rng.gaussian(config.tx_power_mean_dbm, config.tx_power_sigma_db);
+    if (rng.bernoulli(config.south_cluster_fraction)) {
+      // Units just south of the room, one storey up or down: through the slab
+      // they sit in the marginal-detectability band, so the room's y
+      // coordinate strongly modulates whether their beacons decode.
+      const double floor_z = rng.bernoulli(0.5) ? 2.6 : -2.6;
+      ap.position = {rng.uniform(-1.0, 2.5), rng.uniform(-4.8, -0.5),
+                     floor_z + rng.uniform(0.3, 2.1)};
+      ap.tx_power_dbm -= 12.0;  // low-power devices (extenders, IoT hubs) deep inside the unit
+    } else {
+      ap.position = draw_ap_position(building_bounds, config.core_bias, rng);
+    }
+    aps.push_back(std::move(ap));
+  };
+
+  for (const std::string& ssid : ssids) add_bss(ssid);
+  while (aps.size() < config.mac_count) {
+    add_bss(ssids[rng.index(ssids.size())]);
+  }
+
+  // One of the networks is the apartment's own router: place it inside the
+  // unit near the interior wall so the scan volume sees a strong AP.
+  aps.front().position = {3.35, 0.45, 1.10};
+  aps.front().tx_power_dbm = config.tx_power_mean_dbm + 1.0;
+
+  return aps;
+}
+
+Scenario Scenario::make_apartment(util::Rng& rng, const ScenarioConfig& scenario_config,
+                                  const EnvironmentConfig& env_config,
+                                  const ApMutator& mutator) {
+  Scenario s;
+  s.model_ = std::make_unique<geom::ApartmentModel>(geom::make_apartment_model());
+  std::vector<AccessPoint> aps =
+      make_ap_population(s.model_->building_bounds, scenario_config, rng);
+  if (mutator) mutator(aps);
+  const geom::Aabb shadow_bounds(s.model_->scan_volume.min - geom::Vec3{1.0, 1.0, 1.0},
+                                 s.model_->scan_volume.max + geom::Vec3{1.0, 1.0, 1.0});
+  util::Rng env_rng = rng.fork("environment");
+  s.environment_ = std::make_unique<RadioEnvironment>(s.model_->floorplan, std::move(aps),
+                                                      shadow_bounds, env_config, env_rng);
+
+  util::Rng ble_rng = rng.fork("ble");
+  std::vector<BleDevice> ble_devices =
+      make_ble_population(s.model_->building_bounds, scenario_config.ble, ble_rng);
+  s.ble_environment_ = std::make_unique<BleEnvironment>(
+      s.model_->floorplan, std::move(ble_devices), shadow_bounds, BleEnvironmentConfig{},
+      ble_rng);
+  return s;
+}
+
+Scenario Scenario::make_office(util::Rng& rng, const EnvironmentConfig& env_config) {
+  Scenario s;
+  s.model_ = std::make_unique<geom::ApartmentModel>(geom::make_office_model());
+
+  // Enterprise deployment: ceiling APs with shared corporate SSIDs (one SSID,
+  // many MACs — the inverse of the apartment's mostly-1:1 mapping), plus the
+  // odd personal hotspot and printer.
+  std::vector<AccessPoint> aps;
+  auto add = [&](const char* ssid, const geom::Vec3& position, double tx, int channel) {
+    AccessPoint ap;
+    ap.mac = MacAddress::random(rng);
+    ap.ssid = ssid;
+    ap.channel = channel;
+    ap.tx_power_dbm = tx;
+    ap.position = position;
+    aps.push_back(std::move(ap));
+  };
+  // This floor: three ceiling APs across the open-plan area (z = 2.9).
+  add("corp-wifi", {1.5, 2.0, 2.9}, 15.0, 1);
+  add("corp-wifi", {5.0, 3.5, 2.9}, 15.0, 6);
+  add("corp-wifi", {8.5, 1.0, 2.9}, 15.0, 11);
+  // Guest network piggybacks on the same radios (multi-BSSID).
+  add("corp-guest", {1.5, 2.0, 2.9}, 12.0, 1);
+  add("corp-guest", {5.0, 3.5, 2.9}, 12.0, 6);
+  // Floor above and below: same layout, through the slab.
+  for (const double dz : {3.0, -3.0}) {
+    add("corp-wifi", {1.5, 2.0, 2.9 + dz}, 15.0, 6);
+    add("corp-wifi", {5.0, 3.5, 2.9 + dz}, 15.0, 11);
+    add("corp-wifi", {8.5, 1.0, 2.9 + dz}, 15.0, 1);
+  }
+  // Meeting-room AV units and printers (weak, assorted channels).
+  add("boardroom-av", {2.0, 6.4, 1.2}, 6.0, 3);
+  add("printer-east", {9.2, 2.0, 0.9}, 4.0, 9);
+  // A few personal hotspots at desks.
+  for (int i = 0; i < 4; ++i) {
+    add(i % 2 == 0 ? "phone-hotspot" : "tablet", 
+        {rng.uniform(0.5, 9.5), rng.uniform(-1.0, 4.0), rng.uniform(0.7, 1.2)},
+        rng.gaussian(8.0, 2.0), static_cast<int>(rng.uniform_int(1, 13)));
+  }
+
+  const geom::Aabb shadow_bounds(s.model_->scan_volume.min - geom::Vec3{1.0, 1.0, 1.0},
+                                 s.model_->scan_volume.max + geom::Vec3{1.0, 1.0, 1.0});
+  util::Rng env_rng = rng.fork("office-environment");
+  s.environment_ = std::make_unique<RadioEnvironment>(s.model_->floorplan, std::move(aps),
+                                                      shadow_bounds, env_config, env_rng);
+
+  util::Rng ble_rng = rng.fork("office-ble");
+  BlePopulationConfig ble_config;
+  ble_config.device_count = 18;  // wearables and peripherals at desks
+  std::vector<BleDevice> ble_devices =
+      make_ble_population(s.model_->building_bounds, ble_config, ble_rng);
+  s.ble_environment_ = std::make_unique<BleEnvironment>(
+      s.model_->floorplan, std::move(ble_devices), shadow_bounds, BleEnvironmentConfig{},
+      ble_rng);
+  return s;
+}
+
+}  // namespace remgen::radio

@@ -1,0 +1,59 @@
+#include "radio/shadowing.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace remgen::radio {
+
+ShadowingField::ShadowingField(const geom::Aabb& bounds, double sigma_db, double decorrelation_m,
+                               util::Rng& rng)
+    : bounds_(bounds), sigma_db_(sigma_db), decorrelation_m_(decorrelation_m) {
+  REMGEN_EXPECTS(sigma_db >= 0.0);
+  REMGEN_EXPECTS(decorrelation_m > 0.0);
+  const geom::Vec3 size = bounds.size();
+  auto nodes_for = [decorrelation_m](double extent) {
+    return static_cast<std::size_t>(std::ceil(extent / decorrelation_m)) + 2;
+  };
+  nx_ = nodes_for(size.x);
+  ny_ = nodes_for(size.y);
+  nz_ = nodes_for(size.z);
+  nodes_.resize(nx_ * ny_ * nz_);
+  for (double& v : nodes_) v = rng.gaussian(0.0, sigma_db);
+}
+
+double ShadowingField::node(std::size_t ix, std::size_t iy, std::size_t iz) const {
+  return nodes_[(iz * ny_ + iy) * nx_ + ix];
+}
+
+double ShadowingField::at(const geom::Vec3& p) const {
+  if (sigma_db_ == 0.0) return 0.0;
+  const geom::Vec3 q = bounds_.clamp(p);
+  const geom::Vec3 rel = q - bounds_.min;
+
+  auto axis = [this](double value, std::size_t n) {
+    double u = value / decorrelation_m_;
+    const double max_u = static_cast<double>(n - 1);
+    u = std::clamp(u, 0.0, max_u - 1e-9);
+    const auto i0 = static_cast<std::size_t>(u);
+    return std::pair<std::size_t, double>{i0, u - static_cast<double>(i0)};
+  };
+  const auto [ix, fx] = axis(rel.x, nx_);
+  const auto [iy, fy] = axis(rel.y, ny_);
+  const auto [iz, fz] = axis(rel.z, nz_);
+
+  double acc = 0.0;
+  for (int dz = 0; dz <= 1; ++dz) {
+    for (int dy = 0; dy <= 1; ++dy) {
+      for (int dx = 0; dx <= 1; ++dx) {
+        const double w = (dx ? fx : 1.0 - fx) * (dy ? fy : 1.0 - fy) * (dz ? fz : 1.0 - fz);
+        acc += w * node(ix + static_cast<std::size_t>(dx), iy + static_cast<std::size_t>(dy),
+                        iz + static_cast<std::size_t>(dz));
+      }
+    }
+  }
+  return acc;
+}
+
+}  // namespace remgen::radio

@@ -1,0 +1,46 @@
+// Spatially correlated log-normal shadowing (Gudmundson-style).
+//
+// Real indoor RSS fields deviate from the deterministic path-loss surface by
+// a slowly varying "shadowing" component caused by furniture, people and
+// multipath clusters. We model it per transmitter as a Gaussian random field
+// with exponential spatial correlation, realised by trilinear interpolation
+// of i.i.d. Gaussians on a coarse lattice whose pitch equals the decorrelation
+// distance. The field is frozen at construction: repeated queries at the same
+// location return the same value, which is exactly the property the REM
+// learning task depends on.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/aabb.hpp"
+#include "geom/vec3.hpp"
+#include "util/rng.hpp"
+
+namespace remgen::radio {
+
+/// Frozen correlated Gaussian field over a bounded volume.
+class ShadowingField {
+ public:
+  /// Builds a field over `bounds` with standard deviation `sigma_db` (>= 0)
+  /// and decorrelation distance `decorrelation_m` (> 0).
+  ShadowingField(const geom::Aabb& bounds, double sigma_db, double decorrelation_m,
+                 util::Rng& rng);
+
+  /// Shadowing value in dB at a point (points outside bounds are clamped).
+  [[nodiscard]] double at(const geom::Vec3& p) const;
+
+  [[nodiscard]] double sigma_db() const noexcept { return sigma_db_; }
+  [[nodiscard]] double decorrelation_m() const noexcept { return decorrelation_m_; }
+
+ private:
+  geom::Aabb bounds_;
+  double sigma_db_;
+  double decorrelation_m_;
+  std::size_t nx_, ny_, nz_;  // lattice node counts (>= 2 per axis)
+  std::vector<double> nodes_; // i.i.d. N(0, sigma^2) at lattice nodes
+
+  [[nodiscard]] double node(std::size_t ix, std::size_t iy, std::size_t iz) const;
+};
+
+}  // namespace remgen::radio

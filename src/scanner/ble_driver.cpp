@@ -1,0 +1,95 @@
+#include "scanner/ble_driver.hpp"
+
+#include <array>
+
+#include "util/contracts.hpp"
+#include "util/log.hpp"
+
+namespace remgen::scanner {
+
+BleScannerDriver::BleScannerDriver(SimI2cBus& bus, double timeout_s)
+    : bus_(&bus), timeout_s_(timeout_s) {
+  REMGEN_EXPECTS(timeout_s > 0.0);
+}
+
+void BleScannerDriver::request_init(double /*now_s*/) {
+  // I2C is synchronous: the handshake completes within the call.
+  const auto who = bus_->read_register(ble_reg::kWhoAmI);
+  if (!who || *who != ble_reg::kWhoAmIValue) {
+    state_ = DriverState::Error;
+    return;
+  }
+  bus_->write_register(ble_reg::kCtrl, ble_reg::kCtrlReset);
+  results_.clear();
+  state_ = DriverState::Ready;
+}
+
+bool BleScannerDriver::request_scan(double now_s) {
+  if (state_ != DriverState::Ready) return false;
+  if (!bus_->write_register(ble_reg::kCtrl, ble_reg::kCtrlStartScan)) {
+    state_ = DriverState::Error;
+    return false;
+  }
+  results_.clear();
+  state_ = DriverState::Scanning;
+  deadline_ = now_s + timeout_s_;
+  return true;
+}
+
+std::vector<ScanTuple> BleScannerDriver::take_results() {
+  REMGEN_EXPECTS(state_ == DriverState::ResultsReady);
+  state_ = DriverState::Ready;
+  return std::move(results_);
+}
+
+void BleScannerDriver::reset() {
+  state_ = DriverState::Uninitialized;
+  results_.clear();
+}
+
+void BleScannerDriver::fetch_results() {
+  const auto count = bus_->read_register(ble_reg::kCount);
+  if (!count) {
+    state_ = DriverState::Error;
+    return;
+  }
+  results_.clear();
+  results_.reserve(*count);
+  for (std::uint8_t i = 0; i < *count; ++i) {
+    bus_->write_register(ble_reg::kResultIndex, i);
+    // Fixed-size record: addr[6] rssi[1] channel[1] name_len[1] name[<=20].
+    const std::vector<std::uint8_t> record = bus_->read_block(ble_reg::kResultData, 29);
+    if (record.size() < 9) continue;
+    ScanTuple tuple;
+    std::array<std::uint8_t, 6> octets{};
+    for (int b = 0; b < 6; ++b) octets[static_cast<std::size_t>(b)] = record[b];
+    tuple.mac = radio::MacAddress(octets);
+    tuple.rssi_dbm = static_cast<std::int8_t>(record[6]);
+    tuple.channel = record[7];
+    const std::size_t name_len = std::min<std::size_t>(record[8], 20);
+    tuple.ssid.assign(record.begin() + 9,
+                      record.begin() + 9 + static_cast<std::ptrdiff_t>(
+                                               std::min(name_len, record.size() - 9)));
+    results_.push_back(std::move(tuple));
+  }
+  state_ = DriverState::ResultsReady;
+}
+
+void BleScannerDriver::step(double now_s) {
+  if (state_ != DriverState::Scanning) return;
+  const auto status = bus_->read_register(ble_reg::kStatus);
+  if (!status || *status == ble_reg::kStatusError) {
+    state_ = DriverState::Error;
+    return;
+  }
+  if (*status == ble_reg::kStatusReady) {
+    fetch_results();
+    return;
+  }
+  if (now_s > deadline_) {
+    util::logf(util::LogLevel::Warn, "ble-driver", "scan timed out");
+    state_ = DriverState::Error;
+  }
+}
+
+}  // namespace remgen::scanner

@@ -1,0 +1,49 @@
+// Crazyflie-side driver for the BLE observer module: the same four-
+// instruction contract as the Wi-Fi driver (initialize / check state /
+// measure / parse), implemented against the I2C register map instead of
+// UART AT commands.
+#pragma once
+
+#include "scanner/ble_module.hpp"
+#include "scanner/driver.hpp"
+#include "scanner/i2c.hpp"
+
+namespace remgen::scanner {
+
+/// Poll-driven register driver for the BLE module. Reuses the driver state
+/// and result-tuple vocabulary of the Wi-Fi driver; the BLE device name maps
+/// onto the tuple's ssid field.
+class BleScannerDriver {
+ public:
+  /// `bus` must outlive the driver. `timeout_s` bounds the scan.
+  explicit BleScannerDriver(SimI2cBus& bus, double timeout_s = 8.0);
+
+  /// Instruction (i): probes WHO_AM_I and resets the module.
+  void request_init(double now_s);
+
+  /// Instruction (ii): current driver state.
+  [[nodiscard]] DriverState state() const noexcept { return state_; }
+
+  /// Instruction (iii): starts a measurement. Only valid in Ready state.
+  bool request_scan(double now_s);
+
+  /// Instruction (iv): takes the parsed tuples; returns to Ready.
+  [[nodiscard]] std::vector<ScanTuple> take_results();
+
+  /// Clears an Error state back to Uninitialized.
+  void reset();
+
+  /// Polls the module's status register; call every firmware tick.
+  void step(double now_s);
+
+ private:
+  void fetch_results();
+
+  SimI2cBus* bus_;
+  double timeout_s_;
+  DriverState state_ = DriverState::Uninitialized;
+  std::vector<ScanTuple> results_;
+  double deadline_ = 0.0;
+};
+
+}  // namespace remgen::scanner

@@ -1,0 +1,96 @@
+#include "scanner/ble_module.hpp"
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+
+namespace remgen::scanner {
+
+BleObserverModule::BleObserverModule(SimI2cBus& bus, const radio::BleEnvironment& environment,
+                                     const BleModuleConfig& config, util::Rng rng)
+    : bus_(&bus), environment_(&environment), config_(config), rng_(rng) {
+  REMGEN_EXPECTS(config.scan_duration_s > 0.0);
+  bus_->attach(this);
+}
+
+BleObserverModule::~BleObserverModule() { bus_->detach(); }
+
+void BleObserverModule::step(double now_s) {
+  now_s_ = now_s;
+  if (scan_deadline_ && now_s >= *scan_deadline_) {
+    scan_deadline_.reset();
+    results_ = environment_->scan(scan_position_, config_.scan_duration_s, interference_, rng_);
+    std::sort(results_.begin(), results_.end(),
+              [](const radio::BleDetection& a, const radio::BleDetection& b) {
+                return a.rss_dbm > b.rss_dbm;
+              });
+    if (results_.size() > 255) results_.resize(255);
+    status_ = ble_reg::kStatusReady;
+  }
+}
+
+void BleObserverModule::on_write(std::uint8_t reg, std::uint8_t value) {
+  switch (reg) {
+    case ble_reg::kCtrl:
+      if (value == ble_reg::kCtrlStartScan) {
+        if (status_ == ble_reg::kStatusScanning) {
+          status_ = ble_reg::kStatusError;  // double-start is a client bug
+          break;
+        }
+        scan_position_ = position_provider_ ? position_provider_() : geom::Vec3{};
+        scan_deadline_ = now_s_ + config_.scan_duration_s;
+        results_.clear();
+        result_index_ = 0;
+        status_ = ble_reg::kStatusScanning;
+      } else if (value == ble_reg::kCtrlReset) {
+        scan_deadline_.reset();
+        results_.clear();
+        result_index_ = 0;
+        status_ = ble_reg::kStatusIdle;
+      } else {
+        status_ = ble_reg::kStatusError;
+      }
+      break;
+    case ble_reg::kResultIndex:
+      result_index_ = value;
+      break;
+    default:
+      break;  // writes to read-only registers are ignored, as real parts do
+  }
+}
+
+std::uint8_t BleObserverModule::on_read(std::uint8_t reg) {
+  switch (reg) {
+    case ble_reg::kWhoAmI: return ble_reg::kWhoAmIValue;
+    case ble_reg::kStatus: return status_;
+    case ble_reg::kCount: return static_cast<std::uint8_t>(results_.size());
+    case ble_reg::kResultIndex: return result_index_;
+    default: return 0xFF;
+  }
+}
+
+std::vector<std::uint8_t> BleObserverModule::on_read_block(std::uint8_t reg,
+                                                           std::size_t length) {
+  if (reg != ble_reg::kResultData || status_ != ble_reg::kStatusReady ||
+      result_index_ >= results_.size()) {
+    return std::vector<std::uint8_t>(length, 0xFF);
+  }
+  const radio::BleDetection& d = results_[result_index_];
+  const radio::BleDevice& device = environment_->devices()[d.device_index];
+
+  std::vector<std::uint8_t> out;
+  out.reserve(9 + device.name.size());
+  for (const std::uint8_t octet : device.address.octets()) out.push_back(octet);
+  const int rssi = static_cast<int>(std::lround(d.rss_dbm));
+  out.push_back(static_cast<std::uint8_t>(static_cast<std::int8_t>(std::clamp(rssi, -127, 20))));
+  out.push_back(static_cast<std::uint8_t>(d.channel));
+  const std::size_t name_len = std::min<std::size_t>(device.name.size(), 20);
+  out.push_back(static_cast<std::uint8_t>(name_len));
+  for (std::size_t i = 0; i < name_len; ++i) {
+    out.push_back(static_cast<std::uint8_t>(device.name[i]));
+  }
+  out.resize(length, 0x00);
+  return out;
+}
+
+}  // namespace remgen::scanner

@@ -1,0 +1,92 @@
+// Simulated BLE observer module with an I2C register interface — the second
+// REM-sampling receiver technology, demonstrating the paper's modular
+// integration requirement with a completely different hardware interface
+// than the ESP-01's UART/AT protocol.
+//
+// Register map:
+//   0x00 WHO_AM_I      reads 0xB5
+//   0x01 CTRL          write 0x01: start scan; write 0x02: reset
+//   0x02 STATUS        0 idle, 1 scanning, 2 results-ready, 3 error
+//   0x03 COUNT         number of detections after a scan
+//   0x04 RESULT_INDEX  selects which detection RESULT_DATA serves
+//   0x10 RESULT_DATA   block read: addr[6] rssi[1,int8] channel[1]
+//                      name_len[1] name[name_len]
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "radio/ble.hpp"
+#include "scanner/i2c.hpp"
+#include "util/rng.hpp"
+
+namespace remgen::scanner {
+
+/// Register addresses of the BLE observer module.
+namespace ble_reg {
+inline constexpr std::uint8_t kWhoAmI = 0x00;
+inline constexpr std::uint8_t kCtrl = 0x01;
+inline constexpr std::uint8_t kStatus = 0x02;
+inline constexpr std::uint8_t kCount = 0x03;
+inline constexpr std::uint8_t kResultIndex = 0x04;
+inline constexpr std::uint8_t kResultData = 0x10;
+
+inline constexpr std::uint8_t kWhoAmIValue = 0xB5;
+inline constexpr std::uint8_t kCtrlStartScan = 0x01;
+inline constexpr std::uint8_t kCtrlReset = 0x02;
+
+inline constexpr std::uint8_t kStatusIdle = 0;
+inline constexpr std::uint8_t kStatusScanning = 1;
+inline constexpr std::uint8_t kStatusReady = 2;
+inline constexpr std::uint8_t kStatusError = 3;
+}  // namespace ble_reg
+
+/// Module timing.
+struct BleModuleConfig {
+  double scan_duration_s = 1.8;  ///< One observation window over ch 37/38/39.
+};
+
+/// The simulated module; step it with simulation time like the ESP model.
+class BleObserverModule final : public I2cDevice {
+ public:
+  /// `bus` and `environment` must outlive the module.
+  BleObserverModule(SimI2cBus& bus, const radio::BleEnvironment& environment,
+                    const BleModuleConfig& config, util::Rng rng);
+  ~BleObserverModule() override;
+
+  BleObserverModule(const BleObserverModule&) = delete;
+  BleObserverModule& operator=(const BleObserverModule&) = delete;
+
+  void set_position_provider(std::function<geom::Vec3()> provider) {
+    position_provider_ = std::move(provider);
+  }
+  void set_interference(const radio::CrazyradioInterference* interference) {
+    interference_ = interference;
+  }
+
+  /// Completes an in-flight scan whose deadline has passed.
+  void step(double now_s);
+
+  // I2cDevice:
+  void on_write(std::uint8_t reg, std::uint8_t value) override;
+  [[nodiscard]] std::uint8_t on_read(std::uint8_t reg) override;
+  [[nodiscard]] std::vector<std::uint8_t> on_read_block(std::uint8_t reg,
+                                                        std::size_t length) override;
+
+ private:
+  SimI2cBus* bus_;
+  const radio::BleEnvironment* environment_;
+  BleModuleConfig config_;
+  util::Rng rng_;
+  std::function<geom::Vec3()> position_provider_;
+  const radio::CrazyradioInterference* interference_ = nullptr;
+
+  std::uint8_t status_ = ble_reg::kStatusIdle;
+  std::optional<double> scan_deadline_;
+  double now_s_ = 0.0;
+  geom::Vec3 scan_position_;
+  std::vector<radio::BleDetection> results_;
+  std::uint8_t result_index_ = 0;
+};
+
+}  // namespace remgen::scanner

@@ -1,0 +1,175 @@
+#include "scanner/driver.hpp"
+
+#include <cstdlib>
+
+#include "util/contracts.hpp"
+#include "util/log.hpp"
+
+namespace remgen::scanner {
+
+const char* driver_state_name(DriverState state) {
+  switch (state) {
+    case DriverState::Uninitialized: return "uninitialized";
+    case DriverState::Initializing: return "initializing";
+    case DriverState::Ready: return "ready";
+    case DriverState::Scanning: return "scanning";
+    case DriverState::ResultsReady: return "results-ready";
+    case DriverState::Error: return "error";
+  }
+  return "?";
+}
+
+ScannerDriver::ScannerDriver(SimUart& uart, double timeout_s)
+    : uart_(&uart), timeout_s_(timeout_s) {
+  REMGEN_EXPECTS(timeout_s > 0.0);
+}
+
+void ScannerDriver::send_line(const std::string& line, double now_s) {
+  uart_->host_write(line + "\r\n");
+  deadline_ = now_s + timeout_s_;
+}
+
+void ScannerDriver::request_init(double now_s) {
+  state_ = DriverState::Initializing;
+  init_phase_ = InitPhase::At;
+  results_.clear();
+  send_line("AT", now_s);
+}
+
+bool ScannerDriver::request_scan(double now_s) {
+  if (state_ != DriverState::Ready) return false;
+  results_.clear();
+  state_ = DriverState::Scanning;
+  send_line("AT+CWLAP", now_s);
+  return true;
+}
+
+std::vector<ScanTuple> ScannerDriver::take_results() {
+  REMGEN_EXPECTS(state_ == DriverState::ResultsReady);
+  state_ = DriverState::Ready;
+  return std::move(results_);
+}
+
+void ScannerDriver::reset() {
+  state_ = DriverState::Uninitialized;
+  init_phase_ = InitPhase::At;
+  rx_buffer_.clear();
+  results_.clear();
+}
+
+void ScannerDriver::fail() {
+  util::logf(util::LogLevel::Warn, "scanner-driver", "entering error state while {}",
+             driver_state_name(state_));
+  state_ = DriverState::Error;
+}
+
+void ScannerDriver::step(double now_s) {
+  rx_buffer_ += uart_->host_read();
+  std::size_t pos;
+  while ((pos = rx_buffer_.find('\n')) != std::string::npos) {
+    std::string line = rx_buffer_.substr(0, pos);
+    rx_buffer_.erase(0, pos + 1);
+    while (!line.empty() && (line.back() == '\r' || line.back() == ' ')) line.pop_back();
+    if (line.empty()) continue;
+    on_line(line, now_s);
+  }
+
+  const bool waiting =
+      state_ == DriverState::Initializing || state_ == DriverState::Scanning;
+  if (waiting && now_s > deadline_) fail();
+}
+
+void ScannerDriver::on_line(const std::string& line, double now_s) {
+  switch (state_) {
+    case DriverState::Initializing:
+      if (line == "OK") {
+        switch (init_phase_) {
+          case InitPhase::At:
+            init_phase_ = InitPhase::Mode;
+            send_line("AT+CWMODE_CUR=1", now_s);
+            break;
+          case InitPhase::Mode:
+            init_phase_ = InitPhase::LapOpt;
+            // sort by RSSI; mask 30 = ssid|rssi|mac|channel.
+            send_line("AT+CWLAPOPT=1,30", now_s);
+            break;
+          case InitPhase::LapOpt:
+            init_phase_ = InitPhase::Done;
+            state_ = DriverState::Ready;
+            break;
+          case InitPhase::Done:
+            break;
+        }
+      } else if (line == "ERROR") {
+        fail();
+      }
+      break;
+
+    case DriverState::Scanning:
+      if (line.rfind("+CWLAP:(", 0) == 0 && line.back() == ')') {
+        ScanTuple tuple;
+        const std::string payload = line.substr(8, line.size() - 9);
+        if (parse_cwlap_line(payload, tuple)) {
+          results_.push_back(std::move(tuple));
+        } else {
+          util::logf(util::LogLevel::Warn, "scanner-driver", "unparseable CWLAP line: {}", line);
+        }
+      } else if (line == "OK") {
+        state_ = DriverState::ResultsReady;
+      } else if (line == "ERROR" || line == "busy p...") {
+        fail();
+      }
+      break;
+
+    case DriverState::Uninitialized:
+    case DriverState::Ready:
+    case DriverState::ResultsReady:
+    case DriverState::Error:
+      // Unsolicited output (boot banners etc.) is ignored.
+      break;
+  }
+}
+
+bool ScannerDriver::parse_cwlap_line(const std::string& line, ScanTuple& out) {
+  // Expected payload: "ssid",-73,"aa:bb:cc:dd:ee:ff",6
+  std::size_t i = 0;
+  auto parse_quoted = [&](std::string& value) {
+    if (i >= line.size() || line[i] != '"') return false;
+    ++i;
+    value.clear();
+    while (i < line.size() && line[i] != '"') value.push_back(line[i++]);
+    if (i >= line.size()) return false;
+    ++i;  // closing quote
+    return true;
+  };
+  auto expect_comma = [&] {
+    if (i >= line.size() || line[i] != ',') return false;
+    ++i;
+    return true;
+  };
+  auto parse_int = [&](int& value) {
+    const std::size_t start = i;
+    if (i < line.size() && (line[i] == '-' || line[i] == '+')) ++i;
+    while (i < line.size() && line[i] >= '0' && line[i] <= '9') ++i;
+    if (i == start) return false;
+    value = std::atoi(line.substr(start, i - start).c_str());
+    return true;
+  };
+
+  std::string mac_text;
+  if (!parse_quoted(out.ssid)) return false;
+  if (!expect_comma()) return false;
+  if (!parse_int(out.rssi_dbm)) return false;
+  if (!expect_comma()) return false;
+  if (!parse_quoted(mac_text)) return false;
+  if (!expect_comma()) return false;
+  if (!parse_int(out.channel)) return false;
+  if (i != line.size()) return false;
+
+  const auto mac = radio::MacAddress::parse(mac_text);
+  if (!mac) return false;
+  out.mac = *mac;
+  return true;
+}
+
+}  // namespace remgen::scanner

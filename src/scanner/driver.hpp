@@ -1,0 +1,89 @@
+// Crazyflie-side REM-receiver driver.
+//
+// The paper's integration contract is a "four instructions long C-flavored
+// driver": (i) initialize the receiver, (ii) check its state, (iii) instruct
+// it to collect a measurement, (iv) parse the output. This class implements
+// that contract for the ESP-01 over UART; any REM-sampling receiver can be
+// integrated by providing the same four operations (see remdeck.hpp in
+// src/uav for the deck-level interface).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "radio/mac_address.hpp"
+#include "scanner/uart.hpp"
+
+namespace remgen::scanner {
+
+/// One parsed (ssid, rssi, mac, channel) tuple from AT+CWLAP output.
+struct ScanTuple {
+  std::string ssid;
+  int rssi_dbm = 0;
+  radio::MacAddress mac;
+  int channel = 0;
+};
+
+/// Driver state, exposed as the paper's "check the state" instruction.
+enum class DriverState {
+  Uninitialized,  ///< No contact with the module yet.
+  Initializing,   ///< AT / CWMODE / CWLAPOPT handshake in progress.
+  Ready,          ///< Module idle, scan can be requested.
+  Scanning,       ///< AT+CWLAP issued, waiting for OK.
+  ResultsReady,   ///< Parsed tuples waiting to be taken.
+  Error,          ///< Handshake or scan failed (timeout or ERROR reply).
+};
+
+/// Human-readable driver state name.
+[[nodiscard]] const char* driver_state_name(DriverState state);
+
+/// Poll-driven AT driver for the ESP-01 module.
+class ScannerDriver {
+ public:
+  /// `uart` must outlive the driver. `timeout_s` bounds every handshake step
+  /// and the scan itself.
+  explicit ScannerDriver(SimUart& uart, double timeout_s = 8.0);
+
+  /// Instruction (i): begins the init handshake (AT, CWMODE_CUR=1,
+  /// CWLAPOPT=1,30). Completion is observed via state().
+  void request_init(double now_s);
+
+  /// Instruction (ii): current driver state.
+  [[nodiscard]] DriverState state() const noexcept { return state_; }
+
+  /// Instruction (iii): starts a measurement. Only valid in Ready state;
+  /// returns false otherwise.
+  bool request_scan(double now_s);
+
+  /// Instruction (iv): takes the parsed tuples after a completed scan and
+  /// returns the driver to Ready. Only valid in ResultsReady state.
+  [[nodiscard]] std::vector<ScanTuple> take_results();
+
+  /// Clears an Error state back to Uninitialized so init can be retried.
+  void reset();
+
+  /// Advances the state machine: reads UART bytes, matches replies,
+  /// enforces timeouts. Call every firmware tick.
+  void step(double now_s);
+
+  /// Parses one "+CWLAP:(...)" payload. Exposed for tests; returns false on
+  /// malformed input.
+  [[nodiscard]] static bool parse_cwlap_line(const std::string& line, ScanTuple& out);
+
+ private:
+  enum class InitPhase { At, Mode, LapOpt, Done };
+
+  void send_line(const std::string& line, double now_s);
+  void on_line(const std::string& line, double now_s);
+  void fail();
+
+  SimUart* uart_;
+  double timeout_s_;
+  DriverState state_ = DriverState::Uninitialized;
+  InitPhase init_phase_ = InitPhase::At;
+  std::string rx_buffer_;
+  std::vector<ScanTuple> results_;
+  double deadline_ = 0.0;
+};
+
+}  // namespace remgen::scanner

@@ -1,0 +1,125 @@
+#include "scanner/esp8266.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.hpp"
+#include "util/fmt.hpp"
+
+namespace remgen::scanner {
+
+Esp8266Module::Esp8266Module(SimUart& uart, const radio::RadioEnvironment& environment,
+                             const Esp8266Config& config, util::Rng rng)
+    : uart_(&uart),
+      environment_(&environment),
+      config_(config),
+      rng_(rng),
+      boot_ready_at_(config.boot_time_s) {
+  REMGEN_EXPECTS(config.scan_duration_s > 0.0);
+}
+
+void Esp8266Module::step(double now_s) {
+  if (now_s < boot_ready_at_) return;
+
+  if (scan_deadline_ && now_s >= *scan_deadline_) finish_scan(now_s);
+
+  rx_buffer_ += uart_->device_read();
+  std::size_t pos;
+  while ((pos = rx_buffer_.find('\n')) != std::string::npos) {
+    std::string line = rx_buffer_.substr(0, pos);
+    rx_buffer_.erase(0, pos + 1);
+    while (!line.empty() && (line.back() == '\r' || line.back() == ' ')) line.pop_back();
+    if (line.empty()) continue;
+    if (scan_deadline_) {
+      reply("\r\nbusy p...\r\n");  // real firmware answers this mid-operation
+      continue;
+    }
+    handle_line(line, now_s);
+  }
+}
+
+void Esp8266Module::handle_line(const std::string& line, double now_s) {
+  if (line == "AT") {
+    reply("\r\nOK\r\n");
+    return;
+  }
+  if (line.rfind("AT+CWMODE_CUR=", 0) == 0 || line.rfind("AT+CWMODE=", 0) == 0) {
+    const std::string arg = line.substr(line.find('=') + 1);
+    if (arg == "1") {
+      mode_ = WifiMode::Station;
+    } else if (arg == "2") {
+      mode_ = WifiMode::SoftAp;
+    } else if (arg == "3") {
+      mode_ = WifiMode::Both;
+    } else {
+      reply("\r\nERROR\r\n");
+      return;
+    }
+    reply("\r\nOK\r\n");
+    return;
+  }
+  if (line.rfind("AT+CWLAPOPT=", 0) == 0) {
+    // AT+CWLAPOPT=<sort_enable>,<mask>
+    const std::string args = line.substr(line.find('=') + 1);
+    const std::size_t comma = args.find(',');
+    if (comma == std::string::npos) {
+      reply("\r\nERROR\r\n");
+      return;
+    }
+    try {
+      cwlap_options_.sort_by_rssi = std::stoi(args.substr(0, comma)) != 0;
+      cwlap_options_.mask = static_cast<unsigned>(std::stoul(args.substr(comma + 1)));
+    } catch (const std::exception&) {
+      reply("\r\nERROR\r\n");
+      return;
+    }
+    reply("\r\nOK\r\n");
+    return;
+  }
+  if (line == "AT+CWLAP") {
+    if (mode_ != WifiMode::Station && mode_ != WifiMode::Both) {
+      reply("\r\nERROR\r\n");
+      return;
+    }
+    scan_position_ = position_provider_ ? position_provider_() : geom::Vec3{};
+    scan_deadline_ = now_s + config_.scan_duration_s;
+    return;  // reply comes when the sweep completes
+  }
+  reply("\r\nERROR\r\n");
+}
+
+void Esp8266Module::finish_scan(double /*now_s*/) {
+  scan_deadline_.reset();
+  std::vector<radio::Detection> detections =
+      environment_->scan(scan_position_, config_.scan_duration_s, interference_, rng_);
+
+  if (cwlap_options_.sort_by_rssi) {
+    std::sort(detections.begin(), detections.end(),
+              [](const radio::Detection& a, const radio::Detection& b) {
+                return a.rss_dbm > b.rss_dbm;
+              });
+  }
+
+  const auto& aps = environment_->access_points();
+  std::string out = "\r\n";
+  for (const radio::Detection& d : detections) {
+    const radio::AccessPoint& ap = aps[d.ap_index];
+    // Field mask (Espressif semantics): bit1 ssid, bit2 rssi, bit3 mac,
+    // bit4 channel. The paper's tuple is (ssid, rssi, mac, channel).
+    std::string fields;
+    auto append = [&fields](std::string text) {
+      if (!fields.empty()) fields += ',';
+      fields += text;
+    };
+    if (cwlap_options_.mask & 0x2u) append(util::format("\"{}\"", ap.ssid));
+    if (cwlap_options_.mask & 0x4u)
+      append(util::format("{}", static_cast<int>(std::lround(d.rss_dbm))));
+    if (cwlap_options_.mask & 0x8u) append(util::format("\"{}\"", ap.mac.to_string()));
+    if (cwlap_options_.mask & 0x10u) append(util::format("{}", d.channel));
+    out += util::format("+CWLAP:({})\r\n", fields);
+  }
+  out += "\r\nOK\r\n";
+  reply(out);
+}
+
+}  // namespace remgen::scanner

@@ -1,0 +1,86 @@
+// Simulated AI-Thinker ESP-01 (ESP8266) running the Espressif AT firmware.
+//
+// Implements the exact AT subset the paper's driver uses:
+//   AT              - liveness test
+//   AT+CWMODE_CUR=1 - set station mode (required before scanning)
+//   AT+CWLAPOPT=... - configure CWLAP output (sort-by-RSSI + field mask)
+//   AT+CWLAP        - scan for beacons; replies one "+CWLAP:(...)" line per
+//                     detected AP followed by "OK"
+// The scan itself takes Esp8266Config::scan_duration_s of simulated time and
+// samples the RadioEnvironment at the position reported by the position
+// provider, subject to the attached Crazyradio interference model.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "radio/environment.hpp"
+#include "scanner/uart.hpp"
+#include "util/rng.hpp"
+
+namespace remgen::scanner {
+
+/// Module timing parameters.
+struct Esp8266Config {
+  double scan_duration_s = 2.1;  ///< Wall time of one AT+CWLAP sweep.
+  double boot_time_s = 0.3;      ///< Time before the module answers AT.
+};
+
+/// CWLAP output field mask bits (Espressif AT semantics).
+struct CwlapOptions {
+  bool sort_by_rssi = false;
+  unsigned mask = 0x7FF;  ///< Default: all fields.
+};
+
+/// The simulated module. Step it from the firmware loop with the current
+/// simulation time; it consumes bytes from the device side of the UART and
+/// produces replies there.
+class Esp8266Module {
+ public:
+  /// `uart` and `environment` must outlive the module.
+  Esp8266Module(SimUart& uart, const radio::RadioEnvironment& environment,
+                const Esp8266Config& config, util::Rng rng);
+
+  /// Supplies the antenna position used when a scan completes (the UAV's true
+  /// position — physics does not care about the estimate).
+  void set_position_provider(std::function<geom::Vec3()> provider) {
+    position_provider_ = std::move(provider);
+  }
+
+  /// Attaches/detaches the co-located Crazyradio interference source
+  /// (nullptr = none). The pointer must outlive the module or be reset.
+  void set_interference(const radio::CrazyradioInterference* interference) {
+    interference_ = interference;
+  }
+
+  /// Advances the module to simulation time `now_s`: processes pending
+  /// commands and completes an in-flight scan whose deadline has passed.
+  void step(double now_s);
+
+  /// True while a CWLAP sweep is in progress.
+  [[nodiscard]] bool scanning() const noexcept { return scan_deadline_.has_value(); }
+
+ private:
+  enum class WifiMode { Unset, Station, SoftAp, Both };
+
+  void handle_line(const std::string& line, double now_s);
+  void finish_scan(double now_s);
+  void reply(std::string_view text) { uart_->device_write(text); }
+
+  SimUart* uart_;
+  const radio::RadioEnvironment* environment_;
+  Esp8266Config config_;
+  util::Rng rng_;
+  std::function<geom::Vec3()> position_provider_;
+  const radio::CrazyradioInterference* interference_ = nullptr;
+
+  std::string rx_buffer_;
+  WifiMode mode_ = WifiMode::Unset;
+  CwlapOptions cwlap_options_;
+  std::optional<double> scan_deadline_;
+  geom::Vec3 scan_position_;
+  double boot_ready_at_;
+};
+
+}  // namespace remgen::scanner

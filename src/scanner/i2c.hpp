@@ -1,0 +1,62 @@
+// Simulated I2C register bus.
+//
+// The Crazyflie deck header exposes I2C alongside UART; the paper's driver
+// contract explicitly allows either. Unlike the UART byte pipe, I2C is a
+// synchronous master/slave register protocol, which this models directly:
+// the master performs register reads/writes that the attached device answers
+// immediately (bus timing is far below the simulation tick).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace remgen::scanner {
+
+/// Device-side register interface.
+class I2cDevice {
+ public:
+  virtual ~I2cDevice() = default;
+
+  /// Handles a single-register write.
+  virtual void on_write(std::uint8_t reg, std::uint8_t value) = 0;
+
+  /// Handles a single-register read.
+  [[nodiscard]] virtual std::uint8_t on_read(std::uint8_t reg) = 0;
+
+  /// Handles a block read starting at `reg` (auto-incrementing).
+  [[nodiscard]] virtual std::vector<std::uint8_t> on_read_block(std::uint8_t reg,
+                                                                std::size_t length) = 0;
+};
+
+/// Single-master bus with one attached device.
+class SimI2cBus {
+ public:
+  /// Attaches the (single) device; it must outlive the bus or be detached.
+  void attach(I2cDevice* device) { device_ = device; }
+  void detach() { device_ = nullptr; }
+
+  /// Master write; returns false when no device ACKs (none attached).
+  bool write_register(std::uint8_t reg, std::uint8_t value) {
+    if (device_ == nullptr) return false;
+    device_->on_write(reg, value);
+    return true;
+  }
+
+  /// Master read; nullopt when no device ACKs.
+  [[nodiscard]] std::optional<std::uint8_t> read_register(std::uint8_t reg) {
+    if (device_ == nullptr) return std::nullopt;
+    return device_->on_read(reg);
+  }
+
+  /// Master block read; empty when no device ACKs.
+  [[nodiscard]] std::vector<std::uint8_t> read_block(std::uint8_t reg, std::size_t length) {
+    if (device_ == nullptr) return {};
+    return device_->on_read_block(reg, length);
+  }
+
+ private:
+  I2cDevice* device_ = nullptr;
+};
+
+}  // namespace remgen::scanner

@@ -1,0 +1,45 @@
+// Simulated UART: a bidirectional byte pipe between the Crazyflie expansion
+// deck header (host side) and the REM-sampling receiver (device side).
+#pragma once
+
+#include <deque>
+#include <string>
+#include <string_view>
+
+namespace remgen::scanner {
+
+/// Bidirectional byte pipe. "Host" is the UAV/driver side, "device" the
+/// receiver module side. Both directions are unbounded FIFOs (the real UART
+/// has flow control; buffer overrun is not the failure mode under study).
+class SimUart {
+ public:
+  /// Host -> device bytes.
+  void host_write(std::string_view bytes) { to_device_.append(bytes); }
+
+  /// Device -> host bytes.
+  void device_write(std::string_view bytes) { to_host_.append(bytes); }
+
+  /// Drains everything the device has sent to the host.
+  [[nodiscard]] std::string host_read() { return drain(to_host_); }
+
+  /// Drains everything the host has sent to the device.
+  [[nodiscard]] std::string device_read() { return drain(to_device_); }
+
+  /// Bytes pending toward the host.
+  [[nodiscard]] std::size_t host_pending() const noexcept { return to_host_.size(); }
+
+  /// Bytes pending toward the device.
+  [[nodiscard]] std::size_t device_pending() const noexcept { return to_device_.size(); }
+
+ private:
+  static std::string drain(std::string& buffer) {
+    std::string out = std::move(buffer);
+    buffer.clear();
+    return out;
+  }
+
+  std::string to_device_;
+  std::string to_host_;
+};
+
+}  // namespace remgen::scanner

@@ -1,0 +1,49 @@
+#include "uav/commander.hpp"
+
+#include <limits>
+
+namespace remgen::uav {
+
+const char* commander_mode_name(CommanderMode mode) {
+  switch (mode) {
+    case CommanderMode::Idle: return "idle";
+    case CommanderMode::Active: return "active";
+    case CommanderMode::LevelOut: return "level-out";
+    case CommanderMode::EmergencyStop: return "emergency-stop";
+  }
+  return "?";
+}
+
+void Commander::set_setpoint(const geom::Vec3& position, double yaw_rad, double now_s) {
+  if (mode_ == CommanderMode::EmergencyStop) return;
+  setpoint_ = position;
+  yaw_rad_ = yaw_rad;
+  last_setpoint_time_ = now_s;
+  mode_ = CommanderMode::Active;
+}
+
+void Commander::step(double now_s) {
+  if (mode_ == CommanderMode::Idle || mode_ == CommanderMode::EmergencyStop) return;
+  const double age = now_s - last_setpoint_time_;
+  if (age > config_.wdt_timeout_shutdown_s) {
+    mode_ = CommanderMode::EmergencyStop;
+  } else if (age > config_.level_out_timeout_s) {
+    mode_ = CommanderMode::LevelOut;
+  } else {
+    mode_ = CommanderMode::Active;
+  }
+}
+
+void Commander::reboot() {
+  mode_ = CommanderMode::Idle;
+  setpoint_.reset();
+  yaw_rad_ = 0.0;
+  last_setpoint_time_ = 0.0;
+}
+
+double Commander::setpoint_age(double now_s) const {
+  if (!setpoint_) return std::numeric_limits<double>::infinity();
+  return now_s - last_setpoint_time_;
+}
+
+}  // namespace remgen::uav

@@ -1,0 +1,71 @@
+// The Crazyflie commander framework (Figure 4 of the paper): consumes
+// position setpoints, levels out when setpoints stop arriving for 500 ms, and
+// shuts the platform down when none arrive within the commander watchdog
+// timeout. The paper raises COMMANDER_WDT_TIMEOUT_SHUTDOWN to 10 s so the
+// radio-off scan window can be bridged by the deck's position-hold feedback
+// task.
+#pragma once
+
+#include <optional>
+
+#include "geom/vec3.hpp"
+#include "util/contracts.hpp"
+
+namespace remgen::uav {
+
+/// Commander timeouts (names mirror the firmware constants).
+struct CommanderConfig {
+  double level_out_timeout_s = 0.5;     ///< Attitude-zero after this gap.
+  double wdt_timeout_shutdown_s = 2.0;  ///< Firmware default; the paper sets 10 s.
+};
+
+/// Commander operating mode.
+enum class CommanderMode {
+  Idle,           ///< Never received a setpoint (on the ground).
+  Active,         ///< Tracking the latest setpoint.
+  LevelOut,       ///< Setpoints stale > 500 ms: attitude zeroed, drifting.
+  EmergencyStop,  ///< Watchdog fired: motors off.
+};
+
+/// Human-readable mode name.
+[[nodiscard]] const char* commander_mode_name(CommanderMode mode);
+
+/// Setpoint consumer with the firmware's staleness semantics.
+class Commander {
+ public:
+  explicit Commander(const CommanderConfig& config = {}) : config_(config) {
+    REMGEN_EXPECTS(config.level_out_timeout_s > 0.0);
+    REMGEN_EXPECTS(config.wdt_timeout_shutdown_s > config.level_out_timeout_s);
+  }
+
+  /// Feeds a position setpoint (from the radio link or the deck's hold task).
+  /// Ignored after an emergency stop — the platform must be rebooted.
+  void set_setpoint(const geom::Vec3& position, double yaw_rad, double now_s);
+
+  /// Re-evaluates staleness at time `now_s`. Call every firmware tick.
+  void step(double now_s);
+
+  /// Clears state for a new flight (power cycle).
+  void reboot();
+
+  [[nodiscard]] CommanderMode mode() const noexcept { return mode_; }
+
+  /// Latest setpoint, if any was ever received.
+  [[nodiscard]] std::optional<geom::Vec3> setpoint() const noexcept { return setpoint_; }
+
+  [[nodiscard]] double yaw() const noexcept { return yaw_rad_; }
+
+  /// Seconds since the last setpoint (infinity if none yet).
+  [[nodiscard]] double setpoint_age(double now_s) const;
+
+  [[nodiscard]] const CommanderConfig& config() const noexcept { return config_; }
+
+ private:
+  CommanderConfig config_;
+  CommanderMode mode_ = CommanderMode::Idle;
+  std::optional<geom::Vec3> setpoint_;
+  double yaw_rad_ = 0.0;
+  double last_setpoint_time_ = 0.0;
+};
+
+}  // namespace remgen::uav

@@ -1,0 +1,219 @@
+#include "uav/crazyflie.hpp"
+
+#include <sstream>
+
+#include "util/contracts.hpp"
+#include "util/fmt.hpp"
+#include "util/log.hpp"
+
+namespace remgen::uav {
+
+Crazyflie::Crazyflie(int id, const radio::RadioEnvironment& environment,
+                     const geom::Floorplan* floorplan, std::vector<uwb::Anchor> anchors,
+                     const CrazyflieConfig& config, const geom::Vec3& start_position,
+                     util::Rng rng)
+    : id_(id),
+      config_(config),
+      rng_(rng),
+      dynamics_(config.dynamics, start_position),
+      battery_(config.battery),
+      commander_(config.commander),
+      link_(config.crtp, rng_.fork("crtp")),
+      interference_(radio::CrazyradioConfig{.carrier_mhz = config.crtp.carrier_mhz}),
+      positioning_(std::make_unique<uwb::LocoPositioningSystem>(
+          std::move(anchors), floorplan, config.lps, rng_.fork("lps"))),
+      deck_(std::make_unique<WifiScannerDeck>(environment, config.esp, rng_.fork("deck"))) {
+  deck_->set_position_provider([this] { return dynamics_.position(); });
+  deck_->set_interference(&interference_);
+  positioning_->initialize_at(start_position);
+  deck_->initialize(now_s_);
+}
+
+Crazyflie::Crazyflie(int id, const radio::RadioEnvironment& environment,
+                     std::unique_ptr<uwb::PositioningSystem> positioning,
+                     const CrazyflieConfig& config, const geom::Vec3& start_position,
+                     util::Rng rng, std::unique_ptr<RemReceiverDeck> deck)
+    : id_(id),
+      config_(config),
+      rng_(rng),
+      dynamics_(config.dynamics, start_position),
+      battery_(config.battery),
+      commander_(config.commander),
+      link_(config.crtp, rng_.fork("crtp")),
+      interference_(radio::CrazyradioConfig{.carrier_mhz = config.crtp.carrier_mhz}),
+      positioning_(std::move(positioning)),
+      deck_(deck != nullptr
+                ? std::move(deck)
+                : std::make_unique<WifiScannerDeck>(environment, config.esp, rng_.fork("deck"))) {
+  REMGEN_EXPECTS(positioning_ != nullptr);
+  deck_->set_position_provider([this] { return dynamics_.position(); });
+  deck_->set_interference(&interference_);
+  positioning_->initialize_at(start_position);
+  deck_->initialize(now_s_);
+}
+
+geom::Vec3 Crazyflie::velocity_command() const {
+  if (!flying_) return {};
+  switch (commander_.mode()) {
+    case CommanderMode::Active:
+      if (const auto sp = commander_.setpoint()) {
+        return (*sp - positioning_->estimated_position()) * config_.position_gain;
+      }
+      return {};
+    case CommanderMode::LevelOut:
+    case CommanderMode::Idle:
+      return {};  // attitude zeroed: no commanded translation, only drift
+    case CommanderMode::EmergencyStop:
+      return {};
+  }
+  return {};
+}
+
+void Crazyflie::process_command(const std::string& payload) {
+  std::istringstream in(payload);
+  std::string verb;
+  in >> verb;
+  if (verb == "takeoff") {
+    double z = 1.0;
+    in >> z;
+    flying_ = true;
+    landing_ = false;
+    const geom::Vec3 here = positioning_->estimated_position();
+    commander_.set_setpoint({here.x, here.y, z}, 0.0, now_s_);
+  } else if (verb == "goto") {
+    geom::Vec3 target;
+    if (in >> target.x >> target.y >> target.z) {
+      commander_.set_setpoint(target, 0.0, now_s_);
+    }
+  } else if (verb == "scan") {
+    int waypoint = -1;
+    in >> waypoint;
+    if (!measuring_ && deck_->state() == DeckState::Ready &&
+        deck_->start_measurement(now_s_)) {
+      measuring_ = true;
+      current_waypoint_ = waypoint;
+      // Latch the hold position: the deck's FreeRTOS task will feed it back
+      // to the commander every 100 ms while the radio is down.
+      hold_position_ = positioning_->estimated_position();
+      next_hold_feed_s_ = now_s_;
+    }
+  } else if (verb == "land") {
+    if (flying_) {
+      landing_ = true;
+      // Command straight down to the floor; motors cut at landing_height_m
+      // based on the true altitude, so an estimate bias cannot stall the
+      // descent above the cut height.
+      const geom::Vec3 here = positioning_->estimated_position();
+      commander_.set_setpoint({here.x, here.y, -0.2}, 0.0, now_s_);
+    }
+  } else if (verb == "stop") {
+    flying_ = false;
+    landing_ = false;
+    dynamics_.halt();
+  } else {
+    util::logf(util::LogLevel::Warn, "crazyflie", "uav {}: unknown command '{}'", id_, payload);
+  }
+}
+
+void Crazyflie::collect_scan_results() {
+  const std::vector<scanner::ScanTuple> tuples = deck_->parse_results();
+  // Location annotation: the position estimate latched when the scan began —
+  // the UAV was holding that position for the duration of the sweep.
+  link_.uav_send({"tlm", util::format("scanmeta {} {:.4f} {:.4f} {:.4f} {}", current_waypoint_,
+                                      hold_position_.x, hold_position_.y, hold_position_.z,
+                                      tuples.size())},
+                 now_s_);
+  for (const scanner::ScanTuple& t : tuples) {
+    link_.uav_send({"tlm", util::format("scanres {} {} {} {} {}", current_waypoint_, t.ssid,
+                                        t.rssi_dbm, t.mac.to_string(), t.channel)},
+                   now_s_);
+  }
+  measuring_ = false;
+  ++completed_scans_;
+}
+
+void Crazyflie::send_state_telemetry() {
+  const geom::Vec3 p = positioning_->estimated_position();
+  link_.uav_send({"tlm", util::format("state {:.4f} {:.4f} {:.4f} {:.3f} {}", p.x, p.y, p.z,
+                                      battery_.fraction_remaining(),
+                                      commander_mode_name(commander_.mode()))},
+                 now_s_);
+}
+
+void Crazyflie::step(double dt) {
+  REMGEN_EXPECTS(dt > 0.0);
+  now_s_ += dt;
+
+  // The nRF on-air interferer exists only while the base's dongle is up.
+  interference_.set_enabled(link_.radio_enabled());
+
+  // 1. Radio RX: commands from the base station.
+  for (const CrtpPacket& packet : link_.uav_receive(now_s_)) {
+    if (packet.port == "cmd") process_command(packet.payload);
+  }
+
+  // 2. Expansion deck (ESP module + driver).
+  deck_->step(now_s_);
+  if (measuring_ && deck_->state() == DeckState::ResultsReady) collect_scan_results();
+  if (measuring_ && deck_->state() == DeckState::Error) {
+    util::logf(util::LogLevel::Warn, "crazyflie", "uav {}: scan failed at waypoint {}", id_,
+               current_waypoint_);
+    measuring_ = false;
+  }
+  // Deck self-healing: a driver error (timeout, garbled reply) re-runs the
+  // init handshake after a short backoff instead of bricking the receiver
+  // for the rest of the flight.
+  if (deck_->state() == DeckState::Error && !measuring_) {
+    if (deck_error_since_ < 0.0) deck_error_since_ = now_s_;
+    if (now_s_ - deck_error_since_ > 0.5) {
+      util::logf(util::LogLevel::Info, "crazyflie", "uav {}: reinitializing receiver deck",
+                 id_);
+      deck_->initialize(now_s_);
+      deck_error_since_ = -1.0;
+    }
+  } else if (deck_->state() != DeckState::Error) {
+    deck_error_since_ = -1.0;
+  }
+
+  // 3. Hold-position feedback task (active only while measuring).
+  if (measuring_ && now_s_ >= next_hold_feed_s_) {
+    commander_.set_setpoint(hold_position_, 0.0, now_s_);
+    next_hold_feed_s_ = now_s_ + config_.hold_feed_period_s;
+  }
+
+  // 4. Commander staleness / watchdog.
+  commander_.step(now_s_);
+  if (commander_.mode() == CommanderMode::EmergencyStop && flying_) {
+    flying_ = false;
+    dynamics_.halt();
+  }
+
+  // 5. Flight control + physics.
+  if (flying_) {
+    dynamics_.step(dt, velocity_command(), erratic(), rng_);
+    if (landing_ && dynamics_.position().z <= config_.landing_height_m) {
+      flying_ = false;
+      landing_ = false;
+      dynamics_.halt();
+    }
+  }
+
+  // 6. State estimation: EKF prediction from the noisy IMU + UWB updates.
+  const geom::Vec3 accel_measured =
+      dynamics_.acceleration() + geom::Vec3{rng_.gaussian(0.0, config_.imu_accel_noise),
+                                            rng_.gaussian(0.0, config_.imu_accel_noise),
+                                            rng_.gaussian(0.0, config_.imu_accel_noise)};
+  positioning_->step(dt, dynamics_.position(), flying_ ? accel_measured : geom::Vec3{});
+
+  // 7. Battery.
+  battery_.drain(dt, battery_.current_ma(flying_, dynamics_.velocity().norm(), measuring_));
+
+  // 8. Periodic telemetry (only useful when the radio is up; the real nRF
+  // drops unacked console traffic on the floor, so we do not queue it).
+  if (link_.radio_enabled() && now_s_ >= next_telemetry_s_) {
+    send_state_telemetry();
+    next_telemetry_s_ = now_s_ + config_.telemetry_period_s;
+  }
+}
+
+}  // namespace remgen::uav

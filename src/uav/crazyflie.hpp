@@ -1,0 +1,131 @@
+// The Crazyflie 2.1 aggregate: dynamics + battery + commander + LPS (UWB tag
+// deck) + REM-receiver deck + CRTP link, stepped as one firmware loop.
+//
+// The base station talks to the UAV exclusively through the CrtpLink using a
+// small textual command set on port "cmd":
+//   takeoff <z>        rise to height z at the current position
+//   goto <x> <y> <z>   position setpoint (resent continuously by the client)
+//   scan <wp>          start a REM measurement tagged with waypoint index wp
+//   land               descend and cut motors near the floor
+//   stop               cut motors immediately
+// The UAV emits on port "tlm":
+//   state <x> <y> <z> <battery> <mode>            (periodic, radio on only)
+//   scanmeta <wp> <x> <y> <z> <n>                 (estimated scan position)
+//   scanres <wp> <ssid> <rssi> <mac> <channel>    (one per detected AP)
+// Scan telemetry is sent through the CRTP TX queue, so it survives the
+// radio-off window iff CRTP_TX_QUEUE_SIZE is large enough — exactly the
+// firmware change the paper describes.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "geom/floorplan.hpp"
+#include "radio/environment.hpp"
+#include "radio/interference.hpp"
+#include "scanner/esp8266.hpp"
+#include "uav/battery.hpp"
+#include "uav/commander.hpp"
+#include "uav/crtp.hpp"
+#include "uav/dynamics.hpp"
+#include "uav/remdeck.hpp"
+#include "uwb/lps.hpp"
+#include "uwb/positioning.hpp"
+#include "util/rng.hpp"
+
+namespace remgen::uav {
+
+/// Full per-UAV configuration.
+struct CrazyflieConfig {
+  BatteryConfig battery;
+  DynamicsConfig dynamics;
+  CommanderConfig commander{.level_out_timeout_s = 0.5,
+                            .wdt_timeout_shutdown_s = 10.0};  // the paper's raised WDT
+  CrtpConfig crtp{.tx_queue_size = 128};  // the paper's enlarged TX queue
+  uwb::LpsConfig lps;
+  scanner::Esp8266Config esp;
+  double position_gain = 1.5;        ///< P gain, position error -> velocity cmd.
+  double imu_accel_noise = 0.25;     ///< m/s^2 accelerometer noise fed to the EKF.
+  double telemetry_period_s = 0.5;   ///< State telemetry rate (radio on).
+  double hold_feed_period_s = 0.1;   ///< The deck hold task's 100 ms feedback.
+  double landing_height_m = 0.12;    ///< Motors cut below this during landing.
+};
+
+/// One simulated Crazyflie.
+class Crazyflie {
+ public:
+  /// `environment` and `floorplan` must outlive the UAV. Builds a UWB Loco
+  /// Positioning stack from the given anchors.
+  Crazyflie(int id, const radio::RadioEnvironment& environment,
+            const geom::Floorplan* floorplan, std::vector<uwb::Anchor> anchors,
+            const CrazyflieConfig& config, const geom::Vec3& start_position, util::Rng rng);
+
+  /// Same, but with a caller-supplied positioning stack (e.g. the Lighthouse
+  /// system) instead of UWB, and optionally a caller-supplied REM-receiver
+  /// deck (e.g. the BLE observer) instead of the Wi-Fi scanner.
+  Crazyflie(int id, const radio::RadioEnvironment& environment,
+            std::unique_ptr<uwb::PositioningSystem> positioning, const CrazyflieConfig& config,
+            const geom::Vec3& start_position, util::Rng rng,
+            std::unique_ptr<RemReceiverDeck> deck = nullptr);
+
+  /// Advances the firmware loop by one tick of dt seconds.
+  void step(double dt);
+
+  /// Simulation time as seen by this UAV's firmware.
+  [[nodiscard]] double now() const noexcept { return now_s_; }
+
+  /// The radio link (the base station's handle on this UAV).
+  [[nodiscard]] CrtpLink& link() noexcept { return link_; }
+
+  [[nodiscard]] int id() const noexcept { return id_; }
+  [[nodiscard]] const geom::Vec3& true_position() const noexcept { return dynamics_.position(); }
+  [[nodiscard]] geom::Vec3 estimated_position() const {
+    return positioning_->estimated_position();
+  }
+  [[nodiscard]] const Battery& battery() const noexcept { return battery_; }
+  [[nodiscard]] const Commander& commander() const noexcept { return commander_; }
+  [[nodiscard]] const RemReceiverDeck& deck() const noexcept { return *deck_; }
+  [[nodiscard]] bool flying() const noexcept { return flying_; }
+  [[nodiscard]] bool erratic() const noexcept { return battery_.exhausted(); }
+  [[nodiscard]] const radio::CrazyradioInterference& interference() const noexcept {
+    return interference_;
+  }
+  [[nodiscard]] const uwb::PositioningSystem& positioning() const noexcept {
+    return *positioning_;
+  }
+
+  /// Number of completed measurements since boot.
+  [[nodiscard]] std::size_t completed_scans() const noexcept { return completed_scans_; }
+
+ private:
+  void process_command(const std::string& payload);
+  void collect_scan_results();
+  void send_state_telemetry();
+  [[nodiscard]] geom::Vec3 velocity_command() const;
+
+  int id_;
+  CrazyflieConfig config_;
+  util::Rng rng_;
+  double now_s_ = 0.0;
+
+  QuadrotorDynamics dynamics_;
+  Battery battery_;
+  Commander commander_;
+  CrtpLink link_;
+  radio::CrazyradioInterference interference_;
+  std::unique_ptr<uwb::PositioningSystem> positioning_;
+  std::unique_ptr<RemReceiverDeck> deck_;
+
+  bool flying_ = false;
+  bool landing_ = false;
+  bool measuring_ = false;
+  int current_waypoint_ = -1;
+  geom::Vec3 hold_position_;        ///< Estimated position latched at scan start.
+  double next_hold_feed_s_ = 0.0;
+  double next_telemetry_s_ = 0.0;
+  double deck_error_since_ = -1.0;  ///< Start of the current deck-error episode.
+  std::size_t completed_scans_ = 0;
+};
+
+}  // namespace remgen::uav

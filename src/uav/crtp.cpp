@@ -1,0 +1,72 @@
+#include "uav/crtp.hpp"
+
+namespace remgen::uav {
+
+void CrtpLink::set_radio_enabled(bool enabled, double now_s) {
+  if (enabled == radio_on_) return;
+  radio_on_ = enabled;
+  if (enabled) {
+    // Flush the UAV TX queue through the restored link.
+    while (!tx_queue_.empty()) {
+      CrtpPacket packet = std::move(tx_queue_.front());
+      tx_queue_.pop_front();
+      if (rng_.bernoulli(config_.loss_probability)) {
+        ++link_drops_;
+        continue;
+      }
+      to_base_.push_back({std::move(packet), now_s + config_.latency_s});
+    }
+  }
+}
+
+bool CrtpLink::uav_send(CrtpPacket packet, double now_s) {
+  packet.sent_at_s = now_s;
+  if (!radio_on_) {
+    if (tx_queue_.size() >= config_.tx_queue_size) {
+      ++tx_queue_drops_;
+      return false;
+    }
+    tx_queue_.push_back(std::move(packet));
+    return true;
+  }
+  if (rng_.bernoulli(config_.loss_probability)) {
+    ++link_drops_;
+    return false;
+  }
+  to_base_.push_back({std::move(packet), now_s + config_.latency_s});
+  return true;
+}
+
+bool CrtpLink::base_send(CrtpPacket packet, double now_s) {
+  packet.sent_at_s = now_s;
+  if (!radio_on_) {
+    ++link_drops_;
+    return false;
+  }
+  if (rng_.bernoulli(config_.loss_probability)) {
+    ++link_drops_;
+    return false;
+  }
+  to_uav_.push_back({std::move(packet), now_s + config_.latency_s});
+  return true;
+}
+
+std::vector<CrtpPacket> CrtpLink::base_receive(double now_s) {
+  std::vector<CrtpPacket> out;
+  while (!to_base_.empty() && to_base_.front().deliver_at_s <= now_s) {
+    out.push_back(std::move(to_base_.front().packet));
+    to_base_.pop_front();
+  }
+  return out;
+}
+
+std::vector<CrtpPacket> CrtpLink::uav_receive(double now_s) {
+  std::vector<CrtpPacket> out;
+  while (!to_uav_.empty() && to_uav_.front().deliver_at_s <= now_s) {
+    out.push_back(std::move(to_uav_.front().packet));
+    to_uav_.pop_front();
+  }
+  return out;
+}
+
+}  // namespace remgen::uav

@@ -1,0 +1,92 @@
+// Crazyradio RealTime Protocol (CRTP) link simulation.
+//
+// Models the properties the paper's design depends on: the link can be
+// switched off at the base station (Crazyradio dongle) to avoid
+// self-interference during scans; while it is off, UAV-originated packets
+// accumulate in a bounded firmware TX queue (CRTP_TX_QUEUE_SIZE — the paper
+// enlarges it so a full scan result survives the radio-off window) and
+// base-originated packets are simply lost; when the radio comes back, queued
+// packets flush in order after the link latency.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "util/contracts.hpp"
+#include "util/rng.hpp"
+
+namespace remgen::uav {
+
+/// One CRTP packet (payload abstracted as a string; `port` mirrors CRTP's
+/// port multiplexing).
+struct CrtpPacket {
+  std::string port;
+  std::string payload;
+  double sent_at_s = 0.0;
+};
+
+/// Link parameters.
+struct CrtpConfig {
+  std::size_t tx_queue_size = 16;    ///< Firmware default; the paper enlarges it.
+  double latency_s = 0.004;          ///< One-way delivery latency.
+  double loss_probability = 0.005;   ///< Random on-air loss when the radio is on.
+  double carrier_mhz = 2450.0;       ///< nRF24 channel (interference source).
+};
+
+/// Bidirectional CRTP link between one UAV and the base station.
+class CrtpLink {
+ public:
+  CrtpLink(const CrtpConfig& config, util::Rng rng) : config_(config), rng_(rng) {
+    REMGEN_EXPECTS(config.tx_queue_size > 0);
+    REMGEN_EXPECTS(config.latency_s >= 0.0);
+  }
+
+  [[nodiscard]] const CrtpConfig& config() const noexcept { return config_; }
+
+  /// Switches the base-station dongle on/off. Turning it on flushes the UAV's
+  /// TX queue (packets become deliverable after the link latency from `now_s`).
+  void set_radio_enabled(bool enabled, double now_s);
+  [[nodiscard]] bool radio_enabled() const noexcept { return radio_on_; }
+
+  /// UAV -> base. Returns false if the packet was dropped (queue overflow
+  /// while the radio is off, or on-air loss).
+  bool uav_send(CrtpPacket packet, double now_s);
+
+  /// Base -> UAV. Returns false if dropped (radio off, or on-air loss).
+  bool base_send(CrtpPacket packet, double now_s);
+
+  /// Packets that have arrived at the base station by `now_s`, in order.
+  [[nodiscard]] std::vector<CrtpPacket> base_receive(double now_s);
+
+  /// Packets that have arrived at the UAV by `now_s`, in order.
+  [[nodiscard]] std::vector<CrtpPacket> uav_receive(double now_s);
+
+  /// Packets currently waiting in the UAV's TX queue (radio off).
+  [[nodiscard]] std::size_t tx_queue_depth() const noexcept { return tx_queue_.size(); }
+
+  /// Total packets dropped due to TX queue overflow (the failure mode the
+  /// paper's CRTP_TX_QUEUE_SIZE increase prevents).
+  [[nodiscard]] std::size_t tx_queue_drops() const noexcept { return tx_queue_drops_; }
+
+  /// Total packets lost on air or while the radio was off (base->UAV).
+  [[nodiscard]] std::size_t link_drops() const noexcept { return link_drops_; }
+
+ private:
+  struct InFlight {
+    CrtpPacket packet;
+    double deliver_at_s;
+  };
+
+  CrtpConfig config_;
+  util::Rng rng_;
+  bool radio_on_ = true;
+  std::deque<CrtpPacket> tx_queue_;       ///< UAV-side queue while radio off.
+  std::deque<InFlight> to_base_;
+  std::deque<InFlight> to_uav_;
+  std::size_t tx_queue_drops_ = 0;
+  std::size_t link_drops_ = 0;
+};
+
+}  // namespace remgen::uav

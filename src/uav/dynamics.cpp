@@ -1,0 +1,34 @@
+#include "uav/dynamics.hpp"
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+
+namespace remgen::uav {
+
+namespace {
+geom::Vec3 clamp_norm(const geom::Vec3& v, double limit) {
+  const double n = v.norm();
+  if (n <= limit || n < 1e-12) return v;
+  return v * (limit / n);
+}
+}  // namespace
+
+void QuadrotorDynamics::step(double dt, const geom::Vec3& velocity_command, bool erratic,
+                             util::Rng& rng) {
+  REMGEN_EXPECTS(dt > 0.0);
+  const geom::Vec3 v_cmd = clamp_norm(velocity_command, config_.max_speed_mps);
+
+  geom::Vec3 accel = (v_cmd - velocity_) * config_.velocity_gain;
+  accel = clamp_norm(accel, config_.max_accel_mps2);
+
+  const double jitter =
+      config_.hover_jitter_mps2 + (erratic ? config_.erratic_jitter_mps2 : 0.0);
+  accel += {rng.gaussian(0.0, jitter), rng.gaussian(0.0, jitter), rng.gaussian(0.0, jitter)};
+
+  position_ += velocity_ * dt + accel * (0.5 * dt * dt);
+  velocity_ += accel * dt;
+  acceleration_ = accel;
+}
+
+}  // namespace remgen::uav

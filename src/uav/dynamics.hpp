@@ -1,0 +1,53 @@
+// Simplified quadrotor translational dynamics.
+//
+// The behaviours under study (waypoint visiting, hover hold during scans,
+// endurance) are captured by a velocity-tracking point-mass model with
+// acceleration limits and hover turbulence; attitude dynamics are abstracted
+// away (the commander's level-out behaviour is modelled at the velocity
+// level).
+#pragma once
+
+#include "geom/vec3.hpp"
+#include "util/rng.hpp"
+
+namespace remgen::uav {
+
+/// Flight envelope and control-loop parameters.
+struct DynamicsConfig {
+  double max_speed_mps = 1.0;       ///< Conservative indoor speed.
+  double max_accel_mps2 = 2.5;      ///< Thrust-limited acceleration.
+  double velocity_gain = 4.0;       ///< P gain, velocity error -> acceleration.
+  double hover_jitter_mps2 = 0.15;  ///< Turbulence/controller noise (accel).
+  double erratic_jitter_mps2 = 2.0; ///< Extra noise once the battery is gone.
+};
+
+/// Point-mass quadrotor state integrator.
+class QuadrotorDynamics {
+ public:
+  QuadrotorDynamics(const DynamicsConfig& config, const geom::Vec3& initial_position)
+      : config_(config), position_(initial_position) {}
+
+  /// One integration step tracking `velocity_command` (clamped to the
+  /// envelope). `erratic` injects the end-of-battery instability.
+  void step(double dt, const geom::Vec3& velocity_command, bool erratic, util::Rng& rng);
+
+  /// Immediately zeroes velocity (motors off on the ground).
+  void halt() { velocity_ = {}; acceleration_ = {}; }
+
+  [[nodiscard]] const geom::Vec3& position() const noexcept { return position_; }
+  [[nodiscard]] const geom::Vec3& velocity() const noexcept { return velocity_; }
+
+  /// Acceleration applied in the last step (world frame; what an ideal IMU
+  /// would report after gravity compensation).
+  [[nodiscard]] const geom::Vec3& acceleration() const noexcept { return acceleration_; }
+
+  [[nodiscard]] const DynamicsConfig& config() const noexcept { return config_; }
+
+ private:
+  DynamicsConfig config_;
+  geom::Vec3 position_;
+  geom::Vec3 velocity_;
+  geom::Vec3 acceleration_;
+};
+
+}  // namespace remgen::uav

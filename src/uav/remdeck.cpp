@@ -1,0 +1,35 @@
+#include "uav/remdeck.hpp"
+
+namespace remgen::uav {
+
+WifiScannerDeck::WifiScannerDeck(const radio::RadioEnvironment& environment,
+                                 const scanner::Esp8266Config& config, util::Rng rng)
+    : module_(uart_, environment, config, rng),
+      driver_(uart_, /*timeout_s=*/config.scan_duration_s + 4.0),
+      scan_duration_s_(config.scan_duration_s) {}
+
+namespace {
+DeckState from_driver_state(scanner::DriverState state) {
+  switch (state) {
+    case scanner::DriverState::Uninitialized: return DeckState::Uninitialized;
+    case scanner::DriverState::Initializing: return DeckState::Initializing;
+    case scanner::DriverState::Ready: return DeckState::Ready;
+    case scanner::DriverState::Scanning: return DeckState::Measuring;
+    case scanner::DriverState::ResultsReady: return DeckState::ResultsReady;
+    case scanner::DriverState::Error: return DeckState::Error;
+  }
+  return DeckState::Error;
+}
+}  // namespace
+
+DeckState WifiScannerDeck::state() const { return from_driver_state(driver_.state()); }
+
+BleScannerDeck::BleScannerDeck(const radio::BleEnvironment& environment,
+                               const scanner::BleModuleConfig& config, util::Rng rng)
+    : module_(bus_, environment, config, rng),
+      driver_(bus_, /*timeout_s=*/config.scan_duration_s + 4.0),
+      scan_duration_s_(config.scan_duration_s) {}
+
+DeckState BleScannerDeck::state() const { return from_driver_state(driver_.state()); }
+
+}  // namespace remgen::uav

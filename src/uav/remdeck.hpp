@@ -1,0 +1,146 @@
+// Technology-agnostic REM-sampling receiver deck interface.
+//
+// One of the paper's two extra design requirements over prior work is a
+// modular interface between the UAV and any REM-sampling device (Wi-Fi,
+// LoRa, BLE, mmWave, ...): the user provides a driver that reacts to four
+// instructions — initialize, check state, collect a measurement, parse the
+// output — over UART or I2C, and the receiver must fit the deck's size and
+// weight budget. This header is that contract; WifiScannerDeck is the paper's
+// ESP-01 instantiation.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "radio/ble.hpp"
+#include "radio/environment.hpp"
+#include "scanner/ble_driver.hpp"
+#include "scanner/ble_module.hpp"
+#include "scanner/driver.hpp"
+#include "scanner/esp8266.hpp"
+#include "scanner/i2c.hpp"
+#include "scanner/uart.hpp"
+#include "util/rng.hpp"
+
+namespace remgen::uav {
+
+/// Deck-level receiver state (a technology-neutral view of the driver).
+enum class DeckState {
+  Uninitialized,
+  Initializing,
+  Ready,
+  Measuring,
+  ResultsReady,
+  Error,
+};
+
+/// Physical integration constraints the paper states for carried receivers.
+struct DeckBudget {
+  double max_weight_g = 20.0;  ///< "up to 20 grams"
+  double max_length_mm = 30.0; ///< "USB-dongle dimensions"
+};
+
+/// The four-instruction driver contract.
+class RemReceiverDeck {
+ public:
+  virtual ~RemReceiverDeck() = default;
+
+  /// Instruction (i): initialize the receiver.
+  virtual void initialize(double now_s) = 0;
+
+  /// Instruction (ii): check the receiver state.
+  [[nodiscard]] virtual DeckState state() const = 0;
+
+  /// Instruction (iii): instruct the receiver to collect a measurement.
+  /// Returns false unless the deck is Ready.
+  virtual bool start_measurement(double now_s) = 0;
+
+  /// Instruction (iv): parse the output of the previous instruction.
+  /// Valid only in ResultsReady; transitions back to Ready.
+  [[nodiscard]] virtual std::vector<scanner::ScanTuple> parse_results() = 0;
+
+  /// Advances the deck's internals one firmware tick.
+  virtual void step(double now_s) = 0;
+
+  // --- simulation harness hooks ---------------------------------------------
+
+  /// Supplies the antenna position used when a measurement completes.
+  virtual void set_position_provider(std::function<geom::Vec3()> provider) = 0;
+
+  /// Couples/decouples the co-located Crazyradio interferer (nullptr = none).
+  virtual void set_interference(const radio::CrazyradioInterference* interference) = 0;
+
+  /// Nominal measurement duration (used by mission timing).
+  [[nodiscard]] virtual double scan_duration_s() const = 0;
+};
+
+/// The paper's instantiation: ESP-01 module soldered on a prototyping deck,
+/// driven over UART with AT commands.
+class WifiScannerDeck final : public RemReceiverDeck {
+ public:
+  WifiScannerDeck(const radio::RadioEnvironment& environment,
+                  const scanner::Esp8266Config& config, util::Rng rng);
+
+  void initialize(double now_s) override { driver_.request_init(now_s); }
+  [[nodiscard]] DeckState state() const override;
+  bool start_measurement(double now_s) override { return driver_.request_scan(now_s); }
+  [[nodiscard]] std::vector<scanner::ScanTuple> parse_results() override {
+    return driver_.take_results();
+  }
+  void step(double now_s) override {
+    module_.step(now_s);
+    driver_.step(now_s);
+  }
+
+  void set_position_provider(std::function<geom::Vec3()> provider) override {
+    module_.set_position_provider(std::move(provider));
+  }
+  void set_interference(const radio::CrazyradioInterference* interference) override {
+    module_.set_interference(interference);
+  }
+  [[nodiscard]] double scan_duration_s() const override { return scan_duration_s_; }
+
+ private:
+  scanner::SimUart uart_;
+  scanner::Esp8266Module module_;
+  scanner::ScannerDriver driver_;
+  double scan_duration_s_;
+};
+
+/// The BLE instantiation: an I2C register module observing the three BLE
+/// advertising channels. Integrating it required exactly the four driver
+/// instructions — the modularity claim of the paper, demonstrated with a
+/// second wireless technology and a second hardware interface.
+class BleScannerDeck final : public RemReceiverDeck {
+ public:
+  BleScannerDeck(const radio::BleEnvironment& environment,
+                 const scanner::BleModuleConfig& config, util::Rng rng);
+
+  void initialize(double now_s) override { driver_.request_init(now_s); }
+  [[nodiscard]] DeckState state() const override;
+  bool start_measurement(double now_s) override { return driver_.request_scan(now_s); }
+  [[nodiscard]] std::vector<scanner::ScanTuple> parse_results() override {
+    return driver_.take_results();
+  }
+  void step(double now_s) override {
+    module_.step(now_s);
+    driver_.step(now_s);
+  }
+
+  void set_position_provider(std::function<geom::Vec3()> provider) override {
+    module_.set_position_provider(std::move(provider));
+  }
+  void set_interference(const radio::CrazyradioInterference* interference) override {
+    module_.set_interference(interference);
+  }
+  [[nodiscard]] double scan_duration_s() const override { return scan_duration_s_; }
+
+ private:
+  scanner::SimI2cBus bus_;
+  scanner::BleObserverModule module_;
+  scanner::BleScannerDriver driver_;
+  double scan_duration_s_;
+};
+
+}  // namespace remgen::uav

@@ -1,0 +1,77 @@
+#include "util/args.hpp"
+
+#include <cstdlib>
+
+namespace remgen::util {
+
+std::optional<Args> Args::parse(int argc, const char* const* argv,
+                                const std::set<std::string>& value_keys,
+                                const std::set<std::string>& flag_keys, std::string* error) {
+  Args args;
+  int i = 1;
+  if (i < argc && argv[i][0] != '-') {
+    args.command_ = argv[i];
+    ++i;
+  }
+  for (; i < argc; ++i) {
+    const std::string token = argv[i];
+    if (token.rfind("--", 0) != 0) {
+      if (error != nullptr) *error = "unexpected positional argument: " + token;
+      return std::nullopt;
+    }
+    const std::string name = token.substr(2);
+    if (flag_keys.count(name)) {
+      args.flags_.insert(name);
+      continue;
+    }
+    if (value_keys.count(name)) {
+      if (i + 1 >= argc) {
+        if (error != nullptr) *error = "option --" + name + " needs a value";
+        return std::nullopt;
+      }
+      args.values_[name] = argv[++i];
+      continue;
+    }
+    if (error != nullptr) *error = "unknown option --" + name;
+    return std::nullopt;
+  }
+  return args;
+}
+
+std::string Args::value(const std::string& name, const std::string& fallback) const {
+  const auto it = values_.find(name);
+  return it == values_.end() ? fallback : it->second;
+}
+
+double Args::value_double(const std::string& name, double fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  return end == it->second.c_str() ? fallback : v;
+}
+
+long Args::value_int(const std::string& name, long fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  char* end = nullptr;
+  const long v = std::strtol(it->second.c_str(), &end, 10);
+  return end == it->second.c_str() ? fallback : v;
+}
+
+std::vector<std::string> split_list(const std::string& text, char separator) {
+  std::vector<std::string> out;
+  std::string piece;
+  for (const char c : text) {
+    if (c == separator) {
+      if (!piece.empty()) out.push_back(std::move(piece));
+      piece.clear();
+    } else {
+      piece.push_back(c);
+    }
+  }
+  if (!piece.empty()) out.push_back(std::move(piece));
+  return out;
+}
+
+}  // namespace remgen::util

@@ -1,0 +1,54 @@
+// Minimal command-line argument parser for the remgen CLI tool.
+//
+// Grammar: `program <command> [--key value]... [--flag]...`. Options are
+// declared up front so unknown keys are reported instead of silently
+// swallowed.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace remgen::util {
+
+/// Parsed command line.
+class Args {
+ public:
+  /// Parses argv after declaring which `--key value` options and `--flag`
+  /// switches exist. Returns std::nullopt and fills `error` on unknown or
+  /// malformed input. argv[1], when present and not starting with "--", is
+  /// the command.
+  [[nodiscard]] static std::optional<Args> parse(int argc, const char* const* argv,
+                                                 const std::set<std::string>& value_keys,
+                                                 const std::set<std::string>& flag_keys,
+                                                 std::string* error);
+
+  /// The subcommand (argv[1]); empty when none was given.
+  [[nodiscard]] const std::string& command() const noexcept { return command_; }
+
+  /// True iff --name was present as a flag.
+  [[nodiscard]] bool flag(const std::string& name) const { return flags_.count(name) > 0; }
+
+  /// Value of --name, or `fallback` when absent.
+  [[nodiscard]] std::string value(const std::string& name, const std::string& fallback = "") const;
+
+  /// Value of --name parsed as double/int, or `fallback` when absent or
+  /// unparseable.
+  [[nodiscard]] double value_double(const std::string& name, double fallback) const;
+  [[nodiscard]] long value_int(const std::string& name, long fallback) const;
+
+  /// True iff --name was given.
+  [[nodiscard]] bool has(const std::string& name) const { return values_.count(name) > 0; }
+
+ private:
+  std::string command_;
+  std::map<std::string, std::string> values_;
+  std::set<std::string> flags_;
+};
+
+/// Splits "a,b,c" into {"a","b","c"} (empty pieces dropped).
+[[nodiscard]] std::vector<std::string> split_list(const std::string& text, char separator = ',');
+
+}  // namespace remgen::util

@@ -1,0 +1,36 @@
+// Lightweight contract checking in the spirit of the C++ Core Guidelines
+// (I.6 "Prefer Expects()", I.8 "Prefer Ensures()").
+//
+// Contract violations indicate programmer error and terminate via
+// remgen::util::contract_violation(), which prints a diagnostic and aborts.
+// They are enabled in all build types: the library is a simulator whose value
+// is correctness, and the checks are cheap relative to the numeric work.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace remgen::util {
+
+/// Prints a contract-violation diagnostic and aborts. Never returns.
+[[noreturn]] inline void contract_violation(const char* kind, const char* expr,
+                                            const char* file, int line) {
+  std::fprintf(stderr, "remgen: %s violation: (%s) at %s:%d\n", kind, expr, file, line);
+  std::abort();
+}
+
+}  // namespace remgen::util
+
+/// Precondition check: callers must satisfy `cond` before entry.
+#define REMGEN_EXPECTS(cond)                                                       \
+  do {                                                                             \
+    if (!(cond))                                                                   \
+      ::remgen::util::contract_violation("precondition", #cond, __FILE__, __LINE__); \
+  } while (false)
+
+/// Postcondition / invariant check: the implementation must establish `cond`.
+#define REMGEN_ENSURES(cond)                                                        \
+  do {                                                                              \
+    if (!(cond))                                                                    \
+      ::remgen::util::contract_violation("postcondition", #cond, __FILE__, __LINE__); \
+  } while (false)

@@ -1,0 +1,50 @@
+// Minimal CSV reading/writing for dataset import/export.
+//
+// The format is deliberately simple: comma separation, optional quoting with
+// double-quote escaping, one header row. This is sufficient for the sample
+// datasets remgen produces and consumes.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace remgen::util {
+
+/// One parsed CSV row.
+using CsvRow = std::vector<std::string>;
+
+/// In-memory CSV table with a header row.
+struct CsvTable {
+  CsvRow header;
+  std::vector<CsvRow> rows;
+
+  /// Index of a header column, or -1 when absent.
+  [[nodiscard]] int column_index(std::string_view name) const;
+};
+
+/// Parses CSV text (header row first). Handles quoted fields with embedded
+/// commas/quotes/newlines. Throws std::runtime_error on malformed quoting.
+[[nodiscard]] CsvTable parse_csv(std::string_view text);
+
+/// Reads and parses a CSV file. Throws std::runtime_error if unreadable.
+[[nodiscard]] CsvTable read_csv_file(const std::string& path);
+
+/// Streaming CSV writer.
+class CsvWriter {
+ public:
+  /// Writes to the given stream, which must outlive the writer.
+  explicit CsvWriter(std::ostream& out) : out_(&out) {}
+
+  /// Writes one row, quoting fields as needed.
+  void write_row(const std::vector<std::string>& fields);
+
+ private:
+  std::ostream* out_;
+};
+
+/// Quotes a field if it contains separators, quotes, or newlines.
+[[nodiscard]] std::string csv_escape(std::string_view field);
+
+}  // namespace remgen::util

@@ -1,0 +1,154 @@
+// Minimal std::format-like string formatting.
+//
+// The toolchain this library targets (GCC 12) does not ship <format>, so we
+// provide the small subset the codebase needs: positional "{}" fields with
+// optional ":[0][width][.precision][type]" specs where type is one of
+// d/x/X/f/e/g/s. Unmatched braces are literal ("{{" and "}}" escapes are
+// supported). Errors (too few arguments, bad spec) throw std::runtime_error —
+// formatting is only used for logs, names and reports, never on hot paths.
+#pragma once
+
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <type_traits>
+
+namespace remgen::util {
+
+namespace detail {
+
+struct FormatSpec {
+  bool zero_pad = false;
+  int width = 0;
+  int precision = -1;
+  char type = 0;
+};
+
+/// Parses the text between ':' and '}' of a replacement field.
+inline FormatSpec parse_spec(std::string_view spec) {
+  FormatSpec out;
+  std::size_t i = 0;
+  if (i < spec.size() && spec[i] == '0') {
+    out.zero_pad = true;
+    ++i;
+  }
+  while (i < spec.size() && spec[i] >= '0' && spec[i] <= '9') {
+    out.width = out.width * 10 + (spec[i] - '0');
+    ++i;
+  }
+  if (i < spec.size() && spec[i] == '.') {
+    ++i;
+    out.precision = 0;
+    while (i < spec.size() && spec[i] >= '0' && spec[i] <= '9') {
+      out.precision = out.precision * 10 + (spec[i] - '0');
+      ++i;
+    }
+  }
+  if (i < spec.size()) {
+    out.type = spec[i];
+    ++i;
+  }
+  if (i != spec.size()) throw std::runtime_error("format: bad spec");
+  return out;
+}
+
+inline void pad_and_append(std::string& out, const FormatSpec& spec, std::string_view body,
+                           bool numeric) {
+  const int pad = spec.width - static_cast<int>(body.size());
+  if (pad > 0) {
+    const bool zero = spec.zero_pad && numeric;
+    // Zero padding goes after a leading sign.
+    if (zero && !body.empty() && (body[0] == '-' || body[0] == '+')) {
+      out.push_back(body[0]);
+      body.remove_prefix(1);
+    }
+    out.append(static_cast<std::size_t>(pad), zero ? '0' : ' ');
+  }
+  out.append(body);
+}
+
+template <typename T>
+void format_value(std::string& out, const FormatSpec& spec, const T& value) {
+  char buf[64];
+  if constexpr (std::is_same_v<T, bool>) {
+    pad_and_append(out, spec, value ? "true" : "false", false);
+  } else if constexpr (std::is_integral_v<T>) {
+    int n;
+    if (spec.type == 'x' || spec.type == 'X') {
+      n = std::snprintf(buf, sizeof buf, spec.type == 'x' ? "%llx" : "%llX",
+                        static_cast<unsigned long long>(static_cast<std::make_unsigned_t<T>>(value)));
+    } else if constexpr (std::is_unsigned_v<T>) {
+      n = std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(value));
+    } else {
+      n = std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(value));
+    }
+    pad_and_append(out, spec, std::string_view(buf, static_cast<std::size_t>(n)), true);
+  } else if constexpr (std::is_floating_point_v<T>) {
+    const int precision = spec.precision >= 0 ? spec.precision : 6;
+    const char type = (spec.type == 'e' || spec.type == 'g' || spec.type == 'f') ? spec.type : 'f';
+    char fmt[16];
+    std::snprintf(fmt, sizeof fmt, "%%.%d%c", precision, type);
+    const int n = std::snprintf(buf, sizeof buf, fmt, static_cast<double>(value));
+    pad_and_append(out, spec, std::string_view(buf, static_cast<std::size_t>(n)), true);
+  } else if constexpr (std::is_convertible_v<T, std::string_view>) {
+    pad_and_append(out, spec, std::string_view(value), false);
+  } else {
+    static_assert(sizeof(T) == 0, "unsupported type for remgen::util::format");
+  }
+}
+
+/// Formats the i-th replacement field by walking the argument pack.
+inline void format_index(std::string&, const FormatSpec&, std::size_t) {
+  throw std::runtime_error("format: too few arguments");
+}
+
+template <typename First, typename... Rest>
+void format_index(std::string& out, const FormatSpec& spec, std::size_t index, const First& first,
+                  const Rest&... rest) {
+  if (index == 0) {
+    format_value(out, spec, first);
+  } else {
+    format_index(out, spec, index - 1, rest...);
+  }
+}
+
+}  // namespace detail
+
+/// Formats `fmt` with the given arguments (std::format subset; see header doc).
+template <typename... Args>
+[[nodiscard]] std::string format(std::string_view fmt, const Args&... args) {
+  std::string out;
+  out.reserve(fmt.size() + 16 * sizeof...(Args));
+  std::size_t next_arg = 0;
+  for (std::size_t i = 0; i < fmt.size(); ++i) {
+    const char c = fmt[i];
+    if (c == '{') {
+      if (i + 1 < fmt.size() && fmt[i + 1] == '{') {
+        out.push_back('{');
+        ++i;
+        continue;
+      }
+      const std::size_t close = fmt.find('}', i);
+      if (close == std::string_view::npos) throw std::runtime_error("format: unmatched '{'");
+      std::string_view field = fmt.substr(i + 1, close - i - 1);
+      detail::FormatSpec spec;
+      if (const std::size_t colon = field.find(':'); colon != std::string_view::npos) {
+        if (colon != 0) throw std::runtime_error("format: positional indices unsupported");
+        spec = detail::parse_spec(field.substr(colon + 1));
+      } else if (!field.empty()) {
+        throw std::runtime_error("format: positional indices unsupported");
+      }
+      detail::format_index(out, spec, next_arg++, args...);
+      i = close;
+    } else if (c == '}') {
+      if (i + 1 < fmt.size() && fmt[i + 1] == '}') ++i;
+      out.push_back('}');
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace remgen::util

@@ -1,0 +1,30 @@
+// Minimal leveled logging. Simulation components log sparingly at Info and
+// below; the default level (Warn) keeps test and bench output clean.
+#pragma once
+
+#include <string_view>
+
+#include "util/fmt.hpp"
+
+namespace remgen::util {
+
+enum class LogLevel { Trace = 0, Debug = 1, Info = 2, Warn = 3, Error = 4, Off = 5 };
+
+/// Sets the global minimum level that will be emitted.
+void set_log_level(LogLevel level);
+
+/// Current global minimum level.
+[[nodiscard]] LogLevel log_level();
+
+/// Emits one log line to stderr if `level` passes the global filter.
+void log_message(LogLevel level, std::string_view component, std::string_view message);
+
+/// Formats and emits a log line lazily (arguments are only formatted when the
+/// level passes the filter).
+template <typename... Args>
+void logf(LogLevel level, std::string_view component, std::string_view fmt, const Args&... args) {
+  if (level < log_level()) return;
+  log_message(level, component, format(fmt, args...));
+}
+
+}  // namespace remgen::util

@@ -1,0 +1,71 @@
+#include "util/rng.hpp"
+
+namespace remgen::util {
+
+namespace {
+
+/// FNV-1a over a string, used to derive decorrelated child seeds.
+std::uint64_t fnv1a(std::string_view s) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+/// SplitMix64 finalizer: decorrelates nearby seeds.
+std::uint64_t splitmix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+Rng Rng::fork(std::string_view tag) {
+  const std::uint64_t child_seed = splitmix(engine_() ^ fnv1a(tag));
+  return Rng(child_seed);
+}
+
+double Rng::uniform(double lo, double hi) {
+  REMGEN_EXPECTS(lo < hi);
+  return std::uniform_real_distribution<double>(lo, hi)(engine_);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  REMGEN_EXPECTS(lo <= hi);
+  return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+}
+
+double Rng::gaussian(double mean, double sigma) {
+  REMGEN_EXPECTS(sigma >= 0.0);
+  if (sigma == 0.0) return mean;
+  return std::normal_distribution<double>(mean, sigma)(engine_);
+}
+
+bool Rng::bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return std::bernoulli_distribution(p)(engine_);
+}
+
+std::uint32_t Rng::poisson(double mean) {
+  REMGEN_EXPECTS(mean >= 0.0);
+  if (mean == 0.0) return 0;
+  return static_cast<std::uint32_t>(std::poisson_distribution<std::uint32_t>(mean)(engine_));
+}
+
+double Rng::exponential(double rate) {
+  REMGEN_EXPECTS(rate > 0.0);
+  return std::exponential_distribution<double>(rate)(engine_);
+}
+
+std::size_t Rng::index(std::size_t n) {
+  REMGEN_EXPECTS(n > 0);
+  return static_cast<std::size_t>(
+      std::uniform_int_distribution<std::uint64_t>(0, n - 1)(engine_));
+}
+
+}  // namespace remgen::util

@@ -1,0 +1,28 @@
+// Simulation time. The whole system is driven by a single discrete-event-ish
+// clock measured in seconds; components never consult wall time.
+#pragma once
+
+#include "util/contracts.hpp"
+
+namespace remgen::util {
+
+/// Monotonic simulation clock (seconds since simulation start).
+class SimClock {
+ public:
+  /// Current simulation time in seconds.
+  [[nodiscard]] double now() const noexcept { return now_s_; }
+
+  /// Advances the clock by dt seconds. Requires dt >= 0.
+  void advance(double dt) {
+    REMGEN_EXPECTS(dt >= 0.0);
+    now_s_ += dt;
+  }
+
+  /// Resets the clock to zero.
+  void reset() noexcept { now_s_ = 0.0; }
+
+ private:
+  double now_s_ = 0.0;
+};
+
+}  // namespace remgen::util

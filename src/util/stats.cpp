@@ -1,0 +1,108 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/contracts.hpp"
+
+namespace remgen::util {
+
+OnlineStats::OnlineStats()
+    : min_(std::numeric_limits<double>::infinity()),
+      max_(-std::numeric_limits<double>::infinity()) {}
+
+void OnlineStats::add(double x) {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double OnlineStats::variance() const noexcept {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double OnlineStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double rmse(std::span<const double> predicted, std::span<const double> actual) {
+  REMGEN_EXPECTS(!predicted.empty());
+  REMGEN_EXPECTS(predicted.size() == actual.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    const double e = predicted[i] - actual[i];
+    acc += e * e;
+  }
+  return std::sqrt(acc / static_cast<double>(predicted.size()));
+}
+
+double mae(std::span<const double> predicted, std::span<const double> actual) {
+  REMGEN_EXPECTS(!predicted.empty());
+  REMGEN_EXPECTS(predicted.size() == actual.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    acc += std::abs(predicted[i] - actual[i]);
+  }
+  return acc / static_cast<double>(predicted.size());
+}
+
+double mean(std::span<const double> xs) {
+  REMGEN_EXPECTS(!xs.empty());
+  double acc = 0.0;
+  for (const double x : xs) acc += x;
+  return acc / static_cast<double>(xs.size());
+}
+
+double percentile(std::vector<double> xs, double q) {
+  REMGEN_EXPECTS(!xs.empty());
+  REMGEN_EXPECTS(q >= 0.0 && q <= 100.0);
+  std::sort(xs.begin(), xs.end());
+  const double rank = q / 100.0 * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(rank));
+  const auto hi = static_cast<std::size_t>(std::ceil(rank));
+  const double frac = rank - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins) : lo_(lo), hi_(hi), counts_(bins, 0) {
+  REMGEN_EXPECTS(lo < hi);
+  REMGEN_EXPECTS(bins > 0);
+}
+
+void Histogram::add(double x) {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  auto idx = static_cast<std::size_t>((x - lo_) / width);
+  if (idx >= counts_.size()) idx = counts_.size() - 1;  // numeric edge case at hi_
+  ++counts_[idx];
+}
+
+std::size_t Histogram::bin_count(std::size_t i) const {
+  REMGEN_EXPECTS(i < counts_.size());
+  return counts_[i];
+}
+
+double Histogram::bin_lo(std::size_t i) const {
+  REMGEN_EXPECTS(i < counts_.size());
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + width * static_cast<double>(i);
+}
+
+double Histogram::bin_hi(std::size_t i) const {
+  REMGEN_EXPECTS(i < counts_.size());
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + width * static_cast<double>(i + 1);
+}
+
+}  // namespace remgen::util

@@ -1,0 +1,96 @@
+// Descriptive statistics used by the evaluation harness and tests.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace remgen::util {
+
+/// Single-pass accumulator for mean/variance (Welford) plus min/max.
+class OnlineStats {
+ public:
+  /// Adds one observation.
+  void add(double x);
+
+  /// Number of observations added.
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+
+  /// Sample mean; 0 when empty.
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+
+  /// Unbiased sample variance; 0 with fewer than two observations.
+  [[nodiscard]] double variance() const noexcept;
+
+  /// Sample standard deviation.
+  [[nodiscard]] double stddev() const noexcept;
+
+  /// Smallest observation; +inf when empty.
+  [[nodiscard]] double min() const noexcept { return min_; }
+
+  /// Largest observation; -inf when empty.
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_;
+  double max_;
+
+ public:
+  OnlineStats();
+};
+
+/// Root-mean-square error between predictions and targets (equal, non-empty sizes).
+[[nodiscard]] double rmse(std::span<const double> predicted, std::span<const double> actual);
+
+/// Mean absolute error between predictions and targets (equal, non-empty sizes).
+[[nodiscard]] double mae(std::span<const double> predicted, std::span<const double> actual);
+
+/// Arithmetic mean of a non-empty range.
+[[nodiscard]] double mean(std::span<const double> xs);
+
+/// Linearly interpolated percentile of a non-empty range; q in [0, 100].
+[[nodiscard]] double percentile(std::vector<double> xs, double q);
+
+/// Fixed-width histogram over [lo, hi) with the given number of bins.
+class Histogram {
+ public:
+  /// Builds an empty histogram. Requires lo < hi and bins > 0.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  /// Adds an observation; values outside [lo, hi) are counted as under/overflow.
+  void add(double x);
+
+  /// Number of observations in bin i.
+  [[nodiscard]] std::size_t bin_count(std::size_t i) const;
+
+  /// Inclusive lower edge of bin i.
+  [[nodiscard]] double bin_lo(std::size_t i) const;
+
+  /// Exclusive upper edge of bin i.
+  [[nodiscard]] double bin_hi(std::size_t i) const;
+
+  /// Number of bins.
+  [[nodiscard]] std::size_t bins() const noexcept { return counts_.size(); }
+
+  /// Observations below the range.
+  [[nodiscard]] std::size_t underflow() const noexcept { return underflow_; }
+
+  /// Observations at or above the upper edge.
+  [[nodiscard]] std::size_t overflow() const noexcept { return overflow_; }
+
+  /// Total observations including under/overflow.
+  [[nodiscard]] std::size_t total() const noexcept { return total_; }
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t underflow_ = 0;
+  std::size_t overflow_ = 0;
+  std::size_t total_ = 0;
+};
+
+}  // namespace remgen::util

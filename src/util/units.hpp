@@ -1,0 +1,30 @@
+// Power and frequency unit helpers used across the radio stack.
+#pragma once
+
+#include <cmath>
+
+namespace remgen::util {
+
+/// Converts power in dBm to milliwatts.
+[[nodiscard]] inline double dbm_to_mw(double dbm) { return std::pow(10.0, dbm / 10.0); }
+
+/// Converts power in milliwatts to dBm. Requires mw > 0.
+[[nodiscard]] inline double mw_to_dbm(double mw) { return 10.0 * std::log10(mw); }
+
+/// Sums two powers expressed in dBm (adds in the linear domain).
+[[nodiscard]] inline double dbm_sum(double a_dbm, double b_dbm) {
+  return mw_to_dbm(dbm_to_mw(a_dbm) + dbm_to_mw(b_dbm));
+}
+
+/// Speed of light in m/s.
+inline constexpr double kSpeedOfLight = 299'792'458.0;
+
+/// Free-space path loss in dB for distance d (m) and frequency f (Hz).
+/// Returns 0 dB for distances below 1 mm to avoid singularities.
+[[nodiscard]] inline double fspl_db(double distance_m, double frequency_hz) {
+  const double d = distance_m < 1e-3 ? 1e-3 : distance_m;
+  return 20.0 * std::log10(d) + 20.0 * std::log10(frequency_hz) +
+         20.0 * std::log10(4.0 * M_PI / kSpeedOfLight);
+}
+
+}  // namespace remgen::util

@@ -1,0 +1,33 @@
+#include "uwb/anchor.hpp"
+
+#include <array>
+
+#include "util/contracts.hpp"
+
+namespace remgen::uwb {
+
+std::vector<Anchor> corner_anchors(const geom::Aabb& volume) {
+  std::vector<Anchor> anchors;
+  anchors.reserve(8);
+  int id = 0;
+  for (const geom::Vec3& corner : volume.corners()) {
+    anchors.push_back({id++, corner});
+  }
+  return anchors;
+}
+
+std::vector<Anchor> corner_anchors_subset(const geom::Aabb& volume, std::size_t count) {
+  REMGEN_EXPECTS(count >= 4 && count <= 8);
+  const auto corners = volume.corners();
+  // corners() is z-major: indices 0-3 are the floor, 4-7 the ceiling.
+  // Alternate floor/ceiling and diagonal corners for good 3D geometry.
+  constexpr std::array<std::size_t, 8> order{0, 7, 3, 4, 1, 6, 2, 5};
+  std::vector<Anchor> anchors;
+  anchors.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    anchors.push_back({static_cast<int>(i), corners[order[i]]});
+  }
+  return anchors;
+}
+
+}  // namespace remgen::uwb

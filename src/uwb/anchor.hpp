@@ -1,0 +1,27 @@
+// UWB localization anchors (Loco Positioning System infrastructure).
+#pragma once
+
+#include <vector>
+
+#include "geom/aabb.hpp"
+#include "geom/vec3.hpp"
+
+namespace remgen::uwb {
+
+/// One fixed UWB anchor.
+struct Anchor {
+  int id = 0;
+  geom::Vec3 position;
+};
+
+/// Places one anchor at each corner of the volume — the deployment the paper
+/// uses (8 anchors at the corners of the scan cuboid).
+[[nodiscard]] std::vector<Anchor> corner_anchors(const geom::Aabb& volume);
+
+/// Takes the first `count` anchors of a corner deployment, alternating between
+/// floor and ceiling corners so reduced sets stay well-conditioned in 3D.
+/// Requires 4 <= count <= 8.
+[[nodiscard]] std::vector<Anchor> corner_anchors_subset(const geom::Aabb& volume,
+                                                        std::size_t count);
+
+}  // namespace remgen::uwb

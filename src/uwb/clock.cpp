@@ -1,0 +1,52 @@
+#include "uwb/clock.hpp"
+
+#include <cmath>
+
+#include "util/contracts.hpp"
+#include "util/units.hpp"
+
+namespace remgen::uwb {
+
+double CalibrationResult::ranging_error_m() const {
+  return util::kSpeedOfLight * rms_residual_s;
+}
+
+std::vector<AnchorClock> make_uncalibrated_clocks(std::size_t count,
+                                                  const CalibrationConfig& config,
+                                                  util::Rng& rng) {
+  std::vector<AnchorClock> clocks(count);
+  for (AnchorClock& c : clocks) {
+    c.offset_s = rng.gaussian(0.0, config.initial_offset_sigma_s);
+    c.drift_ppm = rng.gaussian(0.0, config.drift_sigma_ppm);
+  }
+  if (!clocks.empty()) clocks.front() = AnchorClock{};  // anchor 0 is the reference
+  return clocks;
+}
+
+CalibrationResult self_calibrate(std::vector<AnchorClock> clocks, const CalibrationConfig& config,
+                                 util::Rng& rng) {
+  REMGEN_EXPECTS(config.rounds > 0);
+  CalibrationResult result;
+  result.residual_offset_s.resize(clocks.size(), 0.0);
+
+  double sum_sq = 0.0;
+  for (std::size_t i = 1; i < clocks.size(); ++i) {
+    // Each round yields an offset estimate corrupted by two timestamping
+    // noises (TX at the reference, RX at anchor i).
+    double estimate_sum = 0.0;
+    for (int r = 0; r < config.rounds; ++r) {
+      const double observed = clocks[i].offset_s + rng.gaussian(0.0, config.timestamp_noise_s) -
+                              rng.gaussian(0.0, config.timestamp_noise_s);
+      estimate_sum += observed;
+    }
+    const double estimate = estimate_sum / config.rounds;
+    const double residual = clocks[i].offset_s - estimate;
+    result.residual_offset_s[i] = residual;
+    sum_sq += residual * residual;
+  }
+  result.rms_residual_s =
+      clocks.size() > 1 ? std::sqrt(sum_sq / static_cast<double>(clocks.size() - 1)) : 0.0;
+  return result;
+}
+
+}  // namespace remgen::uwb

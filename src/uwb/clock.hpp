@@ -1,0 +1,54 @@
+// Anchor clock model and the LPS self-calibration procedure.
+//
+// TDoA localization requires the anchors' transmission schedules to be
+// tightly synchronised: a residual inter-anchor clock offset of dt seconds
+// appears as a c*dt ranging error. The paper deploys anchors, measures their
+// coordinates, and "initializes their automated calibration for synchronizing
+// their transmission schedules"; this module models that procedure — each
+// calibration round exchanges timestamped packets and averages down the
+// offset estimate, limited by UWB timestamp quantisation.
+#pragma once
+
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace remgen::uwb {
+
+/// Free-running anchor clock: offset (s) and drift (ppm) relative to ideal time.
+struct AnchorClock {
+  double offset_s = 0.0;
+  double drift_ppm = 0.0;
+};
+
+/// Parameters of the self-calibration exchange.
+struct CalibrationConfig {
+  double initial_offset_sigma_s = 1e-6;   ///< Uncalibrated offsets (~1 us).
+  double drift_sigma_ppm = 10.0;          ///< Crystal tolerance.
+  double timestamp_noise_s = 65e-12;      ///< DW1000 timestamp resolution (~15.65 ps
+                                          ///< per tick; a few ticks of jitter).
+  int rounds = 64;                        ///< Packet exchanges per pair.
+};
+
+/// Result of calibrating a set of anchors.
+struct CalibrationResult {
+  std::vector<double> residual_offset_s;  ///< Post-calibration offset per anchor.
+  double rms_residual_s = 0.0;
+
+  /// Residual TDoA ranging error contributed by sync (c * rms offset), in m.
+  [[nodiscard]] double ranging_error_m() const;
+};
+
+/// Draws uncalibrated clocks for `count` anchors.
+[[nodiscard]] std::vector<AnchorClock> make_uncalibrated_clocks(std::size_t count,
+                                                                const CalibrationConfig& config,
+                                                                util::Rng& rng);
+
+/// Runs the self-calibration: every anchor exchanges `rounds` timestamped
+/// packets with anchor 0 (the reference); offsets are estimated as the mean of
+/// the per-round estimates and subtracted. Residuals shrink with sqrt(rounds)
+/// down to the timestamp noise floor.
+[[nodiscard]] CalibrationResult self_calibrate(std::vector<AnchorClock> clocks,
+                                               const CalibrationConfig& config, util::Rng& rng);
+
+}  // namespace remgen::uwb

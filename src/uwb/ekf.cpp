@@ -1,0 +1,172 @@
+#include "uwb/ekf.hpp"
+
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace remgen::uwb {
+
+Ekf::Ekf(const EkfConfig& config) : config_(config), p_(6, 6) { reset({}); }
+
+void Ekf::reset(const geom::Vec3& position, const geom::Vec3& velocity) {
+  position_ = position;
+  velocity_ = velocity;
+  consecutive_rejections_ = 0;
+  p_ = math::Matrix(6, 6);
+  const double ps = config_.initial_position_sigma * config_.initial_position_sigma;
+  const double vs = config_.initial_velocity_sigma * config_.initial_velocity_sigma;
+  for (std::size_t i = 0; i < 3; ++i) {
+    p_(i, i) = ps;
+    p_(i + 3, i + 3) = vs;
+  }
+}
+
+void Ekf::predict(double dt, const geom::Vec3& accel_world) {
+  REMGEN_EXPECTS(dt > 0.0);
+  // Constant-acceleration kinematics over the step.
+  position_ += velocity_ * dt + accel_world * (0.5 * dt * dt);
+  velocity_ += accel_world * dt;
+
+  // F = [I  dt*I; 0  I]
+  math::Matrix f = math::Matrix::identity(6);
+  for (std::size_t i = 0; i < 3; ++i) f(i, i + 3) = dt;
+
+  // Discrete white-noise-acceleration process noise.
+  const double q = config_.accel_noise_sigma * config_.accel_noise_sigma;
+  const double dt2 = dt * dt;
+  math::Matrix qm(6, 6);
+  for (std::size_t i = 0; i < 3; ++i) {
+    qm(i, i) = 0.25 * dt2 * dt2 * q;
+    qm(i, i + 3) = 0.5 * dt * dt2 * q;
+    qm(i + 3, i) = 0.5 * dt * dt2 * q;
+    qm(i + 3, i + 3) = dt2 * q;
+  }
+  p_ = f * p_ * f.transposed() + qm;
+}
+
+bool Ekf::scalar_update(const math::Matrix& h, double innovation, double variance) {
+  REMGEN_EXPECTS(h.rows() == 1 && h.cols() == 6);
+  // S = H P H^T + R (scalar).
+  math::Matrix pht = p_ * h.transposed();  // 6x1
+  double s = variance;
+  for (std::size_t i = 0; i < 6; ++i) s += h(0, i) * pht(i, 0);
+  if (s <= 0.0) return false;
+
+  if (config_.gate_sigma > 0.0 &&
+      innovation * innovation > config_.gate_sigma * config_.gate_sigma * s) {
+    // The gate protects against outliers, but once the estimate diverges it
+    // would reject every measurement forever; after a run of rejections the
+    // covariance is inflated and the next measurement accepted so the filter
+    // can re-anchor itself.
+    ++consecutive_rejections_;
+    if (config_.gate_recovery_count <= 0 ||
+        consecutive_rejections_ < config_.gate_recovery_count) {
+      return false;
+    }
+    // Re-open the covariance to its initial priors: the filter has settled on
+    // an estimate inconsistent with the measurements (e.g. a ghost solution)
+    // and must be able to move far.
+    const double ps = config_.initial_position_sigma * config_.initial_position_sigma;
+    const double vs = config_.initial_velocity_sigma * config_.initial_velocity_sigma;
+    p_ = math::Matrix(6, 6);
+    for (std::size_t i = 0; i < 3; ++i) {
+      p_(i, i) = ps;
+      p_(i + 3, i + 3) = vs;
+    }
+    pht = p_ * h.transposed();
+    s = variance;
+    for (std::size_t i = 0; i < 6; ++i) s += h(0, i) * pht(i, 0);
+  }
+  consecutive_rejections_ = 0;
+
+  // K = P H^T / S.
+  math::Matrix k = pht * (1.0 / s);  // 6x1
+  position_ += geom::Vec3{k(0, 0), k(1, 0), k(2, 0)} * innovation;
+  velocity_ += geom::Vec3{k(3, 0), k(4, 0), k(5, 0)} * innovation;
+
+  // Joseph-form covariance update for numerical symmetry.
+  math::Matrix ikh = math::Matrix::identity(6) - k * h;
+  p_ = ikh * p_ * ikh.transposed() + k * k.transposed() * variance;
+  return true;
+}
+
+bool Ekf::update_range(const Anchor& anchor, double measured_range_m) {
+  const geom::Vec3 diff = position_ - anchor.position;
+  const double predicted = std::max(diff.norm(), 1e-9);
+  math::Matrix h(1, 6);
+  h(0, 0) = diff.x / predicted;
+  h(0, 1) = diff.y / predicted;
+  h(0, 2) = diff.z / predicted;
+  return scalar_update(h, measured_range_m - predicted,
+                       config_.range_sigma_m * config_.range_sigma_m);
+}
+
+bool Ekf::update_tdoa(const Anchor& anchor_a, const Anchor& anchor_b,
+                      double measured_difference_m) {
+  const geom::Vec3 da = position_ - anchor_a.position;
+  const geom::Vec3 db = position_ - anchor_b.position;
+  const double na = std::max(da.norm(), 1e-9);
+  const double nb = std::max(db.norm(), 1e-9);
+  math::Matrix h(1, 6);
+  h(0, 0) = da.x / na - db.x / nb;
+  h(0, 1) = da.y / na - db.y / nb;
+  h(0, 2) = da.z / na - db.z / nb;
+  return scalar_update(h, measured_difference_m - (na - nb),
+                       config_.tdoa_sigma_m * config_.tdoa_sigma_m);
+}
+
+bool Ekf::update_azimuth(const geom::Vec3& origin, double yaw_rad, double measured_rad,
+                         double sigma_rad) {
+  const geom::Vec3 d = position_ - origin;
+  const double c = std::cos(yaw_rad);
+  const double s = std::sin(yaw_rad);
+  // Tag position in the station frame (rotate world delta by -yaw).
+  const double rx = c * d.x + s * d.y;
+  const double ry = -s * d.x + c * d.y;
+  const double r2 = rx * rx + ry * ry;
+  if (r2 < 1e-6) return false;  // on the vertical axis: azimuth undefined
+
+  const double predicted = std::atan2(ry, rx);
+  double innovation = measured_rad - predicted;
+  while (innovation > M_PI) innovation -= 2.0 * M_PI;
+  while (innovation <= -M_PI) innovation += 2.0 * M_PI;
+
+  // d(az)/d(world position), via the station-frame derivatives.
+  math::Matrix h(1, 6);
+  h(0, 0) = (-s * rx - c * ry) / r2;
+  h(0, 1) = (c * rx - s * ry) / r2;
+  h(0, 2) = 0.0;
+  return scalar_update(h, innovation, sigma_rad * sigma_rad);
+}
+
+bool Ekf::update_elevation(const geom::Vec3& origin, double yaw_rad, double measured_rad,
+                           double sigma_rad) {
+  const geom::Vec3 d = position_ - origin;
+  const double c = std::cos(yaw_rad);
+  const double s = std::sin(yaw_rad);
+  const double rx = c * d.x + s * d.y;
+  const double ry = -s * d.x + c * d.y;
+  const double rz = d.z;
+  const double r = std::sqrt(rx * rx + ry * ry);
+  const double rho2 = r * r + rz * rz;
+  if (r < 1e-6 || rho2 < 1e-6) return false;
+
+  const double predicted = std::atan2(rz, r);
+  const double innovation = measured_rad - predicted;
+
+  // d(el)/d(station frame) chained back to the world frame.
+  const double dex = -rz * rx / (r * rho2);
+  const double dey = -rz * ry / (r * rho2);
+  const double dez = r / rho2;
+  math::Matrix h(1, 6);
+  h(0, 0) = dex * c - dey * s;
+  h(0, 1) = dex * s + dey * c;
+  h(0, 2) = dez;
+  return scalar_update(h, innovation, sigma_rad * sigma_rad);
+}
+
+double Ekf::position_sigma() const {
+  return std::sqrt(p_(0, 0) + p_(1, 1) + p_(2, 2));
+}
+
+}  // namespace remgen::uwb

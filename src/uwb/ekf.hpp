@@ -1,0 +1,83 @@
+// Extended Kalman filter for UAV state estimation, after Mueller et al.
+// ("Fusing ultra-wideband range measurements with accelerometers and rate
+// gyroscopes for quadrocopter state estimation", ICRA 2015) — the estimator
+// the Crazyflie firmware uses with the Loco Positioning deck.
+//
+// State: x = [position (3), velocity (3)] in the world frame. The process
+// model integrates the (noisy, bias-free in this simulation) accelerometer;
+// measurement updates are scalar TWR ranges or TDoA differences against
+// known anchors. Orientation is simplified away: the simulated Crazyflie
+// flies near-level and the IMU readings are delivered in the world frame.
+#pragma once
+
+#include "geom/vec3.hpp"
+#include "math/matrix.hpp"
+#include "uwb/anchor.hpp"
+
+namespace remgen::uwb {
+
+/// EKF noise/tuning parameters.
+struct EkfConfig {
+  double accel_noise_sigma = 0.4;     ///< m/s^2, process noise from the IMU.
+  double initial_position_sigma = 1.0;  ///< m, prior uncertainty.
+  double initial_velocity_sigma = 0.2;  ///< m/s.
+  double range_sigma_m = 0.06;        ///< TWR measurement noise fed to the filter.
+  double tdoa_sigma_m = 0.05;         ///< TDoA measurement noise fed to the filter.
+  double gate_sigma = 5.0;            ///< Innovation gate (in std-devs); 0 disables.
+  int gate_recovery_count = 32;       ///< After this many consecutive gated-out
+                                      ///< measurements the next one is accepted
+                                      ///< unconditionally (divergence recovery).
+};
+
+/// Position/velocity EKF with UWB updates.
+class Ekf {
+ public:
+  explicit Ekf(const EkfConfig& config = {});
+
+  /// Re-initialises the filter at a known position with the configured priors.
+  void reset(const geom::Vec3& position, const geom::Vec3& velocity = {});
+
+  /// Propagates the state by dt (> 0) seconds under world-frame acceleration.
+  void predict(double dt, const geom::Vec3& accel_world);
+
+  /// Applies one TWR range measurement. Returns false if the innovation gate
+  /// rejected the measurement.
+  bool update_range(const Anchor& anchor, double measured_range_m);
+
+  /// Applies one TDoA measurement (range(a) - range(b)). Returns false if
+  /// gated out.
+  bool update_tdoa(const Anchor& anchor_a, const Anchor& anchor_b, double measured_difference_m);
+
+  /// Applies one azimuth (horizontal sweep) measurement from a Lighthouse
+  /// base station at `origin` whose x-axis is rotated by `yaw_rad` about z.
+  /// The innovation is wrapped to (-pi, pi]. Returns false if gated out or
+  /// the tag is (nearly) on the station's vertical axis.
+  bool update_azimuth(const geom::Vec3& origin, double yaw_rad, double measured_rad,
+                      double sigma_rad);
+
+  /// Applies one elevation (vertical sweep) measurement from a base station
+  /// at `origin`. Returns false if gated out or degenerate geometry.
+  bool update_elevation(const geom::Vec3& origin, double yaw_rad, double measured_rad,
+                        double sigma_rad);
+
+  [[nodiscard]] geom::Vec3 position() const noexcept { return position_; }
+  [[nodiscard]] geom::Vec3 velocity() const noexcept { return velocity_; }
+
+  /// Current 6x6 state covariance.
+  [[nodiscard]] const math::Matrix& covariance() const noexcept { return p_; }
+
+  /// Square root of the position covariance trace — a scalar uncertainty.
+  [[nodiscard]] double position_sigma() const;
+
+ private:
+  /// Scalar measurement update with Jacobian h (1x6), innovation and variance.
+  bool scalar_update(const math::Matrix& h, double innovation, double variance);
+
+  EkfConfig config_;
+  geom::Vec3 position_;
+  geom::Vec3 velocity_;
+  math::Matrix p_;  ///< 6x6 covariance.
+  int consecutive_rejections_ = 0;
+};
+
+}  // namespace remgen::uwb

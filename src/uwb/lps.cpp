@@ -1,0 +1,81 @@
+#include "uwb/lps.hpp"
+
+#include "util/contracts.hpp"
+
+namespace remgen::uwb {
+
+LocoPositioningSystem::LocoPositioningSystem(std::vector<Anchor> anchors,
+                                             const geom::Floorplan* floorplan,
+                                             const LpsConfig& config, util::Rng rng)
+    : anchors_(std::move(anchors)),
+      ranging_(floorplan, config.ranging),
+      config_(config),
+      ekf_(config.ekf),
+      rng_(rng) {
+  REMGEN_EXPECTS(anchors_.size() >= 4);
+  REMGEN_EXPECTS(config.measurements_per_second > 0.0);
+  REMGEN_EXPECTS(config.anchor_survey_sigma_m >= 0.0);
+  // The anchor map the filter uses carries the (frozen) manual-survey error.
+  surveyed_anchors_ = anchors_;
+  for (Anchor& a : surveyed_anchors_) {
+    a.position += {rng_.gaussian(0.0, config.anchor_survey_sigma_m),
+                   rng_.gaussian(0.0, config.anchor_survey_sigma_m),
+                   rng_.gaussian(0.0, config.anchor_survey_sigma_m)};
+  }
+}
+
+void LocoPositioningSystem::initialize_at(const geom::Vec3& true_position) {
+  if (auto fix = snapshot_fix(true_position); fix && fix->converged) {
+    ekf_.reset(fix->position);
+  } else {
+    ekf_.reset(true_position);
+  }
+}
+
+std::optional<PositionFix> LocoPositioningSystem::snapshot_fix(const geom::Vec3& true_position) {
+  std::vector<RangeObservation> obs;
+  obs.reserve(anchors_.size());
+  for (std::size_t i = 0; i < anchors_.size(); ++i) {
+    if (const auto range = ranging_.twr_range(anchors_[i], true_position, rng_)) {
+      obs.push_back({surveyed_anchors_[i], *range});
+    }
+  }
+  if (obs.size() < 4) return std::nullopt;
+  // Start from the anchor centroid; the volume is small so this converges.
+  geom::Vec3 centroid;
+  for (const auto& o : obs) centroid += o.anchor.position;
+  centroid = centroid / static_cast<double>(obs.size());
+  return solve_twr(obs, centroid);
+}
+
+void LocoPositioningSystem::one_measurement(const geom::Vec3& true_position) {
+  if (config_.mode == LocalizationMode::Twr) {
+    const std::size_t i = next_anchor_;
+    next_anchor_ = (next_anchor_ + 1) % anchors_.size();
+    if (const auto range = ranging_.twr_range(anchors_[i], true_position, rng_)) {
+      ekf_.update_range(surveyed_anchors_[i], *range);
+    }
+  } else {
+    // TDoA against a rotating pair (reference rotates too, as in the LPS
+    // TDoA3 protocol where any anchor pair can produce a difference).
+    const std::size_t i = next_anchor_;
+    const std::size_t j = (next_anchor_ + 1) % anchors_.size();
+    next_anchor_ = (next_anchor_ + 1) % anchors_.size();
+    if (const auto diff = ranging_.tdoa(anchors_[i], anchors_[j], true_position, rng_)) {
+      ekf_.update_tdoa(surveyed_anchors_[i], surveyed_anchors_[j], *diff);
+    }
+  }
+}
+
+void LocoPositioningSystem::step(double dt, const geom::Vec3& true_position,
+                                 const geom::Vec3& accel_world) {
+  REMGEN_EXPECTS(dt > 0.0);
+  ekf_.predict(dt, accel_world);
+  measurement_debt_ += dt * config_.measurements_per_second;
+  while (measurement_debt_ >= 1.0) {
+    measurement_debt_ -= 1.0;
+    one_measurement(true_position);
+  }
+}
+
+}  // namespace remgen::uwb

@@ -1,0 +1,81 @@
+// Loco Positioning System facade: anchors + ranging + EKF, stepped at a fixed
+// rate by the UAV firmware loop. Supports the two localization procedures the
+// paper discusses (TWR and TDoA).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "geom/floorplan.hpp"
+#include "uwb/anchor.hpp"
+#include "uwb/ekf.hpp"
+#include "uwb/positioning.hpp"
+#include "uwb/ranging.hpp"
+#include "uwb/solver.hpp"
+#include "util/rng.hpp"
+
+namespace remgen::uwb {
+
+/// Localization procedure selection.
+enum class LocalizationMode { Twr, Tdoa };
+
+/// LPS configuration.
+struct LpsConfig {
+  LocalizationMode mode = LocalizationMode::Tdoa;
+  double measurements_per_second = 100.0;  ///< UWB measurement rate.
+  double anchor_survey_sigma_m = 0.05;  ///< The paper's anchors are "manually
+                                        ///< localized"; this is the surveying
+                                        ///< error frozen into the anchor map
+                                        ///< the filter uses.
+  RangingConfig ranging;
+  EkfConfig ekf;
+};
+
+/// The tag-side positioning stack carried by one UAV.
+class LocoPositioningSystem final : public PositioningSystem {
+ public:
+  /// Requires >= 4 anchors; `floorplan` may be null and must otherwise
+  /// outlive the system.
+  LocoPositioningSystem(std::vector<Anchor> anchors, const geom::Floorplan* floorplan,
+                        const LpsConfig& config, util::Rng rng);
+
+  /// Initialises the EKF from a snapshot multilateration fix at the true
+  /// position (the UAV is placed at a known start before take-off).
+  void initialize_at(const geom::Vec3& true_position) override;
+
+  /// Advances the stack by dt: EKF prediction with the given world-frame
+  /// acceleration, plus however many UWB measurement updates the configured
+  /// rate schedules within dt, generated against `true_position`.
+  void step(double dt, const geom::Vec3& true_position,
+            const geom::Vec3& accel_world) override;
+
+  [[nodiscard]] geom::Vec3 estimated_position() const override { return ekf_.position(); }
+  [[nodiscard]] geom::Vec3 estimated_velocity() const override { return ekf_.velocity(); }
+  [[nodiscard]] double position_sigma() const override { return ekf_.position_sigma(); }
+  [[nodiscard]] const std::vector<Anchor>& anchors() const noexcept { return anchors_; }
+  /// Anchor positions as the filter believes them (true + survey error).
+  [[nodiscard]] const std::vector<Anchor>& surveyed_anchors() const noexcept {
+    return surveyed_anchors_;
+  }
+  [[nodiscard]] const LpsConfig& config() const noexcept { return config_; }
+
+  /// One snapshot multilateration fix at the true position (used for
+  /// initialisation and for accuracy ablations without the filter).
+  [[nodiscard]] std::optional<PositionFix> snapshot_fix(const geom::Vec3& true_position);
+
+ private:
+  /// Generates and applies one scheduled measurement.
+  void one_measurement(const geom::Vec3& true_position);
+
+  std::vector<Anchor> anchors_;           ///< True positions (generate ranges).
+  std::vector<Anchor> surveyed_anchors_;  ///< What the filter is told.
+  RangingModel ranging_;
+  LpsConfig config_;
+  Ekf ekf_;
+  util::Rng rng_;
+  double measurement_debt_ = 0.0;  ///< Fractional measurements carried over.
+  std::size_t next_anchor_ = 0;    ///< Round-robin cursor.
+};
+
+}  // namespace remgen::uwb

@@ -1,0 +1,31 @@
+// Positioning-system interface: what the UAV firmware needs from whatever
+// localization stack is mounted (UWB Loco Positioning today, the Lighthouse
+// infrared system the paper names as future work, or anything else).
+#pragma once
+
+#include "geom/vec3.hpp"
+
+namespace remgen::uwb {
+
+/// Tag-side localization stack stepped by the firmware loop.
+class PositioningSystem {
+ public:
+  virtual ~PositioningSystem() = default;
+
+  /// Initialises the estimator at a known ground-truth position (pre-flight).
+  virtual void initialize_at(const geom::Vec3& true_position) = 0;
+
+  /// Advances by dt seconds: prediction with the world-frame IMU acceleration
+  /// plus whatever measurements the system schedules, generated against the
+  /// ground-truth `true_position`.
+  virtual void step(double dt, const geom::Vec3& true_position,
+                    const geom::Vec3& accel_world) = 0;
+
+  [[nodiscard]] virtual geom::Vec3 estimated_position() const = 0;
+  [[nodiscard]] virtual geom::Vec3 estimated_velocity() const = 0;
+
+  /// Scalar position uncertainty (square root of the covariance trace).
+  [[nodiscard]] virtual double position_sigma() const = 0;
+};
+
+}  // namespace remgen::uwb

@@ -1,0 +1,31 @@
+#include "uwb/ranging.hpp"
+
+namespace remgen::uwb {
+
+double RangingModel::nlos_bias(const geom::Vec3& anchor_pos, const geom::Vec3& tag) const {
+  if (floorplan_ == nullptr) return 0.0;
+  return config_.nlos_bias_per_wall_m *
+         static_cast<double>(floorplan_->wall_count_between(anchor_pos, tag));
+}
+
+std::optional<double> RangingModel::twr_range(const Anchor& anchor, const geom::Vec3& tag,
+                                              util::Rng& rng) const {
+  const double true_distance = anchor.position.distance_to(tag);
+  if (true_distance > config_.max_range_m) return std::nullopt;
+  if (rng.bernoulli(config_.dropout_probability)) return std::nullopt;
+  const double measured =
+      true_distance + nlos_bias(anchor.position, tag) + rng.gaussian(0.0, config_.twr_noise_sigma_m);
+  return std::max(0.0, measured);
+}
+
+std::optional<double> RangingModel::tdoa(const Anchor& a, const Anchor& b, const geom::Vec3& tag,
+                                         util::Rng& rng) const {
+  const double da = a.position.distance_to(tag);
+  const double db = b.position.distance_to(tag);
+  if (da > config_.max_range_m || db > config_.max_range_m) return std::nullopt;
+  if (rng.bernoulli(config_.dropout_probability)) return std::nullopt;
+  const double bias = nlos_bias(a.position, tag) - nlos_bias(b.position, tag);
+  return (da - db) + bias + rng.gaussian(0.0, config_.tdoa_noise_sigma_m);
+}
+
+}  // namespace remgen::uwb

@@ -1,0 +1,53 @@
+// UWB ranging measurement models: Two-Way Ranging (TWR) and Time Difference
+// of Arrival (TDoA), with Gaussian noise, NLoS positive bias when walls
+// obstruct the anchor-tag path, and the DWM1000's ~10 m usable range.
+#pragma once
+
+#include <optional>
+
+#include "geom/floorplan.hpp"
+#include "uwb/anchor.hpp"
+#include "util/rng.hpp"
+
+namespace remgen::uwb {
+
+/// Error characteristics of the simulated DWM1000 link.
+struct RangingConfig {
+  double twr_noise_sigma_m = 0.05;    ///< Per-TWR-range white noise.
+  double tdoa_noise_sigma_m = 0.04;   ///< Per-TDoA-difference white noise
+                                      ///< (TDoA is slightly more accurate per
+                                      ///< the paper's discussion).
+  double nlos_bias_per_wall_m = 0.12; ///< Positive range bias per crossed wall.
+  double max_range_m = 10.0;          ///< Beyond this the measurement is lost.
+  double dropout_probability = 0.02;  ///< Random packet loss.
+};
+
+/// Generates noisy ranging measurements against ground-truth tag positions.
+class RangingModel {
+ public:
+  /// `floorplan` may be null (free space, no NLoS bias) and must otherwise
+  /// outlive the model.
+  RangingModel(const geom::Floorplan* floorplan, const RangingConfig& config)
+      : floorplan_(floorplan), config_(config) {}
+
+  [[nodiscard]] const RangingConfig& config() const noexcept { return config_; }
+
+  /// One TWR range to `anchor` from a tag truly at `tag`; nullopt when out of
+  /// range or dropped.
+  [[nodiscard]] std::optional<double> twr_range(const Anchor& anchor, const geom::Vec3& tag,
+                                                util::Rng& rng) const;
+
+  /// One TDoA measurement: (distance to `a`) - (distance to `b`); nullopt when
+  /// either anchor is out of range or the packet pair is dropped.
+  [[nodiscard]] std::optional<double> tdoa(const Anchor& a, const Anchor& b,
+                                           const geom::Vec3& tag, util::Rng& rng) const;
+
+ private:
+  /// NLoS bias along one anchor-tag path.
+  [[nodiscard]] double nlos_bias(const geom::Vec3& anchor_pos, const geom::Vec3& tag) const;
+
+  const geom::Floorplan* floorplan_;
+  RangingConfig config_;
+};
+
+}  // namespace remgen::uwb

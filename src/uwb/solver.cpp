@@ -1,0 +1,113 @@
+#include "uwb/solver.hpp"
+
+#include <cmath>
+
+#include "math/matrix.hpp"
+#include "util/contracts.hpp"
+
+namespace remgen::uwb {
+
+namespace {
+
+/// Shared Levenberg-damped Gauss-Newton loop. `Residuals` fills residual
+/// vector r and Jacobian J (n x 3) at the current estimate.
+template <typename Residuals>
+PositionFix gauss_newton(std::size_t n, const geom::Vec3& initial_guess, int max_iterations,
+                         Residuals&& residuals) {
+  PositionFix fix;
+  fix.position = initial_guess;
+  double lambda = 1e-3;
+
+  auto cost_of = [&](const geom::Vec3& p) {
+    math::Matrix r(n, 1);
+    math::Matrix j(n, 3);
+    residuals(p, r, j);
+    double c = 0.0;
+    for (std::size_t i = 0; i < n; ++i) c += r(i, 0) * r(i, 0);
+    return c;
+  };
+
+  math::Matrix r(n, 1);
+  math::Matrix j(n, 3);
+  for (int it = 0; it < max_iterations; ++it) {
+    fix.iterations = it + 1;
+    residuals(fix.position, r, j);
+    double cost = 0.0;
+    for (std::size_t i = 0; i < n; ++i) cost += r(i, 0) * r(i, 0);
+
+    // Solve (J^T J + lambda I) dp = -J^T r.
+    const math::Matrix jt = j.transposed();
+    math::Matrix normal = jt * j;
+    for (std::size_t d = 0; d < 3; ++d) normal(d, d) += lambda;
+    math::Matrix rhs = jt * r * -1.0;
+    math::Matrix dp(3, 1);
+    try {
+      dp = math::lu_solve(std::move(normal), std::move(rhs));
+    } catch (const std::exception&) {
+      lambda *= 10.0;
+      continue;
+    }
+    const geom::Vec3 candidate = fix.position + geom::Vec3{dp(0, 0), dp(1, 0), dp(2, 0)};
+    const double new_cost = cost_of(candidate);
+    if (new_cost < cost) {
+      fix.position = candidate;
+      lambda = std::max(lambda * 0.3, 1e-9);
+      const double step = geom::Vec3{dp(0, 0), dp(1, 0), dp(2, 0)}.norm();
+      if (step < 1e-6) {
+        fix.converged = true;
+        break;
+      }
+    } else {
+      lambda *= 10.0;
+      if (lambda > 1e9) break;
+    }
+  }
+
+  residuals(fix.position, r, j);
+  double final_cost = 0.0;
+  for (std::size_t i = 0; i < n; ++i) final_cost += r(i, 0) * r(i, 0);
+  fix.residual_rms_m = std::sqrt(final_cost / static_cast<double>(n));
+  // A tiny final residual also counts as converged (exact-data case).
+  if (!fix.converged && fix.residual_rms_m < 1e-6) fix.converged = true;
+  return fix;
+}
+
+}  // namespace
+
+PositionFix solve_twr(std::span<const RangeObservation> observations,
+                      const geom::Vec3& initial_guess, int max_iterations) {
+  REMGEN_EXPECTS(observations.size() >= 4);
+  const std::size_t n = observations.size();
+  return gauss_newton(n, initial_guess, max_iterations,
+                      [&](const geom::Vec3& p, math::Matrix& r, math::Matrix& j) {
+                        for (std::size_t i = 0; i < n; ++i) {
+                          const geom::Vec3 diff = p - observations[i].anchor.position;
+                          const double dist = std::max(diff.norm(), 1e-9);
+                          r(i, 0) = dist - observations[i].range_m;
+                          j(i, 0) = diff.x / dist;
+                          j(i, 1) = diff.y / dist;
+                          j(i, 2) = diff.z / dist;
+                        }
+                      });
+}
+
+PositionFix solve_tdoa(std::span<const TdoaObservation> observations,
+                       const geom::Vec3& initial_guess, int max_iterations) {
+  REMGEN_EXPECTS(observations.size() >= 3);
+  const std::size_t n = observations.size();
+  return gauss_newton(n, initial_guess, max_iterations,
+                      [&](const geom::Vec3& p, math::Matrix& r, math::Matrix& j) {
+                        for (std::size_t i = 0; i < n; ++i) {
+                          const geom::Vec3 da = p - observations[i].anchor_a.position;
+                          const geom::Vec3 db = p - observations[i].anchor_b.position;
+                          const double na = std::max(da.norm(), 1e-9);
+                          const double nb = std::max(db.norm(), 1e-9);
+                          r(i, 0) = (na - nb) - observations[i].difference_m;
+                          j(i, 0) = da.x / na - db.x / nb;
+                          j(i, 1) = da.y / na - db.y / nb;
+                          j(i, 2) = da.z / na - db.z / nb;
+                        }
+                      });
+}
+
+}  // namespace remgen::uwb

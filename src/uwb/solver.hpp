@@ -1,0 +1,48 @@
+// Snapshot position solvers: nonlinear least squares (Gauss-Newton with
+// Levenberg damping) over a set of TWR ranges or TDoA differences.
+//
+// These solve a single epoch without motion information; the EKF (ekf.hpp) is
+// the filter the UAV actually flies with. The snapshot solver doubles as the
+// anchor self-calibration primitive and as the EKF initialisation.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "geom/vec3.hpp"
+#include "uwb/anchor.hpp"
+
+namespace remgen::uwb {
+
+/// Result of a snapshot solve.
+struct PositionFix {
+  geom::Vec3 position;
+  double residual_rms_m = 0.0;  ///< RMS of measurement residuals at the fix.
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// One TWR observation for the solver.
+struct RangeObservation {
+  Anchor anchor;
+  double range_m;
+};
+
+/// One TDoA observation: range(anchor_a) - range(anchor_b).
+struct TdoaObservation {
+  Anchor anchor_a;
+  Anchor anchor_b;
+  double difference_m;
+};
+
+/// Solves min sum (|p - a_i| - r_i)^2 starting from `initial_guess`.
+/// Requires at least 4 observations for a 3D fix.
+[[nodiscard]] PositionFix solve_twr(std::span<const RangeObservation> observations,
+                                    const geom::Vec3& initial_guess, int max_iterations = 50);
+
+/// Solves min sum ((|p-a_i| - |p-b_i|) - d_i)^2 starting from `initial_guess`.
+/// Requires at least 3 observations (4+ anchors) for a 3D fix.
+[[nodiscard]] PositionFix solve_tdoa(std::span<const TdoaObservation> observations,
+                                     const geom::Vec3& initial_guess, int max_iterations = 50);
+
+}  // namespace remgen::uwb

@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include "core/adaptive.hpp"
+#include "radio/scenario.hpp"
+
+namespace remgen::core {
+namespace {
+
+data::Sample make_sample(double x, double y, double z, const char* mac, double rss) {
+  data::Sample s;
+  s.position = {x, y, z};
+  s.mac = *radio::MacAddress::parse(mac);
+  s.channel = 6;
+  s.rss_dbm = rss;
+  return s;
+}
+
+TEST(PickUncertain, PrefersUnsampledRegion) {
+  // All samples cluster at low x; the highest-uncertainty picks must lie in
+  // the unsampled high-x half.
+  util::Rng rng(3);
+  data::Dataset ds;
+  for (int i = 0; i < 60; ++i) {
+    ds.add(make_sample(rng.uniform(0.2, 1.2), rng.uniform(0.2, 3.0), rng.uniform(0.2, 1.8),
+                       "02:00:00:00:00:0a", -70.0 + rng.gaussian(0, 2.0)));
+  }
+  const geom::Aabb volume({0, 0, 0}, {3.74, 3.20, 2.10});
+  const auto picks = pick_uncertain_locations(ds, volume, 4, 0.4, 0.35, 8);
+  ASSERT_EQ(picks.size(), 4u);
+  for (const geom::Vec3& p : picks) {
+    EXPECT_GT(p.x, 1.5) << p.to_string();
+    EXPECT_TRUE(volume.contains(p));
+  }
+}
+
+TEST(PickUncertain, RespectsMinSeparation) {
+  util::Rng rng(5);
+  data::Dataset ds;
+  for (int i = 0; i < 40; ++i) {
+    ds.add(make_sample(rng.uniform(0.2, 3.5), rng.uniform(0.2, 3.0), 1.0,
+                       "02:00:00:00:00:0a", -70.0 + rng.gaussian(0, 2.0)));
+  }
+  const geom::Aabb volume({0, 0, 0}, {3.74, 3.20, 2.10});
+  const auto picks = pick_uncertain_locations(ds, volume, 6, 0.8, 0.3, 8);
+  for (std::size_t i = 0; i < picks.size(); ++i) {
+    for (std::size_t j = i + 1; j < picks.size(); ++j) {
+      EXPECT_GE(picks[i].distance_to(picks[j]), 0.8);
+    }
+  }
+}
+
+TEST(PickUncertain, EmptyWhenNoMacSurvivesFilter) {
+  data::Dataset ds;
+  ds.add(make_sample(1, 1, 1, "02:00:00:00:00:0a", -70.0));
+  const geom::Aabb volume({0, 0, 0}, {3.74, 3.20, 2.10});
+  EXPECT_TRUE(pick_uncertain_locations(ds, volume, 3, 0.4, 0.35, 8).empty());
+}
+
+TEST(AdaptiveCampaign, RunsBootstrapPlusRounds) {
+  util::Rng rng(2022);
+  const radio::Scenario scenario = radio::Scenario::make_apartment(rng);
+  AdaptiveSamplingConfig config;
+  config.rounds = 2;
+  config.waypoints_per_round = 4;
+  const AdaptiveSamplingResult result = run_adaptive_campaign(scenario, config, rng);
+
+  ASSERT_EQ(result.waypoints_per_flight.size(), 3u);  // bootstrap + 2 rounds
+  EXPECT_EQ(result.waypoints_per_flight[0], 12u);
+  EXPECT_EQ(result.waypoints_per_flight[1], 4u);
+  EXPECT_EQ(result.waypoints_per_flight[2], 4u);
+  EXPECT_EQ(result.visited.size(), 20u);
+  EXPECT_GT(result.dataset.size(), 300u);
+  EXPECT_GT(result.final_mean_sigma_db, 0.0);
+  EXPECT_LT(result.final_mean_sigma_db, 10.0);
+}
+
+TEST(AdaptiveCampaign, MoreRoundsShrinkUncertainty) {
+  auto run = [](std::size_t rounds) {
+    util::Rng rng(2022);
+    const radio::Scenario scenario = radio::Scenario::make_apartment(rng);
+    AdaptiveSamplingConfig config;
+    config.rounds = rounds;
+    config.waypoints_per_round = 5;
+    return run_adaptive_campaign(scenario, config, rng).final_mean_sigma_db;
+  };
+  EXPECT_LT(run(4), run(1));
+}
+
+}  // namespace
+}  // namespace remgen::core

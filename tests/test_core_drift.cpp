@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include "core/drift.hpp"
+#include "util/rng.hpp"
+
+namespace remgen::core {
+namespace {
+
+radio::MacAddress mac_a() { return *radio::MacAddress::parse("02:00:00:00:00:0a"); }
+radio::MacAddress mac_b() { return *radio::MacAddress::parse("02:00:00:00:00:0b"); }
+
+/// A flat REM: every voxel of every MAC predicts the given value.
+RadioEnvironmentMap flat_rem(double rss_a, double rss_b) {
+  const geom::GridGeometry g(geom::Aabb({0, 0, 0}, {4.0, 3.0, 2.0}), 4, 3, 2);
+  RadioEnvironmentMap rem(g, {mac_a(), mac_b()});
+  for (std::size_t iz = 0; iz < g.nz(); ++iz) {
+    for (std::size_t iy = 0; iy < g.ny(); ++iy) {
+      for (std::size_t ix = 0; ix < g.nx(); ++ix) {
+        rem.set_cell(mac_a(), {ix, iy, iz}, {rss_a, 0.0});
+        rem.set_cell(mac_b(), {ix, iy, iz}, {rss_b, 0.0});
+      }
+    }
+  }
+  return rem;
+}
+
+std::vector<data::Sample> probe(const radio::MacAddress& mac, double rss, std::size_t n,
+                                double noise_sigma = 0.0, std::uint64_t seed = 1) {
+  util::Rng rng(seed);
+  std::vector<data::Sample> out;
+  for (std::size_t i = 0; i < n; ++i) {
+    data::Sample s;
+    s.mac = mac;
+    s.position = {rng.uniform(0.1, 3.9), rng.uniform(0.1, 2.9), rng.uniform(0.1, 1.9)};
+    s.rss_dbm = rss + rng.gaussian(0.0, noise_sigma);
+    out.push_back(s);
+  }
+  return out;
+}
+
+TEST(Drift, FreshRemShowsNoDrift) {
+  const RadioEnvironmentMap rem = flat_rem(-70.0, -80.0);
+  auto samples = probe(mac_a(), -70.0, 20, 2.0);
+  const auto more = probe(mac_b(), -80.0, 20, 2.0, 2);
+  samples.insert(samples.end(), more.begin(), more.end());
+  const DriftReport report = detect_drift(rem, samples);
+  EXPECT_EQ(report.judged_macs, 2u);
+  EXPECT_EQ(report.drifted_macs, 0u);
+  EXPECT_FALSE(report.rem_stale);
+  EXPECT_LT(report.overall_rms_db, 3.0);
+}
+
+TEST(Drift, ShiftedTransmitterIsFlagged) {
+  const RadioEnvironmentMap rem = flat_rem(-70.0, -80.0);
+  auto samples = probe(mac_a(), -58.0, 20, 2.0);  // +12 dB: moved much closer
+  const auto stable = probe(mac_b(), -80.0, 20, 2.0, 2);
+  samples.insert(samples.end(), stable.begin(), stable.end());
+  const DriftReport report = detect_drift(rem, samples);
+  ASSERT_EQ(report.judged_macs, 2u);
+  EXPECT_EQ(report.drifted_macs, 1u);
+  EXPECT_EQ(report.per_mac.front().mac, mac_a());  // worst first
+  EXPECT_NEAR(report.per_mac.front().mean_residual_db, 12.0, 1.5);
+  EXPECT_TRUE(report.per_mac.front().drifted);
+}
+
+TEST(Drift, NegativeShiftAlsoFlagged) {
+  const RadioEnvironmentMap rem = flat_rem(-70.0, -80.0);
+  const DriftReport report = detect_drift(rem, probe(mac_a(), -82.0, 15, 1.0));
+  ASSERT_EQ(report.judged_macs, 1u);
+  EXPECT_TRUE(report.per_mac[0].drifted);
+  EXPECT_LT(report.per_mac[0].mean_residual_db, 0.0);
+}
+
+TEST(Drift, FewSamplesAreNotJudged) {
+  const RadioEnvironmentMap rem = flat_rem(-70.0, -80.0);
+  const DriftReport report = detect_drift(rem, probe(mac_a(), -40.0, 3));
+  EXPECT_EQ(report.judged_macs, 0u);
+  EXPECT_FALSE(report.rem_stale);
+}
+
+TEST(Drift, UnknownMacsCounted) {
+  const RadioEnvironmentMap rem = flat_rem(-70.0, -80.0);
+  const auto samples = probe(*radio::MacAddress::parse("02:ff:ff:ff:ff:ff"), -60.0, 10);
+  const DriftReport report = detect_drift(rem, samples);
+  EXPECT_EQ(report.unknown_macs, 1u);
+  EXPECT_EQ(report.judged_macs, 0u);
+}
+
+TEST(Drift, StaleFractionTriggersRemStale) {
+  const RadioEnvironmentMap rem = flat_rem(-70.0, -80.0);
+  // Both MACs drifted -> fraction 1.0 >= 0.25.
+  auto samples = probe(mac_a(), -55.0, 10, 1.0);
+  const auto more = probe(mac_b(), -95.0, 10, 1.0, 2);
+  samples.insert(samples.end(), more.begin(), more.end());
+  const DriftReport report = detect_drift(rem, samples);
+  EXPECT_TRUE(report.rem_stale);
+}
+
+TEST(Drift, NoiseAloneDoesNotTrigger) {
+  const RadioEnvironmentMap rem = flat_rem(-70.0, -80.0);
+  // Zero-mean noise with realistic fading sigma: rms is high, mean is not.
+  const DriftReport report = detect_drift(rem, probe(mac_a(), -70.0, 60, 4.5));
+  ASSERT_EQ(report.judged_macs, 1u);
+  EXPECT_FALSE(report.per_mac[0].drifted);
+  EXPECT_GT(report.per_mac[0].rms_residual_db, 3.0);
+}
+
+TEST(Drift, ConfigurableThreshold) {
+  const RadioEnvironmentMap rem = flat_rem(-70.0, -80.0);
+  DriftConfig strict;
+  strict.mean_residual_threshold_db = 1.0;
+  const DriftReport report = detect_drift(rem, probe(mac_a(), -67.5, 30, 0.5), strict);
+  ASSERT_EQ(report.judged_macs, 1u);
+  EXPECT_TRUE(report.per_mac[0].drifted);  // 2.5 dB > 1.0 dB threshold
+}
+
+}  // namespace
+}  // namespace remgen::core

@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/coverage.hpp"
+#include "core/rem.hpp"
+
+namespace remgen::core {
+namespace {
+
+radio::MacAddress mac_a() { return *radio::MacAddress::parse("02:00:00:00:00:0a"); }
+radio::MacAddress mac_b() { return *radio::MacAddress::parse("02:00:00:00:00:0b"); }
+
+RadioEnvironmentMap small_rem() {
+  const geom::GridGeometry g(geom::Aabb({0, 0, 0}, {2.0, 2.0, 1.0}), 2, 2, 1);
+  return RadioEnvironmentMap(g, {mac_a(), mac_b()});
+}
+
+TEST(Rem, CellsDefaultToVeryWeak) {
+  const RadioEnvironmentMap rem = small_rem();
+  EXPECT_DOUBLE_EQ(rem.cell(mac_a(), {0, 0, 0}).rss_dbm, -120.0);
+}
+
+TEST(Rem, SetAndGetCell) {
+  RadioEnvironmentMap rem = small_rem();
+  rem.set_cell(mac_a(), {1, 0, 0}, {-62.5, 1.5});
+  const RemCell c = rem.cell(mac_a(), {1, 0, 0});
+  EXPECT_DOUBLE_EQ(c.rss_dbm, -62.5);
+  EXPECT_DOUBLE_EQ(c.sigma_db, 1.5);
+  // Other MAC unaffected.
+  EXPECT_DOUBLE_EQ(rem.cell(mac_b(), {1, 0, 0}).rss_dbm, -120.0);
+}
+
+TEST(Rem, QueryUsesContainingVoxel) {
+  RadioEnvironmentMap rem = small_rem();
+  rem.set_cell(mac_a(), {0, 0, 0}, {-70.0, 0.0});
+  rem.set_cell(mac_a(), {1, 1, 0}, {-50.0, 0.0});
+  const auto q1 = rem.query(mac_a(), {0.4, 0.4, 0.5});
+  ASSERT_TRUE(q1.has_value());
+  EXPECT_DOUBLE_EQ(q1->rss_dbm, -70.0);
+  const auto q2 = rem.query(mac_a(), {1.6, 1.6, 0.5});
+  ASSERT_TRUE(q2.has_value());
+  EXPECT_DOUBLE_EQ(q2->rss_dbm, -50.0);
+}
+
+TEST(Rem, QueryUnknownMacIsNull) {
+  const RadioEnvironmentMap rem = small_rem();
+  EXPECT_FALSE(rem.query(*radio::MacAddress::parse("02:ff:ff:ff:ff:ff"), {1, 1, 0.5}));
+}
+
+TEST(Rem, BestApPicksStrongest) {
+  RadioEnvironmentMap rem = small_rem();
+  rem.set_cell(mac_a(), {0, 0, 0}, {-70.0, 0.0});
+  rem.set_cell(mac_b(), {0, 0, 0}, {-55.0, 0.0});
+  const auto best = rem.best_ap({0.4, 0.4, 0.5});
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(best->mac, mac_b());
+  EXPECT_DOUBLE_EQ(best->cell.rss_dbm, -55.0);
+}
+
+TEST(Rem, CoverageFraction) {
+  RadioEnvironmentMap rem = small_rem();
+  // Cover two of the four voxels at -60.
+  rem.set_cell(mac_a(), {0, 0, 0}, {-60.0, 0.0});
+  rem.set_cell(mac_b(), {1, 1, 0}, {-60.0, 0.0});
+  EXPECT_DOUBLE_EQ(rem.coverage_fraction(-70.0), 0.5);
+  EXPECT_DOUBLE_EQ(rem.coverage_fraction(-50.0), 0.0);
+  EXPECT_DOUBLE_EQ(rem.coverage_fraction(-130.0), 1.0);
+}
+
+TEST(Rem, DarkVoxelsComplementCoverage) {
+  RadioEnvironmentMap rem = small_rem();
+  rem.set_cell(mac_a(), {0, 0, 0}, {-60.0, 0.0});
+  const auto dark = rem.dark_voxels(-70.0);
+  EXPECT_EQ(dark.size(), 3u);
+  for (const geom::VoxelIndex& v : dark) {
+    EXPECT_FALSE(v == (geom::VoxelIndex{0, 0, 0}));
+  }
+}
+
+TEST(Rem, CsvContainsEveryCell) {
+  RadioEnvironmentMap rem = small_rem();
+  std::ostringstream out;
+  rem.write_csv(out);
+  const std::string text = out.str();
+  // Header + 2 macs * 4 voxels = 9 lines.
+  std::size_t lines = 0;
+  for (const char c : text) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, 9u);
+  EXPECT_NE(text.find("02:00:00:00:00:0a"), std::string::npos);
+  EXPECT_NE(text.find("rss_dbm"), std::string::npos);
+}
+
+TEST(Coverage, ReportMatchesRem) {
+  RadioEnvironmentMap rem = small_rem();
+  rem.set_cell(mac_a(), {0, 0, 0}, {-60.0, 0.0});
+  const CoverageReport report = analyze_coverage(rem, -70.0);
+  EXPECT_DOUBLE_EQ(report.covered_fraction, 0.25);
+  EXPECT_EQ(report.dark_voxel_count, 3u);
+  EXPECT_DOUBLE_EQ(report.threshold_dbm, -70.0);
+}
+
+TEST(Coverage, PlacementCandidateInDarkRegionWins) {
+  // One covered corner; the dark region is the rest of the box. A candidate
+  // AP amid the dark voxels must newly cover more than one far away corner
+  // that is attenuated by a wall.
+  const geom::GridGeometry g(geom::Aabb({0, 0, 0}, {8.0, 2.0, 1.0}), 8, 2, 1);
+  RadioEnvironmentMap rem(g, {mac_a()});
+  rem.set_cell(mac_a(), {0, 0, 0}, {-50.0, 0.0});
+
+  geom::Floorplan fp;
+  fp.add_wall(geom::Wall::vertical({4.0, -1.0, 0.0}, {4.0, 3.0, 0.0}, 0.0, 1.0,
+                                   geom::WallMaterial::ReinforcedConcrete, 20.0));
+
+  PlacementConfig config;
+  config.threshold_dbm = -60.0;
+  config.tx_power_dbm = 5.0;
+  const std::vector<geom::Vec3> candidates{{6.0, 1.0, 0.5},   // amid the dark voxels
+                                           {0.5, 0.5, 0.5}};  // behind the wall from most
+  const auto ranked = rank_ap_placements(rem, fp, candidates, config);
+  ASSERT_EQ(ranked.size(), 2u);
+  EXPECT_EQ(ranked[0].position, geom::Vec3(6.0, 1.0, 0.5));
+  EXPECT_GT(ranked[0].newly_covered_voxels, ranked[1].newly_covered_voxels);
+  EXPECT_GE(ranked[0].predicted_coverage_fraction, ranked[1].predicted_coverage_fraction);
+}
+
+}  // namespace
+}  // namespace remgen::core

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/rem_builder.hpp"
+#include "ml/kriging.hpp"
+#include "util/rng.hpp"
+
+namespace remgen::core {
+namespace {
+
+data::Sample make_sample(double x, double y, double z, const char* mac, double rss) {
+  data::Sample s;
+  s.position = {x, y, z};
+  s.mac = *radio::MacAddress::parse(mac);
+  s.channel = 6;
+  s.rss_dbm = rss;
+  return s;
+}
+
+constexpr const char* kMacA = "02:00:00:00:00:0a";
+constexpr const char* kMacB = "02:00:00:00:00:0b";
+
+data::Dataset synthetic_dataset(std::size_t per_mac = 40) {
+  util::Rng rng(21);
+  data::Dataset ds;
+  for (std::size_t i = 0; i < per_mac; ++i) {
+    const double x = rng.uniform(0.0, 4.0);
+    const double y = rng.uniform(0.0, 3.0);
+    const double z = rng.uniform(0.0, 2.0);
+    ds.add(make_sample(x, y, z, kMacA, -55.0 - 4.0 * x + rng.gaussian(0, 1.0)));
+    ds.add(make_sample(x, y, z, kMacB, -75.0 - 2.0 * y + rng.gaussian(0, 1.0)));
+  }
+  return ds;
+}
+
+geom::Aabb volume() { return geom::Aabb({0, 0, 0}, {4.0, 3.0, 2.0}); }
+
+TEST(RemBuilder, GridDimensionsFollowResolution) {
+  const data::Dataset ds = synthetic_dataset();
+  RemBuilderConfig config;
+  config.voxel_m = 0.5;
+  config.min_samples_per_mac = 1;
+  const RadioEnvironmentMap rem = build_rem(ds, ml::ModelKind::PerMacKnn, volume(), config);
+  EXPECT_EQ(rem.geometry().nx(), 8u);
+  EXPECT_EQ(rem.geometry().ny(), 6u);
+  EXPECT_EQ(rem.geometry().nz(), 4u);
+}
+
+TEST(RemBuilder, MapsEveryRetainedMac) {
+  const data::Dataset ds = synthetic_dataset();
+  RemBuilderConfig config;
+  config.min_samples_per_mac = 1;
+  const RadioEnvironmentMap rem = build_rem(ds, ml::ModelKind::PerMacKnn, volume(), config);
+  EXPECT_EQ(rem.macs().size(), 2u);
+}
+
+TEST(RemBuilder, MinSamplesRuleDropsSparseMacs) {
+  data::Dataset ds = synthetic_dataset(40);
+  ds.add(make_sample(1, 1, 1, "02:00:00:00:00:0c", -90.0));  // a single stray sample
+  RemBuilderConfig config;
+  config.min_samples_per_mac = 16;
+  const RadioEnvironmentMap rem = build_rem(ds, ml::ModelKind::PerMacKnn, volume(), config);
+  EXPECT_EQ(rem.macs().size(), 2u);
+}
+
+TEST(RemBuilder, PredictionsReflectSpatialStructure) {
+  const data::Dataset ds = synthetic_dataset(120);
+  RemBuilderConfig config;
+  config.voxel_m = 0.5;
+  config.min_samples_per_mac = 1;
+  const RadioEnvironmentMap rem = build_rem(ds, ml::ModelKind::KnnScaled16, volume(), config);
+  // MAC A decays along x: low-x voxels must be stronger.
+  const auto left = rem.query(*radio::MacAddress::parse(kMacA), {0.3, 1.5, 1.0});
+  const auto right = rem.query(*radio::MacAddress::parse(kMacA), {3.7, 1.5, 1.0});
+  ASSERT_TRUE(left && right);
+  EXPECT_GT(left->rss_dbm, right->rss_dbm + 5.0);
+}
+
+TEST(RemBuilder, AllCellsFinite) {
+  const data::Dataset ds = synthetic_dataset();
+  RemBuilderConfig config;
+  config.voxel_m = 0.5;
+  config.min_samples_per_mac = 1;
+  for (const auto kind : {ml::ModelKind::BaselineMeanPerMac, ml::ModelKind::KnnK3Distance,
+                          ml::ModelKind::Idw}) {
+    const RadioEnvironmentMap rem = build_rem(ds, kind, volume(), config);
+    const auto& g = rem.geometry();
+    for (const radio::MacAddress& mac : rem.macs()) {
+      for (std::size_t iz = 0; iz < g.nz(); ++iz) {
+        for (std::size_t iy = 0; iy < g.ny(); ++iy) {
+          for (std::size_t ix = 0; ix < g.nx(); ++ix) {
+            EXPECT_TRUE(std::isfinite(rem.cell(mac, {ix, iy, iz}).rss_dbm));
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(RemBuilder, KrigingPopulatesUncertainty) {
+  const data::Dataset ds = synthetic_dataset(60);
+  ml::KrigingRegressor kriging;
+  RemBuilderConfig config;
+  config.voxel_m = 0.5;
+  config.min_samples_per_mac = 1;
+  const RadioEnvironmentMap rem = build_rem(ds, kriging, volume(), config);
+  double sigma_sum = 0.0;
+  const auto& g = rem.geometry();
+  for (std::size_t ix = 0; ix < g.nx(); ++ix) {
+    sigma_sum += rem.cell(*radio::MacAddress::parse(kMacA), {ix, 0, 0}).sigma_db;
+  }
+  EXPECT_GT(sigma_sum, 0.0);
+}
+
+TEST(RemBuilder, NonKrigingHasZeroSigma) {
+  const data::Dataset ds = synthetic_dataset();
+  RemBuilderConfig config;
+  config.voxel_m = 1.0;
+  config.min_samples_per_mac = 1;
+  const RadioEnvironmentMap rem =
+      build_rem(ds, ml::ModelKind::BaselineMeanPerMac, volume(), config);
+  EXPECT_DOUBLE_EQ(rem.cell(*radio::MacAddress::parse(kMacA), {0, 0, 0}).sigma_db, 0.0);
+}
+
+}  // namespace
+}  // namespace remgen::core

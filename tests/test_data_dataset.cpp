@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "data/dataset.hpp"
+
+namespace remgen::data {
+namespace {
+
+Sample make_sample(double x, double y, double z, const char* mac, double rss, int uav = 0,
+                   int waypoint = 0, const char* ssid = "net") {
+  Sample s;
+  s.position = {x, y, z};
+  s.ssid = ssid;
+  s.rss_dbm = rss;
+  s.mac = *radio::MacAddress::parse(mac);
+  s.channel = 6;
+  s.uav_id = uav;
+  s.waypoint_index = waypoint;
+  return s;
+}
+
+Dataset sample_dataset() {
+  Dataset ds;
+  ds.add(make_sample(0, 0, 0, "02:00:00:00:00:01", -70.0, 0, 0, "a"));
+  ds.add(make_sample(1, 0, 0, "02:00:00:00:00:01", -72.0, 0, 1, "a"));
+  ds.add(make_sample(0, 1, 0, "02:00:00:00:00:02", -80.0, 1, 0, "b"));
+  ds.add(make_sample(1, 1, 0, "02:00:00:00:00:02", -82.0, 1, 1, "b"));
+  ds.add(make_sample(2, 2, 1, "02:00:00:00:00:03", -90.0, 1, 2, "a"));
+  return ds;
+}
+
+TEST(Dataset, SizeAndEmpty) {
+  Dataset ds;
+  EXPECT_TRUE(ds.empty());
+  ds = sample_dataset();
+  EXPECT_EQ(ds.size(), 5u);
+  EXPECT_FALSE(ds.empty());
+}
+
+TEST(Dataset, DistinctCounts) {
+  const Dataset ds = sample_dataset();
+  EXPECT_EQ(ds.distinct_macs().size(), 3u);
+  EXPECT_EQ(ds.distinct_ssids().size(), 2u);
+}
+
+TEST(Dataset, MeanRss) {
+  const Dataset ds = sample_dataset();
+  EXPECT_DOUBLE_EQ(ds.mean_rss_dbm(), (-70.0 - 72.0 - 80.0 - 82.0 - 90.0) / 5.0);
+}
+
+TEST(Dataset, SamplesPerMacAndUavAndWaypoint) {
+  const Dataset ds = sample_dataset();
+  const auto per_mac = ds.samples_per_mac();
+  EXPECT_EQ(per_mac.at(*radio::MacAddress::parse("02:00:00:00:00:01")), 2u);
+  EXPECT_EQ(per_mac.at(*radio::MacAddress::parse("02:00:00:00:00:03")), 1u);
+  const auto per_uav = ds.samples_per_uav();
+  EXPECT_EQ(per_uav.at(0), 2u);
+  EXPECT_EQ(per_uav.at(1), 3u);
+  const auto per_wp = ds.samples_per_waypoint();
+  EXPECT_EQ(per_wp.at(0), 2u);
+  EXPECT_EQ(per_wp.at(2), 1u);
+}
+
+TEST(Dataset, FilterMinSamplesPerMac) {
+  const Dataset ds = sample_dataset();
+  std::size_t dropped = 0;
+  const Dataset filtered = ds.filter_min_samples_per_mac(2, &dropped);
+  EXPECT_EQ(filtered.size(), 4u);
+  EXPECT_EQ(dropped, 1u);
+  EXPECT_EQ(filtered.distinct_macs().size(), 2u);
+}
+
+TEST(Dataset, FilterKeepsEverythingAtThresholdOne) {
+  const Dataset ds = sample_dataset();
+  std::size_t dropped = 0;
+  EXPECT_EQ(ds.filter_min_samples_per_mac(1, &dropped).size(), 5u);
+  EXPECT_EQ(dropped, 0u);
+}
+
+TEST(Dataset, FilterCanDropEverything) {
+  const Dataset ds = sample_dataset();
+  EXPECT_TRUE(ds.filter_min_samples_per_mac(100).empty());
+}
+
+TEST(Dataset, AxisHistogram) {
+  const Dataset ds = sample_dataset();
+  const auto bins = ds.axis_histogram(0, 1.0);  // x in {0,0,1,1,2}
+  ASSERT_EQ(bins.size(), 3u);
+  EXPECT_EQ(bins[0].second, 2u);
+  EXPECT_EQ(bins[1].second, 2u);
+  EXPECT_EQ(bins[2].second, 1u);
+  EXPECT_DOUBLE_EQ(bins[0].first, 0.0);
+}
+
+TEST(Dataset, AxisHistogramNegativeCoordinates) {
+  Dataset ds;
+  ds.add(make_sample(-1.2, 0, 0, "02:00:00:00:00:01", -70.0));
+  ds.add(make_sample(0.3, 0, 0, "02:00:00:00:00:01", -70.0));
+  const auto bins = ds.axis_histogram(0, 0.5);
+  EXPECT_DOUBLE_EQ(bins.front().first, -1.5);
+  EXPECT_EQ(bins.front().second, 1u);
+}
+
+TEST(Dataset, SplitProportionsAndCompleteness) {
+  Dataset ds;
+  for (int i = 0; i < 100; ++i) {
+    ds.add(make_sample(i, 0, 0, "02:00:00:00:00:01", -70.0 - i));
+  }
+  util::Rng rng(5);
+  const DatasetSplit split = ds.split(0.75, rng);
+  EXPECT_EQ(split.train.size(), 75u);
+  EXPECT_EQ(split.test.size(), 25u);
+  // Every sample appears exactly once across the two sides.
+  std::set<double> rss;
+  for (const Sample& s : split.train) rss.insert(s.rss_dbm);
+  for (const Sample& s : split.test) rss.insert(s.rss_dbm);
+  EXPECT_EQ(rss.size(), 100u);
+}
+
+TEST(Dataset, SplitIsDeterministicGivenRng) {
+  const Dataset ds = sample_dataset();
+  util::Rng rng1(9);
+  util::Rng rng2(9);
+  const DatasetSplit s1 = ds.split(0.6, rng1);
+  const DatasetSplit s2 = ds.split(0.6, rng2);
+  ASSERT_EQ(s1.train.size(), s2.train.size());
+  for (std::size_t i = 0; i < s1.train.size(); ++i) {
+    EXPECT_EQ(s1.train[i].rss_dbm, s2.train[i].rss_dbm);
+  }
+}
+
+TEST(Dataset, CsvRoundTrip) {
+  const Dataset ds = sample_dataset();
+  std::stringstream buffer;
+  ds.write_csv(buffer);
+  const Dataset loaded = Dataset::read_csv(buffer);
+  ASSERT_EQ(loaded.size(), ds.size());
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    EXPECT_EQ(loaded.samples()[i].mac, ds.samples()[i].mac);
+    EXPECT_EQ(loaded.samples()[i].ssid, ds.samples()[i].ssid);
+    EXPECT_NEAR(loaded.samples()[i].rss_dbm, ds.samples()[i].rss_dbm, 0.01);
+    EXPECT_NEAR(loaded.samples()[i].position.x, ds.samples()[i].position.x, 1e-4);
+    EXPECT_EQ(loaded.samples()[i].uav_id, ds.samples()[i].uav_id);
+    EXPECT_EQ(loaded.samples()[i].waypoint_index, ds.samples()[i].waypoint_index);
+  }
+}
+
+TEST(Dataset, CsvMissingColumnThrows) {
+  std::stringstream buffer("x,y\n1,2\n");
+  EXPECT_THROW((void)Dataset::read_csv(buffer), std::runtime_error);
+}
+
+TEST(Dataset, Append) {
+  Dataset a = sample_dataset();
+  const Dataset b = sample_dataset();
+  a.append(b);
+  EXPECT_EQ(a.size(), 10u);
+}
+
+}  // namespace
+}  // namespace remgen::data

@@ -1,0 +1,62 @@
+#include <gtest/gtest.h>
+
+#include "geom/aabb.hpp"
+
+namespace remgen::geom {
+namespace {
+
+TEST(AabbTest, SizeCenterVolume) {
+  const Aabb box({1.0, 2.0, 3.0}, {3.0, 6.0, 4.0});
+  EXPECT_EQ(box.size(), Vec3(2.0, 4.0, 1.0));
+  EXPECT_EQ(box.center(), Vec3(2.0, 4.0, 3.5));
+  EXPECT_DOUBLE_EQ(box.volume(), 8.0);
+}
+
+TEST(AabbTest, FromSize) {
+  const Aabb box = Aabb::from_size({1.0, 1.0, 1.0}, {2.0, 3.0, 4.0});
+  EXPECT_EQ(box.max, Vec3(3.0, 4.0, 5.0));
+}
+
+TEST(AabbTest, ContainsInteriorAndBoundary) {
+  const Aabb box({0.0, 0.0, 0.0}, {1.0, 1.0, 1.0});
+  EXPECT_TRUE(box.contains({0.5, 0.5, 0.5}));
+  EXPECT_TRUE(box.contains({0.0, 0.0, 0.0}));
+  EXPECT_TRUE(box.contains({1.0, 1.0, 1.0}));
+  EXPECT_FALSE(box.contains({1.0001, 0.5, 0.5}));
+  EXPECT_FALSE(box.contains({0.5, -0.0001, 0.5}));
+}
+
+TEST(AabbTest, Clamp) {
+  const Aabb box({0.0, 0.0, 0.0}, {1.0, 2.0, 3.0});
+  EXPECT_EQ(box.clamp({-1.0, 1.0, 5.0}), Vec3(0.0, 1.0, 3.0));
+  EXPECT_EQ(box.clamp({0.5, 0.5, 0.5}), Vec3(0.5, 0.5, 0.5));
+}
+
+TEST(AabbTest, CornersAreAllDistinctAndContained) {
+  const Aabb box({0.0, 0.0, 0.0}, {1.0, 1.0, 1.0});
+  const auto corners = box.corners();
+  EXPECT_EQ(corners.size(), 8u);
+  for (std::size_t i = 0; i < corners.size(); ++i) {
+    EXPECT_TRUE(box.contains(corners[i]));
+    for (std::size_t j = i + 1; j < corners.size(); ++j) {
+      EXPECT_NE(corners[i], corners[j]);
+    }
+  }
+}
+
+TEST(AabbTest, United) {
+  const Aabb a({0.0, 0.0, 0.0}, {1.0, 1.0, 1.0});
+  const Aabb b({2.0, -1.0, 0.5}, {3.0, 0.5, 2.0});
+  const Aabb u = a.united(b);
+  EXPECT_EQ(u.min, Vec3(0.0, -1.0, 0.0));
+  EXPECT_EQ(u.max, Vec3(3.0, 1.0, 2.0));
+}
+
+TEST(AabbTest, DegenerateFlatBoxIsAllowed) {
+  const Aabb flat({0.0, 0.0, 1.0}, {2.0, 2.0, 1.0});
+  EXPECT_DOUBLE_EQ(flat.volume(), 0.0);
+  EXPECT_TRUE(flat.contains({1.0, 1.0, 1.0}));
+}
+
+}  // namespace
+}  // namespace remgen::geom

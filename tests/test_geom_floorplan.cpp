@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "geom/floorplan.hpp"
+
+namespace remgen::geom {
+namespace {
+
+Floorplan two_walls() {
+  Floorplan fp;
+  fp.add_wall(Wall::vertical({1.0, -5.0, 0.0}, {1.0, 5.0, 0.0}, 0.0, 3.0,
+                             WallMaterial::Drywall));
+  fp.add_wall(Wall::vertical({2.0, -5.0, 0.0}, {2.0, 5.0, 0.0}, 0.0, 3.0,
+                             WallMaterial::Concrete));
+  return fp;
+}
+
+TEST(FloorplanTest, AddWallReturnsIndex) {
+  Floorplan fp;
+  EXPECT_EQ(fp.add_wall(Wall::slab(0, 0, 1, 1, 0.0, WallMaterial::Wood)), 0u);
+  EXPECT_EQ(fp.add_wall(Wall::slab(0, 0, 1, 1, 1.0, WallMaterial::Wood)), 1u);
+  EXPECT_EQ(fp.walls().size(), 2u);
+}
+
+TEST(FloorplanTest, CrossingsSortedByT) {
+  const Floorplan fp = two_walls();
+  const auto crossings = fp.crossings({0.0, 0.0, 1.0}, {3.0, 0.0, 1.0});
+  ASSERT_EQ(crossings.size(), 2u);
+  EXPECT_LT(crossings[0].t, crossings[1].t);
+  EXPECT_EQ(crossings[0].wall_index, 0u);
+  EXPECT_EQ(crossings[1].wall_index, 1u);
+}
+
+TEST(FloorplanTest, CrossingsReverseDirection) {
+  const Floorplan fp = two_walls();
+  const auto crossings = fp.crossings({3.0, 0.0, 1.0}, {0.0, 0.0, 1.0});
+  ASSERT_EQ(crossings.size(), 2u);
+  EXPECT_EQ(crossings[0].wall_index, 1u);  // concrete wall hit first going back
+}
+
+TEST(FloorplanTest, TotalPenetrationLossSumsMaterials) {
+  const Floorplan fp = two_walls();
+  const double loss = fp.total_penetration_loss_db({0.0, 0.0, 1.0}, {3.0, 0.0, 1.0});
+  EXPECT_DOUBLE_EQ(loss, material_loss_db(WallMaterial::Drywall) +
+                             material_loss_db(WallMaterial::Concrete));
+}
+
+TEST(FloorplanTest, WallCountAndLineOfSight) {
+  const Floorplan fp = two_walls();
+  EXPECT_EQ(fp.wall_count_between({0.0, 0.0, 1.0}, {3.0, 0.0, 1.0}), 2u);
+  EXPECT_EQ(fp.wall_count_between({1.2, 0.0, 1.0}, {1.8, 0.0, 1.0}), 0u);
+  EXPECT_TRUE(fp.line_of_sight({1.2, 0.0, 1.0}, {1.8, 0.0, 1.0}));
+  EXPECT_FALSE(fp.line_of_sight({0.0, 0.0, 1.0}, {1.5, 0.0, 1.0}));
+}
+
+TEST(FloorplanTest, EmptyFloorplanHasLineOfSight) {
+  Floorplan fp;
+  EXPECT_TRUE(fp.line_of_sight({0, 0, 0}, {10, 10, 10}));
+  EXPECT_DOUBLE_EQ(fp.total_penetration_loss_db({0, 0, 0}, {10, 10, 10}), 0.0);
+}
+
+TEST(ApartmentModelTest, ScanVolumeMatchesPaper) {
+  const ApartmentModel model = make_apartment_model();
+  const Vec3 size = model.scan_volume.size();
+  EXPECT_NEAR(size.x, 3.74, 1e-9);
+  EXPECT_NEAR(size.y, 3.20, 1e-9);
+  EXPECT_NEAR(size.z, 2.10, 1e-9);
+}
+
+TEST(ApartmentModelTest, BuildingContainsScanVolume) {
+  const ApartmentModel model = make_apartment_model();
+  EXPECT_TRUE(model.building_bounds.contains(model.scan_volume.min));
+  EXPECT_TRUE(model.building_bounds.contains(model.scan_volume.max));
+}
+
+TEST(ApartmentModelTest, HasThickSegmentOnUavBSide) {
+  const ApartmentModel model = make_apartment_model();
+  bool found = false;
+  for (const Wall& w : model.floorplan.walls()) {
+    if (w.name() == "corridor-south-thick") {
+      found = true;
+      EXPECT_GT(w.loss_db(), material_loss_db(WallMaterial::Concrete));
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ApartmentModelTest, ThickSegmentBlocksOnlyLowXHalf) {
+  const ApartmentModel model = make_apartment_model();
+  // Straight-south path from UAV B's half crosses the thick segment...
+  const double loss_b = model.floorplan.total_penetration_loss_db({0.9, 1.0, 1.0},
+                                                                  {0.9, -3.0, 1.0});
+  // ...while the same path from UAV A's half crosses the thin partition.
+  const double loss_a = model.floorplan.total_penetration_loss_db({2.8, 1.0, 1.0},
+                                                                  {2.8, -3.0, 1.0});
+  EXPECT_GT(loss_b, loss_a + 10.0);
+}
+
+TEST(ApartmentModelTest, FloorSlabSeparatesStoreys) {
+  const ApartmentModel model = make_apartment_model();
+  const double within_floor =
+      model.floorplan.total_penetration_loss_db({1.0, 1.0, 0.5}, {1.0, 1.0, 2.0});
+  const double across_floor =
+      model.floorplan.total_penetration_loss_db({1.0, 1.0, 1.0}, {1.0, 1.0, 3.5});
+  EXPECT_DOUBLE_EQ(within_floor, 0.0);
+  EXPECT_GE(across_floor, material_loss_db(WallMaterial::ReinforcedConcrete));
+}
+
+TEST(ApartmentModelTest, InteriorOfScanVolumeIsOpenSpace) {
+  const ApartmentModel model = make_apartment_model();
+  // No wall crosses the interior of the room itself.
+  EXPECT_TRUE(model.floorplan.line_of_sight({0.3, 0.3, 0.3}, {3.4, 2.9, 1.8}));
+}
+
+}  // namespace
+}  // namespace remgen::geom

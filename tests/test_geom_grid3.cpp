@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include "geom/grid3.hpp"
+
+namespace remgen::geom {
+namespace {
+
+GridGeometry unit_grid() {
+  return GridGeometry(Aabb({0, 0, 0}, {4.0, 2.0, 1.0}), 4, 2, 1);
+}
+
+TEST(GridGeometryTest, Counts) {
+  const GridGeometry g = unit_grid();
+  EXPECT_EQ(g.nx(), 4u);
+  EXPECT_EQ(g.ny(), 2u);
+  EXPECT_EQ(g.nz(), 1u);
+  EXPECT_EQ(g.voxel_count(), 8u);
+}
+
+TEST(GridGeometryTest, WithResolution) {
+  const GridGeometry g = GridGeometry::with_resolution(Aabb({0, 0, 0}, {1.0, 0.5, 0.25}), 0.25);
+  EXPECT_EQ(g.nx(), 4u);
+  EXPECT_EQ(g.ny(), 2u);
+  EXPECT_EQ(g.nz(), 1u);
+}
+
+TEST(GridGeometryTest, WithResolutionNeverZeroVoxels) {
+  const GridGeometry g = GridGeometry::with_resolution(Aabb({0, 0, 0}, {0.1, 0.1, 0.1}), 10.0);
+  EXPECT_EQ(g.voxel_count(), 1u);
+}
+
+TEST(GridGeometryTest, VoxelOfInteriorPoints) {
+  const GridGeometry g = unit_grid();
+  EXPECT_EQ(g.voxel_of({0.5, 0.5, 0.5}), (VoxelIndex{0, 0, 0}));
+  EXPECT_EQ(g.voxel_of({3.5, 1.5, 0.5}), (VoxelIndex{3, 1, 0}));
+  EXPECT_EQ(g.voxel_of({1.0, 0.0, 0.0}), (VoxelIndex{1, 0, 0}));  // on edge -> upper voxel
+}
+
+TEST(GridGeometryTest, VoxelOfClampsOutside) {
+  const GridGeometry g = unit_grid();
+  EXPECT_EQ(g.voxel_of({-5.0, -5.0, -5.0}), (VoxelIndex{0, 0, 0}));
+  EXPECT_EQ(g.voxel_of({100.0, 100.0, 100.0}), (VoxelIndex{3, 1, 0}));
+}
+
+TEST(GridGeometryTest, VoxelCenterRoundTrip) {
+  const GridGeometry g = unit_grid();
+  for (std::size_t iz = 0; iz < g.nz(); ++iz) {
+    for (std::size_t iy = 0; iy < g.ny(); ++iy) {
+      for (std::size_t ix = 0; ix < g.nx(); ++ix) {
+        const VoxelIndex v{ix, iy, iz};
+        EXPECT_EQ(g.voxel_of(g.voxel_center(v)), v);
+      }
+    }
+  }
+}
+
+TEST(GridGeometryTest, FlatIndexIsBijective) {
+  const GridGeometry g(Aabb({0, 0, 0}, {1, 1, 1}), 3, 4, 5);
+  std::vector<bool> seen(g.voxel_count(), false);
+  for (std::size_t iz = 0; iz < g.nz(); ++iz) {
+    for (std::size_t iy = 0; iy < g.ny(); ++iy) {
+      for (std::size_t ix = 0; ix < g.nx(); ++ix) {
+        const std::size_t flat = g.flat({ix, iy, iz});
+        ASSERT_LT(flat, seen.size());
+        EXPECT_FALSE(seen[flat]);
+        seen[flat] = true;
+      }
+    }
+  }
+}
+
+TEST(VoxelFieldTest, DefaultFillAndWrite) {
+  VoxelField<double> field(unit_grid(), -1.0);
+  EXPECT_EQ(field.at({0, 0, 0}), -1.0);
+  field.at({2, 1, 0}) = 7.5;
+  EXPECT_EQ(field.at({2, 1, 0}), 7.5);
+}
+
+TEST(VoxelFieldTest, AtPointUsesContainingVoxel) {
+  VoxelField<int> field(unit_grid(), 0);
+  field.at({1, 0, 0}) = 42;
+  EXPECT_EQ(field.at_point({1.5, 0.5, 0.5}), 42);
+  EXPECT_EQ(field.at_point({0.5, 0.5, 0.5}), 0);
+}
+
+}  // namespace
+}  // namespace remgen::geom

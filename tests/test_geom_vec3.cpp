@@ -1,0 +1,64 @@
+#include <gtest/gtest.h>
+
+#include "geom/vec3.hpp"
+
+namespace remgen::geom {
+namespace {
+
+TEST(Vec3Test, Arithmetic) {
+  const Vec3 a{1.0, 2.0, 3.0};
+  const Vec3 b{4.0, 5.0, 6.0};
+  EXPECT_EQ(a + b, Vec3(5.0, 7.0, 9.0));
+  EXPECT_EQ(b - a, Vec3(3.0, 3.0, 3.0));
+  EXPECT_EQ(a * 2.0, Vec3(2.0, 4.0, 6.0));
+  EXPECT_EQ(2.0 * a, Vec3(2.0, 4.0, 6.0));
+  EXPECT_EQ(a / 2.0, Vec3(0.5, 1.0, 1.5));
+  EXPECT_EQ(-a, Vec3(-1.0, -2.0, -3.0));
+}
+
+TEST(Vec3Test, CompoundAssignment) {
+  Vec3 v{1.0, 1.0, 1.0};
+  v += {1.0, 2.0, 3.0};
+  EXPECT_EQ(v, Vec3(2.0, 3.0, 4.0));
+  v -= {1.0, 1.0, 1.0};
+  EXPECT_EQ(v, Vec3(1.0, 2.0, 3.0));
+  v *= 3.0;
+  EXPECT_EQ(v, Vec3(3.0, 6.0, 9.0));
+}
+
+TEST(Vec3Test, DotAndCross) {
+  const Vec3 x{1.0, 0.0, 0.0};
+  const Vec3 y{0.0, 1.0, 0.0};
+  EXPECT_EQ(x.dot(y), 0.0);
+  EXPECT_EQ(x.cross(y), Vec3(0.0, 0.0, 1.0));
+  EXPECT_EQ(y.cross(x), Vec3(0.0, 0.0, -1.0));
+  EXPECT_EQ(Vec3(1, 2, 3).dot(Vec3(4, 5, 6)), 32.0);
+}
+
+TEST(Vec3Test, NormsAndDistance) {
+  const Vec3 v{3.0, 4.0, 0.0};
+  EXPECT_DOUBLE_EQ(v.norm2(), 25.0);
+  EXPECT_DOUBLE_EQ(v.norm(), 5.0);
+  EXPECT_DOUBLE_EQ(Vec3(0, 0, 0).distance_to({0, 0, 2}), 2.0);
+}
+
+TEST(Vec3Test, Normalized) {
+  const Vec3 v{0.0, 0.0, 5.0};
+  EXPECT_EQ(v.normalized(), Vec3(0.0, 0.0, 1.0));
+  EXPECT_EQ(Vec3{}.normalized(), Vec3{});  // zero vector stays zero
+}
+
+TEST(Vec3Test, Lerp) {
+  const Vec3 a{0.0, 0.0, 0.0};
+  const Vec3 b{10.0, 20.0, 30.0};
+  EXPECT_EQ(lerp(a, b, 0.0), a);
+  EXPECT_EQ(lerp(a, b, 1.0), b);
+  EXPECT_EQ(lerp(a, b, 0.5), Vec3(5.0, 10.0, 15.0));
+}
+
+TEST(Vec3Test, ToString) {
+  EXPECT_EQ(Vec3(1.0, -2.5, 0.125).to_string(), "(1.000, -2.500, 0.125)");
+}
+
+}  // namespace
+}  // namespace remgen::geom

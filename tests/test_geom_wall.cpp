@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "geom/wall.hpp"
+
+namespace remgen::geom {
+namespace {
+
+Wall unit_wall(WallMaterial material = WallMaterial::Drywall, double extra = 0.0) {
+  // Vertical wall in the x=1 plane spanning y in [0,2], z in [0,2].
+  return Wall({1.0, 0.0, 0.0}, {0.0, 2.0, 0.0}, {0.0, 0.0, 2.0}, material, extra);
+}
+
+TEST(WallTest, MaterialLossesArePositiveAndOrdered) {
+  EXPECT_GT(material_loss_db(WallMaterial::Glass), 0.0);
+  EXPECT_LT(material_loss_db(WallMaterial::Drywall), material_loss_db(WallMaterial::Brick));
+  EXPECT_LT(material_loss_db(WallMaterial::Brick), material_loss_db(WallMaterial::Concrete));
+  EXPECT_LT(material_loss_db(WallMaterial::Concrete),
+            material_loss_db(WallMaterial::ReinforcedConcrete));
+}
+
+TEST(WallTest, MaterialNames) {
+  EXPECT_STREQ(material_name(WallMaterial::Concrete), "concrete");
+  EXPECT_STREQ(material_name(WallMaterial::Wood), "wood");
+}
+
+TEST(WallTest, LossIncludesExtra) {
+  const Wall w = unit_wall(WallMaterial::Brick, 6.0);
+  EXPECT_DOUBLE_EQ(w.loss_db(), material_loss_db(WallMaterial::Brick) + 6.0);
+}
+
+TEST(WallTest, PerpendicularCrossing) {
+  const Wall w = unit_wall();
+  const auto t = w.intersect_segment({0.0, 1.0, 1.0}, {2.0, 1.0, 1.0});
+  ASSERT_TRUE(t.has_value());
+  EXPECT_NEAR(*t, 0.5, 1e-12);
+}
+
+TEST(WallTest, ObliqueCrossing) {
+  const Wall w = unit_wall();
+  EXPECT_TRUE(w.intersect_segment({0.0, 0.2, 0.2}, {2.0, 1.8, 1.8}).has_value());
+}
+
+TEST(WallTest, ParallelSegmentDoesNotCross) {
+  const Wall w = unit_wall();
+  EXPECT_FALSE(w.intersect_segment({0.5, 0.0, 0.0}, {0.5, 2.0, 2.0}).has_value());
+}
+
+TEST(WallTest, SegmentOnSameSideDoesNotCross) {
+  const Wall w = unit_wall();
+  EXPECT_FALSE(w.intersect_segment({0.0, 1.0, 1.0}, {0.9, 1.0, 1.0}).has_value());
+}
+
+TEST(WallTest, CrossingOutsideRectangleBounds) {
+  const Wall w = unit_wall();
+  // Crosses the x=1 plane but at y=3 (outside [0,2]).
+  EXPECT_FALSE(w.intersect_segment({0.0, 3.0, 1.0}, {2.0, 3.0, 1.0}).has_value());
+  // Crosses the plane at z=3 (outside [0,2]).
+  EXPECT_FALSE(w.intersect_segment({0.0, 1.0, 3.0}, {2.0, 1.0, 3.0}).has_value());
+}
+
+TEST(WallTest, EndpointTouchingPlaneDoesNotCount) {
+  const Wall w = unit_wall();
+  // A transmitter mounted exactly on the wall is not attenuated by it.
+  EXPECT_FALSE(w.intersect_segment({1.0, 1.0, 1.0}, {2.0, 1.0, 1.0}).has_value());
+  EXPECT_FALSE(w.intersect_segment({0.0, 1.0, 1.0}, {1.0, 1.0, 1.0}).has_value());
+}
+
+TEST(WallTest, VerticalFactory) {
+  const Wall w =
+      Wall::vertical({0.0, 0.0, 0.0}, {4.0, 0.0, 0.0}, 0.0, 2.5, WallMaterial::Brick);
+  // Crosses when going from -y to +y through the wall's span.
+  EXPECT_TRUE(w.intersect_segment({2.0, -1.0, 1.0}, {2.0, 1.0, 1.0}).has_value());
+  // Beyond the x extent: no crossing.
+  EXPECT_FALSE(w.intersect_segment({5.0, -1.0, 1.0}, {5.0, 1.0, 1.0}).has_value());
+  // Above the z extent: no crossing.
+  EXPECT_FALSE(w.intersect_segment({2.0, -1.0, 3.0}, {2.0, 1.0, 3.0}).has_value());
+}
+
+TEST(WallTest, SlabFactory) {
+  const Wall slab = Wall::slab(0.0, 0.0, 10.0, 10.0, 2.6, WallMaterial::ReinforcedConcrete);
+  EXPECT_TRUE(slab.intersect_segment({5.0, 5.0, 1.0}, {5.0, 5.0, 4.0}).has_value());
+  EXPECT_FALSE(slab.intersect_segment({5.0, 5.0, 3.0}, {5.0, 5.0, 4.0}).has_value());
+  EXPECT_FALSE(slab.intersect_segment({11.0, 5.0, 1.0}, {11.0, 5.0, 4.0}).has_value());
+}
+
+TEST(WallTest, DiagonalHorizontalWall) {
+  // A wall not aligned with either axis.
+  const Wall w = Wall::vertical({0.0, 0.0, 0.0}, {2.0, 2.0, 0.0}, 0.0, 2.0,
+                                WallMaterial::Drywall);
+  EXPECT_TRUE(w.intersect_segment({0.0, 1.5, 1.0}, {1.5, 0.0, 1.0}).has_value());
+  EXPECT_FALSE(w.intersect_segment({2.5, 3.0, 1.0}, {3.0, 2.5, 1.0}).has_value());
+}
+
+}  // namespace
+}  // namespace remgen::geom

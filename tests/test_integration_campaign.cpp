@@ -1,0 +1,170 @@
+// Integration tests: the full UAV campaign against the simulated apartment,
+// exercising every substrate together (radio, UWB, flight, scanner, CRTP,
+// mission control).
+#include <gtest/gtest.h>
+
+#include "mission/campaign.hpp"
+#include "radio/scenario.hpp"
+
+namespace remgen::mission {
+namespace {
+
+/// Small-but-real campaign config (2 UAVs, 12 waypoints) to keep tests quick.
+CampaignConfig small_config() {
+  CampaignConfig config;
+  config.grid = {.nx = 3, .ny = 2, .nz = 2, .margin_m = 0.3};
+  return config;
+}
+
+TEST(CampaignIntegration, ProducesSamplesFromBothUavs) {
+  util::Rng rng(100);
+  const radio::Scenario scenario = radio::Scenario::make_apartment(rng);
+  const CampaignResult result = run_campaign(scenario, small_config(), rng);
+
+  ASSERT_EQ(result.uav_stats.size(), 2u);
+  for (const UavMissionStats& s : result.uav_stats) {
+    EXPECT_EQ(s.waypoints_commanded, 6u);
+    EXPECT_GE(s.scans_completed, 6u);
+    EXPECT_GT(s.samples_collected, 50u);
+    EXPECT_FALSE(s.aborted_on_battery);
+    EXPECT_EQ(s.tx_queue_drops, 0u);
+  }
+  const auto per_uav = result.dataset.samples_per_uav();
+  EXPECT_TRUE(per_uav.count(0));
+  EXPECT_TRUE(per_uav.count(1));
+}
+
+TEST(CampaignIntegration, SampleFieldsAreValid) {
+  util::Rng rng(101);
+  const radio::Scenario scenario = radio::Scenario::make_apartment(rng);
+  const CampaignResult result = run_campaign(scenario, small_config(), rng);
+  ASSERT_FALSE(result.dataset.empty());
+  const geom::Aabb roomish(scenario.scan_volume().min - geom::Vec3{0.5, 0.5, 0.5},
+                           scenario.scan_volume().max + geom::Vec3{0.5, 0.5, 0.5});
+  for (const data::Sample& s : result.dataset.samples()) {
+    EXPECT_TRUE(roomish.contains(s.position)) << s.position.to_string();
+    EXPECT_GE(s.channel, 1);
+    EXPECT_LE(s.channel, 13);
+    EXPECT_LT(s.rss_dbm, -5.0);  // the own router can be centimetres away
+    EXPECT_GT(s.rss_dbm, -100.0);
+    EXPECT_GE(s.waypoint_index, 0);
+    EXPECT_LT(s.waypoint_index, 6);
+    EXPECT_FALSE(s.ssid.empty());
+    EXPECT_GE(s.timestamp_s, 0.0);
+  }
+}
+
+TEST(CampaignIntegration, DeterministicGivenSeed) {
+  auto run_once = [] {
+    util::Rng rng(202);
+    const radio::Scenario scenario = radio::Scenario::make_apartment(rng);
+    CampaignConfig config;
+    config.grid = {.nx = 2, .ny = 2, .nz = 1, .margin_m = 0.4};
+    return run_campaign(scenario, config, rng);
+  };
+  const CampaignResult r1 = run_once();
+  const CampaignResult r2 = run_once();
+  ASSERT_EQ(r1.dataset.size(), r2.dataset.size());
+  for (std::size_t i = 0; i < r1.dataset.size(); ++i) {
+    EXPECT_EQ(r1.dataset.samples()[i].mac, r2.dataset.samples()[i].mac);
+    EXPECT_DOUBLE_EQ(r1.dataset.samples()[i].rss_dbm, r2.dataset.samples()[i].rss_dbm);
+    EXPECT_EQ(r1.dataset.samples()[i].position, r2.dataset.samples()[i].position);
+  }
+}
+
+TEST(CampaignIntegration, AssignmentsAreSpatialSlabs) {
+  util::Rng rng(103);
+  const radio::Scenario scenario = radio::Scenario::make_apartment(rng);
+  const CampaignResult result = run_campaign(scenario, small_config(), rng);
+  ASSERT_EQ(result.assignments.size(), 2u);
+  // UAV 0 (drone A) takes the high-x slab.
+  double min_a = 1e9;
+  double max_b = -1e9;
+  for (const geom::Vec3& w : result.assignments[0]) min_a = std::min(min_a, w.x);
+  for (const geom::Vec3& w : result.assignments[1]) max_b = std::max(max_b, w.x);
+  EXPECT_GE(min_a, max_b);
+}
+
+TEST(CampaignIntegration, LocationAnnotationNearWaypoint) {
+  // The sample's annotated position must be close to the commanded waypoint
+  // (decimetre-level UWB accuracy + hold drift).
+  util::Rng rng(104);
+  const radio::Scenario scenario = radio::Scenario::make_apartment(rng);
+  const CampaignResult result = run_campaign(scenario, small_config(), rng);
+  for (const data::Sample& s : result.dataset.samples()) {
+    const auto& assignment =
+        result.assignments[static_cast<std::size_t>(s.uav_id)];
+    ASSERT_LT(static_cast<std::size_t>(s.waypoint_index), assignment.size());
+    const geom::Vec3& wp = assignment[static_cast<std::size_t>(s.waypoint_index)];
+    EXPECT_LT(s.position.distance_to(wp), 0.5)
+        << "sample at " << s.position.to_string() << " for waypoint " << wp.to_string();
+  }
+}
+
+TEST(CampaignIntegration, SamplesPerWaypointReasonablyUniform) {
+  util::Rng rng(105);
+  const radio::Scenario scenario = radio::Scenario::make_apartment(rng);
+  const CampaignResult result = run_campaign(scenario, small_config(), rng);
+  const auto per_wp = result.dataset.samples_per_waypoint();
+  for (const auto& [wp, count] : per_wp) {
+    EXPECT_GT(count, 10u) << "waypoint " << wp;
+    EXPECT_LT(count, 150u) << "waypoint " << wp;
+  }
+}
+
+TEST(CampaignIntegration, RadioOffCollectsMoreThanRadioOn) {
+  auto run_mode = [](bool radio_off) {
+    util::Rng rng(106);
+    const radio::Scenario scenario = radio::Scenario::make_apartment(rng);
+    CampaignConfig config;
+    config.grid = {.nx = 2, .ny = 2, .nz = 1, .margin_m = 0.4};
+    config.mission.radio_off_during_scan = radio_off;
+    return run_campaign(scenario, config, rng).dataset.size();
+  };
+  EXPECT_GT(run_mode(true), run_mode(false) + 20);
+}
+
+TEST(CampaignIntegration, TinyTxQueueLosesSamples) {
+  auto run_queue = [](std::size_t queue) {
+    util::Rng rng(107);
+    const radio::Scenario scenario = radio::Scenario::make_apartment(rng);
+    CampaignConfig config;
+    config.grid = {.nx = 2, .ny = 2, .nz = 1, .margin_m = 0.4};
+    config.uav.crtp.tx_queue_size = queue;
+    return run_campaign(scenario, config, rng);
+  };
+  const CampaignResult big = run_queue(128);
+  const CampaignResult tiny = run_queue(8);
+  EXPECT_GT(big.dataset.size(), tiny.dataset.size());
+  std::size_t drops = 0;
+  for (const auto& s : tiny.uav_stats) drops += s.tx_queue_drops;
+  EXPECT_GT(drops, 0u);
+}
+
+TEST(CampaignIntegration, FullPaperCampaignStatisticsInRange) {
+  // The headline reproduction: 72 waypoints, 2 UAVs, paper-like statistics.
+  util::Rng rng(2022);
+  const radio::Scenario scenario = radio::Scenario::make_apartment(rng);
+  const CampaignConfig config;  // defaults = paper setup
+  const CampaignResult result = run_campaign(scenario, config, rng);
+
+  EXPECT_GT(result.dataset.size(), 2000u);
+  EXPECT_LT(result.dataset.size(), 4200u);
+  EXPECT_GT(result.dataset.distinct_macs().size(), 55u);
+  EXPECT_LE(result.dataset.distinct_macs().size(), 73u);
+  EXPECT_GT(result.dataset.mean_rss_dbm(), -82.0);
+  EXPECT_LT(result.dataset.mean_rss_dbm(), -65.0);
+
+  // Drone A (high-x half) collects more than drone B.
+  const auto per_uav = result.dataset.samples_per_uav();
+  EXPECT_GT(per_uav.at(0), per_uav.at(1));
+
+  // Both UAVs finish inside the endurance envelope.
+  for (const UavMissionStats& s : result.uav_stats) {
+    EXPECT_LT(s.active_time_s, 372.0);
+    EXPECT_FALSE(s.aborted_on_battery);
+  }
+}
+
+}  // namespace
+}  // namespace remgen::mission

@@ -1,0 +1,85 @@
+// "Everything on" cross-feature integration: the office environment, the
+// Lighthouse positioning stack, a mixed Wi-Fi/BLE fleet, optimized routes and
+// adaptive leg timing — all at once, through the ordinary campaign API.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/rem_builder.hpp"
+#include "mission/campaign.hpp"
+#include "ml/model_zoo.hpp"
+#include "radio/scenario.hpp"
+
+namespace remgen::mission {
+namespace {
+
+TEST(EverythingOn, OfficeLighthouseMixedFleetOptimizedRoutes) {
+  util::Rng rng(2026);
+  const radio::Scenario office = radio::Scenario::make_office(rng);
+
+  CampaignConfig config;
+  config.grid = {.nx = 4, .ny = 3, .nz = 2, .margin_m = 0.35};
+  config.uav_count = 2;
+  config.positioning = PositioningKind::Lighthouse;
+  config.receivers = {ReceiverKind::Wifi, ReceiverKind::Ble};
+  config.optimize_route = true;
+  config.mission.adaptive_leg_timing = true;
+
+  const CampaignResult result = run_campaign(office, config, rng);
+  ASSERT_EQ(result.uav_stats.size(), 2u);
+  for (const UavMissionStats& s : result.uav_stats) {
+    EXPECT_EQ(s.waypoints_commanded, 12u);
+    EXPECT_GE(s.scans_completed, 12u);
+    EXPECT_FALSE(s.aborted_on_battery);
+    EXPECT_EQ(s.tx_queue_drops, 0u);
+  }
+
+  // Both technologies contributed.
+  std::set<radio::MacAddress> wifi_macs;
+  for (const auto& ap : office.environment().access_points()) wifi_macs.insert(ap.mac);
+  std::size_t wifi = 0;
+  std::size_t ble = 0;
+  for (const data::Sample& s : result.dataset.samples()) {
+    (wifi_macs.count(s.mac) ? wifi : ble) += 1;
+  }
+  EXPECT_GT(wifi, 50u);
+  EXPECT_GT(ble, 10u);
+
+  // The multi-technology REM builds and answers queries over the office
+  // volume.
+  const auto model = ml::make_model(ml::ModelKind::PerMacKnn);
+  core::RemBuilderConfig rem_config;
+  rem_config.voxel_m = 0.5;
+  rem_config.min_samples_per_mac = 6;
+  const core::RadioEnvironmentMap rem =
+      core::build_rem(result.dataset, *model, office.scan_volume(), rem_config);
+  EXPECT_GE(rem.macs().size(), 10u);
+  const auto best = rem.best_ap(office.scan_volume().center());
+  ASSERT_TRUE(best.has_value());
+  EXPECT_GT(best->cell.rss_dbm, -70.0);  // a ceiling AP is close overhead
+}
+
+TEST(EverythingOn, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    util::Rng rng(2027);
+    const radio::Scenario office = radio::Scenario::make_office(rng);
+    CampaignConfig config;
+    config.grid = {.nx = 3, .ny = 2, .nz = 1, .margin_m = 0.4};
+    config.positioning = PositioningKind::Lighthouse;
+    config.receivers = {ReceiverKind::Wifi, ReceiverKind::Ble};
+    config.optimize_route = true;
+    config.mission.adaptive_leg_timing = true;
+    return run_campaign(office, config, rng).dataset;
+  };
+  const data::Dataset a = run_once();
+  const data::Dataset b = run_once();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.samples()[i].mac, b.samples()[i].mac);
+    EXPECT_DOUBLE_EQ(a.samples()[i].rss_dbm, b.samples()[i].rss_dbm);
+    EXPECT_EQ(a.samples()[i].position, b.samples()[i].position);
+  }
+}
+
+}  // namespace
+}  // namespace remgen::mission

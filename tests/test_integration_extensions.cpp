@@ -1,0 +1,134 @@
+// Integration tests for the extension configurations: Lighthouse-positioned
+// campaigns and mixed Wi-Fi/BLE fleets, plus failure injection at the
+// campaign level.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "mission/campaign.hpp"
+#include "radio/scenario.hpp"
+
+namespace remgen::mission {
+namespace {
+
+CampaignConfig small_config() {
+  CampaignConfig config;
+  config.grid = {.nx = 3, .ny = 2, .nz = 2, .margin_m = 0.3};
+  return config;
+}
+
+TEST(LighthouseCampaign, ProducesComparableDataset) {
+  util::Rng rng(300);
+  const radio::Scenario scenario = radio::Scenario::make_apartment(rng);
+  CampaignConfig config = small_config();
+  config.positioning = PositioningKind::Lighthouse;
+  const CampaignResult result = run_campaign(scenario, config, rng);
+  EXPECT_GT(result.dataset.size(), 200u);
+  for (const UavMissionStats& s : result.uav_stats) {
+    EXPECT_GE(s.scans_completed, 6u);
+    EXPECT_FALSE(s.aborted_on_battery);
+  }
+}
+
+TEST(LighthouseCampaign, AnnotationAtLeastAsAccurateAsUwb) {
+  auto annotation_error = [](PositioningKind kind) {
+    util::Rng rng(301);
+    const radio::Scenario scenario = radio::Scenario::make_apartment(rng);
+    CampaignConfig config;
+    config.grid = {.nx = 3, .ny = 2, .nz = 2, .margin_m = 0.3};
+    config.positioning = kind;
+    const CampaignResult result = run_campaign(scenario, config, rng);
+    double total = 0.0;
+    for (const data::Sample& s : result.dataset.samples()) {
+      const auto& slab = result.assignments[static_cast<std::size_t>(s.uav_id)];
+      total += s.position.distance_to(slab[static_cast<std::size_t>(s.waypoint_index)]);
+    }
+    return total / static_cast<double>(result.dataset.size());
+  };
+  EXPECT_LE(annotation_error(PositioningKind::Lighthouse),
+            annotation_error(PositioningKind::Uwb) + 0.02);
+}
+
+TEST(MixedFleet, BothTechnologiesContribute) {
+  util::Rng rng(302);
+  const radio::Scenario scenario = radio::Scenario::make_apartment(rng);
+  CampaignConfig config = small_config();
+  config.uav_count = 2;
+  config.receivers = {ReceiverKind::Wifi, ReceiverKind::Ble};
+  const CampaignResult result = run_campaign(scenario, config, rng);
+
+  std::set<radio::MacAddress> wifi_macs;
+  for (const auto& ap : scenario.environment().access_points()) wifi_macs.insert(ap.mac);
+  std::set<radio::MacAddress> ble_addrs;
+  for (const auto& d : scenario.ble_environment().devices()) ble_addrs.insert(d.address);
+
+  std::size_t wifi_samples = 0;
+  std::size_t ble_samples = 0;
+  for (const data::Sample& s : result.dataset.samples()) {
+    if (wifi_macs.count(s.mac)) {
+      ++wifi_samples;
+      EXPECT_EQ(s.uav_id, 0);  // UAV 0 carries the Wi-Fi deck
+    } else {
+      ASSERT_TRUE(ble_addrs.count(s.mac)) << s.mac.to_string();
+      ++ble_samples;
+      EXPECT_EQ(s.uav_id, 1);  // UAV 1 carries the BLE deck
+    }
+  }
+  EXPECT_GT(wifi_samples, 100u);
+  EXPECT_GT(ble_samples, 20u);
+}
+
+TEST(MixedFleet, BleSamplesHaveAdvChannels) {
+  util::Rng rng(303);
+  const radio::Scenario scenario = radio::Scenario::make_apartment(rng);
+  CampaignConfig config = small_config();
+  config.receivers = {ReceiverKind::Ble};
+  const CampaignResult result = run_campaign(scenario, config, rng);
+  ASSERT_FALSE(result.dataset.empty());
+  for (const data::Sample& s : result.dataset.samples()) {
+    EXPECT_TRUE(s.channel == 37 || s.channel == 38 || s.channel == 39) << s.channel;
+  }
+}
+
+TEST(FailureInjection, BatteryAbortLandsEarly) {
+  util::Rng rng(304);
+  const radio::Scenario scenario = radio::Scenario::make_apartment(rng);
+  CampaignConfig config;
+  config.grid = {.nx = 6, .ny = 4, .nz = 3, .margin_m = 0.25};
+  config.uav_count = 1;  // one UAV cannot fly 72 waypoints on one battery
+  const CampaignResult result = run_campaign(scenario, config, rng);
+  ASSERT_EQ(result.uav_stats.size(), 1u);
+  const UavMissionStats& s = result.uav_stats[0];
+  EXPECT_TRUE(s.aborted_on_battery);
+  EXPECT_LT(s.waypoints_commanded, 72u);
+  EXPECT_GT(s.waypoints_commanded, 20u);  // but it got a good way in
+  EXPECT_GT(result.dataset.size(), 400u);
+}
+
+TEST(FailureInjection, LossyLinkStillCompletesCampaign) {
+  util::Rng rng(305);
+  const radio::Scenario scenario = radio::Scenario::make_apartment(rng);
+  CampaignConfig config = small_config();
+  config.uav.crtp.loss_probability = 0.08;  // very lossy air
+  const CampaignResult result = run_campaign(scenario, config, rng);
+  // Retries and the hold task keep the mission alive.
+  for (const UavMissionStats& s : result.uav_stats) {
+    EXPECT_GE(s.scans_completed, 4u);
+  }
+  EXPECT_GT(result.dataset.size(), 150u);
+}
+
+TEST(FailureInjection, HighRangingNoiseDegradesButCompletes) {
+  util::Rng rng(306);
+  const radio::Scenario scenario = radio::Scenario::make_apartment(rng);
+  CampaignConfig config = small_config();
+  config.uav.lps.ranging.twr_noise_sigma_m = 0.4;
+  config.uav.lps.ranging.tdoa_noise_sigma_m = 0.3;
+  config.uav.lps.ekf.range_sigma_m = 0.4;
+  config.uav.lps.ekf.tdoa_sigma_m = 0.3;
+  const CampaignResult result = run_campaign(scenario, config, rng);
+  EXPECT_GT(result.dataset.size(), 100u);
+}
+
+}  // namespace
+}  // namespace remgen::mission

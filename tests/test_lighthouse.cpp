@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "lighthouse/lighthouse.hpp"
+#include "util/stats.hpp"
+
+namespace remgen::lighthouse {
+namespace {
+
+geom::Aabb volume() { return geom::Aabb({0, 0, 0}, {3.74, 3.20, 2.10}); }
+
+TEST(LighthouseSetup, TwoStationsInOppositeUpperCorners) {
+  const auto stations = standard_two_station_setup(volume());
+  ASSERT_EQ(stations.size(), 2u);
+  EXPECT_EQ(stations[0].position, geom::Vec3(0.0, 0.0, 2.10));
+  EXPECT_EQ(stations[1].position, geom::Vec3(3.74, 3.20, 2.10));
+  // Both face the centre: azimuth of the centre in each station frame is ~0.
+  for (const BaseStation& s : stations) {
+    const SweepMeasurement m = SweepModel::true_bearing(s, volume().center());
+    EXPECT_NEAR(m.azimuth_rad, 0.0, 1e-9);
+  }
+}
+
+TEST(SweepModelTest, TrueBearingKnownGeometry) {
+  const BaseStation station{0, {0, 0, 0}, 0.0};
+  const SweepMeasurement ahead = SweepModel::true_bearing(station, {2.0, 0.0, 0.0});
+  EXPECT_NEAR(ahead.azimuth_rad, 0.0, 1e-12);
+  EXPECT_NEAR(ahead.elevation_rad, 0.0, 1e-12);
+
+  const SweepMeasurement left = SweepModel::true_bearing(station, {0.0, 2.0, 0.0});
+  EXPECT_NEAR(left.azimuth_rad, M_PI / 2.0, 1e-12);
+
+  const SweepMeasurement up = SweepModel::true_bearing(station, {2.0, 0.0, 2.0});
+  EXPECT_NEAR(up.elevation_rad, M_PI / 4.0, 1e-12);
+}
+
+TEST(SweepModelTest, YawRotatesFrame) {
+  const BaseStation station{0, {0, 0, 0}, M_PI / 2.0};  // facing +y
+  const SweepMeasurement m = SweepModel::true_bearing(station, {0.0, 2.0, 0.0});
+  EXPECT_NEAR(m.azimuth_rad, 0.0, 1e-12);
+}
+
+TEST(SweepModelTest, VisibilityRangeAndFov) {
+  LighthouseConfig config;
+  config.max_range_m = 6.0;
+  config.fov_rad = 2.0;
+  const SweepModel model(nullptr, config);
+  const BaseStation station{0, {0, 0, 0}, 0.0};
+  EXPECT_TRUE(model.visible(station, {3.0, 0.0, 0.0}));
+  EXPECT_FALSE(model.visible(station, {7.0, 0.0, 0.0}));   // out of range
+  EXPECT_FALSE(model.visible(station, {-3.0, 0.0, 0.0}));  // behind
+  EXPECT_FALSE(model.visible(station, {0.5, 3.0, 0.0}));   // outside FoV (80 deg off)
+}
+
+TEST(SweepModelTest, WallsBlockInfrared) {
+  geom::Floorplan fp;
+  fp.add_wall(geom::Wall::vertical({1.0, -5.0, -3.0}, {1.0, 5.0, -3.0}, -3.0, 3.0,
+                                   geom::WallMaterial::Glass));  // even glass blocks IR sweeps
+  LighthouseConfig config;
+  const SweepModel model(&fp, config);
+  const BaseStation station{0, {0, 0, 0}, 0.0};
+  EXPECT_FALSE(model.visible(station, {2.0, 0.0, 0.0}));
+  // Without the wall the same tag is visible.
+  const SweepModel open(nullptr, config);
+  EXPECT_TRUE(open.visible(station, {2.0, 0.0, 0.0}));
+}
+
+TEST(SweepModelTest, MeasurementNoiseMagnitude) {
+  LighthouseConfig config;
+  config.angle_noise_rad = 0.001;
+  config.dropout_probability = 0.0;
+  const SweepModel model(nullptr, config);
+  const BaseStation station{0, {0, 0, 0}, 0.0};
+  const geom::Vec3 tag{3.0, 0.5, -0.5};
+  const SweepMeasurement truth = SweepModel::true_bearing(station, tag);
+
+  util::Rng rng(5);
+  util::OnlineStats az;
+  for (int i = 0; i < 3000; ++i) {
+    const auto m = model.measure(station, tag, rng);
+    ASSERT_TRUE(m.has_value());
+    az.add(m->azimuth_rad);
+  }
+  EXPECT_NEAR(az.mean(), truth.azimuth_rad, 1e-4);
+  EXPECT_NEAR(az.stddev(), 0.001, 1e-4);
+}
+
+TEST(LighthouseSystemTest, HoverAccuracyCentimetreLevel) {
+  // The paper claims "comparable precision" to UWB with fewer anchors; the
+  // optical system actually lands well under the UWB error.
+  auto system = LighthouseSystem(standard_two_station_setup(volume()), nullptr,
+                                 LighthouseConfig{}, util::Rng(3));
+  const geom::Vec3 truth{1.8, 1.6, 1.0};
+  system.initialize_at(truth);
+  util::OnlineStats error;
+  for (int i = 0; i < 3000; ++i) {
+    system.step(0.01, truth, {});
+    if (i > 500) error.add(system.estimated_position().distance_to(truth));
+  }
+  EXPECT_LT(error.mean(), 0.05);
+  EXPECT_GT(system.sweeps_fused(), 1000u);
+}
+
+TEST(LighthouseSystemTest, TracksMovingTag) {
+  auto system = LighthouseSystem(standard_two_station_setup(volume()), nullptr,
+                                 LighthouseConfig{}, util::Rng(7));
+  const geom::Vec3 centre = volume().center();
+  auto truth_at = [&](double t) {
+    // A slow circle through the interior of the volume.
+    return centre + geom::Vec3{std::cos(0.4 * t), std::sin(0.4 * t), 0.4 * std::sin(0.2 * t)};
+  };
+  system.initialize_at(truth_at(0.0));
+  util::OnlineStats error;
+  for (int i = 0; i < 2000; ++i) {
+    const double t = i * 0.01;
+    system.step(0.01, truth_at(t), {});
+    if (i > 300) error.add(system.estimated_position().distance_to(truth_at(t)));
+  }
+  EXPECT_LT(error.mean(), 0.08);
+}
+
+TEST(LighthouseSystemTest, SingleStationStillConverges) {
+  // Range from a single station is observable only through the 4-photodiode
+  // angular disparity; the filter must still reach centimetre accuracy.
+  auto one = LighthouseSystem({standard_two_station_setup(volume())[0]}, nullptr,
+                              LighthouseConfig{}, util::Rng(9));
+  const geom::Vec3 truth{1.8, 1.6, 1.0};
+  one.initialize_at({1.6, 1.4, 0.9});  // slightly wrong start
+  util::OnlineStats err_one;
+  for (int i = 0; i < 3000; ++i) {
+    one.step(0.01, truth, {});
+    if (i > 1000) err_one.add(one.estimated_position().distance_to(truth));
+  }
+  EXPECT_LT(err_one.mean(), 0.05);
+}
+
+TEST(LighthouseSystemTest, DiodeDisparityProvidesRange) {
+  // Shrinking the deck to a point sensor removes range observability from a
+  // single station: the drift must be far larger than with the real deck.
+  auto run = [](double deck_size) {
+    LighthouseConfig config;
+    config.deck_size_m = deck_size;
+    auto system = LighthouseSystem({standard_two_station_setup(volume())[0]}, nullptr, config,
+                                   util::Rng(31));
+    const geom::Vec3 truth{1.8, 1.6, 1.0};
+    system.initialize_at(truth);
+    util::OnlineStats error;
+    for (int i = 0; i < 3000; ++i) {
+      system.step(0.01, truth, {});
+      if (i > 1000) error.add(system.estimated_position().distance_to(truth));
+    }
+    return error.mean();
+  };
+  EXPECT_GT(run(0.0), 5.0 * run(0.03));
+}
+
+TEST(LighthouseSystemTest, OcclusionDegradesGracefully) {
+  // A wall hides one station from the tag: accuracy drops but the filter
+  // keeps a usable estimate from the other station.
+  geom::Floorplan fp;
+  fp.add_wall(geom::Wall::vertical({1.0, 1.0, 0.0}, {3.0, 1.0, 0.0}, 0.0, 2.1,
+                                   geom::WallMaterial::Drywall));
+  auto system = LighthouseSystem(standard_two_station_setup(volume()), &fp,
+                                 LighthouseConfig{}, util::Rng(11));
+  const geom::Vec3 truth{1.8, 0.5, 1.0};  // south of the wall: station 1 occluded
+  system.initialize_at(truth);
+  util::OnlineStats error;
+  for (int i = 0; i < 2000; ++i) {
+    system.step(0.01, truth, {});
+    if (i > 500) error.add(system.estimated_position().distance_to(truth));
+  }
+  EXPECT_LT(error.mean(), 0.15);
+}
+
+TEST(LighthouseSystemTest, DeterministicGivenSeed) {
+  auto run = [] {
+    auto system = LighthouseSystem(standard_two_station_setup(volume()), nullptr,
+                                   LighthouseConfig{}, util::Rng(13));
+    const geom::Vec3 truth{2.0, 1.0, 1.2};
+    system.initialize_at(truth);
+    for (int i = 0; i < 500; ++i) system.step(0.01, truth, {});
+    return system.estimated_position();
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace remgen::lighthouse

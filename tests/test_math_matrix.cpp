@@ -1,0 +1,200 @@
+#include <gtest/gtest.h>
+
+#include "math/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace remgen::math {
+namespace {
+
+TEST(Matrix, ConstructionAndAccess) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m(1, 2), 1.5);
+  m(0, 0) = -2.0;
+  EXPECT_EQ(m(0, 0), -2.0);
+}
+
+TEST(Matrix, InitializerList) {
+  const Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_EQ(m(0, 1), 2.0);
+  EXPECT_EQ(m(1, 0), 3.0);
+}
+
+TEST(Matrix, Identity) {
+  const Matrix i = Matrix::identity(3);
+  EXPECT_EQ(i(0, 0), 1.0);
+  EXPECT_EQ(i(1, 1), 1.0);
+  EXPECT_EQ(i(0, 1), 0.0);
+}
+
+TEST(Matrix, ColumnAndDiagonal) {
+  const Matrix c = Matrix::column({1.0, 2.0, 3.0});
+  EXPECT_EQ(c.rows(), 3u);
+  EXPECT_EQ(c.cols(), 1u);
+  EXPECT_EQ(c(2, 0), 3.0);
+  const Matrix d = Matrix::diagonal({4.0, 5.0});
+  EXPECT_EQ(d(0, 0), 4.0);
+  EXPECT_EQ(d(1, 1), 5.0);
+  EXPECT_EQ(d(0, 1), 0.0);
+}
+
+TEST(Matrix, AddSubtract) {
+  const Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  const Matrix b{{4.0, 3.0}, {2.0, 1.0}};
+  const Matrix sum = a + b;
+  EXPECT_EQ(sum(0, 0), 5.0);
+  EXPECT_EQ(sum(1, 1), 5.0);
+  const Matrix diff = a - b;
+  EXPECT_EQ(diff(0, 0), -3.0);
+  EXPECT_EQ(diff(1, 1), 3.0);
+}
+
+TEST(Matrix, Product) {
+  const Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  const Matrix b{{5.0, 6.0}, {7.0, 8.0}};
+  const Matrix p = a * b;
+  EXPECT_EQ(p(0, 0), 19.0);
+  EXPECT_EQ(p(0, 1), 22.0);
+  EXPECT_EQ(p(1, 0), 43.0);
+  EXPECT_EQ(p(1, 1), 50.0);
+}
+
+TEST(Matrix, ProductNonSquare) {
+  const Matrix a{{1.0, 2.0, 3.0}};          // 1x3
+  const Matrix b{{1.0}, {2.0}, {3.0}};      // 3x1
+  const Matrix p = a * b;                   // 1x1
+  EXPECT_EQ(p(0, 0), 14.0);
+}
+
+TEST(Matrix, ScalarProduct) {
+  const Matrix a{{1.0, -2.0}};
+  const Matrix s = a * 2.5;
+  EXPECT_EQ(s(0, 0), 2.5);
+  EXPECT_EQ(s(0, 1), -5.0);
+}
+
+TEST(Matrix, Transpose) {
+  const Matrix a{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  const Matrix t = a.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_EQ(t(2, 1), 6.0);
+}
+
+TEST(Matrix, FrobeniusNormAndMaxAbs) {
+  const Matrix a{{3.0, 4.0}};
+  EXPECT_DOUBLE_EQ(a.frobenius_norm(), 5.0);
+  const Matrix b{{-7.0, 2.0}};
+  EXPECT_DOUBLE_EQ(b.max_abs(), 7.0);
+}
+
+TEST(LuSolve, KnownSystem) {
+  const Matrix a{{2.0, 1.0}, {1.0, 3.0}};
+  const Matrix b = Matrix::column({5.0, 10.0});
+  const Matrix x = lu_solve(a, b);
+  EXPECT_NEAR(x(0, 0), 1.0, 1e-12);
+  EXPECT_NEAR(x(1, 0), 3.0, 1e-12);
+}
+
+TEST(LuSolve, RequiresPivoting) {
+  // Zero on the initial diagonal forces a row swap.
+  const Matrix a{{0.0, 1.0}, {1.0, 0.0}};
+  const Matrix b = Matrix::column({2.0, 3.0});
+  const Matrix x = lu_solve(a, b);
+  EXPECT_NEAR(x(0, 0), 3.0, 1e-12);
+  EXPECT_NEAR(x(1, 0), 2.0, 1e-12);
+}
+
+TEST(LuSolve, SingularThrows) {
+  const Matrix a{{1.0, 2.0}, {2.0, 4.0}};
+  const Matrix b = Matrix::column({1.0, 2.0});
+  EXPECT_THROW((void)lu_solve(a, b), std::runtime_error);
+}
+
+TEST(LuSolve, MultipleRightHandSides) {
+  const Matrix a{{4.0, 0.0}, {0.0, 2.0}};
+  const Matrix b{{4.0, 8.0}, {2.0, 6.0}};
+  const Matrix x = lu_solve(a, b);
+  EXPECT_NEAR(x(0, 0), 1.0, 1e-12);
+  EXPECT_NEAR(x(0, 1), 2.0, 1e-12);
+  EXPECT_NEAR(x(1, 0), 1.0, 1e-12);
+  EXPECT_NEAR(x(1, 1), 3.0, 1e-12);
+}
+
+TEST(Inverse, TimesOriginalIsIdentity) {
+  const Matrix a{{4.0, 7.0}, {2.0, 6.0}};
+  const Matrix inv = inverse(a);
+  const Matrix product = a * inv;
+  EXPECT_NEAR((product - Matrix::identity(2)).max_abs(), 0.0, 1e-12);
+}
+
+TEST(CholeskySolve, SpdSystem) {
+  const Matrix a{{4.0, 2.0}, {2.0, 3.0}};
+  const Matrix b = Matrix::column({8.0, 7.0});
+  const Matrix x = cholesky_solve(a, b);
+  const Matrix check = a * x;
+  EXPECT_NEAR(check(0, 0), 8.0, 1e-12);
+  EXPECT_NEAR(check(1, 0), 7.0, 1e-12);
+}
+
+TEST(CholeskySolve, NotPositiveDefiniteThrows) {
+  const Matrix a{{1.0, 2.0}, {2.0, 1.0}};  // indefinite
+  const Matrix b = Matrix::column({1.0, 1.0});
+  EXPECT_THROW((void)cholesky_solve(a, b), std::runtime_error);
+}
+
+TEST(LeastSquares, OverdeterminedLine) {
+  // Fit y = 2x + 1 from noiseless points.
+  Matrix a(4, 2);
+  Matrix b(4, 1);
+  for (int i = 0; i < 4; ++i) {
+    a(i, 0) = static_cast<double>(i);
+    a(i, 1) = 1.0;
+    b(i, 0) = 2.0 * i + 1.0;
+  }
+  const Matrix x = least_squares(a, b);
+  EXPECT_NEAR(x(0, 0), 2.0, 1e-10);
+  EXPECT_NEAR(x(1, 0), 1.0, 1e-10);
+}
+
+TEST(LeastSquares, DampingShrinksSolution) {
+  Matrix a(3, 1);
+  Matrix b(3, 1);
+  for (int i = 0; i < 3; ++i) {
+    a(i, 0) = 1.0;
+    b(i, 0) = 10.0;
+  }
+  const Matrix undamped = least_squares(a, b, 0.0);
+  const Matrix damped = least_squares(a, b, 10.0);
+  EXPECT_NEAR(undamped(0, 0), 10.0, 1e-10);
+  EXPECT_LT(damped(0, 0), undamped(0, 0));
+}
+
+// Property sweep: random SPD systems solve to small residual at many sizes.
+class SpdSolveProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SpdSolveProperty, ResidualIsTiny) {
+  const std::size_t n = GetParam();
+  util::Rng rng(1234 + n);
+  // A = B^T B + n*I is SPD.
+  Matrix base(n, n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) base(r, c) = rng.uniform(-1.0, 1.0);
+  }
+  Matrix a = base.transposed() * base;
+  for (std::size_t i = 0; i < n; ++i) a(i, i) += static_cast<double>(n);
+  Matrix b(n, 1);
+  for (std::size_t i = 0; i < n; ++i) b(i, 0) = rng.uniform(-5.0, 5.0);
+
+  const Matrix x_lu = lu_solve(a, b);
+  const Matrix x_chol = cholesky_solve(a, b);
+  EXPECT_LT((a * x_lu - b).max_abs(), 1e-9);
+  EXPECT_LT((a * x_chol - b).max_abs(), 1e-9);
+  EXPECT_LT((x_lu - x_chol).max_abs(), 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SpdSolveProperty, ::testing::Values(1, 2, 3, 6, 10, 25, 60));
+
+}  // namespace
+}  // namespace remgen::math

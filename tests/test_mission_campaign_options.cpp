@@ -1,0 +1,101 @@
+// Campaign option coverage: route optimization and adaptive leg timing keep
+// the mission correct while changing its cost profile.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "mission/campaign.hpp"
+#include "radio/scenario.hpp"
+
+namespace remgen::mission {
+namespace {
+
+CampaignConfig small_config() {
+  CampaignConfig config;
+  config.grid = {.nx = 3, .ny = 3, .nz = 2, .margin_m = 0.3};
+  return config;
+}
+
+std::set<std::tuple<double, double, double>> waypoint_set(
+    const std::vector<std::vector<geom::Vec3>>& assignments) {
+  std::set<std::tuple<double, double, double>> out;
+  for (const auto& slab : assignments) {
+    for (const geom::Vec3& w : slab) out.insert({w.x, w.y, w.z});
+  }
+  return out;
+}
+
+TEST(CampaignOptions, OptimizedRouteVisitsSameWaypoints) {
+  util::Rng rng1(400);
+  util::Rng rng2(400);
+  const radio::Scenario s1 = radio::Scenario::make_apartment(rng1);
+  const radio::Scenario s2 = radio::Scenario::make_apartment(rng2);
+
+  CampaignConfig plain = small_config();
+  CampaignConfig optimized = small_config();
+  optimized.optimize_route = true;
+
+  const CampaignResult r_plain = run_campaign(s1, plain, rng1);
+  const CampaignResult r_opt = run_campaign(s2, optimized, rng2);
+
+  EXPECT_EQ(waypoint_set(r_plain.assignments), waypoint_set(r_opt.assignments));
+  EXPECT_GT(r_opt.dataset.size(), 200u);
+}
+
+TEST(CampaignOptions, AssignmentsMatchSampleAnnotationsWhenOptimized) {
+  util::Rng rng(401);
+  const radio::Scenario scenario = radio::Scenario::make_apartment(rng);
+  CampaignConfig config = small_config();
+  config.optimize_route = true;
+  const CampaignResult result = run_campaign(scenario, config, rng);
+  for (const data::Sample& s : result.dataset.samples()) {
+    const auto& slab = result.assignments[static_cast<std::size_t>(s.uav_id)];
+    ASSERT_LT(static_cast<std::size_t>(s.waypoint_index), slab.size());
+    // The recorded assignment order must be the flown order: annotated
+    // positions sit near their claimed waypoint.
+    EXPECT_LT(s.position.distance_to(slab[static_cast<std::size_t>(s.waypoint_index)]), 0.5);
+  }
+}
+
+TEST(CampaignOptions, AdaptiveLegsAreFasterSameYield) {
+  auto run = [](bool adaptive) {
+    util::Rng rng(402);
+    const radio::Scenario scenario = radio::Scenario::make_apartment(rng);
+    CampaignConfig config;
+    config.grid = {.nx = 4, .ny = 3, .nz = 2, .margin_m = 0.3};
+    config.mission.adaptive_leg_timing = adaptive;
+    return run_campaign(scenario, config, rng);
+  };
+  const CampaignResult fixed = run(false);
+  const CampaignResult adaptive = run(true);
+
+  double fixed_time = 0.0;
+  double adaptive_time = 0.0;
+  std::size_t fixed_scans = 0;
+  std::size_t adaptive_scans = 0;
+  for (const auto& s : fixed.uav_stats) {
+    fixed_time += s.active_time_s;
+    fixed_scans += s.scans_completed;
+  }
+  for (const auto& s : adaptive.uav_stats) {
+    adaptive_time += s.active_time_s;
+    adaptive_scans += s.scans_completed;
+  }
+  EXPECT_LT(adaptive_time, 0.9 * fixed_time);
+  EXPECT_EQ(adaptive_scans, fixed_scans);
+}
+
+TEST(CampaignOptions, ThreeUavsSplitTheGrid) {
+  util::Rng rng(403);
+  const radio::Scenario scenario = radio::Scenario::make_apartment(rng);
+  CampaignConfig config = small_config();
+  config.uav_count = 3;
+  const CampaignResult result = run_campaign(scenario, config, rng);
+  ASSERT_EQ(result.uav_stats.size(), 3u);
+  std::size_t total = 0;
+  for (const auto& s : result.uav_stats) total += s.waypoints_commanded;
+  EXPECT_EQ(total, 18u);
+}
+
+}  // namespace
+}  // namespace remgen::mission

@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "mission/planner.hpp"
+#include "mission/waypoint.hpp"
+#include "util/rng.hpp"
+
+namespace remgen::mission {
+namespace {
+
+bool is_permutation_of(const std::vector<geom::Vec3>& a, const std::vector<geom::Vec3>& b) {
+  if (a.size() != b.size()) return false;
+  auto key = [](const geom::Vec3& v) { return std::tuple{v.x, v.y, v.z}; };
+  std::vector<std::tuple<double, double, double>> ka, kb;
+  for (const auto& v : a) ka.push_back(key(v));
+  for (const auto& v : b) kb.push_back(key(v));
+  std::sort(ka.begin(), ka.end());
+  std::sort(kb.begin(), kb.end());
+  return ka == kb;
+}
+
+std::vector<geom::Vec3> random_waypoints(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<geom::Vec3> out;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back({rng.uniform(0.0, 3.7), rng.uniform(0.0, 3.2), rng.uniform(0.2, 2.0)});
+  }
+  return out;
+}
+
+TEST(RouteLength, EmptyAndSingle) {
+  EXPECT_DOUBLE_EQ(route_length({}), 0.0);
+  EXPECT_DOUBLE_EQ(route_length({{1, 1, 1}}), 0.0);
+  const geom::Vec3 start{0, 0, 0};
+  EXPECT_DOUBLE_EQ(route_length({{3, 4, 0}}, &start), 5.0);
+}
+
+TEST(RouteLength, SumsLegs) {
+  const std::vector<geom::Vec3> route{{0, 0, 0}, {1, 0, 0}, {1, 2, 0}};
+  EXPECT_DOUBLE_EQ(route_length(route), 3.0);
+}
+
+TEST(NearestNeighbor, VisitsAllPointsOnce) {
+  const auto waypoints = random_waypoints(20, 1);
+  const auto route = nearest_neighbor_route(waypoints, {0, 0, 0});
+  EXPECT_TRUE(is_permutation_of(route, waypoints));
+}
+
+TEST(NearestNeighbor, StartsWithClosest) {
+  const std::vector<geom::Vec3> waypoints{{5, 0, 0}, {1, 0, 0}, {3, 0, 0}};
+  const auto route = nearest_neighbor_route(waypoints, {0, 0, 0});
+  EXPECT_EQ(route.front(), geom::Vec3(1, 0, 0));
+}
+
+TEST(TwoOpt, NeverLengthens) {
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const auto waypoints = random_waypoints(25, 100 + seed);
+    const geom::Vec3 start{0, 0, 1};
+    const auto nn = nearest_neighbor_route(waypoints, start);
+    const auto improved = two_opt(nn, start);
+    EXPECT_LE(route_length(improved, &start), route_length(nn, &start) + 1e-9);
+    EXPECT_TRUE(is_permutation_of(improved, waypoints));
+  }
+}
+
+TEST(TwoOpt, FixesObviousCrossing) {
+  // A square visited in a crossing order: 2-opt must recover the perimeter.
+  const geom::Vec3 start{0, 0, 0};
+  const std::vector<geom::Vec3> crossing{{1, 1, 0}, {0, 1, 0}, {1, 0, 0}};
+  const auto fixed = two_opt(crossing, start);
+  EXPECT_LT(route_length(fixed, &start), route_length(crossing, &start) - 0.1);
+}
+
+TEST(PlanRoute, BeatsSerpentineOnScatteredPoints) {
+  const auto waypoints = random_waypoints(40, 7);
+  const geom::Vec3 start{0, 0, 1};
+  const auto planned = plan_route(waypoints, start);
+  EXPECT_TRUE(is_permutation_of(planned, waypoints));
+  EXPECT_LT(route_length(planned, &start), route_length(waypoints, &start));
+}
+
+TEST(PlanRoute, NearOptimalOnGrid) {
+  // On the paper's own grid the serpentine order is already good; the
+  // planner must be at least as short.
+  const auto grid =
+      generate_waypoint_grid(geom::Aabb({0, 0, 0}, {3.74, 3.20, 2.10}), WaypointGridConfig{});
+  const geom::Vec3 start = grid.front();
+  const auto planned = plan_route(grid, start);
+  EXPECT_LE(route_length(planned, &start), route_length(grid, &start) + 1e-9);
+}
+
+TEST(LegTimingTest, ScalesWithDistanceAndClamps) {
+  const LegTiming timing;
+  EXPECT_DOUBLE_EQ(timing.fly_time_s(0.0), timing.min_leg_s);
+  EXPECT_DOUBLE_EQ(timing.fly_time_s(0.8), 0.8 / 0.8 + 1.2);
+  EXPECT_GT(timing.fly_time_s(3.0), timing.fly_time_s(1.0));
+}
+
+TEST(EstimateMission, FeasibilityMatchesBattery) {
+  const auto grid =
+      generate_waypoint_grid(geom::Aabb({0, 0, 0}, {3.74, 3.20, 2.10}),
+                             WaypointGridConfig{.nx = 6, .ny = 4, .nz = 3, .margin_m = 0.25});
+  const auto half = std::vector<geom::Vec3>(grid.begin(), grid.begin() + 36);
+  const geom::Vec3 start{0.3, 0.3, 1.0};
+  const LegTiming timing;
+  const uav::BatteryConfig battery;
+
+  // The paper's per-UAV load (36 waypoints) fits one battery...
+  const MissionEstimate est36 = estimate_mission(half, start, timing, 4.0, battery);
+  EXPECT_TRUE(est36.feasible);
+  EXPECT_GT(est36.flight_time_s, 120.0);
+  EXPECT_LT(est36.flight_time_s, 372.0);
+
+  // ...but all 72 on one battery does not.
+  const MissionEstimate est72 = estimate_mission(grid, start, timing, 4.0, battery);
+  EXPECT_FALSE(est72.feasible);
+}
+
+TEST(EstimateMission, LongerScanCostsMore) {
+  const auto waypoints = random_waypoints(10, 9);
+  const geom::Vec3 start{0, 0, 1};
+  const uav::BatteryConfig battery;
+  const MissionEstimate fast = estimate_mission(waypoints, start, LegTiming{}, 1.0, battery);
+  const MissionEstimate slow = estimate_mission(waypoints, start, LegTiming{}, 6.0, battery);
+  EXPECT_GT(slow.charge_mah, fast.charge_mah);
+  EXPECT_GT(slow.flight_time_s, fast.flight_time_s);
+}
+
+}  // namespace
+}  // namespace remgen::mission

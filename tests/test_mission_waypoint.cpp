@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "mission/waypoint.hpp"
+
+namespace remgen::mission {
+namespace {
+
+geom::Aabb volume() { return geom::Aabb({0, 0, 0}, {3.74, 3.20, 2.10}); }
+
+TEST(Waypoints, PaperGridHas72Points) {
+  const auto waypoints = generate_waypoint_grid(volume(), WaypointGridConfig{});
+  EXPECT_EQ(waypoints.size(), 72u);
+}
+
+TEST(Waypoints, AllInsideVolumeWithMargin) {
+  WaypointGridConfig config;
+  config.margin_m = 0.25;
+  const auto waypoints = generate_waypoint_grid(volume(), config);
+  for (const geom::Vec3& w : waypoints) {
+    EXPECT_GE(w.x, 0.25 - 1e-9);
+    EXPECT_LE(w.x, 3.74 - 0.25 + 1e-9);
+    EXPECT_GE(w.y, 0.25 - 1e-9);
+    EXPECT_LE(w.y, 3.20 - 0.25 + 1e-9);
+    EXPECT_GE(w.z, 0.25 - 1e-9);
+    EXPECT_LE(w.z, 2.10 - 0.25 + 1e-9);
+  }
+}
+
+TEST(Waypoints, EvenlySpreadAndDistinct) {
+  const auto waypoints = generate_waypoint_grid(volume(), WaypointGridConfig{});
+  std::set<std::tuple<double, double, double>> unique;
+  for (const geom::Vec3& w : waypoints) unique.insert({w.x, w.y, w.z});
+  EXPECT_EQ(unique.size(), waypoints.size());
+}
+
+TEST(Waypoints, SerpentineOrderKeepsLegsShort) {
+  // Consecutive waypoints within a layer are grid-adjacent: no flight leg
+  // longer than the layer diagonal pitch.
+  WaypointGridConfig config;
+  const auto waypoints = generate_waypoint_grid(volume(), config);
+  const double pitch_x = (3.74 - 0.5) / (config.nx - 1);
+  const double pitch_y = (3.20 - 0.5) / (config.ny - 1);
+  const double max_leg = std::hypot(pitch_x, pitch_y) + 1e-9;
+  std::size_t per_layer = config.nx * config.ny;
+  for (std::size_t i = 1; i < waypoints.size(); ++i) {
+    if (i % per_layer == 0) continue;  // layer changes may jump
+    EXPECT_LE(waypoints[i - 1].distance_to(waypoints[i]), max_leg)
+        << "leg " << i << ": " << waypoints[i - 1].to_string() << " -> "
+        << waypoints[i].to_string();
+  }
+}
+
+TEST(Waypoints, SingleCellGridIsCentred) {
+  WaypointGridConfig config;
+  config.nx = config.ny = config.nz = 1;
+  const auto waypoints = generate_waypoint_grid(volume(), config);
+  ASSERT_EQ(waypoints.size(), 1u);
+  EXPECT_LT(waypoints[0].distance_to(volume().center()), 1e-9);
+}
+
+TEST(SplitWaypoints, TwoGroupsOfEqualSize) {
+  const auto waypoints = generate_waypoint_grid(volume(), WaypointGridConfig{});
+  const auto groups = split_waypoints_by_axis(waypoints, 0, 2);
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_EQ(groups[0].size(), 36u);
+  EXPECT_EQ(groups[1].size(), 36u);
+}
+
+TEST(SplitWaypoints, GroupsAreSpatialSlabs) {
+  const auto waypoints = generate_waypoint_grid(volume(), WaypointGridConfig{});
+  const auto groups = split_waypoints_by_axis(waypoints, 0, 2);
+  double max_low = -1e9;
+  double min_high = 1e9;
+  for (const geom::Vec3& w : groups[0]) max_low = std::max(max_low, w.x);
+  for (const geom::Vec3& w : groups[1]) min_high = std::min(min_high, w.x);
+  EXPECT_LE(max_low, min_high);
+}
+
+TEST(SplitWaypoints, EveryWaypointAssignedExactlyOnce) {
+  const auto waypoints = generate_waypoint_grid(volume(), WaypointGridConfig{});
+  const auto groups = split_waypoints_by_axis(waypoints, 0, 3);
+  std::size_t total = 0;
+  for (const auto& g : groups) total += g.size();
+  EXPECT_EQ(total, waypoints.size());
+}
+
+TEST(SplitWaypoints, SplitAlongYAndZ) {
+  const auto waypoints = generate_waypoint_grid(volume(), WaypointGridConfig{});
+  for (const int axis : {1, 2}) {
+    const auto groups = split_waypoints_by_axis(waypoints, axis, 2);
+    EXPECT_EQ(groups[0].size() + groups[1].size(), waypoints.size());
+  }
+}
+
+TEST(SplitWaypoints, MoreGroupsThanPointsLeavesEmpties) {
+  const std::vector<geom::Vec3> two{{0, 0, 0}, {1, 0, 0}};
+  const auto groups = split_waypoints_by_axis(two, 0, 5);
+  ASSERT_EQ(groups.size(), 5u);
+  std::size_t total = 0;
+  for (const auto& g : groups) total += g.size();
+  EXPECT_EQ(total, 2u);
+}
+
+TEST(SplitWaypoints, OriginalOrderKeptWithinGroup) {
+  const auto waypoints = generate_waypoint_grid(volume(), WaypointGridConfig{});
+  const auto groups = split_waypoints_by_axis(waypoints, 0, 2);
+  // Within each group, the original (serpentine) flight order is preserved:
+  // every group element appears in the same relative order as in the input.
+  for (const auto& group : groups) {
+    std::size_t cursor = 0;
+    for (const geom::Vec3& w : group) {
+      while (cursor < waypoints.size() && !(waypoints[cursor] == w)) ++cursor;
+      ASSERT_LT(cursor, waypoints.size());
+      ++cursor;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace remgen::mission

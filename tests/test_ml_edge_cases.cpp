@@ -1,0 +1,130 @@
+// Edge cases across the estimator suite: degenerate datasets that a long
+// campaign pipeline can produce and must survive.
+#include <gtest/gtest.h>
+
+#include "ml/baseline.hpp"
+#include "ml/idw.hpp"
+#include "ml/knn.hpp"
+#include "ml/kriging.hpp"
+#include "ml/metrics.hpp"
+#include "ml/model_zoo.hpp"
+#include "ml/neural_net.hpp"
+#include "util/rng.hpp"
+
+namespace remgen::ml {
+namespace {
+
+data::Sample make_sample(double x, double y, double z, const char* mac, double rss) {
+  data::Sample s;
+  s.position = {x, y, z};
+  s.mac = *radio::MacAddress::parse(mac);
+  s.channel = 6;
+  s.rss_dbm = rss;
+  return s;
+}
+
+constexpr const char* kMac = "02:00:00:00:00:0a";
+
+TEST(EdgeCases, SingleTrainingSample) {
+  const std::vector<data::Sample> train{make_sample(1, 1, 1, kMac, -66.0)};
+  for (const ModelKind kind : all_model_kinds(true)) {
+    const auto model = make_model(kind);
+    model->fit(train);
+    const double pred = model->predict(make_sample(2, 2, 1, kMac, 0));
+    EXPECT_TRUE(std::isfinite(pred)) << model_kind_name(kind);
+    // With one observation every estimator must essentially return it.
+    EXPECT_NEAR(pred, -66.0, 1.0) << model_kind_name(kind);
+  }
+}
+
+TEST(EdgeCases, AllSamplesCoLocated) {
+  // Zero spatial spread: distance weighting and kriging must not divide by
+  // zero; predictions equal the (mean of the) co-located values.
+  std::vector<data::Sample> train;
+  for (int i = 0; i < 20; ++i) {
+    train.push_back(make_sample(1.0, 1.0, 1.0, kMac, -70.0 + (i % 2 == 0 ? 1.0 : -1.0)));
+  }
+  for (const ModelKind kind : all_model_kinds(true)) {
+    const auto model = make_model(kind);
+    model->fit(train);
+    EXPECT_NEAR(model->predict(make_sample(1.0, 1.0, 1.0, kMac, 0)), -70.0, 1.1)
+        << model_kind_name(kind);
+    EXPECT_TRUE(std::isfinite(model->predict(make_sample(3.0, 2.0, 1.5, kMac, 0))))
+        << model_kind_name(kind);
+  }
+}
+
+TEST(EdgeCases, ConstantTargets) {
+  util::Rng rng(3);
+  std::vector<data::Sample> train;
+  for (int i = 0; i < 40; ++i) {
+    train.push_back(make_sample(rng.uniform(0, 4), rng.uniform(0, 3), 1.0, kMac, -72.0));
+  }
+  for (const ModelKind kind : all_model_kinds(true)) {
+    const auto model = make_model(kind);
+    model->fit(train);
+    EXPECT_NEAR(model->predict(make_sample(2, 1.5, 1, kMac, 0)), -72.0, 0.8)
+        << model_kind_name(kind);
+  }
+}
+
+TEST(EdgeCases, ManyMacsFewSamplesEach) {
+  util::Rng rng(5);
+  std::vector<data::Sample> train;
+  for (int m = 0; m < 30; ++m) {
+    const radio::MacAddress mac = radio::MacAddress::random(rng);
+    data::Sample s;
+    s.mac = mac;
+    s.channel = 6;
+    for (int i = 0; i < 2; ++i) {
+      s.position = {rng.uniform(0, 4), rng.uniform(0, 3), 1.0};
+      s.rss_dbm = rng.uniform(-90, -50);
+      train.push_back(s);
+    }
+  }
+  for (const ModelKind kind : all_model_kinds(true)) {
+    const auto model = make_model(kind);
+    model->fit(train);
+    EXPECT_TRUE(std::isfinite(model->predict(train.front()))) << model_kind_name(kind);
+  }
+}
+
+TEST(EdgeCases, EvaluateOnSingleTestSample) {
+  const std::vector<data::Sample> train{make_sample(0, 0, 0, kMac, -60),
+                                        make_sample(1, 0, 0, kMac, -70)};
+  MeanPerMacBaseline baseline;
+  baseline.fit(train);
+  const std::vector<data::Sample> test{make_sample(0.5, 0, 0, kMac, -65)};
+  const RegressionMetrics m = evaluate(baseline, test);
+  EXPECT_NEAR(m.rmse, 0.0, 1e-9);  // baseline predicts the mean = -65
+  EXPECT_EQ(m.r2, 0.0);            // zero variance in a single-sample test set
+}
+
+TEST(EdgeCases, KrigingHandlesCollinearSamples) {
+  // All samples along one line: the variogram and kriging system must stay
+  // solvable (jitter regularisation).
+  std::vector<data::Sample> train;
+  for (int i = 0; i < 25; ++i) {
+    train.push_back(make_sample(0.15 * i, 1.0, 1.0, kMac, -60.0 - i));
+  }
+  KrigingRegressor kriging;
+  kriging.fit(train);
+  const auto p = kriging.predict_with_sigma(make_sample(1.0, 2.0, 1.0, kMac, 0));
+  EXPECT_TRUE(std::isfinite(p.value));
+  EXPECT_TRUE(std::isfinite(p.sigma));
+}
+
+TEST(EdgeCases, NeuralNetSurvivesTinyBatch) {
+  NeuralNetConfig config;
+  config.batch_size = 64;  // larger than the dataset
+  config.epochs = 30;
+  NeuralNetRegressor net(config);
+  const std::vector<data::Sample> train{make_sample(0, 0, 0, kMac, -60),
+                                        make_sample(1, 1, 1, kMac, -80),
+                                        make_sample(2, 2, 2, kMac, -70)};
+  net.fit(train);
+  EXPECT_TRUE(std::isfinite(net.predict(train[0])));
+}
+
+}  // namespace
+}  // namespace remgen::ml

@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "ml/grid_search.hpp"
+#include "ml/knn.hpp"
+#include "ml/model_zoo.hpp"
+
+namespace remgen::ml {
+namespace {
+
+data::Sample make_sample(double x, double y, const char* mac, double rss) {
+  data::Sample s;
+  s.position = {x, y, 1.0};
+  s.mac = *radio::MacAddress::parse(mac);
+  s.channel = 6;
+  s.rss_dbm = rss;
+  return s;
+}
+
+std::vector<data::Sample> structured_data(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<data::Sample> out;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = rng.uniform(0.0, 4.0);
+    const double y = rng.uniform(0.0, 3.0);
+    out.push_back(make_sample(x, y, "02:00:00:00:00:0a",
+                              -60.0 - 5.0 * x + rng.gaussian(0.0, 1.0)));
+  }
+  return out;
+}
+
+TEST(GridSearch, EvaluatesEveryCandidate) {
+  const auto train = structured_data(200, 1);
+  std::vector<KnnConfig> candidates;
+  for (const std::size_t k : {1u, 3u, 9u}) {
+    KnnConfig c;
+    c.n_neighbors = k;
+    candidates.push_back(c);
+  }
+  util::Rng rng(2);
+  const auto result = grid_search(
+      candidates,
+      [](const KnnConfig& c) { return std::make_unique<KnnRegressor>(c); }, train, 0.25, rng);
+  EXPECT_EQ(result.evaluated.size(), 3u);
+  EXPECT_TRUE(std::isfinite(result.best_rmse));
+}
+
+TEST(GridSearch, BestHasLowestValidationRmse) {
+  const auto train = structured_data(300, 3);
+  std::vector<KnnConfig> candidates;
+  for (const std::size_t k : {1u, 2u, 4u, 8u, 16u, 64u}) {
+    KnnConfig c;
+    c.n_neighbors = k;
+    candidates.push_back(c);
+  }
+  util::Rng rng(4);
+  const auto result = grid_search(
+      candidates,
+      [](const KnnConfig& c) { return std::make_unique<KnnRegressor>(c); }, train, 0.25, rng);
+  for (const auto& point : result.evaluated) {
+    EXPECT_GE(point.validation_rmse, result.best_rmse);
+  }
+  EXPECT_EQ(result.best.n_neighbors,
+            std::min_element(result.evaluated.begin(), result.evaluated.end(),
+                             [](const auto& a, const auto& b) {
+                               return a.validation_rmse < b.validation_rmse;
+                             })
+                ->config.n_neighbors);
+}
+
+TEST(GridSearch, PrefersSensibleKOnNoisyData) {
+  // With noise, k=1 overfits; a moderate k must win over both extremes
+  // (k=1 and k=all).
+  const auto train = structured_data(400, 5);
+  std::vector<KnnConfig> candidates;
+  for (const std::size_t k : {1u, 8u, 300u}) {
+    KnnConfig c;
+    c.n_neighbors = k;
+    candidates.push_back(c);
+  }
+  util::Rng rng(6);
+  const auto result = grid_search(
+      candidates,
+      [](const KnnConfig& c) { return std::make_unique<KnnRegressor>(c); }, train, 0.3, rng);
+  EXPECT_EQ(result.best.n_neighbors, 8u);
+}
+
+TEST(GridSearch, DeterministicGivenRng) {
+  const auto train = structured_data(150, 7);
+  std::vector<KnnConfig> candidates(3);
+  candidates[0].n_neighbors = 1;
+  candidates[1].n_neighbors = 3;
+  candidates[2].n_neighbors = 7;
+  util::Rng rng1(8);
+  util::Rng rng2(8);
+  auto build = [](const KnnConfig& c) { return std::make_unique<KnnRegressor>(c); };
+  const auto r1 = grid_search(candidates, build, train, 0.25, rng1);
+  const auto r2 = grid_search(candidates, build, train, 0.25, rng2);
+  EXPECT_EQ(r1.best.n_neighbors, r2.best.n_neighbors);
+  EXPECT_DOUBLE_EQ(r1.best_rmse, r2.best_rmse);
+}
+
+TEST(ModelZoo, AllKindsConstructAndName) {
+  for (const ModelKind kind : all_model_kinds(true)) {
+    const auto model = make_model(kind);
+    ASSERT_NE(model, nullptr);
+    EXPECT_FALSE(model->name().empty());
+    EXPECT_STRNE(model_kind_name(kind), "?");
+  }
+}
+
+TEST(ModelZoo, PaperSuiteExcludesExtensions) {
+  const auto paper = all_model_kinds(false);
+  EXPECT_EQ(paper.size(), 5u);
+  const auto all = all_model_kinds(true);
+  EXPECT_EQ(all.size(), 7u);
+}
+
+TEST(ModelZoo, EveryModelFitsAndPredicts) {
+  const auto train = structured_data(120, 9);
+  for (const ModelKind kind : all_model_kinds(true)) {
+    const auto model = make_model(kind);
+    model->fit(train);
+    const double pred = model->predict(train.front());
+    EXPECT_TRUE(std::isfinite(pred)) << model_kind_name(kind);
+    EXPECT_GT(pred, -120.0) << model_kind_name(kind);
+    EXPECT_LT(pred, 0.0) << model_kind_name(kind);
+  }
+}
+
+}  // namespace
+}  // namespace remgen::ml

@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include "ml/idw.hpp"
+#include "ml/kriging.hpp"
+#include "ml/metrics.hpp"
+#include "util/rng.hpp"
+
+namespace remgen::ml {
+namespace {
+
+data::Sample make_sample(double x, double y, double z, const char* mac, double rss) {
+  data::Sample s;
+  s.position = {x, y, z};
+  s.mac = *radio::MacAddress::parse(mac);
+  s.channel = 6;
+  s.rss_dbm = rss;
+  return s;
+}
+
+constexpr const char* kMacA = "02:00:00:00:00:0a";
+
+std::vector<data::Sample> smooth_field(std::size_t n, std::uint64_t seed, double noise = 0.0) {
+  util::Rng rng(seed);
+  std::vector<data::Sample> samples;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = rng.uniform(0.0, 4.0);
+    const double y = rng.uniform(0.0, 3.0);
+    samples.push_back(
+        make_sample(x, y, 1.0, kMacA, -60.0 - 3.0 * x - 2.0 * y + rng.gaussian(0.0, noise)));
+  }
+  return samples;
+}
+
+TEST(Idw, ExactAtSamplePoints) {
+  IdwRegressor idw;
+  const auto train = smooth_field(30, 1);
+  idw.fit(train);
+  for (const data::Sample& s : train) {
+    EXPECT_DOUBLE_EQ(idw.predict(s), s.rss_dbm);
+  }
+}
+
+TEST(Idw, PredictionWithinSampleRange) {
+  IdwRegressor idw;
+  const auto train = smooth_field(50, 2);
+  double lo = 1e9;
+  double hi = -1e9;
+  for (const auto& s : train) {
+    lo = std::min(lo, s.rss_dbm);
+    hi = std::max(hi, s.rss_dbm);
+  }
+  idw.fit(train);
+  util::Rng rng(3);
+  for (int i = 0; i < 30; ++i) {
+    const double pred =
+        idw.predict(make_sample(rng.uniform(0, 4), rng.uniform(0, 3), 1.0, kMacA, 0));
+    EXPECT_GE(pred, lo);  // IDW is a convex combination of sample values
+    EXPECT_LE(pred, hi);
+  }
+}
+
+TEST(Idw, InterpolatesSmoothField) {
+  IdwRegressor idw(IdwConfig{.power = 2.0, .max_neighbors = 8});
+  const auto train = smooth_field(300, 4);
+  idw.fit(train);
+  const auto test = smooth_field(50, 5);
+  EXPECT_LT(evaluate(idw, test).rmse, 1.0);
+}
+
+TEST(Idw, UnknownMacFallsBack) {
+  IdwRegressor idw;
+  const auto train = smooth_field(20, 6);
+  idw.fit(train);
+  const data::Sample q = make_sample(1, 1, 1, "02:ff:ff:ff:ff:ff", 0);
+  EXPECT_NO_THROW((void)idw.predict(q));
+}
+
+TEST(Variogram, GammaIsZeroAtZeroLag) {
+  const Variogram v{0.5, 2.0, 1.0};
+  EXPECT_DOUBLE_EQ(v.gamma(0.0), 0.0);
+}
+
+TEST(Variogram, GammaIncreasesWithLag) {
+  const Variogram v{0.2, 3.0, 1.5};
+  double prev = -1.0;
+  for (double h = 0.1; h < 10.0; h += 0.5) {
+    const double g = v.gamma(h);
+    EXPECT_GT(g, prev);
+    prev = g;
+  }
+  // Approaches nugget + partial sill.
+  EXPECT_NEAR(v.gamma(100.0), 3.2, 1e-6);
+}
+
+TEST(Variogram, CovariancePlusGammaIsSill) {
+  const Variogram v{0.2, 3.0, 1.5};
+  for (double h = 0.1; h < 5.0; h += 0.7) {
+    EXPECT_NEAR(v.covariance(h) + v.gamma(h), 3.2, 1e-12);
+  }
+}
+
+TEST(Variogram, FitRecoversRange) {
+  // Synthesise exact gammas from a known model and re-fit.
+  const Variogram truth{0.0, 4.0, 2.0};
+  std::vector<double> lags;
+  std::vector<double> gammas;
+  for (double h = 0.25; h <= 6.0; h += 0.25) {
+    lags.push_back(h);
+    gammas.push_back(truth.gamma(h));
+  }
+  const Variogram fitted = fit_variogram(lags, gammas, 4.0);
+  EXPECT_NEAR(fitted.range_m, 2.0, 0.8);
+  EXPECT_LT(fitted.nugget, 1.0);
+}
+
+TEST(Kriging, InterpolatesSmoothFieldWell) {
+  KrigingRegressor kriging;
+  const auto train = smooth_field(300, 7, 0.5);
+  kriging.fit(train);
+  const auto test = smooth_field(50, 8);
+  EXPECT_LT(evaluate(kriging, test).rmse, 1.5);
+}
+
+TEST(Kriging, SigmaSmallNearSamplesLargeFarAway) {
+  KrigingRegressor kriging;
+  // Cluster all training samples in one corner.
+  std::vector<data::Sample> train;
+  util::Rng rng(9);
+  for (int i = 0; i < 60; ++i) {
+    train.push_back(make_sample(rng.uniform(0.0, 1.0), rng.uniform(0.0, 1.0), 1.0, kMacA,
+                                -65.0 + rng.gaussian(0, 2.0)));
+  }
+  kriging.fit(train);
+  const auto near = kriging.predict_with_sigma(make_sample(0.5, 0.5, 1.0, kMacA, 0));
+  const auto far = kriging.predict_with_sigma(make_sample(3.9, 2.9, 1.0, kMacA, 0));
+  EXPECT_LT(near.sigma, far.sigma);
+}
+
+TEST(Kriging, FallsBackForSparseMacs) {
+  KrigingConfig config;
+  config.min_samples = 10;
+  KrigingRegressor kriging(config);
+  const auto train = smooth_field(5, 11);  // too few samples
+  kriging.fit(train);
+  const auto p = kriging.predict_with_sigma(make_sample(1, 1, 1, kMacA, 0));
+  EXPECT_DOUBLE_EQ(p.sigma, 0.0);  // fallback path
+  EXPECT_FALSE(kriging.variogram_for(train[0].mac).has_value());
+}
+
+TEST(Kriging, VariogramExposedForFittedMacs) {
+  KrigingRegressor kriging;
+  const auto train = smooth_field(100, 13);
+  kriging.fit(train);
+  const auto v = kriging.variogram_for(train[0].mac);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_GT(v->partial_sill + v->nugget, 0.0);
+  EXPECT_GT(v->range_m, 0.0);
+}
+
+TEST(Kriging, BeatsBaselineMeanOnStructuredField) {
+  const auto train = smooth_field(250, 15, 0.5);
+  const auto test = smooth_field(60, 16);
+  KrigingRegressor kriging;
+  kriging.fit(train);
+  // Compare against the constant mean of the training field.
+  double mean = 0.0;
+  for (const auto& s : train) mean += s.rss_dbm;
+  mean /= static_cast<double>(train.size());
+  double baseline_se = 0.0;
+  for (const auto& s : test) baseline_se += (s.rss_dbm - mean) * (s.rss_dbm - mean);
+  const double baseline_rmse = std::sqrt(baseline_se / test.size());
+  EXPECT_LT(evaluate(kriging, test).rmse, 0.5 * baseline_rmse);
+}
+
+}  // namespace
+}  // namespace remgen::ml

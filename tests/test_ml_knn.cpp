@@ -1,0 +1,219 @@
+#include <gtest/gtest.h>
+
+#include "ml/baseline.hpp"
+#include "ml/knn.hpp"
+#include "ml/metrics.hpp"
+#include "ml/per_mac_knn.hpp"
+#include "util/rng.hpp"
+
+namespace remgen::ml {
+namespace {
+
+data::Sample make_sample(double x, double y, double z, const char* mac, double rss) {
+  data::Sample s;
+  s.position = {x, y, z};
+  s.mac = *radio::MacAddress::parse(mac);
+  s.channel = 6;
+  s.rss_dbm = rss;
+  return s;
+}
+
+constexpr const char* kMacA = "02:00:00:00:00:0a";
+constexpr const char* kMacB = "02:00:00:00:00:0b";
+
+TEST(MinkowskiDistance, EuclideanAndManhattan) {
+  const std::vector<double> a{0.0, 0.0};
+  const std::vector<double> b{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(minkowski_distance(a, b, 2.0), 5.0);
+  EXPECT_DOUBLE_EQ(minkowski_distance(a, b, 1.0), 7.0);
+}
+
+TEST(MinkowskiDistance, HigherOrderApproachesChebyshev) {
+  const std::vector<double> a{0.0, 0.0};
+  const std::vector<double> b{3.0, 4.0};
+  EXPECT_NEAR(minkowski_distance(a, b, 16.0), 4.0, 0.15);
+}
+
+TEST(Knn, KOneReturnsNearestTarget) {
+  KnnConfig config;
+  config.n_neighbors = 1;
+  config.features.include_mac_onehot = false;
+  KnnRegressor knn(config);
+  std::vector<data::Sample> train{make_sample(0, 0, 0, kMacA, -60),
+                                  make_sample(10, 0, 0, kMacA, -90)};
+  knn.fit(train);
+  EXPECT_DOUBLE_EQ(knn.predict(make_sample(1, 0, 0, kMacA, 0)), -60.0);
+  EXPECT_DOUBLE_EQ(knn.predict(make_sample(9, 0, 0, kMacA, 0)), -90.0);
+}
+
+TEST(Knn, ExactMatchDominatesWithDistanceWeights) {
+  KnnConfig config;
+  config.n_neighbors = 3;
+  config.weights = KnnWeights::Distance;
+  config.features.include_mac_onehot = false;
+  KnnRegressor knn(config);
+  std::vector<data::Sample> train{make_sample(0, 0, 0, kMacA, -60),
+                                  make_sample(1, 0, 0, kMacA, -70),
+                                  make_sample(2, 0, 0, kMacA, -80)};
+  knn.fit(train);
+  EXPECT_DOUBLE_EQ(knn.predict(make_sample(1, 0, 0, kMacA, 0)), -70.0);
+}
+
+TEST(Knn, UniformWeightsAverage) {
+  KnnConfig config;
+  config.n_neighbors = 2;
+  config.weights = KnnWeights::Uniform;
+  config.features.include_mac_onehot = false;
+  KnnRegressor knn(config);
+  std::vector<data::Sample> train{make_sample(0, 0, 0, kMacA, -60),
+                                  make_sample(1, 0, 0, kMacA, -80),
+                                  make_sample(50, 0, 0, kMacA, -100)};
+  knn.fit(train);
+  EXPECT_DOUBLE_EQ(knn.predict(make_sample(0.5, 0, 0, kMacA, 0)), -70.0);
+}
+
+TEST(Knn, DistanceWeightsBiasTowardCloser) {
+  KnnConfig config;
+  config.n_neighbors = 2;
+  config.weights = KnnWeights::Distance;
+  config.features.include_mac_onehot = false;
+  KnnRegressor knn(config);
+  std::vector<data::Sample> train{make_sample(0, 0, 0, kMacA, -60),
+                                  make_sample(3, 0, 0, kMacA, -90)};
+  knn.fit(train);
+  // Query at x=1: weights 1/1 and 1/2 -> (-60 - 45) / 1.5 = -70.
+  EXPECT_NEAR(knn.predict(make_sample(1, 0, 0, kMacA, 0)), -70.0, 1e-9);
+}
+
+TEST(Knn, KLargerThanTrainingSetIsClamped) {
+  KnnConfig config;
+  config.n_neighbors = 50;
+  config.weights = KnnWeights::Uniform;
+  config.features.include_mac_onehot = false;
+  KnnRegressor knn(config);
+  std::vector<data::Sample> train{make_sample(0, 0, 0, kMacA, -60),
+                                  make_sample(1, 0, 0, kMacA, -80)};
+  knn.fit(train);
+  EXPECT_DOUBLE_EQ(knn.predict(make_sample(0, 0, 0, kMacA, 0)), -70.0);
+}
+
+TEST(Knn, OneHotSeparatesMacs) {
+  // Same location, two different MACs with very different RSS: with the
+  // one-hot feature, the prediction for MAC A must come from A's samples.
+  KnnConfig config;
+  config.n_neighbors = 1;
+  config.features.mac_onehot_scale = 3.0;
+  KnnRegressor knn(config);
+  std::vector<data::Sample> train{make_sample(1, 1, 1, kMacA, -50),
+                                  make_sample(1, 1, 1, kMacB, -90)};
+  knn.fit(train);
+  EXPECT_DOUBLE_EQ(knn.predict(make_sample(1, 1, 1, kMacA, 0)), -50.0);
+  EXPECT_DOUBLE_EQ(knn.predict(make_sample(1, 1, 1, kMacB, 0)), -90.0);
+}
+
+TEST(Knn, LargerOneHotScalePreventsCrossMacLeakage) {
+  // With a weak scale a same-position other-MAC sample can be "nearer" than a
+  // distant same-MAC one; the paper multiplies the one-hot by 3 to avoid it.
+  auto leakage = [](double scale) {
+    KnnConfig config;
+    config.n_neighbors = 1;
+    config.features.mac_onehot_scale = scale;
+    KnnRegressor knn(config);
+    std::vector<data::Sample> train{make_sample(0, 0, 0, kMacB, -90),
+                                    make_sample(3.0, 0, 0, kMacA, -50)};
+    knn.fit(train);
+    // Query MAC A at the B sample's position.
+    return knn.predict(make_sample(0, 0, 0, kMacA, 0));
+  };
+  EXPECT_DOUBLE_EQ(leakage(0.1), -90.0);  // leaks across MACs
+  EXPECT_DOUBLE_EQ(leakage(3.0), -50.0);  // paper's scale keeps MACs apart
+}
+
+TEST(Knn, NameReflectsConfig) {
+  KnnConfig config;
+  config.n_neighbors = 16;
+  config.features.mac_onehot_scale = 3.0;
+  EXPECT_EQ(KnnRegressor(config).name(), "knn(k=16,weights=distance,p=2,mac_scale=3.0)");
+}
+
+TEST(PerMacKnnTest, InterpolatesWithinMac) {
+  PerMacKnn model{KnnConfig{.n_neighbors = 2, .weights = KnnWeights::Uniform}};
+  std::vector<data::Sample> train{make_sample(0, 0, 0, kMacA, -60),
+                                  make_sample(2, 0, 0, kMacA, -80),
+                                  make_sample(0, 0, 0, kMacB, -40),
+                                  make_sample(2, 0, 0, kMacB, -50)};
+  model.fit(train);
+  EXPECT_DOUBLE_EQ(model.predict(make_sample(1, 0, 0, kMacA, 0)), -70.0);
+  EXPECT_DOUBLE_EQ(model.predict(make_sample(1, 0, 0, kMacB, 0)), -45.0);
+}
+
+TEST(PerMacKnnTest, UnknownMacFallsBackToGlobalMean) {
+  PerMacKnn model;
+  std::vector<data::Sample> train{make_sample(0, 0, 0, kMacA, -60),
+                                  make_sample(1, 0, 0, kMacA, -80)};
+  model.fit(train);
+  const data::Sample query = make_sample(0, 0, 0, "02:aa:aa:aa:aa:aa", 0);
+  EXPECT_DOUBLE_EQ(model.predict(query), -70.0);
+}
+
+TEST(Baseline, ExactPerMacMeans) {
+  MeanPerMacBaseline baseline;
+  std::vector<data::Sample> train{make_sample(0, 0, 0, kMacA, -60),
+                                  make_sample(1, 0, 0, kMacA, -70),
+                                  make_sample(0, 0, 0, kMacB, -90)};
+  baseline.fit(train);
+  EXPECT_DOUBLE_EQ(baseline.predict(make_sample(9, 9, 9, kMacA, 0)), -65.0);
+  EXPECT_DOUBLE_EQ(baseline.predict(make_sample(9, 9, 9, kMacB, 0)), -90.0);
+}
+
+TEST(Baseline, UnseenMacGetsGlobalMean) {
+  MeanPerMacBaseline baseline;
+  std::vector<data::Sample> train{make_sample(0, 0, 0, kMacA, -60),
+                                  make_sample(0, 0, 0, kMacB, -80)};
+  baseline.fit(train);
+  EXPECT_DOUBLE_EQ(baseline.predict(make_sample(0, 0, 0, "02:cc:cc:cc:cc:cc", 0)), -70.0);
+}
+
+TEST(Metrics, PerfectPredictorScoresZeroRmse) {
+  MeanPerMacBaseline baseline;
+  std::vector<data::Sample> train{make_sample(0, 0, 0, kMacA, -60),
+                                  make_sample(1, 0, 0, kMacA, -60)};
+  baseline.fit(train);
+  const RegressionMetrics m = evaluate(baseline, train);
+  EXPECT_DOUBLE_EQ(m.rmse, 0.0);
+  EXPECT_DOUBLE_EQ(m.mae, 0.0);
+}
+
+TEST(Metrics, R2OfMeanPredictorOnSpreadData) {
+  // Predicting the mean of a two-point set gives R^2 = 0.
+  MeanPerMacBaseline baseline;
+  std::vector<data::Sample> test{make_sample(0, 0, 0, kMacA, -60),
+                                 make_sample(1, 0, 0, kMacA, -80)};
+  baseline.fit(test);
+  const RegressionMetrics m = evaluate(baseline, test);
+  EXPECT_NEAR(m.r2, 0.0, 1e-12);
+  EXPECT_DOUBLE_EQ(m.rmse, 10.0);
+}
+
+TEST(Knn, KnnBeatsBaselineOnSpatialField) {
+  // Synthetic spatially structured field: RSS = -60 - 5x + noise.
+  util::Rng rng(3);
+  std::vector<data::Sample> train;
+  std::vector<data::Sample> test;
+  for (int i = 0; i < 300; ++i) {
+    const double x = rng.uniform(0.0, 4.0);
+    const double y = rng.uniform(0.0, 3.0);
+    data::Sample s = make_sample(x, y, 1.0, kMacA, -60.0 - 5.0 * x + rng.gaussian(0, 1.0));
+    (i % 4 == 0 ? test : train).push_back(s);
+  }
+  MeanPerMacBaseline baseline;
+  baseline.fit(train);
+  KnnConfig config;
+  config.n_neighbors = 5;
+  KnnRegressor knn(config);
+  knn.fit(train);
+  EXPECT_LT(evaluate(knn, test).rmse, 0.5 * evaluate(baseline, test).rmse);
+}
+
+}  // namespace
+}  // namespace remgen::ml

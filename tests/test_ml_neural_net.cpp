@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include "ml/metrics.hpp"
+#include "ml/neural_net.hpp"
+#include "util/rng.hpp"
+
+namespace remgen::ml {
+namespace {
+
+data::Sample make_sample(double x, double y, double z, const char* mac, double rss) {
+  data::Sample s;
+  s.position = {x, y, z};
+  s.mac = *radio::MacAddress::parse(mac);
+  s.channel = 6;
+  s.rss_dbm = rss;
+  return s;
+}
+
+constexpr const char* kMacA = "02:00:00:00:00:0a";
+constexpr const char* kMacB = "02:00:00:00:00:0b";
+
+std::vector<data::Sample> linear_field(std::size_t n, std::uint64_t seed, double noise = 0.0) {
+  util::Rng rng(seed);
+  std::vector<data::Sample> samples;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = rng.uniform(0.0, 4.0);
+    const double y = rng.uniform(0.0, 3.0);
+    const double z = rng.uniform(0.0, 2.0);
+    samples.push_back(make_sample(x, y, z, kMacA,
+                                  -60.0 - 4.0 * x + 2.0 * y + rng.gaussian(0.0, noise)));
+  }
+  return samples;
+}
+
+TEST(NeuralNet, LearnsLinearFunction) {
+  NeuralNetConfig config;
+  config.epochs = 400;
+  NeuralNetRegressor net(config);
+  const auto train = linear_field(300, 1);
+  net.fit(train);
+  const auto test = linear_field(60, 2);
+  EXPECT_LT(evaluate(net, test).rmse, 1.5);
+}
+
+TEST(NeuralNet, TrainingLossDecreasesWithEpochs) {
+  const auto train = linear_field(200, 3);
+  NeuralNetConfig short_config;
+  short_config.epochs = 2;
+  NeuralNetRegressor short_net(short_config);
+  short_net.fit(train);
+
+  NeuralNetConfig long_config;
+  long_config.epochs = 150;
+  NeuralNetRegressor long_net(long_config);
+  long_net.fit(train);
+
+  EXPECT_LT(long_net.final_training_loss(), short_net.final_training_loss());
+}
+
+TEST(NeuralNet, DeterministicGivenSeed) {
+  const auto train = linear_field(100, 5);
+  NeuralNetConfig config;
+  config.epochs = 20;
+  NeuralNetRegressor net1(config);
+  NeuralNetRegressor net2(config);
+  net1.fit(train);
+  net2.fit(train);
+  const data::Sample q = make_sample(1.0, 1.0, 1.0, kMacA, 0);
+  EXPECT_DOUBLE_EQ(net1.predict(q), net2.predict(q));
+}
+
+TEST(NeuralNet, DifferentSeedsDifferentNets) {
+  const auto train = linear_field(100, 5);
+  NeuralNetConfig config1;
+  config1.epochs = 20;
+  NeuralNetConfig config2 = config1;
+  config2.seed = 7777;
+  NeuralNetRegressor net1(config1);
+  NeuralNetRegressor net2(config2);
+  net1.fit(train);
+  net2.fit(train);
+  const data::Sample q = make_sample(1.0, 1.0, 1.0, kMacA, 0);
+  EXPECT_NE(net1.predict(q), net2.predict(q));
+}
+
+TEST(NeuralNet, SeparatesMacsViaOneHot) {
+  std::vector<data::Sample> train;
+  util::Rng rng(9);
+  for (int i = 0; i < 150; ++i) {
+    const double x = rng.uniform(0.0, 4.0);
+    train.push_back(make_sample(x, 1.0, 1.0, kMacA, -50.0 + rng.gaussian(0, 0.5)));
+    train.push_back(make_sample(x, 1.0, 1.0, kMacB, -85.0 + rng.gaussian(0, 0.5)));
+  }
+  NeuralNetConfig config;
+  config.epochs = 200;
+  NeuralNetRegressor net(config);
+  net.fit(train);
+  EXPECT_NEAR(net.predict(make_sample(2.0, 1.0, 1.0, kMacA, 0)), -50.0, 3.0);
+  EXPECT_NEAR(net.predict(make_sample(2.0, 1.0, 1.0, kMacB, 0)), -85.0, 3.0);
+}
+
+TEST(NeuralNet, PredictionsInSaneRange) {
+  const auto train = linear_field(200, 11, 2.0);
+  NeuralNetConfig config;
+  config.epochs = 100;
+  NeuralNetRegressor net(config);
+  net.fit(train);
+  util::Rng rng(13);
+  for (int i = 0; i < 50; ++i) {
+    const double pred = net.predict(
+        make_sample(rng.uniform(0, 4), rng.uniform(0, 3), rng.uniform(0, 2), kMacA, 0));
+    EXPECT_GT(pred, -120.0);
+    EXPECT_LT(pred, -20.0);
+  }
+}
+
+TEST(NeuralNet, ReluAndTanhAlsoTrain) {
+  const auto train = linear_field(200, 15);
+  for (const Activation act : {Activation::Relu, Activation::Tanh}) {
+    NeuralNetConfig config;
+    config.activation = act;
+    config.epochs = 200;
+    NeuralNetRegressor net(config);
+    net.fit(train);
+    EXPECT_LT(evaluate(net, train).rmse, 2.5) << static_cast<int>(act);
+  }
+}
+
+TEST(NeuralNet, TwoHiddenLayers) {
+  NeuralNetConfig config;
+  config.hidden_layers = {16, 8};
+  config.epochs = 200;
+  NeuralNetRegressor net(config);
+  const auto train = linear_field(200, 17);
+  net.fit(train);
+  EXPECT_LT(evaluate(net, train).rmse, 2.0);
+}
+
+TEST(NeuralNet, NameDescribesArchitecture) {
+  NeuralNetConfig config;
+  config.hidden_layers = {16};
+  EXPECT_EQ(NeuralNetRegressor(config).name(), "neural-net(16,sigmoid,adam)");
+  config.hidden_layers = {32, 8};
+  config.activation = Activation::Relu;
+  EXPECT_EQ(NeuralNetRegressor(config).name(), "neural-net(32-8,relu,adam)");
+}
+
+}  // namespace
+}  // namespace remgen::ml

@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "radio/ble.hpp"
+#include "util/stats.hpp"
+
+namespace remgen::radio {
+namespace {
+
+BleDevice make_device(const geom::Vec3& position, double tx = 0.0, double interval = 0.1) {
+  static util::Rng mac_rng(99);
+  BleDevice d;
+  d.address = MacAddress::random(mac_rng);
+  d.name = "unit-beacon";
+  d.tx_power_dbm = tx;
+  d.adv_interval_s = interval;
+  d.position = position;
+  return d;
+}
+
+struct World {
+  geom::Floorplan floorplan;
+  BleEnvironmentConfig config;
+  util::Rng rng{31};
+
+  World() {
+    config.shadowing_sigma_db = 0.0;
+    config.clutter_db_per_m = 0.0;
+    config.fading_sigma_db = 0.5;
+  }
+
+  BleEnvironment build(std::vector<BleDevice> devices) {
+    return BleEnvironment(floorplan, std::move(devices),
+                          geom::Aabb({-1, -1, 0}, {11, 11, 3}), config, rng);
+  }
+};
+
+TEST(BleChannels, CenterFrequencies) {
+  EXPECT_DOUBLE_EQ(ble_adv_channel_center_mhz(37), 2402.0);
+  EXPECT_DOUBLE_EQ(ble_adv_channel_center_mhz(38), 2426.0);
+  EXPECT_DOUBLE_EQ(ble_adv_channel_center_mhz(39), 2480.0);
+}
+
+TEST(BleEnvironmentTest, MeanRssFollowsPathLoss) {
+  World world;
+  const BleEnvironment env = world.build({make_device({0, 0, 1}, 0.0)});
+  EXPECT_NEAR(env.mean_rss_dbm(0, {1.0, 0.0, 1.0}), -40.2, 1e-9);
+  EXPECT_NEAR(env.mean_rss_dbm(0, {10.0, 0.0, 1.0}), -60.2, 1e-9);
+}
+
+TEST(BleEnvironmentTest, StrongDeviceDetected) {
+  World world;
+  const BleEnvironment env = world.build({make_device({0, 0, 1}, 0.0, 0.05)});
+  util::Rng rng(1);
+  int detected = 0;
+  for (int i = 0; i < 40; ++i) {
+    detected += static_cast<int>(env.scan({1.5, 0.0, 1.0}, 1.8, nullptr, rng).size());
+  }
+  EXPECT_GT(detected, 35);
+}
+
+TEST(BleEnvironmentTest, DetectionChannelIsAdvertisingChannel) {
+  World world;
+  const BleEnvironment env = world.build({make_device({0, 0, 1}, 0.0, 0.05)});
+  util::Rng rng(2);
+  const auto detections = env.scan({1.0, 0.0, 1.0}, 1.8, nullptr, rng);
+  ASSERT_FALSE(detections.empty());
+  EXPECT_TRUE(detections[0].channel == 37 || detections[0].channel == 38 ||
+              detections[0].channel == 39);
+}
+
+TEST(BleEnvironmentTest, SlowAdvertiserDetectedLessOften) {
+  World world;
+  // Marginal-ish RSS plus very different advertising rates.
+  const BleEnvironment env =
+      world.build({make_device({0, 0, 1}, 0.0, 0.05), make_device({0, 0, 1}, 0.0, 2.5)});
+  util::Rng rng(3);
+  int fast = 0;
+  int slow = 0;
+  for (int i = 0; i < 150; ++i) {
+    for (const BleDetection& d : env.scan({2.0, 0.0, 1.0}, 1.8, nullptr, rng)) {
+      (d.device_index == 0 ? fast : slow) += 1;
+    }
+  }
+  EXPECT_GT(fast, slow);
+}
+
+TEST(BleEnvironmentTest, CrazyradioInterferesWithAdvChannels) {
+  World world;
+  world.config.fading_sigma_db = 3.0;
+  // Marginal device so interference can flip detections.
+  const BleEnvironment env = world.build({make_device({9.0, 9.0, 1.0}, -24.0, 0.05)});
+  CrazyradioConfig int_config;
+  int_config.duty_cycle = 1.0;
+  int_config.inband_loss = 1.0;
+  int_config.desense_loss = 1.0;
+  const CrazyradioInterference interference(int_config);
+  util::Rng rng_off(4);
+  util::Rng rng_on(4);
+  int detected_off = 0;
+  int detected_on = 0;
+  for (int i = 0; i < 200; ++i) {
+    detected_off += static_cast<int>(env.scan({0.5, 0.5, 1.0}, 1.8, nullptr, rng_off).size());
+    detected_on +=
+        static_cast<int>(env.scan({0.5, 0.5, 1.0}, 1.8, &interference, rng_on).size());
+  }
+  EXPECT_GT(detected_off, 0);
+  EXPECT_EQ(detected_on, 0);  // total beacon loss kills every detection
+}
+
+TEST(BleEnvironmentTest, WallsAttenuate) {
+  World world;
+  world.floorplan.add_wall(geom::Wall::vertical({1.0, -10.0, 0.0}, {1.0, 10.0, 0.0}, 0.0, 3.0,
+                                                geom::WallMaterial::Concrete));
+  const BleEnvironment env = world.build({make_device({0, 0, 1}, 0.0)});
+  EXPECT_NEAR(env.mean_rss_dbm(0, {2.0, 0.0, 1.0}),
+              -(40.2 + 10.0 * 2.0 * std::log10(2.0)) - 12.0, 1e-9);
+}
+
+TEST(BlePopulation, CountsAndBounds) {
+  util::Rng rng(7);
+  const geom::Aabb bounds({-6, -10, -2.6}, {20, 10, 7.8});
+  const auto devices = make_ble_population(bounds, BlePopulationConfig{}, rng);
+  EXPECT_EQ(devices.size(), 28u);
+  std::set<MacAddress> addresses;
+  for (const BleDevice& d : devices) {
+    addresses.insert(d.address);
+    EXPECT_TRUE(bounds.contains(d.position)) << d.position.to_string();
+    EXPECT_GT(d.adv_interval_s, 0.0);
+    EXPECT_FALSE(d.name.empty());
+  }
+  EXPECT_EQ(addresses.size(), devices.size());
+}
+
+TEST(BleOverlap, CrazyradioAt2402HitsChannel37Hardest) {
+  CrazyradioInterference interference;
+  interference.set_carrier_mhz(2402.0);
+  const double ch37 = interference.beacon_loss_probability_mhz(2402.0, 2.0);
+  const double ch39 = interference.beacon_loss_probability_mhz(2480.0, 2.0);
+  EXPECT_GT(ch37, ch39);
+}
+
+}  // namespace
+}  // namespace remgen::radio

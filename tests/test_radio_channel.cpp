@@ -1,0 +1,66 @@
+#include <gtest/gtest.h>
+
+#include "radio/channel.hpp"
+
+namespace remgen::radio {
+namespace {
+
+TEST(Channel, CenterFrequencies) {
+  EXPECT_DOUBLE_EQ(wifi_channel_center_mhz(1), 2412.0);
+  EXPECT_DOUBLE_EQ(wifi_channel_center_mhz(6), 2437.0);
+  EXPECT_DOUBLE_EQ(wifi_channel_center_mhz(11), 2462.0);
+  EXPECT_DOUBLE_EQ(wifi_channel_center_mhz(13), 2472.0);
+}
+
+TEST(Channel, Validity) {
+  EXPECT_FALSE(is_valid_wifi_channel(0));
+  EXPECT_TRUE(is_valid_wifi_channel(1));
+  EXPECT_TRUE(is_valid_wifi_channel(13));
+  EXPECT_FALSE(is_valid_wifi_channel(14));
+  EXPECT_FALSE(is_valid_wifi_channel(-3));
+}
+
+TEST(Channel, CoChannelCarrierFullyOverlaps) {
+  // 2 MHz carrier dead-centre on channel 6.
+  EXPECT_DOUBLE_EQ(carrier_overlap_fraction(2437.0, 2.0, 6), 1.0);
+}
+
+TEST(Channel, FarCarrierNoOverlap) {
+  EXPECT_DOUBLE_EQ(carrier_overlap_fraction(2525.0, 2.0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(carrier_overlap_fraction(2400.0, 2.0, 13), 0.0);
+}
+
+TEST(Channel, EdgeCarrierPartialOverlap) {
+  // Channel 1 occupies [2401, 2423]; a 2 MHz carrier at 2400 covers [2399, 2401]:
+  // zero-width boundary touch -> no overlap.
+  EXPECT_DOUBLE_EQ(carrier_overlap_fraction(2400.0, 2.0, 1), 0.0);
+  // A carrier at 2401.5 covers [2400.5, 2402.5]: 1.5 of 2 MHz inside.
+  EXPECT_NEAR(carrier_overlap_fraction(2401.5, 2.0, 1), 0.75, 1e-12);
+}
+
+TEST(Channel, OverlapIsMonotonicApproachingChannelCentre) {
+  double prev = -1.0;
+  for (double carrier = 2400.0; carrier <= 2412.0; carrier += 1.0) {
+    const double overlap = carrier_overlap_fraction(carrier, 2.0, 1);
+    EXPECT_GE(overlap, prev);
+    prev = overlap;
+  }
+  EXPECT_DOUBLE_EQ(prev, 1.0);
+}
+
+// Property: overlap is always within [0, 1] for every channel/carrier combo.
+class OverlapProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(OverlapProperty, FractionBounded) {
+  const int channel = GetParam();
+  for (double carrier = 2400.0; carrier <= 2525.0; carrier += 5.0) {
+    const double f = carrier_overlap_fraction(carrier, 2.0, channel);
+    EXPECT_GE(f, 0.0);
+    EXPECT_LE(f, 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllChannels, OverlapProperty, ::testing::Range(1, 14));
+
+}  // namespace
+}  // namespace remgen::radio

@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include "radio/environment.hpp"
+#include "util/stats.hpp"
+
+namespace remgen::radio {
+namespace {
+
+/// Free-space environment with a single controllable AP.
+struct SingleApWorld {
+  geom::Floorplan floorplan;
+  std::vector<AccessPoint> aps;
+  EnvironmentConfig config;
+  util::Rng rng{11};
+
+  explicit SingleApWorld(double tx_power = 15.0, int channel = 6) {
+    AccessPoint ap;
+    ap.mac = *MacAddress::parse("02:00:00:00:00:01");
+    ap.ssid = "test-net";
+    ap.channel = channel;
+    ap.tx_power_dbm = tx_power;
+    ap.position = {0.0, 0.0, 1.0};
+    aps.push_back(ap);
+    config.shadowing_sigma_db = 0.0;  // deterministic unless a test wants it
+    config.clutter_db_per_m = 0.0;
+  }
+
+  RadioEnvironment build() {
+    return RadioEnvironment(floorplan, aps, geom::Aabb({-1, -1, 0}, {11, 11, 3}), config, rng);
+  }
+};
+
+TEST(Environment, MeanRssIsTxMinusPathLoss) {
+  SingleApWorld world(15.0);
+  const RadioEnvironment env = world.build();
+  // At 1 m: 15 - 40.2 = -25.2 dBm.
+  EXPECT_NEAR(env.mean_rss_dbm(0, {1.0, 0.0, 1.0}), -25.2, 1e-9);
+  // At 10 m: 20 dB more loss.
+  EXPECT_NEAR(env.mean_rss_dbm(0, {10.0, 0.0, 1.0}), -45.2, 1e-9);
+}
+
+TEST(Environment, ClutterTermAppliesBeyondOneMetre) {
+  SingleApWorld world(15.0);
+  world.config.clutter_db_per_m = 2.0;
+  const RadioEnvironment env = world.build();
+  // At 1 m no clutter; at 3 m clutter adds 2 * 2 = 4 dB on top of log-distance.
+  EXPECT_NEAR(env.mean_rss_dbm(0, {1.0, 0.0, 1.0}), -25.2, 1e-9);
+  const double log_part = -25.2 - 10.0 * 2.0 * std::log10(3.0);
+  EXPECT_NEAR(env.mean_rss_dbm(0, {3.0, 0.0, 1.0}), log_part - 4.0, 1e-9);
+}
+
+TEST(Environment, SampleVariesAroundMean) {
+  SingleApWorld world;
+  world.config.fading_sigma_db = 4.0;
+  const RadioEnvironment env = world.build();
+  const geom::Vec3 p{3.0, 0.0, 1.0};
+  const double mean = env.mean_rss_dbm(0, p);
+  util::Rng rng(7);
+  util::OnlineStats stats;
+  for (int i = 0; i < 5000; ++i) stats.add(env.sample_rss_dbm(0, p, rng));
+  EXPECT_NEAR(stats.mean(), mean, 0.2);
+  EXPECT_NEAR(stats.stddev(), 4.0, 0.2);
+}
+
+TEST(Environment, DecodeProbabilityIsLogisticInRss) {
+  SingleApWorld world;
+  const RadioEnvironment env = world.build();
+  // Noise floor -95, snr50 4 -> 50% point at -91 dBm.
+  EXPECT_NEAR(env.beacon_decode_probability(-91.0), 0.5, 1e-9);
+  EXPECT_GT(env.beacon_decode_probability(-80.0), 0.99);
+  EXPECT_LT(env.beacon_decode_probability(-103.0), 0.01);
+  EXPECT_LT(env.beacon_decode_probability(-93.0), env.beacon_decode_probability(-89.0));
+}
+
+TEST(Environment, StrongApAlmostAlwaysDetected) {
+  SingleApWorld world(15.0);
+  const RadioEnvironment env = world.build();
+  util::Rng rng(3);
+  int detections = 0;
+  for (int i = 0; i < 50; ++i) {
+    detections += static_cast<int>(env.scan({2.0, 0.0, 1.0}, 2.1, nullptr, rng).size());
+  }
+  // Detection is bounded by beacon-capture statistics: the per-channel dwell
+  // is 2.1/13 s against a 102.4 ms beacon interval, so P(>=1 beacon) ~ 0.79.
+  EXPECT_GT(detections, 30);
+}
+
+TEST(Environment, HopelesslyWeakApNeverDetected) {
+  SingleApWorld world(-60.0);  // absurdly weak transmitter
+  const RadioEnvironment env = world.build();
+  util::Rng rng(3);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_TRUE(env.scan({9.0, 9.0, 1.0}, 2.1, nullptr, rng).empty());
+  }
+}
+
+TEST(Environment, DetectionReportsCorrectChannelAndIndex) {
+  SingleApWorld world(15.0, 11);
+  const RadioEnvironment env = world.build();
+  util::Rng rng(5);
+  const auto detections = env.scan({1.0, 0.0, 1.0}, 2.1, nullptr, rng);
+  ASSERT_FALSE(detections.empty());
+  EXPECT_EQ(detections[0].ap_index, 0u);
+  EXPECT_EQ(detections[0].channel, 11);
+}
+
+TEST(Environment, ReportedRssNearMean) {
+  SingleApWorld world(15.0);
+  world.config.fading_sigma_db = 2.0;
+  const RadioEnvironment env = world.build();
+  util::Rng rng(5);
+  const geom::Vec3 p{2.0, 0.0, 1.0};
+  util::OnlineStats reported;
+  for (int i = 0; i < 200; ++i) {
+    for (const Detection& d : env.scan(p, 2.1, nullptr, rng)) reported.add(d.rss_dbm);
+  }
+  // Reported RSS is the max over decoded beacons, hence biased a little high.
+  EXPECT_NEAR(reported.mean(), env.mean_rss_dbm(0, p), 3.0);
+}
+
+TEST(Environment, InterferenceReducesDetections) {
+  SingleApWorld world(-5.0);  // marginal AP
+  const RadioEnvironment env = world.build();
+  const geom::Vec3 p{8.0, 0.0, 1.0};
+
+  util::Rng rng_off(9);
+  util::Rng rng_on(9);
+  int detected_off = 0;
+  int detected_on = 0;
+  CrazyradioInterference interference;
+  interference.set_carrier_mhz(2437.0);  // co-channel with ch 6
+  for (int i = 0; i < 300; ++i) {
+    detected_off += static_cast<int>(env.scan(p, 2.1, nullptr, rng_off).size());
+    detected_on += static_cast<int>(env.scan(p, 2.1, &interference, rng_on).size());
+  }
+  EXPECT_GT(detected_off, detected_on + 30);
+}
+
+TEST(Environment, LongerScanDetectsMore) {
+  SingleApWorld world(-9.0);  // marginal
+  const RadioEnvironment env = world.build();
+  const geom::Vec3 p{8.0, 0.0, 1.0};
+  util::Rng rng_short(13);
+  util::Rng rng_long(13);
+  int short_detections = 0;
+  int long_detections = 0;
+  for (int i = 0; i < 300; ++i) {
+    short_detections += static_cast<int>(env.scan(p, 0.5, nullptr, rng_short).size());
+    long_detections += static_cast<int>(env.scan(p, 6.0, nullptr, rng_long).size());
+  }
+  EXPECT_GT(long_detections, short_detections);
+}
+
+TEST(Environment, WallReducesMeanRss) {
+  SingleApWorld world(15.0);
+  world.floorplan.add_wall(geom::Wall::vertical({1.0, -10.0, 0.0}, {1.0, 10.0, 0.0}, 0.0, 3.0,
+                                                geom::WallMaterial::Concrete));
+  const RadioEnvironment env = world.build();
+  const double behind_wall = env.mean_rss_dbm(0, {2.0, 0.0, 1.0});
+  EXPECT_NEAR(behind_wall, 15.0 - (40.2 + 10.0 * 2.0 * std::log10(2.0)) - 12.0, 1e-9);
+}
+
+TEST(Environment, ShadowingIsFrozenPerAp) {
+  SingleApWorld world;
+  world.config.shadowing_sigma_db = 3.0;
+  const RadioEnvironment env = world.build();
+  const geom::Vec3 p{4.0, 2.0, 1.0};
+  EXPECT_DOUBLE_EQ(env.mean_rss_dbm(0, p), env.mean_rss_dbm(0, p));
+}
+
+}  // namespace
+}  // namespace remgen::radio

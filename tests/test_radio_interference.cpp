@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include "radio/interference.hpp"
+
+namespace remgen::radio {
+namespace {
+
+TEST(Interference, DisabledRadioCausesNoLoss) {
+  CrazyradioInterference interference;
+  interference.set_enabled(false);
+  for (int ch = 1; ch <= kNumWifiChannels; ++ch) {
+    EXPECT_DOUBLE_EQ(interference.beacon_loss_probability(ch), 0.0);
+  }
+}
+
+TEST(Interference, EnabledRadioAffectsEveryChannel) {
+  // The paper's Figure 5 finding: significant interference at every
+  // frequency, even far from the carrier (front-end desense).
+  CrazyradioInterference interference;
+  for (const double carrier : {2400.0, 2425.0, 2450.0, 2475.0, 2500.0, 2525.0}) {
+    interference.set_carrier_mhz(carrier);
+    for (int ch = 1; ch <= kNumWifiChannels; ++ch) {
+      EXPECT_GT(interference.beacon_loss_probability(ch), 0.2)
+          << "carrier " << carrier << " channel " << ch;
+    }
+  }
+}
+
+TEST(Interference, CoChannelWorseThanFarCarrier) {
+  CrazyradioInterference interference;
+  interference.set_carrier_mhz(2437.0);  // centre of channel 6
+  const double cochannel = interference.beacon_loss_probability(6);
+  const double far = interference.beacon_loss_probability(13);
+  EXPECT_GT(cochannel, far);
+}
+
+TEST(Interference, LossBoundedByDutyCycle) {
+  CrazyradioConfig config;
+  config.duty_cycle = 0.5;
+  CrazyradioInterference interference(config);
+  for (int ch = 1; ch <= kNumWifiChannels; ++ch) {
+    EXPECT_LE(interference.beacon_loss_probability(ch), 0.5);
+  }
+}
+
+TEST(Interference, ZeroDutyCycleMeansNoLoss) {
+  CrazyradioConfig config;
+  config.duty_cycle = 0.0;
+  CrazyradioInterference interference(config);
+  EXPECT_DOUBLE_EQ(interference.beacon_loss_probability(6), 0.0);
+}
+
+TEST(Interference, LossInterpolatesBetweenDesenseAndInband) {
+  CrazyradioConfig config;
+  config.duty_cycle = 1.0;
+  config.desense_loss = 0.3;
+  config.inband_loss = 0.9;
+  CrazyradioInterference interference(config);
+  interference.set_carrier_mhz(2437.0);
+  EXPECT_NEAR(interference.beacon_loss_probability(6), 0.9, 1e-12);   // full overlap
+  EXPECT_NEAR(interference.beacon_loss_probability(13), 0.3, 1e-12);  // no overlap
+}
+
+TEST(Interference, CarrierAccessors) {
+  CrazyradioInterference interference;
+  interference.set_carrier_mhz(2475.0);
+  EXPECT_DOUBLE_EQ(interference.carrier_mhz(), 2475.0);
+  EXPECT_TRUE(interference.enabled());
+  interference.set_enabled(false);
+  EXPECT_FALSE(interference.enabled());
+}
+
+}  // namespace
+}  // namespace remgen::radio

@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "radio/mac_address.hpp"
+
+namespace remgen::radio {
+namespace {
+
+TEST(MacAddress, DefaultIsZero) {
+  EXPECT_EQ(MacAddress{}.to_string(), "00:00:00:00:00:00");
+  EXPECT_EQ(MacAddress{}.to_u64(), 0u);
+}
+
+TEST(MacAddress, ParseValid) {
+  const auto mac = MacAddress::parse("aa:bb:cc:dd:ee:ff");
+  ASSERT_TRUE(mac.has_value());
+  EXPECT_EQ(mac->to_string(), "aa:bb:cc:dd:ee:ff");
+}
+
+TEST(MacAddress, ParseUppercase) {
+  const auto mac = MacAddress::parse("AA:BB:CC:DD:EE:FF");
+  ASSERT_TRUE(mac.has_value());
+  EXPECT_EQ(mac->to_string(), "aa:bb:cc:dd:ee:ff");  // canonical lower case
+}
+
+TEST(MacAddress, ParseRejectsMalformed) {
+  EXPECT_FALSE(MacAddress::parse("").has_value());
+  EXPECT_FALSE(MacAddress::parse("aa:bb:cc:dd:ee").has_value());
+  EXPECT_FALSE(MacAddress::parse("aa:bb:cc:dd:ee:ff:00").has_value());
+  EXPECT_FALSE(MacAddress::parse("aa-bb-cc-dd-ee-ff").has_value());
+  EXPECT_FALSE(MacAddress::parse("gg:bb:cc:dd:ee:ff").has_value());
+  EXPECT_FALSE(MacAddress::parse("aa:bb:cc:dd:ee:f").has_value());
+  EXPECT_FALSE(MacAddress::parse("aabbccddeeff____x").has_value());
+}
+
+TEST(MacAddress, RoundTrip) {
+  util::Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    const MacAddress mac = MacAddress::random(rng);
+    const auto parsed = MacAddress::parse(mac.to_string());
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, mac);
+  }
+}
+
+TEST(MacAddress, RandomIsLocallyAdministeredUnicast) {
+  util::Rng rng(7);
+  for (int i = 0; i < 100; ++i) {
+    const MacAddress mac = MacAddress::random(rng);
+    const std::uint8_t first = mac.octets()[0];
+    EXPECT_EQ(first & 0x02u, 0x02u);  // locally administered
+    EXPECT_EQ(first & 0x01u, 0x00u);  // unicast
+  }
+}
+
+TEST(MacAddress, RandomIsDistinct) {
+  util::Rng rng(9);
+  std::set<MacAddress> macs;
+  for (int i = 0; i < 1000; ++i) macs.insert(MacAddress::random(rng));
+  EXPECT_EQ(macs.size(), 1000u);
+}
+
+TEST(MacAddress, OrderingAndHash) {
+  const auto a = *MacAddress::parse("00:00:00:00:00:01");
+  const auto b = *MacAddress::parse("00:00:00:00:00:02");
+  EXPECT_LT(a, b);
+  EXPECT_NE(std::hash<MacAddress>{}(a), std::hash<MacAddress>{}(b));
+  EXPECT_EQ(std::hash<MacAddress>{}(a), std::hash<MacAddress>{}(a));
+}
+
+TEST(MacAddress, ToU64BigEndianOctets) {
+  const auto mac = *MacAddress::parse("01:02:03:04:05:06");
+  EXPECT_EQ(mac.to_u64(), 0x010203040506ull);
+}
+
+}  // namespace
+}  // namespace remgen::radio

@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "mission/campaign.hpp"
+#include "radio/scenario.hpp"
+
+namespace remgen::radio {
+namespace {
+
+TEST(OfficeModel, GeometrySane) {
+  const geom::ApartmentModel model = geom::make_office_model();
+  EXPECT_NEAR(model.scan_volume.size().x, 6.0, 1e-9);
+  EXPECT_NEAR(model.scan_volume.size().z, 2.4, 1e-9);
+  EXPECT_TRUE(model.building_bounds.contains(model.scan_volume.min));
+  EXPECT_TRUE(model.building_bounds.contains(model.scan_volume.max));
+  EXPECT_GT(model.floorplan.walls().size(), 8u);
+}
+
+TEST(OfficeModel, MeetingRoomGlassAttenuatesLess) {
+  const geom::ApartmentModel model = geom::make_office_model();
+  // Into the meeting block: one glass front.
+  const double into_meeting =
+      model.floorplan.total_penetration_loss_db({3.0, 4.0, 1.2}, {3.0, 5.5, 1.2});
+  // Through to the far wing: glass + drywall back wall.
+  const double through_block =
+      model.floorplan.total_penetration_loss_db({3.0, 4.0, 1.2}, {3.0, 9.0, 1.2});
+  EXPECT_GT(into_meeting, 0.0);
+  EXPECT_GT(through_block, into_meeting);
+}
+
+TEST(OfficeScenario, CorporateSsidSharedByManyMacs) {
+  util::Rng rng(1);
+  const Scenario office = Scenario::make_office(rng);
+  std::size_t corp = 0;
+  std::set<MacAddress> macs;
+  for (const AccessPoint& ap : office.environment().access_points()) {
+    macs.insert(ap.mac);
+    if (ap.ssid == "corp-wifi") ++corp;
+  }
+  EXPECT_GE(corp, 6u);  // this floor + adjacent floors
+  EXPECT_EQ(macs.size(), office.environment().access_points().size());
+}
+
+TEST(OfficeScenario, CeilingApsAreStrongInVolume) {
+  util::Rng rng(2);
+  const Scenario office = Scenario::make_office(rng);
+  const geom::Vec3 centre = office.scan_volume().center();
+  double best = -200.0;
+  for (std::size_t i = 0; i < office.environment().access_points().size(); ++i) {
+    best = std::max(best, office.environment().mean_rss_dbm(i, centre));
+  }
+  EXPECT_GT(best, -55.0);  // an enterprise AP a few metres overhead
+}
+
+TEST(OfficeScenario, CampaignRunsUnchanged) {
+  util::Rng rng(3);
+  const Scenario office = Scenario::make_office(rng);
+  mission::CampaignConfig config;
+  config.grid = {.nx = 3, .ny = 2, .nz = 2, .margin_m = 0.4};
+  const mission::CampaignResult result = mission::run_campaign(office, config, rng);
+  EXPECT_GT(result.dataset.size(), 100u);
+  for (const mission::UavMissionStats& s : result.uav_stats) {
+    EXPECT_EQ(s.waypoints_commanded, 6u);
+    EXPECT_FALSE(s.aborted_on_battery);
+  }
+  // Every sample's position lies in (or hugs) the office scan volume.
+  const geom::Aabb roomish(office.scan_volume().min - geom::Vec3{0.5, 0.5, 0.5},
+                           office.scan_volume().max + geom::Vec3{0.5, 0.5, 0.5});
+  for (const data::Sample& s : result.dataset.samples()) {
+    EXPECT_TRUE(roomish.contains(s.position)) << s.position.to_string();
+  }
+}
+
+TEST(OfficeScenario, Reproducible) {
+  util::Rng rng1(7);
+  util::Rng rng2(7);
+  const Scenario a = Scenario::make_office(rng1);
+  const Scenario b = Scenario::make_office(rng2);
+  ASSERT_EQ(a.environment().access_points().size(), b.environment().access_points().size());
+  for (std::size_t i = 0; i < a.environment().access_points().size(); ++i) {
+    EXPECT_EQ(a.environment().access_points()[i].mac,
+              b.environment().access_points()[i].mac);
+  }
+}
+
+}  // namespace
+}  // namespace remgen::radio

@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "radio/pathloss.hpp"
+
+namespace remgen::radio {
+namespace {
+
+TEST(LogDistance, ReferenceLossAt1m) {
+  const LogDistanceModel model(2.0, 40.2);
+  EXPECT_NEAR(model.loss_db({0, 0, 0}, {1, 0, 0}), 40.2, 1e-12);
+}
+
+TEST(LogDistance, SlopeMatchesExponent) {
+  const LogDistanceModel model(2.0, 40.0);
+  const double at_1 = model.loss_db({0, 0, 0}, {1, 0, 0});
+  const double at_10 = model.loss_db({0, 0, 0}, {10, 0, 0});
+  EXPECT_NEAR(at_10 - at_1, 20.0, 1e-9);  // 10 n per decade
+
+  const LogDistanceModel steep(3.5, 40.0);
+  EXPECT_NEAR(steep.loss_db({0, 0, 0}, {10, 0, 0}) - steep.loss_db({0, 0, 0}, {1, 0, 0}), 35.0,
+              1e-9);
+}
+
+TEST(LogDistance, NearFieldClamped) {
+  const LogDistanceModel model(2.0, 40.0);
+  EXPECT_DOUBLE_EQ(model.loss_db({0, 0, 0}, {0, 0, 0}),
+                   model.loss_db({0, 0, 0}, {0.1, 0, 0}));
+  EXPECT_DOUBLE_EQ(model.loss_db({0, 0, 0}, {0.05, 0, 0}),
+                   model.loss_db({0, 0, 0}, {0.1, 0, 0}));
+}
+
+// Property: loss is monotonically non-decreasing with distance.
+class PathLossMonotonic : public ::testing::TestWithParam<double> {};
+
+TEST_P(PathLossMonotonic, LossGrowsWithDistance) {
+  const LogDistanceModel model(GetParam(), 40.0);
+  double prev = -1.0;
+  for (double d = 0.2; d < 30.0; d *= 1.3) {
+    const double loss = model.loss_db({0, 0, 0}, {d, 0, 0});
+    EXPECT_GE(loss, prev);
+    prev = loss;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Exponents, PathLossMonotonic, ::testing::Values(1.6, 2.0, 2.5, 3.0, 4.0));
+
+TEST(MultiWall, EqualsLogDistanceWithoutWalls) {
+  geom::Floorplan empty;
+  const MultiWallModel mw(empty, 2.0, 40.2);
+  const LogDistanceModel ld(2.0, 40.2);
+  const geom::Vec3 a{0, 0, 1};
+  const geom::Vec3 b{5, 3, 1.5};
+  EXPECT_DOUBLE_EQ(mw.loss_db(a, b), ld.loss_db(a, b));
+}
+
+TEST(MultiWall, AddsWallLoss) {
+  geom::Floorplan fp;
+  fp.add_wall(geom::Wall::vertical({2.0, -10.0, 0.0}, {2.0, 10.0, 0.0}, 0.0, 3.0,
+                                   geom::WallMaterial::Concrete));
+  const MultiWallModel model(fp, 2.0, 40.0);
+  const LogDistanceModel base(2.0, 40.0);
+  const geom::Vec3 a{0, 0, 1};
+  const geom::Vec3 b{4, 0, 1};
+  EXPECT_DOUBLE_EQ(model.loss_db(a, b),
+                   base.loss_db(a, b) + material_loss_db(geom::WallMaterial::Concrete));
+  EXPECT_DOUBLE_EQ(model.wall_loss_db(a, b),
+                   material_loss_db(geom::WallMaterial::Concrete));
+}
+
+TEST(MultiWall, NoWallLossWhenPathAvoidsWall) {
+  geom::Floorplan fp;
+  fp.add_wall(geom::Wall::vertical({2.0, -1.0, 0.0}, {2.0, 1.0, 0.0}, 0.0, 3.0,
+                                   geom::WallMaterial::Concrete));
+  const MultiWallModel model(fp, 2.0, 40.0);
+  // Path passes the x=2 plane at y=5, outside the wall's extent.
+  EXPECT_DOUBLE_EQ(model.wall_loss_db({0, 5, 1}, {4, 5, 1}), 0.0);
+}
+
+TEST(MultiWall, MultipleWallsAccumulate) {
+  geom::Floorplan fp;
+  for (const double x : {1.0, 2.0, 3.0}) {
+    fp.add_wall(geom::Wall::vertical({x, -10.0, 0.0}, {x, 10.0, 0.0}, 0.0, 3.0,
+                                     geom::WallMaterial::Drywall));
+  }
+  const MultiWallModel model(fp, 2.0, 40.0);
+  EXPECT_DOUBLE_EQ(model.wall_loss_db({0, 0, 1}, {4, 0, 1}),
+                   3.0 * material_loss_db(geom::WallMaterial::Drywall));
+}
+
+}  // namespace
+}  // namespace remgen::radio

@@ -1,0 +1,126 @@
+// Property tests of the beacon-scan process against the full apartment
+// scenario: structural invariants that must hold for every seed.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "radio/scenario.hpp"
+
+namespace remgen::radio {
+namespace {
+
+const Scenario& scenario() {
+  static util::Rng rng(31337);
+  static Scenario s = Scenario::make_apartment(rng);
+  return s;
+}
+
+class ScanProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ScanProperty, DetectionsAreWellFormed) {
+  util::Rng rng(GetParam());
+  const auto& env = scenario().environment();
+  const geom::Vec3 p{rng.uniform(0.2, 3.5), rng.uniform(0.2, 3.0), rng.uniform(0.2, 1.9)};
+  const auto detections = env.scan(p, 2.1, nullptr, rng);
+
+  std::set<std::size_t> seen;
+  for (const Detection& d : detections) {
+    ASSERT_LT(d.ap_index, env.access_points().size());
+    // Each AP appears at most once per sweep.
+    EXPECT_TRUE(seen.insert(d.ap_index).second);
+    // The reported channel is the AP's own channel.
+    EXPECT_EQ(d.channel, env.access_points()[d.ap_index].channel);
+    // Reported RSS is plausible: within a few sigmas of the mean.
+    const double mean = env.mean_rss_dbm(d.ap_index, p);
+    EXPECT_NEAR(d.rss_dbm, mean, 6.0 * env.config().fading_sigma_db);
+  }
+}
+
+TEST_P(ScanProperty, SameRngSameScan) {
+  util::Rng rng_a(GetParam());
+  util::Rng rng_b(GetParam());
+  const auto& env = scenario().environment();
+  const geom::Vec3 p{1.5, 1.5, 1.0};
+  const auto a = env.scan(p, 2.1, nullptr, rng_a);
+  const auto b = env.scan(p, 2.1, nullptr, rng_b);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].ap_index, b[i].ap_index);
+    EXPECT_DOUBLE_EQ(a[i].rss_dbm, b[i].rss_dbm);
+  }
+}
+
+TEST_P(ScanProperty, InterferenceNeverIncreasesDetections) {
+  // Statistically: over repeated sweeps with paired seeds, the interfered
+  // total never exceeds the clean total by more than noise.
+  util::Rng rng_clean(GetParam());
+  util::Rng rng_interfered(GetParam());
+  const auto& env = scenario().environment();
+  CrazyradioInterference interference;
+  interference.set_carrier_mhz(2450.0);
+  std::size_t clean = 0;
+  std::size_t interfered = 0;
+  for (int i = 0; i < 20; ++i) {
+    clean += env.scan({1.5, 1.5, 1.0}, 2.1, nullptr, rng_clean).size();
+    interfered += env.scan({1.5, 1.5, 1.0}, 2.1, &interference, rng_interfered).size();
+  }
+  EXPECT_GT(clean, interfered);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScanProperty, ::testing::Values(1, 7, 42, 1234, 99999));
+
+TEST(ScanStatistics, DetectionCountScalesWithSensitivity) {
+  // A more sensitive receiver (lower noise floor) detects at least as many
+  // APs in expectation.
+  const geom::ApartmentModel model = geom::make_apartment_model();
+  util::Rng pop_rng(5);
+  const auto aps = make_ap_population(model.building_bounds, ScenarioConfig{}, pop_rng);
+  const geom::Aabb bounds(model.scan_volume.min - geom::Vec3{1, 1, 1},
+                          model.scan_volume.max + geom::Vec3{1, 1, 1});
+
+  auto total_detections = [&](double noise_floor) {
+    EnvironmentConfig config;
+    config.noise_floor_dbm = noise_floor;
+    util::Rng env_rng(9);
+    const RadioEnvironment env(model.floorplan, aps, bounds, config, env_rng);
+    util::Rng scan_rng(11);
+    std::size_t total = 0;
+    for (int i = 0; i < 30; ++i) {
+      total += env.scan({1.8, 1.6, 1.0}, 2.1, nullptr, scan_rng).size();
+    }
+    return total;
+  };
+  EXPECT_GT(total_detections(-98.0), total_detections(-90.0));
+}
+
+TEST(ScanStatistics, FasterBeaconsDetectedMoreReliably) {
+  // Same AP, shorter beacon interval -> higher per-sweep detection rate.
+  geom::Floorplan empty;
+  EnvironmentConfig config;
+  config.shadowing_sigma_db = 0.0;
+  config.clutter_db_per_m = 0.0;
+
+  auto detection_rate = [&](double interval) {
+    AccessPoint ap;
+    util::Rng mac_rng(1);
+    ap.mac = MacAddress::random(mac_rng);
+    ap.ssid = "x";
+    ap.channel = 6;
+    ap.tx_power_dbm = 15.0;
+    ap.position = {0, 0, 1};
+    ap.beacon_interval_s = interval;
+    util::Rng env_rng(2);
+    const RadioEnvironment env(empty, {ap}, geom::Aabb({-1, -1, 0}, {5, 5, 3}), config,
+                               env_rng);
+    util::Rng scan_rng(3);
+    int hits = 0;
+    for (int i = 0; i < 300; ++i) {
+      hits += static_cast<int>(env.scan({2, 0, 1}, 1.0, nullptr, scan_rng).size());
+    }
+    return hits;
+  };
+  EXPECT_GT(detection_rate(0.02), detection_rate(0.3));
+}
+
+}  // namespace
+}  // namespace remgen::radio

@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "radio/scenario.hpp"
+
+namespace remgen::radio {
+namespace {
+
+TEST(Scenario, PopulationMatchesPaperCounts) {
+  util::Rng rng(2022);
+  const geom::ApartmentModel model = geom::make_apartment_model();
+  const std::vector<AccessPoint> aps =
+      make_ap_population(model.building_bounds, ScenarioConfig{}, rng);
+  EXPECT_EQ(aps.size(), 73u);
+
+  std::set<MacAddress> macs;
+  std::set<std::string> ssids;
+  for (const AccessPoint& ap : aps) {
+    macs.insert(ap.mac);
+    ssids.insert(ap.ssid);
+  }
+  EXPECT_EQ(macs.size(), 73u);   // every BSS has a unique MAC
+  EXPECT_EQ(ssids.size(), 49u);  // some SSIDs appear behind multiple MACs
+}
+
+TEST(Scenario, ChannelsAreValidAndMostlyPrimary) {
+  util::Rng rng(7);
+  const geom::ApartmentModel model = geom::make_apartment_model();
+  const auto aps = make_ap_population(model.building_bounds, ScenarioConfig{}, rng);
+  int primary = 0;
+  for (const AccessPoint& ap : aps) {
+    EXPECT_TRUE(is_valid_wifi_channel(ap.channel));
+    if (ap.channel == 1 || ap.channel == 6 || ap.channel == 11) ++primary;
+  }
+  EXPECT_GT(primary, static_cast<int>(aps.size()) / 2);
+}
+
+TEST(Scenario, PositionsWithinBuilding) {
+  util::Rng rng(9);
+  const geom::ApartmentModel model = geom::make_apartment_model();
+  const auto aps = make_ap_population(model.building_bounds, ScenarioConfig{}, rng);
+  for (const AccessPoint& ap : aps) {
+    EXPECT_TRUE(model.building_bounds.contains(ap.position))
+        << ap.position.to_string();
+  }
+}
+
+TEST(Scenario, PopulationSkewedTowardCore) {
+  util::Rng rng(13);
+  const geom::ApartmentModel model = geom::make_apartment_model();
+  const auto aps = make_ap_population(model.building_bounds, ScenarioConfig{}, rng);
+  const geom::Vec3 room_center = model.scan_volume.center();
+  int toward_core = 0;  // +x or -y of the room centre
+  for (const AccessPoint& ap : aps) {
+    if (ap.position.x > room_center.x || ap.position.y < room_center.y) ++toward_core;
+  }
+  EXPECT_GT(toward_core, static_cast<int>(aps.size()) * 2 / 3);
+}
+
+TEST(Scenario, CustomCounts) {
+  util::Rng rng(5);
+  ScenarioConfig config;
+  config.ssid_count = 10;
+  config.mac_count = 25;
+  const geom::ApartmentModel model = geom::make_apartment_model();
+  const auto aps = make_ap_population(model.building_bounds, config, rng);
+  EXPECT_EQ(aps.size(), 25u);
+  std::set<std::string> ssids;
+  for (const auto& ap : aps) ssids.insert(ap.ssid);
+  EXPECT_EQ(ssids.size(), 10u);
+}
+
+TEST(Scenario, MakeApartmentIsReproducible) {
+  util::Rng rng1(2022);
+  util::Rng rng2(2022);
+  const Scenario s1 = Scenario::make_apartment(rng1);
+  const Scenario s2 = Scenario::make_apartment(rng2);
+  const auto& aps1 = s1.environment().access_points();
+  const auto& aps2 = s2.environment().access_points();
+  ASSERT_EQ(aps1.size(), aps2.size());
+  for (std::size_t i = 0; i < aps1.size(); ++i) {
+    EXPECT_EQ(aps1[i].mac, aps2[i].mac);
+    EXPECT_EQ(aps1[i].position, aps2[i].position);
+  }
+  // The frozen shadowing fields must also agree.
+  const geom::Vec3 p{1.5, 1.5, 1.0};
+  for (std::size_t i = 0; i < aps1.size(); ++i) {
+    EXPECT_DOUBLE_EQ(s1.environment().mean_rss_dbm(i, p), s2.environment().mean_rss_dbm(i, p));
+  }
+}
+
+TEST(Scenario, ScenarioIsSafelyMovable) {
+  util::Rng rng(3);
+  Scenario s = Scenario::make_apartment(rng);
+  const double before = s.environment().mean_rss_dbm(0, {1, 1, 1});
+  Scenario moved = std::move(s);
+  // The environment's floorplan pointer must survive the move.
+  EXPECT_DOUBLE_EQ(moved.environment().mean_rss_dbm(0, {1, 1, 1}), before);
+  EXPECT_FALSE(moved.floorplan().walls().empty());
+}
+
+TEST(Scenario, OwnRouterInsideApartment) {
+  util::Rng rng(2022);
+  const Scenario s = Scenario::make_apartment(rng);
+  // The first AP is pinned inside the unit near the interior wall.
+  const AccessPoint& own = s.environment().access_points().front();
+  EXPECT_TRUE(s.scan_volume().contains(own.position));
+}
+
+}  // namespace
+}  // namespace remgen::radio

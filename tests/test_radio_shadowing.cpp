@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "radio/shadowing.hpp"
+#include "util/stats.hpp"
+
+namespace remgen::radio {
+namespace {
+
+geom::Aabb bounds() { return geom::Aabb({0, 0, 0}, {10, 10, 3}); }
+
+TEST(Shadowing, FrozenFieldIsDeterministic) {
+  util::Rng rng(5);
+  const ShadowingField field(bounds(), 3.0, 1.5, rng);
+  const geom::Vec3 p{4.3, 2.7, 1.1};
+  EXPECT_DOUBLE_EQ(field.at(p), field.at(p));
+}
+
+TEST(Shadowing, SameSeedSameField) {
+  util::Rng rng1(5);
+  util::Rng rng2(5);
+  const ShadowingField f1(bounds(), 3.0, 1.5, rng1);
+  const ShadowingField f2(bounds(), 3.0, 1.5, rng2);
+  for (double x = 0.5; x < 10.0; x += 2.3) {
+    EXPECT_DOUBLE_EQ(f1.at({x, x * 0.7, 1.0}), f2.at({x, x * 0.7, 1.0}));
+  }
+}
+
+TEST(Shadowing, DifferentSeedsDifferentFields) {
+  util::Rng rng1(5);
+  util::Rng rng2(6);
+  const ShadowingField f1(bounds(), 3.0, 1.5, rng1);
+  const ShadowingField f2(bounds(), 3.0, 1.5, rng2);
+  EXPECT_NE(f1.at({5, 5, 1}), f2.at({5, 5, 1}));
+}
+
+TEST(Shadowing, ZeroSigmaIsZeroEverywhere) {
+  util::Rng rng(5);
+  const ShadowingField field(bounds(), 0.0, 1.5, rng);
+  EXPECT_DOUBLE_EQ(field.at({1, 2, 1}), 0.0);
+  EXPECT_DOUBLE_EQ(field.at({9, 9, 2}), 0.0);
+}
+
+TEST(Shadowing, MarginalStatisticsRoughlyMatchSigma) {
+  util::Rng rng(17);
+  const double sigma = 3.0;
+  // Average over many independent fields to estimate the marginal std-dev at
+  // a fixed point (trilinear interpolation shrinks it by a known factor < 1).
+  util::OnlineStats stats;
+  for (int i = 0; i < 800; ++i) {
+    util::Rng field_rng(1000 + i);
+    const ShadowingField field(bounds(), sigma, 1.5, field_rng);
+    stats.add(field.at({rng.uniform(0.0, 10.0), rng.uniform(0.0, 10.0), 1.0}));
+  }
+  EXPECT_NEAR(stats.mean(), 0.0, 0.35);
+  EXPECT_GT(stats.stddev(), 0.45 * sigma);
+  EXPECT_LT(stats.stddev(), 1.1 * sigma);
+}
+
+TEST(Shadowing, NearbyPointsAreCorrelated) {
+  // Correlation: |f(p) - f(p + eps)| should be much smaller than sigma for
+  // eps << decorrelation distance.
+  util::OnlineStats near_diff;
+  util::OnlineStats far_diff;
+  for (int i = 0; i < 200; ++i) {
+    util::Rng rng(2000 + i);
+    const ShadowingField field(bounds(), 3.0, 2.0, rng);
+    near_diff.add(std::abs(field.at({5.0, 5.0, 1.0}) - field.at({5.1, 5.0, 1.0})));
+    far_diff.add(std::abs(field.at({5.0, 5.0, 1.0}) - field.at({9.5, 1.0, 1.0})));
+  }
+  EXPECT_LT(near_diff.mean(), 0.5 * far_diff.mean());
+}
+
+TEST(Shadowing, ClampsOutsideBounds) {
+  util::Rng rng(3);
+  const ShadowingField field(bounds(), 3.0, 1.5, rng);
+  EXPECT_DOUBLE_EQ(field.at({-5.0, 5.0, 1.0}), field.at({0.0, 5.0, 1.0}));
+  EXPECT_DOUBLE_EQ(field.at({5.0, 50.0, 1.0}), field.at({5.0, 10.0, 1.0}));
+}
+
+TEST(Shadowing, AccessorsReportConfig) {
+  util::Rng rng(3);
+  const ShadowingField field(bounds(), 2.5, 1.7, rng);
+  EXPECT_DOUBLE_EQ(field.sigma_db(), 2.5);
+  EXPECT_DOUBLE_EQ(field.decorrelation_m(), 1.7);
+}
+
+}  // namespace
+}  // namespace remgen::radio

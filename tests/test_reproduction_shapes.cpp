@@ -1,0 +1,159 @@
+// Regression tests for the reproduced result *shapes* — the claims
+// EXPERIMENTS.md makes must keep holding as the code evolves. Each test mirrors
+// one figure/finding of the paper at reduced cost.
+#include <gtest/gtest.h>
+
+#include "mission/campaign.hpp"
+#include "ml/metrics.hpp"
+#include "ml/model_zoo.hpp"
+#include "radio/scenario.hpp"
+#include "util/fmt.hpp"
+#include "uwb/anchor.hpp"
+
+namespace remgen {
+namespace {
+
+/// One shared full campaign (the expensive part) for the dataset-level shapes.
+struct PaperRun {
+  util::Rng rng{2022};
+  radio::Scenario scenario{radio::Scenario::make_apartment(rng)};
+  mission::CampaignResult campaign{
+      mission::run_campaign(scenario, mission::CampaignConfig{}, rng)};
+};
+
+const PaperRun& paper_run() {
+  static PaperRun run;
+  return run;
+}
+
+TEST(ReproFig5, RadioOffDetectsMoreOnEveryCarrier) {
+  const auto& env = paper_run().scenario.environment();
+  const geom::Vec3 p = paper_run().scenario.scan_volume().center();
+
+  auto total = [&](const radio::CrazyradioInterference* source, std::uint64_t seed) {
+    util::Rng rng(seed);
+    std::size_t n = 0;
+    for (int i = 0; i < 6; ++i) n += env.scan(p, 2.1, source, rng).size();
+    return n;
+  };
+  const std::size_t off = total(nullptr, 1);
+  for (const double carrier : {2400.0, 2425.0, 2450.0, 2475.0, 2500.0, 2525.0}) {
+    radio::CrazyradioInterference interference;
+    interference.set_carrier_mhz(carrier);
+    EXPECT_LT(total(&interference, 1), off) << "carrier " << carrier;
+  }
+}
+
+TEST(ReproFig6, DroneAOutcollectsDroneB) {
+  const auto per_uav = paper_run().campaign.dataset.samples_per_uav();
+  ASSERT_TRUE(per_uav.count(0) && per_uav.count(1));
+  EXPECT_GT(per_uav.at(0), per_uav.at(1));
+  // And in the paper's ballpark: ratio between 1.05 and 1.6.
+  const double ratio =
+      static_cast<double>(per_uav.at(0)) / static_cast<double>(per_uav.at(1));
+  EXPECT_GT(ratio, 1.05);
+  EXPECT_LT(ratio, 1.6);
+}
+
+TEST(ReproFig7, SampleCountTrendsFollowBuildingCore) {
+  // Regress per-scan sample count on scan position along x and y.
+  std::map<std::pair<int, int>, std::pair<geom::Vec3, std::size_t>> scans;
+  for (const data::Sample& s : paper_run().campaign.dataset.samples()) {
+    auto& [pos, count] = scans[{s.uav_id, s.waypoint_index}];
+    pos = s.position;
+    ++count;
+  }
+  auto slope = [&](int axis) {
+    double n = 0, sx = 0, sy = 0, sxy = 0, sxx = 0;
+    for (const auto& [key, value] : scans) {
+      const double x = axis == 0 ? value.first.x : value.first.y;
+      const double y = static_cast<double>(value.second);
+      n += 1;
+      sx += x;
+      sy += y;
+      sxy += x * y;
+      sxx += x * x;
+    }
+    return (n * sxy - sx * sy) / (n * sxx - sx * sx);
+  };
+  EXPECT_GT(slope(0), 1.0);   // counts grow with x
+  EXPECT_LT(slope(1), -0.2);  // counts shrink with y
+}
+
+TEST(ReproFig8, BaselineLosesToEverySpatialModel) {
+  const data::Dataset prepared =
+      paper_run().campaign.dataset.filter_min_samples_per_mac(16);
+  ASSERT_GT(prepared.size(), 1000u);
+  util::Rng split_rng(99);
+  const data::DatasetSplit split = prepared.split(0.75, split_rng);
+
+  const auto baseline = ml::make_model(ml::ModelKind::BaselineMeanPerMac);
+  baseline->fit(split.train);
+  const double baseline_rmse = ml::evaluate(*baseline, split.test).rmse;
+
+  for (const ml::ModelKind kind :
+       {ml::ModelKind::KnnK3Distance, ml::ModelKind::KnnScaled16, ml::ModelKind::PerMacKnn,
+        ml::ModelKind::NeuralNet16, ml::ModelKind::Kriging}) {
+    const auto model = ml::make_model(kind);
+    model->fit(split.train);
+    const double rmse = ml::evaluate(*model, split.test).rmse;
+    EXPECT_LT(rmse, baseline_rmse) << ml::model_kind_name(kind);
+    // And in the paper's ballpark: a few dB, not an order of magnitude.
+    EXPECT_GT(rmse, 2.5) << ml::model_kind_name(kind);
+    EXPECT_LT(rmse, 7.0) << ml::model_kind_name(kind);
+  }
+}
+
+TEST(ReproEndurance, HoverScanCycleSustainsRoughly36Scans) {
+  util::Rng rng(2022);
+  const radio::Scenario& scenario = paper_run().scenario;
+  uav::CrazyflieConfig config;
+  config.lps.mode = uwb::LocalizationMode::Twr;
+  uav::Crazyflie uav(0, scenario.environment(), &scenario.floorplan(),
+                     uwb::corner_anchors(scenario.scan_volume()), config, {1.8, 1.6, 0.0},
+                     rng.fork("uav"));
+  for (int i = 0; i < 100; ++i) uav.step(0.01);
+  uav.link().base_send({"cmd", "takeoff 1.0"}, uav.now());
+
+  double next_setpoint = 0.0;
+  double next_scan = 5.0;
+  std::size_t seen = 0;
+  double elapsed = 0.0;
+  while (elapsed < 900.0 && !uav.erratic()) {
+    if (elapsed >= next_setpoint) {
+      uav.link().base_send({"cmd", "goto 1.8 1.6 1.0"}, uav.now());
+      next_setpoint = elapsed + 0.2;
+    }
+    if (next_scan >= 0.0 && elapsed >= next_scan) {
+      uav.link().base_send({"cmd", util::format("scan {}", uav.completed_scans())}, uav.now());
+      next_scan = -1.0;
+    }
+    uav.step(0.01);
+    (void)uav.link().base_receive(uav.now());
+    if (uav.completed_scans() > seen) {
+      seen = uav.completed_scans();
+      next_scan = elapsed + 8.0;
+    }
+    elapsed += 0.01;
+  }
+  // Paper: 36 scans over 6 min 12 s.
+  EXPECT_GE(seen, 30u);
+  EXPECT_LE(seen, 42u);
+  EXPECT_GT(elapsed, 330.0);
+  EXPECT_LT(elapsed, 420.0);
+}
+
+TEST(ReproStats, DatasetMatchesPaperBallpark) {
+  const data::Dataset& ds = paper_run().campaign.dataset;
+  EXPECT_GT(ds.size(), 2200u);
+  EXPECT_LT(ds.size(), 3600u);
+  EXPECT_GE(ds.distinct_macs().size(), 60u);
+  EXPECT_LE(ds.distinct_macs().size(), 73u);
+  EXPECT_GE(ds.distinct_ssids().size(), 44u);
+  EXPECT_LE(ds.distinct_ssids().size(), 49u);
+  EXPECT_GT(ds.mean_rss_dbm(), -80.0);
+  EXPECT_LT(ds.mean_rss_dbm(), -68.0);
+}
+
+}  // namespace
+}  // namespace remgen

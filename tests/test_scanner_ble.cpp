@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include "scanner/ble_driver.hpp"
+#include "scanner/ble_module.hpp"
+#include "scanner/i2c.hpp"
+
+namespace remgen::scanner {
+namespace {
+
+/// One strong, fast advertiser in free space.
+struct World {
+  geom::Floorplan floorplan;
+  radio::BleEnvironmentConfig env_config;
+  util::Rng rng{41};
+  std::unique_ptr<radio::BleEnvironment> env;
+
+  World() {
+    env_config.shadowing_sigma_db = 0.0;
+    env_config.clutter_db_per_m = 0.0;
+    env_config.fading_sigma_db = 0.5;
+    radio::BleDevice device;
+    device.address = *radio::MacAddress::parse("c2:11:22:33:44:55");
+    device.name = "fridge-tag";
+    device.tx_power_dbm = 2.0;
+    device.adv_interval_s = 0.05;
+    device.position = {0.0, 0.0, 1.0};
+    env = std::make_unique<radio::BleEnvironment>(floorplan,
+                                                  std::vector<radio::BleDevice>{device},
+                                                  geom::Aabb({-1, -1, 0}, {10, 10, 3}),
+                                                  env_config, rng);
+  }
+};
+
+BleModuleConfig fast_config() {
+  BleModuleConfig config;
+  config.scan_duration_s = 1.8;
+  return config;
+}
+
+TEST(I2cBus, NoDeviceMeansNak) {
+  SimI2cBus bus;
+  EXPECT_FALSE(bus.write_register(0x01, 0x01));
+  EXPECT_FALSE(bus.read_register(0x00).has_value());
+  EXPECT_TRUE(bus.read_block(0x10, 8).empty());
+}
+
+TEST(BleModule, WhoAmI) {
+  World world;
+  SimI2cBus bus;
+  BleObserverModule module(bus, *world.env, fast_config(), util::Rng(1));
+  EXPECT_EQ(bus.read_register(ble_reg::kWhoAmI), ble_reg::kWhoAmIValue);
+  EXPECT_EQ(bus.read_register(ble_reg::kStatus), ble_reg::kStatusIdle);
+}
+
+TEST(BleModule, DetachOnDestruction) {
+  World world;
+  SimI2cBus bus;
+  {
+    BleObserverModule module(bus, *world.env, fast_config(), util::Rng(1));
+    EXPECT_TRUE(bus.read_register(ble_reg::kWhoAmI).has_value());
+  }
+  EXPECT_FALSE(bus.read_register(ble_reg::kWhoAmI).has_value());
+}
+
+TEST(BleModule, ScanLifecycle) {
+  World world;
+  SimI2cBus bus;
+  BleObserverModule module(bus, *world.env, fast_config(), util::Rng(1));
+  module.set_position_provider([] { return geom::Vec3{1.0, 0.0, 1.0}; });
+  module.step(0.0);
+  bus.write_register(ble_reg::kCtrl, ble_reg::kCtrlStartScan);
+  EXPECT_EQ(bus.read_register(ble_reg::kStatus), ble_reg::kStatusScanning);
+  module.step(1.0);
+  EXPECT_EQ(bus.read_register(ble_reg::kStatus), ble_reg::kStatusScanning);
+  module.step(2.0);
+  EXPECT_EQ(bus.read_register(ble_reg::kStatus), ble_reg::kStatusReady);
+  EXPECT_GE(*bus.read_register(ble_reg::kCount), 1);
+}
+
+TEST(BleModule, DoubleStartIsError) {
+  World world;
+  SimI2cBus bus;
+  BleObserverModule module(bus, *world.env, fast_config(), util::Rng(1));
+  module.step(0.0);
+  bus.write_register(ble_reg::kCtrl, ble_reg::kCtrlStartScan);
+  bus.write_register(ble_reg::kCtrl, ble_reg::kCtrlStartScan);
+  EXPECT_EQ(bus.read_register(ble_reg::kStatus), ble_reg::kStatusError);
+  // Reset recovers.
+  bus.write_register(ble_reg::kCtrl, ble_reg::kCtrlReset);
+  EXPECT_EQ(bus.read_register(ble_reg::kStatus), ble_reg::kStatusIdle);
+}
+
+TEST(BleModule, BogusCtrlValueIsError) {
+  World world;
+  SimI2cBus bus;
+  BleObserverModule module(bus, *world.env, fast_config(), util::Rng(1));
+  bus.write_register(ble_reg::kCtrl, 0x77);
+  EXPECT_EQ(bus.read_register(ble_reg::kStatus), ble_reg::kStatusError);
+}
+
+TEST(BleModule, ResultRecordLayout) {
+  World world;
+  SimI2cBus bus;
+  BleObserverModule module(bus, *world.env, fast_config(), util::Rng(1));
+  module.set_position_provider([] { return geom::Vec3{1.0, 0.0, 1.0}; });
+  module.step(0.0);
+  bus.write_register(ble_reg::kCtrl, ble_reg::kCtrlStartScan);
+  module.step(2.0);
+  ASSERT_EQ(bus.read_register(ble_reg::kStatus), ble_reg::kStatusReady);
+  bus.write_register(ble_reg::kResultIndex, 0);
+  const auto record = bus.read_block(ble_reg::kResultData, 29);
+  ASSERT_EQ(record.size(), 29u);
+  EXPECT_EQ(record[0], 0xc2);  // first MAC octet
+  EXPECT_EQ(record[5], 0x55);  // last MAC octet
+  const auto rssi = static_cast<std::int8_t>(record[6]);
+  EXPECT_LT(rssi, -20);
+  EXPECT_GT(rssi, -90);
+  EXPECT_TRUE(record[7] == 37 || record[7] == 38 || record[7] == 39);
+  EXPECT_EQ(record[8], 10u);  // strlen("fridge-tag")
+  EXPECT_EQ(std::string(record.begin() + 9, record.begin() + 19), "fridge-tag");
+}
+
+TEST(BleDriver, FourInstructionFlow) {
+  World world;
+  SimI2cBus bus;
+  BleObserverModule module(bus, *world.env, fast_config(), util::Rng(1));
+  module.set_position_provider([] { return geom::Vec3{1.0, 0.0, 1.0}; });
+  BleScannerDriver driver(bus);
+
+  // (i) initialize.
+  driver.request_init(0.0);
+  EXPECT_EQ(driver.state(), DriverState::Ready);
+  // (iii) measure.
+  ASSERT_TRUE(driver.request_scan(0.0));
+  EXPECT_EQ(driver.state(), DriverState::Scanning);
+  module.step(0.5);
+  driver.step(0.5);
+  EXPECT_EQ(driver.state(), DriverState::Scanning);
+  module.step(2.0);
+  driver.step(2.0);
+  // (ii) check state.
+  ASSERT_EQ(driver.state(), DriverState::ResultsReady);
+  // (iv) parse.
+  const std::vector<ScanTuple> results = driver.take_results();
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].ssid, "fridge-tag");
+  EXPECT_EQ(results[0].mac.to_string(), "c2:11:22:33:44:55");
+  EXPECT_TRUE(results[0].channel >= 37 && results[0].channel <= 39);
+  EXPECT_EQ(driver.state(), DriverState::Ready);
+}
+
+TEST(BleDriver, InitFailsWithoutModule) {
+  SimI2cBus bus;
+  BleScannerDriver driver(bus);
+  driver.request_init(0.0);
+  EXPECT_EQ(driver.state(), DriverState::Error);
+  driver.reset();
+  EXPECT_EQ(driver.state(), DriverState::Uninitialized);
+}
+
+TEST(BleDriver, ScanRequiresReady) {
+  SimI2cBus bus;
+  BleScannerDriver driver(bus);
+  EXPECT_FALSE(driver.request_scan(0.0));
+}
+
+}  // namespace
+}  // namespace remgen::scanner

@@ -1,0 +1,194 @@
+#include <gtest/gtest.h>
+
+#include "scanner/driver.hpp"
+
+namespace remgen::scanner {
+namespace {
+
+/// Scripted fake module: answers each received line from a canned transcript.
+class FakeModule {
+ public:
+  explicit FakeModule(SimUart& uart) : uart_(&uart) {}
+
+  /// Makes the module answer `reply` to the next received line.
+  void enqueue_reply(std::string reply) { replies_.push_back(std::move(reply)); }
+
+  void step() {
+    buffer_ += uart_->device_read();
+    std::size_t pos;
+    while ((pos = buffer_.find('\n')) != std::string::npos) {
+      buffer_.erase(0, pos + 1);
+      if (!replies_.empty()) {
+        uart_->device_write(replies_.front());
+        replies_.erase(replies_.begin());
+      }
+    }
+  }
+
+ private:
+  SimUart* uart_;
+  std::string buffer_;
+  std::vector<std::string> replies_;
+};
+
+TEST(ScannerDriver, InitHandshakeReachesReady) {
+  SimUart uart;
+  FakeModule module(uart);
+  ScannerDriver driver(uart);
+  module.enqueue_reply("\r\nOK\r\n");  // AT
+  module.enqueue_reply("\r\nOK\r\n");  // CWMODE
+  module.enqueue_reply("\r\nOK\r\n");  // CWLAPOPT
+
+  driver.request_init(0.0);
+  EXPECT_EQ(driver.state(), DriverState::Initializing);
+  for (int i = 0; i < 5; ++i) {
+    module.step();
+    driver.step(0.1 * i);
+  }
+  EXPECT_EQ(driver.state(), DriverState::Ready);
+}
+
+TEST(ScannerDriver, InitErrorEntersErrorState) {
+  SimUart uart;
+  FakeModule module(uart);
+  ScannerDriver driver(uart);
+  module.enqueue_reply("\r\nERROR\r\n");
+  driver.request_init(0.0);
+  module.step();
+  driver.step(0.1);
+  EXPECT_EQ(driver.state(), DriverState::Error);
+}
+
+TEST(ScannerDriver, InitTimeoutEntersErrorState) {
+  SimUart uart;
+  ScannerDriver driver(uart, /*timeout_s=*/1.0);
+  driver.request_init(0.0);
+  driver.step(0.5);
+  EXPECT_EQ(driver.state(), DriverState::Initializing);
+  driver.step(1.5);
+  EXPECT_EQ(driver.state(), DriverState::Error);
+}
+
+TEST(ScannerDriver, ResetClearsError) {
+  SimUart uart;
+  ScannerDriver driver(uart, 1.0);
+  driver.request_init(0.0);
+  driver.step(2.0);
+  ASSERT_EQ(driver.state(), DriverState::Error);
+  driver.reset();
+  EXPECT_EQ(driver.state(), DriverState::Uninitialized);
+}
+
+TEST(ScannerDriver, ScanOnlyFromReady) {
+  SimUart uart;
+  ScannerDriver driver(uart);
+  EXPECT_FALSE(driver.request_scan(0.0));  // uninitialized
+}
+
+TEST(ScannerDriver, FullScanFlow) {
+  SimUart uart;
+  FakeModule module(uart);
+  ScannerDriver driver(uart);
+  for (int i = 0; i < 3; ++i) module.enqueue_reply("\r\nOK\r\n");
+  driver.request_init(0.0);
+  for (int i = 0; i < 5; ++i) {
+    module.step();
+    driver.step(0.1 * i);
+  }
+  ASSERT_EQ(driver.state(), DriverState::Ready);
+
+  module.enqueue_reply(
+      "\r\n+CWLAP:(\"net-a\",-67,\"02:00:00:00:00:01\",6)\r\n"
+      "+CWLAP:(\"net-b\",-82,\"02:00:00:00:00:02\",11)\r\n\r\nOK\r\n");
+  ASSERT_TRUE(driver.request_scan(1.0));
+  EXPECT_EQ(driver.state(), DriverState::Scanning);
+  module.step();
+  driver.step(1.1);
+  ASSERT_EQ(driver.state(), DriverState::ResultsReady);
+
+  const std::vector<ScanTuple> results = driver.take_results();
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].ssid, "net-a");
+  EXPECT_EQ(results[0].rssi_dbm, -67);
+  EXPECT_EQ(results[0].mac.to_string(), "02:00:00:00:00:01");
+  EXPECT_EQ(results[0].channel, 6);
+  EXPECT_EQ(results[1].ssid, "net-b");
+  EXPECT_EQ(driver.state(), DriverState::Ready);
+}
+
+TEST(ScannerDriver, EmptyScanYieldsNoResults) {
+  SimUart uart;
+  FakeModule module(uart);
+  ScannerDriver driver(uart);
+  for (int i = 0; i < 3; ++i) module.enqueue_reply("\r\nOK\r\n");
+  driver.request_init(0.0);
+  for (int i = 0; i < 5; ++i) {
+    module.step();
+    driver.step(0.1 * i);
+  }
+  module.enqueue_reply("\r\nOK\r\n");
+  ASSERT_TRUE(driver.request_scan(1.0));
+  module.step();
+  driver.step(1.1);
+  ASSERT_EQ(driver.state(), DriverState::ResultsReady);
+  EXPECT_TRUE(driver.take_results().empty());
+}
+
+TEST(ScannerDriver, MalformedCwlapLineIsSkipped) {
+  SimUart uart;
+  FakeModule module(uart);
+  ScannerDriver driver(uart);
+  for (int i = 0; i < 3; ++i) module.enqueue_reply("\r\nOK\r\n");
+  driver.request_init(0.0);
+  for (int i = 0; i < 5; ++i) {
+    module.step();
+    driver.step(0.1 * i);
+  }
+  module.enqueue_reply(
+      "\r\n+CWLAP:(garbage)\r\n+CWLAP:(\"ok\",-70,\"02:00:00:00:00:03\",1)\r\n\r\nOK\r\n");
+  ASSERT_TRUE(driver.request_scan(1.0));
+  module.step();
+  driver.step(1.1);
+  const auto results = driver.take_results();
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].ssid, "ok");
+}
+
+TEST(ScannerDriver, ParseCwlapValid) {
+  ScanTuple tuple;
+  EXPECT_TRUE(ScannerDriver::parse_cwlap_line("\"my net\",-73,\"aa:bb:cc:dd:ee:ff\",13", tuple));
+  EXPECT_EQ(tuple.ssid, "my net");
+  EXPECT_EQ(tuple.rssi_dbm, -73);
+  EXPECT_EQ(tuple.channel, 13);
+}
+
+TEST(ScannerDriver, ParseCwlapEmptySsid) {
+  ScanTuple tuple;
+  EXPECT_TRUE(ScannerDriver::parse_cwlap_line("\"\",-80,\"aa:bb:cc:dd:ee:ff\",1", tuple));
+  EXPECT_EQ(tuple.ssid, "");
+}
+
+// Property sweep over malformed payloads: the parser must reject them all
+// without crashing.
+class CwlapMalformed : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(CwlapMalformed, Rejected) {
+  ScanTuple tuple;
+  EXPECT_FALSE(ScannerDriver::parse_cwlap_line(GetParam(), tuple));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, CwlapMalformed,
+    ::testing::Values("",                                            // empty
+                      "\"a\"",                                       // missing fields
+                      "\"a\",-70",                                   // missing mac/channel
+                      "\"a\",-70,\"zz:bb:cc:dd:ee:ff\",6",           // bad mac
+                      "\"a\",-70,\"aa:bb:cc:dd:ee:ff\"",             // missing channel
+                      "\"a\",xx,\"aa:bb:cc:dd:ee:ff\",6",            // bad rssi
+                      "a,-70,\"aa:bb:cc:dd:ee:ff\",6",               // unquoted ssid
+                      "\"a\",-70,aa:bb:cc:dd:ee:ff,6",               // unquoted mac
+                      "\"a\",-70,\"aa:bb:cc:dd:ee:ff\",6,extra",     // trailing junk
+                      "\"unterminated,-70,\"aa:bb:cc:dd:ee:ff\",6"));  // quote chaos
+
+}  // namespace
+}  // namespace remgen::scanner

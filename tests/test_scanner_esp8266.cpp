@@ -1,0 +1,209 @@
+#include <gtest/gtest.h>
+
+#include "radio/environment.hpp"
+#include "scanner/esp8266.hpp"
+
+namespace remgen::scanner {
+namespace {
+
+/// Environment with one strong AP on channel 6.
+struct World {
+  geom::Floorplan floorplan;
+  std::vector<radio::AccessPoint> aps;
+  radio::EnvironmentConfig env_config;
+  util::Rng rng{21};
+  std::unique_ptr<radio::RadioEnvironment> env;
+
+  World() {
+    radio::AccessPoint ap;
+    ap.mac = *radio::MacAddress::parse("02:00:00:00:00:42");
+    ap.ssid = "strong-net";
+    ap.channel = 6;
+    ap.tx_power_dbm = 18.0;
+    ap.position = {0.0, 0.0, 1.0};
+    // Short beacon interval so a single dwell deterministically captures a
+    // beacon (the default 102.4 ms leaves a ~21% per-scan miss probability).
+    ap.beacon_interval_s = 0.01;
+    aps.push_back(ap);
+    env_config.shadowing_sigma_db = 0.0;
+    env_config.fading_sigma_db = 0.1;
+    env_config.clutter_db_per_m = 0.0;
+    env = std::make_unique<radio::RadioEnvironment>(
+        floorplan, aps, geom::Aabb({-1, -1, 0}, {10, 10, 3}), env_config, rng);
+  }
+};
+
+Esp8266Config fast_config() {
+  Esp8266Config config;
+  config.scan_duration_s = 2.1;
+  config.boot_time_s = 0.0;
+  return config;
+}
+
+TEST(Esp8266, RespondsOkToAt) {
+  World world;
+  SimUart uart;
+  Esp8266Module module(uart, *world.env, fast_config(), util::Rng(1));
+  uart.host_write("AT\r\n");
+  module.step(0.1);
+  EXPECT_EQ(uart.host_read(), "\r\nOK\r\n");
+}
+
+TEST(Esp8266, SilentBeforeBoot) {
+  World world;
+  SimUart uart;
+  Esp8266Config config = fast_config();
+  config.boot_time_s = 0.5;
+  Esp8266Module module(uart, *world.env, config, util::Rng(1));
+  uart.host_write("AT\r\n");
+  module.step(0.1);
+  EXPECT_EQ(uart.host_read(), "");
+  module.step(0.6);
+  EXPECT_EQ(uart.host_read(), "\r\nOK\r\n");
+}
+
+TEST(Esp8266, CwModeSetsStation) {
+  World world;
+  SimUart uart;
+  Esp8266Module module(uart, *world.env, fast_config(), util::Rng(1));
+  uart.host_write("AT+CWMODE_CUR=1\r\n");
+  module.step(0.1);
+  EXPECT_EQ(uart.host_read(), "\r\nOK\r\n");
+}
+
+TEST(Esp8266, CwModeRejectsBadArgument) {
+  World world;
+  SimUart uart;
+  Esp8266Module module(uart, *world.env, fast_config(), util::Rng(1));
+  uart.host_write("AT+CWMODE_CUR=9\r\n");
+  module.step(0.1);
+  EXPECT_EQ(uart.host_read(), "\r\nERROR\r\n");
+}
+
+TEST(Esp8266, CwlapRequiresStationMode) {
+  World world;
+  SimUart uart;
+  Esp8266Module module(uart, *world.env, fast_config(), util::Rng(1));
+  uart.host_write("AT+CWLAP\r\n");
+  module.step(0.1);
+  EXPECT_EQ(uart.host_read(), "\r\nERROR\r\n");
+}
+
+TEST(Esp8266, UnknownCommandErrors) {
+  World world;
+  SimUart uart;
+  Esp8266Module module(uart, *world.env, fast_config(), util::Rng(1));
+  uart.host_write("AT+BOGUS\r\n");
+  module.step(0.1);
+  EXPECT_EQ(uart.host_read(), "\r\nERROR\r\n");
+}
+
+TEST(Esp8266, ScanTakesConfiguredDuration) {
+  World world;
+  SimUart uart;
+  Esp8266Module module(uart, *world.env, fast_config(), util::Rng(1));
+  module.set_position_provider([] { return geom::Vec3{1.0, 0.0, 1.0}; });
+
+  uart.host_write("AT+CWMODE_CUR=1\r\n");
+  module.step(0.1);
+  (void)uart.host_read();
+
+  uart.host_write("AT+CWLAP\r\n");
+  module.step(0.2);
+  EXPECT_TRUE(module.scanning());
+  EXPECT_EQ(uart.host_read(), "");  // nothing until the sweep completes
+
+  module.step(1.0);
+  EXPECT_TRUE(module.scanning());
+  EXPECT_EQ(uart.host_read(), "");
+
+  module.step(2.4);  // past 0.2 + 2.1
+  EXPECT_FALSE(module.scanning());
+  const std::string reply = uart.host_read();
+  EXPECT_NE(reply.find("+CWLAP:("), std::string::npos);
+  EXPECT_NE(reply.find("OK"), std::string::npos);
+}
+
+TEST(Esp8266, ScanOutputContainsConfiguredFields) {
+  World world;
+  SimUart uart;
+  Esp8266Module module(uart, *world.env, fast_config(), util::Rng(1));
+  module.set_position_provider([] { return geom::Vec3{1.0, 0.0, 1.0}; });
+
+  uart.host_write("AT+CWMODE_CUR=1\r\n");
+  module.step(0.1);
+  uart.host_write("AT+CWLAPOPT=1,30\r\n");
+  module.step(0.2);
+  (void)uart.host_read();
+
+  uart.host_write("AT+CWLAP\r\n");
+  module.step(0.3);
+  module.step(3.0);
+  const std::string reply = uart.host_read();
+  // Tuple (ssid, rssi, mac, channel).
+  EXPECT_NE(reply.find("\"strong-net\""), std::string::npos);
+  EXPECT_NE(reply.find("\"02:00:00:00:00:42\""), std::string::npos);
+  EXPECT_NE(reply.find(",6)"), std::string::npos);
+}
+
+TEST(Esp8266, MaskRestrictsFields) {
+  World world;
+  SimUart uart;
+  Esp8266Module module(uart, *world.env, fast_config(), util::Rng(1));
+  module.set_position_provider([] { return geom::Vec3{1.0, 0.0, 1.0}; });
+
+  uart.host_write("AT+CWMODE_CUR=1\r\n");
+  module.step(0.1);
+  uart.host_write("AT+CWLAPOPT=0,4\r\n");  // rssi only
+  module.step(0.2);
+  (void)uart.host_read();
+  uart.host_write("AT+CWLAP\r\n");
+  module.step(0.3);
+  module.step(3.0);
+  const std::string reply = uart.host_read();
+  EXPECT_EQ(reply.find("strong-net"), std::string::npos);
+  EXPECT_NE(reply.find("+CWLAP:("), std::string::npos);
+}
+
+TEST(Esp8266, BusyWhileScanning) {
+  World world;
+  SimUart uart;
+  Esp8266Module module(uart, *world.env, fast_config(), util::Rng(1));
+  module.set_position_provider([] { return geom::Vec3{1.0, 0.0, 1.0}; });
+  uart.host_write("AT+CWMODE_CUR=1\r\n");
+  module.step(0.1);
+  (void)uart.host_read();
+  uart.host_write("AT+CWLAP\r\n");
+  module.step(0.2);
+  uart.host_write("AT\r\n");
+  module.step(0.3);
+  EXPECT_EQ(uart.host_read(), "\r\nbusy p...\r\n");
+}
+
+TEST(Esp8266, InterferenceSuppressesMarginalAp) {
+  World world;
+  // Make the AP marginal by querying from far away.
+  SimUart uart;
+  Esp8266Module module(uart, *world.env, fast_config(), util::Rng(1));
+  module.set_position_provider([] { return geom::Vec3{9.0, 9.0, 1.0}; });
+  radio::CrazyradioConfig int_config;
+  int_config.duty_cycle = 1.0;
+  int_config.inband_loss = 1.0;
+  int_config.desense_loss = 1.0;  // guaranteed beacon loss
+  radio::CrazyradioInterference interference(int_config);
+  module.set_interference(&interference);
+
+  uart.host_write("AT+CWMODE_CUR=1\r\n");
+  module.step(0.1);
+  (void)uart.host_read();
+  uart.host_write("AT+CWLAP\r\n");
+  module.step(0.2);
+  module.step(3.0);
+  const std::string reply = uart.host_read();
+  // With certain beacon loss nothing can be detected.
+  EXPECT_EQ(reply.find("+CWLAP:("), std::string::npos);
+  EXPECT_NE(reply.find("OK"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace remgen::scanner

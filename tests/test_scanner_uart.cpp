@@ -1,0 +1,54 @@
+#include <gtest/gtest.h>
+
+#include "scanner/uart.hpp"
+
+namespace remgen::scanner {
+namespace {
+
+TEST(Uart, HostToDevice) {
+  SimUart uart;
+  uart.host_write("AT\r\n");
+  EXPECT_EQ(uart.device_pending(), 4u);
+  EXPECT_EQ(uart.device_read(), "AT\r\n");
+  EXPECT_EQ(uart.device_pending(), 0u);
+}
+
+TEST(Uart, DeviceToHost) {
+  SimUart uart;
+  uart.device_write("OK\r\n");
+  EXPECT_EQ(uart.host_pending(), 4u);
+  EXPECT_EQ(uart.host_read(), "OK\r\n");
+}
+
+TEST(Uart, DirectionsAreIndependent) {
+  SimUart uart;
+  uart.host_write("ping");
+  uart.device_write("pong");
+  EXPECT_EQ(uart.device_read(), "ping");
+  EXPECT_EQ(uart.host_read(), "pong");
+}
+
+TEST(Uart, WritesAccumulateInOrder) {
+  SimUart uart;
+  uart.host_write("a");
+  uart.host_write("b");
+  uart.host_write("c");
+  EXPECT_EQ(uart.device_read(), "abc");
+}
+
+TEST(Uart, ReadDrains) {
+  SimUart uart;
+  uart.host_write("x");
+  (void)uart.device_read();
+  EXPECT_EQ(uart.device_read(), "");
+}
+
+TEST(Uart, BinarySafe) {
+  SimUart uart;
+  const std::string data("\x00\x01\xff\r\n", 5);
+  uart.host_write(data);
+  EXPECT_EQ(uart.device_read(), data);
+}
+
+}  // namespace
+}  // namespace remgen::scanner

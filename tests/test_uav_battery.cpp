@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "uav/battery.hpp"
+
+namespace remgen::uav {
+namespace {
+
+TEST(Battery, StartsFull) {
+  const Battery battery;
+  EXPECT_DOUBLE_EQ(battery.fraction_remaining(), 1.0);
+  EXPECT_FALSE(battery.exhausted());
+  EXPECT_DOUBLE_EQ(battery.consumed_mah(), 0.0);
+}
+
+TEST(Battery, DrainAccountsChargeCorrectly) {
+  Battery battery;
+  battery.drain(3600.0, 100.0);  // 100 mA for one hour = 100 mAh
+  EXPECT_NEAR(battery.consumed_mah(), 100.0, 1e-9);
+  EXPECT_NEAR(battery.fraction_remaining(), 1.0 - 100.0 / 250.0, 1e-9);
+}
+
+TEST(Battery, FractionClampedAtZero) {
+  Battery battery;
+  battery.drain(3600.0, 10000.0);
+  EXPECT_DOUBLE_EQ(battery.fraction_remaining(), 0.0);
+}
+
+TEST(Battery, ExhaustedAtUsableFraction) {
+  BatteryConfig config;
+  config.capacity_mah = 100.0;
+  config.usable_fraction = 0.9;
+  Battery battery(config);
+  battery.drain(3600.0, 89.0);
+  EXPECT_FALSE(battery.exhausted());
+  battery.drain(3600.0, 2.0);  // now 91 consumed > 90 usable
+  EXPECT_TRUE(battery.exhausted());
+}
+
+TEST(Battery, CurrentComposition) {
+  const Battery battery;
+  const BatteryConfig& c = battery.config();
+  EXPECT_DOUBLE_EQ(battery.current_ma(false, 0.0, false), c.base_current_ma);
+  EXPECT_DOUBLE_EQ(battery.current_ma(true, 0.0, false),
+                   c.base_current_ma + c.hover_current_ma);
+  EXPECT_DOUBLE_EQ(battery.current_ma(true, 1.0, false),
+                   c.base_current_ma + c.hover_current_ma + c.move_extra_ma_per_mps);
+  EXPECT_DOUBLE_EQ(battery.current_ma(true, 0.0, true),
+                   c.base_current_ma + c.hover_current_ma + c.scan_current_ma);
+}
+
+TEST(Battery, PaperEnduranceScenario) {
+  // Hovering with scans every ~10.3 s (2 s scan + 8 s gap) must deplete the
+  // usable charge in roughly 6 minutes (paper: 6 min 12 s).
+  Battery battery;
+  double t = 0.0;
+  const double dt = 0.1;
+  while (!battery.exhausted() && t < 1000.0) {
+    const double cycle_pos = std::fmod(t, 10.3);
+    const bool scanning = cycle_pos < 2.1;
+    battery.drain(dt, battery.current_ma(true, 0.05, scanning));
+    t += dt;
+  }
+  EXPECT_GT(t, 300.0);  // more than 5 minutes
+  EXPECT_LT(t, 450.0);  // less than 7.5 minutes
+}
+
+TEST(Battery, MonotonicDischarge) {
+  Battery battery;
+  double prev = battery.fraction_remaining();
+  for (int i = 0; i < 100; ++i) {
+    battery.drain(1.0, 2000.0);
+    EXPECT_LE(battery.fraction_remaining(), prev);
+    prev = battery.fraction_remaining();
+  }
+}
+
+TEST(Battery, ZeroDtIsNoop) {
+  Battery battery;
+  battery.drain(0.0, 5000.0);
+  EXPECT_DOUBLE_EQ(battery.consumed_mah(), 0.0);
+}
+
+}  // namespace
+}  // namespace remgen::uav

@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "uav/commander.hpp"
+
+namespace remgen::uav {
+namespace {
+
+CommanderConfig paper_config() {
+  return CommanderConfig{.level_out_timeout_s = 0.5, .wdt_timeout_shutdown_s = 10.0};
+}
+
+TEST(CommanderTest, StartsIdle) {
+  Commander commander(paper_config());
+  EXPECT_EQ(commander.mode(), CommanderMode::Idle);
+  EXPECT_FALSE(commander.setpoint().has_value());
+  EXPECT_TRUE(std::isinf(commander.setpoint_age(123.0)));
+}
+
+TEST(CommanderTest, SetpointActivates) {
+  Commander commander(paper_config());
+  commander.set_setpoint({1, 2, 3}, 0.5, 10.0);
+  commander.step(10.1);
+  EXPECT_EQ(commander.mode(), CommanderMode::Active);
+  EXPECT_EQ(*commander.setpoint(), geom::Vec3(1, 2, 3));
+  EXPECT_DOUBLE_EQ(commander.yaw(), 0.5);
+  EXPECT_NEAR(commander.setpoint_age(10.1), 0.1, 1e-12);
+}
+
+TEST(CommanderTest, LevelOutAfter500ms) {
+  Commander commander(paper_config());
+  commander.set_setpoint({1, 1, 1}, 0.0, 0.0);
+  commander.step(0.49);
+  EXPECT_EQ(commander.mode(), CommanderMode::Active);
+  commander.step(0.51);
+  EXPECT_EQ(commander.mode(), CommanderMode::LevelOut);
+}
+
+TEST(CommanderTest, FreshSetpointRestoresActive) {
+  Commander commander(paper_config());
+  commander.set_setpoint({1, 1, 1}, 0.0, 0.0);
+  commander.step(1.0);
+  ASSERT_EQ(commander.mode(), CommanderMode::LevelOut);
+  commander.set_setpoint({1, 1, 1}, 0.0, 1.0);
+  commander.step(1.01);
+  EXPECT_EQ(commander.mode(), CommanderMode::Active);
+}
+
+TEST(CommanderTest, WatchdogShutdown) {
+  Commander commander(paper_config());
+  commander.set_setpoint({1, 1, 1}, 0.0, 0.0);
+  commander.step(9.9);
+  EXPECT_NE(commander.mode(), CommanderMode::EmergencyStop);
+  commander.step(10.1);
+  EXPECT_EQ(commander.mode(), CommanderMode::EmergencyStop);
+}
+
+TEST(CommanderTest, EmergencyStopIsTerminal) {
+  Commander commander(paper_config());
+  commander.set_setpoint({1, 1, 1}, 0.0, 0.0);
+  commander.step(11.0);
+  ASSERT_EQ(commander.mode(), CommanderMode::EmergencyStop);
+  // Late setpoints are ignored after the watchdog fired.
+  commander.set_setpoint({2, 2, 2}, 0.0, 11.5);
+  commander.step(11.6);
+  EXPECT_EQ(commander.mode(), CommanderMode::EmergencyStop);
+  EXPECT_EQ(*commander.setpoint(), geom::Vec3(1, 1, 1));
+}
+
+TEST(CommanderTest, RebootClearsEverything) {
+  Commander commander(paper_config());
+  commander.set_setpoint({1, 1, 1}, 0.0, 0.0);
+  commander.step(11.0);
+  commander.reboot();
+  EXPECT_EQ(commander.mode(), CommanderMode::Idle);
+  EXPECT_FALSE(commander.setpoint().has_value());
+}
+
+TEST(CommanderTest, DefaultFirmwareWdtIsTwoSeconds) {
+  // The stock firmware default would shut down during a 3 s radio-off scan
+  // window — exactly why the paper raises it to 10 s.
+  Commander commander{CommanderConfig{}};
+  commander.set_setpoint({1, 1, 1}, 0.0, 0.0);
+  commander.step(2.1);
+  EXPECT_EQ(commander.mode(), CommanderMode::EmergencyStop);
+}
+
+TEST(CommanderTest, HoldTaskFeedKeepsAlive) {
+  // Simulates the deck's 100 ms position-hold feedback across a 3 s window.
+  Commander commander(paper_config());
+  double now = 0.0;
+  commander.set_setpoint({1, 1, 1}, 0.0, now);
+  for (int i = 0; i < 30; ++i) {
+    now += 0.1;
+    commander.set_setpoint({1, 1, 1}, 0.0, now);
+    commander.step(now);
+    ASSERT_EQ(commander.mode(), CommanderMode::Active);
+  }
+}
+
+TEST(CommanderTest, ModeNames) {
+  EXPECT_STREQ(commander_mode_name(CommanderMode::Idle), "idle");
+  EXPECT_STREQ(commander_mode_name(CommanderMode::EmergencyStop), "emergency-stop");
+}
+
+}  // namespace
+}  // namespace remgen::uav

@@ -1,0 +1,214 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "radio/scenario.hpp"
+#include "uav/crazyflie.hpp"
+#include "uwb/anchor.hpp"
+#include "util/fmt.hpp"
+
+namespace remgen::uav {
+namespace {
+
+/// Shared scenario so the (moderately expensive) environment is built once.
+const radio::Scenario& scenario() {
+  static util::Rng rng(4242);
+  static radio::Scenario s = radio::Scenario::make_apartment(rng);
+  return s;
+}
+
+Crazyflie make_uav(const CrazyflieConfig& config = {}, const geom::Vec3& start = {1.0, 1.0, 0.0}) {
+  return Crazyflie(0, scenario().environment(), &scenario().floorplan(),
+                   uwb::corner_anchors(scenario().scan_volume()), config, start,
+                   util::Rng(99));
+}
+
+void run(Crazyflie& uav, double seconds) {
+  const int steps = static_cast<int>(seconds / 0.01);
+  for (int i = 0; i < steps; ++i) uav.step(0.01);
+}
+
+/// Keeps the commander fed while flying (the base client's setpoint stream).
+void run_with_setpoints(Crazyflie& uav, const geom::Vec3& target, double seconds) {
+  const int steps = static_cast<int>(seconds / 0.01);
+  for (int i = 0; i < steps; ++i) {
+    if (i % 20 == 0) {
+      uav.link().base_send({"cmd", util::format("goto {:.3f} {:.3f} {:.3f}", target.x, target.y,
+                                                target.z)},
+                           uav.now());
+    }
+    uav.step(0.01);
+  }
+}
+
+TEST(Crazyflie, BootsGroundedWithDeckInitializing) {
+  Crazyflie uav = make_uav();
+  EXPECT_FALSE(uav.flying());
+  run(uav, 1.0);
+  EXPECT_EQ(uav.deck().state(), DeckState::Ready);
+}
+
+TEST(Crazyflie, TakeoffReachesHeight) {
+  Crazyflie uav = make_uav();
+  run(uav, 1.0);
+  uav.link().base_send({"cmd", "takeoff 1.0"}, uav.now());
+  run_with_setpoints(uav, {1.0, 1.0, 1.0}, 4.0);
+  EXPECT_TRUE(uav.flying());
+  EXPECT_NEAR(uav.true_position().z, 1.0, 0.25);
+}
+
+TEST(Crazyflie, GotoReachesWaypoint) {
+  Crazyflie uav = make_uav();
+  run(uav, 1.0);
+  uav.link().base_send({"cmd", "takeoff 1.0"}, uav.now());
+  run_with_setpoints(uav, {1.0, 1.0, 1.0}, 3.0);
+  run_with_setpoints(uav, {2.5, 2.0, 1.5}, 5.0);
+  EXPECT_LT(uav.true_position().distance_to({2.5, 2.0, 1.5}), 0.3);
+}
+
+TEST(Crazyflie, EstimatedPositionTracksTrue) {
+  Crazyflie uav = make_uav();
+  run(uav, 1.0);
+  uav.link().base_send({"cmd", "takeoff 1.0"}, uav.now());
+  run_with_setpoints(uav, {1.5, 1.5, 1.0}, 5.0);
+  EXPECT_LT(uav.estimated_position().distance_to(uav.true_position()), 0.3);
+}
+
+TEST(Crazyflie, ScanProducesTelemetryThroughRadioOffWindow) {
+  Crazyflie uav = make_uav();
+  run(uav, 1.0);
+  uav.link().base_send({"cmd", "takeoff 1.0"}, uav.now());
+  run_with_setpoints(uav, {1.5, 1.5, 1.0}, 3.0);
+  (void)uav.link().base_receive(uav.now());  // drain state telemetry
+
+  // The paper's sequence: scan command, radio off, wait, radio on, fetch.
+  uav.link().base_send({"cmd", "scan 7"}, uav.now());
+  run(uav, 0.2);
+  uav.link().set_radio_enabled(false, uav.now());
+  run(uav, 3.0);
+  uav.link().set_radio_enabled(true, uav.now());
+  run(uav, 0.5);
+
+  EXPECT_EQ(uav.completed_scans(), 1u);
+  bool saw_meta = false;
+  int results = 0;
+  for (const CrtpPacket& p : uav.link().base_receive(uav.now())) {
+    if (p.payload.rfind("scanmeta 7", 0) == 0) saw_meta = true;
+    if (p.payload.rfind("scanres 7", 0) == 0) ++results;
+  }
+  EXPECT_TRUE(saw_meta);
+  EXPECT_GT(results, 5);
+  EXPECT_EQ(uav.link().tx_queue_drops(), 0u);
+}
+
+TEST(Crazyflie, HoldsPositionDuringRadioOffScan) {
+  Crazyflie uav = make_uav();
+  run(uav, 1.0);
+  uav.link().base_send({"cmd", "takeoff 1.0"}, uav.now());
+  run_with_setpoints(uav, {1.5, 1.5, 1.0}, 3.0);
+  const geom::Vec3 before = uav.true_position();
+
+  uav.link().base_send({"cmd", "scan 0"}, uav.now());
+  run(uav, 0.2);
+  uav.link().set_radio_enabled(false, uav.now());
+  run(uav, 3.0);  // no setpoints from the base during this window
+  uav.link().set_radio_enabled(true, uav.now());
+
+  // The deck's 100 ms hold task must have kept the UAV in place and flying.
+  EXPECT_TRUE(uav.flying());
+  EXPECT_LT(uav.true_position().distance_to(before), 0.4);
+}
+
+TEST(Crazyflie, WatchdogCutsMotorsWithoutHoldTask) {
+  // Without a scan (hence without the hold task), a long radio-off window
+  // exceeds the commander WDT and the platform shuts down.
+  CrazyflieConfig config;
+  config.commander.wdt_timeout_shutdown_s = 2.0;  // stock firmware value
+  Crazyflie uav = make_uav(config);
+  run(uav, 1.0);
+  uav.link().base_send({"cmd", "takeoff 1.0"}, uav.now());
+  run_with_setpoints(uav, {1.5, 1.5, 1.0}, 2.0);
+  ASSERT_TRUE(uav.flying());
+  uav.link().set_radio_enabled(false, uav.now());
+  run(uav, 3.0);
+  EXPECT_FALSE(uav.flying());
+  EXPECT_EQ(uav.commander().mode(), CommanderMode::EmergencyStop);
+}
+
+TEST(Crazyflie, ScanIgnoredWhileAlreadyScanning) {
+  Crazyflie uav = make_uav();
+  run(uav, 1.0);
+  uav.link().base_send({"cmd", "takeoff 1.0"}, uav.now());
+  run_with_setpoints(uav, {1.5, 1.5, 1.0}, 3.0);
+  uav.link().base_send({"cmd", "scan 1"}, uav.now());
+  run(uav, 0.3);
+  uav.link().base_send({"cmd", "scan 2"}, uav.now());  // rejected: deck busy
+  run(uav, 4.0);
+  EXPECT_EQ(uav.completed_scans(), 1u);
+}
+
+TEST(Crazyflie, LandingCutsMotorsNearFloor) {
+  Crazyflie uav = make_uav();
+  run(uav, 1.0);
+  uav.link().base_send({"cmd", "takeoff 1.0"}, uav.now());
+  run_with_setpoints(uav, {1.5, 1.5, 1.0}, 3.0);
+  for (int i = 0; i < 600; ++i) {
+    if (i % 20 == 0) uav.link().base_send({"cmd", "land"}, uav.now());
+    uav.step(0.01);
+    if (!uav.flying()) break;
+  }
+  EXPECT_FALSE(uav.flying());
+  EXPECT_LT(uav.true_position().z, 0.25);
+}
+
+TEST(Crazyflie, StopCommandIsImmediate) {
+  Crazyflie uav = make_uav();
+  run(uav, 1.0);
+  uav.link().base_send({"cmd", "takeoff 1.0"}, uav.now());
+  run_with_setpoints(uav, {1.5, 1.5, 1.0}, 2.0);
+  uav.link().base_send({"cmd", "stop"}, uav.now());
+  run(uav, 0.1);
+  EXPECT_FALSE(uav.flying());
+}
+
+TEST(Crazyflie, InterferenceFollowsRadioState) {
+  Crazyflie uav = make_uav();
+  run(uav, 0.5);
+  EXPECT_TRUE(uav.interference().enabled());
+  uav.link().set_radio_enabled(false, uav.now());
+  run(uav, 0.1);
+  EXPECT_FALSE(uav.interference().enabled());
+  uav.link().set_radio_enabled(true, uav.now());
+  run(uav, 0.1);
+  EXPECT_TRUE(uav.interference().enabled());
+}
+
+TEST(Crazyflie, BatteryDrainsFasterInFlight) {
+  Crazyflie grounded = make_uav();
+  run(grounded, 5.0);
+  const double grounded_use = grounded.battery().consumed_mah();
+
+  Crazyflie flying = make_uav();
+  run(flying, 1.0);
+  flying.link().base_send({"cmd", "takeoff 1.0"}, flying.now());
+  run_with_setpoints(flying, {1.0, 1.0, 1.0}, 4.0);
+  EXPECT_GT(flying.battery().consumed_mah(), 3.0 * grounded_use);
+}
+
+TEST(Crazyflie, StateTelemetryOnlyWhenRadioOn) {
+  Crazyflie uav = make_uav();
+  run(uav, 1.5);
+  EXPECT_FALSE(uav.link().base_receive(uav.now()).empty());
+  uav.link().set_radio_enabled(false, uav.now());
+  run(uav, 2.0);
+  uav.link().set_radio_enabled(true, uav.now());
+  // No queued state telemetry should flood in from the off-window.
+  std::size_t state_packets = 0;
+  for (const CrtpPacket& p : uav.link().base_receive(uav.now())) {
+    if (p.payload.rfind("state", 0) == 0) ++state_packets;
+  }
+  EXPECT_LE(state_packets, 1u);
+}
+
+}  // namespace
+}  // namespace remgen::uav

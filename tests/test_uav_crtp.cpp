@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include "uav/crtp.hpp"
+
+namespace remgen::uav {
+namespace {
+
+CrtpConfig lossless(std::size_t queue = 16) {
+  CrtpConfig config;
+  config.tx_queue_size = queue;
+  config.loss_probability = 0.0;
+  config.latency_s = 0.001;
+  return config;
+}
+
+TEST(Crtp, UavToBaseDelivery) {
+  CrtpLink link(lossless(), util::Rng(1));
+  EXPECT_TRUE(link.uav_send({"tlm", "hello"}, 0.0));
+  EXPECT_TRUE(link.base_receive(0.0).empty());  // latency not yet elapsed
+  const auto packets = link.base_receive(0.01);
+  ASSERT_EQ(packets.size(), 1u);
+  EXPECT_EQ(packets[0].payload, "hello");
+  EXPECT_EQ(packets[0].port, "tlm");
+}
+
+TEST(Crtp, BaseToUavDelivery) {
+  CrtpLink link(lossless(), util::Rng(1));
+  EXPECT_TRUE(link.base_send({"cmd", "takeoff 1.0"}, 0.0));
+  const auto packets = link.uav_receive(0.01);
+  ASSERT_EQ(packets.size(), 1u);
+  EXPECT_EQ(packets[0].payload, "takeoff 1.0");
+}
+
+TEST(Crtp, OrderingPreserved) {
+  CrtpLink link(lossless(), util::Rng(1));
+  for (int i = 0; i < 5; ++i) {
+    link.uav_send({"tlm", std::to_string(i)}, 0.0);
+  }
+  const auto packets = link.base_receive(1.0);
+  ASSERT_EQ(packets.size(), 5u);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(packets[i].payload, std::to_string(i));
+}
+
+TEST(Crtp, BaseSendFailsWhenRadioOff) {
+  CrtpLink link(lossless(), util::Rng(1));
+  link.set_radio_enabled(false, 0.0);
+  EXPECT_FALSE(link.base_send({"cmd", "goto 1 1 1"}, 0.1));
+  EXPECT_EQ(link.link_drops(), 1u);
+  link.set_radio_enabled(true, 0.2);
+  EXPECT_TRUE(link.uav_receive(1.0).empty());  // the packet is gone
+}
+
+TEST(Crtp, UavSendQueuesWhileRadioOff) {
+  CrtpLink link(lossless(), util::Rng(1));
+  link.set_radio_enabled(false, 0.0);
+  EXPECT_TRUE(link.uav_send({"tlm", "queued"}, 0.1));
+  EXPECT_EQ(link.tx_queue_depth(), 1u);
+  EXPECT_TRUE(link.base_receive(10.0).empty());  // not delivered while off
+
+  link.set_radio_enabled(true, 1.0);
+  EXPECT_EQ(link.tx_queue_depth(), 0u);
+  const auto packets = link.base_receive(1.1);
+  ASSERT_EQ(packets.size(), 1u);
+  EXPECT_EQ(packets[0].payload, "queued");
+}
+
+TEST(Crtp, QueueOverflowDropsNewestAndCounts) {
+  CrtpLink link(lossless(/*queue=*/3), util::Rng(1));
+  link.set_radio_enabled(false, 0.0);
+  for (int i = 0; i < 5; ++i) {
+    link.uav_send({"tlm", std::to_string(i)}, 0.1);
+  }
+  EXPECT_EQ(link.tx_queue_depth(), 3u);
+  EXPECT_EQ(link.tx_queue_drops(), 2u);
+  link.set_radio_enabled(true, 1.0);
+  const auto packets = link.base_receive(2.0);
+  ASSERT_EQ(packets.size(), 3u);
+  EXPECT_EQ(packets[0].payload, "0");  // oldest survive
+  EXPECT_EQ(packets[2].payload, "2");
+}
+
+TEST(Crtp, FlushPreservesOrderAcrossLiveTraffic) {
+  CrtpLink link(lossless(), util::Rng(1));
+  link.set_radio_enabled(false, 0.0);
+  link.uav_send({"tlm", "first"}, 0.1);
+  link.uav_send({"tlm", "second"}, 0.2);
+  link.set_radio_enabled(true, 1.0);
+  link.uav_send({"tlm", "third"}, 1.0);
+  const auto packets = link.base_receive(2.0);
+  ASSERT_EQ(packets.size(), 3u);
+  EXPECT_EQ(packets[0].payload, "first");
+  EXPECT_EQ(packets[1].payload, "second");
+  EXPECT_EQ(packets[2].payload, "third");
+}
+
+TEST(Crtp, RandomLossIsCounted) {
+  CrtpConfig config = lossless();
+  config.loss_probability = 0.5;
+  CrtpLink link(config, util::Rng(7));
+  int delivered = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (link.uav_send({"tlm", "x"}, 0.0)) ++delivered;
+  }
+  EXPECT_GT(delivered, 350);
+  EXPECT_LT(delivered, 650);
+  EXPECT_EQ(link.link_drops(), 1000u - static_cast<std::size_t>(delivered));
+}
+
+TEST(Crtp, RadioToggleIdempotent) {
+  CrtpLink link(lossless(), util::Rng(1));
+  link.set_radio_enabled(true, 0.0);  // already on: no-op
+  link.set_radio_enabled(false, 0.1);
+  link.set_radio_enabled(false, 0.2);  // already off: no-op
+  EXPECT_FALSE(link.radio_enabled());
+}
+
+}  // namespace
+}  // namespace remgen::uav

@@ -1,0 +1,139 @@
+// Deck self-healing: a receiver-driver error must not brick the deck for the
+// rest of the flight — the firmware re-runs the init handshake after a short
+// backoff and later scans succeed. Verified with a scripted flaky deck
+// implementing the public four-instruction contract.
+#include <gtest/gtest.h>
+
+#include "radio/scenario.hpp"
+#include "uav/crazyflie.hpp"
+#include "util/fmt.hpp"
+#include "uwb/anchor.hpp"
+
+namespace remgen::uav {
+namespace {
+
+const radio::Scenario& scenario() {
+  static util::Rng rng(888);
+  static radio::Scenario s = radio::Scenario::make_apartment(rng);
+  return s;
+}
+
+/// A deck whose first `failures` measurements die with a driver error; all
+/// later ones deliver one tuple after a short delay.
+class FlakyDeck final : public RemReceiverDeck {
+ public:
+  explicit FlakyDeck(int failures) : failures_remaining_(failures) {}
+
+  void initialize(double /*now_s*/) override {
+    ++init_calls_;
+    state_ = DeckState::Ready;
+  }
+  [[nodiscard]] DeckState state() const override { return state_; }
+  bool start_measurement(double now_s) override {
+    if (state_ != DeckState::Ready) return false;
+    state_ = DeckState::Measuring;
+    done_at_ = now_s + 0.5;
+    return true;
+  }
+  [[nodiscard]] std::vector<scanner::ScanTuple> parse_results() override {
+    state_ = DeckState::Ready;
+    scanner::ScanTuple tuple;
+    tuple.ssid = "flaky-net";
+    tuple.rssi_dbm = -70;
+    tuple.mac = *radio::MacAddress::parse("02:00:00:00:00:77");
+    tuple.channel = 6;
+    return {tuple};
+  }
+  void step(double now_s) override {
+    if (state_ == DeckState::Measuring && now_s >= done_at_) {
+      if (failures_remaining_ > 0) {
+        --failures_remaining_;
+        state_ = DeckState::Error;  // driver timeout / garbled reply
+      } else {
+        state_ = DeckState::ResultsReady;
+      }
+    }
+  }
+  void set_position_provider(std::function<geom::Vec3()>) override {}
+  void set_interference(const radio::CrazyradioInterference*) override {}
+  [[nodiscard]] double scan_duration_s() const override { return 0.5; }
+
+  [[nodiscard]] int init_calls() const noexcept { return init_calls_; }
+
+ private:
+  DeckState state_ = DeckState::Uninitialized;
+  int failures_remaining_;
+  double done_at_ = 0.0;
+  int init_calls_ = 0;
+};
+
+Crazyflie make_uav_with_deck(std::unique_ptr<RemReceiverDeck> deck) {
+  CrazyflieConfig config;
+  auto positioning = std::make_unique<uwb::LocoPositioningSystem>(
+      uwb::corner_anchors(scenario().scan_volume()), &scenario().floorplan(), config.lps,
+      util::Rng(6));
+  return Crazyflie(0, scenario().environment(), std::move(positioning), config,
+                   {1.5, 1.5, 0.0}, util::Rng(8), std::move(deck));
+}
+
+void fly_and_scan(Crazyflie& uav, int waypoint, int steps) {
+  uav.link().base_send({"cmd", util::format("scan {}", waypoint)}, uav.now());
+  for (int i = 0; i < steps; ++i) {
+    if (i % 20 == 0) uav.link().base_send({"cmd", "goto 1.5 1.5 1.0"}, uav.now());
+    uav.step(0.01);
+  }
+}
+
+TEST(DeckRecovery, ErrorEpisodeIsHealedByReinit) {
+  auto deck = std::make_unique<FlakyDeck>(/*failures=*/1);
+  FlakyDeck* flaky = deck.get();
+  Crazyflie uav = make_uav_with_deck(std::move(deck));
+  for (int i = 0; i < 20; ++i) uav.step(0.01);
+  uav.link().base_send({"cmd", "takeoff 1.0"}, uav.now());
+  for (int i = 0; i < 100; ++i) {
+    if (i % 20 == 0) uav.link().base_send({"cmd", "goto 1.5 1.5 1.0"}, uav.now());
+    uav.step(0.01);
+  }
+  ASSERT_EQ(uav.deck().state(), DeckState::Ready);
+  const int inits_before = flaky->init_calls();
+
+  // First scan fails; the firmware must re-init the deck within ~1 s.
+  fly_and_scan(uav, 0, 200);
+  EXPECT_EQ(uav.completed_scans(), 0u);
+  EXPECT_EQ(uav.deck().state(), DeckState::Ready);
+  EXPECT_GT(flaky->init_calls(), inits_before);
+
+  // Second scan succeeds on the healed deck.
+  fly_and_scan(uav, 1, 200);
+  EXPECT_EQ(uav.completed_scans(), 1u);
+}
+
+TEST(DeckRecovery, RepeatedFailuresKeepRetrying) {
+  auto deck = std::make_unique<FlakyDeck>(/*failures=*/3);
+  Crazyflie uav = make_uav_with_deck(std::move(deck));
+  for (int i = 0; i < 20; ++i) uav.step(0.01);
+  uav.link().base_send({"cmd", "takeoff 1.0"}, uav.now());
+  for (int i = 0; i < 100; ++i) {
+    if (i % 20 == 0) uav.link().base_send({"cmd", "goto 1.5 1.5 1.0"}, uav.now());
+    uav.step(0.01);
+  }
+  for (int wp = 0; wp < 4; ++wp) fly_and_scan(uav, wp, 200);
+  // Three failures healed, the fourth scan finally lands.
+  EXPECT_EQ(uav.completed_scans(), 1u);
+  EXPECT_EQ(uav.deck().state(), DeckState::Ready);
+}
+
+TEST(DeckRecovery, HealthyDeckIsNeverReinitialized) {
+  auto deck = std::make_unique<FlakyDeck>(/*failures=*/0);
+  FlakyDeck* flaky = deck.get();
+  Crazyflie uav = make_uav_with_deck(std::move(deck));
+  for (int i = 0; i < 20; ++i) uav.step(0.01);
+  const int inits_after_boot = flaky->init_calls();
+  uav.link().base_send({"cmd", "takeoff 1.0"}, uav.now());
+  for (int wp = 0; wp < 3; ++wp) fly_and_scan(uav, wp, 200);
+  EXPECT_EQ(uav.completed_scans(), 3u);
+  EXPECT_EQ(flaky->init_calls(), inits_after_boot);
+}
+
+}  // namespace
+}  // namespace remgen::uav

@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include "uav/dynamics.hpp"
+
+namespace remgen::uav {
+namespace {
+
+DynamicsConfig quiet_config() {
+  DynamicsConfig config;
+  config.hover_jitter_mps2 = 0.0;  // deterministic for most tests
+  return config;
+}
+
+TEST(Dynamics, StartsAtInitialPosition) {
+  QuadrotorDynamics dyn(quiet_config(), {1.0, 2.0, 0.5});
+  EXPECT_EQ(dyn.position(), geom::Vec3(1.0, 2.0, 0.5));
+  EXPECT_EQ(dyn.velocity(), geom::Vec3());
+}
+
+TEST(Dynamics, TracksVelocityCommand) {
+  QuadrotorDynamics dyn(quiet_config(), {});
+  util::Rng rng(1);
+  for (int i = 0; i < 300; ++i) dyn.step(0.01, {0.5, 0.0, 0.0}, false, rng);
+  EXPECT_NEAR(dyn.velocity().x, 0.5, 0.05);
+  EXPECT_GT(dyn.position().x, 1.0);
+}
+
+TEST(Dynamics, SpeedClampedToEnvelope) {
+  DynamicsConfig config = quiet_config();
+  config.max_speed_mps = 1.0;
+  QuadrotorDynamics dyn(config, {});
+  util::Rng rng(1);
+  for (int i = 0; i < 500; ++i) dyn.step(0.01, {100.0, 0.0, 0.0}, false, rng);
+  EXPECT_LE(dyn.velocity().norm(), 1.05);
+}
+
+TEST(Dynamics, AccelerationLimited) {
+  DynamicsConfig config = quiet_config();
+  config.max_accel_mps2 = 2.0;
+  QuadrotorDynamics dyn(config, {});
+  util::Rng rng(1);
+  dyn.step(0.01, {100.0, 0.0, 0.0}, false, rng);
+  EXPECT_LE(dyn.acceleration().norm(), 2.0 + 1e-9);
+}
+
+TEST(Dynamics, HaltZeroesMotion) {
+  QuadrotorDynamics dyn(quiet_config(), {});
+  util::Rng rng(1);
+  for (int i = 0; i < 100; ++i) dyn.step(0.01, {1.0, 1.0, 0.0}, false, rng);
+  dyn.halt();
+  EXPECT_EQ(dyn.velocity(), geom::Vec3());
+  EXPECT_EQ(dyn.acceleration(), geom::Vec3());
+}
+
+TEST(Dynamics, ErraticModeIsNoisier) {
+  DynamicsConfig config;
+  config.hover_jitter_mps2 = 0.05;
+  config.erratic_jitter_mps2 = 3.0;
+
+  auto wander = [&](bool erratic) {
+    QuadrotorDynamics dyn(config, {});
+    util::Rng rng(17);
+    double max_dev = 0.0;
+    for (int i = 0; i < 1000; ++i) {
+      dyn.step(0.01, {}, erratic, rng);
+      max_dev = std::max(max_dev, dyn.position().norm());
+    }
+    return max_dev;
+  };
+  EXPECT_GT(wander(true), 3.0 * wander(false));
+}
+
+TEST(Dynamics, ZeroCommandDecaysVelocity) {
+  QuadrotorDynamics dyn(quiet_config(), {});
+  util::Rng rng(1);
+  for (int i = 0; i < 200; ++i) dyn.step(0.01, {1.0, 0.0, 0.0}, false, rng);
+  const double moving = dyn.velocity().norm();
+  for (int i = 0; i < 300; ++i) dyn.step(0.01, {}, false, rng);
+  EXPECT_LT(dyn.velocity().norm(), 0.05 * moving);
+}
+
+}  // namespace
+}  // namespace remgen::uav

@@ -1,0 +1,114 @@
+// The technology-agnostic deck contract, exercised polymorphically over both
+// receiver technologies, plus Crazyflie integration with each deck kind.
+#include <gtest/gtest.h>
+
+#include "radio/scenario.hpp"
+#include "uav/crazyflie.hpp"
+#include "uav/remdeck.hpp"
+#include "util/fmt.hpp"
+#include "uwb/anchor.hpp"
+
+namespace remgen::uav {
+namespace {
+
+const radio::Scenario& scenario() {
+  static util::Rng rng(777);
+  static radio::Scenario s = radio::Scenario::make_apartment(rng);
+  return s;
+}
+
+std::unique_ptr<RemReceiverDeck> make_deck(bool ble) {
+  if (ble) {
+    return std::make_unique<BleScannerDeck>(scenario().ble_environment(),
+                                            scanner::BleModuleConfig{}, util::Rng(5));
+  }
+  return std::make_unique<WifiScannerDeck>(scenario().environment(), scanner::Esp8266Config{},
+                                           util::Rng(5));
+}
+
+class DeckContract : public ::testing::TestWithParam<bool> {};
+
+TEST_P(DeckContract, FourInstructionLifecycle) {
+  const std::unique_ptr<RemReceiverDeck> deck = make_deck(GetParam());
+  deck->set_position_provider([] { return geom::Vec3{1.8, 1.6, 1.0}; });
+
+  // (i) initialize.
+  deck->initialize(0.0);
+  double now = 0.0;
+  for (int i = 0; i < 100 && deck->state() != DeckState::Ready; ++i) {
+    now += 0.01;
+    deck->step(now);
+  }
+  ASSERT_EQ(deck->state(), DeckState::Ready);
+
+  // (iii) measure.
+  ASSERT_TRUE(deck->start_measurement(now));
+  EXPECT_EQ(deck->state(), DeckState::Measuring);
+  EXPECT_FALSE(deck->start_measurement(now));  // busy
+
+  // (ii) check state until results are ready.
+  const double deadline = now + deck->scan_duration_s() + 1.0;
+  while (now < deadline && deck->state() == DeckState::Measuring) {
+    now += 0.01;
+    deck->step(now);
+  }
+  ASSERT_EQ(deck->state(), DeckState::ResultsReady);
+
+  // (iv) parse.
+  const std::vector<scanner::ScanTuple> results = deck->parse_results();
+  EXPECT_FALSE(results.empty());
+  for (const scanner::ScanTuple& t : results) {
+    EXPECT_LT(t.rssi_dbm, 0);
+    EXPECT_GT(t.rssi_dbm, -100);
+    EXPECT_GT(t.channel, 0);
+  }
+  EXPECT_EQ(deck->state(), DeckState::Ready);
+
+  // A second measurement works identically.
+  ASSERT_TRUE(deck->start_measurement(now));
+}
+
+TEST_P(DeckContract, ReportsScanDuration) {
+  const std::unique_ptr<RemReceiverDeck> deck = make_deck(GetParam());
+  EXPECT_GT(deck->scan_duration_s(), 0.5);
+  EXPECT_LT(deck->scan_duration_s(), 5.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(WifiAndBle, DeckContract, ::testing::Values(false, true),
+                         [](const auto& info) { return info.param ? "Ble" : "Wifi"; });
+
+TEST(CrazyflieWithBleDeck, FullScanFlow) {
+  CrazyflieConfig config;
+  auto positioning = std::make_unique<uwb::LocoPositioningSystem>(
+      uwb::corner_anchors(scenario().scan_volume()), &scenario().floorplan(), config.lps,
+      util::Rng(6));
+  auto deck = std::make_unique<BleScannerDeck>(scenario().ble_environment(),
+                                               scanner::BleModuleConfig{}, util::Rng(7));
+  Crazyflie uav(0, scenario().environment(), std::move(positioning), config, {1.0, 1.0, 0.0},
+                util::Rng(8), std::move(deck));
+
+  for (int i = 0; i < 100; ++i) uav.step(0.01);
+  uav.link().base_send({"cmd", "takeoff 1.0"}, uav.now());
+  for (int i = 0; i < 300; ++i) {
+    if (i % 20 == 0) uav.link().base_send({"cmd", "goto 1.5 1.5 1.0"}, uav.now());
+    uav.step(0.01);
+  }
+  (void)uav.link().base_receive(uav.now());
+
+  uav.link().base_send({"cmd", "scan 3"}, uav.now());
+  for (int i = 0; i < 30; ++i) uav.step(0.01);
+  uav.link().set_radio_enabled(false, uav.now());
+  for (int i = 0; i < 250; ++i) uav.step(0.01);
+  uav.link().set_radio_enabled(true, uav.now());
+  for (int i = 0; i < 50; ++i) uav.step(0.01);
+
+  EXPECT_EQ(uav.completed_scans(), 1u);
+  int ble_results = 0;
+  for (const CrtpPacket& p : uav.link().base_receive(uav.now())) {
+    if (p.payload.rfind("scanres 3", 0) == 0) ++ble_results;
+  }
+  EXPECT_GT(ble_results, 2);
+}
+
+}  // namespace
+}  // namespace remgen::uav

@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include "util/args.hpp"
+
+namespace remgen::util {
+namespace {
+
+std::optional<Args> parse(std::vector<const char*> argv,
+                          const std::set<std::string>& values = {"in", "out", "seed"},
+                          const std::set<std::string>& flags = {"verbose"},
+                          std::string* error = nullptr) {
+  argv.insert(argv.begin(), "remgen");
+  return Args::parse(static_cast<int>(argv.size()), argv.data(), values, flags, error);
+}
+
+TEST(ArgsTest, CommandOnly) {
+  const auto args = parse({"campaign"});
+  ASSERT_TRUE(args.has_value());
+  EXPECT_EQ(args->command(), "campaign");
+}
+
+TEST(ArgsTest, NoCommand) {
+  const auto args = parse({});
+  ASSERT_TRUE(args.has_value());
+  EXPECT_TRUE(args->command().empty());
+}
+
+TEST(ArgsTest, ValuesAndFlags) {
+  const auto args = parse({"run", "--in", "a.csv", "--verbose", "--seed", "42"});
+  ASSERT_TRUE(args.has_value());
+  EXPECT_EQ(args->value("in"), "a.csv");
+  EXPECT_TRUE(args->flag("verbose"));
+  EXPECT_FALSE(args->flag("quiet"));
+  EXPECT_EQ(args->value_int("seed", 0), 42);
+  EXPECT_TRUE(args->has("seed"));
+  EXPECT_FALSE(args->has("out"));
+}
+
+TEST(ArgsTest, Fallbacks) {
+  const auto args = parse({"run"});
+  ASSERT_TRUE(args.has_value());
+  EXPECT_EQ(args->value("in", "default.csv"), "default.csv");
+  EXPECT_EQ(args->value_int("seed", 7), 7);
+  EXPECT_DOUBLE_EQ(args->value_double("seed", 2.5), 2.5);
+}
+
+TEST(ArgsTest, UnknownOptionRejected) {
+  std::string error;
+  EXPECT_FALSE(parse({"run", "--bogus", "1"}, {"in"}, {}, &error).has_value());
+  EXPECT_NE(error.find("bogus"), std::string::npos);
+}
+
+TEST(ArgsTest, MissingValueRejected) {
+  std::string error;
+  EXPECT_FALSE(parse({"run", "--in"}, {"in"}, {}, &error).has_value());
+  EXPECT_NE(error.find("needs a value"), std::string::npos);
+}
+
+TEST(ArgsTest, PositionalAfterCommandRejected) {
+  std::string error;
+  EXPECT_FALSE(parse({"run", "stray"}, {}, {}, &error).has_value());
+}
+
+TEST(ArgsTest, UnparseableNumberFallsBack) {
+  const auto args = parse({"run", "--seed", "notanumber"});
+  ASSERT_TRUE(args.has_value());
+  EXPECT_EQ(args->value_int("seed", -1), -1);
+}
+
+TEST(SplitList, Basic) {
+  EXPECT_EQ(split_list("a,b,c"), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split_list("6x4x3", 'x'), (std::vector<std::string>{"6", "4", "3"}));
+}
+
+TEST(SplitList, DropsEmptyPieces) {
+  EXPECT_EQ(split_list(",a,,b,"), (std::vector<std::string>{"a", "b"}));
+  EXPECT_TRUE(split_list("").empty());
+}
+
+}  // namespace
+}  // namespace remgen::util

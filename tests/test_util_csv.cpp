@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/csv.hpp"
+
+namespace remgen::util {
+namespace {
+
+TEST(CsvParse, SimpleTable) {
+  const CsvTable t = parse_csv("a,b,c\n1,2,3\n4,5,6\n");
+  ASSERT_EQ(t.header.size(), 3u);
+  EXPECT_EQ(t.header[0], "a");
+  ASSERT_EQ(t.rows.size(), 2u);
+  EXPECT_EQ(t.rows[0][1], "2");
+  EXPECT_EQ(t.rows[1][2], "6");
+}
+
+TEST(CsvParse, MissingTrailingNewline) {
+  const CsvTable t = parse_csv("h1,h2\nx,y");
+  ASSERT_EQ(t.rows.size(), 1u);
+  EXPECT_EQ(t.rows[0][1], "y");
+}
+
+TEST(CsvParse, QuotedFieldWithComma) {
+  const CsvTable t = parse_csv("h\n\"a,b\"\n");
+  EXPECT_EQ(t.rows[0][0], "a,b");
+}
+
+TEST(CsvParse, QuotedFieldWithEscapedQuote) {
+  const CsvTable t = parse_csv("h\n\"say \"\"hi\"\"\"\n");
+  EXPECT_EQ(t.rows[0][0], "say \"hi\"");
+}
+
+TEST(CsvParse, QuotedFieldWithNewline) {
+  const CsvTable t = parse_csv("h\n\"line1\nline2\"\n");
+  ASSERT_EQ(t.rows.size(), 1u);
+  EXPECT_EQ(t.rows[0][0], "line1\nline2");
+}
+
+TEST(CsvParse, ToleratesCrlf) {
+  const CsvTable t = parse_csv("a,b\r\n1,2\r\n");
+  ASSERT_EQ(t.rows.size(), 1u);
+  EXPECT_EQ(t.rows[0][0], "1");
+}
+
+TEST(CsvParse, EmptyFields) {
+  const CsvTable t = parse_csv("a,b,c\n,,\n");
+  ASSERT_EQ(t.rows.size(), 1u);
+  EXPECT_EQ(t.rows[0][0], "");
+  EXPECT_EQ(t.rows[0][2], "");
+}
+
+TEST(CsvParse, EmptyInputYieldsEmptyTable) {
+  const CsvTable t = parse_csv("");
+  EXPECT_TRUE(t.header.empty());
+  EXPECT_TRUE(t.rows.empty());
+}
+
+TEST(CsvParse, UnterminatedQuoteThrows) {
+  EXPECT_THROW((void)parse_csv("h\n\"oops\n"), std::runtime_error);
+}
+
+TEST(CsvParse, QuoteInsideUnquotedFieldThrows) {
+  EXPECT_THROW((void)parse_csv("h\nab\"cd\n"), std::runtime_error);
+}
+
+TEST(CsvTableTest, ColumnIndex) {
+  const CsvTable t = parse_csv("x,y,z\n1,2,3\n");
+  EXPECT_EQ(t.column_index("x"), 0);
+  EXPECT_EQ(t.column_index("z"), 2);
+  EXPECT_EQ(t.column_index("missing"), -1);
+}
+
+TEST(CsvEscape, PlainFieldUnchanged) { EXPECT_EQ(csv_escape("hello"), "hello"); }
+
+TEST(CsvEscape, CommaTriggersQuoting) { EXPECT_EQ(csv_escape("a,b"), "\"a,b\""); }
+
+TEST(CsvEscape, QuoteDoubling) { EXPECT_EQ(csv_escape("a\"b"), "\"a\"\"b\""); }
+
+TEST(CsvEscape, NewlineTriggersQuoting) { EXPECT_EQ(csv_escape("a\nb"), "\"a\nb\""); }
+
+TEST(CsvWriterTest, RoundTrip) {
+  std::ostringstream out;
+  CsvWriter writer(out);
+  writer.write_row({"name", "value"});
+  writer.write_row({"with,comma", "with\"quote"});
+  writer.write_row({"plain", "multi\nline"});
+
+  const CsvTable t = parse_csv(out.str());
+  ASSERT_EQ(t.rows.size(), 2u);
+  EXPECT_EQ(t.rows[0][0], "with,comma");
+  EXPECT_EQ(t.rows[0][1], "with\"quote");
+  EXPECT_EQ(t.rows[1][1], "multi\nline");
+}
+
+TEST(CsvFile, MissingFileThrows) {
+  EXPECT_THROW((void)read_csv_file("/nonexistent/path/file.csv"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace remgen::util

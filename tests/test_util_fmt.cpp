@@ -1,0 +1,76 @@
+#include <gtest/gtest.h>
+
+#include "util/fmt.hpp"
+
+namespace remgen::util {
+namespace {
+
+TEST(Format, PlainText) { EXPECT_EQ(format("hello"), "hello"); }
+
+TEST(Format, SingleArgument) { EXPECT_EQ(format("x = {}", 42), "x = 42"); }
+
+TEST(Format, MultipleArguments) {
+  EXPECT_EQ(format("{} + {} = {}", 1, 2, 3), "1 + 2 = 3");
+}
+
+TEST(Format, StringArguments) {
+  EXPECT_EQ(format("{} {}", std::string("a"), "b"), "a b");
+  EXPECT_EQ(format("{}", std::string_view("sv")), "sv");
+}
+
+TEST(Format, Bool) { EXPECT_EQ(format("{} {}", true, false), "true false"); }
+
+TEST(Format, NegativeIntegers) { EXPECT_EQ(format("{}", -17), "-17"); }
+
+TEST(Format, UnsignedAndSizeT) {
+  EXPECT_EQ(format("{}", std::size_t{18446744073709551615ull}), "18446744073709551615");
+}
+
+TEST(Format, FloatDefaultPrecision) { EXPECT_EQ(format("{}", 1.5), "1.500000"); }
+
+TEST(Format, FloatExplicitPrecision) {
+  EXPECT_EQ(format("{:.2f}", 3.14159), "3.14");
+  EXPECT_EQ(format("{:.0f}", 2.71), "3");
+}
+
+TEST(Format, ScientificAndGeneral) {
+  EXPECT_EQ(format("{:.2e}", 12345.0), "1.23e+04");
+  EXPECT_EQ(format("{:.3g}", 12345.0), "1.23e+04");
+}
+
+TEST(Format, HexLowerUpper) {
+  EXPECT_EQ(format("{:x}", 255), "ff");
+  EXPECT_EQ(format("{:X}", 255), "FF");
+}
+
+TEST(Format, ZeroPaddedHex) { EXPECT_EQ(format("{:02x}", 5), "05"); }
+
+TEST(Format, ZeroPaddedInt) { EXPECT_EQ(format("{:03d}", 7), "007"); }
+
+TEST(Format, ZeroPadRespectsSign) { EXPECT_EQ(format("{:05d}", -42), "-0042"); }
+
+TEST(Format, WidthPadsWithSpacesForStrings) { EXPECT_EQ(format("{:5}", "ab"), "   ab"); }
+
+TEST(Format, BraceEscapes) {
+  EXPECT_EQ(format("{{}}"), "{}");
+  EXPECT_EQ(format("{{{}}}", 1), "{1}");
+}
+
+TEST(Format, TooFewArgumentsThrows) {
+  EXPECT_THROW((void)format("{} {}", 1), std::runtime_error);
+}
+
+TEST(Format, UnmatchedBraceThrows) {
+  EXPECT_THROW((void)format("{oops", 1), std::runtime_error);
+}
+
+TEST(Format, ExtraArgumentsAreIgnored) {
+  EXPECT_EQ(format("{}", 1, 2, 3), "1");
+}
+
+TEST(Format, PrecisionOnFloatWithWidth) {
+  EXPECT_EQ(format("{:8.2f}", 3.14159), "    3.14");
+}
+
+}  // namespace
+}  // namespace remgen::util

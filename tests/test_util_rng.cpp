@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace remgen::util {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.bits(), b.bits());
+  }
+}
+
+TEST(Rng, DifferentSeedsDifferentStreams) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.bits() == b.bits()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, ForkIsDeterministic) {
+  Rng a(7);
+  Rng b(7);
+  Rng child_a = a.fork("component");
+  Rng child_b = b.fork("component");
+  EXPECT_EQ(child_a.bits(), child_b.bits());
+}
+
+TEST(Rng, ForkTagDecorrelates) {
+  Rng parent(7);
+  Rng c1 = parent.fork("alpha");
+  Rng parent2(7);
+  Rng c2 = parent2.fork("beta");
+  EXPECT_NE(c1.bits(), c2.bits());
+}
+
+TEST(Rng, ForkedChildIndependentOfParentContinuation) {
+  Rng parent(9);
+  Rng child = parent.fork("x");
+  const std::uint64_t first = child.bits();
+  // Drawing more from the parent must not change what the child produced.
+  (void)parent.bits();
+  Rng parent_again(9);
+  Rng child_again = parent_again.fork("x");
+  EXPECT_EQ(child_again.bits(), first);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(-2.5, 7.5);
+    EXPECT_GE(v, -2.5);
+    EXPECT_LT(v, 7.5);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(3);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t v = rng.uniform_int(1, 6);
+    EXPECT_GE(v, 1);
+    EXPECT_LE(v, 6);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 6u);  // all faces of the die appear
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(11);
+  OnlineStats stats;
+  for (int i = 0; i < 20000; ++i) stats.add(rng.gaussian(5.0, 2.0));
+  EXPECT_NEAR(stats.mean(), 5.0, 0.1);
+  EXPECT_NEAR(stats.stddev(), 2.0, 0.1);
+}
+
+TEST(Rng, GaussianZeroSigmaIsMean) {
+  Rng rng(1);
+  EXPECT_EQ(rng.gaussian(3.25, 0.0), 3.25);
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+    EXPECT_FALSE(rng.bernoulli(-0.5));
+    EXPECT_TRUE(rng.bernoulli(1.5));
+  }
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(13);
+  int hits = 0;
+  constexpr int kTrials = 20000;
+  for (int i = 0; i < kTrials; ++i) {
+    if (rng.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kTrials, 0.3, 0.02);
+}
+
+TEST(Rng, PoissonMean) {
+  Rng rng(17);
+  OnlineStats stats;
+  for (int i = 0; i < 20000; ++i) stats.add(rng.poisson(3.7));
+  EXPECT_NEAR(stats.mean(), 3.7, 0.1);
+}
+
+TEST(Rng, PoissonZeroMean) {
+  Rng rng(1);
+  EXPECT_EQ(rng.poisson(0.0), 0u);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(19);
+  OnlineStats stats;
+  for (int i = 0; i < 20000; ++i) stats.add(rng.exponential(2.0));
+  EXPECT_NEAR(stats.mean(), 0.5, 0.05);
+}
+
+TEST(Rng, IndexWithinBounds) {
+  Rng rng(23);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.index(10), 10u);
+  }
+  EXPECT_EQ(rng.index(1), 0u);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(29);
+  std::vector<int> v(50);
+  std::iota(v.begin(), v.end(), 0);
+  std::vector<int> shuffled = v;
+  rng.shuffle(shuffled);
+  EXPECT_NE(shuffled, v);  // astronomically unlikely to be identity
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(Rng, ShuffleEmptyAndSingle) {
+  Rng rng(1);
+  std::vector<int> empty;
+  rng.shuffle(empty);
+  EXPECT_TRUE(empty.empty());
+  std::vector<int> one{42};
+  rng.shuffle(one);
+  EXPECT_EQ(one, std::vector<int>{42});
+}
+
+// Property sweep: distributions honour their parameter across a range.
+class RngUniformRange : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(RngUniformRange, StaysInRangeAndCoversIt) {
+  const auto [lo, hi] = GetParam();
+  Rng rng(101);
+  double min_seen = hi;
+  double max_seen = lo;
+  for (int i = 0; i < 3000; ++i) {
+    const double v = rng.uniform(lo, hi);
+    ASSERT_GE(v, lo);
+    ASSERT_LT(v, hi);
+    min_seen = std::min(min_seen, v);
+    max_seen = std::max(max_seen, v);
+  }
+  const double span = hi - lo;
+  EXPECT_LT(min_seen, lo + 0.05 * span);
+  EXPECT_GT(max_seen, hi - 0.05 * span);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranges, RngUniformRange,
+                         ::testing::Values(std::pair{0.0, 1.0}, std::pair{-5.0, 5.0},
+                                           std::pair{1e-6, 2e-6}, std::pair{-1000.0, -999.0}));
+
+}  // namespace
+}  // namespace remgen::util

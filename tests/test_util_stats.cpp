@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace remgen::util {
+namespace {
+
+TEST(OnlineStats, EmptyDefaults) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_TRUE(std::isinf(s.min()));
+  EXPECT_TRUE(std::isinf(s.max()));
+}
+
+TEST(OnlineStats, SingleValue) {
+  OnlineStats s;
+  s.add(4.5);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.mean(), 4.5);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 4.5);
+  EXPECT_EQ(s.max(), 4.5);
+}
+
+TEST(OnlineStats, MatchesDirectComputation) {
+  const std::vector<double> xs{1.0, 2.0, 4.0, 8.0, 16.0};
+  OnlineStats s;
+  for (const double x : xs) s.add(x);
+  const double mean = 31.0 / 5.0;
+  double var = 0.0;
+  for (const double x : xs) var += (x - mean) * (x - mean);
+  var /= 4.0;  // unbiased
+  EXPECT_DOUBLE_EQ(s.mean(), mean);
+  EXPECT_NEAR(s.variance(), var, 1e-12);
+  EXPECT_EQ(s.min(), 1.0);
+  EXPECT_EQ(s.max(), 16.0);
+}
+
+TEST(OnlineStats, NegativeValues) {
+  OnlineStats s;
+  s.add(-3.0);
+  s.add(-1.0);
+  EXPECT_DOUBLE_EQ(s.mean(), -2.0);
+  EXPECT_EQ(s.min(), -3.0);
+  EXPECT_EQ(s.max(), -1.0);
+}
+
+TEST(Rmse, PerfectPrediction) {
+  const std::vector<double> a{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(rmse(a, a), 0.0);
+}
+
+TEST(Rmse, KnownValue) {
+  const std::vector<double> pred{1.0, 2.0};
+  const std::vector<double> truth{0.0, 0.0};
+  EXPECT_DOUBLE_EQ(rmse(pred, truth), std::sqrt(2.5));
+}
+
+TEST(Mae, KnownValue) {
+  const std::vector<double> pred{1.0, -2.0};
+  const std::vector<double> truth{0.0, 0.0};
+  EXPECT_DOUBLE_EQ(mae(pred, truth), 1.5);
+}
+
+TEST(Mean, KnownValue) {
+  const std::vector<double> xs{2.0, 4.0, 9.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 5.0);
+}
+
+TEST(Percentile, Endpoints) {
+  std::vector<double> xs{5.0, 1.0, 3.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 5.0);
+}
+
+TEST(Percentile, MedianAndInterpolation) {
+  std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 2.5);
+  EXPECT_DOUBLE_EQ(percentile(xs, 25.0), 1.75);
+}
+
+TEST(Percentile, SingleElement) {
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 50.0), 7.0);
+}
+
+TEST(HistogramTest, BasicBinning) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.0);   // bin 0
+  h.add(1.99);  // bin 0
+  h.add(2.0);   // bin 1
+  h.add(9.99);  // bin 4
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(1), 1u);
+  EXPECT_EQ(h.bin_count(4), 1u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(HistogramTest, UnderOverflow) {
+  Histogram h(0.0, 1.0, 2);
+  h.add(-0.1);
+  h.add(1.0);  // at hi -> overflow (half-open)
+  h.add(1.5);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(HistogramTest, BinEdges) {
+  Histogram h(-1.0, 1.0, 4);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), -1.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(0), -0.5);
+  EXPECT_DOUBLE_EQ(h.bin_lo(3), 0.5);
+  EXPECT_DOUBLE_EQ(h.bin_hi(3), 1.0);
+}
+
+// Property: histogram bin totals always equal the number of in-range adds.
+class HistogramPropertyTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(HistogramPropertyTest, CountsAreConserved) {
+  const std::size_t bins = GetParam();
+  Histogram h(0.0, 100.0, bins);
+  std::size_t in_range = 0;
+  for (int i = -20; i < 140; ++i) {
+    h.add(static_cast<double>(i));
+    if (i >= 0 && i < 100) ++in_range;
+  }
+  std::size_t binned = 0;
+  for (std::size_t b = 0; b < h.bins(); ++b) binned += h.bin_count(b);
+  EXPECT_EQ(binned, in_range);
+  EXPECT_EQ(h.total(), 160u);
+}
+
+INSTANTIATE_TEST_SUITE_P(BinCounts, HistogramPropertyTest, ::testing::Values(1, 2, 7, 100));
+
+}  // namespace
+}  // namespace remgen::util

@@ -1,0 +1,51 @@
+#include <gtest/gtest.h>
+
+#include "util/units.hpp"
+
+namespace remgen::util {
+namespace {
+
+TEST(Units, DbmToMwKnownValues) {
+  EXPECT_DOUBLE_EQ(dbm_to_mw(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(dbm_to_mw(10.0), 10.0);
+  EXPECT_DOUBLE_EQ(dbm_to_mw(-30.0), 0.001);
+}
+
+TEST(Units, MwToDbmKnownValues) {
+  EXPECT_DOUBLE_EQ(mw_to_dbm(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(mw_to_dbm(100.0), 20.0);
+}
+
+TEST(Units, RoundTrip) {
+  for (double dbm = -100.0; dbm <= 30.0; dbm += 7.3) {
+    EXPECT_NEAR(mw_to_dbm(dbm_to_mw(dbm)), dbm, 1e-9);
+  }
+}
+
+TEST(Units, DbmSumOfEqualPowers) {
+  // Two equal powers sum to +3.0103 dB.
+  EXPECT_NEAR(dbm_sum(-70.0, -70.0), -70.0 + 10.0 * std::log10(2.0), 1e-9);
+}
+
+TEST(Units, DbmSumDominatedByStronger) {
+  EXPECT_NEAR(dbm_sum(-40.0, -90.0), -40.0, 0.01);
+}
+
+TEST(Units, FsplGrowsWithDistance) {
+  const double f = 2.44e9;
+  EXPECT_LT(fspl_db(1.0, f), fspl_db(2.0, f));
+  // +6 dB per doubling in free space.
+  EXPECT_NEAR(fspl_db(2.0, f) - fspl_db(1.0, f), 6.0206, 0.01);
+}
+
+TEST(Units, FsplAt1m24GHz) {
+  // Textbook value: ~40.2 dB at 1 m, 2.44 GHz.
+  EXPECT_NEAR(fspl_db(1.0, 2.44e9), 40.2, 0.2);
+}
+
+TEST(Units, FsplClampsTinyDistance) {
+  EXPECT_DOUBLE_EQ(fspl_db(0.0, 2.44e9), fspl_db(1e-3, 2.44e9));
+}
+
+}  // namespace
+}  // namespace remgen::util

@@ -1,0 +1,56 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "uwb/anchor.hpp"
+
+namespace remgen::uwb {
+namespace {
+
+geom::Aabb volume() { return geom::Aabb({0, 0, 0}, {3.74, 3.20, 2.10}); }
+
+TEST(Anchors, EightCornerDeployment) {
+  const std::vector<Anchor> anchors = corner_anchors(volume());
+  ASSERT_EQ(anchors.size(), 8u);
+  std::set<int> ids;
+  for (const Anchor& a : anchors) {
+    ids.insert(a.id);
+    // Every anchor sits at a corner: each coordinate is an extreme.
+    EXPECT_TRUE(a.position.x == 0.0 || a.position.x == 3.74);
+    EXPECT_TRUE(a.position.y == 0.0 || a.position.y == 3.20);
+    EXPECT_TRUE(a.position.z == 0.0 || a.position.z == 2.10);
+  }
+  EXPECT_EQ(ids.size(), 8u);
+}
+
+TEST(Anchors, SubsetSizes) {
+  for (std::size_t n = 4; n <= 8; ++n) {
+    EXPECT_EQ(corner_anchors_subset(volume(), n).size(), n);
+  }
+}
+
+TEST(Anchors, SubsetSpansBothFloorsForGoodGeometry) {
+  // Even the minimal 4-anchor subset must include floor and ceiling corners,
+  // otherwise z is unobservable.
+  const auto anchors = corner_anchors_subset(volume(), 4);
+  bool has_floor = false;
+  bool has_ceiling = false;
+  for (const Anchor& a : anchors) {
+    if (a.position.z == 0.0) has_floor = true;
+    if (a.position.z == 2.10) has_ceiling = true;
+  }
+  EXPECT_TRUE(has_floor);
+  EXPECT_TRUE(has_ceiling);
+}
+
+TEST(Anchors, SubsetPositionsAreDistinct) {
+  const auto anchors = corner_anchors_subset(volume(), 8);
+  for (std::size_t i = 0; i < anchors.size(); ++i) {
+    for (std::size_t j = i + 1; j < anchors.size(); ++j) {
+      EXPECT_NE(anchors[i].position, anchors[j].position);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace remgen::uwb

@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "uwb/clock.hpp"
+#include "util/units.hpp"
+
+namespace remgen::uwb {
+namespace {
+
+TEST(Clock, UncalibratedClocksHaveSpread) {
+  util::Rng rng(3);
+  const CalibrationConfig config;
+  const auto clocks = make_uncalibrated_clocks(8, config, rng);
+  ASSERT_EQ(clocks.size(), 8u);
+  // Anchor 0 is the reference.
+  EXPECT_EQ(clocks[0].offset_s, 0.0);
+  EXPECT_EQ(clocks[0].drift_ppm, 0.0);
+  double spread = 0.0;
+  for (const AnchorClock& c : clocks) spread += std::abs(c.offset_s);
+  EXPECT_GT(spread, 0.0);
+}
+
+TEST(Clock, SelfCalibrationShrinksOffsets) {
+  util::Rng rng(5);
+  const CalibrationConfig config;
+  const auto clocks = make_uncalibrated_clocks(8, config, rng);
+  double uncal_rms = 0.0;
+  for (std::size_t i = 1; i < clocks.size(); ++i) {
+    uncal_rms += clocks[i].offset_s * clocks[i].offset_s;
+  }
+  uncal_rms = std::sqrt(uncal_rms / 7.0);
+
+  util::Rng cal_rng(6);
+  const CalibrationResult result = self_calibrate(clocks, config, cal_rng);
+  EXPECT_LT(result.rms_residual_s, uncal_rms / 100.0);
+}
+
+TEST(Clock, MoreRoundsBetterSync) {
+  util::Rng rng(7);
+  CalibrationConfig few;
+  few.rounds = 2;
+  CalibrationConfig many = few;
+  many.rounds = 256;
+  const auto clocks = make_uncalibrated_clocks(8, few, rng);
+
+  double rms_few = 0.0;
+  double rms_many = 0.0;
+  // Average over repetitions (single draws are noisy).
+  for (int rep = 0; rep < 30; ++rep) {
+    util::Rng r1(100 + rep);
+    util::Rng r2(100 + rep);
+    rms_few += self_calibrate(clocks, few, r1).rms_residual_s;
+    rms_many += self_calibrate(clocks, many, r2).rms_residual_s;
+  }
+  EXPECT_LT(rms_many, rms_few);
+}
+
+TEST(Clock, ResidualRangingErrorIsSubCentimetre) {
+  // The paper's TDoA works because post-calibration sync error contributes
+  // less than the UWB timestamp floor: c * residual << 1 cm.
+  util::Rng rng(9);
+  const CalibrationConfig config;
+  const auto clocks = make_uncalibrated_clocks(8, config, rng);
+  util::Rng cal_rng(10);
+  const CalibrationResult result = self_calibrate(clocks, config, cal_rng);
+  EXPECT_LT(result.ranging_error_m(), 0.01);
+}
+
+TEST(Clock, RangingErrorConversionUsesSpeedOfLight) {
+  CalibrationResult result;
+  result.rms_residual_s = 1e-9;  // 1 ns
+  EXPECT_NEAR(result.ranging_error_m(), 0.2998, 0.001);
+}
+
+TEST(Clock, SingleAnchorTrivial) {
+  util::Rng rng(1);
+  const CalibrationConfig config;
+  const auto clocks = make_uncalibrated_clocks(1, config, rng);
+  util::Rng cal_rng(2);
+  const CalibrationResult result = self_calibrate(clocks, config, cal_rng);
+  EXPECT_EQ(result.rms_residual_s, 0.0);
+}
+
+}  // namespace
+}  // namespace remgen::uwb

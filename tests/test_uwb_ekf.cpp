@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include "uwb/anchor.hpp"
+#include "uwb/ekf.hpp"
+#include "util/rng.hpp"
+
+namespace remgen::uwb {
+namespace {
+
+std::vector<Anchor> cube_anchors() {
+  return corner_anchors(geom::Aabb({0, 0, 0}, {4, 4, 3}));
+}
+
+TEST(Ekf, ResetSetsStateAndCovariance) {
+  Ekf ekf;
+  ekf.reset({1, 2, 3}, {0.1, 0.2, 0.3});
+  EXPECT_EQ(ekf.position(), geom::Vec3(1, 2, 3));
+  EXPECT_EQ(ekf.velocity(), geom::Vec3(0.1, 0.2, 0.3));
+  EXPECT_GT(ekf.position_sigma(), 0.0);
+}
+
+TEST(Ekf, PredictIntegratesKinematics) {
+  EkfConfig config;
+  Ekf ekf(config);
+  ekf.reset({0, 0, 0}, {1.0, 0.0, 0.0});
+  ekf.predict(1.0, {0.0, 2.0, 0.0});
+  EXPECT_NEAR(ekf.position().x, 1.0, 1e-12);
+  EXPECT_NEAR(ekf.position().y, 1.0, 1e-12);  // 0.5 * a * t^2
+  EXPECT_NEAR(ekf.velocity().y, 2.0, 1e-12);
+}
+
+TEST(Ekf, PredictGrowsUncertainty) {
+  Ekf ekf;
+  ekf.reset({0, 0, 0});
+  const double before = ekf.position_sigma();
+  for (int i = 0; i < 100; ++i) ekf.predict(0.01, {});
+  EXPECT_GT(ekf.position_sigma(), before);
+}
+
+TEST(Ekf, RangeUpdatesShrinkUncertainty) {
+  Ekf ekf;
+  const geom::Vec3 truth{2.0, 2.0, 1.5};
+  ekf.reset(truth);
+  const auto anchors = cube_anchors();
+  for (int i = 0; i < 20; ++i) ekf.predict(0.01, {});
+  const double before = ekf.position_sigma();
+  for (const Anchor& a : anchors) {
+    EXPECT_TRUE(ekf.update_range(a, a.position.distance_to(truth)));
+  }
+  EXPECT_LT(ekf.position_sigma(), before);
+}
+
+TEST(Ekf, ConvergesToTruePositionFromOffset) {
+  Ekf ekf;
+  const geom::Vec3 truth{1.0, 3.0, 1.0};
+  ekf.reset({2.5, 2.0, 1.5});  // start ~1.9 m off
+  const auto anchors = cube_anchors();
+  util::Rng rng(3);
+  for (int step = 0; step < 500; ++step) {
+    ekf.predict(0.01, {});
+    const Anchor& a = anchors[step % anchors.size()];
+    ekf.update_range(a, a.position.distance_to(truth) + rng.gaussian(0.0, 0.05));
+  }
+  EXPECT_LT(ekf.position().distance_to(truth), 0.1);
+}
+
+TEST(Ekf, TrksMovingTargetWithAccelInput) {
+  Ekf ekf;
+  geom::Vec3 truth{1.0, 1.0, 1.0};
+  geom::Vec3 velocity{0.3, -0.2, 0.1};
+  ekf.reset(truth, velocity);
+  const auto anchors = cube_anchors();
+  util::Rng rng(5);
+  const double dt = 0.01;
+  for (int step = 0; step < 1000; ++step) {
+    truth += velocity * dt;
+    ekf.predict(dt, {});
+    const Anchor& a = anchors[step % anchors.size()];
+    ekf.update_range(a, a.position.distance_to(truth) + rng.gaussian(0.0, 0.05));
+  }
+  EXPECT_LT(ekf.position().distance_to(truth), 0.15);
+  EXPECT_LT((ekf.velocity() - velocity).norm(), 0.15);
+}
+
+TEST(Ekf, TdoaUpdatesConverge) {
+  Ekf ekf;
+  const geom::Vec3 truth{2.5, 1.5, 2.0};
+  ekf.reset({2.0, 2.0, 1.5});
+  const auto anchors = cube_anchors();
+  util::Rng rng(7);
+  for (int step = 0; step < 2000; ++step) {
+    ekf.predict(0.01, {});
+    const Anchor& a = anchors[step % anchors.size()];
+    const Anchor& b = anchors[(step + 1) % anchors.size()];
+    const double diff =
+        a.position.distance_to(truth) - b.position.distance_to(truth);
+    ekf.update_tdoa(a, b, diff + rng.gaussian(0.0, 0.04));
+  }
+  EXPECT_LT(ekf.position().distance_to(truth), 0.12);
+}
+
+TEST(Ekf, GateRejectsGrossOutlier) {
+  Ekf ekf;
+  const geom::Vec3 truth{2.0, 2.0, 1.5};
+  ekf.reset(truth);
+  const auto anchors = cube_anchors();
+  // Converge first so the covariance is tight.
+  for (int i = 0; i < 200; ++i) {
+    ekf.predict(0.01, {});
+    const Anchor& a = anchors[i % anchors.size()];
+    ekf.update_range(a, a.position.distance_to(truth));
+  }
+  const geom::Vec3 before = ekf.position();
+  // A 5 m outlier must be gated out and leave the state untouched.
+  EXPECT_FALSE(ekf.update_range(anchors[0], anchors[0].position.distance_to(truth) + 5.0));
+  EXPECT_EQ(ekf.position(), before);
+}
+
+TEST(Ekf, GateRecoveryReanchorsDivergedFilter) {
+  EkfConfig config;
+  config.gate_recovery_count = 10;
+  Ekf ekf(config);
+  const geom::Vec3 truth{2.0, 2.0, 1.5};
+  ekf.reset(truth);
+  const auto anchors = cube_anchors();
+  for (int i = 0; i < 200; ++i) {
+    ekf.predict(0.01, {});
+    ekf.update_range(anchors[i % 8], anchors[i % 8].position.distance_to(truth));
+  }
+  // Teleport the truth far away: measurements now look like outliers.
+  const geom::Vec3 new_truth{0.3, 0.3, 0.3};
+  for (int i = 0; i < 600; ++i) {
+    ekf.predict(0.01, {});
+    ekf.update_range(anchors[i % 8], anchors[i % 8].position.distance_to(new_truth));
+  }
+  EXPECT_LT(ekf.position().distance_to(new_truth), 0.3);
+}
+
+TEST(Ekf, CovarianceStaysSymmetric) {
+  Ekf ekf;
+  ekf.reset({2, 2, 1});
+  const auto anchors = cube_anchors();
+  util::Rng rng(9);
+  for (int i = 0; i < 300; ++i) {
+    ekf.predict(0.01, {rng.gaussian(0, 0.2), rng.gaussian(0, 0.2), rng.gaussian(0, 0.2)});
+    ekf.update_range(anchors[i % 8],
+                     anchors[i % 8].position.distance_to({2, 2, 1}) + rng.gaussian(0, 0.05));
+  }
+  const math::Matrix& p = ekf.covariance();
+  for (std::size_t r = 0; r < 6; ++r) {
+    for (std::size_t c = 0; c < 6; ++c) {
+      EXPECT_NEAR(p(r, c), p(c, r), 1e-9);
+    }
+    EXPECT_GT(p(r, r), 0.0);  // positive diagonal
+  }
+}
+
+}  // namespace
+}  // namespace remgen::uwb

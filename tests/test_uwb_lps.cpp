@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "uwb/lps.hpp"
+#include "util/stats.hpp"
+
+namespace remgen::uwb {
+namespace {
+
+geom::Aabb volume() { return geom::Aabb({0, 0, 0}, {3.74, 3.20, 2.10}); }
+
+LocoPositioningSystem make_lps(LocalizationMode mode, std::size_t anchors = 8,
+                               std::uint64_t seed = 42) {
+  LpsConfig config;
+  config.mode = mode;
+  return LocoPositioningSystem(anchors == 8 ? corner_anchors(volume())
+                                            : corner_anchors_subset(volume(), anchors),
+                               nullptr, config, util::Rng(seed));
+}
+
+TEST(Lps, RequiresFourAnchors) {
+  LpsConfig config;
+  std::vector<Anchor> three{{0, {0, 0, 0}}, {1, {1, 0, 0}}, {2, {0, 1, 0}}};
+  EXPECT_DEATH(LocoPositioningSystem(three, nullptr, config, util::Rng(1)), "");
+}
+
+TEST(Lps, InitializeNearTruePosition) {
+  auto lps = make_lps(LocalizationMode::Twr);
+  const geom::Vec3 start{1.0, 1.5, 0.0};
+  lps.initialize_at(start);
+  EXPECT_LT(lps.estimated_position().distance_to(start), 0.3);
+}
+
+TEST(Lps, SnapshotFixAccuracy) {
+  auto lps = make_lps(LocalizationMode::Twr);
+  const geom::Vec3 truth{2.0, 1.0, 1.0};
+  const auto fix = lps.snapshot_fix(truth);
+  ASSERT_TRUE(fix.has_value());
+  EXPECT_LT(fix->position.distance_to(truth), 0.3);
+}
+
+TEST(Lps, HoverAccuracyDecimetreLevel) {
+  // The paper's headline claim: decimetre-level location annotation.
+  for (const auto mode : {LocalizationMode::Twr, LocalizationMode::Tdoa}) {
+    auto lps = make_lps(mode);
+    const geom::Vec3 truth{1.8, 1.6, 1.0};
+    lps.initialize_at(truth);
+    util::OnlineStats error;
+    for (int i = 0; i < 3000; ++i) {
+      lps.step(0.01, truth, {});
+      if (i > 500) error.add(lps.estimated_position().distance_to(truth));
+    }
+    EXPECT_LT(error.mean(), 0.15) << "mode " << static_cast<int>(mode);
+  }
+}
+
+TEST(Lps, MoreAnchorsMoreAccurate) {
+  auto run = [&](std::size_t anchors) {
+    // Average several seeds so the comparison is not one lucky draw.
+    double total = 0.0;
+    for (std::uint64_t seed = 0; seed < 6; ++seed) {
+      auto lps = make_lps(LocalizationMode::Twr, anchors, 100 + seed);
+      const geom::Vec3 truth{1.8, 1.6, 1.0};
+      lps.initialize_at(truth);
+      util::OnlineStats error;
+      for (int i = 0; i < 2000; ++i) {
+        lps.step(0.01, truth, {});
+        if (i > 500) error.add(lps.estimated_position().distance_to(truth));
+      }
+      total += error.mean();
+    }
+    return total / 6.0;
+  };
+  EXPECT_LT(run(8), run(4));
+}
+
+TEST(Lps, MeasurementRateIsRespected) {
+  // With a tiny measurement rate the filter cannot converge far; with a high
+  // rate it can. This indirectly verifies the scheduling debt logic.
+  LpsConfig slow;
+  slow.mode = LocalizationMode::Twr;
+  slow.measurements_per_second = 1.0;
+  LocoPositioningSystem lps_slow(corner_anchors(volume()), nullptr, slow, util::Rng(5));
+  LpsConfig fast = slow;
+  fast.measurements_per_second = 200.0;
+  LocoPositioningSystem lps_fast(corner_anchors(volume()), nullptr, fast, util::Rng(5));
+
+  const geom::Vec3 truth{1.0, 1.0, 1.0};
+  // Both start well away from the truth with no snapshot init.
+  for (int i = 0; i < 400; ++i) {
+    lps_slow.step(0.01, truth, {});
+    lps_fast.step(0.01, truth, {});
+  }
+  EXPECT_LT(lps_fast.estimated_position().distance_to(truth),
+            lps_slow.estimated_position().distance_to(truth));
+}
+
+TEST(Lps, SurveyErrorBoundsAccuracy) {
+  // Perfect survey allows centimetre accuracy; sloppy survey does not.
+  auto run = [&](double survey_sigma) {
+    LpsConfig config;
+    config.mode = LocalizationMode::Twr;
+    config.anchor_survey_sigma_m = survey_sigma;
+    LocoPositioningSystem lps(corner_anchors(volume()), nullptr, config, util::Rng(77));
+    const geom::Vec3 truth{1.8, 1.6, 1.0};
+    lps.initialize_at(truth);
+    util::OnlineStats error;
+    for (int i = 0; i < 2000; ++i) {
+      lps.step(0.01, truth, {});
+      if (i > 500) error.add(lps.estimated_position().distance_to(truth));
+    }
+    return error.mean();
+  };
+  EXPECT_LT(run(0.0), run(0.15));
+}
+
+TEST(Lps, SurveyedAnchorsDifferFromTrue) {
+  auto lps = make_lps(LocalizationMode::Twr);
+  double total_offset = 0.0;
+  for (std::size_t i = 0; i < lps.anchors().size(); ++i) {
+    total_offset +=
+        lps.anchors()[i].position.distance_to(lps.surveyed_anchors()[i].position);
+  }
+  EXPECT_GT(total_offset, 0.0);
+  EXPECT_LT(total_offset / 8.0, 0.3);  // survey errors are small
+}
+
+}  // namespace
+}  // namespace remgen::uwb

@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include "uwb/ranging.hpp"
+#include "util/stats.hpp"
+
+namespace remgen::uwb {
+namespace {
+
+TEST(Ranging, TwrUnbiasedInFreeSpace) {
+  RangingConfig config;
+  config.twr_noise_sigma_m = 0.05;
+  config.dropout_probability = 0.0;
+  const RangingModel model(nullptr, config);
+  const Anchor anchor{0, {0, 0, 0}};
+  const geom::Vec3 tag{3.0, 4.0, 0.0};  // true distance 5 m
+
+  util::Rng rng(3);
+  util::OnlineStats stats;
+  for (int i = 0; i < 5000; ++i) {
+    const auto r = model.twr_range(anchor, tag, rng);
+    ASSERT_TRUE(r.has_value());
+    stats.add(*r);
+  }
+  EXPECT_NEAR(stats.mean(), 5.0, 0.01);
+  EXPECT_NEAR(stats.stddev(), 0.05, 0.005);
+}
+
+TEST(Ranging, BeyondMaxRangeIsLost) {
+  RangingConfig config;
+  config.max_range_m = 10.0;
+  config.dropout_probability = 0.0;
+  const RangingModel model(nullptr, config);
+  util::Rng rng(1);
+  EXPECT_FALSE(model.twr_range({0, {0, 0, 0}}, {11.0, 0.0, 0.0}, rng).has_value());
+  EXPECT_TRUE(model.twr_range({0, {0, 0, 0}}, {9.0, 0.0, 0.0}, rng).has_value());
+}
+
+TEST(Ranging, DropoutRateHonoured) {
+  RangingConfig config;
+  config.dropout_probability = 0.25;
+  const RangingModel model(nullptr, config);
+  util::Rng rng(5);
+  int lost = 0;
+  constexpr int kTrials = 4000;
+  for (int i = 0; i < kTrials; ++i) {
+    if (!model.twr_range({0, {0, 0, 0}}, {2, 0, 0}, rng)) ++lost;
+  }
+  EXPECT_NEAR(static_cast<double>(lost) / kTrials, 0.25, 0.03);
+}
+
+TEST(Ranging, NlosWallAddsPositiveBias) {
+  geom::Floorplan fp;
+  fp.add_wall(geom::Wall::vertical({1.0, -5.0, 0.0}, {1.0, 5.0, 0.0}, 0.0, 3.0,
+                                   geom::WallMaterial::Concrete));
+  RangingConfig config;
+  config.twr_noise_sigma_m = 0.01;
+  config.nlos_bias_per_wall_m = 0.2;
+  config.dropout_probability = 0.0;
+  const RangingModel model(&fp, config);
+  const Anchor anchor{0, {0, 0, 1}};
+
+  util::Rng rng(7);
+  util::OnlineStats through_wall;
+  for (int i = 0; i < 2000; ++i) {
+    through_wall.add(*model.twr_range(anchor, {2.0, 0.0, 1.0}, rng));
+  }
+  EXPECT_NEAR(through_wall.mean(), 2.0 + 0.2, 0.01);
+}
+
+TEST(Ranging, TdoaIsDifferenceOfDistances) {
+  RangingConfig config;
+  config.tdoa_noise_sigma_m = 0.02;
+  config.dropout_probability = 0.0;
+  const RangingModel model(nullptr, config);
+  const Anchor a{0, {0, 0, 0}};
+  const Anchor b{1, {10, 0, 0}};
+  const geom::Vec3 tag{2.0, 0.0, 0.0};  // d(a)=2, d(b)=8 -> diff -6
+
+  util::Rng rng(9);
+  util::OnlineStats stats;
+  for (int i = 0; i < 5000; ++i) {
+    stats.add(*model.tdoa(a, b, tag, rng));
+  }
+  EXPECT_NEAR(stats.mean(), -6.0, 0.01);
+  EXPECT_NEAR(stats.stddev(), 0.02, 0.003);
+}
+
+TEST(Ranging, TdoaLostWhenEitherAnchorOutOfRange) {
+  RangingConfig config;
+  config.max_range_m = 5.0;
+  config.dropout_probability = 0.0;
+  const RangingModel model(nullptr, config);
+  util::Rng rng(11);
+  EXPECT_FALSE(
+      model.tdoa({0, {0, 0, 0}}, {1, {10, 0, 0}}, {2.0, 0.0, 0.0}, rng).has_value());
+}
+
+TEST(Ranging, RangeNeverNegative) {
+  RangingConfig config;
+  config.twr_noise_sigma_m = 1.0;  // large noise, tiny distance
+  config.dropout_probability = 0.0;
+  const RangingModel model(nullptr, config);
+  util::Rng rng(13);
+  for (int i = 0; i < 2000; ++i) {
+    const auto r = model.twr_range({0, {0, 0, 0}}, {0.01, 0, 0}, rng);
+    ASSERT_TRUE(r.has_value());
+    EXPECT_GE(*r, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace remgen::uwb

@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "uwb/anchor.hpp"
+#include "uwb/solver.hpp"
+#include "util/rng.hpp"
+
+namespace remgen::uwb {
+namespace {
+
+std::vector<Anchor> cube_anchors() {
+  return corner_anchors(geom::Aabb({0, 0, 0}, {4, 4, 3}));
+}
+
+std::vector<RangeObservation> exact_ranges(const std::vector<Anchor>& anchors,
+                                           const geom::Vec3& truth) {
+  std::vector<RangeObservation> obs;
+  for (const Anchor& a : anchors) obs.push_back({a, a.position.distance_to(truth)});
+  return obs;
+}
+
+TEST(SolverTwr, ExactRecoveryFromPerfectRanges) {
+  const auto anchors = cube_anchors();
+  const geom::Vec3 truth{1.3, 2.2, 1.1};
+  const PositionFix fix = solve_twr(exact_ranges(anchors, truth), {2, 2, 1.5});
+  EXPECT_TRUE(fix.converged);
+  EXPECT_LT(fix.position.distance_to(truth), 1e-6);
+  EXPECT_LT(fix.residual_rms_m, 1e-6);
+}
+
+TEST(SolverTwr, ConvergesFromPoorInitialGuess) {
+  const auto anchors = cube_anchors();
+  const geom::Vec3 truth{0.5, 3.5, 0.4};
+  const PositionFix fix = solve_twr(exact_ranges(anchors, truth), {10.0, -10.0, 5.0});
+  EXPECT_LT(fix.position.distance_to(truth), 1e-5);
+}
+
+TEST(SolverTwr, NoisyRangesGiveSmallError) {
+  const auto anchors = cube_anchors();
+  const geom::Vec3 truth{2.0, 1.0, 1.5};
+  util::Rng rng(7);
+  auto obs = exact_ranges(anchors, truth);
+  for (auto& o : obs) o.range_m += rng.gaussian(0.0, 0.05);
+  const PositionFix fix = solve_twr(obs, {2, 2, 1});
+  EXPECT_LT(fix.position.distance_to(truth), 0.15);
+  EXPECT_GT(fix.residual_rms_m, 0.0);
+}
+
+TEST(SolverTwr, FourAnchorsMinimum) {
+  const auto anchors = corner_anchors_subset(geom::Aabb({0, 0, 0}, {4, 4, 3}), 4);
+  const geom::Vec3 truth{1.0, 1.0, 1.0};
+  const PositionFix fix = solve_twr(exact_ranges(anchors, truth), {2, 2, 1.5});
+  EXPECT_LT(fix.position.distance_to(truth), 1e-5);
+}
+
+TEST(SolverTdoa, ExactRecovery) {
+  const auto anchors = cube_anchors();
+  const geom::Vec3 truth{1.7, 0.9, 2.0};
+  std::vector<TdoaObservation> obs;
+  for (std::size_t i = 1; i < anchors.size(); ++i) {
+    obs.push_back({anchors[i], anchors[0],
+                   anchors[i].position.distance_to(truth) -
+                       anchors[0].position.distance_to(truth)});
+  }
+  const PositionFix fix = solve_tdoa(obs, {2, 2, 1.5});
+  EXPECT_LT(fix.position.distance_to(truth), 1e-5);
+}
+
+TEST(SolverTdoa, NoisyDifferences) {
+  const auto anchors = cube_anchors();
+  const geom::Vec3 truth{3.0, 3.0, 1.0};
+  util::Rng rng(11);
+  std::vector<TdoaObservation> obs;
+  for (std::size_t i = 1; i < anchors.size(); ++i) {
+    obs.push_back({anchors[i], anchors[0],
+                   anchors[i].position.distance_to(truth) -
+                       anchors[0].position.distance_to(truth) + rng.gaussian(0.0, 0.03)});
+  }
+  const PositionFix fix = solve_tdoa(obs, {2, 2, 1.5});
+  EXPECT_LT(fix.position.distance_to(truth), 0.25);
+}
+
+// Property: exact recovery across random tag positions inside the volume.
+class SolverRecoveryProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SolverRecoveryProperty, TwrRecoversRandomPositions) {
+  util::Rng rng(100 + GetParam());
+  const auto anchors = cube_anchors();
+  const geom::Vec3 truth{rng.uniform(0.2, 3.8), rng.uniform(0.2, 3.8), rng.uniform(0.2, 2.8)};
+  const PositionFix fix = solve_twr(exact_ranges(anchors, truth), {2, 2, 1.5});
+  EXPECT_LT(fix.position.distance_to(truth), 1e-5) << truth.to_string();
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomPositions, SolverRecoveryProperty, ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace remgen::uwb

@@ -1,0 +1,273 @@
+// remgen — command-line front end to the toolchain.
+//
+//   remgen campaign  --seed 2022 --grid 6x4x3 --uavs 2 --out dataset.csv
+//                    [--radio-on] [--optimize-route] [--adaptive-legs]
+//                    [--positioning uwb|lighthouse] [--receivers wifi,ble]
+//   remgen info      --in dataset.csv
+//   remgen evaluate  --in dataset.csv [--model all|<name>] [--split 0.75]
+//                    [--min-samples 16] [--seed 99]
+//   remgen rem       --in dataset.csv --out rem.csv [--model <name>]
+//                    [--voxel 0.25] [--min-samples 16]
+//   remgen query     --in dataset.csv --at x,y,z [--model <name>] [--top 5]
+//   remgen drift     --baseline old.csv --probe new.csv [--model <name>]
+//
+// Every command that consumes a dataset reads the CSV produced by
+// `remgen campaign` (or by the library's Dataset::write_csv).
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <string>
+
+#include "core/drift.hpp"
+#include "core/rem_builder.hpp"
+#include "mission/campaign.hpp"
+#include "ml/metrics.hpp"
+#include "ml/model_zoo.hpp"
+#include "radio/scenario.hpp"
+#include "util/args.hpp"
+
+namespace {
+
+using namespace remgen;
+
+int usage() {
+  std::printf(
+      "remgen — autonomous 3D indoor radio environmental maps\n\n"
+      "commands:\n"
+      "  campaign  run the two-UAV measurement campaign, write the dataset CSV\n"
+      "  info      dataset statistics (the paper's Section III-A numbers)\n"
+      "  evaluate  train/test RMSE for the estimator suite (Figure 8)\n"
+      "  rem       build the REM raster and write it as CSV\n"
+      "  query     predict per-transmitter RSS at a point\n"
+      "  drift     compare a probe dataset against a baseline REM\n\n"
+      "run `remgen <command> --help` semantics: see the header of tools/remgen_cli.cpp\n");
+  return 2;
+}
+
+ml::ModelKind model_by_name(const std::string& name) {
+  for (const ml::ModelKind kind : ml::all_model_kinds(true)) {
+    if (name == ml::model_kind_name(kind)) return kind;
+  }
+  std::fprintf(stderr, "unknown model '%s'; available:", name.c_str());
+  for (const ml::ModelKind kind : ml::all_model_kinds(true)) {
+    std::fprintf(stderr, " %s", ml::model_kind_name(kind));
+  }
+  std::fprintf(stderr, "\n");
+  std::exit(2);
+}
+
+data::Dataset load_dataset(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    std::exit(1);
+  }
+  return data::Dataset::read_csv(in);
+}
+
+geom::Aabb volume_for(const util::Args& args) {
+  // The raster bounds of the REM; matches the scan volume of the chosen
+  // environment.
+  if (args.value("env", "apartment") == "office") {
+    return geom::make_office_model().scan_volume;
+  }
+  return geom::Aabb({0, 0, 0}, {3.74, 3.20, 2.10});
+}
+
+int cmd_campaign(const util::Args& args) {
+  util::Rng rng(static_cast<std::uint64_t>(args.value_int("seed", 2022)));
+  const radio::Scenario scenario = args.value("env", "apartment") == "office"
+                                       ? radio::Scenario::make_office(rng)
+                                       : radio::Scenario::make_apartment(rng);
+
+  mission::CampaignConfig config;
+  const auto grid = util::split_list(args.value("grid", "6x4x3"), 'x');
+  if (grid.size() == 3) {
+    config.grid.nx = static_cast<std::size_t>(std::stoul(grid[0]));
+    config.grid.ny = static_cast<std::size_t>(std::stoul(grid[1]));
+    config.grid.nz = static_cast<std::size_t>(std::stoul(grid[2]));
+  }
+  config.uav_count = static_cast<std::size_t>(args.value_int("uavs", 2));
+  config.mission.radio_off_during_scan = !args.flag("radio-on");
+  config.mission.adaptive_leg_timing = args.flag("adaptive-legs");
+  config.optimize_route = args.flag("optimize-route");
+  if (args.value("positioning", "uwb") == "lighthouse") {
+    config.positioning = mission::PositioningKind::Lighthouse;
+  }
+  config.receivers.clear();
+  for (const std::string& r : util::split_list(args.value("receivers", "wifi"))) {
+    config.receivers.push_back(r == "ble" ? mission::ReceiverKind::Ble
+                                          : mission::ReceiverKind::Wifi);
+  }
+
+  const mission::CampaignResult result = mission::run_campaign(scenario, config, rng);
+  for (const mission::UavMissionStats& s : result.uav_stats) {
+    std::printf("UAV %c: %zu waypoints, %zu scans, %zu samples, active %dm%02ds%s\n",
+                static_cast<char>('A' + s.uav_id), s.waypoints_commanded, s.scans_completed,
+                s.samples_collected, static_cast<int>(s.active_time_s) / 60,
+                static_cast<int>(s.active_time_s) % 60,
+                s.aborted_on_battery ? " (battery abort)" : "");
+  }
+  const std::string out = args.value("out", "dataset.csv");
+  std::ofstream file(out);
+  result.dataset.write_csv(file);
+  std::printf("%zu samples written to %s\n", result.dataset.size(), out.c_str());
+  return 0;
+}
+
+int cmd_info(const util::Args& args) {
+  const data::Dataset ds = load_dataset(args.value("in", "dataset.csv"));
+  if (ds.empty()) {
+    std::printf("dataset is empty\n");
+    return 1;
+  }
+  std::size_t dropped = 0;
+  const data::Dataset retained = ds.filter_min_samples_per_mac(
+      static_cast<std::size_t>(args.value_int("min-samples", 16)), &dropped);
+  std::printf("samples        : %zu\n", ds.size());
+  std::printf("distinct MACs  : %zu\n", ds.distinct_macs().size());
+  std::printf("distinct SSIDs : %zu\n", ds.distinct_ssids().size());
+  std::printf("mean RSS       : %.1f dBm\n", ds.mean_rss_dbm());
+  std::printf("retained       : %zu (%zu dropped by the min-samples rule)\n", retained.size(),
+              dropped);
+  for (const auto& [uav, count] : ds.samples_per_uav()) {
+    std::printf("UAV %c samples  : %zu\n", static_cast<char>('A' + uav), count);
+  }
+  return 0;
+}
+
+int cmd_evaluate(const util::Args& args) {
+  const data::Dataset ds = load_dataset(args.value("in", "dataset.csv"));
+  const data::Dataset prepared = ds.filter_min_samples_per_mac(
+      static_cast<std::size_t>(args.value_int("min-samples", 16)));
+  if (prepared.empty()) {
+    std::fprintf(stderr, "no samples survive the min-samples rule\n");
+    return 1;
+  }
+  util::Rng rng(static_cast<std::uint64_t>(args.value_int("seed", 99)));
+  const data::DatasetSplit split = prepared.split(args.value_double("split", 0.75), rng);
+
+  std::vector<ml::ModelKind> kinds;
+  const std::string requested = args.value("model", "all");
+  if (requested == "all") {
+    kinds = ml::all_model_kinds(true);
+  } else {
+    kinds.push_back(model_by_name(requested));
+  }
+  std::printf("%-28s %10s %10s %8s\n", "model", "RMSE(dBm)", "MAE(dBm)", "R2");
+  for (const ml::ModelKind kind : kinds) {
+    const auto model = ml::make_model(kind);
+    model->fit(split.train);
+    const ml::RegressionMetrics m = ml::evaluate(*model, split.test);
+    std::printf("%-28s %10.4f %10.4f %8.4f\n", ml::model_kind_name(kind), m.rmse, m.mae, m.r2);
+  }
+  return 0;
+}
+
+int cmd_rem(const util::Args& args) {
+  const data::Dataset ds = load_dataset(args.value("in", "dataset.csv"));
+  const auto model = ml::make_model(model_by_name(args.value("model", "knn-onehot-x3-k16")));
+  core::RemBuilderConfig config;
+  config.voxel_m = args.value_double("voxel", 0.25);
+  config.min_samples_per_mac = static_cast<std::size_t>(args.value_int("min-samples", 16));
+  const core::RadioEnvironmentMap rem = core::build_rem(ds, *model, volume_for(args), config);
+  const std::string out = args.value("out", "rem.csv");
+  std::ofstream file(out);
+  rem.write_csv(file);
+  std::printf("REM: %zu transmitters over %zux%zux%zu voxels written to %s\n",
+              rem.macs().size(), rem.geometry().nx(), rem.geometry().ny(), rem.geometry().nz(),
+              out.c_str());
+  std::printf("coverage at -80 dBm: %.1f%%\n", rem.coverage_fraction(-80.0) * 100.0);
+  return 0;
+}
+
+int cmd_query(const util::Args& args) {
+  const data::Dataset ds = load_dataset(args.value("in", "dataset.csv"));
+  const auto at = util::split_list(args.value("at", ""));
+  if (at.size() != 3) {
+    std::fprintf(stderr, "--at needs x,y,z\n");
+    return 2;
+  }
+  const geom::Vec3 point{std::stod(at[0]), std::stod(at[1]), std::stod(at[2])};
+  const auto model = ml::make_model(model_by_name(args.value("model", "knn-onehot-x3-k16")));
+  const data::Dataset prepared = ds.filter_min_samples_per_mac(
+      static_cast<std::size_t>(args.value_int("min-samples", 16)));
+  model->fit(prepared.samples());
+
+  // Predict every MAC at the point and print the strongest first.
+  std::map<radio::MacAddress, int> channel_of;
+  for (const data::Sample& s : prepared.samples()) channel_of[s.mac] = s.channel;
+  std::vector<std::pair<double, radio::MacAddress>> predictions;
+  for (const auto& [mac, channel] : channel_of) {
+    data::Sample query;
+    query.mac = mac;
+    query.channel = channel;
+    query.position = point;
+    predictions.emplace_back(model->predict(query), mac);
+  }
+  std::sort(predictions.rbegin(), predictions.rend());
+  const auto top = static_cast<std::size_t>(args.value_int("top", 5));
+  std::printf("predicted RSS at %s:\n", point.to_string().c_str());
+  for (std::size_t i = 0; i < std::min(top, predictions.size()); ++i) {
+    std::printf("  %s  %7.1f dBm\n", predictions[i].second.to_string().c_str(),
+                predictions[i].first);
+  }
+  return 0;
+}
+
+int cmd_drift(const util::Args& args) {
+  const data::Dataset baseline = load_dataset(args.value("baseline", "dataset.csv"));
+  const data::Dataset probe = load_dataset(args.value("probe", "probe.csv"));
+  const auto model = ml::make_model(model_by_name(args.value("model", "per-mac-knn")));
+  core::RemBuilderConfig config;
+  config.min_samples_per_mac = static_cast<std::size_t>(args.value_int("min-samples", 16));
+  if (baseline.filter_min_samples_per_mac(config.min_samples_per_mac).empty()) {
+    std::fprintf(stderr,
+                 "no baseline samples survive the min-samples rule; lower --min-samples\n");
+    return 1;
+  }
+  const core::RadioEnvironmentMap rem =
+      core::build_rem(baseline, *model, volume_for(args), config);
+  const core::DriftReport report = core::detect_drift(rem, probe.samples());
+  if (report.judged_macs == 0) {
+    std::fprintf(stderr,
+                 "note: no MAC reached the %zu-sample judging threshold — fly a probe with "
+                 "more waypoints\n",
+                 core::DriftConfig{}.min_samples_per_mac);
+  }
+  std::printf("judged %zu MACs: %zu drifted, %zu unknown, %zu vanished -> REM %s\n",
+              report.judged_macs, report.drifted_macs, report.unknown_macs,
+              report.vanished.size(), report.rem_stale ? "STALE" : "still valid");
+  for (const core::MacDrift& d : report.per_mac) {
+    if (!d.drifted) continue;
+    std::printf("  drifted: %s  mean %+.1f dB, rms %.1f dB over %zu samples\n",
+                d.mac.to_string().c_str(), d.mean_residual_db, d.rms_residual_db, d.samples);
+  }
+  for (const radio::MacAddress& mac : report.vanished) {
+    std::printf("  vanished: %s\n", mac.to_string().c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::set<std::string> value_keys{"seed",      "grid",  "uavs",   "out",   "in",
+                                         "model",     "split", "voxel",  "at",    "top",
+                                         "baseline",  "probe", "min-samples", "positioning",
+                                         "receivers", "env"};
+  const std::set<std::string> flag_keys{"radio-on", "optimize-route", "adaptive-legs", "help"};
+  std::string error;
+  const auto args = remgen::util::Args::parse(argc, argv, value_keys, flag_keys, &error);
+  if (!args) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return usage();
+  }
+  if (args->command() == "campaign") return cmd_campaign(*args);
+  if (args->command() == "info") return cmd_info(*args);
+  if (args->command() == "evaluate") return cmd_evaluate(*args);
+  if (args->command() == "rem") return cmd_rem(*args);
+  if (args->command() == "query") return cmd_query(*args);
+  if (args->command() == "drift") return cmd_drift(*args);
+  return usage();
+}
