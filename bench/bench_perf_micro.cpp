@@ -4,14 +4,18 @@
 // rasterisation.
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
 #include <memory>
+#include <string_view>
 
 #include "core/rem_builder.hpp"
 #include "mission/campaign.hpp"
 #include "ml/kdtree.hpp"
 #include "ml/model_zoo.hpp"
 #include "ml/neural_net.hpp"
+#include "obs/export.hpp"
 #include "radio/scenario.hpp"
+#include "util/log.hpp"
 #include "uwb/lps.hpp"
 
 namespace {
@@ -130,4 +134,37 @@ BENCHMARK(BM_RemBuild25cm);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): runs with telemetry enabled and
+// writes the counter/gauge/histogram state of the benchmarked hot paths as a
+// BENCH_*.json-style machine-readable snapshot next to the binary
+// (REMGEN_METRICS_OUT overrides the path; REMGEN_TRACE_OUT additionally
+// dumps the span trace).
+int main(int argc, char** argv) {
+  remgen::util::init_log_level_from_args(argc, argv);
+  // Strip the flags we consumed so google-benchmark does not reject them.
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--log-level") {
+      ++i;  // skip the value too
+      continue;
+    }
+    if (arg.rfind("--log-level=", 0) == 0) continue;
+    argv[kept++] = argv[i];
+  }
+  argc = kept;
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  remgen::obs::set_enabled(true);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  const char* metrics_out = std::getenv("REMGEN_METRICS_OUT");
+  remgen::obs::export_metrics_json_file(metrics_out != nullptr
+                                            ? metrics_out
+                                            : "BENCH_perf_micro.metrics.json");
+  if (const char* trace_out = std::getenv("REMGEN_TRACE_OUT")) {
+    remgen::obs::export_trace_file(trace_out);
+  }
+  return 0;
+}

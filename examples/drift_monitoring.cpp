@@ -14,6 +14,7 @@
 #include "mission/campaign.hpp"
 #include "ml/model_zoo.hpp"
 #include "radio/scenario.hpp"
+#include "util/log.hpp"
 
 namespace {
 
@@ -42,7 +43,9 @@ void report(const char* when, const core::DriftReport& r) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  remgen::util::init_log_level_from_args(argc, argv);
+
   using namespace remgen;
 
   // Month 0: full campaign, build the REM.

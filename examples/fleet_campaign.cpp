@@ -8,8 +8,11 @@
 
 #include "mission/campaign.hpp"
 #include "radio/scenario.hpp"
+#include "util/log.hpp"
 
 int main(int argc, char** argv) {
+  remgen::util::init_log_level_from_args(argc, argv);
+
   using namespace remgen;
 
   const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 2022;

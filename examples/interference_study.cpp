@@ -6,8 +6,11 @@
 
 #include "radio/interference.hpp"
 #include "radio/scenario.hpp"
+#include "util/log.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  remgen::util::init_log_level_from_args(argc, argv);
+
   using namespace remgen;
 
   // 1. The analytical loss surface.

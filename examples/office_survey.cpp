@@ -11,8 +11,11 @@
 #include "mission/campaign.hpp"
 #include "ml/model_zoo.hpp"
 #include "radio/scenario.hpp"
+#include "util/log.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  remgen::util::init_log_level_from_args(argc, argv);
+
   using namespace remgen;
 
   util::Rng rng(2022);

@@ -6,8 +6,11 @@
 #include <cstdio>
 
 #include "core/pipeline.hpp"
+#include "util/log.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  remgen::util::init_log_level_from_args(argc, argv);
+
   using namespace remgen;
 
   // 1. A simulated indoor environment (apartment + neighbouring Wi-Fi APs).

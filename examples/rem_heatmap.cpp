@@ -10,6 +10,7 @@
 #include "core/rem_builder.hpp"
 #include "mission/campaign.hpp"
 #include "radio/scenario.hpp"
+#include "util/log.hpp"
 
 namespace {
 
@@ -26,7 +27,9 @@ char intensity_char(double rss_dbm) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  remgen::util::init_log_level_from_args(argc, argv);
+
   using namespace remgen;
 
   util::Rng rng(2022);

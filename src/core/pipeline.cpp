@@ -1,5 +1,7 @@
 #include "core/pipeline.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/contracts.hpp"
 #include "util/log.hpp"
 
@@ -7,27 +9,49 @@ namespace remgen::core {
 
 PipelineResult run_pipeline(const radio::Scenario& scenario, const PipelineConfig& config,
                             util::Rng& rng) {
+  obs::Span pipeline_span("pipeline");
   PipelineResult result;
-  result.campaign = mission::run_campaign(scenario, config.campaign, rng);
+  {
+    REMGEN_SPAN("pipeline.campaign");
+    result.campaign = mission::run_campaign(scenario, config.campaign, rng);
+  }
   REMGEN_EXPECTS(!result.campaign.dataset.empty());
 
-  result.preprocessed = result.campaign.dataset.filter_min_samples_per_mac(
-      config.min_samples_per_mac, &result.dropped_samples);
+  {
+    REMGEN_SPAN("pipeline.preprocess");
+    result.preprocessed = result.campaign.dataset.filter_min_samples_per_mac(
+        config.min_samples_per_mac, &result.dropped_samples);
+  }
   REMGEN_EXPECTS(!result.preprocessed.empty());
+  REMGEN_COUNTER_ADD("pipeline.dropped_samples", result.dropped_samples);
+  REMGEN_COUNTER_ADD("pipeline.preprocessed_samples", result.preprocessed.size());
 
   // Held-out evaluation of the configured model.
   util::Rng split_rng = rng.fork("train-test-split");
   const data::DatasetSplit split = result.preprocessed.split(config.train_fraction, split_rng);
   const std::unique_ptr<ml::Estimator> estimator = ml::make_model(config.model);
-  estimator->fit(split.train);
-  result.holdout = ml::evaluate(*estimator, split.test);
+  {
+    REMGEN_SPAN("pipeline.train");
+    estimator->fit(split.train);
+  }
+  {
+    REMGEN_SPAN("pipeline.eval");
+    result.holdout = ml::evaluate(*estimator, split.test);
+  }
+  REMGEN_GAUGE_SET("pipeline.holdout_rmse_dbm", result.holdout.rmse);
+  REMGEN_GAUGE_SET("pipeline.holdout_mae_dbm", result.holdout.mae);
   util::logf(util::LogLevel::Info, "pipeline", "{}: holdout RMSE {:.3f} dBm",
              estimator->name(), result.holdout.rmse);
 
   // The deliverable REM is built on all preprocessed data.
-  RemBuilderConfig rem_config = config.rem;
-  rem_config.min_samples_per_mac = config.min_samples_per_mac;
-  result.rem = build_rem(result.preprocessed, config.model, scenario.scan_volume(), rem_config);
+  {
+    REMGEN_SPAN("pipeline.rem_build");
+    RemBuilderConfig rem_config = config.rem;
+    rem_config.min_samples_per_mac = config.min_samples_per_mac;
+    result.rem =
+        build_rem(result.preprocessed, config.model, scenario.scan_volume(), rem_config);
+  }
+  REMGEN_COUNTER_ADD("pipeline.runs", 1);
   return result;
 }
 

@@ -3,6 +3,8 @@
 #include <map>
 
 #include "ml/kriging.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/contracts.hpp"
 
 namespace remgen::core {
@@ -10,6 +12,7 @@ namespace remgen::core {
 RadioEnvironmentMap build_rem(const data::Dataset& dataset, ml::Estimator& estimator,
                               const geom::Aabb& volume, const RemBuilderConfig& config) {
   REMGEN_EXPECTS(!dataset.empty());
+  obs::Span build_span("rem.build");
   const data::Dataset prepared =
       dataset.filter_min_samples_per_mac(config.min_samples_per_mac);
   REMGEN_EXPECTS(!prepared.empty());
@@ -61,6 +64,10 @@ RadioEnvironmentMap build_rem(const data::Dataset& dataset, ml::Estimator& estim
       }
     }
   }
+  REMGEN_COUNTER_ADD("rem.builds", 1);
+  REMGEN_COUNTER_ADD("rem.voxels_predicted", macs.size() * g.nx() * g.ny() * g.nz());
+  build_span.arg("macs", macs.size());
+  build_span.arg("voxels", g.nx() * g.ny() * g.nz());
   return rem;
 }
 

@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/contracts.hpp"
 #include "util/fmt.hpp"
 #include "util/log.hpp"
@@ -88,6 +90,11 @@ UavMissionStats BaseStation::run_mission(uav::Crazyflie& uav,
   last_scan_waypoint_ = -1;
   samples_this_mission_ = 0;
 
+  obs::set_sim_time(uav.now());
+  obs::Span mission_span("campaign.uav_mission");
+  mission_span.arg("uav", uav.id());
+  mission_span.arg("waypoints", waypoints.size());
+
   const double mission_start = uav.now();
   const std::size_t scans_before = uav.completed_scans();
 
@@ -96,7 +103,10 @@ UavMissionStats BaseStation::run_mission(uav::Crazyflie& uav,
                        uav.now());
   geom::Vec3 hover = uav.estimated_position();
   hover.z = config_.takeoff_height_m;
-  fly_phase(uav, hover, config_.takeoff_time_s, out);
+  {
+    REMGEN_SPAN("mission.takeoff");
+    fly_phase(uav, hover, config_.takeoff_time_s, out);
+  }
 
   for (std::size_t i = 0; i < waypoints.size(); ++i) {
     if (last_battery_fraction_ < config_.battery_abort_fraction) {
@@ -109,6 +119,10 @@ UavMissionStats BaseStation::run_mission(uav::Crazyflie& uav,
     const geom::Vec3& wp = waypoints[i];
     ++stats.waypoints_commanded;
 
+    obs::Span wp_span("campaign.waypoint");
+    wp_span.arg("uav", uav.id());
+    wp_span.arg("index", i);
+
     // (ii) fly to the waypoint. With adaptive timing the leg duration comes
     // from the actual leg length; the paper's fixed 4 s otherwise.
     double fly_time = config_.fly_time_s;
@@ -116,9 +130,18 @@ UavMissionStats BaseStation::run_mission(uav::Crazyflie& uav,
       const geom::Vec3 from = i == 0 ? uav.estimated_position() : waypoints[i - 1];
       fly_time = config_.leg_timing.fly_time_s(from.distance_to(wp));
     }
-    fly_phase(uav, wp, fly_time, out);
+    {
+      REMGEN_SPAN("mission.fly_leg");
+      fly_phase(uav, wp, fly_time, out);
+    }
 
+    int attempts_used = 0;
     for (int attempt = 0; attempt <= config_.scan_retries; ++attempt) {
+      obs::Span scan_span("campaign.scan");
+      scan_span.arg("waypoint", i);
+      scan_span.arg("attempt", attempt);
+      ++attempts_used;
+
       // (iii) initiate the on-demand scan.
       uav.link().base_send({"cmd", util::format("scan {}", i)}, uav.now());
       fly_phase(uav, wp, config_.scan_command_lead_s, out);
@@ -140,9 +163,11 @@ UavMissionStats BaseStation::run_mission(uav::Crazyflie& uav,
       // waypoint produced no metadata.
       if (last_scan_waypoint_ == static_cast<int>(i)) break;
     }
+    REMGEN_HISTOGRAM_OBSERVE("mission.scan_attempts", attempts_used, {1, 2, 3, 4});
   }
 
   // Land and shut down.
+  REMGEN_SPAN("mission.land");
   double landed_for = 0.0;
   for (double t = 0.0; t < config_.landing_time_s; t += config_.tick_s) {
     if (static_cast<int>(t / config_.setpoint_period_s) !=

@@ -4,15 +4,47 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/contracts.hpp"
 #include "util/fmt.hpp"
 #include "util/log.hpp"
 
 namespace remgen::mission {
 
+namespace {
+
+/// Single source for per-mission reporting: the Info log line and the
+/// campaign.* metrics both read the same UavMissionStats.
+void record_mission_stats(const UavMissionStats& stats) {
+  util::logf(util::LogLevel::Info, "campaign",
+             "uav {}: {} waypoints, {} scans, {} samples, active {:.1f}s", stats.uav_id,
+             stats.waypoints_commanded, stats.scans_completed, stats.samples_collected,
+             stats.active_time_s);
+  REMGEN_COUNTER_ADD("campaign.missions", 1);
+  REMGEN_COUNTER_ADD("campaign.waypoints_commanded", stats.waypoints_commanded);
+  REMGEN_COUNTER_ADD("campaign.scans_completed", stats.scans_completed);
+  REMGEN_COUNTER_ADD("campaign.samples_collected", stats.samples_collected);
+  REMGEN_COUNTER_ADD("campaign.tx_queue_drops", stats.tx_queue_drops);
+  if (stats.aborted_on_battery) REMGEN_COUNTER_ADD("campaign.battery_aborts", 1);
+  if (obs::enabled()) {
+    // Per-UAV metric names are dynamic, so they bypass the caching macros.
+    obs::registry()
+        .gauge(util::format("campaign.uav_{}.active_time_s", stats.uav_id))
+        .set(stats.active_time_s);
+    obs::registry()
+        .gauge(util::format("campaign.uav_{}.battery_remaining_fraction", stats.uav_id))
+        .set(stats.battery_remaining_fraction);
+  }
+}
+
+}  // namespace
+
 CampaignResult run_campaign(const radio::Scenario& scenario, const CampaignConfig& config,
                             util::Rng& rng) {
   REMGEN_EXPECTS(config.uav_count > 0);
+  obs::Span campaign_span("campaign");
+  campaign_span.arg("uav_count", config.uav_count);
   CampaignResult result;
 
   const std::vector<geom::Vec3> waypoints =
@@ -63,10 +95,7 @@ CampaignResult run_campaign(const radio::Scenario& scenario, const CampaignConfi
     for (int i = 0; i < 100; ++i) uav.step(config.mission.tick_s);
 
     UavMissionStats stats = station.run_mission(uav, slabs[u], result.dataset);
-    util::logf(util::LogLevel::Info, "campaign",
-               "uav {}: {} waypoints, {} scans, {} samples, active {:.1f}s", stats.uav_id,
-               stats.waypoints_commanded, stats.scans_completed, stats.samples_collected,
-               stats.active_time_s);
+    record_mission_stats(stats);
     result.uav_stats.push_back(stats);
   }
   return result;

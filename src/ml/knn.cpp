@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/contracts.hpp"
 #include "util/fmt.hpp"
 
@@ -36,6 +38,8 @@ KnnRegressor::KnnRegressor(const KnnConfig& config)
 
 void KnnRegressor::fit(std::span<const data::Sample> train) {
   REMGEN_EXPECTS(!train.empty());
+  REMGEN_SPAN("ml.knn.fit");
+  REMGEN_COUNTER_ADD("ml.knn.fits", 1);
   encoder_ = data::FeatureEncoder::fit(train, config_.features);
   features_ = encoder_.encode_all(train);
   targets_ = data::rss_targets(train);
@@ -44,6 +48,7 @@ void KnnRegressor::fit(std::span<const data::Sample> train) {
 
 double KnnRegressor::predict(const data::Sample& query) const {
   REMGEN_EXPECTS(fitted_);
+  REMGEN_COUNTER_ADD("ml.knn.predicts", 1);
   const std::vector<double> q = encoder_.encode(query);
   const std::size_t k = std::min(config_.n_neighbors, features_.size());
 

@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "math/matrix.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/contracts.hpp"
 #include "util/fmt.hpp"
 
@@ -54,6 +56,8 @@ KrigingRegressor::KrigingRegressor(const KrigingConfig& config) : config_(config
 
 void KrigingRegressor::fit(std::span<const data::Sample> train) {
   REMGEN_EXPECTS(!train.empty());
+  REMGEN_SPAN("ml.kriging.fit");
+  REMGEN_COUNTER_ADD("ml.kriging.fits", 1);
   fallback_.fit(train);
   models_.clear();
 
@@ -159,6 +163,7 @@ KrigingRegressor::Prediction KrigingRegressor::krige(const MacModel& model,
 
 KrigingRegressor::Prediction KrigingRegressor::predict_with_sigma(
     const data::Sample& query) const {
+  REMGEN_COUNTER_ADD("ml.kriging.predicts", 1);
   const auto it = models_.find(query.mac);
   if (it == models_.end()) return {fallback_.predict(query), 0.0};
   return krige(it->second, query.position);

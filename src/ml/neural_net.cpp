@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/contracts.hpp"
 #include "util/fmt.hpp"
 
@@ -52,6 +54,8 @@ std::vector<double> NeuralNetRegressor::forward(
 
 void NeuralNetRegressor::fit(std::span<const data::Sample> train) {
   REMGEN_EXPECTS(!train.empty());
+  REMGEN_SPAN("ml.nn.fit");
+  REMGEN_COUNTER_ADD("ml.nn.fits", 1);
   encoder_ = data::FeatureEncoder::fit(train, config_.features);
   const std::vector<std::vector<double>> features = encoder_.encode_all(train);
   std::vector<double> raw_targets = data::rss_targets(train);
@@ -91,6 +95,7 @@ void NeuralNetRegressor::fit(std::span<const data::Sample> train) {
 
   std::size_t adam_step = 0;
   for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    REMGEN_COUNTER_ADD("ml.nn.epochs", 1);
     rng.shuffle(order);
     double epoch_loss = 0.0;
 
@@ -170,6 +175,7 @@ void NeuralNetRegressor::fit(std::span<const data::Sample> train) {
 
 double NeuralNetRegressor::predict(const data::Sample& query) const {
   REMGEN_EXPECTS(fitted_);
+  REMGEN_COUNTER_ADD("ml.nn.predicts", 1);
   const std::vector<double> out = forward(encoder_.encode(query), nullptr);
   return target_scaler_.inverse(out[0]);
 }

@@ -1,5 +1,7 @@
 #include "ml/per_mac_knn.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/contracts.hpp"
 #include "util/fmt.hpp"
 
@@ -15,6 +17,8 @@ PerMacKnn::PerMacKnn(const KnnConfig& config) : config_(config) {
 
 void PerMacKnn::fit(std::span<const data::Sample> train) {
   REMGEN_EXPECTS(!train.empty());
+  REMGEN_SPAN("ml.per_mac_knn.fit");
+  REMGEN_COUNTER_ADD("ml.per_mac_knn.fits", 1);
   fallback_.fit(train);
 
   std::unordered_map<radio::MacAddress, std::vector<data::Sample>> groups;
@@ -29,6 +33,7 @@ void PerMacKnn::fit(std::span<const data::Sample> train) {
 }
 
 double PerMacKnn::predict(const data::Sample& query) const {
+  REMGEN_COUNTER_ADD("ml.per_mac_knn.predicts", 1);
   const auto it = models_.find(query.mac);
   if (it == models_.end()) return fallback_.predict(query);
   return it->second->predict(query);

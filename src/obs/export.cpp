@@ -1,0 +1,164 @@
+#include "obs/export.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <ostream>
+
+#include "util/fmt.hpp"
+#include "util/log.hpp"
+
+namespace remgen::obs {
+
+namespace {
+
+/// Prometheus metric names are [a-zA-Z_:][a-zA-Z0-9_:]*; our dotted names
+/// map onto a "remgen_" prefix with separators folded to underscores.
+std::string prometheus_name(std::string_view name) {
+  std::string out = "remgen_";
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+std::string bound_label(double bound) {
+  if (bound == static_cast<double>(static_cast<long long>(bound))) {
+    return util::format("{}", static_cast<long long>(bound));
+  }
+  return util::format("{}", bound);
+}
+
+}  // namespace
+
+Json metrics_to_json(const MetricsSnapshot& snapshot) {
+  Json::Object counters;
+  for (const auto& [name, value] : snapshot.counters) counters[name] = value;
+  Json::Object gauges;
+  for (const auto& [name, value] : snapshot.gauges) gauges[name] = value;
+  Json::Object histograms;
+  for (const auto& [name, h] : snapshot.histograms) {
+    Json::Array bounds;
+    for (const double b : h.upper_bounds) bounds.emplace_back(b);
+    Json::Array buckets;
+    for (const std::uint64_t c : h.bucket_counts) buckets.emplace_back(c);
+    Json::Object entry;
+    entry["upper_bounds"] = Json(std::move(bounds));
+    entry["bucket_counts"] = Json(std::move(buckets));
+    entry["count"] = h.count;
+    entry["sum"] = h.sum;
+    histograms[name] = Json(std::move(entry));
+  }
+  Json::Object root;
+  root["counters"] = Json(std::move(counters));
+  root["gauges"] = Json(std::move(gauges));
+  root["histograms"] = Json(std::move(histograms));
+  return Json(std::move(root));
+}
+
+void write_metrics_json(std::ostream& out, const MetricsSnapshot& snapshot) {
+  out << metrics_to_json(snapshot).dump(2) << '\n';
+}
+
+void write_prometheus(std::ostream& out, const MetricsSnapshot& snapshot) {
+  for (const auto& [name, value] : snapshot.counters) {
+    const std::string pname = prometheus_name(name) + "_total";
+    out << "# TYPE " << pname << " counter\n" << pname << ' ' << value << '\n';
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    const std::string pname = prometheus_name(name);
+    out << "# TYPE " << pname << " gauge\n"
+        << pname << ' ' << util::format("{:.17g}", value) << '\n';
+  }
+  for (const auto& [name, h] : snapshot.histograms) {
+    const std::string pname = prometheus_name(name);
+    out << "# TYPE " << pname << " histogram\n";
+    // Prometheus buckets are cumulative.
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < h.upper_bounds.size(); ++i) {
+      cumulative += h.bucket_counts[i];
+      out << pname << "_bucket{le=\"" << bound_label(h.upper_bounds[i]) << "\"} " << cumulative
+          << '\n';
+    }
+    out << pname << "_bucket{le=\"+Inf\"} " << h.count << '\n';
+    out << pname << "_sum " << util::format("{:.17g}", h.sum) << '\n';
+    out << pname << "_count " << h.count << '\n';
+  }
+}
+
+Json trace_to_json(std::span<const SpanRecord> records) {
+  Json::Array events;
+  events.reserve(records.size());
+  for (const SpanRecord& r : records) {
+    Json::Object event;
+    event["name"] = r.name;
+    event["cat"] = r.category;
+    event["ph"] = std::string(1, r.phase);
+    event["pid"] = 1;
+    event["tid"] = static_cast<std::uint64_t>(r.tid);
+    event["ts"] = r.start_us;
+    if (r.phase == 'X') event["dur"] = r.dur_us;
+    if (r.phase == 'i') event["s"] = "t";  // thread-scoped instant
+    Json::Object args;
+    args["span_id"] = r.id;
+    if (r.parent_id != 0) args["parent_id"] = r.parent_id;
+    args["depth"] = static_cast<std::uint64_t>(r.depth);
+    args["sim_start_s"] = r.sim_start_s;
+    if (r.phase == 'X') {
+      args["sim_end_s"] = r.sim_end_s;
+      args["sim_dur_s"] = r.sim_end_s - r.sim_start_s;
+    }
+    for (const auto& [key, value] : r.args) args[key] = value;
+    event["args"] = Json(std::move(args));
+    events.push_back(Json(std::move(event)));
+  }
+  Json::Object root;
+  root["traceEvents"] = Json(std::move(events));
+  root["displayTimeUnit"] = "ms";
+  return Json(std::move(root));
+}
+
+void write_chrome_trace(std::ostream& out, std::span<const SpanRecord> records) {
+  out << trace_to_json(records).dump(1) << '\n';
+}
+
+namespace {
+
+template <typename WriteFn>
+bool export_to_file(const std::string& path, const char* what, WriteFn&& write) {
+  std::ofstream out(path);
+  if (!out) {
+    util::logf(util::LogLevel::Warn, "obs", "cannot open {} for {} export", path, what);
+    return false;
+  }
+  write(out);
+  return bool(out);
+}
+
+}  // namespace
+
+bool export_metrics_json_file(const std::string& path) {
+  return export_to_file(path, "metrics", [](std::ostream& out) {
+    write_metrics_json(out, registry().snapshot());
+  });
+}
+
+bool export_prometheus_file(const std::string& path) {
+  return export_to_file(path, "prometheus", [](std::ostream& out) {
+    write_prometheus(out, registry().snapshot());
+  });
+}
+
+bool export_trace_file(const std::string& path) {
+  if (trace().dropped() > 0) {
+    util::logf(util::LogLevel::Warn, "obs", "trace buffer overflowed; {} spans dropped",
+               trace().dropped());
+  }
+  const std::vector<SpanRecord> records = trace().snapshot();
+  return export_to_file(path, "trace", [&records](std::ostream& out) {
+    write_chrome_trace(out, records);
+  });
+}
+
+}  // namespace remgen::obs

@@ -1,0 +1,38 @@
+// Telemetry exporters: Prometheus text exposition for the metrics registry,
+// a JSON metrics snapshot, and Chrome trace_event JSON that opens directly in
+// chrome://tracing / Perfetto.
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace remgen::obs {
+
+/// Metrics snapshot as a JSON document:
+/// {"counters": {...}, "gauges": {...}, "histograms": {name: {"buckets": ...}}}.
+[[nodiscard]] Json metrics_to_json(const MetricsSnapshot& snapshot);
+void write_metrics_json(std::ostream& out, const MetricsSnapshot& snapshot);
+
+/// Prometheus text exposition (# TYPE lines, histograms with _bucket/_sum/
+/// _count series). Metric names are sanitised ("campaign.samples_collected"
+/// -> "remgen_campaign_samples_collected_total").
+void write_prometheus(std::ostream& out, const MetricsSnapshot& snapshot);
+
+/// Chrome trace_event JSON ({"traceEvents": [...]}); complete spans become
+/// "ph":"X" events and instants "ph":"i", with sim-clock bounds and span
+/// ids/parents carried in "args".
+[[nodiscard]] Json trace_to_json(std::span<const SpanRecord> records);
+void write_chrome_trace(std::ostream& out, std::span<const SpanRecord> records);
+
+/// Convenience file sinks over the global registry / trace buffer. Return
+/// false (and log a warning) when the file cannot be written.
+bool export_metrics_json_file(const std::string& path);
+bool export_prometheus_file(const std::string& path);
+bool export_trace_file(const std::string& path);
+
+}  // namespace remgen::obs

@@ -1,0 +1,351 @@
+#include "obs/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+#include "util/fmt.hpp"
+
+namespace remgen::obs {
+
+namespace {
+
+[[noreturn]] void fail(std::string_view what, std::size_t offset) {
+  throw std::runtime_error(util::format("json: {} at offset {}", what, offset));
+}
+
+/// Shortest representation that round-trips a double and stays valid JSON.
+std::string number_to_string(double value) {
+  if (!std::isfinite(value)) throw std::runtime_error("json: non-finite number");
+  if (value == static_cast<double>(static_cast<long long>(value)) &&
+      std::abs(value) < 1e15) {
+    return util::format("{}", static_cast<long long>(value));
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", value);
+  return buf;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Json run() {
+    Json value = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters", pos_);
+    return value;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input", pos_);
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(util::format("expected '{}'", std::string(1, c)), pos_);
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) return false;
+    pos_ += literal.size();
+    return true;
+  }
+
+  Json parse_value() {
+    skip_ws();
+    const char c = peek();
+    switch (c) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return Json(parse_string());
+      case 't':
+        if (consume_literal("true")) return Json(true);
+        fail("bad literal", pos_);
+      case 'f':
+        if (consume_literal("false")) return Json(false);
+        fail("bad literal", pos_);
+      case 'n':
+        if (consume_literal("null")) return Json(nullptr);
+        fail("bad literal", pos_);
+      default: return parse_number();
+    }
+  }
+
+  Json parse_object() {
+    expect('{');
+    Json::Object object;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return Json(std::move(object));
+    }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      object[std::move(key)] = parse_value();
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return Json(std::move(object));
+    }
+  }
+
+  Json parse_array() {
+    expect('[');
+    Json::Array array;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return Json(std::move(array));
+    }
+    while (true) {
+      array.push_back(parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return Json(std::move(array));
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string", pos_);
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape", pos_);
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': append_codepoint(out); break;
+        default: fail("bad escape", pos_ - 1);
+      }
+    }
+  }
+
+  void append_codepoint(std::string& out) {
+    if (pos_ + 4 > text_.size()) fail("bad \\u escape", pos_);
+    unsigned cp = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_++];
+      cp <<= 4;
+      if (c >= '0' && c <= '9') cp |= static_cast<unsigned>(c - '0');
+      else if (c >= 'a' && c <= 'f') cp |= static_cast<unsigned>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') cp |= static_cast<unsigned>(c - 'A' + 10);
+      else fail("bad \\u escape", pos_ - 1);
+    }
+    // UTF-8 encode the BMP codepoint (surrogate pairs are passed through as
+    // two separate 3-byte sequences; the exporters never emit them).
+    if (cp < 0x80) {
+      out.push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  Json parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if ((c >= '0' && c <= '9') || c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) fail("expected value", pos_);
+    const std::string token(text_.substr(start, pos_ - start));
+    try {
+      std::size_t consumed = 0;
+      const double value = std::stod(token, &consumed);
+      if (consumed != token.size()) fail("bad number", start);
+      return Json(value);
+    } catch (const std::logic_error&) {
+      fail("bad number", start);
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+void dump_value(const Json& value, std::string& out, int indent, int depth);
+
+void append_newline_indent(std::string& out, int indent, int depth) {
+  if (indent < 0) return;
+  out.push_back('\n');
+  out.append(static_cast<std::size_t>(indent * depth), ' ');
+}
+
+void dump_value(const Json& value, std::string& out, int indent, int depth) {
+  if (value.is_null()) {
+    out += "null";
+  } else if (value.is_bool()) {
+    out += value.as_bool() ? "true" : "false";
+  } else if (value.is_number()) {
+    out += number_to_string(value.as_double());
+  } else if (value.is_string()) {
+    out += json_escape(value.as_string());
+  } else if (value.is_array()) {
+    const Json::Array& array = value.as_array();
+    if (array.empty()) {
+      out += "[]";
+      return;
+    }
+    out.push_back('[');
+    for (std::size_t i = 0; i < array.size(); ++i) {
+      if (i != 0) out.push_back(',');
+      append_newline_indent(out, indent, depth + 1);
+      dump_value(array[i], out, indent, depth + 1);
+    }
+    append_newline_indent(out, indent, depth);
+    out.push_back(']');
+  } else {
+    const Json::Object& object = value.as_object();
+    if (object.empty()) {
+      out += "{}";
+      return;
+    }
+    out.push_back('{');
+    bool first = true;
+    for (const auto& [key, member] : object) {
+      if (!first) out.push_back(',');
+      first = false;
+      append_newline_indent(out, indent, depth + 1);
+      out += json_escape(key);
+      out.push_back(':');
+      if (indent >= 0) out.push_back(' ');
+      dump_value(member, out, indent, depth + 1);
+    }
+    append_newline_indent(out, indent, depth);
+    out.push_back('}');
+  }
+}
+
+}  // namespace
+
+bool Json::as_bool() const {
+  if (!is_bool()) throw std::runtime_error("json: not a bool");
+  return std::get<bool>(value_);
+}
+
+double Json::as_double() const {
+  if (!is_number()) throw std::runtime_error("json: not a number");
+  return std::get<double>(value_);
+}
+
+const std::string& Json::as_string() const {
+  if (!is_string()) throw std::runtime_error("json: not a string");
+  return std::get<std::string>(value_);
+}
+
+const Json::Array& Json::as_array() const {
+  if (!is_array()) throw std::runtime_error("json: not an array");
+  return std::get<Array>(value_);
+}
+
+Json::Array& Json::as_array() {
+  if (!is_array()) throw std::runtime_error("json: not an array");
+  return std::get<Array>(value_);
+}
+
+const Json::Object& Json::as_object() const {
+  if (!is_object()) throw std::runtime_error("json: not an object");
+  return std::get<Object>(value_);
+}
+
+Json::Object& Json::as_object() {
+  if (!is_object()) throw std::runtime_error("json: not an object");
+  return std::get<Object>(value_);
+}
+
+const Json& Json::at(const std::string& key) const {
+  const Object& object = as_object();
+  const auto it = object.find(key);
+  if (it == object.end()) throw std::runtime_error("json: missing key '" + key + "'");
+  return it->second;
+}
+
+bool Json::contains(const std::string& key) const {
+  return is_object() && as_object().count(key) > 0;
+}
+
+Json& Json::operator[](const std::string& key) {
+  if (is_null()) value_ = Object{};
+  return as_object()[key];
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_value(*this, out, indent, 0);
+  return out;
+}
+
+Json Json::parse(std::string_view text) { return Parser(text).run(); }
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  out.push_back('"');
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+        break;
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+}  // namespace remgen::obs

@@ -1,0 +1,74 @@
+// Minimal JSON document: build, serialise, parse.
+//
+// Covers exactly what the telemetry exporters and their tests need — objects
+// (sorted keys, so serialisation is deterministic), arrays, strings with the
+// standard escapes, finite doubles, booleans and null. parse() accepts the
+// exporters' own output plus ordinary hand-written JSON; errors throw
+// std::runtime_error with an offset. Not a general-purpose library: no
+// comments, no NaN/Inf literals, no duplicate-key preservation.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace remgen::obs {
+
+class Json {
+ public:
+  using Array = std::vector<Json>;
+  using Object = std::map<std::string, Json>;
+
+  Json() : value_(nullptr) {}
+  Json(std::nullptr_t) : value_(nullptr) {}
+  Json(bool value) : value_(value) {}
+  Json(double value) : value_(value) {}
+  Json(int value) : value_(static_cast<double>(value)) {}
+  Json(std::int64_t value) : value_(static_cast<double>(value)) {}
+  Json(std::uint64_t value) : value_(static_cast<double>(value)) {}
+  Json(const char* value) : value_(std::string(value)) {}
+  Json(std::string value) : value_(std::move(value)) {}
+  Json(Array value) : value_(std::move(value)) {}
+  Json(Object value) : value_(std::move(value)) {}
+
+  [[nodiscard]] bool is_null() const { return std::holds_alternative<std::nullptr_t>(value_); }
+  [[nodiscard]] bool is_bool() const { return std::holds_alternative<bool>(value_); }
+  [[nodiscard]] bool is_number() const { return std::holds_alternative<double>(value_); }
+  [[nodiscard]] bool is_string() const { return std::holds_alternative<std::string>(value_); }
+  [[nodiscard]] bool is_array() const { return std::holds_alternative<Array>(value_); }
+  [[nodiscard]] bool is_object() const { return std::holds_alternative<Object>(value_); }
+
+  /// Typed accessors; throw std::runtime_error on kind mismatch.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_double() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const Array& as_array() const;
+  [[nodiscard]] Array& as_array();
+  [[nodiscard]] const Object& as_object() const;
+  [[nodiscard]] Object& as_object();
+
+  /// Object member access; at() throws when missing, contains() probes.
+  [[nodiscard]] const Json& at(const std::string& key) const;
+  [[nodiscard]] bool contains(const std::string& key) const;
+  /// Inserts null (converting this value to an object if null) when missing.
+  [[nodiscard]] Json& operator[](const std::string& key);
+
+  /// Serialises. indent < 0 -> compact one-line; otherwise pretty-printed
+  /// with `indent` spaces per level. Object keys come out sorted.
+  [[nodiscard]] std::string dump(int indent = -1) const;
+
+  /// Parses a complete JSON document (trailing whitespace allowed, trailing
+  /// garbage is an error). Throws std::runtime_error on malformed input.
+  [[nodiscard]] static Json parse(std::string_view text);
+
+ private:
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object> value_;
+};
+
+/// Escapes `text` into a quoted JSON string literal.
+[[nodiscard]] std::string json_escape(std::string_view text);
+
+}  // namespace remgen::obs

@@ -1,0 +1,112 @@
+// Scoped spans that nest into a trace tree.
+//
+// A Span is an RAII guard: construction captures wall-clock (microseconds on
+// the process-wide steady epoch) and the current simulated time (seconds, as
+// last published by obs::set_sim_time — the co-simulation loop publishes the
+// UAV clock every tick); destruction records the completed span into the
+// global TraceRecorder. A thread-local stack provides parent/child nesting,
+// so traces export directly as a tree in Chrome trace_event JSON
+// (chrome://tracing, Perfetto).
+//
+// Like the metrics registry, spans are runtime-gated by obs::enabled(): a
+// disabled span costs one relaxed load and a branch, and records nothing.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "util/fmt.hpp"
+
+namespace remgen::obs {
+
+namespace detail {
+inline std::atomic<double> g_sim_time_s{0.0};
+}  // namespace detail
+
+/// Publishes the current simulated time; spans sample it at their start/end.
+inline void set_sim_time(double now_s) noexcept {
+  detail::g_sim_time_s.store(now_s, std::memory_order_relaxed);
+}
+[[nodiscard]] inline double sim_time() noexcept {
+  return detail::g_sim_time_s.load(std::memory_order_relaxed);
+}
+
+/// Microseconds since the process trace epoch (steady clock; first use).
+[[nodiscard]] std::uint64_t wall_clock_us();
+
+/// One recorded trace event.
+struct SpanRecord {
+  std::string name;
+  std::string category = "remgen";
+  char phase = 'X';  ///< 'X' complete span, 'i' instant event.
+  std::uint64_t start_us = 0;
+  std::uint64_t dur_us = 0;
+  double sim_start_s = 0.0;
+  double sim_end_s = 0.0;
+  std::uint32_t tid = 0;
+  std::uint64_t id = 0;
+  std::uint64_t parent_id = 0;  ///< 0 when the span has no parent.
+  std::uint32_t depth = 0;
+  std::vector<std::pair<std::string, std::string>> args;
+};
+
+/// Thread-safe, bounded buffer of completed spans. Records past the capacity
+/// are dropped (and counted) instead of growing without bound.
+class TraceRecorder {
+ public:
+  void record(SpanRecord record);
+  [[nodiscard]] std::vector<SpanRecord> snapshot() const;
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t dropped() const noexcept {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+  void set_capacity(std::size_t capacity);
+  void clear();
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<SpanRecord> records_;
+  std::size_t capacity_ = 1u << 18;
+  std::atomic<std::size_t> dropped_{0};
+};
+
+/// The process-wide trace buffer.
+[[nodiscard]] TraceRecorder& trace();
+
+/// RAII scoped span. Inactive (and free apart from the enabled() check) when
+/// telemetry is off at construction time.
+class Span {
+ public:
+  explicit Span(std::string_view name, std::string_view category = "remgen");
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Attaches a key/value pair exported under the Chrome-trace "args" object.
+  void arg(std::string_view key, std::string_view value);
+  template <typename T>
+  void arg(std::string_view key, const T& value) {
+    if (active_) arg(key, std::string_view(util::format("{}", value)));
+  }
+
+ private:
+  bool active_ = false;
+  SpanRecord record_;
+};
+
+/// Records a zero-duration instant event (e.g. "crtp.radio_off").
+void instant(std::string_view name, std::string_view category = "remgen");
+
+}  // namespace remgen::obs
+
+#define REMGEN_OBS_CONCAT_INNER_(a, b) a##b
+#define REMGEN_OBS_CONCAT_(a, b) REMGEN_OBS_CONCAT_INNER_(a, b)
+
+/// Scoped span covering the rest of the enclosing block.
+#define REMGEN_SPAN(name) \
+  ::remgen::obs::Span REMGEN_OBS_CONCAT_(remgen_obs_span_, __LINE__)(name)

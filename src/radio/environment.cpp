@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.hpp"
 #include "util/contracts.hpp"
 
 namespace remgen::radio {
@@ -53,18 +54,22 @@ std::vector<Detection> RadioEnvironment::scan(const geom::Vec3& position, double
   REMGEN_EXPECTS(scan_duration_s > 0.0);
   const double dwell_s = scan_duration_s / static_cast<double>(kNumWifiChannels);
 
+  std::uint64_t fading_draws = 0;
+  std::uint64_t aps_considered = 0;
   std::vector<Detection> detections;
   for (int channel = 1; channel <= kNumWifiChannels; ++channel) {
     const double loss_prob =
         interference != nullptr ? interference->beacon_loss_probability(channel) : 0.0;
     for (const std::size_t ap_index : aps_by_channel_[static_cast<std::size_t>(channel - 1)]) {
       const AccessPoint& ap = aps_[ap_index];
+      ++aps_considered;
       const double mean = mean_rss_dbm(ap_index, position);
       // Quick reject: if even a +5-sigma fade cannot decode, skip the AP.
       if (beacon_decode_probability(mean + 5.0 * config_.fading_sigma_db) < 1e-4) continue;
 
       const double expected_beacons = dwell_s / ap.beacon_interval_s;
       const std::uint32_t beacons = rng.poisson(expected_beacons);
+      fading_draws += beacons;
       double best_rss = -1e9;
       bool detected = false;
       for (std::uint32_t b = 0; b < beacons; ++b) {
@@ -81,6 +86,12 @@ std::vector<Detection> RadioEnvironment::scan(const geom::Vec3& position, double
       }
     }
   }
+  REMGEN_COUNTER_ADD("radio.scans", 1);
+  REMGEN_COUNTER_ADD("radio.aps_considered", aps_considered);
+  REMGEN_COUNTER_ADD("radio.fading_draws", fading_draws);
+  REMGEN_COUNTER_ADD("radio.samples_generated", detections.size());
+  REMGEN_HISTOGRAM_OBSERVE("radio.scan_detections", detections.size(),
+                           {1, 2, 4, 8, 16, 32, 64});
   return detections;
 }
 

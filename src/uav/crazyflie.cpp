@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/contracts.hpp"
 #include "util/fmt.hpp"
 #include "util/log.hpp"
@@ -130,6 +132,8 @@ void Crazyflie::collect_scan_results() {
   }
   measuring_ = false;
   ++completed_scans_;
+  REMGEN_COUNTER_ADD("uav.scans_completed", 1);
+  REMGEN_COUNTER_ADD("uav.scan_tuples", tuples.size());
 }
 
 void Crazyflie::send_state_telemetry() {
@@ -143,6 +147,9 @@ void Crazyflie::send_state_telemetry() {
 void Crazyflie::step(double dt) {
   REMGEN_EXPECTS(dt > 0.0);
   now_s_ += dt;
+  // Publish the co-simulation clock so spans can carry simulated time.
+  if (obs::enabled()) obs::set_sim_time(now_s_);
+  REMGEN_COUNTER_ADD("uav.ticks", 1);
 
   // The nRF on-air interferer exists only while the base's dongle is up.
   interference_.set_enabled(link_.radio_enabled());
@@ -158,6 +165,7 @@ void Crazyflie::step(double dt) {
   if (measuring_ && deck_->state() == DeckState::Error) {
     util::logf(util::LogLevel::Warn, "crazyflie", "uav {}: scan failed at waypoint {}", id_,
                current_waypoint_);
+    REMGEN_COUNTER_ADD("uav.scan_failures", 1);
     measuring_ = false;
   }
   // Deck self-healing: a driver error (timeout, garbled reply) re-runs the
@@ -168,6 +176,7 @@ void Crazyflie::step(double dt) {
     if (now_s_ - deck_error_since_ > 0.5) {
       util::logf(util::LogLevel::Info, "crazyflie", "uav {}: reinitializing receiver deck",
                  id_);
+      REMGEN_COUNTER_ADD("uav.deck_reinits", 1);
       deck_->initialize(now_s_);
       deck_error_since_ = -1.0;
     }
@@ -179,6 +188,7 @@ void Crazyflie::step(double dt) {
   if (measuring_ && now_s_ >= next_hold_feed_s_) {
     commander_.set_setpoint(hold_position_, 0.0, now_s_);
     next_hold_feed_s_ = now_s_ + config_.hold_feed_period_s;
+    REMGEN_COUNTER_ADD("uav.hold_position_feeds", 1);
   }
 
   // 4. Commander staleness / watchdog.

@@ -1,10 +1,18 @@
 #include "uav/crtp.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace remgen::uav {
 
 void CrtpLink::set_radio_enabled(bool enabled, double now_s) {
   if (enabled == radio_on_) return;
   radio_on_ = enabled;
+  if (obs::enabled()) {
+    obs::set_sim_time(now_s);
+    obs::instant(enabled ? "crtp.radio_on" : "crtp.radio_off", "crtp");
+    obs::registry().counter(enabled ? "crtp.radio_on_events" : "crtp.radio_off_events").add(1);
+  }
   if (enabled) {
     // Flush the UAV TX queue through the restored link.
     while (!tx_queue_.empty()) {
@@ -12,6 +20,7 @@ void CrtpLink::set_radio_enabled(bool enabled, double now_s) {
       tx_queue_.pop_front();
       if (rng_.bernoulli(config_.loss_probability)) {
         ++link_drops_;
+        REMGEN_COUNTER_ADD("crtp.link_drops", 1);
         continue;
       }
       to_base_.push_back({std::move(packet), now_s + config_.latency_s});
@@ -24,6 +33,7 @@ bool CrtpLink::uav_send(CrtpPacket packet, double now_s) {
   if (!radio_on_) {
     if (tx_queue_.size() >= config_.tx_queue_size) {
       ++tx_queue_drops_;
+      REMGEN_COUNTER_ADD("crtp.tx_queue_drops", 1);
       return false;
     }
     tx_queue_.push_back(std::move(packet));
@@ -31,6 +41,7 @@ bool CrtpLink::uav_send(CrtpPacket packet, double now_s) {
   }
   if (rng_.bernoulli(config_.loss_probability)) {
     ++link_drops_;
+    REMGEN_COUNTER_ADD("crtp.link_drops", 1);
     return false;
   }
   to_base_.push_back({std::move(packet), now_s + config_.latency_s});
@@ -41,10 +52,12 @@ bool CrtpLink::base_send(CrtpPacket packet, double now_s) {
   packet.sent_at_s = now_s;
   if (!radio_on_) {
     ++link_drops_;
+    REMGEN_COUNTER_ADD("crtp.link_drops", 1);
     return false;
   }
   if (rng_.bernoulli(config_.loss_probability)) {
     ++link_drops_;
+    REMGEN_COUNTER_ADD("crtp.link_drops", 1);
     return false;
   }
   to_uav_.push_back({std::move(packet), now_s + config_.latency_s});

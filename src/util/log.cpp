@@ -1,7 +1,10 @@
 #include "util/log.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <ctime>
 #include <string>
 
 namespace remgen::util {
@@ -20,17 +23,74 @@ const char* level_name(LogLevel level) {
   }
   return "?";
 }
+
+/// UTC wall-clock "HH:MM:SS.mmm" for the line prefix.
+std::string timestamp() {
+  using namespace std::chrono;
+  const system_clock::time_point now = system_clock::now();
+  const std::time_t seconds = system_clock::to_time_t(now);
+  const auto millis =
+      duration_cast<milliseconds>(now.time_since_epoch()).count() % 1000;
+  std::tm utc{};
+  gmtime_r(&seconds, &utc);
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%02d:%02d:%02d.%03d", utc.tm_hour, utc.tm_min, utc.tm_sec,
+                static_cast<int>(millis));
+  return buf;
+}
 }  // namespace
 
 void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
 
 LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
+std::optional<LogLevel> log_level_from_string(std::string_view name) {
+  if (name == "trace") return LogLevel::Trace;
+  if (name == "debug") return LogLevel::Debug;
+  if (name == "info") return LogLevel::Info;
+  if (name == "warn") return LogLevel::Warn;
+  if (name == "error") return LogLevel::Error;
+  if (name == "off") return LogLevel::Off;
+  return std::nullopt;
+}
+
+void init_log_level_from_args(int argc, const char* const* argv) {
+  std::string_view requested;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--log-level" && i + 1 < argc) {
+      requested = argv[i + 1];
+    } else if (arg.rfind("--log-level=", 0) == 0) {
+      requested = arg.substr(std::string_view("--log-level=").size());
+    }
+  }
+  if (requested.empty()) {
+    if (const char* env = std::getenv("REMGEN_LOG_LEVEL")) requested = env;
+  }
+  if (requested.empty()) return;
+  if (const auto level = log_level_from_string(requested)) {
+    set_log_level(*level);
+  } else {
+    std::fprintf(stderr, "unknown log level '%.*s' (want trace|debug|info|warn|error|off)\n",
+                 static_cast<int>(requested.size()), requested.data());
+  }
+}
+
 void log_message(LogLevel level, std::string_view component, std::string_view message) {
   if (level < log_level()) return;
-  std::fprintf(stderr, "[%s] %.*s: %.*s\n", level_name(level),
-               static_cast<int>(component.size()), component.data(),
-               static_cast<int>(message.size()), message.data());
+  // Build the whole line first and emit it with one fwrite: stdio locks the
+  // stream per call, so concurrent writers cannot interleave partial lines.
+  std::string line;
+  line.reserve(24 + component.size() + message.size());
+  line += timestamp();
+  line += " [";
+  line += level_name(level);
+  line += "] ";
+  line.append(component.data(), component.size());
+  line += ": ";
+  line.append(message.data(), message.size());
+  line += '\n';
+  std::fwrite(line.data(), 1, line.size(), stderr);
 }
 
 }  // namespace remgen::util

@@ -2,6 +2,7 @@
 // below; the default level (Warn) keeps test and bench output clean.
 #pragma once
 
+#include <optional>
 #include <string_view>
 
 #include "util/fmt.hpp"
@@ -16,7 +17,18 @@ void set_log_level(LogLevel level);
 /// Current global minimum level.
 [[nodiscard]] LogLevel log_level();
 
-/// Emits one log line to stderr if `level` passes the global filter.
+/// Parses "trace|debug|info|warn|error|off" (case-sensitive, lowercase).
+[[nodiscard]] std::optional<LogLevel> log_level_from_string(std::string_view name);
+
+/// Applies a log level from the command line / environment: scans argv for
+/// "--log-level <name>" (also accepts "--log-level=<name>"), falling back to
+/// the REMGEN_LOG_LEVEL environment variable. Unknown names are reported on
+/// stderr and ignored. Intended for tools and examples.
+void init_log_level_from_args(int argc, const char* const* argv);
+
+/// Emits one log line to stderr if `level` passes the global filter. The line
+/// is timestamped, level-tagged and written with a single fwrite so
+/// concurrent writers cannot interleave partial lines.
 void log_message(LogLevel level, std::string_view component, std::string_view message);
 
 /// Formats and emits a log line lazily (arguments are only formatted when the

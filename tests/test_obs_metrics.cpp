@@ -1,0 +1,179 @@
+// Telemetry metrics registry: counter/gauge/histogram semantics, snapshot
+// determinism, concurrent increments, runtime gating and exporter output.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "obs/export.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+
+namespace {
+
+using namespace remgen;
+
+/// Turns telemetry on for the duration of a test.
+class ObsMetricsTest : public ::testing::Test {
+ protected:
+  void SetUp() override { obs::set_enabled(true); }
+  void TearDown() override { obs::set_enabled(false); }
+};
+
+TEST_F(ObsMetricsTest, CounterIsMonotonic) {
+  obs::Counter counter;
+  EXPECT_EQ(counter.value(), 0u);
+  counter.add();
+  counter.add(41);
+  EXPECT_EQ(counter.value(), 42u);
+  counter.reset();
+  EXPECT_EQ(counter.value(), 0u);
+}
+
+TEST_F(ObsMetricsTest, GaugeIsLastWriteWins) {
+  obs::Gauge gauge;
+  gauge.set(3.5);
+  EXPECT_DOUBLE_EQ(gauge.value(), 3.5);
+  gauge.set(-1.0);
+  EXPECT_DOUBLE_EQ(gauge.value(), -1.0);
+  gauge.add(0.5);
+  EXPECT_DOUBLE_EQ(gauge.value(), -0.5);
+}
+
+TEST_F(ObsMetricsTest, HistogramBucketsObservations) {
+  obs::Histogram histogram({1.0, 2.0, 4.0});
+  histogram.observe(0.5);   // <= 1
+  histogram.observe(1.0);   // <= 1 (bounds are inclusive)
+  histogram.observe(3.0);   // <= 4
+  histogram.observe(100.0); // +Inf
+  const std::vector<std::uint64_t> buckets = histogram.bucket_counts();
+  ASSERT_EQ(buckets.size(), 4u);
+  EXPECT_EQ(buckets[0], 2u);
+  EXPECT_EQ(buckets[1], 0u);
+  EXPECT_EQ(buckets[2], 1u);
+  EXPECT_EQ(buckets[3], 1u);
+  EXPECT_EQ(histogram.count(), 4u);
+  EXPECT_DOUBLE_EQ(histogram.sum(), 104.5);
+}
+
+TEST_F(ObsMetricsTest, RegistryReturnsStableInstances) {
+  obs::Counter& a = obs::registry().counter("test.stable");
+  obs::Counter& b = obs::registry().counter("test.stable");
+  EXPECT_EQ(&a, &b);
+  a.add(7);
+  EXPECT_EQ(b.value(), 7u);
+  // Histogram bounds are fixed by the first registration.
+  obs::Histogram& h1 = obs::registry().histogram("test.stable_histo", {1.0, 2.0});
+  obs::Histogram& h2 = obs::registry().histogram("test.stable_histo", {99.0});
+  EXPECT_EQ(&h1, &h2);
+  EXPECT_EQ(h2.upper_bounds().size(), 2u);
+}
+
+TEST_F(ObsMetricsTest, MacrosRecordWhenEnabledOnly) {
+  REMGEN_COUNTER_ADD("test.gated_counter", 5);
+  obs::set_enabled(false);
+  REMGEN_COUNTER_ADD("test.gated_counter", 100);
+  obs::set_enabled(true);
+  REMGEN_COUNTER_ADD("test.gated_counter", 1);
+  EXPECT_EQ(obs::registry().counter("test.gated_counter").value(),
+            obs::compiled() ? 6u : 0u);
+}
+
+TEST_F(ObsMetricsTest, ConcurrentIncrementsAreExact) {
+  obs::Counter& counter = obs::registry().counter("test.concurrent");
+  counter.reset();
+  obs::Histogram& histogram =
+      obs::registry().histogram("test.concurrent_histo", {0.5, 1.5});
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter, &histogram] {
+      for (int i = 0; i < kIncrements; ++i) {
+        counter.add();
+        histogram.observe(1.0);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(counter.value(), static_cast<std::uint64_t>(kThreads) * kIncrements);
+  EXPECT_GE(histogram.count(), static_cast<std::uint64_t>(kThreads) * kIncrements);
+}
+
+TEST_F(ObsMetricsTest, SnapshotIsDeterministic) {
+  obs::registry().counter("test.snap_b").reset();
+  obs::registry().counter("test.snap_a").add(1);
+  obs::registry().gauge("test.snap_gauge").set(2.5);
+  const obs::MetricsSnapshot one = obs::registry().snapshot();
+  const obs::MetricsSnapshot two = obs::registry().snapshot();
+  EXPECT_EQ(obs::metrics_to_json(one).dump(), obs::metrics_to_json(two).dump());
+  // std::map keys: name order is lexicographic, so serialisation is stable.
+  EXPECT_LT(one.counters.find("test.snap_a")->first, "test.snap_b");
+}
+
+TEST_F(ObsMetricsTest, JsonExportRoundTrips) {
+  obs::registry().counter("test.json_counter").reset();
+  obs::registry().counter("test.json_counter").add(1234);
+  obs::registry().gauge("test.json_gauge").set(-67.25);
+  obs::registry().histogram("test.json_histo", {1.0, 10.0}).observe(3.0);
+
+  std::ostringstream out;
+  obs::write_metrics_json(out, obs::registry().snapshot());
+  const obs::Json parsed = obs::Json::parse(out.str());
+
+  EXPECT_DOUBLE_EQ(parsed.at("counters").at("test.json_counter").as_double(), 1234.0);
+  EXPECT_DOUBLE_EQ(parsed.at("gauges").at("test.json_gauge").as_double(), -67.25);
+  const obs::Json& histo = parsed.at("histograms").at("test.json_histo");
+  EXPECT_GE(histo.at("count").as_double(), 1.0);
+  EXPECT_EQ(histo.at("upper_bounds").as_array().size(), 2u);
+  EXPECT_EQ(histo.at("bucket_counts").as_array().size(), 3u);
+}
+
+TEST_F(ObsMetricsTest, PrometheusExposition) {
+  obs::registry().counter("test.prom_counter").reset();
+  obs::registry().counter("test.prom_counter").add(3);
+  obs::Histogram& histogram = obs::registry().histogram("test.prom_histo", {1.0, 2.0});
+  histogram.reset();
+  histogram.observe(0.5);
+  histogram.observe(1.5);
+  histogram.observe(9.0);
+
+  std::ostringstream out;
+  obs::write_prometheus(out, obs::registry().snapshot());
+  const std::string text = out.str();
+  EXPECT_NE(text.find("# TYPE remgen_test_prom_counter_total counter"), std::string::npos);
+  EXPECT_NE(text.find("remgen_test_prom_counter_total 3"), std::string::npos);
+  // Buckets are cumulative; +Inf equals the total count.
+  EXPECT_NE(text.find("remgen_test_prom_histo_bucket{le=\"1\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("remgen_test_prom_histo_bucket{le=\"2\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("remgen_test_prom_histo_bucket{le=\"+Inf\"} 3"), std::string::npos);
+  EXPECT_NE(text.find("remgen_test_prom_histo_count 3"), std::string::npos);
+}
+
+TEST_F(ObsMetricsTest, JsonParserHandlesCoreGrammar) {
+  const obs::Json value = obs::Json::parse(
+      R"({"text": "a\"b\nc", "numbers": [1, -2.5, 1e3], "nested": {"ok": true, "no": null}})");
+  EXPECT_EQ(value.at("text").as_string(), "a\"b\nc");
+  ASSERT_EQ(value.at("numbers").as_array().size(), 3u);
+  EXPECT_DOUBLE_EQ(value.at("numbers").as_array()[2].as_double(), 1000.0);
+  EXPECT_TRUE(value.at("nested").at("ok").as_bool());
+  EXPECT_TRUE(value.at("nested").at("no").is_null());
+  // dump/parse round trip preserves the document.
+  EXPECT_EQ(obs::Json::parse(value.dump()).dump(), value.dump());
+  EXPECT_EQ(obs::Json::parse(value.dump(2)).dump(), value.dump());
+
+  EXPECT_THROW((void)obs::Json::parse("{\"unterminated\": "), std::runtime_error);
+  EXPECT_THROW((void)obs::Json::parse("[1, 2] trailing"), std::runtime_error);
+}
+
+TEST_F(ObsMetricsTest, ResetZeroesButKeepsMetrics) {
+  obs::Counter& counter = obs::registry().counter("test.reset_counter");
+  counter.add(10);
+  obs::registry().reset();
+  EXPECT_EQ(counter.value(), 0u);  // the same instance, zeroed
+  counter.add(2);
+  EXPECT_EQ(obs::registry().counter("test.reset_counter").value(), 2u);
+}
+
+}  // namespace

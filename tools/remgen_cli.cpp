@@ -23,8 +23,10 @@
 #include "mission/campaign.hpp"
 #include "ml/metrics.hpp"
 #include "ml/model_zoo.hpp"
+#include "obs/export.hpp"
 #include "radio/scenario.hpp"
 #include "util/args.hpp"
+#include "util/log.hpp"
 
 namespace {
 
@@ -40,6 +42,12 @@ int usage() {
       "  rem       build the REM raster and write it as CSV\n"
       "  query     predict per-transmitter RSS at a point\n"
       "  drift     compare a probe dataset against a baseline REM\n\n"
+      "telemetry (every command):\n"
+      "  --log-level trace|debug|info|warn|error|off   stderr log filter (default warn)\n"
+      "  --metrics-out FILE   enable telemetry, write a JSON metrics snapshot\n"
+      "  --metrics-prom FILE  enable telemetry, write Prometheus text exposition\n"
+      "  --trace-out FILE     enable telemetry, write Chrome trace_event JSON\n"
+      "                       (open in chrome://tracing or Perfetto)\n\n"
       "run `remgen <command> --help` semantics: see the header of tools/remgen_cli.cpp\n");
   return 2;
 }
@@ -251,11 +259,46 @@ int cmd_drift(const util::Args& args) {
 
 }  // namespace
 
+namespace {
+
+int dispatch(const util::Args& args) {
+  if (args.command() == "campaign") return cmd_campaign(args);
+  if (args.command() == "info") return cmd_info(args);
+  if (args.command() == "evaluate") return cmd_evaluate(args);
+  if (args.command() == "rem") return cmd_rem(args);
+  if (args.command() == "query") return cmd_query(args);
+  if (args.command() == "drift") return cmd_drift(args);
+  return usage();
+}
+
+/// Writes the requested telemetry sinks after the command has run.
+void export_telemetry(const util::Args& args) {
+  if (const std::string path = args.value("metrics-out"); !path.empty()) {
+    if (obs::export_metrics_json_file(path)) {
+      std::printf("metrics snapshot written to %s\n", path.c_str());
+    }
+  }
+  if (const std::string path = args.value("metrics-prom"); !path.empty()) {
+    if (obs::export_prometheus_file(path)) {
+      std::printf("prometheus metrics written to %s\n", path.c_str());
+    }
+  }
+  if (const std::string path = args.value("trace-out"); !path.empty()) {
+    if (obs::export_trace_file(path)) {
+      std::printf("chrome trace (%zu events) written to %s\n", obs::trace().size(),
+                  path.c_str());
+    }
+  }
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   const std::set<std::string> value_keys{"seed",      "grid",  "uavs",   "out",   "in",
                                          "model",     "split", "voxel",  "at",    "top",
                                          "baseline",  "probe", "min-samples", "positioning",
-                                         "receivers", "env"};
+                                         "receivers", "env",   "log-level", "metrics-out",
+                                         "metrics-prom", "trace-out"};
   const std::set<std::string> flag_keys{"radio-on", "optimize-route", "adaptive-legs", "help"};
   std::string error;
   const auto args = remgen::util::Args::parse(argc, argv, value_keys, flag_keys, &error);
@@ -263,11 +306,29 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", error.c_str());
     return usage();
   }
-  if (args->command() == "campaign") return cmd_campaign(*args);
-  if (args->command() == "info") return cmd_info(*args);
-  if (args->command() == "evaluate") return cmd_evaluate(*args);
-  if (args->command() == "rem") return cmd_rem(*args);
-  if (args->command() == "query") return cmd_query(*args);
-  if (args->command() == "drift") return cmd_drift(*args);
-  return usage();
+
+  if (args->has("log-level")) {
+    if (const auto level = util::log_level_from_string(args->value("log-level"))) {
+      util::set_log_level(*level);
+    } else {
+      std::fprintf(stderr, "unknown log level '%s' (want trace|debug|info|warn|error|off)\n",
+                   args->value("log-level").c_str());
+      return 2;
+    }
+  }
+
+  const bool telemetry = args->has("metrics-out") || args->has("metrics-prom") ||
+                         args->has("trace-out");
+  if (telemetry) {
+    if (!obs::compiled()) {
+      std::fprintf(stderr,
+                   "warning: telemetry was compiled out (-DREMGEN_OBS=OFF); "
+                   "exports will be empty\n");
+    }
+    obs::set_enabled(true);
+  }
+
+  const int status = dispatch(*args);
+  if (telemetry) export_telemetry(*args);
+  return status;
 }
