@@ -4,13 +4,21 @@
 // rasterisation.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
 #include <cstdlib>
+#include <functional>
+#include <limits>
 #include <memory>
 #include <string_view>
 
 #include "core/rem_builder.hpp"
+#include "exec/config.hpp"
 #include "mission/campaign.hpp"
+#include "ml/grid_search.hpp"
 #include "ml/kdtree.hpp"
+#include "ml/knn.hpp"
 #include "ml/model_zoo.hpp"
 #include "ml/neural_net.hpp"
 #include "obs/export.hpp"
@@ -132,6 +140,98 @@ void BM_RemBuild25cm(benchmark::State& state) {
 }
 BENCHMARK(BM_RemBuild25cm);
 
+/// Best-of-two wall-clock seconds for one invocation of `fn`.
+double time_seconds(const std::function<void()>& fn) {
+  double best = std::numeric_limits<double>::infinity();
+  for (int rep = 0; rep < 2; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    best = std::min(best,
+                    std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count());
+  }
+  return best;
+}
+
+/// Times the three parallelized paths — fleet campaign, REM voxel
+/// prediction, grid search — at 1, 2 and N threads and writes the speedup
+/// report as BENCH_parallel.json (REMGEN_PARALLEL_OUT overrides the path,
+/// REMGEN_BENCH_THREADS the top width). Numbers are honest wall-clock on the
+/// current machine: on a single hardware thread the speedup stays ~1.
+void write_parallel_report() {
+  Fixture& f = fixture();
+  const std::size_t previous = exec::thread_count();
+  std::size_t top = std::max<std::size_t>(4, exec::hardware_threads());
+  if (const char* env = std::getenv("REMGEN_BENCH_THREADS")) {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed > 0) top = static_cast<std::size_t>(parsed);
+  }
+  std::vector<std::size_t> widths{1, 2, top};
+  widths.erase(std::unique(widths.begin(), widths.end()), widths.end());
+
+  const auto campaign = [&] {
+    mission::CampaignConfig config;
+    config.uav_count = 4;
+    util::Rng rng(7);
+    benchmark::DoNotOptimize(mission::run_campaign(f.scenario, config, rng));
+  };
+  const auto rem_build = [&] {
+    const auto model = ml::make_model(ml::ModelKind::KnnScaled16);
+    core::RemBuilderConfig config;
+    config.voxel_m = 0.25;
+    benchmark::DoNotOptimize(
+        core::build_rem(f.dataset, *model, f.scenario.scan_volume(), config));
+  };
+  const auto grid = [&] {
+    std::vector<ml::KnnConfig> candidates;
+    for (std::size_t k = 1; k <= 8; ++k) {
+      for (const ml::KnnWeights w : {ml::KnnWeights::Uniform, ml::KnnWeights::Distance}) {
+        ml::KnnConfig config;
+        config.n_neighbors = k;
+        config.weights = w;
+        candidates.push_back(config);
+      }
+    }
+    util::Rng rng(7);
+    benchmark::DoNotOptimize(ml::grid_search(
+        candidates,
+        [](const ml::KnnConfig& c) { return std::make_unique<ml::KnnRegressor>(c); },
+        f.dataset.samples(), 0.25, rng));
+  };
+
+  struct Path {
+    const char* name;
+    const std::function<void()>* fn;
+  };
+  const std::function<void()> fns[] = {campaign, rem_build, grid};
+  const Path paths[] = {{"campaign", &fns[0]}, {"rem_build", &fns[1]}, {"grid_search", &fns[2]}};
+
+  const char* out_path = std::getenv("REMGEN_PARALLEL_OUT");
+  std::FILE* out = std::fopen(out_path != nullptr ? out_path : "BENCH_parallel.json", "w");
+  if (out == nullptr) return;
+  std::fprintf(out, "{\n  \"threads_max\": %zu,\n  \"paths\": [\n", top);
+  bool first_path = true;
+  for (const Path& path : paths) {
+    double t1 = 0.0;
+    std::fprintf(out, "%s    {\"name\": \"%s\", \"seconds\": {", first_path ? "" : ",\n",
+                 path.name);
+    first_path = false;
+    bool first_width = true;
+    double t_top = 0.0;
+    for (const std::size_t width : widths) {
+      exec::set_thread_count(width);
+      const double t = time_seconds(*path.fn);
+      if (width == 1) t1 = t;
+      t_top = t;
+      std::fprintf(out, "%s\"%zu\": %.6f", first_width ? "" : ", ", width, t);
+      first_width = false;
+    }
+    std::fprintf(out, "}, \"speedup_at_max\": %.3f}", t_top > 0.0 ? t1 / t_top : 0.0);
+  }
+  std::fprintf(out, "\n  ]\n}\n");
+  std::fclose(out);
+  exec::set_thread_count(previous);
+}
+
 }  // namespace
 
 // Custom main instead of BENCHMARK_MAIN(): runs with telemetry enabled and
@@ -158,6 +258,7 @@ int main(int argc, char** argv) {
   remgen::obs::set_enabled(true);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  write_parallel_report();
 
   const char* metrics_out = std::getenv("REMGEN_METRICS_OUT");
   remgen::obs::export_metrics_json_file(metrics_out != nullptr

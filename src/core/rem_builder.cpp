@@ -1,7 +1,9 @@
 #include "core/rem_builder.hpp"
 
-#include <map>
+#include <algorithm>
+#include <unordered_map>
 
+#include "exec/parallel.hpp"
 #include "ml/kriging.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -20,16 +22,20 @@ RadioEnvironmentMap build_rem(const data::Dataset& dataset, ml::Estimator& estim
   estimator.fit(prepared.samples());
 
   // Representative channel per MAC (most frequent) so estimators with channel
-  // features can be queried sensibly.
-  std::map<radio::MacAddress, std::map<int, std::size_t>> channel_counts;
+  // features can be queried sensibly. Single hashed pass over the samples;
+  // ties break toward the lowest channel, as the ordered-map scan used to.
+  std::unordered_map<radio::MacAddress, std::unordered_map<int, std::size_t>> channel_counts;
+  channel_counts.reserve(64);
   for (const data::Sample& s : prepared.samples()) ++channel_counts[s.mac][s.channel];
-  std::map<radio::MacAddress, int> channel_of;
+  std::unordered_map<radio::MacAddress, int> channel_of;
+  channel_of.reserve(channel_counts.size());
   std::vector<radio::MacAddress> macs;
+  macs.reserve(channel_counts.size());
   for (const auto& [mac, counts] : channel_counts) {
     int best_channel = 1;
     std::size_t best_count = 0;
     for (const auto& [channel, count] : counts) {
-      if (count > best_count) {
+      if (count > best_count || (count == best_count && channel < best_channel)) {
         best_count = count;
         best_channel = channel;
       }
@@ -37,33 +43,43 @@ RadioEnvironmentMap build_rem(const data::Dataset& dataset, ml::Estimator& estim
     channel_of[mac] = best_channel;
     macs.push_back(mac);
   }
+  std::sort(macs.begin(), macs.end());
 
   const auto* kriging = dynamic_cast<const ml::KrigingRegressor*>(&estimator);
 
   RadioEnvironmentMap rem(geom::GridGeometry::with_resolution(volume, config.voxel_m), macs);
   const geom::GridGeometry& g = rem.geometry();
-  for (const radio::MacAddress& mac : macs) {
-    data::Sample query;
-    query.mac = mac;
-    query.channel = channel_of.at(mac);
-    for (std::size_t iz = 0; iz < g.nz(); ++iz) {
-      for (std::size_t iy = 0; iy < g.ny(); ++iy) {
-        for (std::size_t ix = 0; ix < g.nx(); ++ix) {
-          const geom::VoxelIndex v{ix, iy, iz};
-          query.position = g.voxel_center(v);
-          RemCell cell;
-          if (kriging != nullptr) {
-            const auto p = kriging->predict_with_sigma(query);
-            cell.rss_dbm = p.value;
-            cell.sigma_db = p.sigma;
-          } else {
-            cell.rss_dbm = estimator.predict(query);
+
+  // One task per (mac, z-slab). Estimator::predict is const and every task
+  // writes a disjoint set of cells, so tasks are independent; the cell values
+  // do not depend on evaluation order, so any schedule produces the same REM.
+  const std::size_t nz = g.nz();
+  exec::parallel_for(
+      macs.size() * nz,
+      [&](std::size_t t) {
+        const radio::MacAddress& mac = macs[t / nz];
+        const std::size_t iz = t % nz;
+        data::Sample query;
+        query.mac = mac;
+        query.channel = channel_of.at(mac);
+        for (std::size_t iy = 0; iy < g.ny(); ++iy) {
+          for (std::size_t ix = 0; ix < g.nx(); ++ix) {
+            const geom::VoxelIndex v{ix, iy, iz};
+            query.position = g.voxel_center(v);
+            RemCell cell;
+            if (kriging != nullptr) {
+              const auto p = kriging->predict_with_sigma(query);
+              cell.rss_dbm = p.value;
+              cell.sigma_db = p.sigma;
+            } else {
+              cell.rss_dbm = estimator.predict(query);
+            }
+            rem.set_cell(mac, v, cell);
           }
-          rem.set_cell(mac, v, cell);
         }
-      }
-    }
-  }
+      },
+      /*chunk=*/1);
+
   REMGEN_COUNTER_ADD("rem.builds", 1);
   REMGEN_COUNTER_ADD("rem.voxels_predicted", macs.size() * g.nx() * g.ny() * g.nz());
   build_span.arg("macs", macs.size());

@@ -1,0 +1,46 @@
+#include "exec/config.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <thread>
+
+namespace remgen::exec {
+
+namespace {
+
+std::size_t resolve_default() {
+  if (const char* env = std::getenv("REMGEN_THREADS")) {
+    char* end = nullptr;
+    const long parsed = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && parsed > 0) return static_cast<std::size_t>(parsed);
+  }
+  return hardware_threads();
+}
+
+/// 0 = "not yet resolved / reset": thread_count() re-resolves the default.
+std::atomic<std::size_t>& configured() {
+  static std::atomic<std::size_t> value{0};
+  return value;
+}
+
+}  // namespace
+
+std::size_t hardware_threads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+std::size_t thread_count() {
+  std::size_t value = configured().load(std::memory_order_relaxed);
+  if (value == 0) {
+    value = resolve_default();
+    configured().store(value, std::memory_order_relaxed);
+  }
+  return value;
+}
+
+void set_thread_count(std::size_t n) {
+  configured().store(n, std::memory_order_relaxed);
+}
+
+}  // namespace remgen::exec

@@ -1,0 +1,29 @@
+// Process-wide parallel-execution configuration.
+//
+// Every parallel region in remgen sizes itself from exec::thread_count():
+//   * --threads N on the CLI (exec::set_thread_count) takes precedence,
+//   * otherwise the REMGEN_THREADS environment variable,
+//   * otherwise the hardware concurrency.
+// A count of 1 is the exact sequential fallback: parallel_for/parallel_map
+// degenerate to plain in-order loops on the calling thread, and every
+// parallel path in the toolchain is required (and tested) to produce output
+// byte-identical to that fallback at any other thread count.
+#pragma once
+
+#include <cstddef>
+
+namespace remgen::exec {
+
+/// The configured execution width (always >= 1). Resolved once from
+/// REMGEN_THREADS / hardware concurrency, unless overridden.
+[[nodiscard]] std::size_t thread_count();
+
+/// Overrides the execution width. `n == 0` resets to the default resolution
+/// (REMGEN_THREADS, then hardware concurrency). Takes effect for the next
+/// parallel region; never call it from inside one.
+void set_thread_count(std::size_t n);
+
+/// The machine's hardware concurrency, floored at 1.
+[[nodiscard]] std::size_t hardware_threads();
+
+}  // namespace remgen::exec

@@ -1,0 +1,70 @@
+// Deterministic fork/join algorithms on top of the shared thread pool.
+//
+// parallel_for / parallel_map are drop-in replacements for plain loops with
+// one contract: the result must not depend on the execution schedule. Bodies
+// write only to index-addressed slots (parallel_map enforces this shape), so
+// running at exec::thread_count() == 1 — a literal in-order loop on the
+// calling thread — produces byte-identical output to any other width.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "exec/config.hpp"
+#include "exec/thread_pool.hpp"
+
+namespace remgen::exec {
+
+namespace detail {
+
+/// Default chunk size: ~4 chunks per execution context balances scheduling
+/// overhead against tail latency without making claim order observable.
+inline std::size_t default_chunk(std::size_t n, std::size_t contexts) {
+  const std::size_t chunk = n / (contexts * 4);
+  return chunk == 0 ? 1 : chunk;
+}
+
+}  // namespace detail
+
+/// Runs `body(i)` for every i in [0, n). Chunks of `chunk` consecutive
+/// indices are claimed atomically by the pool's workers plus the calling
+/// thread; `chunk == 0` picks a size automatically. With thread_count() == 1
+/// (or inside an enclosing parallel region) this is a plain sequential loop.
+/// The first exception thrown by any iteration is rethrown on the caller.
+template <typename Body>
+void parallel_for(std::size_t n, Body&& body, std::size_t chunk = 0) {
+  if (n == 0) return;
+  ThreadPool* pool = shared_pool();
+  if (pool == nullptr || ThreadPool::in_parallel_region()) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  if (chunk == 0) chunk = detail::default_chunk(n, pool->worker_count() + 1);
+  const std::function<void(std::size_t, std::size_t)> run =
+      [&body](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) body(i);
+      };
+  pool->run_chunked(n, chunk, run);
+}
+
+/// Computes `fn(i)` for every i in [0, n) and returns the results in index
+/// order — the reduction order is fixed regardless of which thread produced
+/// which element. R needs no default constructor (slots are std::optional
+/// internally). Exceptions propagate like parallel_for.
+template <typename Fn>
+auto parallel_map(std::size_t n, Fn&& fn, std::size_t chunk = 0)
+    -> std::vector<decltype(fn(std::size_t{0}))> {
+  using R = decltype(fn(std::size_t{0}));
+  std::vector<std::optional<R>> slots(n);
+  parallel_for(
+      n, [&](std::size_t i) { slots[i].emplace(fn(i)); }, chunk);
+  std::vector<R> out;
+  out.reserve(n);
+  for (std::optional<R>& slot : slots) out.push_back(std::move(*slot));
+  return out;
+}
+
+}  // namespace remgen::exec

@@ -1,0 +1,170 @@
+#include "exec/thread_pool.hpp"
+
+#include "exec/config.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/contracts.hpp"
+
+namespace remgen::exec {
+
+namespace {
+
+/// Set while the current thread executes a chunk, so nested regions inline.
+thread_local bool t_in_region = false;
+
+}  // namespace
+
+bool ThreadPool::in_parallel_region() noexcept { return t_in_region; }
+
+ThreadPool::ThreadPool(std::size_t workers) {
+  workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen_seq = 0;
+  while (true) {
+    std::shared_ptr<Region> region;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [&] { return stop_ || seq_ != seen_seq; });
+      if (stop_) return;
+      seen_seq = seq_;
+      region = region_;
+    }
+    if (region) drain(*region);
+  }
+}
+
+void ThreadPool::drain(Region& region) {
+  t_in_region = true;
+  while (true) {
+    const std::size_t c = region.next_chunk.fetch_add(1, std::memory_order_relaxed);
+    if (c >= region.total_chunks) break;
+    const std::size_t begin = c * region.chunk;
+    const std::size_t end = std::min(begin + region.chunk, region.n);
+    const bool timed = obs::enabled();
+    const std::uint64_t t0 = timed ? obs::wall_clock_us() : 0;
+    try {
+      // Skip the body once a sibling chunk failed; the region still drains
+      // so completion accounting stays exact.
+      if (!region.failed.load(std::memory_order_relaxed)) (*region.body)(begin, end);
+    } catch (...) {
+      region.failed.store(true, std::memory_order_relaxed);
+      const std::lock_guard<std::mutex> lock(region.error_mutex);
+      if (!region.error) region.error = std::current_exception();
+    }
+    if (timed) {
+      region.busy_us.fetch_add(obs::wall_clock_us() - t0, std::memory_order_relaxed);
+    }
+    REMGEN_COUNTER_ADD("exec.tasks", 1);
+    if (region.done_chunks.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+        region.total_chunks) {
+      // Take and drop the pool mutex so the completion store cannot slip
+      // between the caller's predicate check and its sleep (lost wakeup).
+      { const std::lock_guard<std::mutex> lock(mutex_); }
+      done_cv_.notify_all();
+    }
+  }
+  t_in_region = false;
+}
+
+void ThreadPool::run_chunked(std::size_t n, std::size_t chunk,
+                             const std::function<void(std::size_t, std::size_t)>& body) {
+  REMGEN_EXPECTS(chunk > 0);
+  if (n == 0) return;
+
+  // Nested region (worker thread or re-entrant caller): run inline. The
+  // sequential in-order execution keeps nested parallel_for deterministic.
+  if (t_in_region) {
+    body(0, n);
+    return;
+  }
+
+  const std::lock_guard<std::mutex> caller_lock(caller_mutex_);
+  auto region = std::make_shared<Region>();
+  region->n = n;
+  region->chunk = chunk;
+  region->total_chunks = (n + chunk - 1) / chunk;
+  region->body = &body;
+
+  obs::Span span("exec.parallel_for", "exec");
+  span.arg("n", n);
+  span.arg("chunks", region->total_chunks);
+  span.arg("workers", workers_.size());
+  REMGEN_COUNTER_ADD("exec.regions", 1);
+  REMGEN_GAUGE_SET("exec.queue_depth", region->total_chunks);
+  const std::uint64_t region_t0 = obs::enabled() ? obs::wall_clock_us() : 0;
+
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    region_ = region;
+    ++seq_;
+  }
+  work_cv_.notify_all();
+
+  // The calling thread is an execution context too.
+  drain(*region);
+
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&] {
+      return region->done_chunks.load(std::memory_order_acquire) == region->total_chunks;
+    });
+    region_ = nullptr;
+  }
+
+  REMGEN_GAUGE_SET("exec.queue_depth", 0);
+  if (obs::enabled()) {
+    // Utilization of the region: busy time over (contexts x wall time).
+    const std::uint64_t wall = obs::wall_clock_us() - region_t0;
+    const std::size_t contexts = workers_.size() + 1;
+    if (wall > 0) {
+      obs::registry()
+          .gauge("exec.pool.utilization")
+          .set(static_cast<double>(region->busy_us.load(std::memory_order_relaxed)) /
+               (static_cast<double>(wall) * static_cast<double>(contexts)));
+    }
+  }
+
+  std::exception_ptr error;
+  {
+    const std::lock_guard<std::mutex> lock(region->error_mutex);
+    error = region->error;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+ThreadPool* shared_pool() {
+  // The pool is (re)built lazily when the configured width changes; callers
+  // never hold a region open across a set_thread_count, so swapping here is
+  // safe. Guarded so concurrent top-level callers agree on one instance.
+  static std::mutex pool_mutex;
+  static std::unique_ptr<ThreadPool> pool;
+  static std::size_t pool_width = 0;
+
+  const std::size_t width = thread_count();
+  if (width <= 1) return nullptr;
+
+  const std::lock_guard<std::mutex> lock(pool_mutex);
+  if (!pool || pool_width != width) {
+    pool.reset();  // join the old workers before spawning the new set
+    pool = std::make_unique<ThreadPool>(width - 1);
+    pool_width = width;
+    REMGEN_GAUGE_SET("exec.pool.workers", width - 1);
+  }
+  return pool.get();
+}
+
+}  // namespace remgen::exec

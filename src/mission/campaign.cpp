@@ -3,7 +3,9 @@
 #include "mission/planner.hpp"
 
 #include <algorithm>
+#include <utility>
 
+#include "exec/parallel.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/contracts.hpp"
@@ -38,11 +40,27 @@ void record_mission_stats(const UavMissionStats& stats) {
   }
 }
 
+/// One UAV's schedulable unit: its slab index plus the RNG pre-forked from
+/// the campaign stream in UAV order, so the parent stream is consumed exactly
+/// as the sequential implementation consumed it.
+struct MissionTask {
+  std::size_t uav;
+  geom::Vec3 start;  ///< Floor position beneath the slab's pre-planning front.
+  util::Rng rng;
+};
+
+/// What a mission produces; merged back into CampaignResult in UAV order.
+struct MissionOutcome {
+  UavMissionStats stats;
+  data::Dataset dataset;
+};
+
 }  // namespace
 
 CampaignResult run_campaign(const radio::Scenario& scenario, const CampaignConfig& config,
                             util::Rng& rng) {
   REMGEN_EXPECTS(config.uav_count > 0);
+  REMGEN_EXPECTS(!config.receivers.empty());
   obs::Span campaign_span("campaign");
   campaign_span.arg("uav_count", config.uav_count);
   CampaignResult result;
@@ -61,10 +79,15 @@ CampaignResult run_campaign(const radio::Scenario& scenario, const CampaignConfi
           ? uwb::corner_anchors(scenario.scan_volume())
           : uwb::corner_anchors_subset(scenario.scan_volume(), config.anchor_count);
 
-  BaseStation station(config.mission);
+  // Sequential pre-pass in UAV order: route planning and RNG forking both
+  // touch shared state (the slabs and the campaign RNG stream), and the fork
+  // order is part of the determinism contract — the forked streams must match
+  // what a threads=1 run hands each UAV.
+  std::vector<MissionTask> tasks;
+  tasks.reserve(slabs.size());
   for (std::size_t u = 0; u < slabs.size(); ++u) {
     if (slabs[u].empty()) continue;
-    // Each UAV starts on the floor beneath its first waypoint.
+    // Each UAV starts on the floor beneath its (pre-planning) first waypoint.
     geom::Vec3 start = slabs[u].front();
     start.z = 0.0;
     if (config.optimize_route) {
@@ -73,30 +96,51 @@ CampaignResult run_campaign(const radio::Scenario& scenario, const CampaignConfi
       slabs[u] = plan_route(slabs[u], airborne_start);
       result.assignments[u] = slabs[u];  // keep the report in sync
     }
-    util::Rng uav_rng = rng.fork(util::format("uav-{}", u));
-    std::unique_ptr<uwb::PositioningSystem> positioning;
-    if (config.positioning == PositioningKind::Lighthouse) {
-      positioning = std::make_unique<lighthouse::LighthouseSystem>(
-          lighthouse::standard_two_station_setup(scenario.scan_volume()),
-          &scenario.floorplan(), config.lighthouse, uav_rng.fork("lighthouse"));
-    } else {
-      positioning = std::make_unique<uwb::LocoPositioningSystem>(
-          anchors, &scenario.floorplan(), config.uav.lps, uav_rng.fork("lps"));
-    }
-    std::unique_ptr<uav::RemReceiverDeck> deck;
-    REMGEN_EXPECTS(!config.receivers.empty());
-    if (config.receivers[u % config.receivers.size()] == ReceiverKind::Ble) {
-      deck = std::make_unique<uav::BleScannerDeck>(scenario.ble_environment(), config.ble_deck,
-                                                   uav_rng.fork("ble-deck"));
-    }
-    uav::Crazyflie uav(static_cast<int>(u), scenario.environment(), std::move(positioning),
-                       config.uav, start, uav_rng, std::move(deck));
-    // Give the deck time to finish its AT handshake before the mission.
-    for (int i = 0; i < 100; ++i) uav.step(config.mission.tick_s);
+    tasks.push_back(MissionTask{u, start, rng.fork(util::format("uav-{}", u))});
+  }
 
-    UavMissionStats stats = station.run_mission(uav, slabs[u], result.dataset);
-    record_mission_stats(stats);
-    result.uav_stats.push_back(stats);
+  // Missions are independent given their pre-forked RNGs: each task owns its
+  // UAV, base station, and dataset, and writes only its own outcome slot.
+  std::vector<MissionOutcome> outcomes = exec::parallel_map(
+      tasks.size(),
+      [&](std::size_t t) {
+        MissionTask& task = tasks[t];
+        const std::size_t u = task.uav;
+        util::Rng& uav_rng = task.rng;
+        std::unique_ptr<uwb::PositioningSystem> positioning;
+        if (config.positioning == PositioningKind::Lighthouse) {
+          positioning = std::make_unique<lighthouse::LighthouseSystem>(
+              lighthouse::standard_two_station_setup(scenario.scan_volume()),
+              &scenario.floorplan(), config.lighthouse, uav_rng.fork("lighthouse"));
+        } else {
+          positioning = std::make_unique<uwb::LocoPositioningSystem>(
+              anchors, &scenario.floorplan(), config.uav.lps, uav_rng.fork("lps"));
+        }
+        std::unique_ptr<uav::RemReceiverDeck> deck;
+        if (config.receivers[u % config.receivers.size()] == ReceiverKind::Ble) {
+          deck = std::make_unique<uav::BleScannerDeck>(scenario.ble_environment(),
+                                                       config.ble_deck,
+                                                       uav_rng.fork("ble-deck"));
+        }
+        uav::Crazyflie uav(static_cast<int>(u), scenario.environment(),
+                           std::move(positioning), config.uav, task.start, uav_rng,
+                           std::move(deck));
+        // Give the deck time to finish its AT handshake before the mission.
+        for (int i = 0; i < 100; ++i) uav.step(config.mission.tick_s);
+
+        BaseStation station(config.mission);
+        MissionOutcome outcome;
+        outcome.stats = station.run_mission(uav, slabs[u], outcome.dataset);
+        return outcome;
+      },
+      /*chunk=*/1);
+
+  // Merge in UAV index order: the dataset (and the log/metric stream) is
+  // byte-identical to the sequential run regardless of mission scheduling.
+  for (MissionOutcome& outcome : outcomes) {
+    record_mission_stats(outcome.stats);
+    result.uav_stats.push_back(outcome.stats);
+    result.dataset.append(outcome.dataset);
   }
   return result;
 }

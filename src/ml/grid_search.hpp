@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "data/dataset.hpp"
+#include "exec/parallel.hpp"
 #include "ml/estimator.hpp"
 #include "ml/metrics.hpp"
 #include "util/contracts.hpp"
@@ -35,7 +36,11 @@ struct GridSearchResult {
 /// train/validation split of `train` (validation carved out of the training
 /// set) and returns the config minimising validation RMSE.
 ///
-/// `make_estimator` must return a std::unique_ptr<Estimator>.
+/// `make_estimator` must return a std::unique_ptr<Estimator>, and must be
+/// safe to call concurrently (each call builds an independent estimator):
+/// candidates are evaluated in parallel across exec::thread_count() threads.
+/// `evaluated` keeps candidate order and `best` is the first minimum in that
+/// order, so the result is identical at every thread count.
 template <typename Config, typename Builder>
 [[nodiscard]] GridSearchResult<Config> grid_search(const std::vector<Config>& candidates,
                                                    Builder&& make_estimator,
@@ -49,14 +54,20 @@ template <typename Config, typename Builder>
   REMGEN_EXPECTS(!split.train.empty() && !split.test.empty());
 
   GridSearchResult<Config> result;
-  for (const Config& config : candidates) {
-    const std::unique_ptr<Estimator> estimator = make_estimator(config);
-    estimator->fit(split.train);
-    const double rmse = evaluate(*estimator, split.test).rmse;
-    result.evaluated.push_back({config, rmse});
-    if (rmse < result.best_rmse) {
-      result.best_rmse = rmse;
-      result.best = config;
+  result.evaluated = exec::parallel_map(
+      candidates.size(),
+      [&](std::size_t i) {
+        const std::unique_ptr<Estimator> estimator = make_estimator(candidates[i]);
+        estimator->fit(split.train);
+        return GridPoint<Config>{candidates[i], evaluate(*estimator, split.test).rmse};
+      },
+      /*chunk=*/1);
+  // Sequential reduction over the ordered points reproduces the sequential
+  // tie-break: strictly-better RMSE wins, so the earliest minimum is `best`.
+  for (const GridPoint<Config>& point : result.evaluated) {
+    if (point.validation_rmse < result.best_rmse) {
+      result.best_rmse = point.validation_rmse;
+      result.best = point.config;
     }
   }
   return result;

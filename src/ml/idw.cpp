@@ -21,33 +21,42 @@ void IdwRegressor::fit(std::span<const data::Sample> train) {
     d.positions.push_back(s.position);
     d.values.push_back(s.rss_dbm);
   }
+  if (config_.max_neighbors > 0) {
+    for (auto& [mac, d] : per_mac_) d.tree.emplace(d.positions);
+  }
 }
 
 double IdwRegressor::predict(const data::Sample& query) const {
   const auto it = per_mac_.find(query.mac);
   if (it == per_mac_.end()) return fallback_.predict(query);
   const MacData& d = it->second;
-
-  // Optionally restrict to the nearest max_neighbors samples.
-  std::vector<std::pair<double, std::size_t>> dist(d.positions.size());
-  for (std::size_t i = 0; i < d.positions.size(); ++i) {
-    dist[i] = {d.positions[i].distance_to(query.position), i};
-  }
-  std::size_t use = dist.size();
-  if (config_.max_neighbors > 0 && config_.max_neighbors < use) {
-    use = config_.max_neighbors;
-    std::nth_element(dist.begin(), dist.begin() + static_cast<std::ptrdiff_t>(use - 1),
-                     dist.end());
-  }
-
   constexpr double kExactEps = 1e-9;
+
+  if (d.tree.has_value()) {
+    // Restricted to the nearest max_neighbors samples via the tree; the
+    // scratch buffer is per-thread for concurrent predict() callers.
+    thread_local std::vector<KdHit> hits;
+    const std::size_t n = d.tree->nearest(query.position, config_.max_neighbors, hits);
+    double weighted = 0.0;
+    double weight_sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double dd = hits[i].distance;
+      if (dd < kExactEps) return d.values[hits[i].index];
+      const double w = 1.0 / std::pow(dd, config_.power);
+      weighted += w * d.values[hits[i].index];
+      weight_sum += w;
+    }
+    return weighted / weight_sum;
+  }
+
+  // All samples of the MAC contribute: a single allocation-free pass.
   double weighted = 0.0;
   double weight_sum = 0.0;
-  for (std::size_t i = 0; i < use; ++i) {
-    const auto [dd, idx] = dist[i];
-    if (dd < kExactEps) return d.values[idx];
+  for (std::size_t i = 0; i < d.positions.size(); ++i) {
+    const double dd = d.positions[i].distance_to(query.position);
+    if (dd < kExactEps) return d.values[i];
     const double w = 1.0 / std::pow(dd, config_.power);
-    weighted += w * d.values[idx];
+    weighted += w * d.values[i];
     weight_sum += w;
   }
   return weighted / weight_sum;

@@ -3,11 +3,13 @@
 // interpolation, fitted per MAC address on the (x, y, z) coordinates.
 #pragma once
 
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
 #include "ml/baseline.hpp"
 #include "ml/estimator.hpp"
+#include "ml/kdtree.hpp"
 
 namespace remgen::ml {
 
@@ -30,6 +32,9 @@ class IdwRegressor final : public Estimator {
   struct MacData {
     std::vector<geom::Vec3> positions;
     std::vector<double> values;
+    /// Built when max_neighbors > 0: neighbour selection goes through the
+    /// tree instead of a full scan + nth_element per query.
+    std::optional<KdTree> tree;
   };
 
   IdwConfig config_;

@@ -72,13 +72,20 @@ void KdTree::search_knn(int node, const geom::Vec3& query, std::size_t k,
   }
 }
 
-std::vector<KdHit> KdTree::nearest(const geom::Vec3& query, std::size_t k) const {
+std::size_t KdTree::nearest(const geom::Vec3& query, std::size_t k,
+                            std::vector<KdHit>& scratch) const {
   REMGEN_EXPECTS(k > 0);
-  std::vector<KdHit> heap;
-  heap.reserve(k + 1);
-  search_knn(root_, query, k, heap);
-  std::sort(heap.begin(), heap.end(),
+  scratch.clear();
+  scratch.reserve(k + 1);
+  search_knn(root_, query, k, scratch);
+  std::sort(scratch.begin(), scratch.end(),
             [](const KdHit& a, const KdHit& b) { return a.distance < b.distance; });
+  return scratch.size();
+}
+
+std::vector<KdHit> KdTree::nearest(const geom::Vec3& query, std::size_t k) const {
+  std::vector<KdHit> heap;
+  nearest(query, k, heap);
   return heap;
 }
 

@@ -28,6 +28,13 @@ class KdTree {
   /// Returns fewer than k hits if the point set is smaller.
   [[nodiscard]] std::vector<KdHit> nearest(const geom::Vec3& query, std::size_t k) const;
 
+  /// Allocation-free variant: fills `scratch` with the hits (same contents
+  /// and order as nearest()) and returns the hit count. `scratch` is cleared
+  /// first; its capacity persists across calls, so hot prediction loops that
+  /// reuse one buffer per thread stop allocating per query.
+  std::size_t nearest(const geom::Vec3& query, std::size_t k,
+                      std::vector<KdHit>& scratch) const;
+
   /// All points within `radius` of `query`, ordered by ascending distance.
   [[nodiscard]] std::vector<KdHit> within(const geom::Vec3& query, double radius) const;
 

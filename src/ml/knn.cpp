@@ -43,17 +43,54 @@ void KnnRegressor::fit(std::span<const data::Sample> train) {
   encoder_ = data::FeatureEncoder::fit(train, config_.features);
   features_ = encoder_.encode_all(train);
   targets_ = data::rss_targets(train);
+  tree_.reset();
+  const data::FeatureConfig& f = config_.features;
+  if (f.include_position && !f.include_mac_onehot && !f.include_channel_onehot &&
+      !f.normalize_position && config_.minkowski_p == 2.0) {
+    // Unnormalized position-only encoding is the raw coordinates, and
+    // minkowski p=2 is Vec3::distance_to — the tree query is exact.
+    std::vector<geom::Vec3> positions;
+    positions.reserve(train.size());
+    for (const data::Sample& s : train) positions.push_back(s.position);
+    tree_.emplace(positions);
+  }
   fitted_ = true;
 }
 
 double KnnRegressor::predict(const data::Sample& query) const {
   REMGEN_EXPECTS(fitted_);
   REMGEN_COUNTER_ADD("ml.knn.predicts", 1);
-  const std::vector<double> q = encoder_.encode(query);
   const std::size_t k = std::min(config_.n_neighbors, features_.size());
+  // Distance weighting (scikit-learn semantics): an exact match dominates.
+  constexpr double kExactEps = 1e-12;
 
-  // Partial selection of the k smallest distances.
-  std::vector<std::pair<double, std::size_t>> dist(features_.size());
+  if (tree_.has_value()) {
+    // Per-thread scratch: predict() stays const and allocation-free under
+    // concurrent callers (the parallel REM build).
+    thread_local std::vector<KdHit> hits;
+    const std::size_t n = tree_->nearest(query.position, k, hits);
+    if (config_.weights == KnnWeights::Uniform) {
+      double acc = 0.0;
+      for (std::size_t i = 0; i < n; ++i) acc += targets_[hits[i].index];
+      return acc / static_cast<double>(n);
+    }
+    double weighted = 0.0;
+    double weight_sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double d = hits[i].distance;
+      if (d < kExactEps) return targets_[hits[i].index];
+      const double w = 1.0 / d;
+      weighted += w * targets_[hits[i].index];
+      weight_sum += w;
+    }
+    return weighted / weight_sum;
+  }
+
+  const std::vector<double> q = encoder_.encode(query);
+
+  // Partial selection of the k smallest distances, in a per-thread buffer.
+  thread_local std::vector<std::pair<double, std::size_t>> dist;
+  dist.resize(features_.size());
   for (std::size_t i = 0; i < features_.size(); ++i) {
     dist[i] = {minkowski_distance(q, features_[i], config_.minkowski_p), i};
   }
@@ -65,8 +102,6 @@ double KnnRegressor::predict(const data::Sample& query) const {
     return acc / static_cast<double>(k);
   }
 
-  // Distance weighting (scikit-learn semantics): an exact match dominates.
-  constexpr double kExactEps = 1e-12;
   double weighted = 0.0;
   double weight_sum = 0.0;
   for (std::size_t i = 0; i < k; ++i) {

@@ -4,10 +4,12 @@
 // encoded MAC block, optionally scaled).
 #pragma once
 
+#include <optional>
 #include <vector>
 
 #include "data/encoding.hpp"
 #include "ml/estimator.hpp"
+#include "ml/kdtree.hpp"
 
 namespace remgen::ml {
 
@@ -38,6 +40,10 @@ class KnnRegressor final : public Estimator {
   data::FeatureEncoder encoder_;
   std::vector<std::vector<double>> features_;
   std::vector<double> targets_;
+  /// Engaged when the feature space is the raw (x, y, z) coordinates with
+  /// p = 2: the Euclidean KD-tree query then returns the same neighbour set
+  /// as the brute-force scan, at O(log n) per query instead of O(n).
+  std::optional<KdTree> tree_;
   bool fitted_ = false;
 };
 

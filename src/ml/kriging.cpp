@@ -118,8 +118,10 @@ void KrigingRegressor::fit(std::span<const data::Sample> train) {
 
 KrigingRegressor::Prediction KrigingRegressor::krige(const MacModel& model,
                                                      const geom::Vec3& at) const {
-  const std::vector<KdHit> hits = model.tree->nearest(at, config_.max_neighbors);
-  const std::size_t n = hits.size();
+  // Per-thread scratch keeps the dense-REM prediction loop allocation-free
+  // and safe for concurrent callers.
+  thread_local std::vector<KdHit> hits;
+  const std::size_t n = model.tree->nearest(at, config_.max_neighbors, hits);
   REMGEN_EXPECTS(n >= 1);
   if (n == 1) return {model.values[hits[0].index], std::sqrt(model.variogram.nugget)};
 

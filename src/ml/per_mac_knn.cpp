@@ -9,7 +9,9 @@ namespace remgen::ml {
 
 PerMacKnn::PerMacKnn(const KnnConfig& config) : config_(config) {
   // Samples with the same MAC only: the one-hot block is constant within a
-  // group, so the feature set reduces to the coordinates.
+  // group, so the feature set reduces to the coordinates. With p=2 that is
+  // exactly the shape KnnRegressor accelerates with its KD-tree, so every
+  // per-MAC model queries in O(log n).
   config_.features.include_position = true;
   config_.features.include_mac_onehot = false;
   config_.features.include_channel_onehot = false;

@@ -1,0 +1,134 @@
+// The determinism contract of the execution layer: every parallel path —
+// fleet campaigns, REM voxel prediction, hyperparameter grid search — must
+// produce output byte-identical to the sequential REMGEN_THREADS=1 run.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/rem_builder.hpp"
+#include "exec/config.hpp"
+#include "mission/campaign.hpp"
+#include "ml/grid_search.hpp"
+#include "ml/knn.hpp"
+#include "ml/model_zoo.hpp"
+#include "radio/scenario.hpp"
+
+namespace remgen {
+namespace {
+
+/// Restores the configured width after each test so suites don't leak state.
+class ExecDeterminismTest : public ::testing::Test {
+ protected:
+  void SetUp() override { previous_ = exec::thread_count(); }
+  void TearDown() override { exec::set_thread_count(previous_); }
+
+ private:
+  std::size_t previous_ = 1;
+};
+
+std::string campaign_csv() {
+  util::Rng rng(2022);
+  const radio::Scenario scenario = radio::Scenario::make_apartment(rng);
+  mission::CampaignConfig config;
+  config.grid = {.nx = 3, .ny = 2, .nz = 2, .margin_m = 0.3};
+  const mission::CampaignResult result = mission::run_campaign(scenario, config, rng);
+  std::ostringstream out;
+  result.dataset.write_csv(out);
+  return out.str();
+}
+
+data::Sample make_sample(double x, double y, double z, const char* mac, double rss) {
+  data::Sample s;
+  s.position = {x, y, z};
+  s.mac = *radio::MacAddress::parse(mac);
+  s.channel = 6;
+  s.rss_dbm = rss;
+  return s;
+}
+
+data::Dataset synthetic_dataset(std::size_t per_mac = 40) {
+  util::Rng rng(21);
+  data::Dataset ds;
+  for (std::size_t i = 0; i < per_mac; ++i) {
+    const double x = rng.uniform(0.0, 4.0);
+    const double y = rng.uniform(0.0, 3.0);
+    const double z = rng.uniform(0.0, 2.0);
+    ds.add(make_sample(x, y, z, "02:00:00:00:00:0a", -55.0 - 4.0 * x + rng.gaussian(0, 1.0)));
+    ds.add(make_sample(x, y, z, "02:00:00:00:00:0b", -75.0 - 2.0 * y + rng.gaussian(0, 1.0)));
+  }
+  return ds;
+}
+
+std::string rem_csv(const data::Dataset& ds, ml::ModelKind kind) {
+  core::RemBuilderConfig config;
+  config.voxel_m = 0.5;
+  config.min_samples_per_mac = 1;
+  const core::RadioEnvironmentMap rem =
+      core::build_rem(ds, kind, geom::Aabb({0, 0, 0}, {4.0, 3.0, 2.0}), config);
+  std::ostringstream out;
+  rem.write_csv(out);
+  return out.str();
+}
+
+TEST_F(ExecDeterminismTest, CampaignDatasetIsByteIdenticalAcrossThreadCounts) {
+  exec::set_thread_count(1);
+  const std::string sequential = campaign_csv();
+  exec::set_thread_count(4);
+  const std::string parallel = campaign_csv();
+  EXPECT_EQ(sequential, parallel);
+}
+
+TEST_F(ExecDeterminismTest, RemCellsAreByteIdenticalAcrossThreadCounts) {
+  const data::Dataset ds = synthetic_dataset();
+  for (const ml::ModelKind kind :
+       {ml::ModelKind::PerMacKnn, ml::ModelKind::KnnScaled16, ml::ModelKind::Idw,
+        ml::ModelKind::Kriging}) {
+    exec::set_thread_count(1);
+    const std::string sequential = rem_csv(ds, kind);
+    exec::set_thread_count(4);
+    const std::string parallel = rem_csv(ds, kind);
+    EXPECT_EQ(sequential, parallel) << ml::model_kind_name(kind);
+  }
+}
+
+TEST_F(ExecDeterminismTest, GridSearchResultIsIdenticalAcrossThreadCounts) {
+  const data::Dataset ds = synthetic_dataset(60);
+  std::vector<ml::KnnConfig> candidates;
+  for (const std::size_t k : {1u, 3u, 5u, 7u}) {
+    for (const ml::KnnWeights w : {ml::KnnWeights::Uniform, ml::KnnWeights::Distance}) {
+      ml::KnnConfig config;
+      config.n_neighbors = k;
+      config.weights = w;
+      candidates.push_back(config);
+    }
+  }
+  const auto make = [](const ml::KnnConfig& config) {
+    return std::make_unique<ml::KnnRegressor>(config);
+  };
+
+  const auto run = [&] {
+    util::Rng rng(7);
+    return ml::grid_search(candidates, make, ds.samples(), 0.25, rng);
+  };
+  exec::set_thread_count(1);
+  const auto sequential = run();
+  exec::set_thread_count(4);
+  const auto parallel = run();
+
+  ASSERT_EQ(sequential.evaluated.size(), parallel.evaluated.size());
+  for (std::size_t i = 0; i < sequential.evaluated.size(); ++i) {
+    // Bitwise equality: the per-candidate evaluation is single-threaded and
+    // identical, only the scheduling differs.
+    EXPECT_EQ(sequential.evaluated[i].validation_rmse, parallel.evaluated[i].validation_rmse);
+    EXPECT_EQ(sequential.evaluated[i].config.n_neighbors,
+              parallel.evaluated[i].config.n_neighbors);
+  }
+  EXPECT_EQ(sequential.best_rmse, parallel.best_rmse);
+  EXPECT_EQ(sequential.best.n_neighbors, parallel.best.n_neighbors);
+  EXPECT_EQ(sequential.best.weights, parallel.best.weights);
+}
+
+}  // namespace
+}  // namespace remgen

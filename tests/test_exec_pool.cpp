@@ -1,0 +1,148 @@
+// Unit tests for the deterministic execution layer: chunk coverage and
+// boundaries, exception propagation, nested regions, ordered parallel_map,
+// configuration resolution, and pool telemetry.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <numeric>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "exec/config.hpp"
+#include "exec/parallel.hpp"
+#include "exec/thread_pool.hpp"
+#include "obs/metrics.hpp"
+
+namespace remgen::exec {
+namespace {
+
+/// Restores the configured width after each test so suites don't leak state.
+class ExecPoolTest : public ::testing::Test {
+ protected:
+  void SetUp() override { previous_ = thread_count(); }
+  void TearDown() override { set_thread_count(previous_); }
+
+ private:
+  std::size_t previous_ = 1;
+};
+
+TEST_F(ExecPoolTest, RunChunkedCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> counts(100);
+  pool.run_chunked(100, 7, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) counts[i].fetch_add(1);
+  });
+  for (const std::atomic<int>& c : counts) EXPECT_EQ(c.load(), 1);
+}
+
+TEST_F(ExecPoolTest, RunChunkedHandlesChunkBoundaries) {
+  ThreadPool pool(2);
+  // n divisible by chunk, n smaller than chunk, chunk of one, single index.
+  for (const auto [n, chunk] : std::vector<std::pair<std::size_t, std::size_t>>{
+           {12, 4}, {3, 16}, {5, 1}, {1, 1}}) {
+    std::mutex mutex;
+    std::vector<std::pair<std::size_t, std::size_t>> ranges;
+    pool.run_chunked(n, chunk, [&](std::size_t begin, std::size_t end) {
+      const std::lock_guard<std::mutex> lock(mutex);
+      ranges.emplace_back(begin, end);
+    });
+    std::size_t covered = 0;
+    for (const auto& [begin, end] : ranges) {
+      EXPECT_LT(begin, end);
+      EXPECT_LE(end - begin, chunk);
+      EXPECT_LE(end, n);
+      covered += end - begin;
+    }
+    EXPECT_EQ(covered, n) << "n=" << n << " chunk=" << chunk;
+  }
+}
+
+TEST_F(ExecPoolTest, EmptyRangeNeverInvokesBody) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.run_chunked(0, 4, [&](std::size_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+
+  set_thread_count(4);
+  parallel_for(0, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST_F(ExecPoolTest, ExceptionPropagatesAndPoolStaysUsable) {
+  set_thread_count(4);
+  EXPECT_THROW(
+      parallel_for(100, [](std::size_t i) {
+        if (i == 37) throw std::runtime_error("chunk failure");
+      }),
+      std::runtime_error);
+
+  // The pool drains cleanly and accepts the next region.
+  std::atomic<int> sum{0};
+  parallel_for(10, [&](std::size_t i) { sum.fetch_add(static_cast<int>(i)); });
+  EXPECT_EQ(sum.load(), 45);
+}
+
+TEST_F(ExecPoolTest, NestedParallelForRunsInlineAndCorrectly) {
+  set_thread_count(4);
+  std::vector<int> totals(8, 0);
+  parallel_for(
+      8,
+      [&](std::size_t i) {
+        EXPECT_TRUE(ThreadPool::in_parallel_region());
+        int inner = 0;
+        parallel_for(10, [&](std::size_t j) { inner += static_cast<int>(j); });
+        totals[i] = inner;
+      },
+      /*chunk=*/1);
+  for (const int t : totals) EXPECT_EQ(t, 45);
+}
+
+TEST_F(ExecPoolTest, ParallelMapPreservesIndexOrder) {
+  /// No default constructor: parallel_map must not require one.
+  struct Value {
+    explicit Value(std::size_t v) : v(v) {}
+    std::size_t v;
+  };
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    set_thread_count(threads);
+    const std::vector<Value> out =
+        parallel_map(64, [](std::size_t i) { return Value(i * i); }, /*chunk=*/3);
+    ASSERT_EQ(out.size(), 64u);
+    for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i].v, i * i);
+  }
+}
+
+TEST_F(ExecPoolTest, ThreadCountOverrideAndSharedPoolWidth) {
+  set_thread_count(1);
+  EXPECT_EQ(thread_count(), 1u);
+  EXPECT_EQ(shared_pool(), nullptr);
+
+  set_thread_count(4);
+  EXPECT_EQ(thread_count(), 4u);
+  ThreadPool* pool = shared_pool();
+  ASSERT_NE(pool, nullptr);
+  EXPECT_EQ(pool->worker_count(), 3u);
+
+  set_thread_count(0);  // reset to the environment/hardware default
+  EXPECT_GE(thread_count(), 1u);
+}
+
+TEST_F(ExecPoolTest, PoolMetricsCountChunks) {
+  if (!obs::compiled()) GTEST_SKIP() << "telemetry compiled out (-DREMGEN_OBS=OFF)";
+  obs::set_enabled(true);
+  // A fresh width forces a pool rebuild, which publishes the workers gauge.
+  set_thread_count(3);
+  ASSERT_NE(shared_pool(), nullptr);
+  const std::uint64_t tasks_before = obs::registry().counter("exec.tasks").value();
+  const std::uint64_t regions_before = obs::registry().counter("exec.regions").value();
+  parallel_for(100, [](std::size_t) {}, /*chunk=*/10);
+  obs::set_enabled(false);
+  EXPECT_EQ(obs::registry().counter("exec.tasks").value() - tasks_before, 10u);
+  EXPECT_EQ(obs::registry().counter("exec.regions").value() - regions_before, 1u);
+  EXPECT_EQ(obs::registry().gauge("exec.pool.workers").value(), 2.0);
+}
+
+}  // namespace
+}  // namespace remgen::exec

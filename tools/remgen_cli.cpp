@@ -20,6 +20,7 @@
 
 #include "core/drift.hpp"
 #include "core/rem_builder.hpp"
+#include "exec/config.hpp"
 #include "mission/campaign.hpp"
 #include "ml/metrics.hpp"
 #include "ml/model_zoo.hpp"
@@ -42,6 +43,10 @@ int usage() {
       "  rem       build the REM raster and write it as CSV\n"
       "  query     predict per-transmitter RSS at a point\n"
       "  drift     compare a probe dataset against a baseline REM\n\n"
+      "execution (every command):\n"
+      "  --threads N          parallel execution width (default: REMGEN_THREADS env,\n"
+      "                       then hardware concurrency; 1 = sequential; output is\n"
+      "                       identical at every width)\n\n"
       "telemetry (every command):\n"
       "  --log-level trace|debug|info|warn|error|off   stderr log filter (default warn)\n"
       "  --metrics-out FILE   enable telemetry, write a JSON metrics snapshot\n"
@@ -298,13 +303,22 @@ int main(int argc, char** argv) {
                                          "model",     "split", "voxel",  "at",    "top",
                                          "baseline",  "probe", "min-samples", "positioning",
                                          "receivers", "env",   "log-level", "metrics-out",
-                                         "metrics-prom", "trace-out"};
+                                         "metrics-prom", "trace-out", "threads"};
   const std::set<std::string> flag_keys{"radio-on", "optimize-route", "adaptive-legs", "help"};
   std::string error;
   const auto args = remgen::util::Args::parse(argc, argv, value_keys, flag_keys, &error);
   if (!args) {
     std::fprintf(stderr, "%s\n", error.c_str());
     return usage();
+  }
+
+  if (args->has("threads")) {
+    const int threads = args->value_int("threads", 0);
+    if (threads <= 0) {
+      std::fprintf(stderr, "--threads needs a positive integer\n");
+      return 2;
+    }
+    exec::set_thread_count(static_cast<std::size_t>(threads));
   }
 
   if (args->has("log-level")) {
