@@ -1,0 +1,213 @@
+#include "fault/fault.hpp"
+
+#include <algorithm>
+
+#include "obs/metrics.hpp"
+#include "util/contracts.hpp"
+
+namespace remgen::fault {
+
+namespace {
+
+/// SplitMix64 finalizer (same construction the Rng fork path uses) so nearby
+/// plan seeds land on decorrelated injector streams.
+std::uint64_t splitmix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+FaultPlan lossy_profile() {
+  FaultPlan p;
+  p.crtp.extra_loss_probability = 0.08;
+  p.crtp.burst_start_probability = 0.02;
+  p.crtp.burst_min_packets = 3;
+  p.crtp.burst_max_packets = 10;
+  p.crtp.burst_drop_probability = 0.9;
+  p.crtp.latency_spike_probability = 0.05;
+  p.crtp.latency_spike_min_s = 0.01;
+  p.crtp.latency_spike_max_s = 0.08;
+  return p;
+}
+
+FaultPlan flaky_scanner_profile() {
+  FaultPlan p;
+  p.uart.garble_byte_probability = 0.02;
+  p.uart.truncate_write_probability = 0.01;
+  p.scan.spurious_error_probability = 0.10;
+  p.scan.stall_probability = 0.05;
+  p.scan.stall_extra_s = 12.0;
+  return p;
+}
+
+FaultPlan uwb_degraded_profile() {
+  FaultPlan p;
+  p.uwb.dead_anchors = 2;
+  p.uwb.extra_dropout_probability = 0.15;
+  p.uwb.nlos_bias_probability = 0.20;
+  p.uwb.nlos_bias_m = 0.30;
+  return p;
+}
+
+FaultPlan brownout_profile() {
+  FaultPlan p;
+  p.battery.capacity_scale = 0.80;
+  p.battery.extra_base_current_ma = 120.0;
+  return p;
+}
+
+/// Composition takes the harsher value per field so "lossy,brownout" is at
+/// least as adverse as either profile alone.
+void merge(FaultPlan& into, const FaultPlan& from) {
+  auto worse = [](double& a, double b) { a = std::max(a, b); };
+  worse(into.crtp.extra_loss_probability, from.crtp.extra_loss_probability);
+  if (from.crtp.burst_start_probability > into.crtp.burst_start_probability) {
+    into.crtp.burst_start_probability = from.crtp.burst_start_probability;
+    into.crtp.burst_min_packets = from.crtp.burst_min_packets;
+    into.crtp.burst_max_packets = from.crtp.burst_max_packets;
+    into.crtp.burst_drop_probability = from.crtp.burst_drop_probability;
+  }
+  if (from.crtp.latency_spike_probability > into.crtp.latency_spike_probability) {
+    into.crtp.latency_spike_probability = from.crtp.latency_spike_probability;
+    into.crtp.latency_spike_min_s = from.crtp.latency_spike_min_s;
+    into.crtp.latency_spike_max_s = from.crtp.latency_spike_max_s;
+  }
+  worse(into.uart.garble_byte_probability, from.uart.garble_byte_probability);
+  worse(into.uart.truncate_write_probability, from.uart.truncate_write_probability);
+  worse(into.scan.spurious_error_probability, from.scan.spurious_error_probability);
+  if (from.scan.stall_probability > into.scan.stall_probability) {
+    into.scan.stall_probability = from.scan.stall_probability;
+    into.scan.stall_extra_s = from.scan.stall_extra_s;
+  }
+  into.uwb.dead_anchors = std::max(into.uwb.dead_anchors, from.uwb.dead_anchors);
+  worse(into.uwb.extra_dropout_probability, from.uwb.extra_dropout_probability);
+  if (from.uwb.nlos_bias_probability > into.uwb.nlos_bias_probability) {
+    into.uwb.nlos_bias_probability = from.uwb.nlos_bias_probability;
+    into.uwb.nlos_bias_m = from.uwb.nlos_bias_m;
+  }
+  into.battery.capacity_scale = std::min(into.battery.capacity_scale,
+                                         from.battery.capacity_scale);
+  into.battery.extra_base_current_ma = std::max(into.battery.extra_base_current_ma,
+                                                from.battery.extra_base_current_ma);
+}
+
+std::optional<FaultPlan> profile_by_name(std::string_view name) {
+  if (name == "none") return FaultPlan{};
+  if (name == "lossy") return lossy_profile();
+  if (name == "flaky-scanner") return flaky_scanner_profile();
+  if (name == "uwb-degraded") return uwb_degraded_profile();
+  if (name == "brownout") return brownout_profile();
+  if (name == "harsh") {
+    FaultPlan p = lossy_profile();
+    merge(p, flaky_scanner_profile());
+    merge(p, uwb_degraded_profile());
+    merge(p, brownout_profile());
+    return p;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+const std::vector<std::string>& fault_profile_names() {
+  static const std::vector<std::string> names{"none",         "lossy", "flaky-scanner",
+                                              "uwb-degraded", "brownout", "harsh"};
+  return names;
+}
+
+std::optional<FaultPlan> make_fault_plan(std::string_view profiles, std::uint64_t seed) {
+  FaultPlan plan;
+  std::string canonical;
+  std::size_t start = 0;
+  while (start <= profiles.size()) {
+    std::size_t end = profiles.find(',', start);
+    if (end == std::string_view::npos) end = profiles.size();
+    const std::string_view name = profiles.substr(start, end - start);
+    start = end + 1;
+    if (name.empty()) continue;
+    const auto piece = profile_by_name(name);
+    if (!piece) return std::nullopt;
+    merge(plan, *piece);
+    if (!canonical.empty()) canonical += ',';
+    canonical += name;
+  }
+  plan.profile = canonical.empty() ? "none" : canonical;
+  plan.seed = seed;
+  plan.crtp.seed = seed;
+  plan.uart.seed = seed;
+  plan.scan.seed = seed;
+  plan.uwb.seed = seed;
+  return plan;
+}
+
+util::Rng fault_rng(util::Rng& component_rng, std::uint64_t plan_seed, std::string_view tag) {
+  return util::Rng(component_rng.fork(tag).seed() ^ splitmix(plan_seed));
+}
+
+bool CrtpFaultInjector::drop_packet() {
+  if (burst_left_ > 0) {
+    --burst_left_;
+    if (rng_.bernoulli(faults_.burst_drop_probability)) {
+      REMGEN_COUNTER_ADD("fault.crtp.burst_drops", 1);
+      return true;
+    }
+    return false;
+  }
+  if (faults_.burst_start_probability > 0.0 &&
+      rng_.bernoulli(faults_.burst_start_probability)) {
+    const auto lo = static_cast<std::int64_t>(faults_.burst_min_packets);
+    const auto hi = static_cast<std::int64_t>(
+        std::max(faults_.burst_max_packets, faults_.burst_min_packets));
+    burst_left_ = static_cast<std::size_t>(rng_.uniform_int(lo, hi));
+    REMGEN_COUNTER_ADD("fault.crtp.bursts", 1);
+    if (burst_left_ > 0) {
+      --burst_left_;
+      if (rng_.bernoulli(faults_.burst_drop_probability)) {
+        REMGEN_COUNTER_ADD("fault.crtp.burst_drops", 1);
+        return true;
+      }
+      return false;
+    }
+  }
+  if (faults_.extra_loss_probability > 0.0 &&
+      rng_.bernoulli(faults_.extra_loss_probability)) {
+    REMGEN_COUNTER_ADD("fault.crtp.extra_drops", 1);
+    return true;
+  }
+  return false;
+}
+
+double CrtpFaultInjector::extra_latency_s() {
+  if (faults_.latency_spike_probability <= 0.0 ||
+      !rng_.bernoulli(faults_.latency_spike_probability)) {
+    return 0.0;
+  }
+  REMGEN_COUNTER_ADD("fault.crtp.latency_spikes", 1);
+  if (faults_.latency_spike_max_s <= faults_.latency_spike_min_s) {
+    return faults_.latency_spike_min_s;
+  }
+  return rng_.uniform(faults_.latency_spike_min_s, faults_.latency_spike_max_s);
+}
+
+std::string UartFaultInjector::corrupt(std::string bytes) {
+  if (bytes.empty()) return bytes;
+  if (faults_.truncate_write_probability > 0.0 &&
+      rng_.bernoulli(faults_.truncate_write_probability)) {
+    // Keep a strict prefix: at least one byte gone, possibly everything.
+    const auto keep = static_cast<std::size_t>(
+        rng_.uniform_int(0, static_cast<std::int64_t>(bytes.size()) - 1));
+    bytes.resize(keep);
+    REMGEN_COUNTER_ADD("fault.uart.truncated_writes", 1);
+    if (bytes.empty()) return bytes;
+  }
+  if (faults_.garble_byte_probability > 0.0 &&
+      rng_.bernoulli(faults_.garble_byte_probability)) {
+    const std::size_t at = rng_.index(bytes.size());
+    bytes[at] = static_cast<char>(rng_.uniform_int(0x20, 0x7e));
+    REMGEN_COUNTER_ADD("fault.uart.garbled_bytes", 1);
+  }
+  return bytes;
+}
+
+}  // namespace remgen::fault

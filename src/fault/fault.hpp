@@ -1,0 +1,154 @@
+// Deterministic, seeded fault injection.
+//
+// The paper's collection pipeline is exercised by real radio adversity: CRTP
+// packets drop in bursts when the 2.4 GHz band is busy, the UART to the ESP-01
+// garbles or truncates bytes, AT+CWLAP sweeps stall or answer spurious ERRORs,
+// UWB anchors drop out or pick up NLOS bias, and tired cells sag. This module
+// models those faults behind small config structs that component configs embed
+// (CrtpConfig, Esp8266Config, LpsConfig, BatteryConfig consumers) and a
+// FaultPlan that names composable profiles for campaigns and the CLI
+// (--fault-profile / --fault-seed).
+//
+// Determinism contract: every injector draws from its own Rng derived from
+// (component stream, plan seed, tag) via fault_rng(). A disabled fault struct
+// must cost zero draws from the component stream — callers only fork the
+// injector stream when enabled() — so a run without faults is byte-identical
+// to a build without this module, and a run with faults is byte-identical for
+// a fixed (seed, profile) at any --threads width.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace remgen::fault {
+
+/// CRTP on-air faults: correlated loss bursts plus latency spikes.
+struct CrtpFaults {
+  std::uint64_t seed = 0;                 ///< Plan seed (mixed into the injector stream).
+  double extra_loss_probability = 0.0;    ///< Memoryless loss on top of CrtpConfig's.
+  double burst_start_probability = 0.0;   ///< Per packet, when no burst is active.
+  std::size_t burst_min_packets = 2;      ///< Burst length drawn uniformly from
+  std::size_t burst_max_packets = 8;      ///< [min, max] packets.
+  double burst_drop_probability = 1.0;    ///< Per-packet loss inside a burst.
+  double latency_spike_probability = 0.0; ///< Per delivered packet.
+  double latency_spike_min_s = 0.0;       ///< Spike drawn uniformly from
+  double latency_spike_max_s = 0.0;       ///< [min, max] seconds.
+  [[nodiscard]] bool enabled() const noexcept {
+    return extra_loss_probability > 0.0 || burst_start_probability > 0.0 ||
+           latency_spike_probability > 0.0;
+  }
+};
+
+/// UART byte-level faults on the device->host direction.
+struct UartFaults {
+  std::uint64_t seed = 0;
+  double garble_byte_probability = 0.0;    ///< Per write: flip one random byte.
+  double truncate_write_probability = 0.0; ///< Per write: drop a random suffix.
+  [[nodiscard]] bool enabled() const noexcept {
+    return garble_byte_probability > 0.0 || truncate_write_probability > 0.0;
+  }
+};
+
+/// ESP8266 scan-level faults.
+struct ScanFaults {
+  std::uint64_t seed = 0;
+  double spurious_error_probability = 0.0; ///< AT+CWLAP answers ERROR immediately.
+  double stall_probability = 0.0;          ///< Sweep takes stall_extra_s longer than
+  double stall_extra_s = 12.0;             ///< nominal (beyond the driver timeout).
+  [[nodiscard]] bool enabled() const noexcept {
+    return spurious_error_probability > 0.0 || stall_probability > 0.0;
+  }
+};
+
+/// UWB ranging faults: dead anchors, extra dropout, NLOS range bias.
+struct UwbFaults {
+  std::uint64_t seed = 0;
+  std::size_t dead_anchors = 0;            ///< Anchors that stop ranging entirely.
+  double extra_dropout_probability = 0.0;  ///< Per measurement, on top of RangingConfig's.
+  double nlos_bias_probability = 0.0;      ///< Per measurement.
+  double nlos_bias_m = 0.0;                ///< Positive range bias when it strikes.
+  [[nodiscard]] bool enabled() const noexcept {
+    return dead_anchors > 0 || extra_dropout_probability > 0.0 ||
+           nlos_bias_probability > 0.0;
+  }
+};
+
+/// Battery degradation (deterministic, no stream needed).
+struct BatteryFaults {
+  double capacity_scale = 1.0;         ///< Sagged cell: usable charge shrinks.
+  double extra_base_current_ma = 0.0;  ///< Parasitic draw (worn connectors, cold).
+  [[nodiscard]] bool enabled() const noexcept {
+    return capacity_scale < 1.0 || extra_base_current_ma > 0.0;
+  }
+};
+
+/// A composed, named, seeded fault scenario for a whole campaign.
+struct FaultPlan {
+  std::string profile = "none";  ///< Canonical comma-joined profile list.
+  std::uint64_t seed = 0;        ///< Decorrelates fault draws from the campaign seed.
+  CrtpFaults crtp;
+  UartFaults uart;
+  ScanFaults scan;
+  UwbFaults uwb;
+  BatteryFaults battery;
+  [[nodiscard]] bool enabled() const noexcept {
+    return crtp.enabled() || uart.enabled() || scan.enabled() || uwb.enabled() ||
+           battery.enabled();
+  }
+};
+
+/// Builds a plan from a comma-separated list of profile names (composition
+/// takes the harsher value per field). Known profiles: none, lossy,
+/// flaky-scanner, uwb-degraded, brownout, harsh. Returns nullopt on an
+/// unknown name. `seed` is stamped into every sub-struct.
+[[nodiscard]] std::optional<FaultPlan> make_fault_plan(std::string_view profiles,
+                                                       std::uint64_t seed = 0);
+
+/// The profile names make_fault_plan accepts, for CLI help/errors.
+[[nodiscard]] const std::vector<std::string>& fault_profile_names();
+
+/// Derives the injector stream for one component: forks the component's own
+/// stream (so each UAV's faults are independent) and mixes in the plan seed
+/// and a subsystem tag. Call ONLY when the corresponding faults are enabled —
+/// forking consumes parent state.
+[[nodiscard]] util::Rng fault_rng(util::Rng& component_rng, std::uint64_t plan_seed,
+                                  std::string_view tag);
+
+/// Stateful CRTP injector: drives the burst state machine and latency spikes.
+class CrtpFaultInjector {
+ public:
+  CrtpFaultInjector(const CrtpFaults& faults, util::Rng rng)
+      : faults_(faults), rng_(rng) {}
+
+  /// One decision per packet offered to the air; advances the burst state.
+  [[nodiscard]] bool drop_packet();
+
+  /// Extra one-way latency for a packet that survived, in seconds.
+  [[nodiscard]] double extra_latency_s();
+
+ private:
+  CrtpFaults faults_;
+  util::Rng rng_;
+  std::size_t burst_left_ = 0;
+};
+
+/// Stateful UART injector: corrupts device->host writes.
+class UartFaultInjector {
+ public:
+  UartFaultInjector(const UartFaults& faults, util::Rng rng)
+      : faults_(faults), rng_(rng) {}
+
+  /// Returns the (possibly garbled/truncated) bytes actually delivered.
+  [[nodiscard]] std::string corrupt(std::string bytes);
+
+ private:
+  UartFaults faults_;
+  util::Rng rng_;
+};
+
+}  // namespace remgen::fault

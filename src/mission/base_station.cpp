@@ -1,5 +1,7 @@
 #include "mission/base_station.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <sstream>
 
 #include "obs/metrics.hpp"
@@ -7,6 +9,7 @@
 #include "util/contracts.hpp"
 #include "util/fmt.hpp"
 #include "util/log.hpp"
+#include "util/quoted.hpp"
 
 namespace remgen::mission {
 
@@ -33,14 +36,18 @@ void BaseStation::drain_telemetry(uav::Crazyflie& uav, data::Dataset& out) {
       if (in >> wp >> p.x >> p.y >> p.z >> n) {
         last_scan_waypoint_ = wp;
         last_scan_position_ = p;
+        last_scan_tuple_count_ = n;
       }
     } else if (kind == "scanres") {
+      // The SSID is a quoted field (it may contain spaces or be empty for a
+      // hidden network), matching the UAV-side framing.
       int wp;
       std::string ssid;
       int rssi;
       std::string mac_text;
       int channel;
-      if (in >> wp >> ssid >> rssi >> mac_text >> channel) {
+      if ((in >> wp) && util::read_quoted_field(in, ssid) &&
+          (in >> rssi >> mac_text >> channel)) {
         const auto mac = radio::MacAddress::parse(mac_text);
         if (!mac || wp != last_scan_waypoint_) continue;
         data::Sample sample;
@@ -54,20 +61,43 @@ void BaseStation::drain_telemetry(uav::Crazyflie& uav, data::Dataset& out) {
         sample.waypoint_index = wp;
         out.add(std::move(sample));
         ++samples_this_mission_;
+        if (wp >= 0 && static_cast<std::size_t>(wp) < samples_per_waypoint_.size()) {
+          ++samples_per_waypoint_[static_cast<std::size_t>(wp)];
+        }
+      } else {
+        REMGEN_COUNTER_ADD("mission.malformed_scanres", 1);
       }
     }
   }
 }
 
+long long BaseStation::phase_ticks(double duration) const {
+  // Integer tick counts: the old `for (t = 0; t < duration; t += tick_s)`
+  // pattern accumulated floating-point error, so a 4 s phase at 0.01 s ticks
+  // could run 399 or 401 iterations depending on the values involved.
+  long long ticks = std::llround(duration / config_.tick_s);
+  if (duration > 0.0 && ticks == 0) ticks = 1;
+  return ticks;
+}
+
+long long BaseStation::ticks_per_setpoint() const {
+  return std::max<long long>(1, std::llround(config_.setpoint_period_s / config_.tick_s));
+}
+
+bool BaseStation::scan_complete(std::size_t i) const {
+  return last_scan_waypoint_ == static_cast<int>(i) &&
+         (samples_per_waypoint_[i] > 0 || last_scan_tuple_count_ == 0);
+}
+
 void BaseStation::fly_phase(uav::Crazyflie& uav, const geom::Vec3& setpoint, double duration,
                             data::Dataset& out) {
-  double next_setpoint = 0.0;
-  for (double t = 0.0; t < duration; t += config_.tick_s) {
-    if (t >= next_setpoint) {
+  const long long ticks = phase_ticks(duration);
+  const long long setpoint_every = ticks_per_setpoint();
+  for (long long k = 0; k < ticks; ++k) {
+    if (k % setpoint_every == 0) {
       uav.link().base_send({"cmd", util::format("goto {:.4f} {:.4f} {:.4f}", setpoint.x,
                                                 setpoint.y, setpoint.z)},
                            uav.now());
-      next_setpoint = t + config_.setpoint_period_s;
     }
     uav.step(config_.tick_s);
     drain_telemetry(uav, out);
@@ -75,7 +105,8 @@ void BaseStation::fly_phase(uav::Crazyflie& uav, const geom::Vec3& setpoint, dou
 }
 
 void BaseStation::wait_phase(uav::Crazyflie& uav, double duration, data::Dataset& out) {
-  for (double t = 0.0; t < duration; t += config_.tick_s) {
+  const long long ticks = phase_ticks(duration);
+  for (long long k = 0; k < ticks; ++k) {
     uav.step(config_.tick_s);
     drain_telemetry(uav, out);
   }
@@ -88,7 +119,13 @@ UavMissionStats BaseStation::run_mission(uav::Crazyflie& uav,
   stats.uav_id = uav.id();
   last_battery_fraction_ = 1.0;
   last_scan_waypoint_ = -1;
+  last_scan_tuple_count_ = 0;
   samples_this_mission_ = 0;
+  samples_per_waypoint_.assign(waypoints.size(), 0);
+  stats.waypoint_reports.resize(waypoints.size());
+  for (std::size_t i = 0; i < waypoints.size(); ++i) {
+    stats.waypoint_reports[i].waypoint_index = i;
+  }
 
   obs::set_sim_time(uav.now());
   obs::Span mission_span("campaign.uav_mission");
@@ -142,6 +179,16 @@ UavMissionStats BaseStation::run_mission(uav::Crazyflie& uav,
       scan_span.arg("attempt", attempt);
       ++attempts_used;
 
+      // Exponential backoff between attempts: a stalled or faulted deck needs
+      // time to self-heal before another scan command can succeed.
+      if (attempt > 0 && config_.scan_retry_backoff_s > 0.0) {
+        const double backoff =
+            std::min(config_.scan_retry_backoff_s * std::pow(2.0, attempt - 1),
+                     config_.scan_retry_backoff_max_s);
+        REMGEN_COUNTER_ADD("mission.scan_retry_backoffs", 1);
+        fly_phase(uav, wp, backoff, out);
+      }
+
       // (iii) initiate the on-demand scan.
       uav.link().base_send({"cmd", util::format("scan {}", i)}, uav.now());
       fly_phase(uav, wp, config_.scan_command_lead_s, out);
@@ -159,27 +206,60 @@ UavMissionStats BaseStation::run_mission(uav::Crazyflie& uav,
       // (vi) fetch/parse/store results (they flush from the CRTP TX queue).
       fly_phase(uav, wp, config_.fetch_time_s, out);
 
-      // The scan command or its results can be lost on air; retry if this
-      // waypoint produced no metadata.
-      if (last_scan_waypoint_ == static_cast<int>(i)) break;
+      // Scan watchdog: an injected stall keeps the deck busy well past the
+      // nominal window; hold position and keep draining until the results
+      // land or the watchdog budget runs out.
+      if (config_.scan_watchdog_s > 0.0 && !scan_complete(i)) {
+        REMGEN_COUNTER_ADD("mission.scan_watchdog_waits", 1);
+        const long long ticks = phase_ticks(config_.scan_watchdog_s);
+        const long long setpoint_every = ticks_per_setpoint();
+        for (long long k = 0; k < ticks && !scan_complete(i); ++k) {
+          if (k % setpoint_every == 0) {
+            uav.link().base_send({"cmd", util::format("goto {:.4f} {:.4f} {:.4f}", wp.x, wp.y,
+                                                      wp.z)},
+                                 uav.now());
+          }
+          uav.step(config_.tick_s);
+          drain_telemetry(uav, out);
+        }
+      }
+
+      // The scan command, its metadata or its results can all be lost on air.
+      // Retry unless stored samples (or a legitimately empty scan) prove the
+      // waypoint was actually covered — metadata arriving is NOT enough, as
+      // the scanmeta packet regularly survives a flush that dropped every
+      // scanres behind it.
+      if (scan_complete(i)) break;
+      if (attempt < config_.scan_retries) REMGEN_COUNTER_ADD("mission.scan_retries", 1);
     }
     REMGEN_HISTOGRAM_OBSERVE("mission.scan_attempts", attempts_used, {1, 2, 3, 4});
+
+    WaypointReport& report = stats.waypoint_reports[i];
+    report.commanded = true;
+    report.attempts = static_cast<std::size_t>(attempts_used);
+    report.samples = samples_per_waypoint_[i];
+    report.reported_empty =
+        last_scan_waypoint_ == static_cast<int>(i) && last_scan_tuple_count_ == 0;
+    report.covered = report.samples > 0 || report.reported_empty;
+    if (!report.covered) {
+      REMGEN_COUNTER_ADD("mission.waypoints_uncovered", 1);
+      util::logf(util::LogLevel::Warn, "base-station",
+                 "uav {}: waypoint {} uncovered after {} attempts", uav.id(), i, attempts_used);
+    }
   }
 
   // Land and shut down.
   REMGEN_SPAN("mission.land");
-  double landed_for = 0.0;
-  for (double t = 0.0; t < config_.landing_time_s; t += config_.tick_s) {
-    if (static_cast<int>(t / config_.setpoint_period_s) !=
-        static_cast<int>((t - config_.tick_s) / config_.setpoint_period_s) ||
-        t == 0.0) {
-      uav.link().base_send({"cmd", "land"}, uav.now());
-    }
+  const long long landing_ticks = phase_ticks(config_.landing_time_s);
+  const long long setpoint_every = ticks_per_setpoint();
+  long long landed_ticks = 0;
+  for (long long k = 0; k < landing_ticks; ++k) {
+    if (k % setpoint_every == 0) uav.link().base_send({"cmd", "land"}, uav.now());
     uav.step(config_.tick_s);
     drain_telemetry(uav, out);
     if (!uav.flying()) {
-      landed_for += config_.tick_s;
-      if (landed_for > 0.2) break;
+      ++landed_ticks;
+      if (static_cast<double>(landed_ticks) * config_.tick_s > 0.2) break;
     }
   }
   uav.link().base_send({"cmd", "stop"}, uav.now());

@@ -33,8 +33,23 @@ struct MissionConfig {
   double setpoint_period_s = 0.2; ///< Client setpoint feed rate.
   bool radio_off_during_scan = true;  ///< The paper's default mitigation.
   int scan_retries = 1;           ///< Re-issue a scan whose results never arrived.
+  double scan_retry_backoff_s = 0.0;  ///< First retry backoff (doubles per retry;
+                                      ///< 0 disables backoff).
+  double scan_retry_backoff_max_s = 2.0;  ///< Backoff ceiling.
+  double scan_watchdog_s = 0.0;   ///< Extra wait for a late/stalled scan before
+                                  ///< declaring the attempt failed (0 disables).
   double battery_abort_fraction = 0.10;  ///< Land below this reported charge.
   double tick_s = 0.01;           ///< Co-simulation step.
+};
+
+/// Coverage accounting for one assigned waypoint.
+struct WaypointReport {
+  std::size_t waypoint_index = 0;  ///< Index into the mission's waypoint list.
+  bool commanded = false;    ///< The UAV was sent there (false after an abort).
+  bool covered = false;      ///< Samples arrived, or the scan reported empty air.
+  bool reported_empty = false;  ///< Scan completed and legitimately found no APs.
+  std::size_t samples = 0;   ///< Samples stored for this waypoint.
+  std::size_t attempts = 0;  ///< Scan attempts spent on this waypoint.
 };
 
 /// Outcome of one single-UAV mission.
@@ -47,6 +62,7 @@ struct UavMissionStats {
   bool aborted_on_battery = false;
   std::size_t tx_queue_drops = 0;  ///< Scan telemetry lost to queue overflow.
   double battery_remaining_fraction = 1.0;
+  std::vector<WaypointReport> waypoint_reports;  ///< One entry per waypoint.
 };
 
 /// Drives one UAV at a time through its waypoint list.
@@ -74,13 +90,27 @@ class BaseStation {
   /// Processes pending telemetry packets.
   void drain_telemetry(uav::Crazyflie& uav, data::Dataset& out);
 
+  /// Whole number of co-simulation ticks covering `duration` (at least one
+  /// for any positive duration, so short phases still step the UAV).
+  [[nodiscard]] long long phase_ticks(double duration) const;
+
+  /// Setpoint resend cadence in ticks.
+  [[nodiscard]] long long ticks_per_setpoint() const;
+
+  /// True once waypoint `i`'s scan produced stored samples — or completed and
+  /// legitimately found nothing. Metadata alone is not enough: the scanmeta
+  /// packet can survive a lossy flush that dropped every scanres after it.
+  [[nodiscard]] bool scan_complete(std::size_t i) const;
+
   MissionConfig config_;
 
   // Per-mission parse state.
   geom::Vec3 last_scan_position_;
   int last_scan_waypoint_ = -1;
+  std::size_t last_scan_tuple_count_ = 0;  ///< `n` from the latest scanmeta.
   double last_battery_fraction_ = 1.0;
   std::size_t samples_this_mission_ = 0;
+  std::vector<std::size_t> samples_per_waypoint_;  ///< Stored-sample accounting.
 };
 
 }  // namespace remgen::mission

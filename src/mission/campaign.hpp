@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "data/dataset.hpp"
+#include "fault/fault.hpp"
 #include "lighthouse/lighthouse.hpp"
 #include "mission/base_station.hpp"
 #include "mission/waypoint.hpp"
@@ -45,13 +46,35 @@ struct CampaignConfig {
   bool optimize_route = false;      ///< Re-order each UAV's waypoints with the
                                     ///< energy-aware planner (extension)
                                     ///< instead of the serpentine order.
+  fault::FaultPlan faults;          ///< Injected fault plan (disabled by default).
+  int rescue_rounds = 1;            ///< Graceful degradation: reassign waypoints
+                                    ///< left uncovered by the primary fleet to
+                                    ///< fresh UAVs, up to this many rounds
+                                    ///< (0 disables; no-op when all covered).
+};
+
+/// Per-waypoint campaign coverage, aggregated across the fleet and any rescue
+/// rounds.
+struct WaypointCoverage {
+  std::size_t uav = 0;             ///< Original owner (index into assignments).
+  std::size_t waypoint_index = 0;  ///< Index into that UAV's assignment list.
+  geom::Vec3 position;
+  bool covered = false;      ///< Samples stored, or the scan reported empty air.
+  bool rescued = false;      ///< Covered by a rescue mission, not the owner.
+  std::size_t samples = 0;   ///< Samples stored for this waypoint (all rounds).
+  std::size_t attempts = 0;  ///< Scan attempts spent on it (all rounds).
 };
 
 /// Campaign outcome.
 struct CampaignResult {
   data::Dataset dataset;
   std::vector<UavMissionStats> uav_stats;
-  std::vector<std::vector<geom::Vec3>> assignments;  ///< Waypoints per UAV.
+  std::vector<std::vector<geom::Vec3>> assignments;  ///< Waypoints per UAV
+                                                     ///< (rescue UAVs appended).
+  std::vector<WaypointCoverage> coverage;  ///< One entry per grid waypoint.
+
+  /// Waypoints that remain uncovered after every rescue round.
+  [[nodiscard]] std::vector<WaypointCoverage> uncovered_waypoints() const;
 };
 
 /// Runs the campaign against a scenario. UAV ids are assigned so that UAV 0

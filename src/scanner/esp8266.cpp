@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.hpp"
 #include "util/contracts.hpp"
 #include "util/fmt.hpp"
 
@@ -16,6 +17,15 @@ Esp8266Module::Esp8266Module(SimUart& uart, const radio::RadioEnvironment& envir
       rng_(rng),
       boot_ready_at_(config.boot_time_s) {
   REMGEN_EXPECTS(config.scan_duration_s > 0.0);
+  // Fault streams are forked only when a profile enables them, so a fault-free
+  // module consumes exactly the draws it always did.
+  if (config.scan_faults.enabled()) {
+    fault_rng_.emplace(fault::fault_rng(rng_, config.scan_faults.seed, "esp-scan"));
+  }
+  if (config.uart_faults.enabled()) {
+    uart.attach_device_fault_injector(fault::UartFaultInjector(
+        config.uart_faults, fault::fault_rng(rng_, config.uart_faults.seed, "esp-uart")));
+  }
 }
 
 void Esp8266Module::step(double now_s) {
@@ -80,6 +90,22 @@ void Esp8266Module::handle_line(const std::string& line, double now_s) {
     if (mode_ != WifiMode::Station && mode_ != WifiMode::Both) {
       reply("\r\nERROR\r\n");
       return;
+    }
+    if (fault_rng_) {
+      // Injected scan faults: the firmware rejects the sweep outright, or the
+      // sweep stalls well past the driver timeout (the driver fails and the
+      // deck self-heals; the late reply lands as unsolicited output).
+      if (fault_rng_->bernoulli(config_.scan_faults.spurious_error_probability)) {
+        REMGEN_COUNTER_ADD("fault.scan.spurious_errors", 1);
+        reply("\r\nERROR\r\n");
+        return;
+      }
+      if (fault_rng_->bernoulli(config_.scan_faults.stall_probability)) {
+        REMGEN_COUNTER_ADD("fault.scan.stalls", 1);
+        scan_position_ = position_provider_ ? position_provider_() : geom::Vec3{};
+        scan_deadline_ = now_s + config_.scan_duration_s + config_.scan_faults.stall_extra_s;
+        return;
+      }
     }
     scan_position_ = position_provider_ ? position_provider_() : geom::Vec3{};
     scan_deadline_ = now_s + config_.scan_duration_s;

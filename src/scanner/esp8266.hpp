@@ -15,6 +15,7 @@
 #include <optional>
 #include <string>
 
+#include "fault/fault.hpp"
 #include "radio/environment.hpp"
 #include "scanner/uart.hpp"
 #include "util/rng.hpp"
@@ -25,6 +26,8 @@ namespace remgen::scanner {
 struct Esp8266Config {
   double scan_duration_s = 2.1;  ///< Wall time of one AT+CWLAP sweep.
   double boot_time_s = 0.3;      ///< Time before the module answers AT.
+  fault::ScanFaults scan_faults;  ///< Injected sweep stalls / spurious ERRORs.
+  fault::UartFaults uart_faults;  ///< Injected device->host byte corruption.
 };
 
 /// CWLAP output field mask bits (Espressif AT semantics).
@@ -81,6 +84,7 @@ class Esp8266Module {
   std::optional<double> scan_deadline_;
   geom::Vec3 scan_position_;
   double boot_ready_at_;
+  std::optional<util::Rng> fault_rng_;  ///< Present iff scan faults are enabled.
 };
 
 }  // namespace remgen::scanner

@@ -3,21 +3,38 @@
 #pragma once
 
 #include <deque>
+#include <optional>
 #include <string>
 #include <string_view>
+#include <utility>
+
+#include "fault/fault.hpp"
 
 namespace remgen::scanner {
 
 /// Bidirectional byte pipe. "Host" is the UAV/driver side, "device" the
 /// receiver module side. Both directions are unbounded FIFOs (the real UART
 /// has flow control; buffer overrun is not the failure mode under study).
+/// An attached fault injector corrupts device->host traffic — the direction
+/// carrying scan results, where a flipped byte loses a whole tuple.
 class SimUart {
  public:
   /// Host -> device bytes.
   void host_write(std::string_view bytes) { to_device_.append(bytes); }
 
-  /// Device -> host bytes.
-  void device_write(std::string_view bytes) { to_host_.append(bytes); }
+  /// Device -> host bytes, through the fault injector when one is attached.
+  void device_write(std::string_view bytes) {
+    if (device_injector_) {
+      to_host_.append(device_injector_->corrupt(std::string(bytes)));
+      return;
+    }
+    to_host_.append(bytes);
+  }
+
+  /// Attaches a device->host fault injector (byte garbling/truncation).
+  void attach_device_fault_injector(fault::UartFaultInjector injector) {
+    device_injector_.emplace(std::move(injector));
+  }
 
   /// Drains everything the device has sent to the host.
   [[nodiscard]] std::string host_read() { return drain(to_host_); }
@@ -40,6 +57,7 @@ class SimUart {
 
   std::string to_device_;
   std::string to_host_;
+  std::optional<fault::UartFaultInjector> device_injector_;
 };
 
 }  // namespace remgen::scanner

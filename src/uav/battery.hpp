@@ -7,6 +7,7 @@
 // charge in ~372 s (see bench_endurance).
 #pragma once
 
+#include "fault/fault.hpp"
 #include "util/contracts.hpp"
 
 namespace remgen::uav {
@@ -20,6 +21,15 @@ struct BatteryConfig {
   double move_extra_ma_per_mps = 220.0;  ///< Extra draw when translating.
   double scan_current_ma = 450.0;     ///< ESP8266 receiver during a sweep.
 };
+
+/// Applies injected degradation (sagged capacity, parasitic draw) to a cell's
+/// electrical parameters. The identity plan returns the config unchanged.
+[[nodiscard]] inline BatteryConfig with_faults(BatteryConfig config,
+                                               const fault::BatteryFaults& faults) {
+  config.capacity_mah *= faults.capacity_scale;
+  config.base_current_ma += faults.extra_base_current_ma;
+  return config;
+}
 
 /// Integrates charge consumption over the flight.
 class Battery {

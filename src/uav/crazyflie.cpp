@@ -7,8 +7,18 @@
 #include "util/contracts.hpp"
 #include "util/fmt.hpp"
 #include "util/log.hpp"
+#include "util/quoted.hpp"
 
 namespace remgen::uav {
+
+void apply_fault_plan(const fault::FaultPlan& plan, CrazyflieConfig& config) {
+  if (!plan.enabled()) return;
+  config.crtp.faults = plan.crtp;
+  config.esp.scan_faults = plan.scan;
+  config.esp.uart_faults = plan.uart;
+  config.lps.faults = plan.uwb;
+  config.battery_faults = plan.battery;
+}
 
 Crazyflie::Crazyflie(int id, const radio::RadioEnvironment& environment,
                      const geom::Floorplan* floorplan, std::vector<uwb::Anchor> anchors,
@@ -18,7 +28,7 @@ Crazyflie::Crazyflie(int id, const radio::RadioEnvironment& environment,
       config_(config),
       rng_(rng),
       dynamics_(config.dynamics, start_position),
-      battery_(config.battery),
+      battery_(with_faults(config.battery, config.battery_faults)),
       commander_(config.commander),
       link_(config.crtp, rng_.fork("crtp")),
       interference_(radio::CrazyradioConfig{.carrier_mhz = config.crtp.carrier_mhz}),
@@ -39,7 +49,7 @@ Crazyflie::Crazyflie(int id, const radio::RadioEnvironment& environment,
       config_(config),
       rng_(rng),
       dynamics_(config.dynamics, start_position),
-      battery_(config.battery),
+      battery_(with_faults(config.battery, config.battery_faults)),
       commander_(config.commander),
       link_(config.crtp, rng_.fork("crtp")),
       interference_(radio::CrazyradioConfig{.carrier_mhz = config.crtp.carrier_mhz}),
@@ -126,8 +136,11 @@ void Crazyflie::collect_scan_results() {
                                       tuples.size())},
                  now_s_);
   for (const scanner::ScanTuple& t : tuples) {
-    link_.uav_send({"tlm", util::format("scanres {} {} {} {} {}", current_waypoint_, t.ssid,
-                                        t.rssi_dbm, t.mac.to_string(), t.channel)},
+    // The SSID is free text: quote it so spaces, empty (hidden) SSIDs, and
+    // embedded quotes survive the space-delimited telemetry framing.
+    link_.uav_send({"tlm", util::format("scanres {} {} {} {} {}", current_waypoint_,
+                                        util::quote_field(t.ssid), t.rssi_dbm,
+                                        t.mac.to_string(), t.channel)},
                    now_s_);
   }
   measuring_ = false;

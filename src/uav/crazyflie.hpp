@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/fault.hpp"
 #include "geom/floorplan.hpp"
 #include "radio/environment.hpp"
 #include "radio/interference.hpp"
@@ -50,7 +51,13 @@ struct CrazyflieConfig {
   double telemetry_period_s = 0.5;   ///< State telemetry rate (radio on).
   double hold_feed_period_s = 0.1;   ///< The deck hold task's 100 ms feedback.
   double landing_height_m = 0.12;    ///< Motors cut below this during landing.
+  fault::BatteryFaults battery_faults;  ///< Injected cell degradation.
 };
+
+/// Distributes a campaign-level fault plan into the per-subsystem fault
+/// configs this UAV's components read (CRTP link, ESP module/UART, LPS,
+/// battery). A disabled plan leaves the config untouched.
+void apply_fault_plan(const fault::FaultPlan& plan, CrazyflieConfig& config);
 
 /// One simulated Crazyflie.
 class Crazyflie {

@@ -5,6 +5,21 @@
 
 namespace remgen::uav {
 
+bool CrtpLink::on_air_loss() {
+  if (rng_.bernoulli(config_.loss_probability)) return true;
+  if (injector_ && injector_->drop_packet()) {
+    REMGEN_COUNTER_ADD("fault.crtp.injected_drops", 1);
+    return true;
+  }
+  return false;
+}
+
+double CrtpLink::delivery_latency_s() {
+  double latency = config_.latency_s;
+  if (injector_) latency += injector_->extra_latency_s();
+  return latency;
+}
+
 void CrtpLink::set_radio_enabled(bool enabled, double now_s) {
   if (enabled == radio_on_) return;
   radio_on_ = enabled;
@@ -18,12 +33,12 @@ void CrtpLink::set_radio_enabled(bool enabled, double now_s) {
     while (!tx_queue_.empty()) {
       CrtpPacket packet = std::move(tx_queue_.front());
       tx_queue_.pop_front();
-      if (rng_.bernoulli(config_.loss_probability)) {
+      if (on_air_loss()) {
         ++link_drops_;
         REMGEN_COUNTER_ADD("crtp.link_drops", 1);
         continue;
       }
-      to_base_.push_back({std::move(packet), now_s + config_.latency_s});
+      to_base_.push_back({std::move(packet), now_s + delivery_latency_s()});
     }
   }
 }
@@ -39,12 +54,12 @@ bool CrtpLink::uav_send(CrtpPacket packet, double now_s) {
     tx_queue_.push_back(std::move(packet));
     return true;
   }
-  if (rng_.bernoulli(config_.loss_probability)) {
+  if (on_air_loss()) {
     ++link_drops_;
     REMGEN_COUNTER_ADD("crtp.link_drops", 1);
     return false;
   }
-  to_base_.push_back({std::move(packet), now_s + config_.latency_s});
+  to_base_.push_back({std::move(packet), now_s + delivery_latency_s()});
   return true;
 }
 
@@ -55,12 +70,12 @@ bool CrtpLink::base_send(CrtpPacket packet, double now_s) {
     REMGEN_COUNTER_ADD("crtp.link_drops", 1);
     return false;
   }
-  if (rng_.bernoulli(config_.loss_probability)) {
+  if (on_air_loss()) {
     ++link_drops_;
     REMGEN_COUNTER_ADD("crtp.link_drops", 1);
     return false;
   }
-  to_uav_.push_back({std::move(packet), now_s + config_.latency_s});
+  to_uav_.push_back({std::move(packet), now_s + delivery_latency_s()});
   return true;
 }
 

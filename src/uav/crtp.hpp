@@ -11,9 +11,11 @@
 
 #include <cstddef>
 #include <deque>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "fault/fault.hpp"
 #include "util/contracts.hpp"
 #include "util/rng.hpp"
 
@@ -33,6 +35,7 @@ struct CrtpConfig {
   double latency_s = 0.004;          ///< One-way delivery latency.
   double loss_probability = 0.005;   ///< Random on-air loss when the radio is on.
   double carrier_mhz = 2450.0;       ///< nRF24 channel (interference source).
+  fault::CrtpFaults faults;          ///< Injected adversity (disabled by default).
 };
 
 /// Bidirectional CRTP link between one UAV and the base station.
@@ -41,6 +44,12 @@ class CrtpLink {
   CrtpLink(const CrtpConfig& config, util::Rng rng) : config_(config), rng_(rng) {
     REMGEN_EXPECTS(config.tx_queue_size > 0);
     REMGEN_EXPECTS(config.latency_s >= 0.0);
+    // Only fork the injector stream when faults are active: forking consumes
+    // parent state, and a fault-free link must stay byte-identical.
+    if (config.faults.enabled()) {
+      injector_.emplace(config.faults,
+                        fault::fault_rng(rng_, config.faults.seed, "crtp"));
+    }
   }
 
   [[nodiscard]] const CrtpConfig& config() const noexcept { return config_; }
@@ -79,8 +88,14 @@ class CrtpLink {
     double deliver_at_s;
   };
 
+  /// True when an on-air packet is lost (base loss model + injected faults).
+  [[nodiscard]] bool on_air_loss();
+  /// One-way latency for a surviving packet (base + injected spike).
+  [[nodiscard]] double delivery_latency_s();
+
   CrtpConfig config_;
   util::Rng rng_;
+  std::optional<fault::CrtpFaultInjector> injector_;
   bool radio_on_ = true;
   std::deque<CrtpPacket> tx_queue_;       ///< UAV-side queue while radio off.
   std::deque<InFlight> to_base_;

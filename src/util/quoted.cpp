@@ -1,0 +1,35 @@
+#include "util/quoted.hpp"
+
+namespace remgen::util {
+
+std::string quote_field(std::string_view value) {
+  std::string out;
+  out.reserve(value.size() + 2);
+  out.push_back('"');
+  for (const char c : value) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+bool read_quoted_field(std::istream& in, std::string& out) {
+  out.clear();
+  char c = 0;
+  if (!(in >> c) || c != '"') {
+    in.setstate(std::ios::failbit);
+    return false;
+  }
+  while (in.get(c)) {
+    if (c == '"') return true;
+    if (c == '\\') {
+      if (!in.get(c)) break;
+    }
+    out.push_back(c);
+  }
+  in.setstate(std::ios::failbit);
+  return false;
+}
+
+}  // namespace remgen::util

@@ -1,0 +1,24 @@
+// Whitespace-safe field quoting for line-oriented telemetry payloads.
+//
+// The CRTP "tlm" payloads are whitespace-delimited; free-text fields such as
+// SSIDs (which may contain spaces, or be empty for hidden networks) must be
+// quoted on the wire or they corrupt every field behind them. quote_field and
+// read_quoted_field are the two symmetric halves of that framing.
+#pragma once
+
+#include <istream>
+#include <string>
+#include <string_view>
+
+namespace remgen::util {
+
+/// Wraps `value` in double quotes, escaping '"' and '\' with a backslash.
+/// An empty value becomes `""` so the surrounding tuple stays aligned.
+[[nodiscard]] std::string quote_field(std::string_view value);
+
+/// Reads one quote_field-encoded field from `in` (skipping leading
+/// whitespace) into `out`. Returns false, leaving the stream failed, when the
+/// field is missing or unterminated.
+[[nodiscard]] bool read_quoted_field(std::istream& in, std::string& out);
+
+}  // namespace remgen::util

@@ -74,6 +74,10 @@ Histogram::Histogram(double lo, double hi, std::size_t bins) : lo_(lo), hi_(hi),
 
 void Histogram::add(double x) {
   ++total_;
+  if (std::isnan(x)) {
+    ++nan_;
+    return;
+  }
   if (x < lo_) {
     ++underflow_;
     return;

@@ -60,7 +60,9 @@ class Histogram {
   /// Builds an empty histogram. Requires lo < hi and bins > 0.
   Histogram(double lo, double hi, std::size_t bins);
 
-  /// Adds an observation; values outside [lo, hi) are counted as under/overflow.
+  /// Adds an observation; values outside [lo, hi) are counted as under/overflow
+  /// and NaN goes to a dedicated bucket (it compares false against both edges,
+  /// so letting it reach the bin-index cast would be undefined behaviour).
   void add(double x);
 
   /// Number of observations in bin i.
@@ -81,7 +83,10 @@ class Histogram {
   /// Observations at or above the upper edge.
   [[nodiscard]] std::size_t overflow() const noexcept { return overflow_; }
 
-  /// Total observations including under/overflow.
+  /// NaN observations.
+  [[nodiscard]] std::size_t nan_count() const noexcept { return nan_; }
+
+  /// Total observations including under/overflow and NaN.
   [[nodiscard]] std::size_t total() const noexcept { return total_; }
 
  private:
@@ -90,6 +95,7 @@ class Histogram {
   std::vector<std::size_t> counts_;
   std::size_t underflow_ = 0;
   std::size_t overflow_ = 0;
+  std::size_t nan_ = 0;
   std::size_t total_ = 0;
 };
 

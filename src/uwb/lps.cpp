@@ -1,5 +1,8 @@
 #include "uwb/lps.hpp"
 
+#include <algorithm>
+
+#include "obs/metrics.hpp"
 #include "util/contracts.hpp"
 
 namespace remgen::uwb {
@@ -22,6 +25,20 @@ LocoPositioningSystem::LocoPositioningSystem(std::vector<Anchor> anchors,
                    rng_.gaussian(0.0, config.anchor_survey_sigma_m),
                    rng_.gaussian(0.0, config.anchor_survey_sigma_m)};
   }
+  if (config.faults.enabled()) {
+    fault_rng_.emplace(fault::fault_rng(rng_, config.faults.seed, "uwb"));
+    anchor_dead_.assign(anchors_.size(), false);
+    // Kill a deterministic subset of anchors (never below the 4 the solver
+    // needs for initialization).
+    const std::size_t killable = anchors_.size() > 4 ? anchors_.size() - 4 : 0;
+    std::size_t to_kill = std::min(config.faults.dead_anchors, killable);
+    while (to_kill > 0) {
+      const std::size_t i = fault_rng_->index(anchors_.size());
+      if (anchor_dead_[i]) continue;
+      anchor_dead_[i] = true;
+      --to_kill;
+    }
+  }
 }
 
 void LocoPositioningSystem::initialize_at(const geom::Vec3& true_position) {
@@ -36,6 +53,7 @@ std::optional<PositionFix> LocoPositioningSystem::snapshot_fix(const geom::Vec3&
   std::vector<RangeObservation> obs;
   obs.reserve(anchors_.size());
   for (std::size_t i = 0; i < anchors_.size(); ++i) {
+    if (!anchor_dead_.empty() && anchor_dead_[i]) continue;
     if (const auto range = ranging_.twr_range(anchors_[i], true_position, rng_)) {
       obs.push_back({surveyed_anchors_[i], *range});
     }
@@ -49,11 +67,35 @@ std::optional<PositionFix> LocoPositioningSystem::snapshot_fix(const geom::Vec3&
 }
 
 void LocoPositioningSystem::one_measurement(const geom::Vec3& true_position) {
+  // Injected anchor dropout: the slot is consumed (the round-robin cursor
+  // advances) but no update reaches the filter.
+  auto fault_drop = [this](std::size_t anchor) {
+    if (!fault_rng_) return false;
+    if (anchor_dead_[anchor]) {
+      REMGEN_COUNTER_ADD("fault.uwb.dead_anchor_skips", 1);
+      return true;
+    }
+    if (config_.faults.extra_dropout_probability > 0.0 &&
+        fault_rng_->bernoulli(config_.faults.extra_dropout_probability)) {
+      REMGEN_COUNTER_ADD("fault.uwb.injected_dropouts", 1);
+      return true;
+    }
+    return false;
+  };
+  // Injected NLOS: a positive range bias on this measurement.
+  auto fault_bias = [this] {
+    if (!fault_rng_ || config_.faults.nlos_bias_probability <= 0.0) return 0.0;
+    if (!fault_rng_->bernoulli(config_.faults.nlos_bias_probability)) return 0.0;
+    REMGEN_COUNTER_ADD("fault.uwb.nlos_biases", 1);
+    return config_.faults.nlos_bias_m;
+  };
+
   if (config_.mode == LocalizationMode::Twr) {
     const std::size_t i = next_anchor_;
     next_anchor_ = (next_anchor_ + 1) % anchors_.size();
+    if (fault_drop(i)) return;
     if (const auto range = ranging_.twr_range(anchors_[i], true_position, rng_)) {
-      ekf_.update_range(surveyed_anchors_[i], *range);
+      ekf_.update_range(surveyed_anchors_[i], *range + fault_bias());
     }
   } else {
     // TDoA against a rotating pair (reference rotates too, as in the LPS
@@ -61,8 +103,10 @@ void LocoPositioningSystem::one_measurement(const geom::Vec3& true_position) {
     const std::size_t i = next_anchor_;
     const std::size_t j = (next_anchor_ + 1) % anchors_.size();
     next_anchor_ = (next_anchor_ + 1) % anchors_.size();
+    if (fault_drop(i) || fault_drop(j)) return;
     if (const auto diff = ranging_.tdoa(anchors_[i], anchors_[j], true_position, rng_)) {
-      ekf_.update_tdoa(surveyed_anchors_[i], surveyed_anchors_[j], *diff);
+      // NLOS strikes one leg of the difference: the path to anchor i lengthens.
+      ekf_.update_tdoa(surveyed_anchors_[i], surveyed_anchors_[j], *diff + fault_bias());
     }
   }
 }

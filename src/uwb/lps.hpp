@@ -7,6 +7,7 @@
 #include <optional>
 #include <vector>
 
+#include "fault/fault.hpp"
 #include "geom/floorplan.hpp"
 #include "uwb/anchor.hpp"
 #include "uwb/ekf.hpp"
@@ -30,6 +31,7 @@ struct LpsConfig {
                                         ///< the filter uses.
   RangingConfig ranging;
   EkfConfig ekf;
+  fault::UwbFaults faults;  ///< Injected anchor dropout / NLOS bias (off by default).
 };
 
 /// The tag-side positioning stack carried by one UAV.
@@ -74,6 +76,8 @@ class LocoPositioningSystem final : public PositioningSystem {
   LpsConfig config_;
   Ekf ekf_;
   util::Rng rng_;
+  std::optional<util::Rng> fault_rng_;  ///< Present iff faults are enabled.
+  std::vector<bool> anchor_dead_;       ///< Injected complete anchor dropout.
   double measurement_debt_ = 0.0;  ///< Fractional measurements carried over.
   std::size_t next_anchor_ = 0;    ///< Round-robin cursor.
 };

@@ -1,0 +1,354 @@
+// The fault-injection subsystem: profile parsing/composition, injector
+// determinism, the mission layer's survival of injected faults, and the
+// campaign's graceful-degradation contract.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "exec/config.hpp"
+#include "fault/fault.hpp"
+#include "mission/base_station.hpp"
+#include "mission/campaign.hpp"
+#include "radio/scenario.hpp"
+#include "uwb/anchor.hpp"
+#include "util/fmt.hpp"
+
+namespace remgen {
+namespace {
+
+TEST(FaultPlan, NoneIsDisabled) {
+  const auto plan = fault::make_fault_plan("none");
+  ASSERT_TRUE(plan);
+  EXPECT_FALSE(plan->enabled());
+  EXPECT_EQ(plan->profile, "none");
+}
+
+TEST(FaultPlan, EmptyStringIsNone) {
+  const auto plan = fault::make_fault_plan("");
+  ASSERT_TRUE(plan);
+  EXPECT_FALSE(plan->enabled());
+  EXPECT_EQ(plan->profile, "none");
+}
+
+TEST(FaultPlan, UnknownProfileIsRejected) {
+  EXPECT_FALSE(fault::make_fault_plan("bogus"));
+  EXPECT_FALSE(fault::make_fault_plan("lossy,bogus"));
+}
+
+TEST(FaultPlan, SingleProfilesEnableTheirSubsystemOnly) {
+  const auto lossy = fault::make_fault_plan("lossy");
+  ASSERT_TRUE(lossy);
+  EXPECT_TRUE(lossy->crtp.enabled());
+  EXPECT_FALSE(lossy->uart.enabled());
+  EXPECT_FALSE(lossy->scan.enabled());
+  EXPECT_FALSE(lossy->uwb.enabled());
+  EXPECT_FALSE(lossy->battery.enabled());
+
+  const auto flaky = fault::make_fault_plan("flaky-scanner");
+  ASSERT_TRUE(flaky);
+  EXPECT_FALSE(flaky->crtp.enabled());
+  EXPECT_TRUE(flaky->uart.enabled());
+  EXPECT_TRUE(flaky->scan.enabled());
+
+  const auto brownout = fault::make_fault_plan("brownout");
+  ASSERT_TRUE(brownout);
+  EXPECT_TRUE(brownout->battery.enabled());
+  EXPECT_LT(brownout->battery.capacity_scale, 1.0);
+}
+
+TEST(FaultPlan, CompositionTakesTheHarsherValue) {
+  const auto composed = fault::make_fault_plan("lossy,brownout", 7);
+  ASSERT_TRUE(composed);
+  EXPECT_EQ(composed->profile, "lossy,brownout");
+  EXPECT_EQ(composed->seed, 7u);
+  EXPECT_EQ(composed->crtp.seed, 7u);
+  const auto lossy = fault::make_fault_plan("lossy");
+  EXPECT_DOUBLE_EQ(composed->crtp.extra_loss_probability,
+                   lossy->crtp.extra_loss_probability);
+  const auto brownout = fault::make_fault_plan("brownout");
+  EXPECT_DOUBLE_EQ(composed->battery.capacity_scale, brownout->battery.capacity_scale);
+}
+
+TEST(FaultPlan, HarshIsAtLeastAsAdverseAsEveryProfile) {
+  const auto harsh = fault::make_fault_plan("harsh");
+  ASSERT_TRUE(harsh);
+  for (const std::string& name : fault::fault_profile_names()) {
+    const auto p = fault::make_fault_plan(name);
+    ASSERT_TRUE(p) << name;
+    EXPECT_GE(harsh->crtp.extra_loss_probability, p->crtp.extra_loss_probability) << name;
+    EXPECT_GE(harsh->uart.garble_byte_probability, p->uart.garble_byte_probability) << name;
+    EXPECT_GE(harsh->scan.stall_probability, p->scan.stall_probability) << name;
+    EXPECT_GE(harsh->uwb.dead_anchors, p->uwb.dead_anchors) << name;
+    EXPECT_LE(harsh->battery.capacity_scale, p->battery.capacity_scale) << name;
+  }
+}
+
+TEST(FaultRng, SamePlanSeedSameStream) {
+  util::Rng a(42);
+  util::Rng b(42);
+  util::Rng fa = fault::fault_rng(a, 5, "crtp");
+  util::Rng fb = fault::fault_rng(b, 5, "crtp");
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(fa.uniform(0.0, 1.0), fb.uniform(0.0, 1.0));
+  }
+}
+
+TEST(FaultRng, DifferentPlanSeedsDecorrelate) {
+  util::Rng a(42);
+  util::Rng b(42);
+  util::Rng fa = fault::fault_rng(a, 5, "crtp");
+  util::Rng fb = fault::fault_rng(b, 6, "crtp");
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (fa.bernoulli(0.5) == fb.bernoulli(0.5)) ++same;
+  }
+  EXPECT_LT(same, 100);
+}
+
+TEST(CrtpFaultInjector, DeterministicPerSeed) {
+  const auto plan = fault::make_fault_plan("lossy", 3);
+  ASSERT_TRUE(plan);
+  fault::CrtpFaultInjector a(plan->crtp, util::Rng(9));
+  fault::CrtpFaultInjector b(plan->crtp, util::Rng(9));
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_EQ(a.drop_packet(), b.drop_packet()) << i;
+    EXPECT_DOUBLE_EQ(a.extra_latency_s(), b.extra_latency_s()) << i;
+  }
+}
+
+TEST(CrtpFaultInjector, BurstsDropConsecutivePackets) {
+  fault::CrtpFaults faults;
+  faults.burst_start_probability = 1.0;  // always in a burst
+  faults.burst_min_packets = 4;
+  faults.burst_max_packets = 4;
+  faults.burst_drop_probability = 1.0;
+  fault::CrtpFaultInjector injector(faults, util::Rng(1));
+  for (int i = 0; i < 50; ++i) EXPECT_TRUE(injector.drop_packet()) << i;
+}
+
+TEST(CrtpFaultInjector, LossRateTracksConfiguredProbability) {
+  fault::CrtpFaults faults;
+  faults.extra_loss_probability = 0.3;
+  fault::CrtpFaultInjector injector(faults, util::Rng(17));
+  int dropped = 0;
+  for (int i = 0; i < 2000; ++i) {
+    if (injector.drop_packet()) ++dropped;
+  }
+  EXPECT_GT(dropped, 480);
+  EXPECT_LT(dropped, 720);
+}
+
+TEST(UartFaultInjector, TruncationKeepsAStrictPrefix) {
+  fault::UartFaults faults;
+  faults.truncate_write_probability = 1.0;
+  fault::UartFaultInjector injector(faults, util::Rng(5));
+  const std::string original = "+CWLAP:(\"net\",-70,\"aa:bb:cc:dd:ee:ff\",6)\r\n";
+  for (int i = 0; i < 50; ++i) {
+    const std::string corrupted = injector.corrupt(original);
+    EXPECT_LT(corrupted.size(), original.size());
+    EXPECT_EQ(corrupted, original.substr(0, corrupted.size()));
+  }
+}
+
+TEST(UartFaultInjector, GarblingPreservesLength) {
+  fault::UartFaults faults;
+  faults.garble_byte_probability = 1.0;
+  fault::UartFaultInjector injector(faults, util::Rng(5));
+  const std::string original = "0123456789abcdef";
+  int changed = 0;
+  for (int i = 0; i < 50; ++i) {
+    const std::string corrupted = injector.corrupt(original);
+    ASSERT_EQ(corrupted.size(), original.size());
+    std::size_t diff = 0;
+    for (std::size_t j = 0; j < original.size(); ++j) {
+      if (corrupted[j] != original[j]) ++diff;
+    }
+    EXPECT_LE(diff, 1u);
+    if (diff == 1) ++changed;
+  }
+  EXPECT_GT(changed, 0);
+}
+
+/// Shared scenario for the mission-level tests.
+const radio::Scenario& scenario() {
+  static util::Rng rng(4242);
+  static radio::Scenario s = radio::Scenario::make_apartment(rng);
+  return s;
+}
+
+uav::Crazyflie make_uav(const uav::CrazyflieConfig& config) {
+  return uav::Crazyflie(0, scenario().environment(), &scenario().floorplan(),
+                        uwb::corner_anchors(scenario().scan_volume()), config,
+                        {1.0, 1.0, 0.0}, util::Rng(99));
+}
+
+// The headline telemetry-path regression: a 1-slot TX queue keeps the
+// scanmeta packet (queued first) and overflows every scanres behind it. The
+// old retry gate broke as soon as the metadata arrived, silently accepting a
+// waypoint with zero stored samples; the fixed gate keeps retrying and then
+// reports the waypoint uncovered.
+TEST(FaultMission, MetadataAloneDoesNotSatisfyTheRetryGate) {
+  uav::CrazyflieConfig config;
+  config.crtp.tx_queue_size = 1;
+  config.crtp.loss_probability = 0.0;
+  uav::Crazyflie uav = make_uav(config);
+  for (int i = 0; i < 100; ++i) uav.step(0.01);  // deck AT handshake
+
+  mission::MissionConfig mission;
+  mission.scan_retries = 2;
+  mission::BaseStation station(mission);
+  data::Dataset out;
+  const mission::UavMissionStats stats =
+      station.run_mission(uav, {{1.5, 1.5, 1.0}}, out);
+
+  ASSERT_EQ(stats.waypoint_reports.size(), 1u);
+  const mission::WaypointReport& report = stats.waypoint_reports[0];
+  EXPECT_TRUE(report.commanded);
+  EXPECT_EQ(report.attempts, 3u);  // scan_retries + 1: every attempt was spent
+  EXPECT_FALSE(report.covered);
+  EXPECT_EQ(report.samples, 0u);
+  EXPECT_GT(stats.tx_queue_drops, 0u);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(FaultMission, HealthyLinkCoversInOneAttempt) {
+  uav::CrazyflieConfig config;
+  config.crtp.loss_probability = 0.0;
+  uav::Crazyflie uav = make_uav(config);
+  for (int i = 0; i < 100; ++i) uav.step(0.01);
+
+  mission::MissionConfig mission;
+  mission.scan_retries = 2;
+  mission::BaseStation station(mission);
+  data::Dataset out;
+  const mission::UavMissionStats stats =
+      station.run_mission(uav, {{1.5, 1.5, 1.0}}, out);
+
+  ASSERT_EQ(stats.waypoint_reports.size(), 1u);
+  EXPECT_TRUE(stats.waypoint_reports[0].covered);
+  EXPECT_EQ(stats.waypoint_reports[0].attempts, 1u);
+  EXPECT_GT(stats.waypoint_reports[0].samples, 0u);
+  EXPECT_FALSE(out.empty());
+}
+
+mission::CampaignConfig faulted_config(const char* profile) {
+  mission::CampaignConfig config;
+  config.grid = {.nx = 3, .ny = 2, .nz = 2, .margin_m = 0.3};
+  config.faults = *fault::make_fault_plan(profile, 11);
+  config.mission.scan_retries = 3;
+  config.mission.scan_retry_backoff_s = 0.2;
+  config.mission.scan_watchdog_s = 15.0;
+  return config;
+}
+
+std::string campaign_fingerprint(const mission::CampaignResult& result) {
+  std::ostringstream out;
+  result.dataset.write_csv(out);
+  for (const mission::WaypointCoverage& c : result.coverage) {
+    out << c.uav << ' ' << c.waypoint_index << ' ' << c.covered << ' ' << c.rescued << ' '
+        << c.samples << ' ' << c.attempts << '\n';
+  }
+  for (const mission::UavMissionStats& s : result.uav_stats) {
+    out << s.uav_id << ' ' << s.samples_collected << ' ' << s.scans_completed << ' '
+        << s.tx_queue_drops << '\n';
+  }
+  return out.str();
+}
+
+mission::CampaignResult run_faulted(const char* profile) {
+  util::Rng rng(2024);
+  const radio::Scenario s = radio::Scenario::make_apartment(rng);
+  return mission::run_campaign(s, faulted_config(profile), rng);
+}
+
+TEST(FaultCampaign, LossyCampaignStillProducesADataset) {
+  const mission::CampaignResult result = run_faulted("lossy");
+  EXPECT_GT(result.dataset.size(), 100u);
+  EXPECT_EQ(result.coverage.size(), 12u);
+}
+
+TEST(FaultCampaign, EveryWaypointIsCoveredOrExplicitlyReported) {
+  const mission::CampaignResult result = run_faulted("harsh");
+  ASSERT_EQ(result.coverage.size(), 12u);
+  const auto open = result.uncovered_waypoints();
+  std::size_t uncovered = 0;
+  for (const mission::WaypointCoverage& c : result.coverage) {
+    if (c.covered) {
+      EXPECT_TRUE(c.samples > 0 || c.attempts > 0);
+    } else {
+      ++uncovered;
+    }
+  }
+  EXPECT_EQ(open.size(), uncovered);  // no silent gaps
+}
+
+TEST(FaultCampaign, FaultFreeRunMatchesAPlanlessRun) {
+  // A "none" plan must be byte-identical to not wiring the fault layer at
+  // all: the injector streams are only forked when a profile enables them.
+  auto fingerprint = [](bool with_plan) {
+    util::Rng rng(2024);
+    const radio::Scenario s = radio::Scenario::make_apartment(rng);
+    mission::CampaignConfig config;
+    config.grid = {.nx = 3, .ny = 2, .nz = 2, .margin_m = 0.3};
+    if (with_plan) config.faults = *fault::make_fault_plan("none", 99);
+    return campaign_fingerprint(mission::run_campaign(s, config, rng));
+  };
+  EXPECT_EQ(fingerprint(false), fingerprint(true));
+}
+
+/// Restores the configured width after each test so suites don't leak state.
+class FaultDeterminismTest : public ::testing::Test {
+ protected:
+  void SetUp() override { previous_ = exec::thread_count(); }
+  void TearDown() override { exec::set_thread_count(previous_); }
+
+ private:
+  std::size_t previous_ = 1;
+};
+
+TEST_F(FaultDeterminismTest, FaultedCampaignIsByteIdenticalAcrossThreadCounts) {
+  exec::set_thread_count(1);
+  const std::string sequential = campaign_fingerprint(run_faulted("lossy,flaky-scanner"));
+  exec::set_thread_count(4);
+  const std::string parallel = campaign_fingerprint(run_faulted("lossy,flaky-scanner"));
+  EXPECT_EQ(sequential, parallel);
+}
+
+TEST_F(FaultDeterminismTest, FaultedCampaignIsReproducibleForAFixedSeed) {
+  exec::set_thread_count(2);
+  const std::string first = campaign_fingerprint(run_faulted("lossy"));
+  const std::string second = campaign_fingerprint(run_faulted("lossy"));
+  EXPECT_EQ(first, second);
+}
+
+TEST(FaultCampaign, BrownoutTriggersRescueCoverage) {
+  // A sagged cell plus a full-size slab forces a battery abort; the rescue
+  // round must pick up the abandoned waypoints in the coverage report.
+  util::Rng rng(305);
+  const radio::Scenario s = radio::Scenario::make_apartment(rng);
+  mission::CampaignConfig config;
+  config.grid = {.nx = 6, .ny = 4, .nz = 3, .margin_m = 0.25};
+  config.uav_count = 1;
+  config.faults = *fault::make_fault_plan("brownout", 1);
+  const mission::CampaignResult result = mission::run_campaign(s, config, rng);
+  ASSERT_FALSE(result.uav_stats.empty());
+  EXPECT_TRUE(result.uav_stats[0].aborted_on_battery);
+  EXPECT_GT(result.uav_stats.size(), 1u);  // at least one rescue mission ran
+  EXPECT_EQ(result.coverage.size(), 72u);
+  std::size_t rescued = 0;
+  for (const mission::WaypointCoverage& c : result.coverage) {
+    if (c.rescued) ++rescued;
+  }
+  EXPECT_GT(rescued, 0u);
+  // Rescue assignments ride along so sample.uav_id indexes stay valid.
+  EXPECT_EQ(result.assignments.size(), result.uav_stats.size());
+  for (const data::Sample& sample : result.dataset.samples()) {
+    ASSERT_LT(static_cast<std::size_t>(sample.uav_id), result.assignments.size());
+    ASSERT_LT(static_cast<std::size_t>(sample.waypoint_index),
+              result.assignments[static_cast<std::size_t>(sample.uav_id)].size());
+  }
+}
+
+}  // namespace
+}  // namespace remgen

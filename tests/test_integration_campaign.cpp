@@ -141,6 +141,51 @@ TEST(CampaignIntegration, TinyTxQueueLosesSamples) {
   EXPECT_GT(drops, 0u);
 }
 
+TEST(CampaignIntegration, SpacedAndHiddenSsidsSurviveTelemetryRoundTrip) {
+  // Regression for the scanres framing bug: an SSID with spaces used to be
+  // emitted unquoted into the space-delimited telemetry line, shearing every
+  // field behind it (and a hidden network's empty SSID shifted the tuple).
+  // Plant both shapes inside the scan volume and require their samples to
+  // come back intact.
+  const auto spaced_mac = *radio::MacAddress::parse("02:aa:bb:cc:dd:01");
+  const auto hidden_mac = *radio::MacAddress::parse("02:aa:bb:cc:dd:02");
+  util::Rng rng(108);
+  const radio::Scenario scenario = radio::Scenario::make_apartment(
+      rng, {}, {}, [&](std::vector<radio::AccessPoint>& aps) {
+        radio::AccessPoint spaced = aps.front();
+        spaced.mac = spaced_mac;
+        spaced.ssid = "Living Room 5G";
+        spaced.position = {1.8, 1.5, 1.0};
+        spaced.tx_power_dbm = 20.0;
+        spaced.channel = 6;
+        radio::AccessPoint hidden = spaced;
+        hidden.mac = hidden_mac;
+        hidden.ssid = "";  // hidden network: empty SSID on the wire
+        hidden.channel = 11;
+        aps.push_back(spaced);
+        aps.push_back(hidden);
+      });
+  const CampaignResult result = run_campaign(scenario, small_config(), rng);
+
+  std::size_t spaced_samples = 0;
+  std::size_t hidden_samples = 0;
+  for (const data::Sample& s : result.dataset.samples()) {
+    if (s.mac == spaced_mac) {
+      ++spaced_samples;
+      EXPECT_EQ(s.ssid, "Living Room 5G");
+      EXPECT_EQ(s.channel, 6);
+    } else if (s.mac == hidden_mac) {
+      ++hidden_samples;
+      EXPECT_TRUE(s.ssid.empty()) << s.ssid;
+      EXPECT_EQ(s.channel, 11);
+    }
+  }
+  // Both transmitters sit metres from every waypoint at high power: they must
+  // be detected repeatedly, and every tuple must parse.
+  EXPECT_GT(spaced_samples, 5u);
+  EXPECT_GT(hidden_samples, 5u);
+}
+
 TEST(CampaignIntegration, FullPaperCampaignStatisticsInRange) {
   // The headline reproduction: 72 waypoints, 2 UAVs, paper-like statistics.
   util::Rng rng(2022);

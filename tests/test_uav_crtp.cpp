@@ -114,5 +114,107 @@ TEST(Crtp, RadioToggleIdempotent) {
   EXPECT_FALSE(link.radio_enabled());
 }
 
+CrtpConfig with_injected_loss(double probability, std::size_t queue = 64) {
+  CrtpConfig config = lossless(queue);
+  config.faults.extra_loss_probability = probability;
+  return config;
+}
+
+TEST(Crtp, InjectedLossAppliesPerPacketDuringFlush) {
+  // A full radio-off cycle: each queued packet faces its own loss draw on the
+  // flush, not one draw for the whole queue.
+  CrtpLink link(with_injected_loss(0.5, /*queue=*/128), util::Rng(3));
+  link.set_radio_enabled(false, 0.0);
+  for (int i = 0; i < 100; ++i) {
+    link.uav_send({"tlm", std::to_string(i)}, 0.1);
+  }
+  EXPECT_EQ(link.tx_queue_depth(), 100u);
+  link.set_radio_enabled(true, 1.0);
+  const auto packets = link.base_receive(2.0);
+  EXPECT_GT(packets.size(), 20u);  // some survive...
+  EXPECT_LT(packets.size(), 80u);  // ...some do not
+  EXPECT_EQ(link.link_drops(), 100u - packets.size());
+}
+
+TEST(Crtp, FlushPreservesRelativeOrderUnderInjectedLoss) {
+  CrtpLink link(with_injected_loss(0.4), util::Rng(5));
+  link.set_radio_enabled(false, 0.0);
+  for (int i = 0; i < 50; ++i) {
+    link.uav_send({"tlm", std::to_string(i)}, 0.1);
+  }
+  link.set_radio_enabled(true, 1.0);
+  const auto packets = link.base_receive(2.0);
+  int previous = -1;
+  for (const CrtpPacket& p : packets) {
+    const int value = std::stoi(p.payload);
+    EXPECT_GT(value, previous);  // survivors keep their send order
+    previous = value;
+  }
+}
+
+TEST(Crtp, TxQueueOverflowAccountingAcrossRadioCycles) {
+  CrtpLink link(with_injected_loss(0.0, /*queue=*/4), util::Rng(7));
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    const double t = static_cast<double>(cycle);
+    link.set_radio_enabled(false, t);
+    for (int i = 0; i < 10; ++i) {
+      link.uav_send({"tlm", "x"}, t + 0.1);
+    }
+    EXPECT_EQ(link.tx_queue_depth(), 4u);
+    link.set_radio_enabled(true, t + 0.5);
+    EXPECT_EQ(link.tx_queue_depth(), 0u);
+  }
+  // 6 of 10 overflow per cycle; the counter accumulates across cycles.
+  EXPECT_EQ(link.tx_queue_drops(), 18u);
+  EXPECT_EQ(link.base_receive(10.0).size(), 12u);
+}
+
+TEST(Crtp, InjectedLatencySpikeDelaysDelivery) {
+  CrtpConfig config = lossless();
+  config.faults.latency_spike_probability = 1.0;
+  config.faults.latency_spike_min_s = 0.5;
+  config.faults.latency_spike_max_s = 0.5;
+  CrtpLink link(config, util::Rng(11));
+  EXPECT_TRUE(link.uav_send({"tlm", "slow"}, 0.0));
+  EXPECT_TRUE(link.base_receive(0.4).empty());  // base latency + 0.5 s spike
+  const auto packets = link.base_receive(0.6);
+  ASSERT_EQ(packets.size(), 1u);
+  EXPECT_EQ(packets[0].payload, "slow");
+}
+
+TEST(Crtp, InjectedFaultsAreDeterministicPerSeed) {
+  auto deliveries = [] {
+    CrtpConfig config = lossless();
+    config.faults.extra_loss_probability = 0.2;
+    config.faults.burst_start_probability = 0.05;
+    config.faults.seed = 21;
+    CrtpLink link(config, util::Rng(13));
+    std::string got;
+    link.set_radio_enabled(false, 0.0);
+    for (int i = 0; i < 30; ++i) link.uav_send({"tlm", std::to_string(i)}, 0.1);
+    link.set_radio_enabled(true, 1.0);
+    for (int i = 30; i < 60; ++i) link.uav_send({"tlm", std::to_string(i)}, 2.0);
+    for (const CrtpPacket& p : link.base_receive(10.0)) got += p.payload + ",";
+    return got;
+  };
+  EXPECT_EQ(deliveries(), deliveries());
+}
+
+TEST(Crtp, DisabledFaultsDoNotPerturbTheLossStream) {
+  // The injector stream is only forked when a profile enables it, so a
+  // default-constructed faults struct must leave behavior byte-identical.
+  auto deliveries = [](bool touch_faults) {
+    CrtpConfig config = lossless();
+    config.loss_probability = 0.3;
+    if (touch_faults) config.faults = fault::CrtpFaults{};  // still disabled
+    CrtpLink link(config, util::Rng(17));
+    std::string got;
+    for (int i = 0; i < 50; ++i) link.uav_send({"tlm", std::to_string(i)}, 0.0);
+    for (const CrtpPacket& p : link.base_receive(10.0)) got += p.payload + ",";
+    return got;
+  };
+  EXPECT_EQ(deliveries(false), deliveries(true));
+}
+
 }  // namespace
 }  // namespace remgen::uav

@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/quoted.hpp"
+
+namespace remgen::util {
+namespace {
+
+std::string round_trip(const std::string& value) {
+  std::istringstream in(quote_field(value));
+  std::string out;
+  EXPECT_TRUE(read_quoted_field(in, out));
+  return out;
+}
+
+TEST(Quoted, PlainFieldRoundTrips) { EXPECT_EQ(round_trip("MyWifi"), "MyWifi"); }
+
+TEST(Quoted, SpacedFieldRoundTrips) {
+  EXPECT_EQ(round_trip("Living Room 5G"), "Living Room 5G");
+}
+
+TEST(Quoted, EmptyFieldRoundTrips) {
+  EXPECT_EQ(quote_field(""), "\"\"");
+  EXPECT_EQ(round_trip(""), "");
+}
+
+TEST(Quoted, EscapesQuotesAndBackslashes) {
+  EXPECT_EQ(quote_field("a\"b\\c"), "\"a\\\"b\\\\c\"");
+  EXPECT_EQ(round_trip("a\"b\\c"), "a\"b\\c");
+}
+
+TEST(Quoted, SkipsLeadingWhitespace) {
+  std::istringstream in("   \"two words\" 42");
+  std::string out;
+  ASSERT_TRUE(read_quoted_field(in, out));
+  EXPECT_EQ(out, "two words");
+  int rest = 0;
+  EXPECT_TRUE(in >> rest);
+  EXPECT_EQ(rest, 42);
+}
+
+TEST(Quoted, MissingOpeningQuoteFailsStream) {
+  std::istringstream in("bare 42");
+  std::string out;
+  EXPECT_FALSE(read_quoted_field(in, out));
+  EXPECT_TRUE(in.fail());
+}
+
+TEST(Quoted, UnterminatedFieldFailsStream) {
+  std::istringstream in("\"no end");
+  std::string out;
+  EXPECT_FALSE(read_quoted_field(in, out));
+  EXPECT_TRUE(in.fail());
+}
+
+TEST(Quoted, EmptyInputFailsStream) {
+  std::istringstream in("");
+  std::string out;
+  EXPECT_FALSE(read_quoted_field(in, out));
+  EXPECT_TRUE(in.fail());
+}
+
+TEST(Quoted, MixedTupleLikeTelemetryLine) {
+  // The shape the base station actually parses:
+  //   scanres <wp> "<ssid>" <rssi> <mac> <channel>
+  std::istringstream in("3 \"Cafe Guest WiFi\" -71 aa:bb:cc:dd:ee:ff 6");
+  int wp = 0;
+  std::string ssid;
+  int rssi = 0;
+  std::string mac;
+  int channel = 0;
+  ASSERT_TRUE(in >> wp);
+  ASSERT_TRUE(read_quoted_field(in, ssid));
+  ASSERT_TRUE(in >> rssi >> mac >> channel);
+  EXPECT_EQ(wp, 3);
+  EXPECT_EQ(ssid, "Cafe Guest WiFi");
+  EXPECT_EQ(rssi, -71);
+  EXPECT_EQ(mac, "aa:bb:cc:dd:ee:ff");
+  EXPECT_EQ(channel, 6);
+}
+
+}  // namespace
+}  // namespace remgen::util

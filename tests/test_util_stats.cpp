@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <vector>
 
 #include "util/stats.hpp"
@@ -119,6 +120,31 @@ TEST(HistogramTest, BinEdges) {
 }
 
 // Property: histogram bin totals always equal the number of in-range adds.
+TEST(HistogramTest, NanGoesToItsOwnBucket) {
+  // NaN compares false against both range edges, so before the dedicated
+  // bucket it fell through to the bin-index cast — undefined behaviour.
+  Histogram h(0.0, 10.0, 4);
+  h.add(std::numeric_limits<double>::quiet_NaN());
+  h.add(-std::numeric_limits<double>::quiet_NaN());
+  h.add(5.0);
+  EXPECT_EQ(h.nan_count(), 2u);
+  EXPECT_EQ(h.total(), 3u);
+  EXPECT_EQ(h.underflow(), 0u);
+  EXPECT_EQ(h.overflow(), 0u);
+  std::size_t binned = 0;
+  for (std::size_t b = 0; b < h.bins(); ++b) binned += h.bin_count(b);
+  EXPECT_EQ(binned, 1u);
+}
+
+TEST(HistogramTest, InfinitiesCountAsUnderOverflow) {
+  Histogram h(0.0, 10.0, 4);
+  h.add(std::numeric_limits<double>::infinity());
+  h.add(-std::numeric_limits<double>::infinity());
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.nan_count(), 0u);
+}
+
 class HistogramPropertyTest : public ::testing::TestWithParam<std::size_t> {};
 
 TEST_P(HistogramPropertyTest, CountsAreConserved) {

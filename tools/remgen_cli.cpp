@@ -3,6 +3,8 @@
 //   remgen campaign  --seed 2022 --grid 6x4x3 --uavs 2 --out dataset.csv
 //                    [--radio-on] [--optimize-route] [--adaptive-legs]
 //                    [--positioning uwb|lighthouse] [--receivers wifi,ble]
+//                    [--fault-profile none|lossy|flaky-scanner|uwb-degraded|
+//                     brownout|harsh|<comma list>] [--fault-seed N]
 //   remgen info      --in dataset.csv
 //   remgen evaluate  --in dataset.csv [--model all|<name>] [--split 0.75]
 //                    [--min-samples 16] [--seed 99]
@@ -47,6 +49,11 @@ int usage() {
       "  --threads N          parallel execution width (default: REMGEN_THREADS env,\n"
       "                       then hardware concurrency; 1 = sequential; output is\n"
       "                       identical at every width)\n\n"
+      "fault injection (campaign):\n"
+      "  --fault-profile P    inject faults: none, lossy, flaky-scanner, uwb-degraded,\n"
+      "                       brownout, harsh, or a comma list (merged, harsher wins);\n"
+      "                       also arms scan retries/backoff/watchdog + rescue missions\n"
+      "  --fault-seed N       seed for the injected fault streams (default 0)\n\n"
       "telemetry (every command):\n"
       "  --log-level trace|debug|info|warn|error|off   stderr log filter (default warn)\n"
       "  --metrics-out FILE   enable telemetry, write a JSON metrics snapshot\n"
@@ -112,6 +119,25 @@ int cmd_campaign(const util::Args& args) {
     config.receivers.push_back(r == "ble" ? mission::ReceiverKind::Ble
                                           : mission::ReceiverKind::Wifi);
   }
+  const std::string fault_profile = args.value("fault-profile", "none");
+  const auto plan = fault::make_fault_plan(
+      fault_profile, static_cast<std::uint64_t>(args.value_int("fault-seed", 0)));
+  if (!plan) {
+    std::fprintf(stderr, "unknown fault profile '%s'; available:", fault_profile.c_str());
+    for (const std::string& name : fault::fault_profile_names()) {
+      std::fprintf(stderr, " %s", name.c_str());
+    }
+    std::fprintf(stderr, " (or a comma list)\n");
+    return 2;
+  }
+  config.faults = *plan;
+  if (config.faults.enabled()) {
+    // A faulted campaign gets the resilience knobs the fault layer is built
+    // for: more retries with backoff, a watchdog for stalled scans.
+    config.mission.scan_retries = 3;
+    config.mission.scan_retry_backoff_s = 0.2;
+    config.mission.scan_watchdog_s = 15.0;
+  }
 
   const mission::CampaignResult result = mission::run_campaign(scenario, config, rng);
   for (const mission::UavMissionStats& s : result.uav_stats) {
@@ -120,6 +146,20 @@ int cmd_campaign(const util::Args& args) {
                 s.samples_collected, static_cast<int>(s.active_time_s) / 60,
                 static_cast<int>(s.active_time_s) % 60,
                 s.aborted_on_battery ? " (battery abort)" : "");
+  }
+  std::size_t covered = 0;
+  std::size_t rescued = 0;
+  for (const mission::WaypointCoverage& c : result.coverage) {
+    if (c.covered) ++covered;
+    if (c.rescued) ++rescued;
+  }
+  std::printf("coverage: %zu/%zu waypoints", covered, result.coverage.size());
+  if (rescued > 0) std::printf(" (%zu by rescue missions)", rescued);
+  std::printf("\n");
+  for (const mission::WaypointCoverage& c : result.uncovered_waypoints()) {
+    std::printf("  uncovered: waypoint %zu of UAV %c at (%.2f, %.2f, %.2f)\n",
+                c.waypoint_index, static_cast<char>('A' + static_cast<int>(c.uav)),
+                c.position.x, c.position.y, c.position.z);
   }
   const std::string out = args.value("out", "dataset.csv");
   std::ofstream file(out);
@@ -303,7 +343,8 @@ int main(int argc, char** argv) {
                                          "model",     "split", "voxel",  "at",    "top",
                                          "baseline",  "probe", "min-samples", "positioning",
                                          "receivers", "env",   "log-level", "metrics-out",
-                                         "metrics-prom", "trace-out", "threads"};
+                                         "metrics-prom", "trace-out", "threads",
+                                         "fault-profile", "fault-seed"};
   const std::set<std::string> flag_keys{"radio-on", "optimize-route", "adaptive-legs", "help"};
   std::string error;
   const auto args = remgen::util::Args::parse(argc, argv, value_keys, flag_keys, &error);
