@@ -6,12 +6,15 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <functional>
 #include <limits>
 #include <memory>
+#include <string>
 #include <string_view>
+#include <vector>
 
 #include "core/rem_builder.hpp"
 #include "exec/config.hpp"
@@ -140,6 +143,74 @@ void BM_RemBuild25cm(benchmark::State& state) {
 }
 BENCHMARK(BM_RemBuild25cm);
 
+/// Console reporter that also accumulates one row per benchmark for the
+/// BENCH_perf.json artifact. Aggregate rows (mean/median/stddev of repeated
+/// runs) and errored runs are excluded so the file holds exactly one
+/// wall-clock number per BENCHMARK() registration.
+class PerfReporter : public benchmark::ConsoleReporter {
+ public:
+  struct Row {
+    std::string name;
+    double seconds_per_iteration = 0.0;
+    std::int64_t iterations = 0;
+  };
+
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const Run& run : reports) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      Row row;
+      row.name = run.benchmark_name();
+      row.iterations = static_cast<std::int64_t>(run.iterations);
+      if (run.iterations > 0) {
+        row.seconds_per_iteration =
+            run.real_accumulated_time / static_cast<double>(run.iterations);
+      }
+      rows_.push_back(std::move(row));
+    }
+    ConsoleReporter::ReportRuns(reports);
+  }
+
+  [[nodiscard]] const std::vector<Row>& rows() const { return rows_; }
+
+ private:
+  std::vector<Row> rows_;
+};
+
+/// Commit hash stamped into BENCH_perf.json: runtime env (REMGEN_GIT_COMMIT,
+/// then CI's GITHUB_SHA) wins over the hash baked in at configure time, so a
+/// stale build directory cannot misattribute fresh numbers.
+const char* perf_commit() {
+  if (const char* env = std::getenv("REMGEN_GIT_COMMIT")) return env;
+  if (const char* sha = std::getenv("GITHUB_SHA")) return sha;
+#ifdef REMGEN_GIT_COMMIT
+  return REMGEN_GIT_COMMIT;
+#else
+  return "unknown";
+#endif
+}
+
+/// Writes the per-benchmark wall-clock report as BENCH_perf.json
+/// (REMGEN_PERF_OUT overrides the path) next to BENCH_parallel.json, with
+/// enough provenance — commit, thread count — to compare CI runs.
+void write_perf_report(const std::vector<PerfReporter::Row>& rows) {
+  const char* out_path = std::getenv("REMGEN_PERF_OUT");
+  std::FILE* out = std::fopen(out_path != nullptr ? out_path : "BENCH_perf.json", "w");
+  if (out == nullptr) return;
+  std::fprintf(out, "{\n  \"commit\": \"%s\",\n  \"threads\": %zu,\n  \"benchmarks\": [\n",
+               perf_commit(), exec::thread_count());
+  bool first = true;
+  for (const PerfReporter::Row& row : rows) {
+    std::fprintf(out,
+                 "%s    {\"name\": \"%s\", \"seconds_per_iteration\": %.9e, "
+                 "\"iterations\": %lld}",
+                 first ? "" : ",\n", row.name.c_str(), row.seconds_per_iteration,
+                 static_cast<long long>(row.iterations));
+    first = false;
+  }
+  std::fprintf(out, "\n  ]\n}\n");
+  std::fclose(out);
+}
+
 /// Best-of-two wall-clock seconds for one invocation of `fn`.
 double time_seconds(const std::function<void()>& fn) {
   double best = std::numeric_limits<double>::infinity();
@@ -256,8 +327,10 @@ int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   remgen::obs::set_enabled(true);
-  benchmark::RunSpecifiedBenchmarks();
+  PerfReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();
+  write_perf_report(reporter.rows());
   write_parallel_report();
 
   const char* metrics_out = std::getenv("REMGEN_METRICS_OUT");

@@ -1,0 +1,225 @@
+#include "core/health_report.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <tuple>
+#include <variant>
+#include <vector>
+
+#include "util/fmt.hpp"
+#include "util/log.hpp"
+
+namespace remgen::core {
+
+namespace {
+
+using PositionKey = std::tuple<double, double, double>;
+
+PositionKey key_of(const geom::Vec3& p) { return {p.x, p.y, p.z}; }
+
+/// Scan history for one grid position, reconstructed from every UAV's events
+/// (rescue missions index the same position under their own waypoint list, so
+/// the join has to go through the per-UAV assignments).
+struct WaypointHistory {
+  std::size_t visits = 0;      ///< WaypointArrive events.
+  std::size_t attempts = 0;    ///< ScanAttempt events.
+  std::size_t retries = 0;     ///< ScanRetry events.
+  std::size_t backoffs = 0;    ///< ScanBackoff events.
+  std::size_t watchdogs = 0;   ///< ScanWatchdog events.
+  std::size_t accepted = 0;    ///< ScanresAccepted events.
+};
+
+std::uint64_t counter_or_zero(const obs::MetricsSnapshot& metrics, const std::string& name) {
+  const auto it = metrics.counters.find(name);
+  return it == metrics.counters.end() ? 0 : it->second;
+}
+
+const geom::Vec3* event_position(const mission::CampaignResult& result, std::int32_t uav,
+                                 std::int32_t waypoint) {
+  if (uav < 0 || waypoint < 0) return nullptr;
+  const auto u = static_cast<std::size_t>(uav);
+  const auto w = static_cast<std::size_t>(waypoint);
+  if (u >= result.assignments.size() || w >= result.assignments[u].size()) return nullptr;
+  return &result.assignments[u][w];
+}
+
+std::map<PositionKey, WaypointHistory> build_history(const mission::CampaignResult& result,
+                                                     std::span<const flightlog::Event> events) {
+  std::map<PositionKey, WaypointHistory> history;
+  for (const flightlog::Event& event : events) {
+    std::int32_t waypoint = -1;
+    if (const auto* scan = std::get_if<flightlog::ScanEvent>(&event.payload)) {
+      waypoint = scan->waypoint;
+    } else if (const auto* sample = std::get_if<flightlog::SampleEvent>(&event.payload)) {
+      waypoint = sample->waypoint;
+    } else if (const auto* wp = std::get_if<flightlog::WaypointEvent>(&event.payload)) {
+      waypoint = wp->index;
+    }
+    const geom::Vec3* position = event_position(result, event.uav, waypoint);
+    if (position == nullptr) continue;
+    WaypointHistory& h = history[key_of(*position)];
+    switch (event.kind) {
+      case flightlog::EventKind::WaypointArrive: ++h.visits; break;
+      case flightlog::EventKind::ScanAttempt: ++h.attempts; break;
+      case flightlog::EventKind::ScanRetry: ++h.retries; break;
+      case flightlog::EventKind::ScanBackoff: ++h.backoffs; break;
+      case flightlog::EventKind::ScanWatchdog: ++h.watchdogs; break;
+      case flightlog::EventKind::ScanresAccepted: ++h.accepted; break;
+      default: break;
+    }
+  }
+  return history;
+}
+
+}  // namespace
+
+void write_health_report(std::ostream& out, const mission::CampaignResult& result,
+                         std::span<const flightlog::Event> events,
+                         const obs::MetricsSnapshot& metrics,
+                         const HealthReportOptions& options) {
+  // --- Overview -----------------------------------------------------------
+  std::size_t covered = 0;
+  std::size_t rescued = 0;
+  for (const mission::WaypointCoverage& c : result.coverage) {
+    if (c.covered) ++covered;
+    if (c.rescued) ++rescued;
+  }
+  std::size_t battery_aborts = 0;
+  for (const mission::UavMissionStats& s : result.uav_stats) {
+    if (s.aborted_on_battery) ++battery_aborts;
+  }
+
+  out << "# Campaign health report\n\n";
+  out << "## Overview\n\n";
+  out << util::format("- Missions flown: {} ({} aborted on battery)\n", result.uav_stats.size(),
+                      battery_aborts);
+  out << util::format("- Waypoints: {}/{} covered ({} by rescue rounds)\n", covered,
+                      result.coverage.size(), rescued);
+  out << util::format("- Samples collected: {}\n", result.dataset.size());
+  out << util::format("- Flight-recorder events: {}\n", events.size());
+
+  // --- Per-waypoint coverage + scan history --------------------------------
+  const std::map<PositionKey, WaypointHistory> history = build_history(result, events);
+  out << "\n## Per-waypoint coverage\n\n";
+  if (result.coverage.empty()) {
+    out << "(no waypoints)\n";
+  } else {
+    out << "| uav | wp | position | covered | rescued | samples | attempts | retries | "
+           "backoffs | watchdogs |\n";
+    out << "|---|---|---|---|---|---|---|---|---|---|\n";
+    for (const mission::WaypointCoverage& c : result.coverage) {
+      WaypointHistory h;
+      if (const auto it = history.find(key_of(c.position)); it != history.end()) {
+        h = it->second;
+      }
+      out << util::format("| {} | {} | ({:.2f}, {:.2f}, {:.2f}) | {} | {} | {} | {} | {} | {} | "
+                          "{} |\n",
+                          c.uav, c.waypoint_index, c.position.x, c.position.y, c.position.z,
+                          c.covered ? "yes" : "NO", c.rescued ? "yes" : "-", c.samples,
+                          c.attempts, h.retries, h.backoffs, h.watchdogs);
+    }
+  }
+
+  // --- Fault timeline -------------------------------------------------------
+  out << "\n## Fault-injection timeline\n\n";
+  std::map<std::string, std::size_t> fault_tally;
+  std::size_t fault_count = 0;
+  std::size_t listed = 0;
+  std::string listing;
+  for (const flightlog::Event& event : events) {
+    if (event.kind != flightlog::EventKind::FaultInjected) continue;
+    const auto& fault = std::get<flightlog::FaultEvent>(event.payload);
+    ++fault_count;
+    ++fault_tally[fault.subsystem + "/" + fault.detail];
+    if (listed < options.max_fault_lines) {
+      listing += util::format("- t={:.2f}s uav {}: {} {}\n", event.t_s, event.uav,
+                              fault.subsystem, fault.detail);
+      ++listed;
+    }
+  }
+  if (fault_count == 0) {
+    out << "(no fault injections recorded)\n";
+  } else {
+    for (const auto& [name, count] : fault_tally) {
+      out << util::format("- {}: {}\n", name, count);
+    }
+    out << util::format("\n{} events{}:\n\n", fault_count,
+                        fault_count > listed
+                            ? util::format(" (first {} listed)", listed)
+                            : std::string{});
+    out << listing;
+  }
+
+  // --- Link & scan health ---------------------------------------------------
+  out << "\n## Link & scan health\n\n";
+  out << util::format("- CRTP on-air drops: {} (injected: {})\n",
+                      counter_or_zero(metrics, "crtp.link_drops"),
+                      counter_or_zero(metrics, "fault.crtp.injected_drops"));
+  out << util::format("- CRTP TX-queue overflow drops: {}\n",
+                      counter_or_zero(metrics, "crtp.tx_queue_drops"));
+  out << util::format("- Radio windows: {} off / {} on\n",
+                      counter_or_zero(metrics, "crtp.radio_off_events"),
+                      counter_or_zero(metrics, "crtp.radio_on_events"));
+  out << util::format("- Scan stalls: {}, spurious scan errors: {}\n",
+                      counter_or_zero(metrics, "fault.scan.stalls"),
+                      counter_or_zero(metrics, "fault.scan.spurious_errors"));
+  out << util::format("- Scan retries: {}, watchdog waits: {}, malformed scanres: {}\n",
+                      counter_or_zero(metrics, "mission.scan_retries"),
+                      counter_or_zero(metrics, "mission.scan_watchdog_waits"),
+                      counter_or_zero(metrics, "mission.malformed_scanres"));
+  out << util::format("- UWB injected dropouts: {}, NLOS biases: {}, dead-anchor skips: {}\n",
+                      counter_or_zero(metrics, "fault.uwb.injected_dropouts"),
+                      counter_or_zero(metrics, "fault.uwb.nlos_biases"),
+                      counter_or_zero(metrics, "fault.uwb.dead_anchor_skips"));
+
+  // --- Per-MAC sample counts vs the preprocessing gate ----------------------
+  out << util::format("\n## Per-MAC sample counts (gate: >={} samples)\n\n",
+                      options.min_samples_per_mac);
+  const auto per_mac = result.dataset.samples_per_mac();
+  if (per_mac.empty()) {
+    out << "(no samples)\n";
+  } else {
+    std::size_t passing = 0;
+    out << "| mac | samples | gate |\n|---|---|---|\n";
+    for (const auto& [mac, count] : per_mac) {
+      const bool pass = count >= options.min_samples_per_mac;
+      if (pass) ++passing;
+      out << util::format("| {} | {} | {} |\n", mac.to_string(), count,
+                          pass ? "pass" : "DROP");
+    }
+    out << util::format("\n{}/{} MACs pass the gate.\n", passing, per_mac.size());
+  }
+
+  // --- REM model error ------------------------------------------------------
+  out << "\n## REM model error\n\n";
+  if (options.holdout) {
+    out << util::format("- Model: {}\n", options.model_name.empty() ? "?" : options.model_name);
+    out << util::format("- Holdout RMSE: {:.3f} dBm\n", options.holdout->rmse);
+    out << util::format("- Holdout MAE: {:.3f} dBm\n", options.holdout->mae);
+    out << util::format("- Holdout R^2: {:.3f}\n", options.holdout->r2);
+  } else {
+    out << "(not evaluated — run with --report-out on a campaign large enough to split)\n";
+  }
+}
+
+bool export_health_report_file(const std::string& path, const mission::CampaignResult& result,
+                               std::span<const flightlog::Event> events,
+                               const obs::MetricsSnapshot& metrics,
+                               const HealthReportOptions& options) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    util::logf(util::LogLevel::Warn, "flightlog", "cannot open {} for health report", path);
+    return false;
+  }
+  write_health_report(out, result, events, metrics, options);
+  out.flush();
+  if (!out) {
+    util::logf(util::LogLevel::Warn, "flightlog", "short write exporting health report to {}",
+               path);
+    return false;
+  }
+  return true;
+}
+
+}  // namespace remgen::core

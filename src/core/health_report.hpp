@@ -1,0 +1,50 @@
+// Post-campaign health report: a human-readable markdown debrief that joins
+// the flight recorder's event log with the metrics registry and the
+// campaign's WaypointCoverage, so a lost waypoint (or a suspicious REM) can
+// be diagnosed without re-running anything.
+//
+// Sections: campaign overview, per-waypoint coverage with retry/backoff/
+// watchdog history reconstructed from scan events, the fault-injection
+// timeline, CRTP loss and scan-stall tallies, per-MAC sample counts against
+// the >=16-sample preprocessing gate, and the REM model's holdout error.
+#pragma once
+
+#include <optional>
+#include <ostream>
+#include <span>
+#include <string>
+
+#include "flightlog/flightlog.hpp"
+#include "mission/campaign.hpp"
+#include "ml/metrics.hpp"
+#include "obs/metrics.hpp"
+
+namespace remgen::core {
+
+struct HealthReportOptions {
+  /// The paper's preprocessing gate: MACs with fewer samples are dropped.
+  std::size_t min_samples_per_mac = 16;
+  /// Model name for the error-summary section (empty when not evaluated).
+  std::string model_name;
+  /// Holdout error of `model_name`, when an evaluation was run.
+  std::optional<ml::RegressionMetrics> holdout;
+  /// Fault-timeline rows before the listing is elided to a count.
+  std::size_t max_fault_lines = 80;
+};
+
+/// Writes the markdown report. `events` is a merged flight log (typically
+/// flightlog::recorder().merged() or a parsed JSONL file); it may be empty,
+/// in which case the event-derived sections degrade to "(no events)".
+void write_health_report(std::ostream& out, const mission::CampaignResult& result,
+                         std::span<const flightlog::Event> events,
+                         const obs::MetricsSnapshot& metrics,
+                         const HealthReportOptions& options = {});
+
+/// Same, to a file. Returns false (and logs a warning) on I/O failure.
+[[nodiscard]] bool export_health_report_file(const std::string& path,
+                                             const mission::CampaignResult& result,
+                                             std::span<const flightlog::Event> events,
+                                             const obs::MetricsSnapshot& metrics,
+                                             const HealthReportOptions& options = {});
+
+}  // namespace remgen::core

@@ -1,5 +1,6 @@
 #include "core/pipeline.hpp"
 
+#include "flightlog/flightlog.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/contracts.hpp"
@@ -16,6 +17,9 @@ PipelineResult run_pipeline(const radio::Scenario& scenario, const PipelineConfi
     result.campaign = mission::run_campaign(scenario, config.campaign, rng);
   }
   REMGEN_EXPECTS(!result.campaign.dataset.empty());
+  REMGEN_FLIGHTLOG_CAMPAIGN(
+      flightlog::EventKind::PipelineStage,
+      flightlog::CampaignEvent{0, result.campaign.dataset.size(), 0, 0, "campaign"});
 
   {
     REMGEN_SPAN("pipeline.preprocess");
@@ -25,6 +29,9 @@ PipelineResult run_pipeline(const radio::Scenario& scenario, const PipelineConfi
   REMGEN_EXPECTS(!result.preprocessed.empty());
   REMGEN_COUNTER_ADD("pipeline.dropped_samples", result.dropped_samples);
   REMGEN_COUNTER_ADD("pipeline.preprocessed_samples", result.preprocessed.size());
+  REMGEN_FLIGHTLOG_CAMPAIGN(
+      flightlog::EventKind::PipelineStage,
+      flightlog::CampaignEvent{0, result.preprocessed.size(), 0, 0, "preprocess"});
 
   // Held-out evaluation of the configured model.
   util::Rng split_rng = rng.fork("train-test-split");
@@ -42,6 +49,9 @@ PipelineResult run_pipeline(const radio::Scenario& scenario, const PipelineConfi
   REMGEN_GAUGE_SET("pipeline.holdout_mae_dbm", result.holdout.mae);
   util::logf(util::LogLevel::Info, "pipeline", "{}: holdout RMSE {:.3f} dBm",
              estimator->name(), result.holdout.rmse);
+  REMGEN_FLIGHTLOG_CAMPAIGN(
+      flightlog::EventKind::PipelineStage,
+      flightlog::CampaignEvent{0, split.test.size(), 0, 0, "evaluate"});
 
   // The deliverable REM is built on all preprocessed data.
   {
@@ -52,6 +62,8 @@ PipelineResult run_pipeline(const radio::Scenario& scenario, const PipelineConfi
         build_rem(result.preprocessed, config.model, scenario.scan_volume(), rem_config);
   }
   REMGEN_COUNTER_ADD("pipeline.runs", 1);
+  REMGEN_FLIGHTLOG_CAMPAIGN(flightlog::EventKind::PipelineStage,
+                            flightlog::CampaignEvent{0, 0, 0, 0, "rem_build"});
   return result;
 }
 

@@ -1,0 +1,387 @@
+#include "flightlog/flightlog.hpp"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <utility>
+
+#include "util/fmt.hpp"
+#include "util/log.hpp"
+
+namespace remgen::flightlog {
+
+namespace {
+
+struct KindName {
+  EventKind kind;
+  const char* name;
+};
+
+// Wire names, in enum order so event_kind_name is a direct index.
+constexpr KindName kKindNames[] = {
+    {EventKind::WaypointArrive, "waypoint_arrive"},
+    {EventKind::WaypointHold, "waypoint_hold"},
+    {EventKind::WaypointLeave, "waypoint_leave"},
+    {EventKind::RadioOff, "radio_off"},
+    {EventKind::RadioOn, "radio_on"},
+    {EventKind::UwbFix, "uwb_fix"},
+    {EventKind::UwbAnchorDropout, "uwb_anchor_dropout"},
+    {EventKind::ScanAttempt, "scan_attempt"},
+    {EventKind::ScanRetry, "scan_retry"},
+    {EventKind::ScanBackoff, "scan_backoff"},
+    {EventKind::ScanWatchdog, "scan_watchdog"},
+    {EventKind::ScanresAccepted, "scanres_accepted"},
+    {EventKind::ScanresDropped, "scanres_dropped"},
+    {EventKind::FaultInjected, "fault_injected"},
+    {EventKind::BatteryState, "battery_state"},
+    {EventKind::RescueRound, "rescue_round"},
+    {EventKind::CoverageSummary, "coverage_summary"},
+    {EventKind::PipelineStage, "pipeline_stage"},
+};
+
+// Which payload alternative each kind carries, for serialisation and for
+// validating parsed logs.
+enum class PayloadTag { None, Waypoint, Link, Uwb, Scan, Sample, Fault, Battery, Campaign };
+
+PayloadTag payload_tag(EventKind kind) noexcept {
+  switch (kind) {
+    case EventKind::WaypointArrive:
+    case EventKind::WaypointHold:
+    case EventKind::WaypointLeave:
+      return PayloadTag::Waypoint;
+    case EventKind::RadioOff:
+    case EventKind::RadioOn:
+      return PayloadTag::Link;
+    case EventKind::UwbFix:
+    case EventKind::UwbAnchorDropout:
+      return PayloadTag::Uwb;
+    case EventKind::ScanAttempt:
+    case EventKind::ScanRetry:
+    case EventKind::ScanBackoff:
+    case EventKind::ScanWatchdog:
+      return PayloadTag::Scan;
+    case EventKind::ScanresAccepted:
+    case EventKind::ScanresDropped:
+      return PayloadTag::Sample;
+    case EventKind::FaultInjected:
+      return PayloadTag::Fault;
+    case EventKind::BatteryState:
+      return PayloadTag::Battery;
+    case EventKind::RescueRound:
+    case EventKind::CoverageSummary:
+    case EventKind::PipelineStage:
+      return PayloadTag::Campaign;
+  }
+  return PayloadTag::None;
+}
+
+double field_double(const obs::Json& json, const std::string& key, double fallback = 0.0) {
+  return json.contains(key) ? json.at(key).as_double() : fallback;
+}
+
+std::int64_t field_int(const obs::Json& json, const std::string& key, std::int64_t fallback = 0) {
+  return json.contains(key) ? static_cast<std::int64_t>(json.at(key).as_double()) : fallback;
+}
+
+std::uint64_t field_uint(const obs::Json& json, const std::string& key) {
+  return static_cast<std::uint64_t>(field_int(json, key, 0));
+}
+
+std::string field_string(const obs::Json& json, const std::string& key) {
+  return json.contains(key) ? json.at(key).as_string() : std::string{};
+}
+
+bool field_bool(const obs::Json& json, const std::string& key) {
+  return json.contains(key) && json.at(key).as_bool();
+}
+
+}  // namespace
+
+const char* event_kind_name(EventKind kind) noexcept {
+  const auto index = static_cast<std::size_t>(kind);
+  if (index >= std::size(kKindNames)) return "unknown";
+  return kKindNames[index].name;
+}
+
+std::optional<EventKind> event_kind_from_name(std::string_view name) noexcept {
+  for (const KindName& entry : kKindNames) {
+    if (name == entry.name) return entry.kind;
+  }
+  return std::nullopt;
+}
+
+// ---------------------------------------------------------------------------
+// Recorder.
+
+void Recorder::record(EventKind kind, std::int32_t uav, double t_s, Payload payload) {
+  const std::scoped_lock lock(mutex_);
+  Stream& stream = streams_[uav];
+  if (stream.capacity == 0) {
+    stream.capacity = stream_capacity_;
+    stream.ring.reserve(stream.capacity < 1024 ? stream.capacity : std::size_t{1024});
+  }
+  Event event{kind, uav, stream.next_seq++, t_s, std::move(payload)};
+  if (stream.ring.size() < stream.capacity) {
+    stream.ring.push_back(std::move(event));
+  } else {
+    stream.ring[stream.head] = std::move(event);
+    stream.head = (stream.head + 1) % stream.capacity;
+    ++stream.dropped;
+  }
+}
+
+std::vector<Event> Recorder::merged() const {
+  const std::scoped_lock lock(mutex_);
+  std::vector<Event> out;
+  std::size_t total = 0;
+  for (const auto& [uav, stream] : streams_) total += stream.ring.size();
+  out.reserve(total);
+  // std::map iterates in ascending uav id, so the campaign stream (-1) comes
+  // first; within a stream, oldest-first is head..end then begin..head.
+  for (const auto& [uav, stream] : streams_) {
+    const std::size_t n = stream.ring.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      out.push_back(stream.ring[(stream.head + i) % n]);
+    }
+  }
+  return out;
+}
+
+std::size_t Recorder::size() const {
+  const std::scoped_lock lock(mutex_);
+  std::size_t total = 0;
+  for (const auto& [uav, stream] : streams_) total += stream.ring.size();
+  return total;
+}
+
+std::uint64_t Recorder::dropped() const {
+  const std::scoped_lock lock(mutex_);
+  std::uint64_t total = 0;
+  for (const auto& [uav, stream] : streams_) total += stream.dropped;
+  return total;
+}
+
+void Recorder::set_stream_capacity(std::size_t capacity) {
+  const std::scoped_lock lock(mutex_);
+  stream_capacity_ = capacity == 0 ? 1 : capacity;
+}
+
+void Recorder::clear() {
+  const std::scoped_lock lock(mutex_);
+  streams_.clear();
+}
+
+Recorder& recorder() {
+  static Recorder instance;
+  return instance;
+}
+
+// ---------------------------------------------------------------------------
+// JSONL.
+
+obs::Json event_to_json(const Event& event) {
+  obs::Json::Object object;
+  object["kind"] = event_kind_name(event.kind);
+  object["uav"] = static_cast<std::int64_t>(event.uav);
+  object["seq"] = event.seq;
+  object["t"] = event.t_s;
+  switch (payload_tag(event.kind)) {
+    case PayloadTag::Waypoint: {
+      const auto& p = std::get<WaypointEvent>(event.payload);
+      object["wp"] = static_cast<std::int64_t>(p.index);
+      object["x"] = p.position.x;
+      object["y"] = p.position.y;
+      object["z"] = p.position.z;
+      if (event.kind == EventKind::WaypointLeave) {
+        object["samples"] = p.samples;
+        object["attempts"] = p.attempts;
+        object["covered"] = p.covered;
+      }
+      break;
+    }
+    case PayloadTag::Link: {
+      const auto& p = std::get<LinkEvent>(event.payload);
+      object["queue_depth"] = p.queue_depth;
+      object["queue_drops"] = p.queue_drops;
+      break;
+    }
+    case PayloadTag::Uwb: {
+      const auto& p = std::get<UwbEvent>(event.payload);
+      object["anchor"] = static_cast<std::int64_t>(p.anchor);
+      if (event.kind == EventKind::UwbFix) object["sigma_m"] = p.sigma_m;
+      if (p.dropouts != 0) object["dropouts"] = p.dropouts;
+      break;
+    }
+    case PayloadTag::Scan: {
+      const auto& p = std::get<ScanEvent>(event.payload);
+      object["wp"] = static_cast<std::int64_t>(p.waypoint);
+      object["attempt"] = static_cast<std::int64_t>(p.attempt);
+      if (p.wait_s != 0.0) object["wait_s"] = p.wait_s;
+      break;
+    }
+    case PayloadTag::Sample: {
+      const auto& p = std::get<SampleEvent>(event.payload);
+      object["wp"] = static_cast<std::int64_t>(p.waypoint);
+      object["mac"] = p.mac;
+      object["rss_dbm"] = p.rss_dbm;
+      if (!p.reason.empty()) object["reason"] = p.reason;
+      break;
+    }
+    case PayloadTag::Fault: {
+      const auto& p = std::get<FaultEvent>(event.payload);
+      object["subsystem"] = p.subsystem;
+      object["detail"] = p.detail;
+      break;
+    }
+    case PayloadTag::Battery: {
+      const auto& p = std::get<BatteryEvent>(event.payload);
+      object["fraction"] = p.fraction;
+      object["abort"] = p.abort;
+      break;
+    }
+    case PayloadTag::Campaign: {
+      const auto& p = std::get<CampaignEvent>(event.payload);
+      object["round"] = static_cast<std::int64_t>(p.round);
+      object["waypoints"] = p.waypoints;
+      object["covered"] = p.covered;
+      object["rescued"] = p.rescued;
+      object["stage"] = p.stage;
+      break;
+    }
+    case PayloadTag::None:
+      break;
+  }
+  return obs::Json{std::move(object)};
+}
+
+Event event_from_json(const obs::Json& json) {
+  const auto kind = event_kind_from_name(field_string(json, "kind"));
+  if (!kind) {
+    throw std::runtime_error(
+        util::format("flightlog: unknown event kind \"{}\"", field_string(json, "kind")));
+  }
+  Event event;
+  event.kind = *kind;
+  event.uav = static_cast<std::int32_t>(field_int(json, "uav", -1));
+  event.seq = field_uint(json, "seq");
+  event.t_s = field_double(json, "t");
+  switch (payload_tag(*kind)) {
+    case PayloadTag::Waypoint: {
+      WaypointEvent p;
+      p.index = static_cast<std::int32_t>(field_int(json, "wp", -1));
+      p.position = {field_double(json, "x"), field_double(json, "y"), field_double(json, "z")};
+      p.samples = field_uint(json, "samples");
+      p.attempts = field_uint(json, "attempts");
+      p.covered = field_bool(json, "covered");
+      event.payload = p;
+      break;
+    }
+    case PayloadTag::Link: {
+      LinkEvent p;
+      p.queue_depth = field_uint(json, "queue_depth");
+      p.queue_drops = field_uint(json, "queue_drops");
+      event.payload = p;
+      break;
+    }
+    case PayloadTag::Uwb: {
+      UwbEvent p;
+      p.anchor = static_cast<std::int32_t>(field_int(json, "anchor", -1));
+      p.sigma_m = field_double(json, "sigma_m");
+      p.dropouts = field_uint(json, "dropouts");
+      event.payload = p;
+      break;
+    }
+    case PayloadTag::Scan: {
+      ScanEvent p;
+      p.waypoint = static_cast<std::int32_t>(field_int(json, "wp", -1));
+      p.attempt = static_cast<std::int32_t>(field_int(json, "attempt"));
+      p.wait_s = field_double(json, "wait_s");
+      event.payload = p;
+      break;
+    }
+    case PayloadTag::Sample: {
+      SampleEvent p;
+      p.waypoint = static_cast<std::int32_t>(field_int(json, "wp", -1));
+      p.mac = field_string(json, "mac");
+      p.rss_dbm = field_double(json, "rss_dbm");
+      p.reason = field_string(json, "reason");
+      event.payload = p;
+      break;
+    }
+    case PayloadTag::Fault: {
+      FaultEvent p;
+      p.subsystem = field_string(json, "subsystem");
+      p.detail = field_string(json, "detail");
+      event.payload = p;
+      break;
+    }
+    case PayloadTag::Battery: {
+      BatteryEvent p;
+      p.fraction = field_double(json, "fraction", 1.0);
+      p.abort = field_bool(json, "abort");
+      event.payload = p;
+      break;
+    }
+    case PayloadTag::Campaign: {
+      CampaignEvent p;
+      p.round = static_cast<std::int32_t>(field_int(json, "round"));
+      p.waypoints = field_uint(json, "waypoints");
+      p.covered = field_uint(json, "covered");
+      p.rescued = field_uint(json, "rescued");
+      p.stage = field_string(json, "stage");
+      event.payload = p;
+      break;
+    }
+    case PayloadTag::None:
+      event.payload = std::monostate{};
+      break;
+  }
+  return event;
+}
+
+void write_jsonl(std::ostream& out, std::span<const Event> events) {
+  for (const Event& event : events) {
+    out << event_to_json(event).dump() << '\n';
+  }
+}
+
+std::vector<Event> read_jsonl(std::istream& in) {
+  std::vector<Event> events;
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    try {
+      events.push_back(event_from_json(obs::Json::parse(line)));
+    } catch (const std::exception& error) {
+      throw std::runtime_error(
+          util::format("flightlog: line {}: {}", line_number, error.what()));
+    }
+  }
+  return events;
+}
+
+bool export_jsonl_file(const std::string& path) {
+  const std::uint64_t lost = recorder().dropped();
+  if (lost > 0) {
+    util::logf(util::LogLevel::Warn, "flightlog", "{} events dropped from full ring buffers",
+               lost);
+  }
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    util::logf(util::LogLevel::Warn, "flightlog", "cannot open {} for flight-log export", path);
+    return false;
+  }
+  const std::vector<Event> events = recorder().merged();
+  write_jsonl(out, events);
+  out.flush();
+  if (!out) {
+    util::logf(util::LogLevel::Warn, "flightlog", "short write exporting flight log to {}", path);
+    return false;
+  }
+  return true;
+}
+
+}  // namespace remgen::flightlog

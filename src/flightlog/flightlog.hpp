@@ -1,0 +1,285 @@
+// Flight recorder: a typed, sim-clock-stamped event log of one campaign.
+//
+// Mirrors the Crazyflie's on-board logging workflow: every mission-level
+// moment the paper's pipeline hinges on (waypoint arrive/hold/leave, CRTP
+// radio windows, UWB fix quality and anchor dropouts, scan attempt/retry/
+// backoff/watchdog, scanres accepted/dropped, fault injections, battery
+// state, rescue rounds, pipeline stages) is recorded as an enum-tagged
+// `Event` with a small payload union, so a lost waypoint can be explained
+// post-hoc from the log alone.
+//
+// Determinism contract (same as exec/fault, PR 2/3): events carry only the
+// per-UAV simulated clock and a per-stream sequence number — never wall
+// clock — and emission draws no randomness, so a recorded campaign is
+// byte-identical across `--threads` and recording can never perturb the
+// simulation. Each UAV mission runs single-threaded (exec::parallel_map
+// chunk=1) and appends to its own ring buffer; merged() interleaves streams
+// in (uav, seq) order, which is schedule-free.
+//
+// Gating mirrors obs::metrics: off by default (one relaxed load + branch per
+// site via REMGEN_FLIGHTLOG), constexpr-false under REMGEN_OBS_DISABLED so
+// every hook folds away at compile time.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "geom/vec3.hpp"
+#include "obs/json.hpp"
+
+namespace remgen::flightlog {
+
+// ---------------------------------------------------------------------------
+// Event taxonomy.
+
+enum class EventKind : std::uint8_t {
+  WaypointArrive,    ///< Fly leg to a waypoint finished (payload: Waypoint).
+  WaypointHold,      ///< UAV latched hold for a scan command (Waypoint).
+  WaypointLeave,     ///< Waypoint closed out with its report (Waypoint).
+  RadioOff,          ///< CRTP link disabled for a scan window (Link).
+  RadioOn,           ///< CRTP link re-enabled; queued frames flush (Link).
+  UwbFix,            ///< Periodic position-fix quality sample (Uwb).
+  UwbAnchorDropout,  ///< Anchor dead at start-up or ranging dropouts (Uwb).
+  ScanAttempt,       ///< Scan attempt issued at a waypoint (Scan).
+  ScanRetry,         ///< Attempt failed the sample gate; retrying (Scan).
+  ScanBackoff,       ///< Exponential backoff hover before a retry (Scan).
+  ScanWatchdog,      ///< Watchdog expired waiting for scan results (Scan).
+  ScanresAccepted,   ///< One scanres telemetry line became a sample (Sample).
+  ScanresDropped,    ///< A scanres line was rejected (Sample, with reason).
+  FaultInjected,     ///< A fault injector fired (Fault).
+  BatteryState,      ///< Battery fraction step or abort (Battery).
+  RescueRound,       ///< Campaign dispatched a rescue round (Campaign).
+  CoverageSummary,   ///< Final campaign coverage tallies (Campaign).
+  PipelineStage,     ///< core::run_pipeline entered a stage (Campaign).
+};
+
+/// Stable wire name ("waypoint_arrive", ...), used as the JSONL "kind".
+[[nodiscard]] const char* event_kind_name(EventKind kind) noexcept;
+[[nodiscard]] std::optional<EventKind> event_kind_from_name(std::string_view name) noexcept;
+
+// Payload union members. Defaulted equality keeps round-trip tests honest.
+
+struct WaypointEvent {
+  std::int32_t index = -1;      ///< Index into the UAV's assignment list.
+  geom::Vec3 position{};        ///< Commanded waypoint position (m).
+  std::uint64_t samples = 0;    ///< Samples banked at leave time.
+  std::uint64_t attempts = 0;   ///< Scan attempts consumed.
+  bool covered = false;         ///< Sample gate met at leave time.
+  [[nodiscard]] bool operator==(const WaypointEvent&) const = default;
+};
+
+struct LinkEvent {
+  std::uint64_t queue_depth = 0;  ///< TX frames queued at the toggle.
+  std::uint64_t queue_drops = 0;  ///< Cumulative queue-full drops so far.
+  [[nodiscard]] bool operator==(const LinkEvent&) const = default;
+};
+
+struct UwbEvent {
+  std::int32_t anchor = -1;      ///< Anchor index; -1 for a whole-fix event.
+  double sigma_m = 0.0;          ///< Estimator position sigma (UwbFix).
+  std::uint64_t dropouts = 0;    ///< Cumulative injected dropouts (sampled).
+  [[nodiscard]] bool operator==(const UwbEvent&) const = default;
+};
+
+struct ScanEvent {
+  std::int32_t waypoint = -1;  ///< Waypoint index the scan serves.
+  std::int32_t attempt = 0;    ///< 0-based attempt number.
+  double wait_s = 0.0;         ///< Backoff hover / watchdog window (s).
+  [[nodiscard]] bool operator==(const ScanEvent&) const = default;
+};
+
+struct SampleEvent {
+  std::int32_t waypoint = -1;  ///< Waypoint index the sample was taken at.
+  std::string mac;             ///< Normalised AP MAC (empty when unparsable).
+  double rss_dbm = 0.0;        ///< Received signal strength.
+  std::string reason;          ///< Drop reason ("malformed", "bad_mac", ...).
+  [[nodiscard]] bool operator==(const SampleEvent&) const = default;
+};
+
+struct FaultEvent {
+  std::string subsystem;  ///< "crtp", "scan", "uwb", "battery", ...
+  std::string detail;     ///< Injector branch ("injected_drop", "stall", ...).
+  [[nodiscard]] bool operator==(const FaultEvent&) const = default;
+};
+
+struct BatteryEvent {
+  double fraction = 1.0;  ///< Remaining charge in [0, 1].
+  bool abort = false;     ///< True when the mission aborted on this reading.
+  [[nodiscard]] bool operator==(const BatteryEvent&) const = default;
+};
+
+struct CampaignEvent {
+  std::int32_t round = 0;       ///< Rescue round number (RescueRound).
+  std::uint64_t waypoints = 0;  ///< Waypoints in scope for the event.
+  std::uint64_t covered = 0;    ///< Covered tally (CoverageSummary).
+  std::uint64_t rescued = 0;    ///< Of those, covered by a rescue round.
+  std::string stage;            ///< Stage name ("rescue", "final", "fit", ...).
+  [[nodiscard]] bool operator==(const CampaignEvent&) const = default;
+};
+
+using Payload = std::variant<std::monostate, WaypointEvent, LinkEvent, UwbEvent, ScanEvent,
+                             SampleEvent, FaultEvent, BatteryEvent, CampaignEvent>;
+
+/// One recorded event. `uav` is -1 for campaign/pipeline-level events; `seq`
+/// is the per-stream sequence number (monotone within one uav id); `t_s` is
+/// the emitting UAV's simulated clock (0.0 for campaign-level events).
+struct Event {
+  EventKind kind = EventKind::PipelineStage;
+  std::int32_t uav = -1;
+  std::uint64_t seq = 0;
+  double t_s = 0.0;
+  Payload payload;
+  [[nodiscard]] bool operator==(const Event&) const = default;
+};
+
+// ---------------------------------------------------------------------------
+// Gating + thread-local mission context.
+
+namespace detail {
+inline std::atomic<bool> g_enabled{false};
+// Which UAV the current thread is simulating, and that UAV's clock. Valid
+// because each mission runs start-to-finish on one thread (parallel_map
+// chunk=1); campaign-level code leaves these at (-1, 0.0).
+inline thread_local std::int32_t t_uav = -1;
+inline thread_local double t_sim_s = 0.0;
+}  // namespace detail
+
+#if defined(REMGEN_OBS_DISABLED)
+inline constexpr bool compiled() noexcept { return false; }
+inline constexpr bool enabled() noexcept { return false; }
+inline void set_enabled(bool) noexcept {}
+#else
+inline constexpr bool compiled() noexcept { return true; }
+inline bool enabled() noexcept { return detail::g_enabled.load(std::memory_order_relaxed); }
+inline void set_enabled(bool on) noexcept {
+  detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+#endif
+
+/// Publishes the current thread's simulated clock (called by Crazyflie::step).
+inline void set_sim_time(double now_s) noexcept { detail::t_sim_s = now_s; }
+[[nodiscard]] inline double sim_time() noexcept { return detail::t_sim_s; }
+[[nodiscard]] inline std::int32_t current_uav() noexcept { return detail::t_uav; }
+
+/// RAII: binds the current thread to one UAV's event stream for the duration
+/// of its mission and resets the thread's sim clock to that mission's t=0.
+class MissionScope {
+ public:
+  explicit MissionScope(std::int32_t uav) noexcept
+      : prev_uav_(detail::t_uav), prev_sim_s_(detail::t_sim_s) {
+    detail::t_uav = uav;
+    detail::t_sim_s = 0.0;
+  }
+  ~MissionScope() {
+    detail::t_uav = prev_uav_;
+    detail::t_sim_s = prev_sim_s_;
+  }
+  MissionScope(const MissionScope&) = delete;
+  MissionScope& operator=(const MissionScope&) = delete;
+
+ private:
+  std::int32_t prev_uav_;
+  double prev_sim_s_;
+};
+
+// ---------------------------------------------------------------------------
+// Recorder.
+
+/// Per-UAV bounded event streams. Appends take a mutex (cheap: each stream is
+/// only ever written by the single thread simulating that UAV, so there is no
+/// contention in steady state); when a stream is full the oldest event is
+/// overwritten and counted, like obs::TraceRecorder.
+class Recorder {
+ public:
+  void record(EventKind kind, std::int32_t uav, double t_s, Payload payload);
+
+  /// All events, interleaved deterministically: streams in ascending uav id
+  /// (campaign stream -1 first), events within a stream in seq order.
+  [[nodiscard]] std::vector<Event> merged() const;
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::uint64_t dropped() const;
+  /// Applies to streams created after the call; default 1<<16 per stream.
+  void set_stream_capacity(std::size_t capacity);
+  void clear();
+
+ private:
+  struct Stream {
+    std::vector<Event> ring;
+    std::size_t capacity = 0;
+    std::size_t head = 0;  ///< Oldest element once the ring is full.
+    std::uint64_t next_seq = 0;
+    std::uint64_t dropped = 0;
+  };
+
+  mutable std::mutex mutex_;
+  std::map<std::int32_t, Stream> streams_;
+  std::size_t stream_capacity_ = std::size_t{1} << 16;
+};
+
+/// The process-wide recorder every hook records into.
+[[nodiscard]] Recorder& recorder();
+
+/// Records into the current thread's stream at the thread's sim clock.
+inline void emit(EventKind kind, Payload payload) {
+  recorder().record(kind, detail::t_uav, detail::t_sim_s, std::move(payload));
+}
+/// Same, with an explicit timestamp (for callers that know `now_s` exactly).
+inline void emit_at(EventKind kind, double t_s, Payload payload) {
+  recorder().record(kind, detail::t_uav, t_s, std::move(payload));
+}
+/// Records into the campaign-level stream (uav -1, t 0).
+inline void emit_campaign(EventKind kind, Payload payload) {
+  recorder().record(kind, -1, 0.0, std::move(payload));
+}
+
+// ---------------------------------------------------------------------------
+// JSONL serialisation (via obs::Json: sorted keys + round-trip-safe numbers,
+// so the log is byte-stable and parses back to the identical event sequence).
+
+[[nodiscard]] obs::Json event_to_json(const Event& event);
+/// Throws std::runtime_error on unknown kinds or missing fields.
+[[nodiscard]] Event event_from_json(const obs::Json& json);
+
+/// One compact JSON object per line.
+void write_jsonl(std::ostream& out, std::span<const Event> events);
+/// Parses every non-empty line; throws std::runtime_error with a line number.
+[[nodiscard]] std::vector<Event> read_jsonl(std::istream& in);
+
+/// Writes recorder().merged() to `path`. Returns false (and logs a warning)
+/// when the file cannot be written.
+[[nodiscard]] bool export_jsonl_file(const std::string& path);
+
+}  // namespace remgen::flightlog
+
+// Hook macros: one relaxed load + branch when recording is off; the payload
+// expression is only evaluated when recording is on.
+#define REMGEN_FLIGHTLOG(kind, ...)                           \
+  do {                                                        \
+    if (::remgen::flightlog::enabled()) {                     \
+      ::remgen::flightlog::emit((kind), __VA_ARGS__);         \
+    }                                                         \
+  } while (0)
+
+#define REMGEN_FLIGHTLOG_AT(kind, t_s, ...)                   \
+  do {                                                        \
+    if (::remgen::flightlog::enabled()) {                     \
+      ::remgen::flightlog::emit_at((kind), (t_s), __VA_ARGS__); \
+    }                                                         \
+  } while (0)
+
+#define REMGEN_FLIGHTLOG_CAMPAIGN(kind, ...)                  \
+  do {                                                        \
+    if (::remgen::flightlog::enabled()) {                     \
+      ::remgen::flightlog::emit_campaign((kind), __VA_ARGS__); \
+    }                                                         \
+  } while (0)

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "flightlog/flightlog.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/contracts.hpp"
@@ -28,7 +29,16 @@ void BaseStation::drain_telemetry(uav::Crazyflie& uav, data::Dataset& out) {
       geom::Vec3 p;
       double battery;
       std::string mode;
-      if (in >> p.x >> p.y >> p.z >> battery >> mode) last_battery_fraction_ = battery;
+      if (in >> p.x >> p.y >> p.z >> battery >> mode) {
+        last_battery_fraction_ = battery;
+        // Record the discharge curve at 5%-of-charge steps, not every state
+        // packet — the recorder never needs 2 Hz battery samples.
+        if (flightlog::enabled() && last_logged_battery_fraction_ - battery >= 0.05) {
+          last_logged_battery_fraction_ = battery;
+          flightlog::emit_at(flightlog::EventKind::BatteryState, uav.now(),
+                             flightlog::BatteryEvent{battery, false});
+        }
+      }
     } else if (kind == "scanmeta") {
       int wp;
       geom::Vec3 p;
@@ -49,7 +59,15 @@ void BaseStation::drain_telemetry(uav::Crazyflie& uav, data::Dataset& out) {
       if ((in >> wp) && util::read_quoted_field(in, ssid) &&
           (in >> rssi >> mac_text >> channel)) {
         const auto mac = radio::MacAddress::parse(mac_text);
-        if (!mac || wp != last_scan_waypoint_) continue;
+        if (!mac || wp != last_scan_waypoint_) {
+          if (flightlog::enabled()) {
+            flightlog::emit_at(flightlog::EventKind::ScanresDropped, uav.now(),
+                               flightlog::SampleEvent{wp, mac ? mac->to_string() : std::string{},
+                                                      static_cast<double>(rssi),
+                                                      !mac ? "bad_mac" : "stale_waypoint"});
+          }
+          continue;
+        }
         data::Sample sample;
         sample.position = last_scan_position_;
         sample.ssid = ssid;
@@ -64,8 +82,15 @@ void BaseStation::drain_telemetry(uav::Crazyflie& uav, data::Dataset& out) {
         if (wp >= 0 && static_cast<std::size_t>(wp) < samples_per_waypoint_.size()) {
           ++samples_per_waypoint_[static_cast<std::size_t>(wp)];
         }
+        if (flightlog::enabled()) {
+          flightlog::emit_at(flightlog::EventKind::ScanresAccepted, uav.now(),
+                             flightlog::SampleEvent{wp, mac->to_string(),
+                                                    static_cast<double>(rssi), {}});
+        }
       } else {
         REMGEN_COUNTER_ADD("mission.malformed_scanres", 1);
+        REMGEN_FLIGHTLOG_AT(flightlog::EventKind::ScanresDropped, uav.now(),
+                            flightlog::SampleEvent{-1, {}, 0.0, "malformed"});
       }
     }
   }
@@ -118,6 +143,9 @@ UavMissionStats BaseStation::run_mission(uav::Crazyflie& uav,
   UavMissionStats stats;
   stats.uav_id = uav.id();
   last_battery_fraction_ = 1.0;
+  // Above any real fraction, so the first state packet always logs one
+  // BatteryState baseline event.
+  last_logged_battery_fraction_ = 2.0;
   last_scan_waypoint_ = -1;
   last_scan_tuple_count_ = 0;
   samples_this_mission_ = 0;
@@ -148,6 +176,8 @@ UavMissionStats BaseStation::run_mission(uav::Crazyflie& uav,
   for (std::size_t i = 0; i < waypoints.size(); ++i) {
     if (last_battery_fraction_ < config_.battery_abort_fraction) {
       stats.aborted_on_battery = true;
+      REMGEN_FLIGHTLOG_AT(flightlog::EventKind::BatteryState, uav.now(),
+                          flightlog::BatteryEvent{last_battery_fraction_, true});
       util::logf(util::LogLevel::Info, "base-station",
                  "uav {}: battery at {:.0f}%, aborting after {} waypoints", uav.id(),
                  last_battery_fraction_ * 100.0, i);
@@ -171,6 +201,8 @@ UavMissionStats BaseStation::run_mission(uav::Crazyflie& uav,
       REMGEN_SPAN("mission.fly_leg");
       fly_phase(uav, wp, fly_time, out);
     }
+    REMGEN_FLIGHTLOG_AT(flightlog::EventKind::WaypointArrive, uav.now(),
+                        flightlog::WaypointEvent{static_cast<std::int32_t>(i), wp});
 
     int attempts_used = 0;
     for (int attempt = 0; attempt <= config_.scan_retries; ++attempt) {
@@ -186,10 +218,15 @@ UavMissionStats BaseStation::run_mission(uav::Crazyflie& uav,
             std::min(config_.scan_retry_backoff_s * std::pow(2.0, attempt - 1),
                      config_.scan_retry_backoff_max_s);
         REMGEN_COUNTER_ADD("mission.scan_retry_backoffs", 1);
+        REMGEN_FLIGHTLOG_AT(
+            flightlog::EventKind::ScanBackoff, uav.now(),
+            flightlog::ScanEvent{static_cast<std::int32_t>(i), attempt, backoff});
         fly_phase(uav, wp, backoff, out);
       }
 
       // (iii) initiate the on-demand scan.
+      REMGEN_FLIGHTLOG_AT(flightlog::EventKind::ScanAttempt, uav.now(),
+                          flightlog::ScanEvent{static_cast<std::int32_t>(i), attempt, 0.0});
       uav.link().base_send({"cmd", util::format("scan {}", i)}, uav.now());
       fly_phase(uav, wp, config_.scan_command_lead_s, out);
 
@@ -211,6 +248,9 @@ UavMissionStats BaseStation::run_mission(uav::Crazyflie& uav,
       // land or the watchdog budget runs out.
       if (config_.scan_watchdog_s > 0.0 && !scan_complete(i)) {
         REMGEN_COUNTER_ADD("mission.scan_watchdog_waits", 1);
+        REMGEN_FLIGHTLOG_AT(flightlog::EventKind::ScanWatchdog, uav.now(),
+                            flightlog::ScanEvent{static_cast<std::int32_t>(i), attempt,
+                                                 config_.scan_watchdog_s});
         const long long ticks = phase_ticks(config_.scan_watchdog_s);
         const long long setpoint_every = ticks_per_setpoint();
         for (long long k = 0; k < ticks && !scan_complete(i); ++k) {
@@ -230,7 +270,11 @@ UavMissionStats BaseStation::run_mission(uav::Crazyflie& uav,
       // the scanmeta packet regularly survives a flush that dropped every
       // scanres behind it.
       if (scan_complete(i)) break;
-      if (attempt < config_.scan_retries) REMGEN_COUNTER_ADD("mission.scan_retries", 1);
+      if (attempt < config_.scan_retries) {
+        REMGEN_COUNTER_ADD("mission.scan_retries", 1);
+        REMGEN_FLIGHTLOG_AT(flightlog::EventKind::ScanRetry, uav.now(),
+                            flightlog::ScanEvent{static_cast<std::int32_t>(i), attempt, 0.0});
+      }
     }
     REMGEN_HISTOGRAM_OBSERVE("mission.scan_attempts", attempts_used, {1, 2, 3, 4});
 
@@ -241,6 +285,10 @@ UavMissionStats BaseStation::run_mission(uav::Crazyflie& uav,
     report.reported_empty =
         last_scan_waypoint_ == static_cast<int>(i) && last_scan_tuple_count_ == 0;
     report.covered = report.samples > 0 || report.reported_empty;
+    REMGEN_FLIGHTLOG_AT(flightlog::EventKind::WaypointLeave, uav.now(),
+                        flightlog::WaypointEvent{static_cast<std::int32_t>(i), wp,
+                                                 report.samples, report.attempts,
+                                                 report.covered});
     if (!report.covered) {
       REMGEN_COUNTER_ADD("mission.waypoints_uncovered", 1);
       util::logf(util::LogLevel::Warn, "base-station",

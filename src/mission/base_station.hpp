@@ -109,6 +109,7 @@ class BaseStation {
   int last_scan_waypoint_ = -1;
   std::size_t last_scan_tuple_count_ = 0;  ///< `n` from the latest scanmeta.
   double last_battery_fraction_ = 1.0;
+  double last_logged_battery_fraction_ = 2.0;  ///< Flight-recorder 5%-step gate.
   std::size_t samples_this_mission_ = 0;
   std::vector<std::size_t> samples_per_waypoint_;  ///< Stored-sample accounting.
 };

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "exec/parallel.hpp"
+#include "flightlog/flightlog.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/contracts.hpp"
@@ -97,6 +98,10 @@ CampaignResult run_campaign(const radio::Scenario& scenario, const CampaignConfi
   // by the primary fleet and the rescue rounds.
   auto run_one = [&](std::size_t uav_id, const std::vector<geom::Vec3>& wps,
                      const geom::Vec3& start, util::Rng uav_rng) {
+    // Bind this thread to the UAV's flight-recorder stream for the whole
+    // mission (sound because parallel_map runs each task start-to-finish on
+    // one thread, chunk=1).
+    flightlog::MissionScope recorder_scope(static_cast<std::int32_t>(uav_id));
     std::unique_ptr<uwb::PositioningSystem> positioning;
     if (config.positioning == PositioningKind::Lighthouse) {
       positioning = std::make_unique<lighthouse::LighthouseSystem>(
@@ -192,6 +197,8 @@ CampaignResult run_campaign(const radio::Scenario& scenario, const CampaignConfi
     obs::Span rescue_span("campaign.rescue_round");
     rescue_span.arg("round", round);
     rescue_span.arg("open_waypoints", open.size());
+    REMGEN_FLIGHTLOG_CAMPAIGN(flightlog::EventKind::RescueRound,
+                              flightlog::CampaignEvent{round, open.size(), 0, 0, "rescue"});
     util::logf(util::LogLevel::Info, "campaign",
                "rescue round {}: {} uncovered waypoints, {} healthy uavs", round, open.size(),
                healthy);
@@ -256,10 +263,19 @@ CampaignResult run_campaign(const radio::Scenario& scenario, const CampaignConfi
   }
 
   std::size_t uncovered_final = 0;
+  std::size_t rescued_final = 0;
   for (const WaypointCoverage& c : result.coverage) {
     if (!c.covered) ++uncovered_final;
+    if (c.rescued) ++rescued_final;
   }
   REMGEN_COUNTER_ADD("campaign.waypoints_uncovered", uncovered_final);
+  // The authoritative closing entry: tallies that match WaypointCoverage even
+  // for waypoints an aborted mission never commanded.
+  REMGEN_FLIGHTLOG_CAMPAIGN(
+      flightlog::EventKind::CoverageSummary,
+      flightlog::CampaignEvent{0, result.coverage.size(),
+                               result.coverage.size() - uncovered_final, rescued_final,
+                               "final"});
   if (obs::enabled()) {
     obs::registry().gauge("campaign.coverage_fraction")
         .set(result.coverage.empty()

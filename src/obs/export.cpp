@@ -87,7 +87,7 @@ void write_prometheus(std::ostream& out, const MetricsSnapshot& snapshot) {
   }
 }
 
-Json trace_to_json(std::span<const SpanRecord> records) {
+Json trace_to_json(std::span<const SpanRecord> records, std::uint64_t dropped_spans) {
   Json::Array events;
   events.reserve(records.size());
   for (const SpanRecord& r : records) {
@@ -116,11 +116,13 @@ Json trace_to_json(std::span<const SpanRecord> records) {
   Json::Object root;
   root["traceEvents"] = Json(std::move(events));
   root["displayTimeUnit"] = "ms";
+  root["droppedSpans"] = dropped_spans;
   return Json(std::move(root));
 }
 
-void write_chrome_trace(std::ostream& out, std::span<const SpanRecord> records) {
-  out << trace_to_json(records).dump(1) << '\n';
+void write_chrome_trace(std::ostream& out, std::span<const SpanRecord> records,
+                        std::uint64_t dropped_spans) {
+  out << trace_to_json(records, dropped_spans).dump(1) << '\n';
 }
 
 namespace {
@@ -156,8 +158,9 @@ bool export_trace_file(const std::string& path) {
                trace().dropped());
   }
   const std::vector<SpanRecord> records = trace().snapshot();
-  return export_to_file(path, "trace", [&records](std::ostream& out) {
-    write_chrome_trace(out, records);
+  const std::uint64_t dropped = trace().dropped();
+  return export_to_file(path, "trace", [&records, dropped](std::ostream& out) {
+    write_chrome_trace(out, records, dropped);
   });
 }
 

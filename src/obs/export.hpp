@@ -23,11 +23,15 @@ void write_metrics_json(std::ostream& out, const MetricsSnapshot& snapshot);
 /// -> "remgen_campaign_samples_collected_total").
 void write_prometheus(std::ostream& out, const MetricsSnapshot& snapshot);
 
-/// Chrome trace_event JSON ({"traceEvents": [...]}); complete spans become
-/// "ph":"X" events and instants "ph":"i", with sim-clock bounds and span
-/// ids/parents carried in "args".
-[[nodiscard]] Json trace_to_json(std::span<const SpanRecord> records);
-void write_chrome_trace(std::ostream& out, std::span<const SpanRecord> records);
+/// Chrome trace_event JSON ({"traceEvents": [...], "droppedSpans": N});
+/// complete spans become "ph":"X" events and instants "ph":"i", with
+/// sim-clock bounds and span ids/parents carried in "args". `dropped_spans`
+/// is the recorder's saturation count, surfaced in the document root so a
+/// trace that stops mid-run is distinguishable from a short run.
+[[nodiscard]] Json trace_to_json(std::span<const SpanRecord> records,
+                                 std::uint64_t dropped_spans = 0);
+void write_chrome_trace(std::ostream& out, std::span<const SpanRecord> records,
+                        std::uint64_t dropped_spans = 0);
 
 /// Convenience file sinks over the global registry / trace buffer. Return
 /// false (and log a warning) when the file cannot be written.

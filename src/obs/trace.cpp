@@ -2,6 +2,8 @@
 
 #include <chrono>
 
+#include "obs/metrics.hpp"
+
 namespace remgen::obs {
 
 namespace {
@@ -36,6 +38,9 @@ void TraceRecorder::record(SpanRecord record) {
   const std::lock_guard<std::mutex> lock(mutex_);
   if (records_.size() >= capacity_) {
     dropped_.fetch_add(1, std::memory_order_relaxed);
+    // Surface the saturation in the metrics snapshot too, so an exported
+    // trace that silently stops mid-run is explainable from the metrics.
+    REMGEN_COUNTER_ADD("obs.trace_dropped_spans", 1);
     return;
   }
   records_.push_back(std::move(record));

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "flightlog/flightlog.hpp"
 #include "obs/metrics.hpp"
 #include "util/contracts.hpp"
 #include "util/fmt.hpp"
@@ -97,11 +98,15 @@ void Esp8266Module::handle_line(const std::string& line, double now_s) {
       // deck self-heals; the late reply lands as unsolicited output).
       if (fault_rng_->bernoulli(config_.scan_faults.spurious_error_probability)) {
         REMGEN_COUNTER_ADD("fault.scan.spurious_errors", 1);
+        REMGEN_FLIGHTLOG_AT(flightlog::EventKind::FaultInjected, now_s,
+                            flightlog::FaultEvent{"scan", "spurious_error"});
         reply("\r\nERROR\r\n");
         return;
       }
       if (fault_rng_->bernoulli(config_.scan_faults.stall_probability)) {
         REMGEN_COUNTER_ADD("fault.scan.stalls", 1);
+        REMGEN_FLIGHTLOG_AT(flightlog::EventKind::FaultInjected, now_s,
+                            flightlog::FaultEvent{"scan", "stall"});
         scan_position_ = position_provider_ ? position_provider_() : geom::Vec3{};
         scan_deadline_ = now_s + config_.scan_duration_s + config_.scan_faults.stall_extra_s;
         return;

@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "flightlog/flightlog.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/contracts.hpp"
@@ -108,6 +109,8 @@ void Crazyflie::process_command(const std::string& payload) {
       // to the commander every 100 ms while the radio is down.
       hold_position_ = positioning_->estimated_position();
       next_hold_feed_s_ = now_s_;
+      REMGEN_FLIGHTLOG_AT(flightlog::EventKind::WaypointHold, now_s_,
+                          flightlog::WaypointEvent{waypoint, hold_position_});
     }
   } else if (verb == "land") {
     if (flying_) {
@@ -162,6 +165,9 @@ void Crazyflie::step(double dt) {
   now_s_ += dt;
   // Publish the co-simulation clock so spans can carry simulated time.
   if (obs::enabled()) obs::set_sim_time(now_s_);
+  // And to the flight recorder, whose events are stamped with this UAV's
+  // clock via the thread-local mission context.
+  if (flightlog::enabled()) flightlog::set_sim_time(now_s_);
   REMGEN_COUNTER_ADD("uav.ticks", 1);
 
   // The nRF on-air interferer exists only while the base's dongle is up.
@@ -227,6 +233,13 @@ void Crazyflie::step(double dt) {
                                             rng_.gaussian(0.0, config_.imu_accel_noise),
                                             rng_.gaussian(0.0, config_.imu_accel_noise)};
   positioning_->step(dt, dynamics_.position(), flying_ ? accel_measured : geom::Vec3{});
+  // Fix-quality samples at the telemetry cadence — enough to reconstruct the
+  // estimator's health over a mission without drowning the recorder.
+  if (flightlog::enabled() && now_s_ >= next_fix_log_s_) {
+    flightlog::emit_at(flightlog::EventKind::UwbFix, now_s_,
+                       flightlog::UwbEvent{-1, positioning_->position_sigma(), 0});
+    next_fix_log_s_ = now_s_ + config_.telemetry_period_s;
+  }
 
   // 7. Battery.
   battery_.drain(dt, battery_.current_ma(flying_, dynamics_.velocity().norm(), measuring_));

@@ -131,6 +131,7 @@ class Crazyflie {
   geom::Vec3 hold_position_;        ///< Estimated position latched at scan start.
   double next_hold_feed_s_ = 0.0;
   double next_telemetry_s_ = 0.0;
+  double next_fix_log_s_ = 0.0;     ///< Flight-recorder UWB fix-quality cadence.
   double deck_error_since_ = -1.0;  ///< Start of the current deck-error episode.
   std::size_t completed_scans_ = 0;
 };

@@ -1,5 +1,6 @@
 #include "uav/crtp.hpp"
 
+#include "flightlog/flightlog.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -9,6 +10,8 @@ bool CrtpLink::on_air_loss() {
   if (rng_.bernoulli(config_.loss_probability)) return true;
   if (injector_ && injector_->drop_packet()) {
     REMGEN_COUNTER_ADD("fault.crtp.injected_drops", 1);
+    REMGEN_FLIGHTLOG(flightlog::EventKind::FaultInjected,
+                     flightlog::FaultEvent{"crtp", "injected_drop"});
     return true;
   }
   return false;
@@ -28,6 +31,10 @@ void CrtpLink::set_radio_enabled(bool enabled, double now_s) {
     obs::instant(enabled ? "crtp.radio_on" : "crtp.radio_off", "crtp");
     obs::registry().counter(enabled ? "crtp.radio_on_events" : "crtp.radio_off_events").add(1);
   }
+  // Link down/up with the TX backlog at the toggle: at radio-on this is the
+  // number of frames about to flush through the lossy link.
+  REMGEN_FLIGHTLOG_AT(enabled ? flightlog::EventKind::RadioOn : flightlog::EventKind::RadioOff,
+                      now_s, flightlog::LinkEvent{tx_queue_.size(), tx_queue_drops_});
   if (enabled) {
     // Flush the UAV TX queue through the restored link.
     while (!tx_queue_.empty()) {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "flightlog/flightlog.hpp"
 #include "obs/metrics.hpp"
 #include "util/contracts.hpp"
 
@@ -37,6 +38,14 @@ LocoPositioningSystem::LocoPositioningSystem(std::vector<Anchor> anchors,
       if (anchor_dead_[i]) continue;
       anchor_dead_[i] = true;
       --to_kill;
+    }
+    // Record the anchors this mission starts without, once each.
+    if (flightlog::enabled()) {
+      for (std::size_t i = 0; i < anchor_dead_.size(); ++i) {
+        if (!anchor_dead_[i]) continue;
+        flightlog::emit(flightlog::EventKind::UwbAnchorDropout,
+                        flightlog::UwbEvent{static_cast<std::int32_t>(i), 0.0, 0});
+      }
     }
   }
 }
@@ -78,6 +87,15 @@ void LocoPositioningSystem::one_measurement(const geom::Vec3& true_position) {
     if (config_.faults.extra_dropout_probability > 0.0 &&
         fault_rng_->bernoulli(config_.faults.extra_dropout_probability)) {
       REMGEN_COUNTER_ADD("fault.uwb.injected_dropouts", 1);
+      // Ranging runs at hundreds of Hz, so dropouts are sampled: one event
+      // per 200 carrying the cumulative count (the counter always advances,
+      // keeping the cadence identical whether recording is on or off).
+      ++injected_dropouts_;
+      if (injected_dropouts_ % 200 == 1) {
+        REMGEN_FLIGHTLOG(flightlog::EventKind::UwbAnchorDropout,
+                         flightlog::UwbEvent{static_cast<std::int32_t>(anchor), 0.0,
+                                             injected_dropouts_});
+      }
       return true;
     }
     return false;

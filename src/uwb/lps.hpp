@@ -78,6 +78,7 @@ class LocoPositioningSystem final : public PositioningSystem {
   util::Rng rng_;
   std::optional<util::Rng> fault_rng_;  ///< Present iff faults are enabled.
   std::vector<bool> anchor_dead_;       ///< Injected complete anchor dropout.
+  std::uint64_t injected_dropouts_ = 0;  ///< Cumulative count (flight-recorder sampling).
   double measurement_debt_ = 0.0;  ///< Fractional measurements carried over.
   std::size_t next_anchor_ = 0;    ///< Round-robin cursor.
 };

@@ -1,0 +1,293 @@
+// Flight recorder: JSONL round-trip over the full event taxonomy, ring-buffer
+// and merge-order semantics, the determinism contract (byte-identical export
+// across thread counts under the harsh fault profile), agreement between the
+// event log and the campaign's WaypointCoverage, and the health report.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <map>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/health_report.hpp"
+#include "exec/config.hpp"
+#include "fault/fault.hpp"
+#include "flightlog/flightlog.hpp"
+#include "mission/campaign.hpp"
+#include "radio/scenario.hpp"
+
+namespace remgen {
+namespace {
+
+// -- JSONL ------------------------------------------------------------------
+
+/// One event of every kind, with payload values that survive serialisation
+/// (WaypointArrive/Hold omit the leave-only report fields; UwbAnchorDropout
+/// omits sigma_m — both stay at their defaults here so equality holds).
+std::vector<flightlog::Event> sample_events() {
+  using namespace flightlog;
+  std::vector<Event> events;
+  auto add = [&](EventKind kind, std::int32_t uav, double t_s, Payload payload) {
+    events.push_back(Event{kind, uav, events.size(), t_s, std::move(payload)});
+  };
+  add(EventKind::WaypointArrive, 0, 1.25, WaypointEvent{3, {1.5, 2.5, 1.0}});
+  add(EventKind::WaypointHold, 0, 1.5, WaypointEvent{3, {1.5, 2.5, 1.0}});
+  add(EventKind::WaypointLeave, 0, 9.75,
+      WaypointEvent{3, {1.5, 2.5, 1.0}, 42, 2, true});
+  add(EventKind::RadioOff, 1, 2.0, LinkEvent{5, 0});
+  add(EventKind::RadioOn, 1, 4.125, LinkEvent{0, 7});
+  add(EventKind::UwbFix, 1, 4.5, UwbEvent{-1, 0.0625, 0});
+  add(EventKind::UwbAnchorDropout, 1, 0.0, UwbEvent{2, 0.0, 201});
+  add(EventKind::ScanAttempt, 0, 5.0, ScanEvent{3, 0, 0.0});
+  add(EventKind::ScanRetry, 0, 8.0, ScanEvent{3, 1, 0.0});
+  add(EventKind::ScanBackoff, 0, 8.25, ScanEvent{3, 1, 0.4});
+  add(EventKind::ScanWatchdog, 0, 23.25, ScanEvent{3, 1, 15.0});
+  add(EventKind::ScanresAccepted, 0, 6.0,
+      SampleEvent{3, "aa:bb:cc:dd:ee:ff", -67.0, {}});
+  add(EventKind::ScanresDropped, 0, 6.5, SampleEvent{3, {}, 0.0, "malformed"});
+  add(EventKind::FaultInjected, 1, 3.0, FaultEvent{"crtp", "injected_drop"});
+  add(EventKind::BatteryState, 1, 30.0, BatteryEvent{0.55, false});
+  add(EventKind::RescueRound, -1, 0.0, CampaignEvent{1, 4, 0, 0, "rescue"});
+  add(EventKind::CoverageSummary, -1, 0.0, CampaignEvent{0, 12, 11, 2, "final"});
+  add(EventKind::PipelineStage, -1, 0.0, CampaignEvent{0, 512, 0, 0, "campaign"});
+  return events;
+}
+
+TEST(FlightlogJsonl, RoundTripCoversEveryKind) {
+  const std::vector<flightlog::Event> original = sample_events();
+  std::stringstream stream;
+  flightlog::write_jsonl(stream, original);
+  const std::vector<flightlog::Event> parsed = flightlog::read_jsonl(stream);
+  ASSERT_EQ(parsed.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(parsed[i], original[i]) << flightlog::event_kind_name(original[i].kind);
+  }
+}
+
+TEST(FlightlogJsonl, WireNamesRoundTripThroughTheKindTable) {
+  for (const flightlog::Event& e : sample_events()) {
+    const char* name = flightlog::event_kind_name(e.kind);
+    const auto back = flightlog::event_kind_from_name(name);
+    ASSERT_TRUE(back) << name;
+    EXPECT_EQ(*back, e.kind) << name;
+  }
+}
+
+TEST(FlightlogJsonl, UnknownKindAndGarbageLinesThrowWithLineNumbers) {
+  std::stringstream bad_kind("{\"kind\": \"teleport\", \"seq\": 0, \"t\": 0, \"uav\": 0}\n");
+  EXPECT_THROW((void)flightlog::read_jsonl(bad_kind), std::runtime_error);
+  std::stringstream garbage("\n{\"kind\": \"radio_off\", \"seq\": 0, \"t\": 0, \"uav\": 0}\nnot json\n");
+  try {
+    (void)flightlog::read_jsonl(garbage);
+    FAIL() << "expected a parse error";
+  } catch (const std::runtime_error& error) {
+    EXPECT_NE(std::string(error.what()).find("line 3"), std::string::npos) << error.what();
+  }
+}
+
+TEST(FlightlogJsonl, BlankLinesAreSkipped) {
+  const std::vector<flightlog::Event> original = sample_events();
+  std::stringstream stream;
+  stream << "\n  \t\n";
+  flightlog::write_jsonl(stream, original);
+  stream << "\n";
+  EXPECT_EQ(flightlog::read_jsonl(stream), original);
+}
+
+// -- Recorder ---------------------------------------------------------------
+
+TEST(FlightlogRecorder, MergedInterleavesStreamsInUavThenSeqOrder) {
+  flightlog::Recorder recorder;
+  recorder.record(flightlog::EventKind::ScanAttempt, 2, 1.0, flightlog::ScanEvent{0, 0, 0.0});
+  recorder.record(flightlog::EventKind::RescueRound, -1, 0.0,
+                  flightlog::CampaignEvent{1, 3, 0, 0, "rescue"});
+  recorder.record(flightlog::EventKind::ScanAttempt, 0, 1.0, flightlog::ScanEvent{0, 0, 0.0});
+  recorder.record(flightlog::EventKind::ScanRetry, 0, 2.0, flightlog::ScanEvent{0, 1, 0.0});
+  const std::vector<flightlog::Event> merged = recorder.merged();
+  ASSERT_EQ(merged.size(), 4u);
+  EXPECT_EQ(merged[0].uav, -1);
+  EXPECT_EQ(merged[1].uav, 0);
+  EXPECT_EQ(merged[2].uav, 0);
+  EXPECT_EQ(merged[3].uav, 2);
+  EXPECT_EQ(merged[1].seq, 0u);
+  EXPECT_EQ(merged[2].seq, 1u);
+}
+
+TEST(FlightlogRecorder, FullRingOverwritesOldestAndCountsDrops) {
+  flightlog::Recorder recorder;
+  recorder.set_stream_capacity(4);
+  for (int i = 0; i < 6; ++i) {
+    recorder.record(flightlog::EventKind::ScanAttempt, 0, static_cast<double>(i),
+                    flightlog::ScanEvent{i, 0, 0.0});
+  }
+  EXPECT_EQ(recorder.size(), 4u);
+  EXPECT_EQ(recorder.dropped(), 2u);
+  const std::vector<flightlog::Event> merged = recorder.merged();
+  ASSERT_EQ(merged.size(), 4u);
+  for (std::size_t i = 0; i < merged.size(); ++i) {
+    EXPECT_EQ(merged[i].seq, i + 2) << i;  // oldest two were overwritten
+  }
+}
+
+// -- Campaign integration ---------------------------------------------------
+
+mission::CampaignConfig faulted_config(const char* profile) {
+  mission::CampaignConfig config;
+  config.grid = {.nx = 3, .ny = 2, .nz = 2, .margin_m = 0.3};
+  config.faults = *fault::make_fault_plan(profile, 11);
+  config.mission.scan_retries = 3;
+  config.mission.scan_retry_backoff_s = 0.2;
+  config.mission.scan_watchdog_s = 15.0;
+  return config;
+}
+
+mission::CampaignResult run_faulted(const char* profile) {
+  util::Rng rng(2024);
+  const radio::Scenario s = radio::Scenario::make_apartment(rng);
+  return mission::run_campaign(s, faulted_config(profile), rng);
+}
+
+/// Clears the global recorder and restores the enabled flag and exec width,
+/// so flight-recorder state never leaks across tests in this binary.
+class FlightlogCampaignTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    previous_threads_ = exec::thread_count();
+    flightlog::recorder().clear();
+    flightlog::set_enabled(true);
+  }
+  void TearDown() override {
+    flightlog::set_enabled(false);
+    flightlog::recorder().clear();
+    exec::set_thread_count(previous_threads_);
+  }
+
+ private:
+  std::size_t previous_threads_ = 1;
+};
+
+TEST_F(FlightlogCampaignTest, DisabledRecorderRecordsNothing) {
+  flightlog::set_enabled(false);
+  (void)run_faulted("harsh");
+  EXPECT_EQ(flightlog::recorder().size(), 0u);
+}
+
+TEST_F(FlightlogCampaignTest, HarshCampaignLogIsByteIdenticalAcrossThreadCounts) {
+  if (!flightlog::compiled()) GTEST_SKIP() << "flight recorder compiled out";
+  auto exported = [&] {
+    flightlog::recorder().clear();
+    (void)run_faulted("harsh");
+    std::ostringstream out;
+    const std::vector<flightlog::Event> events = flightlog::recorder().merged();
+    flightlog::write_jsonl(out, events);
+    return out.str();
+  };
+  exec::set_thread_count(1);
+  const std::string sequential = exported();
+  exec::set_thread_count(4);
+  const std::string parallel = exported();
+  EXPECT_FALSE(sequential.empty());
+  EXPECT_EQ(sequential, parallel);
+}
+
+TEST_F(FlightlogCampaignTest, LogAgreesWithWaypointCoverage) {
+  if (!flightlog::compiled()) GTEST_SKIP() << "flight recorder compiled out";
+  const mission::CampaignResult result = run_faulted("harsh");
+  const std::vector<flightlog::Event> events = flightlog::recorder().merged();
+  ASSERT_FALSE(events.empty());
+
+  std::size_t covered = 0;
+  std::size_t rescued = 0;
+  for (const mission::WaypointCoverage& c : result.coverage) {
+    if (c.covered) ++covered;
+    if (c.rescued) ++rescued;
+  }
+
+  // The closing CoverageSummary carries the same tallies as WaypointCoverage.
+  const flightlog::CampaignEvent* summary = nullptr;
+  for (const flightlog::Event& e : events) {
+    if (e.kind == flightlog::EventKind::CoverageSummary) {
+      summary = &std::get<flightlog::CampaignEvent>(e.payload);
+    }
+  }
+  ASSERT_NE(summary, nullptr);
+  EXPECT_EQ(summary->waypoints, result.coverage.size());
+  EXPECT_EQ(summary->covered, covered);
+  EXPECT_EQ(summary->rescued, rescued);
+
+  // Every waypoint an owner covered itself closes with a matching
+  // WaypointLeave in that owner's stream (rescued waypoints close in the
+  // rescue UAV's stream instead).
+  std::map<std::pair<std::int32_t, std::int32_t>, const flightlog::WaypointEvent*> leaves;
+  for (const flightlog::Event& e : events) {
+    if (e.kind != flightlog::EventKind::WaypointLeave) continue;
+    leaves[{e.uav, std::get<flightlog::WaypointEvent>(e.payload).index}] =
+        &std::get<flightlog::WaypointEvent>(e.payload);
+  }
+  for (const mission::WaypointCoverage& c : result.coverage) {
+    if (!c.covered || c.rescued) continue;
+    const auto it = leaves.find({static_cast<std::int32_t>(c.uav),
+                                 static_cast<std::int32_t>(c.waypoint_index)});
+    ASSERT_NE(it, leaves.end()) << "uav " << c.uav << " wp " << c.waypoint_index;
+    EXPECT_TRUE(it->second->covered);
+    EXPECT_EQ(it->second->samples, c.samples);
+    EXPECT_EQ(it->second->attempts, c.attempts);
+  }
+}
+
+TEST_F(FlightlogCampaignTest, HarshCampaignRecordsFaultInjections) {
+  if (!flightlog::compiled()) GTEST_SKIP() << "flight recorder compiled out";
+  (void)run_faulted("harsh");
+  std::size_t faults = 0;
+  for (const flightlog::Event& e : flightlog::recorder().merged()) {
+    if (e.kind == flightlog::EventKind::FaultInjected) ++faults;
+  }
+  EXPECT_GT(faults, 0u);
+}
+
+// -- Health report ----------------------------------------------------------
+
+TEST_F(FlightlogCampaignTest, HealthReportIsDeterministicAndComplete) {
+  const mission::CampaignResult result = run_faulted("lossy");
+  const std::vector<flightlog::Event> events = flightlog::recorder().merged();
+  const obs::MetricsSnapshot metrics = obs::registry().snapshot();
+  core::HealthReportOptions options;
+  options.model_name = "knn-onehot-x3-k16";
+  options.holdout = ml::RegressionMetrics{3.5, 2.75, 0.8125};
+
+  auto render = [&] {
+    std::ostringstream out;
+    core::write_health_report(out, result, events, metrics, options);
+    return out.str();
+  };
+  const std::string report = render();
+  EXPECT_EQ(report, render());  // same inputs, same bytes
+
+  for (const char* heading :
+       {"# Campaign health report", "## Overview", "## Per-waypoint coverage",
+        "## Fault-injection timeline", "## Link & scan health",
+        "## Per-MAC sample counts", "## REM model error"}) {
+    EXPECT_NE(report.find(heading), std::string::npos) << heading;
+  }
+  // One coverage row per waypoint, and the holdout metrics we passed in.
+  for (const mission::WaypointCoverage& c : result.coverage) {
+    const std::string cell = "| " + std::to_string(c.uav) + " | " +
+                             std::to_string(c.waypoint_index) + " | ";
+    EXPECT_NE(report.find(cell), std::string::npos) << cell;
+  }
+  EXPECT_NE(report.find("knn-onehot-x3-k16"), std::string::npos);
+}
+
+TEST_F(FlightlogCampaignTest, HealthReportDegradesWithoutEvents) {
+  const mission::CampaignResult result = run_faulted("lossy");
+  std::ostringstream out;
+  core::write_health_report(out, result, {}, obs::MetricsSnapshot{});
+  const std::string report = out.str();
+  EXPECT_NE(report.find("# Campaign health report"), std::string::npos);
+  EXPECT_NE(report.find("not evaluated"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace remgen

@@ -21,8 +21,10 @@
 #include <string>
 
 #include "core/drift.hpp"
+#include "core/health_report.hpp"
 #include "core/rem_builder.hpp"
 #include "exec/config.hpp"
+#include "flightlog/flightlog.hpp"
 #include "mission/campaign.hpp"
 #include "ml/metrics.hpp"
 #include "ml/model_zoo.hpp"
@@ -60,6 +62,11 @@ int usage() {
       "  --metrics-prom FILE  enable telemetry, write Prometheus text exposition\n"
       "  --trace-out FILE     enable telemetry, write Chrome trace_event JSON\n"
       "                       (open in chrome://tracing or Perfetto)\n\n"
+      "flight recorder (campaign):\n"
+      "  --flightlog-out FILE enable the flight recorder, write the event log as\n"
+      "                       JSONL (inspect with remgen-flightlog)\n"
+      "  --report-out FILE    enable recorder+telemetry, write a markdown campaign\n"
+      "                       health report after the run\n\n"
       "run `remgen <command> --help` semantics: see the header of tools/remgen_cli.cpp\n");
   return 2;
 }
@@ -165,7 +172,44 @@ int cmd_campaign(const util::Args& args) {
   std::ofstream file(out);
   result.dataset.write_csv(file);
   std::printf("%zu samples written to %s\n", result.dataset.size(), out.c_str());
-  return 0;
+
+  int status = 0;
+  if (const std::string flight_out = args.value("flightlog-out"); !flight_out.empty()) {
+    if (flightlog::export_jsonl_file(flight_out)) {
+      std::printf("flight log (%zu events) written to %s\n", flightlog::recorder().size(),
+                  flight_out.c_str());
+    } else {
+      status = 1;
+    }
+  }
+  if (const std::string report_out = args.value("report-out"); !report_out.empty()) {
+    core::HealthReportOptions options;
+    options.min_samples_per_mac = static_cast<std::size_t>(args.value_int("min-samples", 16));
+    // A quick holdout evaluation for the error-summary section. Uses an RNG
+    // stream forked after the campaign finished, so the campaign itself is
+    // byte-identical with and without --report-out.
+    const data::Dataset prepared =
+        result.dataset.filter_min_samples_per_mac(options.min_samples_per_mac);
+    if (prepared.size() >= 8) {
+      util::Rng eval_rng = rng.fork("report-eval");
+      const data::DatasetSplit split = prepared.split(0.75, eval_rng);
+      if (!split.train.empty() && !split.test.empty()) {
+        const ml::ModelKind kind = model_by_name(args.value("model", "knn-onehot-x3-k16"));
+        const auto model = ml::make_model(kind);
+        model->fit(split.train);
+        options.model_name = ml::model_kind_name(kind);
+        options.holdout = ml::evaluate(*model, split.test);
+      }
+    }
+    const std::vector<flightlog::Event> events = flightlog::recorder().merged();
+    if (core::export_health_report_file(report_out, result, events,
+                                        obs::registry().snapshot(), options)) {
+      std::printf("health report written to %s\n", report_out.c_str());
+    } else {
+      status = 1;
+    }
+  }
+  return status;
 }
 
 int cmd_info(const util::Args& args) {
@@ -316,24 +360,34 @@ int dispatch(const util::Args& args) {
   return usage();
 }
 
-/// Writes the requested telemetry sinks after the command has run.
-void export_telemetry(const util::Args& args) {
+/// Writes the requested telemetry sinks after the command has run. Returns
+/// false when any sink could not be written, so the process can exit nonzero
+/// and CI catches unwritable paths instead of silently passing.
+[[nodiscard]] bool export_telemetry(const util::Args& args) {
+  bool ok = true;
   if (const std::string path = args.value("metrics-out"); !path.empty()) {
     if (obs::export_metrics_json_file(path)) {
       std::printf("metrics snapshot written to %s\n", path.c_str());
+    } else {
+      ok = false;
     }
   }
   if (const std::string path = args.value("metrics-prom"); !path.empty()) {
     if (obs::export_prometheus_file(path)) {
       std::printf("prometheus metrics written to %s\n", path.c_str());
+    } else {
+      ok = false;
     }
   }
   if (const std::string path = args.value("trace-out"); !path.empty()) {
     if (obs::export_trace_file(path)) {
       std::printf("chrome trace (%zu events) written to %s\n", obs::trace().size(),
                   path.c_str());
+    } else {
+      ok = false;
     }
   }
+  return ok;
 }
 
 }  // namespace
@@ -344,7 +398,8 @@ int main(int argc, char** argv) {
                                          "baseline",  "probe", "min-samples", "positioning",
                                          "receivers", "env",   "log-level", "metrics-out",
                                          "metrics-prom", "trace-out", "threads",
-                                         "fault-profile", "fault-seed"};
+                                         "fault-profile", "fault-seed",
+                                         "flightlog-out", "report-out"};
   const std::set<std::string> flag_keys{"radio-on", "optimize-route", "adaptive-legs", "help"};
   std::string error;
   const auto args = remgen::util::Args::parse(argc, argv, value_keys, flag_keys, &error);
@@ -383,7 +438,19 @@ int main(int argc, char** argv) {
     obs::set_enabled(true);
   }
 
-  const int status = dispatch(*args);
-  if (telemetry) export_telemetry(*args);
+  if (args->has("flightlog-out") || args->has("report-out")) {
+    if (!flightlog::compiled()) {
+      std::fprintf(stderr,
+                   "warning: the flight recorder was compiled out (-DREMGEN_OBS=OFF); "
+                   "the log and report will be empty\n");
+    }
+    flightlog::set_enabled(true);
+    // The health report joins the event log with the metrics registry, so
+    // recording implies metrics collection.
+    obs::set_enabled(true);
+  }
+
+  int status = dispatch(*args);
+  if (telemetry && !export_telemetry(*args) && status == 0) status = 1;
   return status;
 }

@@ -1,0 +1,279 @@
+// remgen-flightlog — read and inspect a flight-recorder JSONL log.
+//
+//   remgen-flightlog summary  LOG.jsonl          campaign-level digest
+//   remgen-flightlog timeline LOG.jsonl --uav N  one UAV's events in order
+//   remgen-flightlog waypoint X Y Z LOG.jsonl    everything at one position
+//   remgen-flightlog faults   LOG.jsonl          fault-injection timeline
+//
+// The log is what `remgen campaign --flightlog-out LOG.jsonl` wrote: one
+// compact JSON object per line, streams merged in (uav, seq) order.
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "flightlog/flightlog.hpp"
+#include "util/log.hpp"
+
+namespace {
+
+using namespace remgen;
+
+int usage() {
+  std::fprintf(stderr,
+               "remgen-flightlog — inspect a flight-recorder JSONL log\n\n"
+               "usage:\n"
+               "  remgen-flightlog summary  LOG.jsonl\n"
+               "  remgen-flightlog timeline LOG.jsonl --uav N\n"
+               "  remgen-flightlog waypoint X Y Z LOG.jsonl\n"
+               "  remgen-flightlog faults   LOG.jsonl\n");
+  return 2;
+}
+
+std::optional<std::vector<flightlog::Event>> load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return std::nullopt;
+  }
+  try {
+    return flightlog::read_jsonl(in);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "%s: %s\n", path.c_str(), error.what());
+    return std::nullopt;
+  }
+}
+
+std::string describe(const flightlog::Event& e) {
+  std::string text = flightlog::event_kind_name(e.kind);
+  if (const auto* wp = std::get_if<flightlog::WaypointEvent>(&e.payload)) {
+    text += util::format(" wp={} at ({:.2f}, {:.2f}, {:.2f})", wp->index, wp->position.x,
+                         wp->position.y, wp->position.z);
+    if (e.kind == flightlog::EventKind::WaypointLeave) {
+      text += util::format(" samples={} attempts={} covered={}", wp->samples, wp->attempts,
+                           wp->covered ? "yes" : "NO");
+    }
+  } else if (const auto* link = std::get_if<flightlog::LinkEvent>(&e.payload)) {
+    text += util::format(" queue_depth={} queue_drops={}", link->queue_depth, link->queue_drops);
+  } else if (const auto* uwb = std::get_if<flightlog::UwbEvent>(&e.payload)) {
+    if (uwb->anchor >= 0) text += util::format(" anchor={}", uwb->anchor);
+    if (e.kind == flightlog::EventKind::UwbFix) {
+      text += util::format(" sigma={:.3f}m", uwb->sigma_m);
+    }
+    if (uwb->dropouts > 0) text += util::format(" dropouts={}", uwb->dropouts);
+  } else if (const auto* scan = std::get_if<flightlog::ScanEvent>(&e.payload)) {
+    text += util::format(" wp={} attempt={}", scan->waypoint, scan->attempt);
+    if (scan->wait_s > 0.0) text += util::format(" wait={:.2f}s", scan->wait_s);
+  } else if (const auto* sample = std::get_if<flightlog::SampleEvent>(&e.payload)) {
+    text += util::format(" wp={}", sample->waypoint);
+    if (!sample->mac.empty()) {
+      text += util::format(" mac={} rss={:.0f}dBm", sample->mac, sample->rss_dbm);
+    }
+    if (!sample->reason.empty()) text += util::format(" reason={}", sample->reason);
+  } else if (const auto* fault = std::get_if<flightlog::FaultEvent>(&e.payload)) {
+    text += util::format(" {} {}", fault->subsystem, fault->detail);
+  } else if (const auto* battery = std::get_if<flightlog::BatteryEvent>(&e.payload)) {
+    text += util::format(" fraction={:.2f}{}", battery->fraction,
+                         battery->abort ? " ABORT" : "");
+  } else if (const auto* campaign = std::get_if<flightlog::CampaignEvent>(&e.payload)) {
+    if (e.kind == flightlog::EventKind::RescueRound) {
+      text += util::format(" round={} open_waypoints={}", campaign->round, campaign->waypoints);
+    } else if (e.kind == flightlog::EventKind::CoverageSummary) {
+      text += util::format(" covered={}/{} rescued={}", campaign->covered, campaign->waypoints,
+                           campaign->rescued);
+    } else {
+      text += util::format(" stage={} items={}", campaign->stage, campaign->waypoints);
+    }
+  }
+  return text;
+}
+
+void print_event(const flightlog::Event& e) {
+  std::printf("  t=%8.2fs  %s\n", e.t_s, describe(e).c_str());
+}
+
+int cmd_summary(const std::vector<flightlog::Event>& events) {
+  std::map<std::int32_t, std::size_t> per_uav;
+  std::map<std::string, std::size_t> faults;
+  std::size_t radio_off = 0;
+  const flightlog::CampaignEvent* coverage = nullptr;
+  for (const flightlog::Event& e : events) {
+    ++per_uav[e.uav];
+    if (e.kind == flightlog::EventKind::RadioOff) ++radio_off;
+    if (e.kind == flightlog::EventKind::FaultInjected) {
+      const auto& f = std::get<flightlog::FaultEvent>(e.payload);
+      ++faults[f.subsystem + "/" + f.detail];
+    }
+    if (e.kind == flightlog::EventKind::CoverageSummary) {
+      coverage = &std::get<flightlog::CampaignEvent>(e.payload);
+    }
+  }
+  const std::size_t uav_streams = per_uav.size() - (per_uav.count(-1) ? 1 : 0);
+  std::printf("flight log: %zu events across %zu uav streams\n", events.size(), uav_streams);
+  if (coverage != nullptr) {
+    std::printf("coverage: %llu/%llu waypoints covered (%llu by rescue)\n",
+                static_cast<unsigned long long>(coverage->covered),
+                static_cast<unsigned long long>(coverage->waypoints),
+                static_cast<unsigned long long>(coverage->rescued));
+  }
+
+  // Per-waypoint coverage, from each stream's WaypointLeave entries.
+  std::printf("\nper-waypoint coverage:\n");
+  for (const flightlog::Event& e : events) {
+    if (e.kind != flightlog::EventKind::WaypointLeave) continue;
+    const auto& wp = std::get<flightlog::WaypointEvent>(e.payload);
+    std::printf("  uav %d wp %d at (%.2f, %.2f, %.2f): %s, %llu samples, %llu attempts\n",
+                e.uav, wp.index, wp.position.x, wp.position.y, wp.position.z,
+                wp.covered ? "covered" : "UNCOVERED",
+                static_cast<unsigned long long>(wp.samples),
+                static_cast<unsigned long long>(wp.attempts));
+  }
+
+  std::printf("\nradio-off windows: %zu\n", radio_off);
+  std::size_t fault_total = 0;
+  for (const auto& [name, count] : faults) fault_total += count;
+  std::printf("fault injections: %zu\n", fault_total);
+  for (const auto& [name, count] : faults) {
+    std::printf("  %s: %zu\n", name.c_str(), count);
+  }
+  std::printf("\nevents per stream:\n");
+  for (const auto& [uav, count] : per_uav) {
+    if (uav < 0) {
+      std::printf("  campaign: %zu\n", count);
+    } else {
+      std::printf("  uav %d: %zu\n", uav, count);
+    }
+  }
+  return 0;
+}
+
+int cmd_timeline(const std::vector<flightlog::Event>& events, std::int32_t uav) {
+  std::size_t printed = 0;
+  for (const flightlog::Event& e : events) {
+    if (e.uav != uav) continue;
+    print_event(e);
+    ++printed;
+  }
+  if (printed == 0) {
+    std::fprintf(stderr, "no events for uav %d\n", uav);
+    return 1;
+  }
+  return 0;
+}
+
+int cmd_waypoint(const std::vector<flightlog::Event>& events, const geom::Vec3& at) {
+  // Find (uav, index) pairs whose waypoint events sit at the position, then
+  // print every event tagged with one of those pairs.
+  constexpr double kTolerance = 1e-6;
+  auto matches = [&](const geom::Vec3& p) {
+    return std::abs(p.x - at.x) < kTolerance && std::abs(p.y - at.y) < kTolerance &&
+           std::abs(p.z - at.z) < kTolerance;
+  };
+  std::map<std::int32_t, std::int32_t> pair_of;  // uav -> waypoint index there
+  for (const flightlog::Event& e : events) {
+    const auto* wp = std::get_if<flightlog::WaypointEvent>(&e.payload);
+    if (wp != nullptr && matches(wp->position)) pair_of[e.uav] = wp->index;
+  }
+  if (pair_of.empty()) {
+    std::fprintf(stderr, "no waypoint events at (%.3f, %.3f, %.3f)\n", at.x, at.y, at.z);
+    return 1;
+  }
+  std::size_t printed = 0;
+  for (const flightlog::Event& e : events) {
+    const auto it = pair_of.find(e.uav);
+    if (it == pair_of.end()) continue;
+    std::int32_t waypoint = -1;
+    if (const auto* wp = std::get_if<flightlog::WaypointEvent>(&e.payload)) {
+      waypoint = wp->index;
+    } else if (const auto* scan = std::get_if<flightlog::ScanEvent>(&e.payload)) {
+      waypoint = scan->waypoint;
+    } else if (const auto* sample = std::get_if<flightlog::SampleEvent>(&e.payload)) {
+      waypoint = sample->waypoint;
+    } else {
+      continue;
+    }
+    if (waypoint != it->second) continue;
+    std::printf("uav %d", e.uav);
+    print_event(e);
+    ++printed;
+  }
+  std::printf("%zu events at (%.2f, %.2f, %.2f)\n", printed, at.x, at.y, at.z);
+  return 0;
+}
+
+int cmd_faults(const std::vector<flightlog::Event>& events) {
+  std::map<std::string, std::size_t> tally;
+  std::size_t total = 0;
+  for (const flightlog::Event& e : events) {
+    if (e.kind != flightlog::EventKind::FaultInjected) continue;
+    const auto& f = std::get<flightlog::FaultEvent>(e.payload);
+    ++tally[f.subsystem + "/" + f.detail];
+    ++total;
+    std::printf("uav %d", e.uav);
+    print_event(e);
+  }
+  std::printf("%zu fault injections\n", total);
+  for (const auto& [name, count] : tally) {
+    std::printf("  %s: %zu\n", name.c_str(), count);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::init_log_level_from_args(argc, argv);
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+
+  // Collect positionals and the one --uav option; the grammar is small enough
+  // that util::Args' declared-keys model doesn't fit (waypoint takes X Y Z).
+  std::vector<std::string> positionals;
+  std::optional<long> uav;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--uav") {
+      if (i + 1 >= argc) return usage();
+      uav = std::strtol(argv[++i], nullptr, 10);
+    } else if (arg == "--log-level") {
+      ++i;  // consumed by init_log_level_from_args
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+      return usage();
+    } else {
+      positionals.push_back(arg);
+    }
+  }
+
+  if (command == "summary" || command == "faults") {
+    if (positionals.size() != 1) return usage();
+    const auto events = load(positionals[0]);
+    if (!events) return 1;
+    return command == "summary" ? cmd_summary(*events) : cmd_faults(*events);
+  }
+  if (command == "timeline") {
+    if (positionals.size() != 1 || !uav) return usage();
+    const auto events = load(positionals[0]);
+    if (!events) return 1;
+    return cmd_timeline(*events, static_cast<std::int32_t>(*uav));
+  }
+  if (command == "waypoint") {
+    if (positionals.size() != 4) return usage();
+    const auto events = load(positionals[3]);
+    if (!events) return 1;
+    geom::Vec3 at;
+    try {
+      at = {std::stod(positionals[0]), std::stod(positionals[1]), std::stod(positionals[2])};
+    } catch (const std::exception&) {
+      std::fprintf(stderr, "waypoint needs numeric X Y Z\n");
+      return 2;
+    }
+    return cmd_waypoint(*events, at);
+  }
+  return usage();
+}
