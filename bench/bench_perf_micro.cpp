@@ -12,6 +12,7 @@
 #include <functional>
 #include <limits>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -26,6 +27,8 @@
 #include "ml/neural_net.hpp"
 #include "obs/export.hpp"
 #include "radio/scenario.hpp"
+#include "serve/engine.hpp"
+#include "store/snapshot.hpp"
 #include "util/log.hpp"
 #include "uwb/lps.hpp"
 
@@ -130,6 +133,37 @@ void BM_KrigingFit(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_KrigingFit);
+
+/// Snapshot + engine shared by the serve benchmarks, built once.
+serve::QueryEngine& serve_engine() {
+  static serve::QueryEngine* engine = [] {
+    Fixture& f = fixture();
+    store::Snapshot snapshot;
+    snapshot.dataset = f.dataset;
+    auto model = ml::make_model(ml::ModelKind::PerMacKnn);
+    model->fit(f.dataset.samples());
+    snapshot.model = std::move(model);
+    return new serve::QueryEngine(std::move(snapshot), 64 * 1024 * 1024);
+  }();
+  return *engine;
+}
+
+void BM_ServePointQuery(benchmark::State& state) {
+  serve::QueryEngine& engine = serve_engine();
+  util::Rng rng(9);
+  const auto& macs = engine.macs();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    serve::Request request;
+    request.id = static_cast<std::int64_t>(i);
+    request.mac = macs[i % macs.size()];
+    request.points.push_back(
+        {rng.uniform(0.0, 3.7), rng.uniform(0.0, 3.2), rng.uniform(0.0, 2.1)});
+    benchmark::DoNotOptimize(engine.execute(request));
+    ++i;
+  }
+}
+BENCHMARK(BM_ServePointQuery);
 
 void BM_RemBuild25cm(benchmark::State& state) {
   Fixture& f = fixture();
@@ -303,6 +337,91 @@ void write_parallel_report() {
   exec::set_thread_count(previous);
 }
 
+/// Deterministic JSONL workload for the serve report: a fixed mix of point,
+/// best-AP, and batch queries over the fixture's MACs and scan volume.
+std::string serve_workload(const std::vector<radio::MacAddress>& macs, std::size_t requests) {
+  util::Rng rng(11);
+  std::ostringstream out;
+  char line[512];
+  for (std::size_t i = 0; i < requests; ++i) {
+    const double x = rng.uniform(0.0, 3.7);
+    const double y = rng.uniform(0.0, 3.2);
+    const double z = rng.uniform(0.0, 2.1);
+    const std::string mac = macs[i % macs.size()].to_string();
+    switch (i % 3) {
+      case 0:
+        std::snprintf(line, sizeof(line),
+                      R"({"id":%zu,"type":"point","mac":"%s","x":%.6f,"y":%.6f,"z":%.6f})",
+                      i, mac.c_str(), x, y, z);
+        break;
+      case 1:
+        std::snprintf(line, sizeof(line),
+                      R"({"id":%zu,"type":"point","top":3,"x":%.6f,"y":%.6f,"z":%.6f})",
+                      i, x, y, z);
+        break;
+      default:
+        std::snprintf(
+            line, sizeof(line),
+            R"({"id":%zu,"type":"batch","mac":"%s","points":[[%.6f,%.6f,%.6f],[%.6f,%.6f,%.6f]]})",
+            i, mac.c_str(), x, y, z, 3.7 - x, 3.2 - y, 2.1 - z);
+        break;
+    }
+    out << line << '\n';
+  }
+  return out.str();
+}
+
+/// Replays a fixed request stream through a fresh QueryEngine (cold cache) at
+/// 1 and N threads and writes qps + latency percentiles as BENCH_serve.json
+/// (REMGEN_SERVE_OUT overrides the path, REMGEN_BENCH_THREADS the top width).
+void write_serve_report() {
+  Fixture& f = fixture();
+  const std::size_t previous = exec::thread_count();
+  std::size_t top = std::max<std::size_t>(4, exec::hardware_threads());
+  if (const char* env = std::getenv("REMGEN_BENCH_THREADS")) {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed > 0) top = static_cast<std::size_t>(parsed);
+  }
+  std::vector<std::size_t> widths{1, top};
+  widths.erase(std::unique(widths.begin(), widths.end()), widths.end());
+
+  constexpr std::size_t kRequests = 2000;
+  const auto mac_set = f.dataset.distinct_macs();
+  const std::vector<radio::MacAddress> macs(mac_set.begin(), mac_set.end());
+  const std::string workload = serve_workload(macs, kRequests);
+
+  const char* out_path = std::getenv("REMGEN_SERVE_OUT");
+  std::FILE* out = std::fopen(out_path != nullptr ? out_path : "BENCH_serve.json", "w");
+  if (out == nullptr) return;
+  std::fprintf(out, "{\n  \"commit\": \"%s\",\n  \"requests\": %zu,\n  \"runs\": [\n",
+               perf_commit(), kRequests);
+  bool first = true;
+  for (const std::size_t width : widths) {
+    exec::set_thread_count(width);
+    // Fresh engine per width: the cache starts cold, so the two runs measure
+    // the same work and their qps numbers are comparable.
+    store::Snapshot snapshot;
+    snapshot.dataset = f.dataset;
+    auto model = ml::make_model(ml::ModelKind::PerMacKnn);
+    model->fit(f.dataset.samples());
+    snapshot.model = std::move(model);
+    const serve::QueryEngine engine(std::move(snapshot), 64 * 1024 * 1024);
+    std::istringstream in(workload);
+    std::ostringstream sink;
+    const serve::ReplayStats stats = engine.replay_jsonl(in, sink);
+    std::fprintf(out,
+                 "%s    {\"threads\": %zu, \"qps\": %.1f, \"wall_seconds\": %.6f, "
+                 "\"errors\": %zu, \"latency_us\": {\"p50\": %.1f, \"p90\": %.1f, "
+                 "\"p99\": %.1f}}",
+                 first ? "" : ",\n", width, stats.qps, stats.wall_seconds, stats.errors,
+                 stats.latency_us.p50, stats.latency_us.p90, stats.latency_us.p99);
+    first = false;
+  }
+  std::fprintf(out, "\n  ]\n}\n");
+  std::fclose(out);
+  exec::set_thread_count(previous);
+}
+
 }  // namespace
 
 // Custom main instead of BENCHMARK_MAIN(): runs with telemetry enabled and
@@ -332,6 +451,7 @@ int main(int argc, char** argv) {
   benchmark::Shutdown();
   write_perf_report(reporter.rows());
   write_parallel_report();
+  write_serve_report();
 
   const char* metrics_out = std::getenv("REMGEN_METRICS_OUT");
   remgen::obs::export_metrics_json_file(metrics_out != nullptr

@@ -13,6 +13,7 @@
 
 #include "data/sample.hpp"
 #include "radio/mac_address.hpp"
+#include "util/binary_io.hpp"
 
 namespace remgen::data {
 
@@ -25,6 +26,10 @@ struct FeatureConfig {
   bool normalize_position = false;   ///< Min-max scale coordinates to [0,1]
                                      ///< (used by the neural network).
 };
+
+/// Snapshot (de)serialisation of a feature configuration.
+void save_feature_config(util::BinaryWriter& w, const FeatureConfig& config);
+[[nodiscard]] FeatureConfig load_feature_config(util::BinaryReader& r);
 
 /// Vocabulary-based encoder fitted on training data. Unknown MACs/channels
 /// at prediction time encode as all-zero one-hot blocks.
@@ -51,6 +56,12 @@ class FeatureEncoder {
 
   [[nodiscard]] const FeatureConfig& config() const noexcept { return config_; }
 
+  /// Writes the fitted vocabulary and position ranges (bit-exact doubles).
+  void save(util::BinaryWriter& w) const;
+
+  /// Reads an encoder previously written by save().
+  [[nodiscard]] static FeatureEncoder load(util::BinaryReader& r);
+
  private:
   FeatureConfig config_;
   std::unordered_map<radio::MacAddress, int> mac_index_;
@@ -71,6 +82,9 @@ class TargetScaler {
   [[nodiscard]] double inverse(double scaled) const noexcept { return scaled * std_ + mean_; }
   [[nodiscard]] double mean() const noexcept { return mean_; }
   [[nodiscard]] double stddev() const noexcept { return std_; }
+
+  void save(util::BinaryWriter& w) const;
+  [[nodiscard]] static TargetScaler load(util::BinaryReader& r);
 
  private:
   double mean_ = 0.0;

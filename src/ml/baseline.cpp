@@ -1,5 +1,7 @@
 #include "ml/baseline.hpp"
 
+#include <map>
+
 #include "util/contracts.hpp"
 
 namespace remgen::ml {
@@ -24,6 +26,27 @@ void MeanPerMacBaseline::fit(std::span<const data::Sample> train) {
 double MeanPerMacBaseline::predict(const data::Sample& query) const {
   const auto it = mean_per_mac_.find(query.mac);
   return it == mean_per_mac_.end() ? global_mean_ : it->second;
+}
+
+void MeanPerMacBaseline::save(util::BinaryWriter& w) const {
+  w.f64(global_mean_);
+  // MAC-sorted so repeated saves of the same model are byte-identical.
+  std::map<radio::MacAddress, double> sorted(mean_per_mac_.begin(), mean_per_mac_.end());
+  w.u64(sorted.size());
+  for (const auto& [mac, mean] : sorted) {
+    save_mac(w, mac);
+    w.f64(mean);
+  }
+}
+
+void MeanPerMacBaseline::load(util::BinaryReader& r) {
+  global_mean_ = r.f64();
+  mean_per_mac_.clear();
+  const std::uint64_t count = r.u64();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const radio::MacAddress mac = load_mac(r);
+    mean_per_mac_[mac] = r.f64();
+  }
 }
 
 }  // namespace remgen::ml

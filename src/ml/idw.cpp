@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
 
 #include "util/contracts.hpp"
 #include "util/fmt.hpp"
@@ -60,6 +61,48 @@ double IdwRegressor::predict(const data::Sample& query) const {
     weight_sum += w;
   }
   return weighted / weight_sum;
+}
+
+void IdwRegressor::save(util::BinaryWriter& w) const {
+  w.f64(config_.power);
+  w.u64(config_.max_neighbors);
+  fallback_.save(w);
+  // MAC-sorted so repeated saves of the same model are byte-identical.
+  std::map<radio::MacAddress, const MacData*> sorted;
+  for (const auto& [mac, d] : per_mac_) sorted[mac] = &d;
+  w.u64(sorted.size());
+  for (const auto& [mac, d] : sorted) {
+    save_mac(w, mac);
+    w.u64(d->positions.size());
+    for (std::size_t i = 0; i < d->positions.size(); ++i) {
+      w.f64(d->positions[i].x);
+      w.f64(d->positions[i].y);
+      w.f64(d->positions[i].z);
+      w.f64(d->values[i]);
+    }
+  }
+}
+
+void IdwRegressor::load(util::BinaryReader& r) {
+  config_.power = r.f64();
+  config_.max_neighbors = r.u64();
+  fallback_.load(r);
+  per_mac_.clear();
+  const std::uint64_t macs = r.u64();
+  for (std::uint64_t i = 0; i < macs; ++i) {
+    const radio::MacAddress mac = load_mac(r);
+    MacData& d = per_mac_[mac];
+    const std::uint64_t n = r.u64();
+    d.positions.resize(n);
+    d.values.resize(n);
+    for (std::uint64_t j = 0; j < n; ++j) {
+      d.positions[j].x = r.f64();
+      d.positions[j].y = r.f64();
+      d.positions[j].z = r.f64();
+      d.values[j] = r.f64();
+    }
+    if (config_.max_neighbors > 0) d.tree.emplace(d.positions);
+  }
 }
 
 std::string IdwRegressor::name() const {

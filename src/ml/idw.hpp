@@ -10,6 +10,7 @@
 #include "ml/baseline.hpp"
 #include "ml/estimator.hpp"
 #include "ml/kdtree.hpp"
+#include "ml/serialize.hpp"
 
 namespace remgen::ml {
 
@@ -20,13 +21,17 @@ struct IdwConfig {
 };
 
 /// Per-MAC inverse distance weighting with mean-per-MAC fallback.
-class IdwRegressor final : public Estimator {
+class IdwRegressor final : public Estimator, public Serializable {
  public:
   explicit IdwRegressor(const IdwConfig& config = {});
 
   void fit(std::span<const data::Sample> train) override;
   [[nodiscard]] double predict(const data::Sample& query) const override;
   [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] std::string_view serial_tag() const override { return "idw"; }
+  void save(util::BinaryWriter& w) const override;
+  void load(util::BinaryReader& r) override;
 
  private:
   struct MacData {

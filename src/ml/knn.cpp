@@ -31,9 +31,43 @@ double minkowski_distance(std::span<const double> a, std::span<const double> b, 
   return std::pow(acc, 1.0 / p);
 }
 
+void save_knn_config(util::BinaryWriter& w, const KnnConfig& config) {
+  w.u64(config.n_neighbors);
+  w.u8(config.weights == KnnWeights::Distance ? 1 : 0);
+  w.f64(config.minkowski_p);
+  data::save_feature_config(w, config.features);
+}
+
+KnnConfig load_knn_config(util::BinaryReader& r) {
+  KnnConfig config;
+  config.n_neighbors = r.u64();
+  config.weights = r.u8() != 0 ? KnnWeights::Distance : KnnWeights::Uniform;
+  config.minkowski_p = r.f64();
+  config.features = data::load_feature_config(r);
+  return config;
+}
+
 KnnRegressor::KnnRegressor(const KnnConfig& config)
     : config_(config), encoder_() {
   REMGEN_EXPECTS(config.n_neighbors > 0);
+}
+
+void KnnRegressor::maybe_build_tree() {
+  tree_.reset();
+  const data::FeatureConfig& f = config_.features;
+  if (f.include_position && !f.include_mac_onehot && !f.include_channel_onehot &&
+      !f.normalize_position && config_.minkowski_p == 2.0) {
+    // Unnormalized position-only encoding is the raw coordinates, and
+    // minkowski p=2 is Vec3::distance_to — the tree query is exact. In this
+    // configuration every feature row IS the coordinate triple, so the tree
+    // can be rebuilt from features_ alone (fit and load share this path).
+    std::vector<geom::Vec3> positions;
+    positions.reserve(features_.size());
+    for (const std::vector<double>& row : features_) {
+      positions.push_back({row[0], row[1], row[2]});
+    }
+    tree_.emplace(positions);
+  }
 }
 
 void KnnRegressor::fit(std::span<const data::Sample> train) {
@@ -43,17 +77,34 @@ void KnnRegressor::fit(std::span<const data::Sample> train) {
   encoder_ = data::FeatureEncoder::fit(train, config_.features);
   features_ = encoder_.encode_all(train);
   targets_ = data::rss_targets(train);
-  tree_.reset();
-  const data::FeatureConfig& f = config_.features;
-  if (f.include_position && !f.include_mac_onehot && !f.include_channel_onehot &&
-      !f.normalize_position && config_.minkowski_p == 2.0) {
-    // Unnormalized position-only encoding is the raw coordinates, and
-    // minkowski p=2 is Vec3::distance_to — the tree query is exact.
-    std::vector<geom::Vec3> positions;
-    positions.reserve(train.size());
-    for (const data::Sample& s : train) positions.push_back(s.position);
-    tree_.emplace(positions);
+  maybe_build_tree();
+  fitted_ = true;
+}
+
+void KnnRegressor::save(util::BinaryWriter& w) const {
+  REMGEN_EXPECTS(fitted_);
+  save_knn_config(w, config_);
+  encoder_.save(w);
+  w.u64(features_.size());
+  w.u64(features_.empty() ? 0 : features_.front().size());
+  for (const std::vector<double>& row : features_) {
+    for (const double v : row) w.f64(v);
   }
+  for (const double t : targets_) w.f64(t);
+}
+
+void KnnRegressor::load(util::BinaryReader& r) {
+  config_ = load_knn_config(r);
+  encoder_ = data::FeatureEncoder::load(r);
+  const std::uint64_t rows = r.u64();
+  const std::uint64_t dim = r.u64();
+  features_.assign(rows, std::vector<double>(dim));
+  for (std::vector<double>& row : features_) {
+    for (double& v : row) v = r.f64();
+  }
+  targets_.resize(rows);
+  for (double& t : targets_) t = r.f64();
+  maybe_build_tree();
   fitted_ = true;
 }
 

@@ -10,6 +10,7 @@
 #include "data/encoding.hpp"
 #include "ml/estimator.hpp"
 #include "ml/kdtree.hpp"
+#include "ml/serialize.hpp"
 
 namespace remgen::ml {
 
@@ -24,8 +25,12 @@ struct KnnConfig {
   data::FeatureConfig features{};  ///< Position + one-hot MAC by default.
 };
 
+/// Snapshot (de)serialisation of kNN hyperparameters (shared with PerMacKnn).
+void save_knn_config(util::BinaryWriter& w, const KnnConfig& config);
+[[nodiscard]] KnnConfig load_knn_config(util::BinaryReader& r);
+
 /// Brute-force kNN regressor over the encoded feature space.
-class KnnRegressor final : public Estimator {
+class KnnRegressor final : public Estimator, public Serializable {
  public:
   explicit KnnRegressor(const KnnConfig& config = {});
 
@@ -35,7 +40,15 @@ class KnnRegressor final : public Estimator {
 
   [[nodiscard]] const KnnConfig& config() const noexcept { return config_; }
 
+  [[nodiscard]] std::string_view serial_tag() const override { return "knn"; }
+  void save(util::BinaryWriter& w) const override;
+  void load(util::BinaryReader& r) override;
+
  private:
+  /// Builds the KD-tree when the feature space admits the exact tree path
+  /// (shared between fit() and load(); the tree itself is never serialised).
+  void maybe_build_tree();
+
   KnnConfig config_;
   data::FeatureEncoder encoder_;
   std::vector<std::vector<double>> features_;

@@ -16,6 +16,7 @@
 #include "ml/baseline.hpp"
 #include "ml/estimator.hpp"
 #include "ml/kdtree.hpp"
+#include "ml/serialize.hpp"
 
 namespace remgen::ml {
 
@@ -46,13 +47,17 @@ struct KrigingConfig {
 };
 
 /// Per-MAC ordinary kriging with mean-per-MAC fallback.
-class KrigingRegressor final : public Estimator {
+class KrigingRegressor final : public Estimator, public Serializable {
  public:
   explicit KrigingRegressor(const KrigingConfig& config = {});
 
   void fit(std::span<const data::Sample> train) override;
   [[nodiscard]] double predict(const data::Sample& query) const override;
   [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] std::string_view serial_tag() const override { return "kriging"; }
+  void save(util::BinaryWriter& w) const override;
+  void load(util::BinaryReader& r) override;
 
   /// Prediction plus kriging standard deviation (uncertainty). The deviation
   /// is 0 for fallback predictions.

@@ -11,6 +11,7 @@
 
 #include "data/encoding.hpp"
 #include "ml/estimator.hpp"
+#include "ml/serialize.hpp"
 #include "util/rng.hpp"
 
 namespace remgen::ml {
@@ -37,7 +38,7 @@ struct NeuralNetConfig {
 };
 
 /// Multi-layer perceptron trained with minibatch Adam on MSE loss.
-class NeuralNetRegressor final : public Estimator {
+class NeuralNetRegressor final : public Estimator, public Serializable {
  public:
   explicit NeuralNetRegressor(const NeuralNetConfig& config = {});
 
@@ -47,6 +48,13 @@ class NeuralNetRegressor final : public Estimator {
 
   /// Mean squared training loss (standardized targets) after the last epoch.
   [[nodiscard]] double final_training_loss() const noexcept { return final_loss_; }
+
+  /// Serialises the inference state (weights, encoder, scaler). Adam moment
+  /// buffers are deliberately not stored — they only matter to a fit() that
+  /// would restart training, which re-initialises them anyway.
+  [[nodiscard]] std::string_view serial_tag() const override { return "neural-net"; }
+  void save(util::BinaryWriter& w) const override;
+  void load(util::BinaryReader& r) override;
 
  private:
   /// One dense layer y = act(W x + b) with Adam moment buffers.

@@ -1,5 +1,7 @@
 #include "ml/per_mac_knn.hpp"
 
+#include <map>
+
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/contracts.hpp"
@@ -39,6 +41,32 @@ double PerMacKnn::predict(const data::Sample& query) const {
   const auto it = models_.find(query.mac);
   if (it == models_.end()) return fallback_.predict(query);
   return it->second->predict(query);
+}
+
+void PerMacKnn::save(util::BinaryWriter& w) const {
+  save_knn_config(w, config_);
+  fallback_.save(w);
+  // MAC-sorted so repeated saves of the same model are byte-identical.
+  std::map<radio::MacAddress, const KnnRegressor*> sorted;
+  for (const auto& [mac, model] : models_) sorted[mac] = model.get();
+  w.u64(sorted.size());
+  for (const auto& [mac, model] : sorted) {
+    save_mac(w, mac);
+    model->save(w);
+  }
+}
+
+void PerMacKnn::load(util::BinaryReader& r) {
+  config_ = load_knn_config(r);
+  fallback_.load(r);
+  models_.clear();
+  const std::uint64_t count = r.u64();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const radio::MacAddress mac = load_mac(r);
+    auto model = std::make_unique<KnnRegressor>(config_);
+    model->load(r);
+    models_[mac] = std::move(model);
+  }
 }
 
 std::string PerMacKnn::name() const {

@@ -1,0 +1,96 @@
+#include "serve/cache.hpp"
+
+#include <bit>
+
+namespace remgen::serve {
+
+ResultCache::ResultCache(std::size_t capacity_bytes)
+    : capacity_entries_(capacity_bytes / kBytesPerEntry),
+      per_shard_capacity_(capacity_entries_ / kShards),
+      shards_(kShards) {}
+
+std::size_t ResultCache::KeyHash::operator()(const Key& k) const noexcept {
+  // SplitMix64-style mix over the four words.
+  std::uint64_t h = k.mac;
+  for (const std::uint64_t w : {k.x, k.y, k.z}) {
+    h ^= w + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  }
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 27;
+  return static_cast<std::size_t>(h);
+}
+
+ResultCache::Key ResultCache::make_key(const radio::MacAddress& mac, const geom::Vec3& point) {
+  return {mac.to_u64(), std::bit_cast<std::uint64_t>(point.x),
+          std::bit_cast<std::uint64_t>(point.y), std::bit_cast<std::uint64_t>(point.z)};
+}
+
+ResultCache::Shard& ResultCache::shard_for(const Key& key) {
+  // Shard by MAC only: one transmitter's working set stays in one shard, and
+  // workers serving different MACs take different mutexes.
+  return shards_[static_cast<std::size_t>(key.mac * 0x9e3779b97f4a7c15ULL >> 32) % kShards];
+}
+
+std::optional<double> ResultCache::get(const radio::MacAddress& mac, const geom::Vec3& point) {
+  if (per_shard_capacity_ == 0) return std::nullopt;
+  const Key key = make_key(mac, point);
+  Shard& shard = shard_for(key);
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    ++shard.misses;
+    return std::nullopt;
+  }
+  ++shard.hits;
+  shard.order.splice(shard.order.begin(), shard.order, it->second);
+  return it->second->second;
+}
+
+void ResultCache::put(const radio::MacAddress& mac, const geom::Vec3& point, double rss_dbm) {
+  if (per_shard_capacity_ == 0) return;
+  const Key key = make_key(mac, point);
+  Shard& shard = shard_for(key);
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    it->second->second = rss_dbm;
+    shard.order.splice(shard.order.begin(), shard.order, it->second);
+    return;
+  }
+  shard.order.emplace_front(key, rss_dbm);
+  shard.index[key] = shard.order.begin();
+  while (shard.order.size() > per_shard_capacity_) {
+    shard.index.erase(shard.order.back().first);
+    shard.order.pop_back();
+  }
+}
+
+std::uint64_t ResultCache::hits() const {
+  std::uint64_t total = 0;
+  for (const Shard& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    total += shard.hits;
+  }
+  return total;
+}
+
+std::uint64_t ResultCache::misses() const {
+  std::uint64_t total = 0;
+  for (const Shard& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    total += shard.misses;
+  }
+  return total;
+}
+
+std::size_t ResultCache::size() const {
+  std::size_t total = 0;
+  for (const Shard& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    total += shard.order.size();
+  }
+  return total;
+}
+
+}  // namespace remgen::serve

@@ -1,0 +1,75 @@
+// Sharded LRU cache of per-(MAC, point) model predictions.
+//
+// Point and batch queries repeatedly hit the same (transmitter, coordinate)
+// pairs — replayed request logs, fleet dashboards polling fixed probe points,
+// best-AP scans iterating every MAC at one location. The cache keys on the
+// MAC's 48-bit value plus the exact IEEE-754 bit patterns of the coordinates
+// (so hits require bit-identical points and cached values stay bit-identical
+// to fresh predictions), and shards by MAC hash so concurrent workers
+// serving different transmitters rarely contend on the same mutex.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "geom/vec3.hpp"
+#include "radio/mac_address.hpp"
+
+namespace remgen::serve {
+
+/// Thread-safe sharded LRU map from (MAC, point bits) to predicted RSS.
+class ResultCache {
+ public:
+  /// Capacity is given in bytes and converted with a conservative
+  /// ~`kBytesPerEntry` per-entry estimate (key + value + list/map nodes).
+  /// A zero budget disables caching (every lookup misses).
+  explicit ResultCache(std::size_t capacity_bytes);
+
+  /// Returns the cached prediction and refreshes its recency, or nullopt.
+  [[nodiscard]] std::optional<double> get(const radio::MacAddress& mac, const geom::Vec3& point);
+
+  /// Inserts or refreshes an entry, evicting the shard's least-recently-used
+  /// entries over capacity.
+  void put(const radio::MacAddress& mac, const geom::Vec3& point, double rss_dbm);
+
+  [[nodiscard]] std::uint64_t hits() const;
+  [[nodiscard]] std::uint64_t misses() const;
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t capacity_entries() const noexcept { return capacity_entries_; }
+
+  static constexpr std::size_t kBytesPerEntry = 128;
+
+ private:
+  struct Key {
+    std::uint64_t mac = 0;
+    std::uint64_t x = 0;
+    std::uint64_t y = 0;
+    std::uint64_t z = 0;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const noexcept;
+  };
+  struct Shard {
+    mutable std::mutex mutex;
+    /// Most-recent first; pairs of (key, value).
+    std::list<std::pair<Key, double>> order;
+    std::unordered_map<Key, std::list<std::pair<Key, double>>::iterator, KeyHash> index;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+  };
+
+  [[nodiscard]] static Key make_key(const radio::MacAddress& mac, const geom::Vec3& point);
+  [[nodiscard]] Shard& shard_for(const Key& key);
+
+  static constexpr std::size_t kShards = 16;
+  std::size_t capacity_entries_ = 0;
+  std::size_t per_shard_capacity_ = 0;
+  std::vector<Shard> shards_;
+};
+
+}  // namespace remgen::serve

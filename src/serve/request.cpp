@@ -1,0 +1,106 @@
+#include "serve/request.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/fmt.hpp"
+
+namespace remgen::serve {
+
+namespace {
+
+[[nodiscard]] double finite_number(const obs::Json& node, const char* field) {
+  const double v = node.as_double();
+  if (!std::isfinite(v)) {
+    throw std::runtime_error(util::format("request: '{}' must be finite", field));
+  }
+  return v;
+}
+
+[[nodiscard]] double finite_field(const obs::Json& object, const char* field) {
+  if (!object.contains(field)) {
+    throw std::runtime_error(util::format("request: missing '{}'", field));
+  }
+  return finite_number(object.at(field), field);
+}
+
+[[nodiscard]] geom::Vec3 parse_point_array(const obs::Json& node) {
+  const obs::Json::Array& xyz = node.as_array();
+  if (xyz.size() != 3) {
+    throw std::runtime_error(
+        util::format("request: point needs 3 coordinates, got {}", xyz.size()));
+  }
+  return {finite_number(xyz[0], "points[][0]"), finite_number(xyz[1], "points[][1]"),
+          finite_number(xyz[2], "points[][2]")};
+}
+
+}  // namespace
+
+Request parse_request(const std::string& line) {
+  const obs::Json doc = obs::Json::parse(line);
+  if (!doc.is_object()) throw std::runtime_error("request: line is not a JSON object");
+
+  Request req;
+  if (!doc.contains("id")) throw std::runtime_error("request: missing 'id'");
+  req.id = static_cast<std::int64_t>(finite_number(doc.at("id"), "id"));
+
+  const std::string type = doc.contains("type") ? doc.at("type").as_string() : "point";
+  if (type == "point") {
+    req.type = RequestType::Point;
+  } else if (type == "batch") {
+    req.type = RequestType::Batch;
+  } else if (type == "volume") {
+    req.type = RequestType::Volume;
+  } else {
+    throw std::runtime_error(util::format("request: unknown type '{}'", type));
+  }
+
+  if (doc.contains("mac")) {
+    const std::string& text = doc.at("mac").as_string();
+    const std::optional<radio::MacAddress> mac = radio::MacAddress::parse(text);
+    if (!mac.has_value()) {
+      throw std::runtime_error(util::format("request: malformed mac '{}'", text));
+    }
+    req.mac = *mac;
+  }
+  if (doc.contains("top")) {
+    const double top = finite_number(doc.at("top"), "top");
+    if (top < 1.0) throw std::runtime_error("request: 'top' must be >= 1");
+    req.top = static_cast<std::size_t>(top);
+  }
+
+  switch (req.type) {
+    case RequestType::Point:
+      req.points.push_back(
+          {finite_field(doc, "x"), finite_field(doc, "y"), finite_field(doc, "z")});
+      break;
+    case RequestType::Batch: {
+      if (!doc.contains("points")) throw std::runtime_error("request: batch missing 'points'");
+      const obs::Json::Array& points = doc.at("points").as_array();
+      if (points.empty()) throw std::runtime_error("request: batch 'points' is empty");
+      req.points.reserve(points.size());
+      for (const obs::Json& p : points) req.points.push_back(parse_point_array(p));
+      break;
+    }
+    case RequestType::Volume:
+      req.z_lo = finite_field(doc, "z_lo");
+      req.z_hi = finite_field(doc, "z_hi");
+      if (req.z_lo > req.z_hi) throw std::runtime_error("request: z_lo > z_hi");
+      if (doc.contains("threshold_dbm")) {
+        req.threshold_dbm = finite_number(doc.at("threshold_dbm"), "threshold_dbm");
+      }
+      break;
+  }
+  return req;
+}
+
+std::string Response::to_jsonl() const {
+  obs::Json::Object object =
+      body.is_object() ? body.as_object() : obs::Json::Object{{"result", body}};
+  object["id"] = obs::Json(static_cast<double>(id));
+  object["ok"] = obs::Json(ok);
+  if (!ok) object["error"] = obs::Json(error);
+  return obs::Json(std::move(object)).dump();
+}
+
+}  // namespace remgen::serve

@@ -1,0 +1,56 @@
+// Serve-protocol request/response types and their JSONL wire format.
+//
+// A request is one JSON object per line:
+//   {"id":1,"type":"point","x":1.0,"y":2.0,"z":1.5,"mac":"aa:bb:cc:dd:ee:ff"}
+//   {"id":2,"type":"point","x":1.0,"y":2.0,"z":1.5,"top":3}       (best-AP)
+//   {"id":3,"type":"batch","mac":"...","points":[[x,y,z],...]}
+//   {"id":4,"type":"volume","z_lo":0.5,"z_hi":2.0,"threshold_dbm":-80}
+// Responses mirror the id and carry either the result body or an error:
+//   {"id":1,"ok":true,...}   {"id":5,"ok":false,"error":"..."}
+// Serialisation goes through obs::Json (sorted keys, deterministic number
+// formatting), so identical results are byte-identical lines.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "geom/vec3.hpp"
+#include "obs/json.hpp"
+#include "radio/mac_address.hpp"
+
+namespace remgen::serve {
+
+/// Kinds of query the engine answers.
+enum class RequestType { Point, Batch, Volume };
+
+/// One parsed request line.
+struct Request {
+  std::int64_t id = 0;
+  RequestType type = RequestType::Point;
+  std::optional<radio::MacAddress> mac;  ///< Absent on point queries = best-AP.
+  std::vector<geom::Vec3> points;        ///< One for Point, many for Batch.
+  std::size_t top = 5;                   ///< Best-AP list length.
+  double z_lo = 0.0;                     ///< Volume: z-slab lower bound.
+  double z_hi = 0.0;                     ///< Volume: z-slab upper bound.
+  double threshold_dbm = -80.0;          ///< Volume: coverage threshold.
+};
+
+/// One response line. `body` holds the result object's members; id/ok/error
+/// are merged in by to_jsonl().
+struct Response {
+  std::int64_t id = 0;
+  bool ok = true;
+  std::string error;
+  obs::Json body = obs::Json(obs::Json::Object{});
+
+  /// The compact single-line JSON form (no trailing newline).
+  [[nodiscard]] std::string to_jsonl() const;
+};
+
+/// Parses one JSONL request line. Throws std::runtime_error on malformed
+/// JSON, unknown type, missing fields, non-finite coordinates, or a bad MAC.
+[[nodiscard]] Request parse_request(const std::string& line);
+
+}  // namespace remgen::serve

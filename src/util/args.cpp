@@ -1,5 +1,6 @@
 #include "util/args.hpp"
 
+#include <cmath>
 #include <cstdlib>
 
 namespace remgen::util {
@@ -71,6 +72,23 @@ std::vector<std::string> split_list(const std::string& text, char separator) {
     }
   }
   if (!piece.empty()) out.push_back(std::move(piece));
+  return out;
+}
+
+std::optional<std::array<double, 3>> parse_triple(const std::string& text) {
+  // split_list drops empty pieces, so "1,,2" and trailing commas come out
+  // with the wrong count and are rejected here.
+  const std::vector<std::string> pieces = split_list(text);
+  if (pieces.size() != 3) return std::nullopt;
+  std::array<double, 3> out{};
+  for (std::size_t i = 0; i < 3; ++i) {
+    char* end = nullptr;
+    const double v = std::strtod(pieces[i].c_str(), &end);
+    // The whole piece must be consumed ("1.5x" is malformed, not 1.5), and
+    // strtod accepts "nan"/"inf" spellings that are never valid coordinates.
+    if (end == pieces[i].c_str() || *end != '\0' || !std::isfinite(v)) return std::nullopt;
+    out[i] = v;
+  }
   return out;
 }
 

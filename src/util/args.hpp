@@ -5,6 +5,7 @@
 // swallowed.
 #pragma once
 
+#include <array>
 #include <map>
 #include <optional>
 #include <set>
@@ -50,5 +51,11 @@ class Args {
 
 /// Splits "a,b,c" into {"a","b","c"} (empty pieces dropped).
 [[nodiscard]] std::vector<std::string> split_list(const std::string& text, char separator = ',');
+
+/// Parses an "x,y,z" coordinate triple into three finite doubles. Rejects
+/// missing/extra components, non-numeric or partially-numeric pieces, and
+/// NaN/infinite values (nullopt) — a malformed --at must error out instead
+/// of silently producing a garbage query.
+[[nodiscard]] std::optional<std::array<double, 3>> parse_triple(const std::string& text);
 
 }  // namespace remgen::util

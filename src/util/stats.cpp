@@ -67,6 +67,20 @@ double percentile(std::vector<double> xs, double q) {
   return xs[lo] * (1.0 - frac) + xs[hi] * frac;
 }
 
+Percentiles percentiles(std::span<const double> xs) {
+  if (xs.empty()) return {};
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  const auto at = [&sorted](double q) {
+    const double rank = q / 100.0 * static_cast<double>(sorted.size() - 1);
+    const auto lo = static_cast<std::size_t>(std::floor(rank));
+    const auto hi = static_cast<std::size_t>(std::ceil(rank));
+    const double frac = rank - static_cast<double>(lo);
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+  };
+  return {at(50.0), at(90.0), at(99.0)};
+}
+
 Histogram::Histogram(double lo, double hi, std::size_t bins) : lo_(lo), hi_(hi), counts_(bins, 0) {
   REMGEN_EXPECTS(lo < hi);
   REMGEN_EXPECTS(bins > 0);

@@ -54,6 +54,18 @@ class OnlineStats {
 /// Linearly interpolated percentile of a non-empty range; q in [0, 100].
 [[nodiscard]] double percentile(std::vector<double> xs, double q);
 
+/// The latency-report percentile triple. All zero for empty input.
+struct Percentiles {
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+};
+
+/// Linearly interpolated p50/p90/p99 of a range (one sort for all three).
+/// Empty input yields the all-zero summary; a single element is every
+/// percentile of itself.
+[[nodiscard]] Percentiles percentiles(std::span<const double> xs);
+
 /// Fixed-width histogram over [lo, hi) with the given number of bins.
 class Histogram {
  public:

@@ -77,5 +77,40 @@ TEST(SplitList, DropsEmptyPieces) {
   EXPECT_TRUE(split_list("").empty());
 }
 
+TEST(ParseTriple, AcceptsFiniteTriples) {
+  const auto t = parse_triple("1.5,-2,0.25");
+  ASSERT_TRUE(t.has_value());
+  EXPECT_DOUBLE_EQ((*t)[0], 1.5);
+  EXPECT_DOUBLE_EQ((*t)[1], -2.0);
+  EXPECT_DOUBLE_EQ((*t)[2], 0.25);
+}
+
+TEST(ParseTriple, AcceptsScientificNotation) {
+  const auto t = parse_triple("1e-3,2E2,3.5e0");
+  ASSERT_TRUE(t.has_value());
+  EXPECT_DOUBLE_EQ((*t)[0], 1e-3);
+  EXPECT_DOUBLE_EQ((*t)[1], 200.0);
+  EXPECT_DOUBLE_EQ((*t)[2], 3.5);
+}
+
+TEST(ParseTriple, RejectsWrongArity) {
+  EXPECT_FALSE(parse_triple("").has_value());
+  EXPECT_FALSE(parse_triple("1,2").has_value());
+  EXPECT_FALSE(parse_triple("1,2,3,4").has_value());
+}
+
+TEST(ParseTriple, RejectsNonNumeric) {
+  EXPECT_FALSE(parse_triple("a,b,c").has_value());
+  EXPECT_FALSE(parse_triple("1,2,z").has_value());
+  EXPECT_FALSE(parse_triple("1.0x,2,3").has_value());  // partial parse
+}
+
+TEST(ParseTriple, RejectsNonFinite) {
+  EXPECT_FALSE(parse_triple("nan,0,0").has_value());
+  EXPECT_FALSE(parse_triple("0,inf,0").has_value());
+  EXPECT_FALSE(parse_triple("0,0,-inf").has_value());
+  EXPECT_FALSE(parse_triple("1e9999,0,0").has_value());  // overflows to inf
+}
+
 }  // namespace
 }  // namespace remgen::util

@@ -89,6 +89,50 @@ TEST(Percentile, SingleElement) {
   EXPECT_DOUBLE_EQ(percentile({7.0}, 50.0), 7.0);
 }
 
+TEST(Percentiles, EmptyIsAllZero) {
+  const std::vector<double> empty;
+  const Percentiles p = percentiles(empty);
+  EXPECT_EQ(p.p50, 0.0);
+  EXPECT_EQ(p.p90, 0.0);
+  EXPECT_EQ(p.p99, 0.0);
+}
+
+TEST(Percentiles, SingleElementIsThatElement) {
+  const std::vector<double> xs{7.25};
+  const Percentiles p = percentiles(xs);
+  EXPECT_EQ(p.p50, 7.25);
+  EXPECT_EQ(p.p90, 7.25);
+  EXPECT_EQ(p.p99, 7.25);
+}
+
+TEST(Percentiles, InterpolatesBetweenRanks) {
+  // 0..100 inclusive: rank q/100*(n-1) lands exactly on the value q.
+  std::vector<double> xs;
+  for (int i = 100; i >= 0; --i) xs.push_back(i);
+  const Percentiles p = percentiles(xs);
+  EXPECT_DOUBLE_EQ(p.p50, 50.0);
+  EXPECT_DOUBLE_EQ(p.p90, 90.0);
+  EXPECT_DOUBLE_EQ(p.p99, 99.0);
+}
+
+TEST(Percentiles, InterpolatedFraction) {
+  // Two elements: p50 = 1.5, p90 = 1.9, p99 = 1.99 by linear interpolation.
+  const std::vector<double> xs{2.0, 1.0};
+  const Percentiles p = percentiles(xs);
+  EXPECT_DOUBLE_EQ(p.p50, 1.5);
+  EXPECT_DOUBLE_EQ(p.p90, 1.9);
+  EXPECT_DOUBLE_EQ(p.p99, 1.99);
+}
+
+TEST(Percentiles, AgreesWithPercentileFunction) {
+  const std::vector<double> xs{5.0, 3.0, 9.0, 1.0, 7.0, 2.0, 8.0};
+  const Percentiles p = percentiles(xs);
+  std::vector<double> sorted = xs;
+  EXPECT_DOUBLE_EQ(p.p50, percentile(sorted, 50.0));
+  EXPECT_DOUBLE_EQ(p.p90, percentile(sorted, 90.0));
+  EXPECT_DOUBLE_EQ(p.p99, percentile(sorted, 99.0));
+}
+
 TEST(HistogramTest, BasicBinning) {
   Histogram h(0.0, 10.0, 5);
   h.add(0.0);   // bin 0

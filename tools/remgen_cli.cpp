@@ -9,7 +9,7 @@
 //   remgen evaluate  --in dataset.csv [--model all|<name>] [--split 0.75]
 //                    [--min-samples 16] [--seed 99]
 //   remgen rem       --in dataset.csv --out rem.csv [--model <name>]
-//                    [--voxel 0.25] [--min-samples 16]
+//                    [--voxel 0.25] [--min-samples 16] [--snapshot-out rem.snap]
 //   remgen query     --in dataset.csv --at x,y,z [--model <name>] [--top 5]
 //   remgen drift     --baseline old.csv --probe new.csv [--model <name>]
 //
@@ -30,6 +30,7 @@
 #include "ml/model_zoo.hpp"
 #include "obs/export.hpp"
 #include "radio/scenario.hpp"
+#include "store/snapshot.hpp"
 #include "util/args.hpp"
 #include "util/log.hpp"
 
@@ -47,6 +48,9 @@ int usage() {
       "  rem       build the REM raster and write it as CSV\n"
       "  query     predict per-transmitter RSS at a point\n"
       "  drift     compare a probe dataset against a baseline REM\n\n"
+      "snapshot store (campaign, rem):\n"
+      "  --snapshot-out FILE  write dataset+REM+model as a binary snapshot that\n"
+      "                       remgen-serve loads for concurrent query serving\n\n"
       "execution (every command):\n"
       "  --threads N          parallel execution width (default: REMGEN_THREADS env,\n"
       "                       then hardware concurrency; 1 = sequential; output is\n"
@@ -90,6 +94,25 @@ data::Dataset load_dataset(const std::string& path) {
     std::exit(1);
   }
   return data::Dataset::read_csv(in);
+}
+
+/// Writes the preprocessed dataset + baked REM + fitted model as a snapshot
+/// for remgen-serve. Returns 0 on success, 1 on write failure.
+int write_snapshot(const std::string& path, const data::Dataset& prepared,
+                   std::optional<core::RadioEnvironmentMap> rem,
+                   std::unique_ptr<ml::Estimator> model) {
+  store::Snapshot snapshot;
+  snapshot.dataset = prepared;
+  snapshot.rem = std::move(rem);
+  snapshot.model = std::move(model);
+  try {
+    store::save_snapshot_file(path, snapshot);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  std::printf("snapshot written to %s\n", path.c_str());
+  return 0;
 }
 
 geom::Aabb volume_for(const util::Args& args) {
@@ -209,6 +232,23 @@ int cmd_campaign(const util::Args& args) {
       status = 1;
     }
   }
+  if (const std::string snap = args.value("snapshot-out"); !snap.empty()) {
+    core::RemBuilderConfig rem_config;
+    rem_config.voxel_m = args.value_double("voxel", 0.25);
+    rem_config.min_samples_per_mac =
+        static_cast<std::size_t>(args.value_int("min-samples", 16));
+    const data::Dataset prepared =
+        result.dataset.filter_min_samples_per_mac(rem_config.min_samples_per_mac);
+    if (prepared.empty()) {
+      std::fprintf(stderr, "no samples survive the min-samples rule; snapshot not written\n");
+      status = 1;
+    } else {
+      auto model = ml::make_model(model_by_name(args.value("model", "knn-onehot-x3-k16")));
+      core::RadioEnvironmentMap rem =
+          core::build_rem(result.dataset, *model, volume_for(args), rem_config);
+      if (write_snapshot(snap, prepared, std::move(rem), std::move(model)) != 0) status = 1;
+    }
+  }
   return status;
 }
 
@@ -263,11 +303,11 @@ int cmd_evaluate(const util::Args& args) {
 
 int cmd_rem(const util::Args& args) {
   const data::Dataset ds = load_dataset(args.value("in", "dataset.csv"));
-  const auto model = ml::make_model(model_by_name(args.value("model", "knn-onehot-x3-k16")));
+  auto model = ml::make_model(model_by_name(args.value("model", "knn-onehot-x3-k16")));
   core::RemBuilderConfig config;
   config.voxel_m = args.value_double("voxel", 0.25);
   config.min_samples_per_mac = static_cast<std::size_t>(args.value_int("min-samples", 16));
-  const core::RadioEnvironmentMap rem = core::build_rem(ds, *model, volume_for(args), config);
+  core::RadioEnvironmentMap rem = core::build_rem(ds, *model, volume_for(args), config);
   const std::string out = args.value("out", "rem.csv");
   std::ofstream file(out);
   rem.write_csv(file);
@@ -275,17 +315,24 @@ int cmd_rem(const util::Args& args) {
               rem.macs().size(), rem.geometry().nx(), rem.geometry().ny(), rem.geometry().nz(),
               out.c_str());
   std::printf("coverage at -80 dBm: %.1f%%\n", rem.coverage_fraction(-80.0) * 100.0);
+  if (const std::string snap = args.value("snapshot-out"); !snap.empty()) {
+    // build_rem fitted the model on the preprocessed dataset; bundle that
+    // same dataset so remgen-serve reconstructs identical query context.
+    const data::Dataset prepared = ds.filter_min_samples_per_mac(config.min_samples_per_mac);
+    return write_snapshot(snap, prepared, std::move(rem), std::move(model));
+  }
   return 0;
 }
 
 int cmd_query(const util::Args& args) {
   const data::Dataset ds = load_dataset(args.value("in", "dataset.csv"));
-  const auto at = util::split_list(args.value("at", ""));
-  if (at.size() != 3) {
-    std::fprintf(stderr, "--at needs x,y,z\n");
+  const auto at = util::parse_triple(args.value("at", ""));
+  if (!at.has_value()) {
+    std::fprintf(stderr, "--at needs x,y,z as three finite numbers (got '%s')\n",
+                 args.value("at", "").c_str());
     return 2;
   }
-  const geom::Vec3 point{std::stod(at[0]), std::stod(at[1]), std::stod(at[2])};
+  const geom::Vec3 point{(*at)[0], (*at)[1], (*at)[2]};
   const auto model = ml::make_model(model_by_name(args.value("model", "knn-onehot-x3-k16")));
   const data::Dataset prepared = ds.filter_min_samples_per_mac(
       static_cast<std::size_t>(args.value_int("min-samples", 16)));
@@ -399,7 +446,7 @@ int main(int argc, char** argv) {
                                          "receivers", "env",   "log-level", "metrics-out",
                                          "metrics-prom", "trace-out", "threads",
                                          "fault-profile", "fault-seed",
-                                         "flightlog-out", "report-out"};
+                                         "flightlog-out", "report-out", "snapshot-out"};
   const std::set<std::string> flag_keys{"radio-on", "optimize-route", "adaptive-legs", "help"};
   std::string error;
   const auto args = remgen::util::Args::parse(argc, argv, value_keys, flag_keys, &error);
