@@ -412,9 +412,10 @@ void write_serve_report() {
     std::fprintf(out,
                  "%s    {\"threads\": %zu, \"qps\": %.1f, \"wall_seconds\": %.6f, "
                  "\"errors\": %zu, \"latency_us\": {\"p50\": %.1f, \"p90\": %.1f, "
-                 "\"p99\": %.1f}}",
+                 "\"p99\": %.1f, \"p99.9\": %.1f}}",
                  first ? "" : ",\n", width, stats.qps, stats.wall_seconds, stats.errors,
-                 stats.latency_us.p50, stats.latency_us.p90, stats.latency_us.p99);
+                 stats.latency_us.p50, stats.latency_us.p90, stats.latency_us.p99,
+                 stats.latency_us.p999);
     first = false;
   }
   std::fprintf(out, "\n  ]\n}\n");

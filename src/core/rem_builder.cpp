@@ -6,6 +6,7 @@
 #include "exec/parallel.hpp"
 #include "ml/kriging.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profile.hpp"
 #include "obs/trace.hpp"
 #include "util/contracts.hpp"
 
@@ -15,11 +16,15 @@ RadioEnvironmentMap build_rem(const data::Dataset& dataset, ml::Estimator& estim
                               const geom::Aabb& volume, const RemBuilderConfig& config) {
   REMGEN_EXPECTS(!dataset.empty());
   obs::Span build_span("rem.build");
+  REMGEN_PROFILE_PHASE("rem.build");
   const data::Dataset prepared =
       dataset.filter_min_samples_per_mac(config.min_samples_per_mac);
   REMGEN_EXPECTS(!prepared.empty());
 
-  estimator.fit(prepared.samples());
+  {
+    REMGEN_PROFILE_PHASE("rem.fit");
+    estimator.fit(prepared.samples());
+  }
 
   // Representative channel per MAC (most frequent) so estimators with channel
   // features can be queried sensibly. Single hashed pass over the samples;
@@ -54,31 +59,34 @@ RadioEnvironmentMap build_rem(const data::Dataset& dataset, ml::Estimator& estim
   // writes a disjoint set of cells, so tasks are independent; the cell values
   // do not depend on evaluation order, so any schedule produces the same REM.
   const std::size_t nz = g.nz();
-  exec::parallel_for(
-      macs.size() * nz,
-      [&](std::size_t t) {
-        const radio::MacAddress& mac = macs[t / nz];
-        const std::size_t iz = t % nz;
-        data::Sample query;
-        query.mac = mac;
-        query.channel = channel_of.at(mac);
-        for (std::size_t iy = 0; iy < g.ny(); ++iy) {
-          for (std::size_t ix = 0; ix < g.nx(); ++ix) {
-            const geom::VoxelIndex v{ix, iy, iz};
-            query.position = g.voxel_center(v);
-            RemCell cell;
-            if (kriging != nullptr) {
-              const auto p = kriging->predict_with_sigma(query);
-              cell.rss_dbm = p.value;
-              cell.sigma_db = p.sigma;
-            } else {
-              cell.rss_dbm = estimator.predict(query);
+  {
+    REMGEN_PROFILE_PHASE("rem.voxel_sweep");
+    exec::parallel_for(
+        macs.size() * nz,
+        [&](std::size_t t) {
+          const radio::MacAddress& mac = macs[t / nz];
+          const std::size_t iz = t % nz;
+          data::Sample query;
+          query.mac = mac;
+          query.channel = channel_of.at(mac);
+          for (std::size_t iy = 0; iy < g.ny(); ++iy) {
+            for (std::size_t ix = 0; ix < g.nx(); ++ix) {
+              const geom::VoxelIndex v{ix, iy, iz};
+              query.position = g.voxel_center(v);
+              RemCell cell;
+              if (kriging != nullptr) {
+                const auto p = kriging->predict_with_sigma(query);
+                cell.rss_dbm = p.value;
+                cell.sigma_db = p.sigma;
+              } else {
+                cell.rss_dbm = estimator.predict(query);
+              }
+              rem.set_cell(mac, v, cell);
             }
-            rem.set_cell(mac, v, cell);
           }
-        }
-      },
-      /*chunk=*/1);
+        },
+        /*chunk=*/1, "rem.voxel_sweep");
+  }
 
   REMGEN_COUNTER_ADD("rem.builds", 1);
   REMGEN_COUNTER_ADD("rem.voxels_predicted", macs.size() * g.nx() * g.ny() * g.nz());

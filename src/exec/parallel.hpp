@@ -15,6 +15,7 @@
 
 #include "exec/config.hpp"
 #include "exec/thread_pool.hpp"
+#include "obs/profile.hpp"
 
 namespace remgen::exec {
 
@@ -34,12 +35,25 @@ inline std::size_t default_chunk(std::size_t n, std::size_t contexts) {
 /// thread; `chunk == 0` picks a size automatically. With thread_count() == 1
 /// (or inside an enclosing parallel region) this is a plain sequential loop.
 /// The first exception thrown by any iteration is rethrown on the caller.
+/// `label` names the region in task traces and the Amdahl breakdown.
 template <typename Body>
-void parallel_for(std::size_t n, Body&& body, std::size_t chunk = 0) {
+void parallel_for(std::size_t n, Body&& body, std::size_t chunk = 0,
+                  const char* label = "exec.region") {
   if (n == 0) return;
   ThreadPool* pool = shared_pool();
   if (pool == nullptr || ThreadPool::in_parallel_region()) {
+    // Sequential fallback. Top-level loops still report themselves as
+    // parallelizable work, so the Amdahl serial fraction measured at
+    // --threads 1 matches what a wider run could exploit. Nested loops
+    // (inside a region) are already covered by the enclosing region.
+    const bool report =
+        obs::profiling_enabled() && !ThreadPool::in_parallel_region();
+    const std::uint64_t t0 = report ? obs::wall_clock_us() : 0;
     for (std::size_t i = 0; i < n; ++i) body(i);
+    if (report) {
+      const std::uint64_t wall = obs::wall_clock_us() - t0;
+      obs::note_parallel_region(wall, wall, 1);
+    }
     return;
   }
   if (chunk == 0) chunk = detail::default_chunk(n, pool->worker_count() + 1);
@@ -47,7 +61,7 @@ void parallel_for(std::size_t n, Body&& body, std::size_t chunk = 0) {
       [&body](std::size_t begin, std::size_t end) {
         for (std::size_t i = begin; i < end; ++i) body(i);
       };
-  pool->run_chunked(n, chunk, run);
+  pool->run_chunked(n, chunk, run, label);
 }
 
 /// Computes `fn(i)` for every i in [0, n) and returns the results in index
@@ -55,12 +69,13 @@ void parallel_for(std::size_t n, Body&& body, std::size_t chunk = 0) {
 /// which element. R needs no default constructor (slots are std::optional
 /// internally). Exceptions propagate like parallel_for.
 template <typename Fn>
-auto parallel_map(std::size_t n, Fn&& fn, std::size_t chunk = 0)
+auto parallel_map(std::size_t n, Fn&& fn, std::size_t chunk = 0,
+                  const char* label = "exec.region")
     -> std::vector<decltype(fn(std::size_t{0}))> {
   using R = decltype(fn(std::size_t{0}));
   std::vector<std::optional<R>> slots(n);
   parallel_for(
-      n, [&](std::size_t i) { slots[i].emplace(fn(i)); }, chunk);
+      n, [&](std::size_t i) { slots[i].emplace(fn(i)); }, chunk, label);
   std::vector<R> out;
   out.reserve(n);
   for (std::optional<R>& slot : slots) out.push_back(std::move(*slot));

@@ -2,8 +2,10 @@
 
 #include "exec/config.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profile.hpp"
 #include "obs/trace.hpp"
 #include "util/contracts.hpp"
+#include "util/fmt.hpp"
 
 namespace remgen::exec {
 
@@ -12,6 +14,23 @@ namespace {
 /// Set while the current thread executes a chunk, so nested regions inline.
 thread_local bool t_in_region = false;
 
+/// 0 on the submitting thread, 1..N on pool workers — the "worker" field of
+/// task-trace events and the worker-N lane names.
+thread_local std::uint32_t t_worker_index = 0;
+
+/// Tracks this thread's previous chunk end within a region, so the trace can
+/// attribute the gap between consecutive chunks as worker idle time.
+struct IdleTracker {
+  std::uint64_t region_id = 0;
+  std::uint64_t last_end_us = 0;
+};
+thread_local IdleTracker t_idle;
+
+std::uint64_t next_region_id() {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
 }  // namespace
 
 bool ThreadPool::in_parallel_region() noexcept { return t_in_region; }
@@ -19,7 +38,7 @@ bool ThreadPool::in_parallel_region() noexcept { return t_in_region; }
 ThreadPool::ThreadPool(std::size_t workers) {
   workers_.reserve(workers);
   for (std::size_t i = 0; i < workers; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i + 1); });
   }
 }
 
@@ -32,7 +51,9 @@ ThreadPool::~ThreadPool() {
   for (std::thread& worker : workers_) worker.join();
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(std::size_t worker_index) {
+  t_worker_index = static_cast<std::uint32_t>(worker_index);
+  obs::name_current_thread(util::format("worker-{}", worker_index));
   std::uint64_t seen_seq = 0;
   while (true) {
     std::shared_ptr<Region> region;
@@ -49,12 +70,16 @@ void ThreadPool::worker_loop() {
 
 void ThreadPool::drain(Region& region) {
   t_in_region = true;
+  // Workers adopt the submitting thread's open phase path, so phases entered
+  // inside the chunk body aggregate under the same ancestors at any width.
+  const obs::ProfileContext profile_context(&region.profile_path);
   while (true) {
     const std::size_t c = region.next_chunk.fetch_add(1, std::memory_order_relaxed);
     if (c >= region.total_chunks) break;
     const std::size_t begin = c * region.chunk;
     const std::size_t end = std::min(begin + region.chunk, region.n);
-    const bool timed = obs::enabled();
+    const bool traced = obs::enabled();
+    const bool timed = traced || obs::profiling_enabled();
     const std::uint64_t t0 = timed ? obs::wall_clock_us() : 0;
     try {
       // Skip the body once a sibling chunk failed; the region still drains
@@ -66,7 +91,36 @@ void ThreadPool::drain(Region& region) {
       if (!region.error) region.error = std::current_exception();
     }
     if (timed) {
-      region.busy_us.fetch_add(obs::wall_clock_us() - t0, std::memory_order_relaxed);
+      const std::uint64_t t1 = obs::wall_clock_us();
+      region.busy_us.fetch_add(t1 - t0, std::memory_order_relaxed);
+      if (traced) {
+        // One task-trace event per executed chunk, into this thread's
+        // lock-free buffer: queue wait (enqueue -> start), execution time,
+        // and the idle gap since this thread's previous chunk in the same
+        // region.
+        obs::TaskEvent event;
+        event.label = region.label;
+        event.region_id = region.id;
+        event.chunk_index = static_cast<std::uint32_t>(c);
+        event.worker = t_worker_index;
+        event.tid = obs::current_tid();
+        event.enqueue_us = region.enqueue_us;
+        event.start_us = t0;
+        event.end_us = t1;
+        event.wait_us = t0 > region.enqueue_us ? t0 - region.enqueue_us : 0;
+        if (t_idle.region_id == region.id && t0 > t_idle.last_end_us) {
+          event.idle_us = t0 - t_idle.last_end_us;
+        }
+        t_idle.region_id = region.id;
+        t_idle.last_end_us = t1;
+        REMGEN_HISTOGRAM_OBSERVE("exec.task_wait_us", event.wait_us,
+                                 {10, 100, 1000, 10000, 100000});
+        REMGEN_HISTOGRAM_OBSERVE("exec.chunk_exec_us", t1 - t0,
+                                 {10, 100, 1000, 10000, 100000, 1000000});
+        REMGEN_HISTOGRAM_OBSERVE("exec.worker_idle_us", event.idle_us,
+                                 {10, 100, 1000, 10000, 100000});
+        obs::record_task_event(std::move(event));
+      }
     }
     REMGEN_COUNTER_ADD("exec.tasks", 1);
     if (region.done_chunks.fetch_add(1, std::memory_order_acq_rel) + 1 ==
@@ -81,7 +135,8 @@ void ThreadPool::drain(Region& region) {
 }
 
 void ThreadPool::run_chunked(std::size_t n, std::size_t chunk,
-                             const std::function<void(std::size_t, std::size_t)>& body) {
+                             const std::function<void(std::size_t, std::size_t)>& body,
+                             const char* label) {
   REMGEN_EXPECTS(chunk > 0);
   if (n == 0) return;
 
@@ -98,6 +153,14 @@ void ThreadPool::run_chunked(std::size_t n, std::size_t chunk,
   region->chunk = chunk;
   region->total_chunks = (n + chunk - 1) / chunk;
   region->body = &body;
+  region->label = label;
+  region->id = next_region_id();
+  if (obs::enabled() || obs::profiling_enabled()) {
+    region->enqueue_us = obs::wall_clock_us();
+  }
+  if (obs::profiling_enabled()) {
+    region->profile_path = obs::current_phase_path();
+  }
 
   obs::Span span("exec.parallel_for", "exec");
   span.arg("n", n);
@@ -105,7 +168,8 @@ void ThreadPool::run_chunked(std::size_t n, std::size_t chunk,
   span.arg("workers", workers_.size());
   REMGEN_COUNTER_ADD("exec.regions", 1);
   REMGEN_GAUGE_SET("exec.queue_depth", region->total_chunks);
-  const std::uint64_t region_t0 = obs::enabled() ? obs::wall_clock_us() : 0;
+  const bool timed = obs::enabled() || obs::profiling_enabled();
+  const std::uint64_t region_t0 = timed ? obs::wall_clock_us() : 0;
 
   {
     const std::lock_guard<std::mutex> lock(mutex_);
@@ -126,16 +190,19 @@ void ThreadPool::run_chunked(std::size_t n, std::size_t chunk,
   }
 
   REMGEN_GAUGE_SET("exec.queue_depth", 0);
-  if (obs::enabled()) {
-    // Utilization of the region: busy time over (contexts x wall time).
+  if (timed) {
     const std::uint64_t wall = obs::wall_clock_us() - region_t0;
     const std::size_t contexts = workers_.size() + 1;
-    if (wall > 0) {
+    const std::uint64_t busy = region->busy_us.load(std::memory_order_relaxed);
+    if (obs::enabled() && wall > 0) {
+      // Utilization of the region: busy time over (contexts x wall time).
       obs::registry()
           .gauge("exec.pool.utilization")
-          .set(static_cast<double>(region->busy_us.load(std::memory_order_relaxed)) /
+          .set(static_cast<double>(busy) /
                (static_cast<double>(wall) * static_cast<double>(contexts)));
     }
+    // Feeds the Amdahl report (no-op unless profiling is enabled).
+    obs::note_parallel_region(wall, busy, contexts);
   }
 
   std::exception_ptr error;

@@ -21,6 +21,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -45,9 +46,11 @@ class ThreadPool {
   /// thread. Blocks until every chunk completed; rethrows the first chunk
   /// exception. Thread-safe: concurrent callers serialize per region.
   /// Called from inside a region (a worker or a nested caller), the whole
-  /// range executes inline on the current thread.
+  /// range executes inline on the current thread. `label` names the region
+  /// in task traces and the Chrome-trace export.
   void run_chunked(std::size_t n, std::size_t chunk,
-                   const std::function<void(std::size_t, std::size_t)>& body);
+                   const std::function<void(std::size_t, std::size_t)>& body,
+                   const char* label = "exec.region");
 
   /// True while the calling thread is executing a chunk (used to inline
   /// nested regions).
@@ -60,6 +63,10 @@ class ThreadPool {
     std::size_t chunk = 1;
     std::size_t total_chunks = 0;
     const std::function<void(std::size_t, std::size_t)>* body = nullptr;
+    const char* label = "exec.region";      ///< Task-trace name.
+    std::uint64_t id = 0;                   ///< Process-wide region sequence.
+    std::uint64_t enqueue_us = 0;           ///< Submission time (task waits).
+    std::vector<std::string> profile_path;  ///< Submitter's open phases.
     std::atomic<std::size_t> next_chunk{0};
     std::atomic<std::size_t> done_chunks{0};
     std::atomic<std::uint64_t> busy_us{0};  ///< Summed chunk execution time.
@@ -68,7 +75,7 @@ class ThreadPool {
     std::exception_ptr error;
   };
 
-  void worker_loop();
+  void worker_loop(std::size_t worker_index);
   /// Claims and executes chunks until the region's cursor is exhausted.
   void drain(Region& region);
 

@@ -8,6 +8,7 @@
 #include "exec/parallel.hpp"
 #include "flightlog/flightlog.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profile.hpp"
 #include "obs/trace.hpp"
 #include "util/contracts.hpp"
 #include "util/fmt.hpp"
@@ -72,6 +73,7 @@ CampaignResult run_campaign(const radio::Scenario& scenario, const CampaignConfi
   REMGEN_EXPECTS(!config.receivers.empty());
   REMGEN_EXPECTS(config.rescue_rounds >= 0);
   obs::Span campaign_span("campaign");
+  REMGEN_PROFILE_PHASE("campaign.run");
   campaign_span.arg("uav_count", config.uav_count);
   CampaignResult result;
 
@@ -149,13 +151,17 @@ CampaignResult run_campaign(const radio::Scenario& scenario, const CampaignConfi
 
   // Missions are independent given their pre-forked RNGs: each task owns its
   // UAV, base station, and dataset, and writes only its own outcome slot.
-  std::vector<MissionOutcome> outcomes = exec::parallel_map(
-      tasks.size(),
-      [&](std::size_t t) {
-        MissionTask& task = tasks[t];
-        return run_one(task.uav, slabs[task.uav], task.start, std::move(task.rng));
-      },
-      /*chunk=*/1);
+  std::vector<MissionOutcome> outcomes;
+  {
+    REMGEN_PROFILE_PHASE("campaign.missions");
+    outcomes = exec::parallel_map(
+        tasks.size(),
+        [&](std::size_t t) {
+          MissionTask& task = tasks[t];
+          return run_one(task.uav, slabs[task.uav], task.start, std::move(task.rng));
+        },
+        /*chunk=*/1, "campaign.mission");
+  }
 
   // Merge in UAV index order: the dataset (and the log/metric stream) is
   // byte-identical to the sequential run regardless of mission scheduling.
@@ -195,6 +201,7 @@ CampaignResult run_campaign(const radio::Scenario& scenario, const CampaignConfi
     if (open.empty()) break;
 
     obs::Span rescue_span("campaign.rescue_round");
+    REMGEN_PROFILE_PHASE("campaign.rescue_round");
     rescue_span.arg("round", round);
     rescue_span.arg("open_waypoints", open.size());
     REMGEN_FLIGHTLOG_CAMPAIGN(flightlog::EventKind::RescueRound,
@@ -231,7 +238,7 @@ CampaignResult run_campaign(const radio::Scenario& scenario, const CampaignConfi
           MissionTask& task = rescue_tasks[t];
           return run_one(task.uav, rescue_slabs[t], task.start, std::move(task.rng));
         },
-        /*chunk=*/1);
+        /*chunk=*/1, "campaign.rescue");
 
     for (std::size_t k = 0; k < rescue_outcomes.size(); ++k) {
       MissionOutcome& outcome = rescue_outcomes[k];

@@ -2,6 +2,7 @@
 
 #include <map>
 
+#include "obs/profile.hpp"
 #include "util/contracts.hpp"
 
 namespace remgen::ml {
@@ -24,6 +25,7 @@ void MeanPerMacBaseline::fit(std::span<const data::Sample> train) {
 }
 
 double MeanPerMacBaseline::predict(const data::Sample& query) const {
+  REMGEN_PROFILE_PHASE("ml.baseline.predict");
   const auto it = mean_per_mac_.find(query.mac);
   return it == mean_per_mac_.end() ? global_mean_ : it->second;
 }

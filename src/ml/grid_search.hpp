@@ -61,7 +61,7 @@ template <typename Config, typename Builder>
         estimator->fit(split.train);
         return GridPoint<Config>{candidates[i], evaluate(*estimator, split.test).rmse};
       },
-      /*chunk=*/1);
+      /*chunk=*/1, "ml.grid_search");
   // Sequential reduction over the ordered points reproduces the sequential
   // tie-break: strictly-better RMSE wins, so the earliest minimum is `best`.
   for (const GridPoint<Config>& point : result.evaluated) {

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <map>
 
+#include "obs/profile.hpp"
 #include "util/contracts.hpp"
 #include "util/fmt.hpp"
 
@@ -28,6 +29,7 @@ void IdwRegressor::fit(std::span<const data::Sample> train) {
 }
 
 double IdwRegressor::predict(const data::Sample& query) const {
+  REMGEN_PROFILE_PHASE("ml.idw.predict");
   const auto it = per_mac_.find(query.mac);
   if (it == per_mac_.end()) return fallback_.predict(query);
   const MacData& d = it->second;

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "obs/metrics.hpp"
+#include "obs/profile.hpp"
 #include "obs/trace.hpp"
 #include "util/contracts.hpp"
 #include "util/fmt.hpp"
@@ -110,6 +111,7 @@ void KnnRegressor::load(util::BinaryReader& r) {
 
 double KnnRegressor::predict(const data::Sample& query) const {
   REMGEN_EXPECTS(fitted_);
+  REMGEN_PROFILE_PHASE("ml.knn.predict");
   REMGEN_COUNTER_ADD("ml.knn.predicts", 1);
   const std::size_t k = std::min(config_.n_neighbors, features_.size());
   // Distance weighting (scikit-learn semantics): an exact match dominates.

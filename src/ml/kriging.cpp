@@ -6,6 +6,7 @@
 
 #include "math/matrix.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profile.hpp"
 #include "obs/trace.hpp"
 #include "util/contracts.hpp"
 #include "util/fmt.hpp"
@@ -166,6 +167,7 @@ KrigingRegressor::Prediction KrigingRegressor::krige(const MacModel& model,
 
 KrigingRegressor::Prediction KrigingRegressor::predict_with_sigma(
     const data::Sample& query) const {
+  REMGEN_PROFILE_PHASE("ml.kriging.predict");
   REMGEN_COUNTER_ADD("ml.kriging.predicts", 1);
   const auto it = models_.find(query.mac);
   if (it == models_.end()) return {fallback_.predict(query), 0.0};

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "obs/metrics.hpp"
+#include "obs/profile.hpp"
 #include "obs/trace.hpp"
 #include "util/contracts.hpp"
 #include "util/fmt.hpp"
@@ -175,6 +176,7 @@ void NeuralNetRegressor::fit(std::span<const data::Sample> train) {
 
 double NeuralNetRegressor::predict(const data::Sample& query) const {
   REMGEN_EXPECTS(fitted_);
+  REMGEN_PROFILE_PHASE("ml.nn.predict");
   REMGEN_COUNTER_ADD("ml.nn.predicts", 1);
   const std::vector<double> out = forward(encoder_.encode(query), nullptr);
   return target_scaler_.inverse(out[0]);

@@ -3,6 +3,7 @@
 #include <map>
 
 #include "obs/metrics.hpp"
+#include "obs/profile.hpp"
 #include "obs/trace.hpp"
 #include "util/contracts.hpp"
 #include "util/fmt.hpp"
@@ -37,6 +38,7 @@ void PerMacKnn::fit(std::span<const data::Sample> train) {
 }
 
 double PerMacKnn::predict(const data::Sample& query) const {
+  REMGEN_PROFILE_PHASE("ml.per_mac_knn.predict");
   REMGEN_COUNTER_ADD("ml.per_mac_knn.predicts", 1);
   const auto it = models_.find(query.mac);
   if (it == models_.end()) return fallback_.predict(query);

@@ -87,10 +87,22 @@ void write_prometheus(std::ostream& out, const MetricsSnapshot& snapshot) {
   }
 }
 
-Json trace_to_json(std::span<const SpanRecord> records, std::uint64_t dropped_spans) {
+Json trace_to_json(const TraceExport& input) {
   Json::Array events;
-  events.reserve(records.size());
-  for (const SpanRecord& r : records) {
+  events.reserve(input.spans.size() + input.tasks.size() + input.thread_names.size());
+  // thread_name metadata first: chrome://tracing applies it to the whole
+  // document regardless of position, but leading with it keeps the file
+  // human-skimmable.
+  for (const auto& [tid, name] : input.thread_names) {
+    Json::Object event;
+    event["name"] = "thread_name";
+    event["ph"] = "M";
+    event["pid"] = 1;
+    event["tid"] = static_cast<std::uint64_t>(tid);
+    event["args"] = Json(Json::Object{{"name", Json(name)}});
+    events.push_back(Json(std::move(event)));
+  }
+  for (const SpanRecord& r : input.spans) {
     Json::Object event;
     event["name"] = r.name;
     event["cat"] = r.category;
@@ -113,16 +125,56 @@ Json trace_to_json(std::span<const SpanRecord> records, std::uint64_t dropped_sp
     event["args"] = Json(std::move(args));
     events.push_back(Json(std::move(event)));
   }
+  // Thread-pool chunks as per-thread lanes: each event renders on the lane
+  // of the thread that executed it, alongside any spans that thread opened.
+  for (const TaskEvent& t : input.tasks) {
+    Json::Object event;
+    event["name"] = t.label;
+    event["cat"] = "exec.task";
+    event["ph"] = "X";
+    event["pid"] = 1;
+    event["tid"] = static_cast<std::uint64_t>(t.tid);
+    event["ts"] = t.start_us;
+    event["dur"] = t.end_us - t.start_us;
+    Json::Object args;
+    args["region"] = t.region_id;
+    args["chunk"] = static_cast<std::uint64_t>(t.chunk_index);
+    args["worker"] = static_cast<std::uint64_t>(t.worker);
+    args["wait_us"] = t.wait_us;
+    args["idle_us"] = t.idle_us;
+    event["args"] = Json(std::move(args));
+    events.push_back(Json(std::move(event)));
+  }
   Json::Object root;
   root["traceEvents"] = Json(std::move(events));
   root["displayTimeUnit"] = "ms";
-  root["droppedSpans"] = dropped_spans;
+  root["droppedSpans"] = input.dropped_spans;
+  Json::Object dropped_by_thread;
+  for (const auto& [tid, count] : input.dropped_by_thread) {
+    dropped_by_thread[util::format("{}", tid)] = count;
+  }
+  root["droppedSpansByThread"] = Json(std::move(dropped_by_thread));
+  root["droppedTaskEvents"] = input.dropped_task_events;
   return Json(std::move(root));
+}
+
+Json trace_to_json(std::span<const SpanRecord> records, std::uint64_t dropped_spans) {
+  TraceExport input;
+  input.spans = records;
+  input.dropped_spans = dropped_spans;
+  return trace_to_json(input);
+}
+
+void write_chrome_trace(std::ostream& out, const TraceExport& input) {
+  out << trace_to_json(input).dump(1) << '\n';
 }
 
 void write_chrome_trace(std::ostream& out, std::span<const SpanRecord> records,
                         std::uint64_t dropped_spans) {
-  out << trace_to_json(records, dropped_spans).dump(1) << '\n';
+  TraceExport input;
+  input.spans = records;
+  input.dropped_spans = dropped_spans;
+  write_chrome_trace(out, input);
 }
 
 namespace {
@@ -158,9 +210,16 @@ bool export_trace_file(const std::string& path) {
                trace().dropped());
   }
   const std::vector<SpanRecord> records = trace().snapshot();
-  const std::uint64_t dropped = trace().dropped();
-  return export_to_file(path, "trace", [&records, dropped](std::ostream& out) {
-    write_chrome_trace(out, records, dropped);
+  const std::vector<TaskEvent> tasks = task_events_snapshot();
+  TraceExport input;
+  input.spans = records;
+  input.tasks = tasks;
+  input.thread_names = trace().thread_names();
+  input.dropped_spans = trace().dropped();
+  input.dropped_by_thread = trace().dropped_by_thread();
+  input.dropped_task_events = task_events_dropped();
+  return export_to_file(path, "trace", [&input](std::ostream& out) {
+    write_chrome_trace(out, input);
   });
 }
 

@@ -4,11 +4,13 @@
 #pragma once
 
 #include <iosfwd>
+#include <map>
 #include <span>
 #include <string>
 
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profile.hpp"
 #include "obs/trace.hpp"
 
 namespace remgen::obs {
@@ -23,13 +25,30 @@ void write_metrics_json(std::ostream& out, const MetricsSnapshot& snapshot);
 /// -> "remgen_campaign_samples_collected_total").
 void write_prometheus(std::ostream& out, const MetricsSnapshot& snapshot);
 
-/// Chrome trace_event JSON ({"traceEvents": [...], "droppedSpans": N});
-/// complete spans become "ph":"X" events and instants "ph":"i", with
-/// sim-clock bounds and span ids/parents carried in "args". `dropped_spans`
-/// is the recorder's saturation count, surfaced in the document root so a
-/// trace that stops mid-run is distinguishable from a short run.
+/// Everything one Chrome-trace document carries: spans, per-chunk task
+/// events from the thread pool (rendered as per-thread lanes), registered
+/// thread names (emitted as thread_name metadata events), and drop counts.
+struct TraceExport {
+  std::span<const SpanRecord> spans;
+  std::span<const TaskEvent> tasks;
+  std::map<std::uint32_t, std::string> thread_names;
+  std::uint64_t dropped_spans = 0;
+  std::map<std::uint32_t, std::uint64_t> dropped_by_thread;
+  std::uint64_t dropped_task_events = 0;
+};
+
+/// Chrome trace_event JSON ({"traceEvents": [...], "droppedSpans": N,
+/// "droppedSpansByThread": {...}}); complete spans become "ph":"X" events and
+/// instants "ph":"i", with sim-clock bounds and span ids/parents carried in
+/// "args". Task events become "cat":"exec.task" X events on their executing
+/// thread's lane; thread names come out as "thread_name" metadata so lanes
+/// read as main / worker-N in chrome://tracing and Perfetto. The drop counts
+/// are surfaced in the document root so a trace that stops mid-run is
+/// distinguishable from a short run.
+[[nodiscard]] Json trace_to_json(const TraceExport& input);
 [[nodiscard]] Json trace_to_json(std::span<const SpanRecord> records,
                                  std::uint64_t dropped_spans = 0);
+void write_chrome_trace(std::ostream& out, const TraceExport& input);
 void write_chrome_trace(std::ostream& out, std::span<const SpanRecord> records,
                         std::uint64_t dropped_spans = 0);
 

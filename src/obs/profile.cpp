@@ -1,0 +1,434 @@
+#include "obs/profile.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <iomanip>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+
+#include "util/log.hpp"
+
+namespace remgen::obs {
+
+namespace {
+
+/// One node of a thread's phase tree. std::map keeps children name-sorted
+/// (deterministic merge order) and gives stable node addresses.
+struct PhaseNode {
+  std::uint64_t count = 0;
+  std::uint64_t total_us = 0;
+  std::map<std::string, PhaseNode, std::less<>> children;
+};
+
+constexpr std::size_t kTaskBufferCapacity = 1u << 14;
+
+/// Single-producer task buffer: the owning thread appends and publishes the
+/// new size with a release store; snapshot readers acquire the size and read
+/// only the published prefix. No locks on the append path.
+struct TaskBuffer {
+  std::vector<TaskEvent> events{kTaskBufferCapacity};
+  std::atomic<std::size_t> size{0};
+  std::atomic<std::uint64_t> dropped{0};
+};
+
+/// Everything one thread records. The mutex guards the phase tree (owner
+/// writes on phase exit, the aggregator reads); the task buffer synchronises
+/// through its own atomics.
+struct ThreadTable {
+  std::mutex mutex;
+  PhaseNode root;
+  TaskBuffer tasks;
+};
+
+struct ProfileRegistry {
+  std::mutex mutex;
+  std::vector<std::shared_ptr<ThreadTable>> tables;
+};
+
+ProfileRegistry& registry_instance() {
+  static ProfileRegistry* instance = new ProfileRegistry;  // leaked: outlives all threads
+  return *instance;
+}
+
+struct Frame {
+  PhaseNode* node = nullptr;
+  const std::string* name = nullptr;  ///< Points at the map key (stable).
+  std::uint64_t start_us = 0;
+};
+
+/// Thread-local view: the shared table (also reachable by the aggregator)
+/// plus the open-phase stack only this thread touches.
+struct Local {
+  std::shared_ptr<ThreadTable> table;
+  std::vector<Frame> stack;
+
+  Local() : table(std::make_shared<ThreadTable>()) {
+    ProfileRegistry& reg = registry_instance();
+    const std::lock_guard<std::mutex> lock(reg.mutex);
+    reg.tables.push_back(table);
+  }
+};
+
+Local& local_state() {
+  thread_local Local local;
+  return local;
+}
+
+/// Finds or creates `name` under `parent`. Caller holds the table mutex.
+std::pair<PhaseNode*, const std::string*> child_node(PhaseNode& parent,
+                                                     std::string_view name) {
+  auto it = parent.children.find(name);
+  if (it == parent.children.end()) {
+    it = parent.children.emplace(std::string(name), PhaseNode{}).first;
+  }
+  return {&it->second, &it->first};
+}
+
+// Amdahl accumulators + the profiling wall-clock epoch.
+std::atomic<std::uint64_t> g_parallel_wall_us{0};
+std::atomic<std::uint64_t> g_parallel_busy_us{0};
+std::atomic<std::uint64_t> g_regions{0};
+std::atomic<std::size_t> g_contexts{1};
+std::atomic<std::uint64_t> g_epoch_us{0};
+std::atomic<std::uint64_t> g_frozen_us{0};  ///< End of epoch once disabled.
+
+void merge_node(PhaseNode& dst, const PhaseNode& src) {
+  dst.count += src.count;
+  dst.total_us += src.total_us;
+  for (const auto& [name, child] : src.children) {
+    merge_node(dst.children[name], child);
+  }
+}
+
+void emit_phases(const PhaseNode& node, const std::string& path, std::uint32_t depth,
+                 std::uint64_t parent_total_us, std::vector<PhaseStats>& out) {
+  for (const auto& [name, child] : node.children) {
+    PhaseStats stats;
+    stats.path = path.empty() ? name : path + "/" + name;
+    stats.name = name;
+    stats.depth = depth;
+    stats.count = child.count;
+    stats.total_us = child.total_us;
+    std::uint64_t children_total = 0;
+    for (const auto& [child_name, grandchild] : child.children) {
+      (void)child_name;
+      children_total += grandchild.total_us;
+    }
+    stats.self_us = child.total_us > children_total ? child.total_us - children_total : 0;
+    stats.percent_of_parent =
+        parent_total_us > 0
+            ? 100.0 * static_cast<double>(child.total_us) / static_cast<double>(parent_total_us)
+            : 0.0;
+    // Recurse with a copy: pushing grandchildren may reallocate `out`, so a
+    // reference into it would dangle.
+    const std::string child_path = stats.path;
+    out.push_back(std::move(stats));
+    emit_phases(child, child_path, depth + 1, child.total_us, out);
+  }
+}
+
+}  // namespace
+
+#if !defined(REMGEN_OBS_DISABLED)
+void set_profiling_enabled(bool on) noexcept {
+  const bool was = detail::g_profiling_enabled.exchange(on, std::memory_order_relaxed);
+  if (on && !was) {
+    g_epoch_us.store(wall_clock_us(), std::memory_order_relaxed);
+    g_frozen_us.store(0, std::memory_order_relaxed);
+  } else if (!on && was) {
+    g_frozen_us.store(wall_clock_us(), std::memory_order_relaxed);
+  }
+}
+#endif
+
+ProfilePhase::ProfilePhase(std::string_view name) {
+  if (!profiling_enabled()) return;
+  active_ = true;
+  Local& local = local_state();
+  PhaseNode* parent = local.stack.empty() ? &local.table->root : local.stack.back().node;
+  Frame frame;
+  {
+    const std::lock_guard<std::mutex> lock(local.table->mutex);
+    const auto [node, key] = child_node(*parent, name);
+    frame.node = node;
+    frame.name = key;
+  }
+  frame.start_us = wall_clock_us();
+  local.stack.push_back(frame);
+}
+
+ProfilePhase::~ProfilePhase() {
+  if (!active_) return;
+  Local& local = local_state();
+  const Frame frame = local.stack.back();
+  local.stack.pop_back();
+  const std::uint64_t dur = wall_clock_us() - frame.start_us;
+  const std::lock_guard<std::mutex> lock(local.table->mutex);
+  frame.node->count += 1;
+  frame.node->total_us += dur;
+}
+
+std::vector<std::string> current_phase_path() {
+  std::vector<std::string> path;
+  if (!profiling_enabled()) return path;
+  const Local& local = local_state();
+  path.reserve(local.stack.size());
+  for (const Frame& frame : local.stack) path.push_back(*frame.name);
+  return path;
+}
+
+ProfileContext::ProfileContext(const std::vector<std::string>* path) {
+  if (!profiling_enabled() || path == nullptr || path->empty()) return;
+  Local& local = local_state();
+  // The submitting thread drains its own region with the path already on its
+  // stack; adopting it again would double the nesting.
+  if (!local.stack.empty()) return;
+  const std::lock_guard<std::mutex> lock(local.table->mutex);
+  PhaseNode* parent = &local.table->root;
+  for (const std::string& name : *path) {
+    Frame frame;
+    const auto [node, key] = child_node(*parent, name);
+    frame.node = node;
+    frame.name = key;
+    local.stack.push_back(frame);
+    parent = node;
+    ++pushed_;
+  }
+}
+
+ProfileContext::~ProfileContext() {
+  if (pushed_ == 0) return;
+  Local& local = local_state();
+  // Context frames carry no timing of their own: the ancestors' wall time is
+  // measured once, on the thread that actually opened them.
+  local.stack.resize(local.stack.size() - static_cast<std::size_t>(pushed_));
+}
+
+void record_task_event(TaskEvent event) {
+  TaskBuffer& buffer = local_state().table->tasks;
+  const std::size_t n = buffer.size.load(std::memory_order_relaxed);
+  if (n >= buffer.events.size()) {
+    buffer.dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  buffer.events[n] = std::move(event);
+  buffer.size.store(n + 1, std::memory_order_release);
+}
+
+std::vector<TaskEvent> task_events_snapshot() {
+  std::vector<TaskEvent> out;
+  ProfileRegistry& reg = registry_instance();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  for (const std::shared_ptr<ThreadTable>& table : reg.tables) {
+    const std::size_t n = table->tasks.size.load(std::memory_order_acquire);
+    for (std::size_t i = 0; i < n; ++i) out.push_back(table->tasks.events[i]);
+  }
+  std::sort(out.begin(), out.end(), [](const TaskEvent& a, const TaskEvent& b) {
+    if (a.region_id != b.region_id) return a.region_id < b.region_id;
+    return a.chunk_index < b.chunk_index;
+  });
+  return out;
+}
+
+std::uint64_t task_events_dropped() {
+  std::uint64_t dropped = 0;
+  ProfileRegistry& reg = registry_instance();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  for (const std::shared_ptr<ThreadTable>& table : reg.tables) {
+    dropped += table->tasks.dropped.load(std::memory_order_relaxed);
+  }
+  return dropped;
+}
+
+void note_parallel_region(std::uint64_t wall_us, std::uint64_t busy_us,
+                          std::size_t contexts) {
+  if (!profiling_enabled()) return;
+  g_parallel_wall_us.fetch_add(wall_us, std::memory_order_relaxed);
+  g_parallel_busy_us.fetch_add(busy_us, std::memory_order_relaxed);
+  g_regions.fetch_add(1, std::memory_order_relaxed);
+  g_contexts.store(contexts, std::memory_order_relaxed);
+}
+
+double AmdahlReport::speedup_at(std::size_t n) const {
+  if (n == 0) return 1.0;
+  const double s = std::clamp(serial_fraction, 0.0, 1.0);
+  return 1.0 / (s + (1.0 - s) / static_cast<double>(n));
+}
+
+ProfileReport profile_report() {
+  ProfileReport report;
+
+  PhaseNode merged;
+  {
+    ProfileRegistry& reg = registry_instance();
+    const std::lock_guard<std::mutex> lock(reg.mutex);
+    for (const std::shared_ptr<ThreadTable>& table : reg.tables) {
+      const std::lock_guard<std::mutex> table_lock(table->mutex);
+      merge_node(merged, table->root);
+      const std::size_t n = table->tasks.size.load(std::memory_order_acquire);
+      report.task_events += n;
+      report.task_events_dropped += table->tasks.dropped.load(std::memory_order_relaxed);
+    }
+  }
+
+  const std::uint64_t epoch = g_epoch_us.load(std::memory_order_relaxed);
+  const std::uint64_t frozen = g_frozen_us.load(std::memory_order_relaxed);
+  const std::uint64_t end = frozen != 0 ? frozen : wall_clock_us();
+  report.amdahl.total_wall_us = end > epoch ? end - epoch : 0;
+  report.amdahl.parallel_wall_us = g_parallel_wall_us.load(std::memory_order_relaxed);
+  report.amdahl.parallel_busy_us = g_parallel_busy_us.load(std::memory_order_relaxed);
+  report.amdahl.regions = g_regions.load(std::memory_order_relaxed);
+  report.amdahl.contexts = g_contexts.load(std::memory_order_relaxed);
+  if (report.amdahl.total_wall_us > 0) {
+    const double parallel =
+        std::min<double>(static_cast<double>(report.amdahl.parallel_wall_us),
+                         static_cast<double>(report.amdahl.total_wall_us));
+    report.amdahl.serial_fraction =
+        1.0 - parallel / static_cast<double>(report.amdahl.total_wall_us);
+  }
+  report.amdahl.max_speedup =
+      1.0 / std::max(report.amdahl.serial_fraction, 1e-9);
+
+  emit_phases(merged, "", 0, report.amdahl.total_wall_us, report.phases);
+
+  std::uint64_t root_total = 0;
+  for (const auto& [name, child] : merged.children) {
+    (void)name;
+    root_total += child.total_us;
+  }
+  if (report.amdahl.total_wall_us > 0) {
+    report.coverage =
+        static_cast<double>(root_total) / static_cast<double>(report.amdahl.total_wall_us);
+  }
+  return report;
+}
+
+void reset_profiling() {
+  ProfileRegistry& reg = registry_instance();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  for (const std::shared_ptr<ThreadTable>& table : reg.tables) {
+    const std::lock_guard<std::mutex> table_lock(table->mutex);
+    table->root.count = 0;
+    table->root.total_us = 0;
+    table->root.children.clear();
+    table->tasks.size.store(0, std::memory_order_relaxed);
+    table->tasks.dropped.store(0, std::memory_order_relaxed);
+  }
+  g_parallel_wall_us.store(0, std::memory_order_relaxed);
+  g_parallel_busy_us.store(0, std::memory_order_relaxed);
+  g_regions.store(0, std::memory_order_relaxed);
+  g_contexts.store(1, std::memory_order_relaxed);
+  g_epoch_us.store(wall_clock_us(), std::memory_order_relaxed);
+  g_frozen_us.store(0, std::memory_order_relaxed);
+}
+
+Json profile_to_json(const ProfileReport& report) {
+  Json::Object amdahl;
+  amdahl["total_wall_us"] = report.amdahl.total_wall_us;
+  amdahl["parallel_wall_us"] = report.amdahl.parallel_wall_us;
+  amdahl["parallel_busy_us"] = report.amdahl.parallel_busy_us;
+  amdahl["regions"] = report.amdahl.regions;
+  amdahl["contexts"] = static_cast<std::uint64_t>(report.amdahl.contexts);
+  amdahl["serial_fraction"] = report.amdahl.serial_fraction;
+  amdahl["max_speedup"] = report.amdahl.max_speedup;
+  amdahl["speedup_at_contexts"] = report.amdahl.speedup_at(report.amdahl.contexts);
+
+  Json::Array phases;
+  phases.reserve(report.phases.size());
+  for (const PhaseStats& phase : report.phases) {
+    Json::Object row;
+    row["path"] = phase.path;
+    row["name"] = phase.name;
+    row["depth"] = static_cast<std::uint64_t>(phase.depth);
+    row["count"] = phase.count;
+    row["total_us"] = phase.total_us;
+    row["self_us"] = phase.self_us;
+    row["percent_of_parent"] = phase.percent_of_parent;
+    phases.push_back(Json(std::move(row)));
+  }
+
+  Json::Object root;
+  root["amdahl"] = Json(std::move(amdahl));
+  root["phases"] = Json(std::move(phases));
+  root["coverage"] = report.coverage;
+  root["task_events"] = report.task_events;
+  root["task_events_dropped"] = report.task_events_dropped;
+  return Json(std::move(root));
+}
+
+ProfileReport profile_from_json(const Json& doc) {
+  ProfileReport report;
+  const Json& amdahl = doc.at("amdahl");
+  report.amdahl.total_wall_us = static_cast<std::uint64_t>(amdahl.at("total_wall_us").as_double());
+  report.amdahl.parallel_wall_us =
+      static_cast<std::uint64_t>(amdahl.at("parallel_wall_us").as_double());
+  report.amdahl.parallel_busy_us =
+      static_cast<std::uint64_t>(amdahl.at("parallel_busy_us").as_double());
+  report.amdahl.regions = static_cast<std::uint64_t>(amdahl.at("regions").as_double());
+  report.amdahl.contexts = static_cast<std::size_t>(amdahl.at("contexts").as_double());
+  report.amdahl.serial_fraction = amdahl.at("serial_fraction").as_double();
+  report.amdahl.max_speedup = amdahl.at("max_speedup").as_double();
+  for (const Json& row : doc.at("phases").as_array()) {
+    PhaseStats phase;
+    phase.path = row.at("path").as_string();
+    phase.name = row.at("name").as_string();
+    phase.depth = static_cast<std::uint32_t>(row.at("depth").as_double());
+    phase.count = static_cast<std::uint64_t>(row.at("count").as_double());
+    phase.total_us = static_cast<std::uint64_t>(row.at("total_us").as_double());
+    phase.self_us = static_cast<std::uint64_t>(row.at("self_us").as_double());
+    phase.percent_of_parent = row.at("percent_of_parent").as_double();
+    report.phases.push_back(std::move(phase));
+  }
+  report.coverage = doc.at("coverage").as_double();
+  report.task_events = static_cast<std::uint64_t>(doc.at("task_events").as_double());
+  report.task_events_dropped =
+      static_cast<std::uint64_t>(doc.at("task_events_dropped").as_double());
+  return report;
+}
+
+void write_profile_table(std::ostream& out, const ProfileReport& report) {
+  out << std::left << std::setw(52) << "phase" << std::right << std::setw(10) << "count"
+      << std::setw(13) << "total(ms)" << std::setw(12) << "self(ms)" << std::setw(10)
+      << "%parent" << '\n';
+  for (const PhaseStats& phase : report.phases) {
+    std::string label(static_cast<std::size_t>(phase.depth) * 2, ' ');
+    label += phase.name;
+    if (label.size() > 51) label = label.substr(0, 48) + "...";
+    out << std::left << std::setw(52) << label << std::right << std::setw(10) << phase.count
+        << std::setw(13) << std::fixed << std::setprecision(3)
+        << static_cast<double>(phase.total_us) / 1000.0 << std::setw(12)
+        << static_cast<double>(phase.self_us) / 1000.0 << std::setw(9) << std::setprecision(1)
+        << phase.percent_of_parent << "%" << '\n';
+  }
+  const AmdahlReport& a = report.amdahl;
+  out << '\n'
+      << "wall clock       : " << std::fixed << std::setprecision(3)
+      << static_cast<double>(a.total_wall_us) / 1e6 << " s  (phase coverage "
+      << std::setprecision(1) << report.coverage * 100.0 << "%)\n"
+      << "parallel regions : " << a.regions << "  (wall " << std::setprecision(3)
+      << static_cast<double>(a.parallel_wall_us) / 1e6 << " s, busy "
+      << static_cast<double>(a.parallel_busy_us) / 1e6 << " s, " << a.contexts
+      << " contexts)\n"
+      << "serial fraction  : " << std::setprecision(3) << a.serial_fraction << '\n'
+      << "max speedup      : " << std::setprecision(2) << a.max_speedup << "x (Amdahl limit; "
+      << a.speedup_at(a.contexts) << "x at " << a.contexts << " contexts)\n";
+  if (report.task_events > 0 || report.task_events_dropped > 0) {
+    out << "task events      : " << report.task_events << " (" << report.task_events_dropped
+        << " dropped)\n";
+  }
+}
+
+bool export_profile_json_file(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    util::logf(util::LogLevel::Warn, "obs", "cannot open {} for profile export", path);
+    return false;
+  }
+  out << profile_to_json(profile_report()).dump(2) << '\n';
+  return bool(out);
+}
+
+}  // namespace remgen::obs

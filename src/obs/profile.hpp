@@ -1,0 +1,182 @@
+// Performance profiler: scoped phase accumulation, per-task execution
+// tracing, and an Amdahl (serial-fraction) breakdown.
+//
+// Three cooperating pieces, all opt-in at runtime:
+//
+//  * Phases — REMGEN_PROFILE_PHASE("rem.predict.knn") opens an RAII scope
+//    that accumulates count and inclusive wall time into a thread-local
+//    phase tree. Trees from every thread (pool workers included) merge by
+//    name into one deterministic report: sibling order is sorted, counts
+//    are schedule-independent, so the aggregated phase structure is
+//    identical at every --threads value (wall times are, of course, honest
+//    measurements and vary run to run). Pool workers adopt the submitting
+//    thread's open phase path, so a phase entered inside a parallel body
+//    lands under the same ancestors at any width.
+//
+//  * Task trace — exec::ThreadPool records one TaskEvent per executed chunk
+//    (enqueue/start/end timestamps, worker id, region label) into lock-free
+//    per-thread buffers (single-producer append with a release-published
+//    size; the exporter is the only reader). Events compose with --trace-out
+//    as per-thread lanes in Chrome tracing.
+//
+//  * Amdahl accounting — every parallelizable region (a parallel_for, at any
+//    width, including the width-1 sequential fallback) reports its wall
+//    time; the report derives the measured serial fraction
+//    s = 1 - parallel_wall / total_wall and the implied max speedup 1/s.
+//
+// Like the metrics registry, everything is gated: compiled out entirely
+// under -DREMGEN_OBS=OFF, and a disabled phase costs one relaxed load and a
+// branch at runtime.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace remgen::obs {
+
+namespace detail {
+inline std::atomic<bool> g_profiling_enabled{false};
+}  // namespace detail
+
+#if defined(REMGEN_OBS_DISABLED)
+inline constexpr bool profiling_enabled() noexcept { return false; }
+inline void set_profiling_enabled(bool) noexcept {}
+#else
+inline bool profiling_enabled() noexcept {
+  return detail::g_profiling_enabled.load(std::memory_order_relaxed);
+}
+/// Enabling (re)starts the profile wall-clock epoch; disabling freezes it.
+void set_profiling_enabled(bool on) noexcept;
+#endif
+
+/// RAII scoped phase. Inactive (one relaxed load + branch) when profiling is
+/// off at construction time.
+class ProfilePhase {
+ public:
+  explicit ProfilePhase(std::string_view name);
+  ~ProfilePhase();
+  ProfilePhase(const ProfilePhase&) = delete;
+  ProfilePhase& operator=(const ProfilePhase&) = delete;
+
+ private:
+  bool active_ = false;
+};
+
+/// The chain of open phase names on the calling thread, outermost first.
+/// Captured by exec::ThreadPool when a region is submitted so workers can
+/// adopt it.
+[[nodiscard]] std::vector<std::string> current_phase_path();
+
+/// Installs a phase path as context (no timing) for the current thread while
+/// in scope — a no-op when the thread already has open phases (the
+/// submitting thread draining its own region) or when profiling is off.
+class ProfileContext {
+ public:
+  explicit ProfileContext(const std::vector<std::string>* path);
+  ~ProfileContext();
+  ProfileContext(const ProfileContext&) = delete;
+  ProfileContext& operator=(const ProfileContext&) = delete;
+
+ private:
+  int pushed_ = 0;
+};
+
+/// One executed thread-pool chunk.
+struct TaskEvent {
+  std::string label;          ///< Region label ("rem.voxel_sweep", ...).
+  std::uint64_t region_id = 0;
+  std::uint32_t chunk_index = 0;
+  std::uint32_t worker = 0;       ///< 0 = submitting thread, 1..N = pool worker.
+  std::uint32_t tid = 0;          ///< obs trace tid of the executing thread.
+  std::uint64_t enqueue_us = 0;   ///< Region submission time.
+  std::uint64_t start_us = 0;
+  std::uint64_t end_us = 0;
+  std::uint64_t wait_us = 0;      ///< start - enqueue (queue wait).
+  std::uint64_t idle_us = 0;      ///< Gap since this worker's previous chunk
+                                  ///< in the same region (0 for its first).
+};
+
+/// Appends into the calling thread's buffer (single-producer, lock-free).
+void record_task_event(TaskEvent event);
+
+/// Every recorded task event, sorted by (region_id, chunk_index) — a
+/// deterministic order at any thread count.
+[[nodiscard]] std::vector<TaskEvent> task_events_snapshot();
+
+/// Events dropped across all per-thread buffers (capacity saturation).
+[[nodiscard]] std::uint64_t task_events_dropped();
+
+/// Amdahl accounting hook: exec reports each top-level parallelizable
+/// region's wall time and summed busy (chunk execution) time.
+void note_parallel_region(std::uint64_t wall_us, std::uint64_t busy_us,
+                          std::size_t contexts);
+
+/// One row of the merged phase table, in depth-first order with siblings
+/// sorted by name.
+struct PhaseStats {
+  std::string path;   ///< "rem.build/rem.voxel_sweep/ml.knn.predict".
+  std::string name;   ///< Leaf component of `path`.
+  std::uint32_t depth = 0;
+  std::uint64_t count = 0;
+  std::uint64_t total_us = 0;  ///< Inclusive wall time, summed over threads.
+  std::uint64_t self_us = 0;   ///< total - children (clamped at 0: parallel
+                               ///< children can overlap the parent's wall).
+  double percent_of_parent = 0.0;  ///< 100 * total / parent total (of the
+                                   ///< profiled wall clock for root phases;
+                                   ///< can exceed 100 under parallelism).
+};
+
+/// The measured serial fraction and what it implies.
+struct AmdahlReport {
+  std::uint64_t total_wall_us = 0;     ///< Profiling-enabled epoch to report.
+  std::uint64_t parallel_wall_us = 0;  ///< Sum of parallelizable-region walls.
+  std::uint64_t parallel_busy_us = 0;  ///< Summed chunk execution time.
+  std::uint64_t regions = 0;
+  std::size_t contexts = 1;        ///< Execution contexts of the last region.
+  double serial_fraction = 1.0;    ///< 1 - parallel_wall / total_wall.
+  double max_speedup = 1.0;        ///< 1 / serial_fraction (Amdahl limit).
+  /// Amdahl's law at `n` contexts: 1 / (s + (1-s)/n).
+  [[nodiscard]] double speedup_at(std::size_t n) const;
+};
+
+/// The merged profile: phase table + Amdahl breakdown + task-trace tallies.
+struct ProfileReport {
+  std::vector<PhaseStats> phases;
+  AmdahlReport amdahl;
+  double coverage = 0.0;  ///< Root-phase wall over total wall, 0..1+.
+  std::uint64_t task_events = 0;
+  std::uint64_t task_events_dropped = 0;
+};
+
+/// Merges every thread's phase tree and task buffer into one report.
+/// Deterministic: phases come out in sorted depth-first order with
+/// schedule-independent counts. Call after parallel regions have drained.
+[[nodiscard]] ProfileReport profile_report();
+
+/// Clears phase trees, task buffers and Amdahl accumulators, and restarts
+/// the profile wall-clock epoch.
+void reset_profiling();
+
+/// JSON round-trip for --profile-out and the remgen-profile report tool.
+[[nodiscard]] Json profile_to_json(const ProfileReport& report);
+[[nodiscard]] ProfileReport profile_from_json(const Json& doc);
+
+/// Human-readable per-phase table plus the Amdahl breakdown.
+void write_profile_table(std::ostream& out, const ProfileReport& report);
+
+/// Writes profile_report() as JSON. False (with a warning) on I/O failure.
+bool export_profile_json_file(const std::string& path);
+
+}  // namespace remgen::obs
+
+/// Scoped profile phase covering the rest of the enclosing block.
+#define REMGEN_PROFILE_PHASE(name) \
+  ::remgen::obs::ProfilePhase REMGEN_OBS_CONCAT_(remgen_obs_phase_, __LINE__)(name)

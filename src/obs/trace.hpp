@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <mutex>
 #include <string>
 #include <string_view>
@@ -38,6 +39,15 @@ inline void set_sim_time(double now_s) noexcept {
 
 /// Microseconds since the process trace epoch (steady clock; first use).
 [[nodiscard]] std::uint64_t wall_clock_us();
+
+/// Small dense id of the calling thread (1, 2, ... in first-use order); the
+/// same id spans and task events carry, and the Chrome-trace "tid".
+[[nodiscard]] std::uint32_t current_tid();
+
+/// Registers a human-readable name for the calling thread ("main",
+/// "worker-3"); exported as Chrome-trace thread_name metadata so trace lanes
+/// are readable in chrome://tracing / Perfetto.
+void name_current_thread(std::string_view name);
 
 /// One recorded trace event.
 struct SpanRecord {
@@ -65,6 +75,11 @@ class TraceRecorder {
   [[nodiscard]] std::size_t dropped() const noexcept {
     return dropped_.load(std::memory_order_relaxed);
   }
+  /// Saturation drops broken down by the recording thread's tid.
+  [[nodiscard]] std::map<std::uint32_t, std::uint64_t> dropped_by_thread() const;
+  /// tid -> registered thread name (see name_current_thread).
+  [[nodiscard]] std::map<std::uint32_t, std::string> thread_names() const;
+  void set_thread_name(std::uint32_t tid, std::string name);
   void set_capacity(std::size_t capacity);
   void clear();
 
@@ -73,6 +88,8 @@ class TraceRecorder {
   std::vector<SpanRecord> records_;
   std::size_t capacity_ = 1u << 18;
   std::atomic<std::size_t> dropped_{0};
+  std::map<std::uint32_t, std::uint64_t> dropped_by_tid_;
+  std::map<std::uint32_t, std::string> thread_names_;
 };
 
 /// The process-wide trace buffer.

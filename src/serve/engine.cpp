@@ -11,6 +11,7 @@
 
 #include "exec/parallel.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profile.hpp"
 #include "obs/trace.hpp"
 #include "util/fmt.hpp"
 
@@ -144,6 +145,7 @@ Response QueryEngine::execute_volume(const Request& request) const {
 }
 
 Response QueryEngine::execute(const Request& request) const {
+  REMGEN_PROFILE_PHASE("serve.execute");
   REMGEN_COUNTER_ADD("serve.queries", 1);
   try {
     switch (request.type) {
@@ -164,8 +166,10 @@ Response QueryEngine::execute(const Request& request) const {
 
 std::vector<Response> QueryEngine::execute_all(const std::vector<Request>& requests) const {
   REMGEN_SPAN("serve.execute_all");
+  REMGEN_PROFILE_PHASE("serve.execute_all");
   std::vector<Response> responses = exec::parallel_map(
-      requests.size(), [&](std::size_t i) { return execute(requests[i]); });
+      requests.size(), [&](std::size_t i) { return execute(requests[i]); }, /*chunk=*/0,
+      "serve.execute_all");
   std::stable_sort(responses.begin(), responses.end(),
                    [](const Response& a, const Response& b) { return a.id < b.id; });
   return responses;
@@ -173,6 +177,7 @@ std::vector<Response> QueryEngine::execute_all(const std::vector<Request>& reque
 
 ReplayStats QueryEngine::replay_jsonl(std::istream& in, std::ostream& out) const {
   REMGEN_SPAN("serve.replay");
+  REMGEN_PROFILE_PHASE("serve.replay");
   const auto start = std::chrono::steady_clock::now();
 
   // Parse sequentially: line order defines the deterministic tie-break for
@@ -210,13 +215,17 @@ ReplayStats QueryEngine::replay_jsonl(std::istream& in, std::ostream& out) const
   // Execute concurrently into index-addressed slots: results are identical
   // at any exec::thread_count().
   std::vector<double> latencies_us(valid.size(), 0.0);
-  std::vector<Response> executed = exec::parallel_map(valid.size(), [&](std::size_t i) {
-    const auto t0 = std::chrono::steady_clock::now();
-    Response response = execute(valid[i].second);
-    latencies_us[i] =
-        std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() - t0).count();
-    return response;
-  });
+  std::vector<Response> executed = exec::parallel_map(
+      valid.size(),
+      [&](std::size_t i) {
+        const auto t0 = std::chrono::steady_clock::now();
+        Response response = execute(valid[i].second);
+        latencies_us[i] = std::chrono::duration<double, std::micro>(
+                              std::chrono::steady_clock::now() - t0)
+                              .count();
+        return response;
+      },
+      /*chunk=*/0, "serve.replay");
   for (std::size_t i = 0; i < valid.size(); ++i) {
     if (!executed[i].ok) ++errors;
     slots[valid[i].first] = std::move(executed[i]);

@@ -57,8 +57,8 @@ double mean(std::span<const double> xs) {
 }
 
 double percentile(std::vector<double> xs, double q) {
-  REMGEN_EXPECTS(!xs.empty());
   REMGEN_EXPECTS(q >= 0.0 && q <= 100.0);
+  if (xs.empty()) return 0.0;
   std::sort(xs.begin(), xs.end());
   const double rank = q / 100.0 * static_cast<double>(xs.size() - 1);
   const auto lo = static_cast<std::size_t>(std::floor(rank));
@@ -78,7 +78,7 @@ Percentiles percentiles(std::span<const double> xs) {
     const double frac = rank - static_cast<double>(lo);
     return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
   };
-  return {at(50.0), at(90.0), at(99.0)};
+  return {at(50.0), at(90.0), at(99.0), at(99.9)};
 }
 
 Histogram::Histogram(double lo, double hi, std::size_t bins) : lo_(lo), hi_(hi), counts_(bins, 0) {

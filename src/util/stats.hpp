@@ -51,17 +51,20 @@ class OnlineStats {
 /// Arithmetic mean of a non-empty range.
 [[nodiscard]] double mean(std::span<const double> xs);
 
-/// Linearly interpolated percentile of a non-empty range; q in [0, 100].
+/// Linearly interpolated percentile of a range; q in [0, 100]. Empty input
+/// yields 0 (matching the Percentiles convention) rather than tripping a
+/// contract, so latency reports over zero requests stay well-defined.
 [[nodiscard]] double percentile(std::vector<double> xs, double q);
 
-/// The latency-report percentile triple. All zero for empty input.
+/// The latency-report percentile summary. All zero for empty input.
 struct Percentiles {
   double p50 = 0.0;
   double p90 = 0.0;
   double p99 = 0.0;
+  double p999 = 0.0;  ///< p99.9 — the far-tail latency figure.
 };
 
-/// Linearly interpolated p50/p90/p99 of a range (one sort for all three).
+/// Linearly interpolated p50/p90/p99/p99.9 of a range (one sort for all).
 /// Empty input yields the all-zero summary; a single element is every
 /// percentile of itself.
 [[nodiscard]] Percentiles percentiles(std::span<const double> xs);

@@ -89,12 +89,20 @@ TEST(Percentile, SingleElement) {
   EXPECT_DOUBLE_EQ(percentile({7.0}, 50.0), 7.0);
 }
 
+TEST(Percentile, EmptyInputIsZero) {
+  // Matches the Percentiles convention: latency reports over zero requests
+  // are all-zero, not a contract violation.
+  EXPECT_EQ(percentile({}, 50.0), 0.0);
+  EXPECT_EQ(percentile({}, 99.9), 0.0);
+}
+
 TEST(Percentiles, EmptyIsAllZero) {
   const std::vector<double> empty;
   const Percentiles p = percentiles(empty);
   EXPECT_EQ(p.p50, 0.0);
   EXPECT_EQ(p.p90, 0.0);
   EXPECT_EQ(p.p99, 0.0);
+  EXPECT_EQ(p.p999, 0.0);
 }
 
 TEST(Percentiles, SingleElementIsThatElement) {
@@ -103,6 +111,7 @@ TEST(Percentiles, SingleElementIsThatElement) {
   EXPECT_EQ(p.p50, 7.25);
   EXPECT_EQ(p.p90, 7.25);
   EXPECT_EQ(p.p99, 7.25);
+  EXPECT_EQ(p.p999, 7.25);
 }
 
 TEST(Percentiles, InterpolatesBetweenRanks) {
@@ -113,6 +122,7 @@ TEST(Percentiles, InterpolatesBetweenRanks) {
   EXPECT_DOUBLE_EQ(p.p50, 50.0);
   EXPECT_DOUBLE_EQ(p.p90, 90.0);
   EXPECT_DOUBLE_EQ(p.p99, 99.0);
+  EXPECT_DOUBLE_EQ(p.p999, 99.9);
 }
 
 TEST(Percentiles, InterpolatedFraction) {
@@ -122,6 +132,7 @@ TEST(Percentiles, InterpolatedFraction) {
   EXPECT_DOUBLE_EQ(p.p50, 1.5);
   EXPECT_DOUBLE_EQ(p.p90, 1.9);
   EXPECT_DOUBLE_EQ(p.p99, 1.99);
+  EXPECT_DOUBLE_EQ(p.p999, 1.999);
 }
 
 TEST(Percentiles, AgreesWithPercentileFunction) {
@@ -131,6 +142,7 @@ TEST(Percentiles, AgreesWithPercentileFunction) {
   EXPECT_DOUBLE_EQ(p.p50, percentile(sorted, 50.0));
   EXPECT_DOUBLE_EQ(p.p90, percentile(sorted, 90.0));
   EXPECT_DOUBLE_EQ(p.p99, percentile(sorted, 99.0));
+  EXPECT_DOUBLE_EQ(p.p999, percentile(sorted, 99.9));
 }
 
 TEST(HistogramTest, BasicBinning) {

@@ -1,0 +1,163 @@
+#!/usr/bin/env python3
+"""Perf-regression gate: compare fresh BENCH_*.json against checked-in baselines.
+
+Usage:
+    tools/check_bench.py [--baseline-dir bench/baselines] [--fresh-dir .]
+                         [--tolerance 0.25] [--time-tolerance 1.0]
+                         [--update] [BENCH_perf.json BENCH_parallel.json ...]
+
+Compares the benchmark artifacts written by bench_perf_micro against the
+baselines committed under bench/baselines/ and exits non-zero when any
+metric regressed beyond tolerance. Two tolerance tiers:
+
+  * ratio metrics (speedup_at_max, qps) are machine-relative, so they get the
+    tight --tolerance (default 0.25: a 25% drop fails);
+  * absolute time metrics (seconds_per_iteration, wall_seconds, latency
+    percentiles, per-width seconds) vary wildly across machines, so they get
+    the loose --time-tolerance (default 1.0: only a 2x slowdown fails).
+
+A fresh metric missing from the baseline is reported but never fails the
+gate (new benchmarks land before their baseline); a baseline metric missing
+from the fresh run fails it (a silently dropped benchmark is a regression).
+
+--update refreshes the baselines from the fresh files instead of comparing.
+"""
+
+import argparse
+import json
+import shutil
+import sys
+from pathlib import Path
+
+DEFAULT_FILES = ["BENCH_perf.json", "BENCH_parallel.json", "BENCH_serve.json"]
+
+# Provenance fields that legitimately differ between runs.
+IGNORED_KEYS = {"commit", "threads", "threads_max", "iterations", "errors", "requests"}
+
+# Metrics where HIGHER is better and the unit is machine-relative.
+RATIO_KEYS = {"speedup_at_max", "qps"}
+
+
+def flatten(doc, prefix=""):
+    """Yields (path, value) for every numeric leaf, keying list rows by their
+    "name"/"threads" field so row order never affects the comparison."""
+    if isinstance(doc, dict):
+        for key, value in doc.items():
+            if key in IGNORED_KEYS:
+                continue
+            yield from flatten(value, f"{prefix}{key}." if prefix or key else key)
+    elif isinstance(doc, list):
+        for index, row in enumerate(doc):
+            label = str(index)
+            if isinstance(row, dict):
+                label = str(row.get("name", row.get("threads", index)))
+            yield from flatten(row, f"{prefix}{label}.")
+    elif isinstance(doc, (int, float)) and not isinstance(doc, bool):
+        yield prefix.rstrip("."), float(doc)
+
+
+def load(path):
+    with open(path, encoding="utf-8") as handle:
+        return dict(flatten(json.load(handle)))
+
+
+def is_ratio_metric(path):
+    leaf = path.rsplit(".", 1)[-1]
+    return leaf in RATIO_KEYS
+
+
+def compare(name, baseline, fresh, tolerance, time_tolerance):
+    """Returns (regressions, notes) comparing one artifact's flat metrics."""
+    regressions = []
+    notes = []
+    for path, base_value in sorted(baseline.items()):
+        if path not in fresh:
+            regressions.append(f"{name}: {path} missing from the fresh run "
+                               f"(baseline {base_value:g})")
+            continue
+        fresh_value = fresh[path]
+        if is_ratio_metric(path):
+            # Higher is better; fail when the fresh value dropped too far.
+            floor = base_value * (1.0 - tolerance)
+            if fresh_value < floor:
+                regressions.append(
+                    f"{name}: {path} regressed {base_value:g} -> {fresh_value:g} "
+                    f"(floor {floor:g}, tolerance {tolerance:.0%})")
+        else:
+            # Lower is better (wall time); fail when it grew too much.
+            ceiling = base_value * (1.0 + time_tolerance)
+            if base_value > 0 and fresh_value > ceiling:
+                regressions.append(
+                    f"{name}: {path} regressed {base_value:g}s -> {fresh_value:g}s "
+                    f"(ceiling {ceiling:g}s, tolerance {time_tolerance:.0%})")
+    for path in sorted(set(fresh) - set(baseline)):
+        notes.append(f"{name}: new metric {path} = {fresh[path]:g} (no baseline yet)")
+    return regressions, notes
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("files", nargs="*", default=None,
+                        help=f"artifact file names (default: {' '.join(DEFAULT_FILES)})")
+    parser.add_argument("--baseline-dir", default="bench/baselines", type=Path)
+    parser.add_argument("--fresh-dir", default=".", type=Path)
+    parser.add_argument("--tolerance", default=0.25, type=float,
+                        help="allowed fractional drop for ratio metrics (default 0.25)")
+    parser.add_argument("--time-tolerance", default=1.0, type=float,
+                        help="allowed fractional growth for time metrics (default 1.0 = 2x)")
+    parser.add_argument("--update", action="store_true",
+                        help="refresh the baselines from the fresh files and exit")
+    args = parser.parse_args()
+
+    files = args.files or DEFAULT_FILES
+    all_regressions = []
+    compared = 0
+
+    for file_name in files:
+        fresh_path = args.fresh_dir / file_name
+        baseline_path = args.baseline_dir / file_name
+        if not fresh_path.is_file():
+            print(f"error: fresh artifact {fresh_path} not found", file=sys.stderr)
+            return 2
+
+        if args.update:
+            args.baseline_dir.mkdir(parents=True, exist_ok=True)
+            shutil.copyfile(fresh_path, baseline_path)
+            print(f"updated {baseline_path} from {fresh_path}")
+            continue
+
+        if not baseline_path.is_file():
+            print(f"error: baseline {baseline_path} not found "
+                  f"(run with --update to create it)", file=sys.stderr)
+            return 2
+
+        try:
+            baseline = load(baseline_path)
+            fresh = load(fresh_path)
+        except (json.JSONDecodeError, OSError) as error:
+            print(f"error: cannot read {file_name}: {error}", file=sys.stderr)
+            return 2
+
+        regressions, notes = compare(file_name, baseline, fresh,
+                                     args.tolerance, args.time_tolerance)
+        for note in notes:
+            print(f"note: {note}")
+        if regressions:
+            all_regressions.extend(regressions)
+        else:
+            print(f"ok: {file_name} — {len(baseline)} metrics within tolerance")
+        compared += 1
+
+    if args.update:
+        return 0
+    if all_regressions:
+        print(f"\n{len(all_regressions)} perf regression(s):", file=sys.stderr)
+        for regression in all_regressions:
+            print(f"  FAIL {regression}", file=sys.stderr)
+        return 1
+    print(f"perf gate passed: {compared} artifact(s) checked")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

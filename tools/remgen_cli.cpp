@@ -65,7 +65,10 @@ int usage() {
       "  --metrics-out FILE   enable telemetry, write a JSON metrics snapshot\n"
       "  --metrics-prom FILE  enable telemetry, write Prometheus text exposition\n"
       "  --trace-out FILE     enable telemetry, write Chrome trace_event JSON\n"
-      "                       (open in chrome://tracing or Perfetto)\n\n"
+      "                       (open in chrome://tracing or Perfetto)\n"
+      "  --profile-out FILE   enable the phase profiler, write the per-phase\n"
+      "                       timing tree + Amdahl breakdown as JSON (inspect\n"
+      "                       with remgen-profile)\n\n"
       "flight recorder (campaign):\n"
       "  --flightlog-out FILE enable the flight recorder, write the event log as\n"
       "                       JSONL (inspect with remgen-flightlog)\n"
@@ -434,6 +437,13 @@ int dispatch(const util::Args& args) {
       ok = false;
     }
   }
+  if (const std::string path = args.value("profile-out"); !path.empty()) {
+    if (obs::export_profile_json_file(path)) {
+      std::printf("profile written to %s (inspect with remgen-profile)\n", path.c_str());
+    } else {
+      ok = false;
+    }
+  }
   return ok;
 }
 
@@ -444,7 +454,8 @@ int main(int argc, char** argv) {
                                          "model",     "split", "voxel",  "at",    "top",
                                          "baseline",  "probe", "min-samples", "positioning",
                                          "receivers", "env",   "log-level", "metrics-out",
-                                         "metrics-prom", "trace-out", "threads",
+                                         "metrics-prom", "trace-out", "profile-out",
+                                         "threads",
                                          "fault-profile", "fault-seed",
                                          "flightlog-out", "report-out", "snapshot-out"};
   const std::set<std::string> flag_keys{"radio-on", "optimize-route", "adaptive-legs", "help"};
@@ -484,6 +495,17 @@ int main(int argc, char** argv) {
     }
     obs::set_enabled(true);
   }
+  if (args->has("profile-out")) {
+    // Profiling is gated separately from span/metric telemetry: --profile-out
+    // alone pays only the phase-timer cost, not the trace-buffer cost.
+    if (!obs::compiled()) {
+      std::fprintf(stderr,
+                   "warning: the profiler was compiled out (-DREMGEN_OBS=OFF); "
+                   "the profile will be empty\n");
+    }
+    obs::set_profiling_enabled(true);
+  }
+  obs::name_current_thread("main");
 
   if (args->has("flightlog-out") || args->has("report-out")) {
     if (!flightlog::compiled()) {
@@ -497,7 +519,16 @@ int main(int argc, char** argv) {
     obs::set_enabled(true);
   }
 
-  int status = dispatch(*args);
-  if (telemetry && !export_telemetry(*args) && status == 0) status = 1;
+  int status = 0;
+  {
+    // Root phase: everything the command does hangs under cli.<command> in
+    // the profile tree.
+    const std::string root_phase = "cli." + args->command();
+    REMGEN_PROFILE_PHASE(root_phase.c_str());
+    status = dispatch(*args);
+  }
+  if ((telemetry || args->has("profile-out")) && !export_telemetry(*args) && status == 0) {
+    status = 1;
+  }
   return status;
 }

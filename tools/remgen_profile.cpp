@@ -1,0 +1,104 @@
+// remgen-profile — inspect a profile JSON written by --profile-out.
+//
+//   remgen-profile report --in profile.json
+//   remgen-profile amdahl --in profile.json [--contexts N]
+//
+// `report` prints the merged per-phase table (count, total/self wall time,
+// % of parent) followed by the Amdahl breakdown. `amdahl` prints only the
+// breakdown, with the projected speedup at --contexts execution contexts.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "obs/profile.hpp"
+#include "util/args.hpp"
+
+namespace {
+
+using namespace remgen;
+
+int usage() {
+  std::fprintf(stderr,
+               "remgen-profile — phase-profile inspector\n\n"
+               "commands:\n"
+               "  report   per-phase timing table + Amdahl breakdown\n"
+               "  amdahl   Amdahl breakdown only\n\n"
+               "  --in FILE      profile JSON written by --profile-out (required)\n"
+               "  --contexts N   project the Amdahl speedup at N contexts\n"
+               "                 (default: the contexts recorded in the profile)\n");
+  return 2;
+}
+
+bool load_report(const std::string& path, obs::ProfileReport& report) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot open '%s'\n", path.c_str());
+    return false;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  try {
+    report = obs::profile_from_json(obs::Json::parse(buffer.str()));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: '%s' is not a profile JSON: %s\n", path.c_str(), e.what());
+    return false;
+  }
+  return true;
+}
+
+void print_amdahl(const obs::AmdahlReport& a, std::size_t contexts) {
+  std::printf("wall clock       : %.3f s\n", static_cast<double>(a.total_wall_us) / 1e6);
+  std::printf("parallel wall    : %.3f s over %llu regions (busy %.3f s)\n",
+              static_cast<double>(a.parallel_wall_us) / 1e6,
+              static_cast<unsigned long long>(a.regions),
+              static_cast<double>(a.parallel_busy_us) / 1e6);
+  std::printf("serial fraction  : %.3f\n", a.serial_fraction);
+  std::printf("max speedup      : %.2fx (Amdahl limit)\n", a.max_speedup);
+  std::printf("speedup at %-5zu : %.2fx\n", contexts, a.speedup_at(contexts));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::set<std::string> value_keys{"in", "contexts"};
+  const std::set<std::string> flag_keys{"help"};
+  std::string error;
+  const auto args = util::Args::parse(argc, argv, value_keys, flag_keys, &error);
+  if (!args) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return usage();
+  }
+  const std::string command = args->command();
+  if (args->flag("help") || (command != "report" && command != "amdahl")) return usage();
+  if (!args->has("in")) {
+    std::fprintf(stderr, "error: --in FILE is required\n");
+    return usage();
+  }
+
+  obs::ProfileReport report;
+  if (!load_report(args->value("in"), report)) return 1;
+
+  std::size_t contexts = report.amdahl.contexts;
+  if (args->has("contexts")) {
+    const long parsed = args->value_int("contexts", 0);
+    if (parsed <= 0) {
+      std::fprintf(stderr, "--contexts needs a positive integer\n");
+      return 2;
+    }
+    contexts = static_cast<std::size_t>(parsed);
+  }
+
+  if (command == "report") {
+    if (report.phases.empty()) {
+      std::printf("no phases recorded (was profiling enabled?)\n\n");
+    } else {
+      obs::write_profile_table(std::cout, report);
+      std::cout << '\n';
+    }
+  }
+  print_amdahl(report.amdahl, contexts);
+  return 0;
+}

@@ -43,7 +43,9 @@ int usage() {
                "  --log-level L         trace|debug|info|warn|error|off (default warn)\n"
                "  --metrics-out FILE    write a JSON metrics snapshot after the run\n"
                "  --metrics-prom FILE   write Prometheus text exposition after the run\n"
-               "  --trace-out FILE      write Chrome trace_event JSON after the run\n");
+               "  --trace-out FILE      write Chrome trace_event JSON after the run\n"
+               "  --profile-out FILE    write the phase profile + Amdahl breakdown as\n"
+               "                        JSON after the run (inspect with remgen-profile)\n");
   return 2;
 }
 
@@ -52,7 +54,8 @@ int usage() {
 int main(int argc, char** argv) {
   const std::set<std::string> value_keys{"snapshot",    "requests",  "responses-out",
                                          "threads",     "cache-mb",  "log-level",
-                                         "metrics-out", "metrics-prom", "trace-out"};
+                                         "metrics-out", "metrics-prom", "trace-out",
+                                         "profile-out"};
   const std::set<std::string> flag_keys{"help"};
   std::string error;
   const auto args = util::Args::parse(argc, argv, value_keys, flag_keys, &error);
@@ -81,6 +84,8 @@ int main(int argc, char** argv) {
   const bool telemetry =
       args->has("metrics-out") || args->has("metrics-prom") || args->has("trace-out");
   if (telemetry) obs::set_enabled(true);
+  if (args->has("profile-out")) obs::set_profiling_enabled(true);
+  obs::name_current_thread("main");
 
   const long cache_mb = args->value_int("cache-mb", 64);
   if (cache_mb < 0) {
@@ -132,13 +137,14 @@ int main(int argc, char** argv) {
 
   std::fprintf(stderr,
                "served %zu requests (%zu errors) in %.3fs — %.0f qps, "
-               "latency p50 %.1fus p99 %.1fus, cache %llu hits / %llu misses\n",
+               "latency p50 %.1fus p99 %.1fus p99.9 %.1fus, "
+               "cache %llu hits / %llu misses\n",
                stats.requests, stats.errors, stats.wall_seconds, stats.qps,
-               stats.latency_us.p50, stats.latency_us.p99,
+               stats.latency_us.p50, stats.latency_us.p99, stats.latency_us.p999,
                static_cast<unsigned long long>(stats.cache_hits),
                static_cast<unsigned long long>(stats.cache_misses));
 
-  if (telemetry) {
+  if (telemetry || args->has("profile-out")) {
     bool ok = true;
     if (const std::string path = args->value("metrics-out"); !path.empty()) {
       ok = obs::export_metrics_json_file(path) && ok;
@@ -148,6 +154,9 @@ int main(int argc, char** argv) {
     }
     if (const std::string path = args->value("trace-out"); !path.empty()) {
       ok = obs::export_trace_file(path) && ok;
+    }
+    if (const std::string path = args->value("profile-out"); !path.empty()) {
+      ok = obs::export_profile_json_file(path) && ok;
     }
     if (!ok) return 1;
   }
