@@ -313,7 +313,10 @@ void write_parallel_report() {
   const char* out_path = std::getenv("REMGEN_PARALLEL_OUT");
   std::FILE* out = std::fopen(out_path != nullptr ? out_path : "BENCH_parallel.json", "w");
   if (out == nullptr) return;
-  std::fprintf(out, "{\n  \"threads_max\": %zu,\n  \"paths\": [\n", top);
+  // hardware_threads lets the perf gate decide whether a parallel speedup
+  // assertion is even physically possible on the recording machine.
+  std::fprintf(out, "{\n  \"threads_max\": %zu,\n  \"hardware_threads\": %zu,\n  \"paths\": [\n",
+               top, exec::hardware_threads());
   bool first_path = true;
   for (const Path& path : paths) {
     double t1 = 0.0;

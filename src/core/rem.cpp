@@ -31,6 +31,12 @@ void RadioEnvironmentMap::set_cell(const radio::MacAddress& mac, const geom::Vox
   it->second.at(voxel) = cell;
 }
 
+geom::VoxelField<RemCell>& RadioEnvironmentMap::field(const radio::MacAddress& mac) {
+  const auto it = fields_.find(mac);
+  REMGEN_EXPECTS(it != fields_.end());
+  return it->second;
+}
+
 RemCell RadioEnvironmentMap::cell(const radio::MacAddress& mac,
                                   const geom::VoxelIndex& voxel) const {
   return field_of(mac).at(voxel);

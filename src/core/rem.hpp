@@ -36,6 +36,10 @@ class RadioEnvironmentMap {
   /// Writes one cell. `mac` must be one of macs().
   void set_cell(const radio::MacAddress& mac, const geom::VoxelIndex& voxel, RemCell cell);
 
+  /// Mutable raster for one MAC — the builder's bulk-write path (one hash
+  /// lookup per MAC instead of one per voxel). `mac` must be one of macs().
+  [[nodiscard]] geom::VoxelField<RemCell>& field(const radio::MacAddress& mac);
+
   /// Reads one cell. `mac` must be one of macs().
   [[nodiscard]] RemCell cell(const radio::MacAddress& mac, const geom::VoxelIndex& voxel) const;
 

@@ -55,37 +55,57 @@ RadioEnvironmentMap build_rem(const data::Dataset& dataset, ml::Estimator& estim
   RadioEnvironmentMap rem(geom::GridGeometry::with_resolution(volume, config.voxel_m), macs);
   const geom::GridGeometry& g = rem.geometry();
 
-  // One task per (mac, z-slab). Estimator::predict is const and every task
-  // writes a disjoint set of cells, so tasks are independent; the cell values
-  // do not depend on evaluation order, so any schedule produces the same REM.
+  // One task per (mac, z-slab), issuing one predict_batch per y-row of nx
+  // queries. Estimator::predict_batch is const and every task writes a
+  // disjoint set of cells, so tasks are independent; the cell values do not
+  // depend on evaluation order, so any schedule produces the same REM. The
+  // chunk size is cost-derived instead of the old blanket chunk = 1: a z-slab
+  // costs roughly nx*ny predicts, each on the order of a few microseconds.
   const std::size_t nz = g.nz();
+  const std::size_t nx = g.nx();
+  const std::size_t ny = g.ny();
   {
     REMGEN_PROFILE_PHASE("rem.voxel_sweep");
+    const double est_slab_us = static_cast<double>(nx * ny) * 4.0;
     exec::parallel_for(
         macs.size() * nz,
         [&](std::size_t t) {
           const radio::MacAddress& mac = macs[t / nz];
           const std::size_t iz = t % nz;
-          data::Sample query;
-          query.mac = mac;
-          query.channel = channel_of.at(mac);
-          for (std::size_t iy = 0; iy < g.ny(); ++iy) {
-            for (std::size_t ix = 0; ix < g.nx(); ++ix) {
-              const geom::VoxelIndex v{ix, iy, iz};
-              query.position = g.voxel_center(v);
-              RemCell cell;
-              if (kriging != nullptr) {
-                const auto p = kriging->predict_with_sigma(query);
-                cell.rss_dbm = p.value;
-                cell.sigma_db = p.sigma;
-              } else {
-                cell.rss_dbm = estimator.predict(query);
+          // One REM field lookup per slab (not one hash probe per voxel); a
+          // y-row of cells is contiguous in the field's row-major storage.
+          geom::VoxelField<RemCell>& field = rem.field(mac);
+          // Per-thread batch buffers, reused across rows, slabs, and MACs.
+          thread_local std::vector<data::Sample> queries;
+          thread_local std::vector<double> values;
+          thread_local std::vector<ml::KrigingRegressor::Prediction> predictions;
+          if (queries.size() != nx) queries.resize(nx);
+          const int channel = channel_of.at(mac);
+          for (data::Sample& q : queries) {
+            q.mac = mac;
+            q.channel = channel;
+          }
+          for (std::size_t iy = 0; iy < ny; ++iy) {
+            for (std::size_t ix = 0; ix < nx; ++ix) {
+              queries[ix].position = g.voxel_center({ix, iy, iz});
+            }
+            RemCell* row = field.values().data() + g.flat({0, iy, iz});
+            if (kriging != nullptr) {
+              predictions.resize(nx);
+              kriging->predict_with_sigma_batch(queries, predictions);
+              for (std::size_t ix = 0; ix < nx; ++ix) {
+                row[ix] = RemCell{predictions[ix].value, predictions[ix].sigma};
               }
-              rem.set_cell(mac, v, cell);
+            } else {
+              values.resize(nx);
+              estimator.predict_batch(queries, values);
+              for (std::size_t ix = 0; ix < nx; ++ix) {
+                row[ix] = RemCell{values[ix], 0.0};
+              }
             }
           }
         },
-        /*chunk=*/1, "rem.voxel_sweep");
+        exec::chunk_for_cost(macs.size() * nz, est_slab_us), "rem.voxel_sweep");
   }
 
   REMGEN_COUNTER_ADD("rem.builds", 1);

@@ -68,36 +68,46 @@ int FeatureEncoder::mac_index(const radio::MacAddress& mac) const {
   return it == mac_index_.end() ? -1 : it->second;
 }
 
+int FeatureEncoder::channel_index(int channel) const {
+  const auto it = channel_index_.find(channel);
+  return it == channel_index_.end() ? -1 : it->second;
+}
+
 std::vector<double> FeatureEncoder::encode(const Sample& sample) const {
-  std::vector<double> out;
-  out.reserve(dimension_);
+  std::vector<double> out(dimension_, 0.0);
+  encode_into(sample, out);
+  return out;
+}
+
+void FeatureEncoder::encode_into(const Sample& sample, std::span<double> out) const {
+  REMGEN_EXPECTS(out.size() == dimension_);
+  std::size_t base = 0;
   if (config_.include_position) {
     if (config_.normalize_position) {
-      out.push_back((sample.position.x - position_min_.x) / position_range_.x);
-      out.push_back((sample.position.y - position_min_.y) / position_range_.y);
-      out.push_back((sample.position.z - position_min_.z) / position_range_.z);
+      out[0] = (sample.position.x - position_min_.x) / position_range_.x;
+      out[1] = (sample.position.y - position_min_.y) / position_range_.y;
+      out[2] = (sample.position.z - position_min_.z) / position_range_.z;
     } else {
-      out.push_back(sample.position.x);
-      out.push_back(sample.position.y);
-      out.push_back(sample.position.z);
+      out[0] = sample.position.x;
+      out[1] = sample.position.y;
+      out[2] = sample.position.z;
     }
+    base = 3;
   }
   if (config_.include_mac_onehot) {
-    const std::size_t base = out.size();
-    out.resize(base + mac_index_.size(), 0.0);
+    std::fill(out.begin() + static_cast<std::ptrdiff_t>(base),
+              out.begin() + static_cast<std::ptrdiff_t>(base + mac_index_.size()), 0.0);
     if (const int idx = mac_index(sample.mac); idx >= 0) {
       out[base + static_cast<std::size_t>(idx)] = config_.mac_onehot_scale;
     }
+    base += mac_index_.size();
   }
   if (config_.include_channel_onehot) {
-    const std::size_t base = out.size();
-    out.resize(base + channel_index_.size(), 0.0);
+    std::fill(out.begin() + static_cast<std::ptrdiff_t>(base), out.end(), 0.0);
     if (const auto it = channel_index_.find(sample.channel); it != channel_index_.end()) {
       out[base + static_cast<std::size_t>(it->second)] = 1.0;
     }
   }
-  REMGEN_ENSURES(out.size() == dimension_);
-  return out;
 }
 
 std::vector<std::vector<double>> FeatureEncoder::encode_all(
@@ -105,6 +115,12 @@ std::vector<std::vector<double>> FeatureEncoder::encode_all(
   std::vector<std::vector<double>> out;
   out.reserve(samples.size());
   for (const Sample& s : samples) out.push_back(encode(s));
+  return out;
+}
+
+FeatureMatrix FeatureEncoder::encode_matrix(std::span<const Sample> samples) const {
+  FeatureMatrix out(samples.size(), dimension_);
+  for (std::size_t i = 0; i < samples.size(); ++i) encode_into(samples[i], out.row(i));
   return out;
 }
 

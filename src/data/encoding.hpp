@@ -11,6 +11,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "data/feature_matrix.hpp"
 #include "data/sample.hpp"
 #include "radio/mac_address.hpp"
 #include "util/binary_io.hpp"
@@ -48,11 +49,27 @@ class FeatureEncoder {
   /// Index of a MAC in the vocabulary, or -1 if unseen during fit.
   [[nodiscard]] int mac_index(const radio::MacAddress& mac) const;
 
+  /// Number of channels in the vocabulary.
+  [[nodiscard]] std::size_t channel_vocabulary_size() const noexcept {
+    return channel_index_.size();
+  }
+
+  /// Index of a channel in the vocabulary, or -1 if unseen during fit.
+  [[nodiscard]] int channel_index(int channel) const;
+
   /// Encodes one sample.
   [[nodiscard]] std::vector<double> encode(const Sample& sample) const;
 
+  /// Encodes one sample into caller-provided storage (`out.size()` must be
+  /// dimension()) — the allocation-free path hot prediction loops use with a
+  /// per-thread scratch buffer.
+  void encode_into(const Sample& sample, std::span<double> out) const;
+
   /// Encodes many samples (row per sample).
   [[nodiscard]] std::vector<std::vector<double>> encode_all(std::span<const Sample> samples) const;
+
+  /// Encodes many samples into one contiguous row-major matrix.
+  [[nodiscard]] FeatureMatrix encode_matrix(std::span<const Sample> samples) const;
 
   [[nodiscard]] const FeatureConfig& config() const noexcept { return config_; }
 

@@ -7,6 +7,7 @@
 // calling thread — produces byte-identical output to any other width.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <functional>
 #include <optional>
@@ -29,6 +30,25 @@ inline std::size_t default_chunk(std::size_t n, std::size_t contexts) {
 }
 
 }  // namespace detail
+
+/// Cost-based chunk size for parallel_for/parallel_map: groups items so one
+/// claimed chunk carries roughly 500us of estimated work — enough to amortise
+/// the atomic claim and per-chunk trace record — while still leaving at least
+/// two chunks per execution context for load balancing. Replaces the blunt
+/// `chunk = 1` that coarse-grained loops (REM sweep, grid search) used to
+/// pass, which maximised scheduling overhead for cheap items. Chunking never
+/// affects results: parallel bodies are schedule-independent by contract.
+[[nodiscard]] inline std::size_t chunk_for_cost(std::size_t n, double est_item_us) {
+  if (n == 0) return 1;
+  constexpr double kTargetChunkUs = 500.0;
+  std::size_t chunk =
+      est_item_us <= 0.0
+          ? n
+          : static_cast<std::size_t>(kTargetChunkUs / std::max(est_item_us, 1e-3));
+  const std::size_t contexts = std::max<std::size_t>(thread_count(), 1);
+  const std::size_t cap = std::max<std::size_t>(n / (2 * contexts), 1);
+  return std::clamp<std::size_t>(chunk, 1, cap);
+}
 
 /// Runs `body(i)` for every i in [0, n). Chunks of `chunk` consecutive
 /// indices are claimed atomically by the pool's workers plus the calling

@@ -25,9 +25,27 @@ void MeanPerMacBaseline::fit(std::span<const data::Sample> train) {
 }
 
 double MeanPerMacBaseline::predict(const data::Sample& query) const {
+  double out = 0.0;
+  predict_batch({&query, 1}, {&out, 1});
+  return out;
+}
+
+void MeanPerMacBaseline::predict_batch(std::span<const data::Sample> queries,
+                                       std::span<double> out) const {
+  REMGEN_EXPECTS(queries.size() == out.size());
+  if (queries.empty()) return;
   REMGEN_PROFILE_PHASE("ml.baseline.predict");
-  const auto it = mean_per_mac_.find(query.mac);
-  return it == mean_per_mac_.end() ? global_mean_ : it->second;
+  double mean = global_mean_;
+  const radio::MacAddress* run_mac = nullptr;
+  for (std::size_t qi = 0; qi < queries.size(); ++qi) {
+    const data::Sample& query = queries[qi];
+    if (run_mac == nullptr || !(query.mac == *run_mac)) {
+      const auto it = mean_per_mac_.find(query.mac);
+      mean = it == mean_per_mac_.end() ? global_mean_ : it->second;
+      run_mac = &query.mac;
+    }
+    out[qi] = mean;
+  }
 }
 
 void MeanPerMacBaseline::save(util::BinaryWriter& w) const {

@@ -16,6 +16,10 @@ class MeanPerMacBaseline final : public Estimator, public Serializable {
  public:
   void fit(std::span<const data::Sample> train) override;
   [[nodiscard]] double predict(const data::Sample& query) const override;
+  /// Batched lookup: profile phase fires once per batch, and runs of
+  /// equal-MAC queries reuse one hash lookup.
+  void predict_batch(std::span<const data::Sample> queries,
+                     std::span<double> out) const override;
   [[nodiscard]] std::string name() const override { return "baseline-mean-per-mac"; }
 
   [[nodiscard]] std::string_view serial_tag() const override { return "baseline-mean-per-mac"; }

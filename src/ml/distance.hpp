@@ -1,0 +1,71 @@
+// Batched, FMA-friendly distance kernels over contiguous feature rows.
+//
+// The Minkowski order is dispatched ONCE per batch (not per pair, let alone
+// per element): callers classify p into a MinkowskiKind up front, then run a
+// branch-free accumulation loop per training row. The expensive finishing
+// step (sqrt for p=2, pow(acc, 1/p) otherwise) is deferred until a distance
+// is actually needed as a distance — neighbour selection happens on the raw
+// accumulator, which is strictly monotone in the true distance.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <span>
+
+namespace remgen::ml {
+
+/// Hoisted Minkowski dispatch: classified once per batch/query, never inside
+/// the per-row accumulation loop.
+enum class MinkowskiKind { L2, L1, General };
+
+[[nodiscard]] inline MinkowskiKind minkowski_kind(double p) {
+  if (p == 2.0) return MinkowskiKind::L2;
+  if (p == 1.0) return MinkowskiKind::L1;
+  return MinkowskiKind::General;
+}
+
+/// Squared Euclidean distance over two contiguous rows: a single
+/// multiply-add chain the compiler can unroll and vectorize. No sqrt.
+[[nodiscard]] inline double squared_distance(const double* a, const double* b, std::size_t n) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = a[i] - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+/// Minkowski pre-distance: the accumulator before the finishing root —
+/// sum of squares (L2), sum of absolute differences (L1), or sum |d|^p
+/// (General). Strictly monotone in the true distance, so k-nearest selection
+/// can run on it directly.
+[[nodiscard]] inline double minkowski_pre(const double* a, const double* b, std::size_t n,
+                                          MinkowskiKind kind, double p) {
+  switch (kind) {
+    case MinkowskiKind::L2: return squared_distance(a, b, n);
+    case MinkowskiKind::L1: {
+      double acc = 0.0;
+      for (std::size_t i = 0; i < n; ++i) acc += std::abs(a[i] - b[i]);
+      return acc;
+    }
+    case MinkowskiKind::General: {
+      double acc = 0.0;
+      for (std::size_t i = 0; i < n; ++i) acc += std::pow(std::abs(a[i] - b[i]), p);
+      return acc;
+    }
+  }
+  return 0.0;
+}
+
+/// Finishes a pre-distance into the true Minkowski distance. `inv_p` is the
+/// precomputed 1/p (only read for the General kind).
+[[nodiscard]] inline double minkowski_finish(double pre, MinkowskiKind kind, double inv_p) {
+  switch (kind) {
+    case MinkowskiKind::L2: return std::sqrt(pre);
+    case MinkowskiKind::L1: return pre;
+    case MinkowskiKind::General: return std::pow(pre, inv_p);
+  }
+  return pre;
+}
+
+}  // namespace remgen::ml

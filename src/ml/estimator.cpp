@@ -1,12 +1,19 @@
 #include "ml/estimator.hpp"
 
+#include "util/contracts.hpp"
+
 namespace remgen::ml {
+
+void Estimator::predict_batch(std::span<const data::Sample> queries,
+                              std::span<double> out) const {
+  REMGEN_EXPECTS(queries.size() == out.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) out[i] = predict(queries[i]);
+}
 
 std::vector<double> predict_all(const Estimator& estimator,
                                 std::span<const data::Sample> queries) {
-  std::vector<double> out;
-  out.reserve(queries.size());
-  for (const data::Sample& q : queries) out.push_back(estimator.predict(q));
+  std::vector<double> out(queries.size(), 0.0);
+  estimator.predict_batch(queries, out);
   return out;
 }
 

@@ -26,6 +26,15 @@ class Estimator {
   /// Only valid after fit().
   [[nodiscard]] virtual double predict(const data::Sample& query) const = 0;
 
+  /// Predicts every query into `out` (same order; `out.size()` must equal
+  /// `queries.size()`). Results are bit-identical to calling predict() per
+  /// query: batching only hoists per-call overhead — profile phases and
+  /// counters fire once per batch, scratch buffers and kernel dispatch are
+  /// reused across the whole span. The base implementation loops over
+  /// predict(); estimators override it with real batched kernels.
+  virtual void predict_batch(std::span<const data::Sample> queries,
+                             std::span<double> out) const;
+
   /// Short human-readable model name for reports.
   [[nodiscard]] virtual std::string name() const = 0;
 };

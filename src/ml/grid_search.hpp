@@ -54,6 +54,9 @@ template <typename Config, typename Builder>
   REMGEN_EXPECTS(!split.train.empty() && !split.test.empty());
 
   GridSearchResult<Config> result;
+  // A candidate evaluation (fit + batched holdout pass) costs milliseconds,
+  // so the cost heuristic resolves to fine-grained chunks — candidates are
+  // coarse work items, unlike the REM sweep's cheap per-voxel predicts.
   result.evaluated = exec::parallel_map(
       candidates.size(),
       [&](std::size_t i) {
@@ -61,7 +64,7 @@ template <typename Config, typename Builder>
         estimator->fit(split.train);
         return GridPoint<Config>{candidates[i], evaluate(*estimator, split.test).rmse};
       },
-      /*chunk=*/1, "ml.grid_search");
+      exec::chunk_for_cost(candidates.size(), /*est_item_us=*/5000.0), "ml.grid_search");
   // Sequential reduction over the ordered points reproduces the sequential
   // tie-break: strictly-better RMSE wins, so the earliest minimum is `best`.
   for (const GridPoint<Config>& point : result.evaluated) {

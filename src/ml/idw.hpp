@@ -27,6 +27,11 @@ class IdwRegressor final : public Estimator, public Serializable {
 
   void fit(std::span<const data::Sample> train) override;
   [[nodiscard]] double predict(const data::Sample& query) const override;
+  /// Batched kernel: the weight-exponent dispatch (power 2/1/general) and
+  /// the per-MAC hash lookup (for runs of equal-MAC queries) are hoisted out
+  /// of the per-query loop; profile phase fires once per batch.
+  void predict_batch(std::span<const data::Sample> queries,
+                     std::span<double> out) const override;
   [[nodiscard]] std::string name() const override;
 
   [[nodiscard]] std::string_view serial_tag() const override { return "idw"; }

@@ -91,6 +91,57 @@ std::vector<KdHit> KdTree::nearest(const geom::Vec3& query, std::size_t k) const
   return heap;
 }
 
+std::size_t KdTree::nearest(const geom::Vec3& query, std::size_t k,
+                            KdQueryScratch& scratch) const {
+  REMGEN_EXPECTS(k > 0);
+  auto& heap = scratch.heap;
+  auto& stack = scratch.stack;
+  heap.clear();
+  stack.clear();
+  heap.reserve(k + 1);
+
+  // Iterative twin of search_knn(). The near child is followed immediately;
+  // the far child is deferred on the stack with its splitting-plane distance.
+  // Popping LIFO reproduces the recursion's unwind order exactly, and the
+  // prune bound is re-checked at pop time — the same moment the recursion
+  // checks it (after the near subtree completes) — so heap contents, tie
+  // handling, and therefore results are bit-identical to the recursive path.
+  auto worse = [](const KdHit& a, const KdHit& b) { return a.distance < b.distance; };
+  int node = root_;
+  while (true) {
+    while (node >= 0) {
+      const Node& n = nodes_[static_cast<std::size_t>(node)];
+      const geom::Vec3& p = points_[n.point];
+      const double d = p.distance_to(query);
+      if (heap.size() < k) {
+        heap.push_back({n.point, d});
+        std::push_heap(heap.begin(), heap.end(), worse);
+      } else if (d < heap.front().distance) {
+        std::pop_heap(heap.begin(), heap.end(), worse);
+        heap.back() = {n.point, d};
+        std::push_heap(heap.begin(), heap.end(), worse);
+      }
+      const double diff = axis_value(query, n.axis) - axis_value(p, n.axis);
+      const int near = diff <= 0.0 ? n.left : n.right;
+      const int far = diff <= 0.0 ? n.right : n.left;
+      if (far >= 0) stack.push_back({far, std::abs(diff)});
+      node = near;
+    }
+    node = -1;
+    while (!stack.empty()) {
+      const KdQueryScratch::Pending pending = stack.back();
+      stack.pop_back();
+      if (heap.size() < k || pending.plane_distance < heap.front().distance) {
+        node = pending.node;
+        break;
+      }
+    }
+    if (node < 0) break;
+  }
+  std::sort(heap.begin(), heap.end(), worse);
+  return heap.size();
+}
+
 void KdTree::search_radius(int node, const geom::Vec3& query, double radius,
                            std::vector<KdHit>& hits) const {
   if (node < 0) return;

@@ -18,6 +18,20 @@ struct KdHit {
   double distance;     ///< Euclidean distance to the query.
 };
 
+/// Reusable per-thread query state: the candidate heap plus the explicit
+/// visit stack of the iterative traversal. One scratch serves a whole batch
+/// of queries — neither buffer is reallocated between calls once warm.
+struct KdQueryScratch {
+  std::vector<KdHit> heap;
+
+  /// A deferred far-subtree visit: re-checked against the heap when popped.
+  struct Pending {
+    int node;
+    double plane_distance;  ///< |query - split plane| along the node's axis.
+  };
+  std::vector<Pending> stack;
+};
+
 /// Static KD-tree over a fixed point set.
 class KdTree {
  public:
@@ -34,6 +48,12 @@ class KdTree {
   /// reuse one buffer per thread stop allocating per query.
   std::size_t nearest(const geom::Vec3& query, std::size_t k,
                       std::vector<KdHit>& scratch) const;
+
+  /// Batched-query variant: iterative traversal (no recursion) whose visit
+  /// stack AND hit heap live in `scratch`, so a row of queries reuses both.
+  /// Hits land in scratch.heap sorted by ascending distance; returns the hit
+  /// count. Results are bit-identical to the other nearest() overloads.
+  std::size_t nearest(const geom::Vec3& query, std::size_t k, KdQueryScratch& scratch) const;
 
   /// All points within `radius` of `query`, ordered by ascending distance.
   [[nodiscard]] std::vector<KdHit> within(const geom::Vec3& query, double radius) const;

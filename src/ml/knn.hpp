@@ -36,6 +36,11 @@ class KnnRegressor final : public Estimator, public Serializable {
 
   void fit(std::span<const data::Sample> train) override;
   [[nodiscard]] double predict(const data::Sample& query) const override;
+  /// Batched kernel: Minkowski dispatch, one-hot penalty constants, and
+  /// scratch buffers are hoisted once per batch; the profile phase and
+  /// predict counter fire once per batch instead of once per query.
+  void predict_batch(std::span<const data::Sample> queries,
+                     std::span<double> out) const override;
   [[nodiscard]] std::string name() const override;
 
   [[nodiscard]] const KnnConfig& config() const noexcept { return config_; }
@@ -49,10 +54,19 @@ class KnnRegressor final : public Estimator, public Serializable {
   /// (shared between fit() and load(); the tree itself is never serialised).
   void maybe_build_tree();
 
+  /// Recovers each training row's MAC/channel vocabulary index by scanning
+  /// its one-hot block (shared between fit() and load()). The brute kernel
+  /// uses these to fold a row's entire one-hot block into an O(1) penalty
+  /// term instead of scanning the (mostly zero) block per query.
+  void rebuild_row_keys();
+
   KnnConfig config_;
   data::FeatureEncoder encoder_;
-  std::vector<std::vector<double>> features_;
+  /// Row-major SoA storage: one contiguous allocation, cache-linear scans.
+  data::FeatureMatrix features_;
   std::vector<double> targets_;
+  std::vector<int> row_mac_;      ///< Per-row MAC vocab index (-1 if none).
+  std::vector<int> row_channel_;  ///< Per-row channel vocab index (-1 if none).
   /// Engaged when the feature space is the raw (x, y, z) coordinates with
   /// p = 2: the Euclidean KD-tree query then returns the same neighbour set
   /// as the brute-force scan, at O(log n) per query instead of O(n).

@@ -119,11 +119,10 @@ void KrigingRegressor::fit(std::span<const data::Sample> train) {
 }
 
 KrigingRegressor::Prediction KrigingRegressor::krige(const MacModel& model,
-                                                     const geom::Vec3& at) const {
-  // Per-thread scratch keeps the dense-REM prediction loop allocation-free
-  // and safe for concurrent callers.
-  thread_local std::vector<KdHit> hits;
-  const std::size_t n = model.tree->nearest(at, config_.max_neighbors, hits);
+                                                     const geom::Vec3& at,
+                                                     KdQueryScratch& scratch) const {
+  const std::size_t n = model.tree->nearest(at, config_.max_neighbors, scratch);
+  const std::vector<KdHit>& hits = scratch.heap;
   REMGEN_EXPECTS(n >= 1);
   if (n == 1) return {model.values[hits[0].index], std::sqrt(model.variogram.nugget)};
 
@@ -165,17 +164,48 @@ KrigingRegressor::Prediction KrigingRegressor::krige(const MacModel& model,
   return {value, std::sqrt(std::max(var, 0.0))};
 }
 
+void KrigingRegressor::predict_with_sigma_batch(std::span<const data::Sample> queries,
+                                                std::span<Prediction> out) const {
+  REMGEN_EXPECTS(queries.size() == out.size());
+  if (queries.empty()) return;
+  REMGEN_PROFILE_PHASE("ml.kriging.predict");
+  REMGEN_COUNTER_ADD("ml.kriging.predicts", queries.size());
+  // Per-thread scratch keeps the dense-REM prediction loop allocation-free
+  // and safe for concurrent callers; runs of equal-MAC queries (the sweep's
+  // access pattern) reuse one model lookup.
+  thread_local KdQueryScratch scratch;
+  const MacModel* model = nullptr;
+  const radio::MacAddress* run_mac = nullptr;
+  for (std::size_t qi = 0; qi < queries.size(); ++qi) {
+    const data::Sample& query = queries[qi];
+    if (run_mac == nullptr || !(query.mac == *run_mac)) {
+      const auto it = models_.find(query.mac);
+      model = it == models_.end() ? nullptr : &it->second;
+      run_mac = &query.mac;
+    }
+    out[qi] = model == nullptr ? Prediction{fallback_.predict(query), 0.0}
+                               : krige(*model, query.position, scratch);
+  }
+}
+
 KrigingRegressor::Prediction KrigingRegressor::predict_with_sigma(
     const data::Sample& query) const {
-  REMGEN_PROFILE_PHASE("ml.kriging.predict");
-  REMGEN_COUNTER_ADD("ml.kriging.predicts", 1);
-  const auto it = models_.find(query.mac);
-  if (it == models_.end()) return {fallback_.predict(query), 0.0};
-  return krige(it->second, query.position);
+  Prediction out{0.0, 0.0};
+  predict_with_sigma_batch({&query, 1}, {&out, 1});
+  return out;
 }
 
 double KrigingRegressor::predict(const data::Sample& query) const {
   return predict_with_sigma(query).value;
+}
+
+void KrigingRegressor::predict_batch(std::span<const data::Sample> queries,
+                                     std::span<double> out) const {
+  REMGEN_EXPECTS(queries.size() == out.size());
+  thread_local std::vector<Prediction> predictions;
+  predictions.resize(queries.size());
+  predict_with_sigma_batch(queries, predictions);
+  for (std::size_t i = 0; i < queries.size(); ++i) out[i] = predictions[i].value;
 }
 
 void KrigingRegressor::save(util::BinaryWriter& w) const {

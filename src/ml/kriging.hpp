@@ -53,6 +53,11 @@ class KrigingRegressor final : public Estimator, public Serializable {
 
   void fit(std::span<const data::Sample> train) override;
   [[nodiscard]] double predict(const data::Sample& query) const override;
+  /// Batched kernel: per-MAC model lookup is hoisted across runs of
+  /// equal-MAC queries, the KD-tree scratch is batch-reused, and the profile
+  /// phase/counter fire once per batch.
+  void predict_batch(std::span<const data::Sample> queries,
+                     std::span<double> out) const override;
   [[nodiscard]] std::string name() const override;
 
   [[nodiscard]] std::string_view serial_tag() const override { return "kriging"; }
@@ -67,6 +72,12 @@ class KrigingRegressor final : public Estimator, public Serializable {
   };
   [[nodiscard]] Prediction predict_with_sigma(const data::Sample& query) const;
 
+  /// Batched variant of predict_with_sigma() — the REM builder's uncertainty
+  /// sweep path. `out.size()` must equal `queries.size()`; results are
+  /// bit-identical to the scalar call.
+  void predict_with_sigma_batch(std::span<const data::Sample> queries,
+                                std::span<Prediction> out) const;
+
   /// Fitted variogram for a MAC (empty if the MAC fell back to the mean).
   [[nodiscard]] std::optional<Variogram> variogram_for(const radio::MacAddress& mac) const;
 
@@ -79,7 +90,8 @@ class KrigingRegressor final : public Estimator, public Serializable {
     std::unique_ptr<KdTree> tree;
   };
 
-  [[nodiscard]] Prediction krige(const MacModel& model, const geom::Vec3& at) const;
+  [[nodiscard]] Prediction krige(const MacModel& model, const geom::Vec3& at,
+                                 KdQueryScratch& scratch) const;
 
   KrigingConfig config_;
   std::unordered_map<radio::MacAddress, MacModel> models_;

@@ -14,10 +14,14 @@ RegressionMetrics evaluate(const Estimator& estimator, std::span<const data::Sam
   for (const data::Sample& s : test) mean_y += s.rss_dbm;
   mean_y /= static_cast<double>(test.size());
 
+  // One batched pass over the holdout set (per-query overhead hoisted); the
+  // error accumulation below runs in test order, exactly as before.
+  const std::vector<double> predictions = predict_all(estimator, test);
+
   double ss_tot = 0.0;
-  for (const data::Sample& s : test) {
-    const double pred = estimator.predict(s);
-    const double err = pred - s.rss_dbm;
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    const data::Sample& s = test[i];
+    const double err = predictions[i] - s.rss_dbm;
     se += err * err;
     ae += std::abs(err);
     ss_tot += (s.rss_dbm - mean_y) * (s.rss_dbm - mean_y);

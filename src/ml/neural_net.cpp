@@ -175,11 +175,38 @@ void NeuralNetRegressor::fit(std::span<const data::Sample> train) {
 }
 
 double NeuralNetRegressor::predict(const data::Sample& query) const {
+  double out = 0.0;
+  predict_batch({&query, 1}, {&out, 1});
+  return out;
+}
+
+void NeuralNetRegressor::predict_batch(std::span<const data::Sample> queries,
+                                       std::span<double> out) const {
   REMGEN_EXPECTS(fitted_);
+  REMGEN_EXPECTS(queries.size() == out.size());
+  if (queries.empty()) return;
   REMGEN_PROFILE_PHASE("ml.nn.predict");
-  REMGEN_COUNTER_ADD("ml.nn.predicts", 1);
-  const std::vector<double> out = forward(encoder_.encode(query), nullptr);
-  return target_scaler_.inverse(out[0]);
+  REMGEN_COUNTER_ADD("ml.nn.predicts", queries.size());
+  // Ping-pong layer buffers, per-thread: the whole batch runs without a
+  // single heap allocation once the buffers are warm. The accumulation order
+  // matches forward() exactly, so predictions are bit-identical to it.
+  thread_local std::vector<double> current;
+  thread_local std::vector<double> next;
+  for (std::size_t qi = 0; qi < queries.size(); ++qi) {
+    current.resize(encoder_.dimension());
+    encoder_.encode_into(queries[qi], current);
+    for (const Layer& layer : layers_) {
+      next.resize(layer.out);
+      for (std::size_t o = 0; o < layer.out; ++o) {
+        double z = layer.b[o];
+        const double* row = layer.w.data() + o * layer.in;
+        for (std::size_t i = 0; i < layer.in; ++i) z += row[i] * current[i];
+        next[o] = layer.linear ? z : activate(z);
+      }
+      std::swap(current, next);
+    }
+    out[qi] = target_scaler_.inverse(current[0]);
+  }
 }
 
 void NeuralNetRegressor::save(util::BinaryWriter& w) const {

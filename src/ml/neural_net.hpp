@@ -44,6 +44,11 @@ class NeuralNetRegressor final : public Estimator, public Serializable {
 
   void fit(std::span<const data::Sample> train) override;
   [[nodiscard]] double predict(const data::Sample& query) const override;
+  /// Batched inference: encode-into-scratch plus ping-pong layer buffers —
+  /// zero allocations per query once warm; phase/counter fire once per batch.
+  /// Arithmetic is identical to forward(), so results are bit-identical.
+  void predict_batch(std::span<const data::Sample> queries,
+                     std::span<double> out) const override;
   [[nodiscard]] std::string name() const override;
 
   /// Mean squared training loss (standardized targets) after the last epoch.

@@ -38,11 +38,33 @@ void PerMacKnn::fit(std::span<const data::Sample> train) {
 }
 
 double PerMacKnn::predict(const data::Sample& query) const {
+  double out = 0.0;
+  predict_batch({&query, 1}, {&out, 1});
+  return out;
+}
+
+void PerMacKnn::predict_batch(std::span<const data::Sample> queries,
+                              std::span<double> out) const {
+  REMGEN_EXPECTS(queries.size() == out.size());
+  if (queries.empty()) return;
   REMGEN_PROFILE_PHASE("ml.per_mac_knn.predict");
-  REMGEN_COUNTER_ADD("ml.per_mac_knn.predicts", 1);
-  const auto it = models_.find(query.mac);
-  if (it == models_.end()) return fallback_.predict(query);
-  return it->second->predict(query);
+  REMGEN_COUNTER_ADD("ml.per_mac_knn.predicts", queries.size());
+  // Chop the batch into maximal runs of equal MAC and hand each run to the
+  // owning model's batched kernel in one call.
+  std::size_t begin = 0;
+  while (begin < queries.size()) {
+    std::size_t end = begin + 1;
+    while (end < queries.size() && queries[end].mac == queries[begin].mac) ++end;
+    const auto it = models_.find(queries[begin].mac);
+    const std::span<const data::Sample> run = queries.subspan(begin, end - begin);
+    const std::span<double> run_out = out.subspan(begin, end - begin);
+    if (it == models_.end()) {
+      fallback_.predict_batch(run, run_out);
+    } else {
+      it->second->predict_batch(run, run_out);
+    }
+    begin = end;
+  }
 }
 
 void PerMacKnn::save(util::BinaryWriter& w) const {

@@ -21,6 +21,11 @@ class PerMacKnn final : public Estimator, public Serializable {
 
   void fit(std::span<const data::Sample> train) override;
   [[nodiscard]] double predict(const data::Sample& query) const override;
+  /// Batched delegation: runs of equal-MAC queries become one sub-span
+  /// predict_batch on the owning per-MAC model (one hash lookup per run),
+  /// which is exactly the REM sweep's access pattern.
+  void predict_batch(std::span<const data::Sample> queries,
+                     std::span<double> out) const override;
   [[nodiscard]] std::string name() const override;
 
   [[nodiscard]] std::string_view serial_tag() const override { return "per-mac-knn"; }

@@ -44,6 +44,41 @@ double QueryEngine::predict(const radio::MacAddress& mac, const geom::Vec3& poin
   return rss;
 }
 
+void QueryEngine::predict_many(const radio::MacAddress& mac, std::span<const geom::Vec3> points,
+                               std::span<double> out) const {
+  // Cache pass first; every miss is collected and answered by one batched
+  // model call. Values are identical to per-point predict(): the model's
+  // batched kernel is bit-identical to its scalar path, and duplicate points
+  // within one batch produce duplicate (equal) predictions.
+  thread_local std::vector<std::size_t> miss_index;
+  thread_local std::vector<data::Sample> miss_queries;
+  thread_local std::vector<double> miss_values;
+  miss_index.clear();
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (const std::optional<double> cached = cache_.get(mac, points[i]); cached.has_value()) {
+      out[i] = *cached;
+    } else {
+      miss_index.push_back(i);
+    }
+  }
+  if (miss_index.empty()) return;
+  const auto it = channel_of_.find(mac);
+  const int channel = it == channel_of_.end() ? 0 : it->second;
+  miss_queries.resize(miss_index.size());
+  miss_values.resize(miss_index.size());
+  for (std::size_t j = 0; j < miss_index.size(); ++j) {
+    data::Sample& q = miss_queries[j];
+    q.mac = mac;
+    q.channel = channel;
+    q.position = points[miss_index[j]];
+  }
+  snapshot_.model->predict_batch(miss_queries, miss_values);
+  for (std::size_t j = 0; j < miss_index.size(); ++j) {
+    cache_.put(mac, points[miss_index[j]], miss_values[j]);
+    out[miss_index[j]] = miss_values[j];
+  }
+}
+
 Response QueryEngine::execute_point(const Request& request) const {
   Response response;
   response.id = request.id;
@@ -58,10 +93,38 @@ Response QueryEngine::execute_point(const Request& request) const {
     body["rss_dbm"] = obs::Json(predict(*request.mac, point));
   } else {
     // Best-AP: every known transmitter evaluated at the point, strongest
-    // first; ties broken by MAC so the ordering is deterministic.
+    // first; ties broken by MAC so the ordering is deterministic. Cache
+    // misses across the whole MAC set are answered with ONE batched model
+    // call (macs_ is sorted, so per-MAC estimators see one run per MAC).
     std::vector<std::pair<double, radio::MacAddress>> ranked;
     ranked.reserve(macs_.size());
-    for (const radio::MacAddress& mac : macs_) ranked.emplace_back(predict(mac, point), mac);
+    thread_local std::vector<std::size_t> miss_index;
+    thread_local std::vector<data::Sample> miss_queries;
+    thread_local std::vector<double> miss_values;
+    miss_index.clear();
+    miss_queries.clear();
+    for (std::size_t i = 0; i < macs_.size(); ++i) {
+      const radio::MacAddress& mac = macs_[i];
+      const std::optional<double> cached = cache_.get(mac, point);
+      ranked.emplace_back(cached.value_or(0.0), mac);
+      if (!cached.has_value()) {
+        miss_index.push_back(i);
+        data::Sample q;
+        q.mac = mac;
+        q.channel = channel_of_.at(mac);
+        q.position = point;
+        miss_queries.push_back(std::move(q));
+      }
+    }
+    if (!miss_index.empty()) {
+      miss_values.resize(miss_queries.size());
+      snapshot_.model->predict_batch(miss_queries, miss_values);
+      for (std::size_t j = 0; j < miss_index.size(); ++j) {
+        const radio::MacAddress& mac = macs_[miss_index[j]];
+        cache_.put(mac, point, miss_values[j]);
+        ranked[miss_index[j]].first = miss_values[j];
+      }
+    }
     std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
       if (a.first != b.first) return a.first > b.first;
       return a.second < b.second;
@@ -91,11 +154,13 @@ Response QueryEngine::execute_batch(const Request& request) const {
                            {1, 8, 64, 512, 4096});
   Response response;
   response.id = request.id;
+  // One cache pass + one batched model call for all the batch's misses.
+  thread_local std::vector<double> batch_values;
+  batch_values.resize(request.points.size());
+  predict_many(*request.mac, request.points, batch_values);
   obs::Json::Array values;
   values.reserve(request.points.size());
-  for (const geom::Vec3& point : request.points) {
-    values.push_back(obs::Json(predict(*request.mac, point)));
-  }
+  for (const double v : batch_values) values.push_back(obs::Json(v));
   obs::Json::Object body;
   body["mac"] = obs::Json(request.mac->to_string());
   body["rss_dbm"] = obs::Json(std::move(values));
@@ -167,9 +232,11 @@ Response QueryEngine::execute(const Request& request) const {
 std::vector<Response> QueryEngine::execute_all(const std::vector<Request>& requests) const {
   REMGEN_SPAN("serve.execute_all");
   REMGEN_PROFILE_PHASE("serve.execute_all");
+  // Request execution costs tens of microseconds (cache hit) to a few
+  // hundred (model misses) — the cost heuristic picks small chunks.
   std::vector<Response> responses = exec::parallel_map(
-      requests.size(), [&](std::size_t i) { return execute(requests[i]); }, /*chunk=*/0,
-      "serve.execute_all");
+      requests.size(), [&](std::size_t i) { return execute(requests[i]); },
+      exec::chunk_for_cost(requests.size(), /*est_item_us=*/100.0), "serve.execute_all");
   std::stable_sort(responses.begin(), responses.end(),
                    [](const Response& a, const Response& b) { return a.id < b.id; });
   return responses;
@@ -225,7 +292,7 @@ ReplayStats QueryEngine::replay_jsonl(std::istream& in, std::ostream& out) const
                               .count();
         return response;
       },
-      /*chunk=*/0, "serve.replay");
+      exec::chunk_for_cost(valid.size(), /*est_item_us=*/100.0), "serve.replay");
   for (std::size_t i = 0; i < valid.size(); ++i) {
     if (!executed[i].ok) ++errors;
     slots[valid[i].first] = std::move(executed[i]);

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <iosfwd>
 #include <map>
+#include <span>
 #include <vector>
 
 #include "serve/cache.hpp"
@@ -61,6 +62,12 @@ class QueryEngine {
  private:
   /// Model prediction for one (MAC, point), through the cache.
   [[nodiscard]] double predict(const radio::MacAddress& mac, const geom::Vec3& point) const;
+
+  /// Batched model predictions for one MAC at many points, through the
+  /// cache: hits are answered from the cache, and all misses go to the model
+  /// in ONE predict_batch call instead of one predict per point.
+  void predict_many(const radio::MacAddress& mac, std::span<const geom::Vec3> points,
+                    std::span<double> out) const;
   [[nodiscard]] Response execute_point(const Request& request) const;
   [[nodiscard]] Response execute_batch(const Request& request) const;
   [[nodiscard]] Response execute_volume(const Request& request) const;

@@ -4,6 +4,7 @@
 Usage:
     tools/check_bench.py [--baseline-dir bench/baselines] [--fresh-dir .]
                          [--tolerance 0.25] [--time-tolerance 1.0]
+                         [--min-speedup name:threads:factor ...]
                          [--update] [BENCH_perf.json BENCH_parallel.json ...]
 
 Compares the benchmark artifacts written by bench_perf_micro against the
@@ -20,6 +21,13 @@ A fresh metric missing from the baseline is reported but never fails the
 gate (new benchmarks land before their baseline); a baseline metric missing
 from the fresh run fails it (a silently dropped benchmark is a regression).
 
+--min-speedup name:threads:factor asserts an absolute parallel-scaling floor
+on the fresh BENCH_parallel.json: path `name` must reach at least `factor`x
+speedup at `threads` threads over its own 1-thread time. The assertion is
+enforced only when the artifact's recorded hardware_threads is >= `threads`
+— a 1-core recording machine cannot scale, and skipping (with a note) beats
+asserting the impossible. Repeatable.
+
 --update refreshes the baselines from the fresh files instead of comparing.
 """
 
@@ -32,7 +40,8 @@ from pathlib import Path
 DEFAULT_FILES = ["BENCH_perf.json", "BENCH_parallel.json", "BENCH_serve.json"]
 
 # Provenance fields that legitimately differ between runs.
-IGNORED_KEYS = {"commit", "threads", "threads_max", "iterations", "errors", "requests"}
+IGNORED_KEYS = {"commit", "threads", "threads_max", "hardware_threads",
+                "iterations", "errors", "requests"}
 
 # Metrics where HIGHER is better and the unit is machine-relative.
 RATIO_KEYS = {"speedup_at_max", "qps"}
@@ -95,6 +104,64 @@ def compare(name, baseline, fresh, tolerance, time_tolerance):
     return regressions, notes
 
 
+def parse_min_speedup(spec):
+    """Parses one name:threads:factor assertion; exits with a usage error on
+    a malformed spec rather than silently skipping a gate."""
+    parts = spec.split(":")
+    if len(parts) != 3:
+        raise argparse.ArgumentTypeError(
+            f"--min-speedup expects name:threads:factor, got {spec!r}")
+    name, threads, factor = parts
+    try:
+        return name, int(threads), float(factor)
+    except ValueError as error:
+        raise argparse.ArgumentTypeError(
+            f"--min-speedup {spec!r}: {error}") from error
+
+
+def check_min_speedups(fresh_dir, specs):
+    """Returns (failures, notes) for the --min-speedup assertions against the
+    fresh BENCH_parallel.json (raw document — the per-width seconds)."""
+    failures = []
+    notes = []
+    path = fresh_dir / "BENCH_parallel.json"
+    try:
+        with open(path, encoding="utf-8") as handle:
+            doc = json.load(handle)
+    except (json.JSONDecodeError, OSError) as error:
+        return [f"min-speedup: cannot read {path}: {error}"], notes
+
+    hardware = int(doc.get("hardware_threads", 0))
+    rows = {row.get("name"): row for row in doc.get("paths", [])}
+    for name, threads, factor in specs:
+        if hardware < threads:
+            notes.append(
+                f"min-speedup: skipping {name}:{threads}:{factor:g} — recorder "
+                f"has {hardware} hardware thread(s), cannot scale to {threads}")
+            continue
+        row = rows.get(name)
+        if row is None:
+            failures.append(f"min-speedup: path {name!r} missing from {path}")
+            continue
+        seconds = row.get("seconds", {})
+        t1 = seconds.get("1")
+        tn = seconds.get(str(threads))
+        if t1 is None or tn is None or tn <= 0:
+            failures.append(
+                f"min-speedup: {name} lacks timings at widths 1 and {threads}")
+            continue
+        speedup = t1 / tn
+        if speedup < factor:
+            failures.append(
+                f"min-speedup: {name} reached {speedup:.2f}x at {threads} "
+                f"threads (floor {factor:g}x; 1t={t1:g}s, {threads}t={tn:g}s)")
+        else:
+            notes.append(
+                f"min-speedup: {name} ok — {speedup:.2f}x at {threads} threads "
+                f"(floor {factor:g}x)")
+    return failures, notes
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("files", nargs="*", default=None,
@@ -105,6 +172,12 @@ def main():
                         help="allowed fractional drop for ratio metrics (default 0.25)")
     parser.add_argument("--time-tolerance", default=1.0, type=float,
                         help="allowed fractional growth for time metrics (default 1.0 = 2x)")
+    parser.add_argument("--min-speedup", action="append", default=[],
+                        type=parse_min_speedup, metavar="NAME:THREADS:FACTOR",
+                        help="assert NAME reaches FACTORx speedup at THREADS "
+                             "threads in the fresh BENCH_parallel.json "
+                             "(skipped when the recorder has fewer hardware "
+                             "threads); repeatable")
     parser.add_argument("--update", action="store_true",
                         help="refresh the baselines from the fresh files and exit")
     args = parser.parse_args()
@@ -150,6 +223,13 @@ def main():
 
     if args.update:
         return 0
+
+    if args.min_speedup:
+        failures, notes = check_min_speedups(args.fresh_dir, args.min_speedup)
+        for note in notes:
+            print(f"note: {note}")
+        all_regressions.extend(failures)
+
     if all_regressions:
         print(f"\n{len(all_regressions)} perf regression(s):", file=sys.stderr)
         for regression in all_regressions:
