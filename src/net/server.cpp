@@ -1,0 +1,512 @@
+#include "net/server.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <optional>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "store/snapshot.hpp"
+#include "util/fmt.hpp"
+#include "util/log.hpp"
+
+namespace remgen::net {
+
+namespace {
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    throw std::runtime_error(util::format("net: fcntl O_NONBLOCK failed: {}",
+                                          std::strerror(errno)));
+  }
+}
+
+}  // namespace
+
+/// One accepted socket. The connection object outlives a half-closed peer
+/// while queued work still references it, so pipelined clients that
+/// shutdown(SHUT_WR) and then read still receive every response.
+struct Server::Connection {
+  std::uint64_t id = 0;
+  int fd = -1;
+  std::string in;             ///< Bytes read, not yet split into lines.
+  std::string out;            ///< Response bytes not yet written.
+  bool peer_closed = false;   ///< recv saw EOF: no more requests.
+  bool broken = false;        ///< Socket error: drop outstanding output.
+  std::size_t queued = 0;     ///< queue_/reload entries still owed to this peer.
+};
+
+/// One admitted queue entry: either a request waiting for an execution round
+/// or an already-built response (parse error, overload, admin result) that
+/// only flows through the queue to keep per-connection delivery in order.
+struct Server::Pending {
+  std::uint64_t conn_id = 0;
+  std::optional<serve::Request> request;
+  std::shared_ptr<const serve::QueryEngine> engine;  ///< Resolved at admission.
+  serve::Response ready;
+};
+
+/// A hot snapshot reload in flight on its background thread. The worker only
+/// touches its own job fields; the event loop polls `done` and performs the
+/// engine swap itself, so the engines_ map stays single-threaded.
+struct Server::ReloadJob {
+  std::uint64_t conn_id = 0;
+  std::int64_t id = -1;
+  std::string map;
+  std::string path;
+  std::string error;
+  std::shared_ptr<const serve::QueryEngine> engine;
+  std::atomic<bool> done{false};
+  std::thread worker;
+};
+
+Server::Server(ServerConfig config) : config_(std::move(config)) {}
+
+Server::~Server() {
+  finish_reloads(/*wait=*/true);
+  for (auto& [id, connection] : connections_) {
+    if (connection.fd >= 0) ::close(connection.fd);
+  }
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+}
+
+void Server::add_engine(std::string name, std::shared_ptr<const serve::QueryEngine> engine) {
+  if (engine == nullptr) throw std::runtime_error("net: add_engine: null engine");
+  if (default_map_.empty()) default_map_ = name;
+  engines_[std::move(name)] = std::move(engine);
+}
+
+std::uint16_t Server::bind_and_listen() {
+  if (engines_.empty()) throw std::runtime_error("net: no engine registered");
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw std::runtime_error(util::format("net: socket: {}", std::strerror(errno)));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config_.port);
+  if (::inet_pton(AF_INET, config_.bind_address.c_str(), &addr.sin_addr) != 1) {
+    throw std::runtime_error(util::format("net: bad bind address '{}'", config_.bind_address));
+  }
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) < 0) {
+    throw std::runtime_error(util::format("net: bind {}:{}: {}", config_.bind_address,
+                                          config_.port, std::strerror(errno)));
+  }
+  if (::listen(listen_fd_, config_.backlog) < 0) {
+    throw std::runtime_error(util::format("net: listen: {}", std::strerror(errno)));
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) < 0) {
+    throw std::runtime_error(util::format("net: getsockname: {}", std::strerror(errno)));
+  }
+  set_nonblocking(listen_fd_);
+  port_ = ntohs(bound.sin_port);
+  return port_;
+}
+
+serve::Response Server::make_error(std::int64_t id, const std::string& message) const {
+  serve::Response response;
+  response.id = id;
+  response.ok = false;
+  response.error = message;
+  return response;
+}
+
+void Server::accept_ready() {
+  while (true) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN/EWOULDBLOCK: drained.
+    }
+    if (connections_.size() >= config_.max_connections) {
+      ++stats_.connections_rejected;
+      REMGEN_COUNTER_ADD("net.connections_rejected", 1);
+      ::close(fd);
+      continue;
+    }
+    set_nonblocking(fd);
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    Connection connection;
+    connection.id = next_conn_id_++;
+    connection.fd = fd;
+    connections_.emplace(connection.id, std::move(connection));
+    ++stats_.connections_accepted;
+    REMGEN_COUNTER_ADD("net.connections_accepted", 1);
+  }
+}
+
+void Server::handle_admin(Connection& connection, std::int64_t id, const std::string& type,
+                          const obs::Json& doc) {
+  if (type == "stats") {
+    serve::Response response;
+    response.id = id;
+    obs::Json::Object body;
+    body["connections"] = obs::Json(static_cast<std::int64_t>(connections_.size()));
+    body["inflight"] = obs::Json(static_cast<std::int64_t>(queued_requests_));
+    body["requests"] = obs::Json(stats_.requests);
+    body["responses"] = obs::Json(stats_.responses);
+    body["parse_errors"] = obs::Json(stats_.parse_errors);
+    body["overload_rejections"] = obs::Json(stats_.overload_rejections);
+    body["reload_swaps"] = obs::Json(stats_.reload_swaps);
+    body["reload_failures"] = obs::Json(stats_.reload_failures);
+    obs::Json::Array maps;
+    for (const auto& [name, engine] : engines_) maps.push_back(obs::Json(name));
+    body["maps"] = obs::Json(std::move(maps));
+    response.body = obs::Json(std::move(body));
+    enqueue_response(connection, std::move(response));
+    return;
+  }
+  // type == "reload": {"id":N,"type":"reload","snapshot":"path"[,"map":"m"]}.
+  // The response is deferred until the background load finished and the swap
+  // happened — it is the client's "new snapshot is live" acknowledgement —
+  // and is therefore delivered out of queue order (use a dedicated admin
+  // connection when strict pipelining matters).
+  if (!doc.contains("snapshot") || !doc.at("snapshot").is_string()) {
+    enqueue_response(connection, make_error(id, "reload: missing 'snapshot' path"));
+    return;
+  }
+  const std::string map =
+      doc.contains("map") ? doc.at("map").as_string() : default_map_;
+  if (engines_.find(map) == engines_.end()) {
+    enqueue_response(connection, make_error(id, util::format("reload: unknown map '{}'", map)));
+    return;
+  }
+  for (const auto& job : reloads_) {
+    if (job->map == map) {
+      enqueue_response(connection,
+                       make_error(id, util::format("reload already in progress for map '{}'", map)));
+      return;
+    }
+  }
+  auto job = std::make_unique<ReloadJob>();
+  job->conn_id = connection.id;
+  job->id = id;
+  job->map = map;
+  job->path = doc.at("snapshot").as_string();
+  ++connection.queued;
+  ReloadJob* raw = job.get();
+  const std::size_t cache_bytes = config_.cache_bytes;
+  job->worker = std::thread([raw, cache_bytes] {
+    try {
+      store::Snapshot snapshot = store::load_snapshot_file(raw->path);
+      raw->engine =
+          std::make_shared<const serve::QueryEngine>(std::move(snapshot), cache_bytes);
+    } catch (const std::exception& e) {
+      raw->error = e.what();
+    }
+    raw->done.store(true, std::memory_order_release);
+  });
+  reloads_.push_back(std::move(job));
+}
+
+void Server::enqueue_response(Connection& connection, serve::Response response) {
+  Pending pending;
+  pending.conn_id = connection.id;
+  pending.ready = std::move(response);
+  ++connection.queued;
+  queue_.push_back(std::move(pending));
+}
+
+void Server::handle_line(Connection& connection, const std::string& line) {
+  if (line.empty()) return;
+  obs::Json doc;
+  serve::Request request;
+  try {
+    doc = obs::Json::parse(line);
+    if (doc.is_object() && doc.contains("type") && doc.at("type").is_string()) {
+      const std::string& type = doc.at("type").as_string();
+      if (type == "stats" || type == "reload") {
+        // Admin types share the id contract with query requests.
+        std::int64_t id = -1;
+        if (doc.contains("id") && doc.at("id").is_int()) id = doc.at("id").as_int64();
+        if (id < 0) {
+          ++stats_.parse_errors;
+          REMGEN_COUNTER_ADD("net.parse_errors", 1);
+          enqueue_response(connection,
+                           make_error(-1, "request: 'id' must be a non-negative integer"));
+          return;
+        }
+        handle_admin(connection, id, type, doc);
+        return;
+      }
+    }
+    request = serve::parse_request_doc(doc);
+  } catch (const std::exception& e) {
+    ++stats_.parse_errors;
+    REMGEN_COUNTER_ADD("net.parse_errors", 1);
+    enqueue_response(connection, make_error(serve::salvage_request_id(line), e.what()));
+    return;
+  }
+
+  // Admission control: a full queue answers 503-style instead of queueing
+  // unboundedly. The response still flows through the queue (it is cheap and
+  // preserves per-connection order); only executable work is bounded.
+  if (queued_requests_ >= config_.max_inflight) {
+    ++stats_.overload_rejections;
+    REMGEN_COUNTER_ADD("net.overload_rejections", 1);
+    enqueue_response(connection,
+                     make_error(request.id, util::format("overloaded: {} requests in flight (503)",
+                                                         queued_requests_)));
+    return;
+  }
+
+  const std::string& map = request.map.has_value() ? *request.map : default_map_;
+  const auto engine_it = engines_.find(map);
+  if (engine_it == engines_.end()) {
+    enqueue_response(connection, make_error(request.id, util::format("unknown map '{}'", map)));
+    return;
+  }
+
+  Pending pending;
+  pending.conn_id = connection.id;
+  pending.request = std::move(request);
+  pending.engine = engine_it->second;  // Pinned: reloads never touch in-flight work.
+  ++connection.queued;
+  ++queued_requests_;
+  ++stats_.requests;
+  REMGEN_COUNTER_ADD("net.requests", 1);
+  queue_.push_back(std::move(pending));
+}
+
+void Server::read_ready(Connection& connection) {
+  char buffer[16384];
+  while (true) {
+    const ssize_t n = ::recv(connection.fd, buffer, sizeof buffer, 0);
+    if (n > 0) {
+      connection.in.append(buffer, static_cast<std::size_t>(n));
+      if (connection.in.size() > config_.max_line_bytes &&
+          connection.in.find('\n') == std::string::npos) {
+        util::logf(util::LogLevel::Warn, "net",
+                 "closing connection: request line exceeds {} bytes", config_.max_line_bytes);
+        connection.broken = true;
+        return;
+      }
+      continue;
+    }
+    if (n == 0) {
+      connection.peer_closed = true;
+      break;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    connection.broken = true;
+    return;
+  }
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t newline = connection.in.find('\n', start);
+    if (newline == std::string::npos) break;
+    std::string line = connection.in.substr(start, newline - start);
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    handle_line(connection, line);
+    start = newline + 1;
+  }
+  connection.in.erase(0, start);
+}
+
+void Server::finish_reloads(bool wait) {
+  for (auto it = reloads_.begin(); it != reloads_.end();) {
+    ReloadJob& job = **it;
+    if (wait && job.worker.joinable()) {
+      job.worker.join();
+    } else if (!job.done.load(std::memory_order_acquire)) {
+      ++it;
+      continue;
+    }
+    if (job.worker.joinable()) job.worker.join();
+    serve::Response response;
+    response.id = job.id;
+    if (job.error.empty()) {
+      engines_[job.map] = job.engine;  // The atomic-swap moment: next
+                                       // admissions pin the new snapshot.
+      ++stats_.reload_swaps;
+      REMGEN_COUNTER_ADD("net.reload_swaps", 1);
+      obs::Json::Object body;
+      body["map"] = obs::Json(job.map);
+      body["reloaded"] = obs::Json(true);
+      response.body = obs::Json(std::move(body));
+    } else {
+      ++stats_.reload_failures;
+      REMGEN_COUNTER_ADD("net.reload_failures", 1);
+      response.ok = false;
+      response.error = util::format("reload failed: {}", job.error);
+    }
+    const auto conn_it = connections_.find(job.conn_id);
+    if (conn_it != connections_.end()) {
+      conn_it->second.out += response.to_jsonl();
+      conn_it->second.out += '\n';
+      --conn_it->second.queued;
+      ++stats_.responses;
+      REMGEN_COUNTER_ADD("net.responses", 1);
+    }
+    it = reloads_.erase(it);
+  }
+}
+
+void Server::execute_round() {
+  if (queue_.empty()) return;
+  const std::size_t round_size = std::min(queue_.size(), config_.max_batch);
+  std::vector<Pending> round;
+  round.reserve(round_size);
+  for (std::size_t i = 0; i < round_size; ++i) {
+    round.push_back(std::move(queue_.front()));
+    queue_.pop_front();
+  }
+
+  // Fan out: group executable entries by their pinned engine (one group in
+  // steady state; two only mid-reload or with multiple maps) and run each
+  // group through the coalescing batch path on the shared pool.
+  std::map<const serve::QueryEngine*, std::vector<std::size_t>> by_engine;
+  for (std::size_t i = 0; i < round.size(); ++i) {
+    if (round[i].request.has_value()) by_engine[round[i].engine.get()].push_back(i);
+  }
+  for (const auto& [engine, indices] : by_engine) {
+    std::vector<serve::Request> requests;
+    requests.reserve(indices.size());
+    for (const std::size_t i : indices) requests.push_back(std::move(*round[i].request));
+    std::vector<serve::Response> responses = engine->execute_coalesced(requests);
+    for (std::size_t j = 0; j < indices.size(); ++j) {
+      round[indices[j]].ready = std::move(responses[j]);
+      round[indices[j]].request.reset();
+    }
+    queued_requests_ -= indices.size();
+  }
+
+  // Deliver in admission order; per-connection response order is therefore
+  // exactly the request order, pipelining included.
+  for (Pending& pending : round) {
+    const auto it = connections_.find(pending.conn_id);
+    if (it == connections_.end()) continue;  // Peer vanished; response unroutable.
+    Connection& connection = it->second;
+    --connection.queued;
+    if (connection.broken) continue;
+    connection.out += pending.ready.to_jsonl();
+    connection.out += '\n';
+    ++stats_.responses;
+    REMGEN_COUNTER_ADD("net.responses", 1);
+  }
+}
+
+void Server::write_ready(Connection& connection) {
+  while (!connection.out.empty()) {
+    const ssize_t n = ::send(connection.fd, connection.out.data(),
+                             connection.out.size(), MSG_NOSIGNAL);
+    if (n > 0) {
+      connection.out.erase(0, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+    connection.broken = true;
+    return;
+  }
+}
+
+void Server::close_connection(std::uint64_t conn_id) {
+  const auto it = connections_.find(conn_id);
+  if (it == connections_.end()) return;
+  ::close(it->second.fd);
+  connections_.erase(it);
+  REMGEN_GAUGE_SET("net.connections_open", static_cast<double>(connections_.size()));
+}
+
+void Server::run() {
+  if (listen_fd_ < 0) bind_and_listen();
+  util::logf(util::LogLevel::Info, "net", "serving {} map(s) on {}:{}", engines_.size(),
+             config_.bind_address, port_);
+  bool accepting = true;
+  while (true) {
+    const bool draining = shutdown_requested_.load(std::memory_order_relaxed);
+    if (draining && accepting) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      accepting = false;
+      util::logf(util::LogLevel::Info, "net", "draining {} queued request(s) over {} connection(s)",
+                 queue_.size(), connections_.size());
+    }
+
+    std::vector<pollfd> fds;
+    std::vector<std::uint64_t> fd_conn;  // fds[i + offset] -> connection id
+    if (accepting) fds.push_back({listen_fd_, POLLIN, 0});
+    const std::size_t conn_offset = fds.size();
+    for (auto& [conn_id, connection] : connections_) {
+      short events = 0;
+      // Backpressure: stop reading while this peer's unwritten output is
+      // over budget or the server is draining.
+      if (!connection.peer_closed && !draining &&
+          connection.out.size() < config_.max_buffered_bytes) {
+        events |= POLLIN;
+      }
+      if (!connection.out.empty()) events |= POLLOUT;
+      if (events == 0) continue;
+      fds.push_back({connection.fd, events, 0});
+      fd_conn.push_back(conn_id);
+    }
+
+    // Work is already queued (or reloads may finish): poll only as a quick
+    // readiness probe; otherwise sleep until traffic or the timeout.
+    const int timeout =
+        (!queue_.empty() || !reloads_.empty()) ? 0 : config_.poll_timeout_ms;
+    const int ready = ::poll(fds.data(), fds.size(), timeout);
+    if (ready < 0 && errno != EINTR) {
+      throw std::runtime_error(util::format("net: poll: {}", std::strerror(errno)));
+    }
+
+    if (ready > 0) {
+      if (accepting && (fds[0].revents & POLLIN) != 0) accept_ready();
+      for (std::size_t i = 0; i < fd_conn.size(); ++i) {
+        const auto it = connections_.find(fd_conn[i]);
+        if (it == connections_.end()) continue;
+        const short revents = fds[conn_offset + i].revents;
+        if ((revents & (POLLERR | POLLNVAL)) != 0) it->second.broken = true;
+        if ((revents & (POLLIN | POLLHUP)) != 0 && !it->second.broken &&
+            !it->second.peer_closed) {
+          read_ready(it->second);
+        }
+        if ((revents & POLLOUT) != 0 && !it->second.broken) write_ready(it->second);
+      }
+    }
+
+    finish_reloads(/*wait=*/false);
+    execute_round();
+
+    // Flush opportunistically after executing — most responses fit the
+    // socket buffer and go out without waiting for the next POLLOUT round.
+    std::vector<std::uint64_t> to_close;
+    for (auto& [conn_id, connection] : connections_) {
+      if (!connection.out.empty() && !connection.broken) write_ready(connection);
+      const bool done_sending = connection.out.empty() && connection.queued == 0;
+      if (connection.broken || (connection.peer_closed && done_sending) ||
+          (draining && done_sending)) {
+        to_close.push_back(conn_id);
+      }
+    }
+    for (const std::uint64_t conn_id : to_close) close_connection(conn_id);
+    REMGEN_GAUGE_SET("net.connections_open", static_cast<double>(connections_.size()));
+    REMGEN_GAUGE_SET("net.inflight", static_cast<double>(queued_requests_));
+
+    if (draining && queue_.empty() && reloads_.empty() && connections_.empty()) break;
+  }
+  util::logf(util::LogLevel::Info, "net", "drained; served {} request(s), {} response(s)",
+             stats_.requests, stats_.responses);
+}
+
+}  // namespace remgen::net

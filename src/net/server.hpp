@@ -1,0 +1,130 @@
+// remgen-served: the long-running network half of the serve layer.
+//
+// A poll()-based event loop on the calling thread accepts TCP connections
+// and speaks the serve JSONL protocol (src/serve/request.hpp) framed as
+// newline-delimited JSON: clients pipeline any number of request lines and
+// receive one response line per request, delivered per connection in request
+// order. Parsed requests are admitted into a bounded in-flight queue
+// (admission control: requests beyond the bound are answered immediately
+// with an ok=false "overloaded" 503-style response instead of queueing
+// without limit) and executed in rounds fanned out to the shared
+// exec::ThreadPool via QueryEngine::execute_coalesced, which merges point
+// queries for the same MAC into one batched model call. Responses are byte-
+// identical to offline `remgen-serve` replay of the same lines.
+//
+// Snapshot discipline: the server holds one std::shared_ptr<const
+// QueryEngine> per named map. Only the event-loop thread reads or swaps
+// those pointers; a hot reload ({"type":"reload",...}) loads the new REMSNAP
+// and constructs its engine on a background thread, then hands the finished
+// shared_ptr back to the event loop, which swaps it in between execution
+// rounds. Requests already admitted resolved their engine pointer at
+// admission, so everything in flight finishes on the old snapshot — zero
+// drops, zero mixed-snapshot batches — and the old engine is freed when the
+// last in-flight holder releases it.
+//
+// Shutdown: request_shutdown() (async-signal-safe; call it from a SIGTERM/
+// SIGINT handler) makes the loop stop accepting, drain the queue, flush
+// every write buffer, and return. No admitted request is dropped.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "serve/engine.hpp"
+
+namespace remgen::net {
+
+struct ServerConfig {
+  std::string bind_address = "127.0.0.1";  ///< Loopback by default; opt into exposure.
+  std::uint16_t port = 0;                  ///< 0 = ephemeral (see Server::port()).
+  int backlog = 128;
+  std::size_t max_connections = 1024;   ///< Accepted beyond this are closed at once.
+  std::size_t max_inflight = 4096;      ///< Admitted-request bound (admission control).
+  std::size_t max_batch = 512;          ///< Requests executed per pool round.
+  std::size_t max_line_bytes = 1 << 20; ///< A longer request line closes the connection.
+  std::size_t max_buffered_bytes = 4 << 20;  ///< Per-connection write-buffer cap:
+                                             ///< reading pauses until it drains.
+  int poll_timeout_ms = 50;             ///< Reload-completion / shutdown latency bound.
+  std::size_t cache_bytes = 64 << 20;   ///< Result-cache budget for reloaded engines.
+};
+
+/// Counters mirrored into net.* metrics; stable across stats() calls.
+struct ServerStats {
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t connections_rejected = 0;  ///< Over max_connections.
+  std::uint64_t requests = 0;              ///< Lines admitted for execution.
+  std::uint64_t responses = 0;             ///< Lines written back (incl. errors).
+  std::uint64_t parse_errors = 0;
+  std::uint64_t overload_rejections = 0;
+  std::uint64_t reload_swaps = 0;
+  std::uint64_t reload_failures = 0;
+};
+
+/// Single-threaded event loop + pool-executed request rounds over one or
+/// more named QueryEngines. Not thread-safe except request_shutdown().
+class Server {
+ public:
+  explicit Server(ServerConfig config);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Registers (or replaces) the engine served under `name`. The first
+  /// registered name becomes the default map for requests without a "map"
+  /// field. Must not be called while run() is active.
+  void add_engine(std::string name, std::shared_ptr<const serve::QueryEngine> engine);
+
+  /// Binds and listens; returns the bound port (resolves port 0). Throws
+  /// std::runtime_error on socket failures or when no engine is registered.
+  std::uint16_t bind_and_listen();
+
+  /// Runs the event loop until request_shutdown(), then drains: admitted
+  /// requests execute, every response line is flushed, connections close.
+  void run();
+
+  /// Async-signal-safe shutdown trigger; the loop notices within
+  /// poll_timeout_ms.
+  void request_shutdown() noexcept { shutdown_requested_.store(true); }
+
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+  [[nodiscard]] const ServerStats& stats() const noexcept { return stats_; }
+
+ private:
+  struct Connection;
+  struct Pending;
+  struct ReloadJob;
+
+  void accept_ready();
+  void read_ready(Connection& connection);
+  void handle_line(Connection& connection, const std::string& line);
+  void enqueue_response(Connection& connection, serve::Response response);
+  void handle_admin(Connection& connection, std::int64_t id, const std::string& type,
+                    const obs::Json& doc);
+  void finish_reloads(bool wait);
+  void execute_round();
+  void write_ready(Connection& connection);
+  void close_connection(std::uint64_t conn_id);
+  [[nodiscard]] serve::Response make_error(std::int64_t id, const std::string& message) const;
+
+  ServerConfig config_;
+  std::string default_map_;
+  std::map<std::string, std::shared_ptr<const serve::QueryEngine>> engines_;
+
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::uint64_t next_conn_id_ = 1;
+  std::map<std::uint64_t, Connection> connections_;
+  std::deque<Pending> queue_;           ///< FIFO of admitted work (front = oldest).
+  std::size_t queued_requests_ = 0;     ///< Entries in queue_ that still need execution.
+  std::vector<std::unique_ptr<ReloadJob>> reloads_;
+  ServerStats stats_;
+  std::atomic<bool> shutdown_requested_{false};
+};
+
+}  // namespace remgen::net

@@ -192,6 +192,19 @@ class Parser {
     }
     if (pos_ == start) fail("expected value", pos_);
     const std::string token(text_.substr(start, pos_ - start));
+    // Integer tokens that fit int64 keep their exact value; everything else
+    // (fractions, exponents, out-of-range integers) falls back to double.
+    if (token.find_first_of(".eE") == std::string::npos) {
+      try {
+        std::size_t consumed = 0;
+        const std::int64_t value = std::stoll(token, &consumed);
+        if (consumed == token.size()) return Json(value);
+      } catch (const std::out_of_range&) {
+        // Magnitude beyond int64: double below is the best representation.
+      } catch (const std::invalid_argument&) {
+        // Malformed (e.g. lone '-'): the double path rejects it too.
+      }
+    }
     try {
       std::size_t consumed = 0;
       const double value = std::stod(token, &consumed);
@@ -219,6 +232,8 @@ void dump_value(const Json& value, std::string& out, int indent, int depth) {
     out += "null";
   } else if (value.is_bool()) {
     out += value.as_bool() ? "true" : "false";
+  } else if (value.is_int()) {
+    out += std::to_string(value.as_int64());
   } else if (value.is_number()) {
     out += number_to_string(value.as_double());
   } else if (value.is_string()) {
@@ -267,8 +282,14 @@ bool Json::as_bool() const {
 }
 
 double Json::as_double() const {
+  if (is_int()) return static_cast<double>(std::get<std::int64_t>(value_));
   if (!is_number()) throw std::runtime_error("json: not a number");
   return std::get<double>(value_);
+}
+
+std::int64_t Json::as_int64() const {
+  if (!is_int()) throw std::runtime_error("json: not an integer");
+  return std::get<std::int64_t>(value_);
 }
 
 const std::string& Json::as_string() const {

@@ -2,9 +2,12 @@
 //
 // Covers exactly what the telemetry exporters and their tests need — objects
 // (sorted keys, so serialisation is deterministic), arrays, strings with the
-// standard escapes, finite doubles, booleans and null. parse() accepts the
-// exporters' own output plus ordinary hand-written JSON; errors throw
-// std::runtime_error with an offset. Not a general-purpose library: no
+// standard escapes, finite doubles, booleans and null. Integer tokens that
+// fit std::int64_t are kept as integers end to end (parse, store, dump), so
+// 64-bit identifiers — serve-protocol request ids above 2^53, for one —
+// round-trip exactly instead of being flattened through double. parse()
+// accepts the exporters' own output plus ordinary hand-written JSON; errors
+// throw std::runtime_error with an offset. Not a general-purpose library: no
 // comments, no NaN/Inf literals, no duplicate-key preservation.
 #pragma once
 
@@ -26,9 +29,14 @@ class Json {
   Json(std::nullptr_t) : value_(nullptr) {}
   Json(bool value) : value_(value) {}
   Json(double value) : value_(value) {}
-  Json(int value) : value_(static_cast<double>(value)) {}
-  Json(std::int64_t value) : value_(static_cast<double>(value)) {}
-  Json(std::uint64_t value) : value_(static_cast<double>(value)) {}
+  Json(int value) : value_(static_cast<std::int64_t>(value)) {}
+  Json(std::int64_t value) : value_(value) {}
+  // Unsigned values beyond int64 range fall back to double (lossy, as
+  // before); everything smaller stays exact.
+  Json(std::uint64_t value)
+      : value_(value <= 0x7fffffffffffffffULL
+                   ? Value(static_cast<std::int64_t>(value))
+                   : Value(static_cast<double>(value))) {}
   Json(const char* value) : value_(std::string(value)) {}
   Json(std::string value) : value_(std::move(value)) {}
   Json(Array value) : value_(std::move(value)) {}
@@ -36,14 +44,24 @@ class Json {
 
   [[nodiscard]] bool is_null() const { return std::holds_alternative<std::nullptr_t>(value_); }
   [[nodiscard]] bool is_bool() const { return std::holds_alternative<bool>(value_); }
-  [[nodiscard]] bool is_number() const { return std::holds_alternative<double>(value_); }
+  [[nodiscard]] bool is_number() const {
+    return std::holds_alternative<double>(value_) ||
+           std::holds_alternative<std::int64_t>(value_);
+  }
+  /// True only for numbers held as exact integers (integer token on parse,
+  /// or an integer-typed constructor).
+  [[nodiscard]] bool is_int() const { return std::holds_alternative<std::int64_t>(value_); }
   [[nodiscard]] bool is_string() const { return std::holds_alternative<std::string>(value_); }
   [[nodiscard]] bool is_array() const { return std::holds_alternative<Array>(value_); }
   [[nodiscard]] bool is_object() const { return std::holds_alternative<Object>(value_); }
 
   /// Typed accessors; throw std::runtime_error on kind mismatch.
+  /// as_double() accepts either number representation (integers convert, so
+  /// existing numeric callers never care which one parse() chose);
+  /// as_int64() requires the exact-integer representation.
   [[nodiscard]] bool as_bool() const;
   [[nodiscard]] double as_double() const;
+  [[nodiscard]] std::int64_t as_int64() const;
   [[nodiscard]] const std::string& as_string() const;
   [[nodiscard]] const Array& as_array() const;
   [[nodiscard]] Array& as_array();
@@ -65,7 +83,9 @@ class Json {
   [[nodiscard]] static Json parse(std::string_view text);
 
  private:
-  std::variant<std::nullptr_t, bool, double, std::string, Array, Object> value_;
+  using Value =
+      std::variant<std::nullptr_t, bool, double, std::int64_t, std::string, Array, Object>;
+  Value value_;
 };
 
 /// Escapes `text` into a quoted JSON string literal.

@@ -229,6 +229,67 @@ Response QueryEngine::execute(const Request& request) const {
   }
 }
 
+std::vector<Response> QueryEngine::execute_coalesced(const std::vector<Request>& requests) const {
+  REMGEN_SPAN("serve.execute_coalesced");
+  REMGEN_PROFILE_PHASE("serve.execute_coalesced");
+  // Work units: single-point queries naming a known MAC are grouped per MAC
+  // and answered by ONE predict_many call (cache misses across the whole
+  // group become one predict_batch); everything else — best-AP, batch,
+  // volume, unknown MAC — executes individually. predict_many is bit-
+  // identical to per-point predict(), so every response matches what
+  // execute() would have produced, byte for byte.
+  struct Unit {
+    std::optional<radio::MacAddress> mac;  // Set => coalesced point group.
+    std::vector<std::size_t> indices;      // Request indices in input order.
+  };
+  std::vector<Unit> units;
+  std::map<radio::MacAddress, std::size_t> group_of;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const Request& r = requests[i];
+    if (r.type == RequestType::Point && r.mac.has_value() &&
+        channel_of_.find(*r.mac) != channel_of_.end()) {
+      const auto [it, inserted] = group_of.try_emplace(*r.mac, units.size());
+      if (inserted) units.push_back(Unit{*r.mac, {}});
+      units[it->second].indices.push_back(i);
+    } else {
+      units.push_back(Unit{std::nullopt, {i}});
+    }
+  }
+
+  std::vector<Response> responses(requests.size());
+  const auto run_unit = [&](std::size_t u) {
+    const Unit& unit = units[u];
+    if (!unit.mac.has_value()) {
+      const std::size_t i = unit.indices.front();
+      responses[i] = execute(requests[i]);
+      return;
+    }
+    REMGEN_COUNTER_ADD("serve.queries", static_cast<std::int64_t>(unit.indices.size()));
+    REMGEN_HISTOGRAM_OBSERVE("serve.coalesced_points", unit.indices.size(), {1, 8, 64, 512, 4096});
+    thread_local std::vector<geom::Vec3> unit_points;
+    thread_local std::vector<double> unit_values;
+    unit_points.clear();
+    for (const std::size_t i : unit.indices) unit_points.push_back(requests[i].points.front());
+    unit_values.resize(unit_points.size());
+    predict_many(*unit.mac, unit_points, unit_values);
+    for (std::size_t j = 0; j < unit.indices.size(); ++j) {
+      const std::size_t i = unit.indices[j];
+      Response& response = responses[i];
+      response.id = requests[i].id;
+      obs::Json::Object body;
+      body["mac"] = obs::Json(unit.mac->to_string());
+      body["rss_dbm"] = obs::Json(unit_values[j]);
+      response.body = obs::Json(std::move(body));
+    }
+  };
+  // Each unit writes only to its own requests' index-addressed slots, so the
+  // schedule never shows in the output.
+  exec::parallel_for(units.size(), run_unit,
+                     exec::chunk_for_cost(units.size(), /*est_item_us=*/100.0),
+                     "serve.execute_coalesced");
+  return responses;
+}
+
 std::vector<Response> QueryEngine::execute_all(const std::vector<Request>& requests) const {
   REMGEN_SPAN("serve.execute_all");
   REMGEN_PROFILE_PHASE("serve.execute_all");
@@ -246,6 +307,12 @@ ReplayStats QueryEngine::replay_jsonl(std::istream& in, std::ostream& out) const
   REMGEN_SPAN("serve.replay");
   REMGEN_PROFILE_PHASE("serve.replay");
   const auto start = std::chrono::steady_clock::now();
+  // Snapshot the cache counters: ReplayStats reports THIS run's hits and
+  // misses. The counters themselves are cumulative over the engine's
+  // lifetime, so a second replay on the same engine (a long-running server's
+  // steady state) must subtract the baseline instead of double-counting.
+  const std::uint64_t cache_hits_at_entry = cache_.hits();
+  const std::uint64_t cache_misses_at_entry = cache_.misses();
 
   // Parse sequentially: line order defines the deterministic tie-break for
   // equal request ids.
@@ -262,15 +329,11 @@ ReplayStats QueryEngine::replay_jsonl(std::istream& in, std::ostream& out) const
     } catch (const std::exception& e) {
       Response response;
       response.id = -1;
-      // Salvage the id when the line is valid JSON with a numeric id but an
+      // Salvage the id when the line is valid JSON with a usable id but an
       // invalid request otherwise, so the client can correlate the error.
-      try {
-        const obs::Json doc = obs::Json::parse(line);
-        if (doc.is_object() && doc.contains("id") && doc.at("id").is_number()) {
-          response.id = static_cast<std::int64_t>(doc.at("id").as_double());
-        }
-      } catch (const std::exception&) {
-      }
+      // Only exact non-negative integers qualify: parse_request rejects
+      // negative ids, so -1 stays an unambiguous "id unparseable" sentinel.
+      response.id = salvage_request_id(line);
       response.ok = false;
       response.error = e.what();
       slots.push_back(std::move(response));
@@ -305,8 +368,8 @@ ReplayStats QueryEngine::replay_jsonl(std::istream& in, std::ostream& out) const
   ReplayStats stats;
   stats.requests = slots.size();
   stats.errors = errors;
-  stats.cache_hits = cache_.hits();
-  stats.cache_misses = cache_.misses();
+  stats.cache_hits = cache_.hits() - cache_hits_at_entry;
+  stats.cache_misses = cache_.misses() - cache_misses_at_entry;
   stats.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
   stats.qps = stats.wall_seconds > 0.0 ? static_cast<double>(slots.size()) / stats.wall_seconds

@@ -26,6 +26,8 @@ namespace remgen::serve {
 struct ReplayStats {
   std::size_t requests = 0;
   std::size_t errors = 0;  ///< Malformed lines + failed executions.
+  /// Cache activity of THIS run only (deltas over the engine's cumulative
+  /// counters), so back-to-back replays on one engine don't double-count.
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
   double wall_seconds = 0.0;
@@ -48,6 +50,14 @@ class QueryEngine {
   /// Executes a batch concurrently and returns responses sorted by request
   /// id (stable in input order) — deterministic at any thread count.
   [[nodiscard]] std::vector<Response> execute_all(const std::vector<Request>& requests) const;
+
+  /// Executes a batch concurrently and returns responses in INPUT order
+  /// (the network server's per-connection delivery order), coalescing
+  /// single-point queries that name the same known MAC into one batched
+  /// model call. Every response is byte-identical to what execute() would
+  /// produce for the same request, at any thread count.
+  [[nodiscard]] std::vector<Response> execute_coalesced(
+      const std::vector<Request>& requests) const;
 
   /// Drains JSONL requests from `in`, writes one JSONL response per request
   /// to `out` (ordered by id), and returns run statistics. Malformed lines

@@ -24,6 +24,17 @@ namespace {
   return finite_number(object.at(field), field);
 }
 
+// Ids and list lengths must be exact integers on the wire. A double-typed
+// token (fractional, exponent form, or beyond int64 range) is rejected
+// instead of silently truncated: an id round-tripped through double would
+// corrupt above 2^53, and `top: 2.9` flooring to 2 hides a client bug.
+[[nodiscard]] std::int64_t integer_field(const obs::Json& node, const char* field) {
+  if (!node.is_int()) {
+    throw std::runtime_error(util::format("request: '{}' must be an integer", field));
+  }
+  return node.as_int64();
+}
+
 [[nodiscard]] geom::Vec3 parse_point_array(const obs::Json& node) {
   const obs::Json::Array& xyz = node.as_array();
   if (xyz.size() != 3) {
@@ -36,13 +47,18 @@ namespace {
 
 }  // namespace
 
-Request parse_request(const std::string& line) {
-  const obs::Json doc = obs::Json::parse(line);
+Request parse_request(const std::string& line) { return parse_request_doc(obs::Json::parse(line)); }
+
+Request parse_request_doc(const obs::Json& doc) {
   if (!doc.is_object()) throw std::runtime_error("request: line is not a JSON object");
 
   Request req;
   if (!doc.contains("id")) throw std::runtime_error("request: missing 'id'");
-  req.id = static_cast<std::int64_t>(finite_number(doc.at("id"), "id"));
+  req.id = integer_field(doc.at("id"), "id");
+  // Negative ids are reserved: replay/serving uses id -1 for responses to
+  // lines whose own id could not be parsed, and accepting client-sent
+  // negatives would let a real response collide with that sentinel.
+  if (req.id < 0) throw std::runtime_error("request: 'id' must be >= 0");
 
   const std::string type = doc.contains("type") ? doc.at("type").as_string() : "point";
   if (type == "point") {
@@ -64,10 +80,11 @@ Request parse_request(const std::string& line) {
     req.mac = *mac;
   }
   if (doc.contains("top")) {
-    const double top = finite_number(doc.at("top"), "top");
-    if (top < 1.0) throw std::runtime_error("request: 'top' must be >= 1");
+    const std::int64_t top = integer_field(doc.at("top"), "top");
+    if (top < 1) throw std::runtime_error("request: 'top' must be >= 1");
     req.top = static_cast<std::size_t>(top);
   }
+  if (doc.contains("map")) req.map = doc.at("map").as_string();
 
   switch (req.type) {
     case RequestType::Point:
@@ -94,10 +111,22 @@ Request parse_request(const std::string& line) {
   return req;
 }
 
+std::int64_t salvage_request_id(const std::string& line) noexcept {
+  try {
+    const obs::Json doc = obs::Json::parse(line);
+    if (doc.is_object() && doc.contains("id") && doc.at("id").is_int() &&
+        doc.at("id").as_int64() >= 0) {
+      return doc.at("id").as_int64();
+    }
+  } catch (const std::exception&) {
+  }
+  return -1;
+}
+
 std::string Response::to_jsonl() const {
   obs::Json::Object object =
       body.is_object() ? body.as_object() : obs::Json::Object{{"result", body}};
-  object["id"] = obs::Json(static_cast<double>(id));
+  object["id"] = obs::Json(id);  // Exact int64: ids above 2^53 stay intact.
   object["ok"] = obs::Json(ok);
   if (!ok) object["error"] = obs::Json(error);
   return obs::Json(std::move(object)).dump();

@@ -27,9 +27,10 @@ enum class RequestType { Point, Batch, Volume };
 
 /// One parsed request line.
 struct Request {
-  std::int64_t id = 0;
+  std::int64_t id = 0;                   ///< Non-negative; exact int64 on the wire.
   RequestType type = RequestType::Point;
   std::optional<radio::MacAddress> mac;  ///< Absent on point queries = best-AP.
+  std::optional<std::string> map;        ///< Named snapshot (net server); engine ignores it.
   std::vector<geom::Vec3> points;        ///< One for Point, many for Batch.
   std::size_t top = 5;                   ///< Best-AP list length.
   double z_lo = 0.0;                     ///< Volume: z-slab lower bound.
@@ -50,7 +51,23 @@ struct Response {
 };
 
 /// Parses one JSONL request line. Throws std::runtime_error on malformed
-/// JSON, unknown type, missing fields, non-finite coordinates, or a bad MAC.
+/// JSON, unknown type, missing fields, non-finite coordinates, a bad MAC, or
+/// a non-integer / negative id or 'top' (ids are exact int64 on the wire —
+/// never round-tripped through double — and negatives are reserved for the
+/// unparseable-id sentinel).
 [[nodiscard]] Request parse_request(const std::string& line);
+
+/// Same, over an already-parsed document — callers that must inspect the
+/// line first (the network server routes admin types before dispatch) avoid
+/// parsing the JSON twice. (Distinctly named: obs::Json converts implicitly
+/// from string, so an overload would be ambiguous for literals.)
+[[nodiscard]] Request parse_request_doc(const obs::Json& doc);
+
+/// Best-effort id recovery from a line parse_request rejected: returns the
+/// line's 'id' when it is valid JSON carrying an exact non-negative integer
+/// id, else -1 — the sentinel error responses use when no id is usable.
+/// (Negative ids are rejected at parse time, so the sentinel cannot collide
+/// with a legitimate response id.)
+[[nodiscard]] std::int64_t salvage_request_id(const std::string& line) noexcept;
 
 }  // namespace remgen::serve

@@ -1,0 +1,394 @@
+// In-process tests for the net::Server event loop: pipelined in-order
+// delivery, admission control, named maps, admin stats, hot reload with zero
+// dropped in-flight requests, and graceful drain.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/rem_builder.hpp"
+#include "exec/config.hpp"
+#include "ml/model_zoo.hpp"
+#include "net/server.hpp"
+#include "serve/engine.hpp"
+#include "serve/request.hpp"
+#include "store/snapshot.hpp"
+#include "util/rng.hpp"
+
+namespace remgen::net {
+namespace {
+
+constexpr const char* kMacA = "02:00:00:00:00:0a";
+constexpr const char* kMacB = "02:00:00:00:00:0b";
+
+data::Dataset synthetic_dataset(std::uint64_t seed) {
+  util::Rng rng(seed);
+  data::Dataset ds;
+  for (std::size_t i = 0; i < 40; ++i) {
+    data::Sample s;
+    s.position = {rng.uniform(0.0, 4.0), rng.uniform(0.0, 3.0), rng.uniform(0.0, 2.0)};
+    s.mac = *radio::MacAddress::parse(kMacA);
+    s.channel = 6;
+    s.rss_dbm = -55.0 - 4.0 * s.position.x + rng.gaussian(0, 1.0);
+    ds.add(s);
+    s.mac = *radio::MacAddress::parse(kMacB);
+    s.channel = 11;
+    s.rss_dbm = -75.0 - 2.0 * s.position.y + rng.gaussian(0, 1.0);
+    ds.add(s);
+  }
+  return ds;
+}
+
+store::Snapshot make_snapshot(std::uint64_t seed = 21) {
+  const data::Dataset ds = synthetic_dataset(seed);
+  store::Snapshot snapshot;
+  snapshot.dataset = ds;
+  auto model = ml::make_model(ml::ModelKind::PerMacKnn);
+  core::RemBuilderConfig config;
+  config.voxel_m = 0.5;
+  config.min_samples_per_mac = 1;
+  snapshot.rem.emplace(
+      core::build_rem(ds, *model, geom::Aabb({0, 0, 0}, {4.0, 3.0, 2.0}), config));
+  snapshot.model = std::move(model);
+  return snapshot;
+}
+
+std::shared_ptr<const serve::QueryEngine> make_engine(std::uint64_t seed = 21) {
+  return std::make_shared<const serve::QueryEngine>(make_snapshot(seed), 1 << 20);
+}
+
+/// Blocking loopback client speaking the newline-delimited protocol.
+class Client {
+ public:
+  explicit Client(std::uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    connected_ = ::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) == 0;
+    const int one = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  }
+  ~Client() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  [[nodiscard]] bool connected() const { return connected_; }
+
+  void send_all(const std::string& text) {
+    std::size_t off = 0;
+    while (off < text.size()) {
+      const ssize_t n = ::send(fd_, text.data() + off, text.size() - off, MSG_NOSIGNAL);
+      ASSERT_GT(n, 0) << "send failed: " << std::strerror(errno);
+      off += static_cast<std::size_t>(n);
+    }
+  }
+
+  void half_close() { ::shutdown(fd_, SHUT_WR); }
+
+  /// Reads until `count` lines arrived, EOF, or the deadline (seconds).
+  std::vector<std::string> read_lines(std::size_t count, int deadline_s = 20) {
+    std::vector<std::string> lines;
+    const auto deadline_ms = deadline_s * 1000;
+    int waited_ms = 0;
+    while (lines.size() < count && waited_ms < deadline_ms) {
+      pollfd pfd{fd_, POLLIN, 0};
+      const int ready = ::poll(&pfd, 1, 100);
+      if (ready == 0) {
+        waited_ms += 100;
+        continue;
+      }
+      char buffer[16384];
+      const ssize_t n = ::recv(fd_, buffer, sizeof buffer, 0);
+      if (n <= 0) break;  // EOF or error: return what we have.
+      pending_.append(buffer, static_cast<std::size_t>(n));
+      std::size_t start = 0;
+      while (lines.size() < count) {  // Surplus stays buffered for later calls.
+        const std::size_t nl = pending_.find('\n', start);
+        if (nl == std::string::npos) break;
+        lines.push_back(pending_.substr(start, nl - start));
+        start = nl + 1;
+      }
+      pending_.erase(0, start);
+    }
+    return lines;
+  }
+
+  /// True once recv reports EOF (server closed its side).
+  bool wait_eof(int deadline_s = 20) {
+    int waited_ms = 0;
+    while (waited_ms < deadline_s * 1000) {
+      pollfd pfd{fd_, POLLIN, 0};
+      if (::poll(&pfd, 1, 100) > 0) {
+        char buffer[4096];
+        const ssize_t n = ::recv(fd_, buffer, sizeof buffer, 0);
+        if (n == 0) return true;
+        if (n < 0) return false;
+        pending_.append(buffer, static_cast<std::size_t>(n));
+      } else {
+        waited_ms += 100;
+      }
+    }
+    return false;
+  }
+
+ private:
+  int fd_ = -1;
+  bool connected_ = false;
+  std::string pending_;
+};
+
+/// Runs a Server on an ephemeral loopback port in a background thread and
+/// guarantees shutdown + join on scope exit.
+class ServerHarness {
+ public:
+  explicit ServerHarness(ServerConfig config = {}) : server_(std::move(config)) {}
+  ~ServerHarness() { stop(); }
+
+  Server& server() { return server_; }
+
+  std::uint16_t start() {
+    const std::uint16_t port = server_.bind_and_listen();
+    thread_ = std::thread([this] { server_.run(); });
+    return port;
+  }
+
+  void stop() {
+    if (thread_.joinable()) {
+      server_.request_shutdown();
+      thread_.join();
+    }
+  }
+
+ private:
+  Server server_;
+  std::thread thread_;
+};
+
+std::string point_line(std::int64_t id, double x, const char* map = nullptr) {
+  std::string line = "{\"id\":" + std::to_string(id) + ",\"type\":\"point\",\"top\":2,\"x\":" +
+                     std::to_string(x) + ",\"y\":1.0,\"z\":1.0";
+  if (map != nullptr) line += std::string(",\"map\":\"") + map + "\"";
+  return line + "}\n";
+}
+
+std::int64_t line_id(const std::string& line) {
+  return obs::Json::parse(line).at("id").as_int64();
+}
+
+bool line_ok(const std::string& line) { return obs::Json::parse(line).at("ok").as_bool(); }
+
+class NetServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    previous_threads_ = exec::thread_count();
+    exec::set_thread_count(2);
+  }
+  void TearDown() override { exec::set_thread_count(previous_threads_); }
+  std::size_t previous_threads_ = 1;
+};
+
+TEST_F(NetServerTest, PipelinedResponsesArriveInRequestOrderByteIdentical) {
+  const std::shared_ptr<const serve::QueryEngine> engine = make_engine();
+  ServerHarness harness;
+  harness.server().add_engine("default", engine);
+  const std::uint16_t port = harness.start();
+
+  // Pipelined burst with a garbage line in the middle: every line gets a
+  // response, in exactly the order sent.
+  std::vector<std::string> requests;
+  std::string burst;
+  for (int i = 0; i < 25; ++i) {
+    requests.push_back(point_line(100 - i, 0.25 * i));
+    burst += requests.back();
+    if (i == 10) burst += "garbage line\n";
+  }
+  Client client(port);
+  ASSERT_TRUE(client.connected());
+  client.send_all(burst);
+  const std::vector<std::string> lines = client.read_lines(26);
+  ASSERT_EQ(lines.size(), 26u);
+
+  std::size_t request_index = 0;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    if (i == 11) {  // The garbage line's error response, slotted in order.
+      EXPECT_FALSE(line_ok(lines[i]));
+      EXPECT_EQ(line_id(lines[i]), -1);
+      continue;
+    }
+    const serve::Request request = serve::parse_request(requests[request_index]);
+    EXPECT_EQ(lines[i], engine->execute(request).to_jsonl()) << "line " << i;
+    ++request_index;
+  }
+}
+
+TEST_F(NetServerTest, NamedMapsRouteAndUnknownMapIsAnError) {
+  ServerHarness harness;
+  harness.server().add_engine("default", make_engine(21));
+  harness.server().add_engine("floor2", make_engine(77));
+  const std::uint16_t port = harness.start();
+
+  Client client(port);
+  ASSERT_TRUE(client.connected());
+  client.send_all(point_line(1, 1.0) + point_line(2, 1.0, "floor2") +
+                  point_line(3, 1.0, "nowhere"));
+  const std::vector<std::string> lines = client.read_lines(3);
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_TRUE(line_ok(lines[0]));
+  EXPECT_TRUE(line_ok(lines[1]));
+  // Different seeds -> different snapshots -> different predictions.
+  EXPECT_NE(lines[0].substr(lines[0].find("best")), lines[1].substr(lines[1].find("best")));
+  EXPECT_FALSE(line_ok(lines[2]));
+  EXPECT_NE(lines[2].find("unknown map 'nowhere'"), std::string::npos);
+}
+
+TEST_F(NetServerTest, StatsAdminReportsCountersAndMaps) {
+  ServerHarness harness;
+  harness.server().add_engine("default", make_engine());
+  const std::uint16_t port = harness.start();
+
+  Client client(port);
+  ASSERT_TRUE(client.connected());
+  client.send_all(point_line(1, 1.0) + "{\"id\":2,\"type\":\"stats\"}\n");
+  const std::vector<std::string> lines = client.read_lines(2);
+  ASSERT_EQ(lines.size(), 2u);
+  const obs::Json stats = obs::Json::parse(lines[1]);
+  EXPECT_TRUE(stats.at("ok").as_bool());
+  EXPECT_EQ(stats.at("id").as_int64(), 2);
+  EXPECT_GE(stats.at("requests").as_int64(), 1);
+  EXPECT_EQ(stats.at("maps").as_array().size(), 1u);
+  EXPECT_EQ(stats.at("maps").as_array()[0].as_string(), "default");
+  EXPECT_EQ(stats.at("reload_swaps").as_int64(), 0);
+}
+
+TEST_F(NetServerTest, OverloadedRequestsGetErrorsNotUnboundedQueueing) {
+  ServerConfig config;
+  config.max_inflight = 1;
+  ServerHarness harness(std::move(config));
+  harness.server().add_engine("default", make_engine());
+  const std::uint16_t port = harness.start();
+
+  // One write delivers many lines in a single read: the first is admitted,
+  // the rest of that buffer must be rejected, and every line still gets a
+  // response in order.
+  constexpr int kBurst = 64;
+  std::string burst;
+  for (int i = 1; i <= kBurst; ++i) burst += point_line(i, 0.1 * i);
+  Client client(port);
+  ASSERT_TRUE(client.connected());
+  client.send_all(burst);
+  const std::vector<std::string> lines = client.read_lines(kBurst);
+  ASSERT_EQ(lines.size(), static_cast<std::size_t>(kBurst));
+
+  std::size_t overloaded = 0;
+  for (int i = 0; i < kBurst; ++i) {
+    EXPECT_EQ(line_id(lines[static_cast<std::size_t>(i)]), i + 1);  // Order preserved.
+    if (!line_ok(lines[static_cast<std::size_t>(i)])) {
+      EXPECT_NE(lines[static_cast<std::size_t>(i)].find("overloaded"), std::string::npos);
+      ++overloaded;
+    }
+  }
+  EXPECT_GT(overloaded, 0u);
+  EXPECT_LT(overloaded, static_cast<std::size_t>(kBurst));  // Some were served.
+  EXPECT_EQ(harness.server().stats().overload_rejections, overloaded);
+}
+
+TEST_F(NetServerTest, HotReloadSwapsWithZeroDroppedRequests) {
+  const std::string path = ::testing::TempDir() + "net_reload.snap";
+  store::save_snapshot_file(path, make_snapshot(77));
+
+  ServerHarness harness;
+  harness.server().add_engine("default", make_engine(21));
+  const std::uint16_t port = harness.start();
+
+  Client data(port);
+  Client admin(port);
+  ASSERT_TRUE(data.connected());
+  ASSERT_TRUE(admin.connected());
+
+  // Keep queries flowing while the reload loads + swaps in the background.
+  std::string before;
+  for (int i = 1; i <= 30; ++i) before += point_line(i, 0.1 * i);
+  data.send_all(before);
+  admin.send_all("{\"id\":900,\"type\":\"reload\",\"snapshot\":\"" + path + "\"}\n");
+  std::string after;
+  for (int i = 31; i <= 60; ++i) after += point_line(i, 0.1 * i);
+  data.send_all(after);
+
+  const std::vector<std::string> reload_lines = admin.read_lines(1);
+  ASSERT_EQ(reload_lines.size(), 1u);
+  EXPECT_TRUE(line_ok(reload_lines[0])) << reload_lines[0];
+  EXPECT_EQ(line_id(reload_lines[0]), 900);
+  EXPECT_NE(reload_lines[0].find("\"reloaded\":true"), std::string::npos);
+
+  // Zero drops: all 60 data responses arrive, in order, all ok.
+  const std::vector<std::string> lines = data.read_lines(60);
+  ASSERT_EQ(lines.size(), 60u);
+  for (int i = 0; i < 60; ++i) {
+    EXPECT_EQ(line_id(lines[static_cast<std::size_t>(i)]), i + 1);
+    EXPECT_TRUE(line_ok(lines[static_cast<std::size_t>(i)])) << lines[static_cast<std::size_t>(i)];
+  }
+
+  // Queries sent after the swap acknowledgement run on the new snapshot.
+  const std::shared_ptr<const serve::QueryEngine> reloaded =
+      std::make_shared<const serve::QueryEngine>(store::load_snapshot_file(path), 1 << 20);
+  data.send_all(point_line(61, 1.25));
+  const std::vector<std::string> swapped = data.read_lines(1);
+  ASSERT_EQ(swapped.size(), 1u);
+  EXPECT_EQ(swapped[0],
+            reloaded->execute(serve::parse_request(point_line(61, 1.25))).to_jsonl());
+  EXPECT_EQ(harness.server().stats().reload_swaps, 1u);
+
+  // A reload of a bogus file fails cleanly and swaps nothing.
+  admin.send_all("{\"id\":901,\"type\":\"reload\",\"snapshot\":\"/nonexistent.snap\"}\n");
+  const std::vector<std::string> failed = admin.read_lines(1);
+  ASSERT_EQ(failed.size(), 1u);
+  EXPECT_FALSE(line_ok(failed[0]));
+  EXPECT_NE(failed[0].find("reload failed"), std::string::npos);
+  EXPECT_EQ(harness.server().stats().reload_failures, 1u);
+}
+
+TEST_F(NetServerTest, GracefulDrainFinishesQueuedWorkThenCloses) {
+  // max_batch 1: one request executes per loop round, so receiving the first
+  // response proves the remaining pipelined requests are still queued when
+  // shutdown fires — the drain owes them all.
+  ServerConfig config;
+  config.max_batch = 1;
+  ServerHarness harness(std::move(config));
+  harness.server().add_engine("default", make_engine());
+  const std::uint16_t port = harness.start();
+
+  Client client(port);
+  ASSERT_TRUE(client.connected());
+  std::string burst;
+  for (int i = 1; i <= 40; ++i) burst += point_line(i, 0.1 * i);
+  client.send_all(burst);
+  client.half_close();  // Pipelined client done sending; responses still owed.
+  const std::vector<std::string> first = client.read_lines(1);
+  ASSERT_EQ(first.size(), 1u);
+  EXPECT_EQ(line_id(first[0]), 1);
+  harness.server().request_shutdown();
+
+  const std::vector<std::string> rest = client.read_lines(39);
+  ASSERT_EQ(rest.size(), 39u);
+  for (int i = 0; i < 39; ++i) {
+    EXPECT_EQ(line_id(rest[static_cast<std::size_t>(i)]), i + 2);
+    EXPECT_TRUE(line_ok(rest[static_cast<std::size_t>(i)]));
+  }
+  EXPECT_TRUE(client.wait_eof());
+  harness.stop();  // run() must have exited; join would hang otherwise.
+  EXPECT_EQ(harness.server().stats().responses, 40u);
+}
+
+}  // namespace
+}  // namespace remgen::net

@@ -1,0 +1,86 @@
+// ResultCache edge cases the engine tests don't pin down: the zero-budget
+// disable path and LRU bounds under concurrent get/put from the pool.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "exec/config.hpp"
+#include "exec/parallel.hpp"
+#include "serve/cache.hpp"
+
+namespace remgen::serve {
+namespace {
+
+const radio::MacAddress kMac = *radio::MacAddress::parse("02:00:00:00:00:0a");
+
+TEST(ServeCacheBudget, ZeroBudgetDisablesWithoutCountingMisses) {
+  ResultCache cache(0);
+  EXPECT_EQ(cache.capacity_entries(), 0u);
+  cache.put(kMac, {1, 2, 3}, -42.0);
+  EXPECT_FALSE(cache.get(kMac, {1, 2, 3}).has_value());
+  EXPECT_EQ(cache.size(), 0u);
+  // A disabled cache is not "always missing" — lookups are no-ops, so the
+  // hit ratio of a budgeted deployment is not polluted by disabled runs.
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 0u);
+}
+
+TEST(ServeCacheBudget, SubEntryBudgetBehavesLikeZero) {
+  ResultCache cache(ResultCache::kBytesPerEntry - 1);
+  EXPECT_EQ(cache.capacity_entries(), 0u);
+  cache.put(kMac, {1, 2, 3}, -42.0);
+  EXPECT_FALSE(cache.get(kMac, {1, 2, 3}).has_value());
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(ServeCacheConcurrency, LruBoundHoldsUnderConcurrentGetPut) {
+  const std::size_t previous = exec::thread_count();
+  exec::set_thread_count(4);
+
+  // All keys share one MAC, so every worker contends on the same shard —
+  // the worst case for the LRU list/index invariants.
+  ResultCache cache(ResultCache::kBytesPerEntry * 16 * 4);  // 4 entries/shard.
+  const std::size_t capacity = cache.capacity_entries();
+  ASSERT_GT(capacity, 0u);
+
+  constexpr std::size_t kWorkItems = 4000;
+  constexpr std::size_t kDistinctKeys = 64;  // >> per-shard capacity: constant eviction.
+  std::vector<int> seen_wrong_value(kWorkItems, 0);
+  exec::parallel_for(
+      kWorkItems,
+      [&](std::size_t i) {
+        const auto key = static_cast<double>(i % kDistinctKeys);
+        const geom::Vec3 point{key, 0.0, 0.0};
+        if (const auto hit = cache.get(kMac, point); hit.has_value()) {
+          // Values are a pure function of the key, so a hit may only ever
+          // return the value every writer stores for that key.
+          seen_wrong_value[i] = *hit == -key ? 0 : 1;
+        }
+        cache.put(kMac, point, -key);
+      },
+      /*chunk=*/7);
+
+  exec::set_thread_count(previous);
+  for (std::size_t i = 0; i < kWorkItems; ++i) {
+    EXPECT_EQ(seen_wrong_value[i], 0) << "stale or torn value at item " << i;
+  }
+  EXPECT_LE(cache.size(), capacity);
+  EXPECT_GT(cache.size(), 0u);
+  EXPECT_GT(cache.hits() + cache.misses(), 0u);
+
+  // The survivors are retrievable and still carry their writer's value.
+  std::size_t retrievable = 0;
+  for (std::size_t k = 0; k < kDistinctKeys; ++k) {
+    const auto key = static_cast<double>(k);
+    if (const auto hit = cache.get(kMac, {key, 0.0, 0.0}); hit.has_value()) {
+      EXPECT_EQ(*hit, -key);
+      ++retrievable;
+    }
+  }
+  EXPECT_GT(retrievable, 0u);
+  EXPECT_LE(retrievable, capacity);
+}
+
+}  // namespace
+}  // namespace remgen::serve

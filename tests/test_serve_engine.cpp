@@ -398,5 +398,128 @@ garbage
   EXPECT_NE(line.find(R"("id":1)"), std::string::npos);
 }
 
+TEST_F(ServeEngineTest, ReplayStatsArePerRunNotCumulative) {
+  // Regression: replay_jsonl used to report the engine's lifetime cache
+  // counters, so a second replay on a warm engine claimed the first run's
+  // hits and misses as its own.
+  exec::set_thread_count(2);
+  const QueryEngine engine(make_snapshot(), 1 << 20);
+  std::istringstream first_in(
+      R"({"id":1,"type":"point","x":1,"y":1,"z":1,"mac":"02:00:00:00:00:0a"}
+{"id":2,"type":"point","x":1,"y":1,"z":1,"mac":"02:00:00:00:00:0a"}
+)");
+  std::ostringstream first_out;
+  const ReplayStats first = engine.replay_jsonl(first_in, first_out);
+  EXPECT_EQ(first.cache_hits, 1u);
+  EXPECT_EQ(first.cache_misses, 1u);
+
+  // Same two lines again: both hit the now-warm cache, and neither the first
+  // run's miss nor its hit may leak into this run's report.
+  std::istringstream second_in(
+      R"({"id":1,"type":"point","x":1,"y":1,"z":1,"mac":"02:00:00:00:00:0a"}
+{"id":2,"type":"point","x":1,"y":1,"z":1,"mac":"02:00:00:00:00:0a"}
+)");
+  std::ostringstream second_out;
+  const ReplayStats second = engine.replay_jsonl(second_in, second_out);
+  EXPECT_EQ(second.cache_hits, 2u);
+  EXPECT_EQ(second.cache_misses, 0u);
+}
+
+// --- Exact integer ids --------------------------------------------------
+
+TEST(ServeRequest, LargeIdsRoundTripExactly) {
+  // Regression: ids used to pass through double, so 2^53 + 3 came back as
+  // 2^53 + 4 and responses no longer matched their requests.
+  const std::int64_t big = (std::int64_t{1} << 53) + 3;
+  const Request request =
+      parse_request(R"({"id":9007199254740995,"type":"point","x":1,"y":1,"z":1,"top":1})");
+  EXPECT_EQ(request.id, big);
+
+  Response response;
+  response.id = big;
+  EXPECT_NE(response.to_jsonl().find("\"id\":9007199254740995"), std::string::npos);
+}
+
+TEST(ServeRequest, RejectsNonIntegerOrNegativeIds) {
+  EXPECT_THROW((void)parse_request(R"({"id":1.5,"type":"point","x":0,"y":0,"z":0})"),
+               std::runtime_error);
+  EXPECT_THROW((void)parse_request(R"({"id":-3,"type":"point","x":0,"y":0,"z":0})"),
+               std::runtime_error);
+  EXPECT_THROW((void)parse_request(R"({"id":1e300,"type":"point","x":0,"y":0,"z":0})"),
+               std::runtime_error);  // Out of int64 range.
+  EXPECT_THROW((void)parse_request(R"({"id":"7","type":"point","x":0,"y":0,"z":0})"),
+               std::runtime_error);
+}
+
+TEST(ServeRequest, RejectsFractionalTop) {
+  // Regression: "top":2.9 used to be silently truncated to 2.
+  EXPECT_THROW((void)parse_request(R"({"id":1,"type":"point","x":0,"y":0,"z":0,"top":2.9})"),
+               std::runtime_error);
+  EXPECT_THROW((void)parse_request(R"({"id":1,"type":"point","x":0,"y":0,"z":0,"top":0})"),
+               std::runtime_error);
+}
+
+TEST(ServeRequest, SalvagesIdsOnlyFromValidIntegerIds) {
+  EXPECT_EQ(salvage_request_id(R"({"id":41,"type":"wat"})"), 41);
+  EXPECT_EQ(salvage_request_id(R"({"id":9007199254740995,"type":"wat"})"),
+            (std::int64_t{1} << 53) + 3);
+  EXPECT_EQ(salvage_request_id("not json"), -1);
+  EXPECT_EQ(salvage_request_id(R"({"id":1.5})"), -1);
+  EXPECT_EQ(salvage_request_id(R"({"id":-7})"), -1);
+  EXPECT_EQ(salvage_request_id(R"({"type":"point"})"), -1);
+}
+
+// --- Coalesced execution ------------------------------------------------
+
+TEST_F(ServeEngineTest, ExecuteCoalescedByteIdenticalToExecute) {
+  std::stringstream io;
+  store::save_snapshot(io, make_snapshot());
+
+  std::vector<Request> requests;
+  util::Rng rng(99);
+  for (int i = 0; i < 40; ++i) {
+    Request request;
+    request.id = i;
+    const geom::Vec3 p{rng.uniform(0.0, 4.0), rng.uniform(0.0, 3.0), rng.uniform(0.0, 2.0)};
+    switch (i % 5) {
+      case 0:  // Same-MAC point queries: the coalescing target.
+      case 1:
+        request.mac = *radio::MacAddress::parse(i % 2 == 0 ? kMacA : kMacB);
+        request.points.push_back(p);
+        break;
+      case 2:  // Best-AP.
+        request.top = 2;
+        request.points.push_back(p);
+        break;
+      case 3:
+        request.type = RequestType::Batch;
+        request.mac = *radio::MacAddress::parse(kMacA);
+        request.points = {p, {1, 1, 1}};
+        break;
+      case 4:  // Unknown MAC: per-request error path inside a group-less unit.
+        request.mac = *radio::MacAddress::parse("02:99:99:99:99:99");
+        request.points.push_back(p);
+        break;
+    }
+    requests.push_back(std::move(request));
+  }
+
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    exec::set_thread_count(threads);
+    const QueryEngine engine(store::load_snapshot(io), 1 << 20);
+    io.clear();
+    io.seekg(0);
+    const QueryEngine reference(store::load_snapshot(io), 1 << 20);
+    io.clear();
+    io.seekg(0);
+    const std::vector<Response> coalesced = engine.execute_coalesced(requests);
+    ASSERT_EQ(coalesced.size(), requests.size());
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      EXPECT_EQ(coalesced[i].to_jsonl(), reference.execute(requests[i]).to_jsonl())
+          << "request " << i << " at " << threads << " thread(s)";
+    }
+  }
+}
+
 }  // namespace
 }  // namespace remgen::serve

@@ -37,11 +37,16 @@ import shutil
 import sys
 from pathlib import Path
 
-DEFAULT_FILES = ["BENCH_perf.json", "BENCH_parallel.json", "BENCH_serve.json"]
+DEFAULT_FILES = ["BENCH_perf.json", "BENCH_parallel.json", "BENCH_serve.json",
+                 "BENCH_serve_net.json"]
 
 # Provenance fields that legitimately differ between runs.
 IGNORED_KEYS = {"commit", "threads", "threads_max", "hardware_threads",
-                "iterations", "errors", "requests"}
+                "iterations", "errors", "requests",
+                # Open-loop loadgen provenance: the workload definition and its
+                # zero-on-success counters, not performance measurements.
+                "rate", "duration_seconds", "connections", "sent", "completed",
+                "dropped", "overload_rejections"}
 
 # Metrics where HIGHER is better and the unit is machine-relative.
 RATIO_KEYS = {"speedup_at_max", "qps"}

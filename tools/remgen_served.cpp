@@ -1,0 +1,210 @@
+// remgen-served — long-running network query server over REM snapshots.
+//
+//   remgen-served --snapshot [NAME=]FILE[,NAME=FILE...] [--port N] [--bind A]
+//                 [--port-file FILE] [--threads N] [--cache-mb 64]
+//                 [--max-inflight N] [--max-batch N] [--max-connections N]
+//                 [--log-level warn] [--metrics-out FILE] [...]
+//
+// Speaks the serve JSONL protocol (src/serve/request.hpp) over TCP, one JSON
+// object per line, responses per connection in request order. Multiple
+// snapshots are served as named maps (select with a "map" request field; the
+// first name is the default). Admin requests: {"id":N,"type":"stats"} and
+// {"id":N,"type":"reload","snapshot":"path"[,"map":"m"]} — reload loads the
+// new snapshot in the background and hot-swaps it with zero dropped
+// in-flight requests. SIGTERM/SIGINT drain gracefully: admitted requests
+// finish, buffers flush, then the process exits 0.
+#include <csignal>
+#include <cstdio>
+#include <memory>
+#include <set>
+#include <string>
+
+#include "exec/config.hpp"
+#include "net/server.hpp"
+#include "obs/export.hpp"
+#include "serve/engine.hpp"
+#include "store/snapshot.hpp"
+#include "util/args.hpp"
+#include "util/log.hpp"
+
+namespace {
+
+using namespace remgen;
+
+int usage() {
+  std::fprintf(stderr,
+               "remgen-served — network query serving over REM snapshots\n\n"
+               "  --snapshot LIST       comma-separated [name=]file snapshots; the first\n"
+               "                        entry is the default map (required)\n"
+               "  --bind ADDR           listen address (default 127.0.0.1)\n"
+               "  --port N              listen port (default 0 = ephemeral)\n"
+               "  --port-file FILE      write the bound port to FILE once listening\n"
+               "  --threads N           execution width for request rounds (default:\n"
+               "                        REMGEN_THREADS env, then hardware concurrency)\n"
+               "  --cache-mb N          per-map result cache budget in MiB (default 64)\n"
+               "  --max-inflight N      admitted-request bound; beyond it requests get\n"
+               "                        an ok=false overload response (default 4096)\n"
+               "  --max-batch N         requests per execution round (default 512)\n"
+               "  --max-connections N   concurrent connection cap (default 1024)\n"
+               "  --log-level L         trace|debug|info|warn|error|off (default warn)\n"
+               "  --metrics-out FILE    write a JSON metrics snapshot after the drain\n"
+               "  --metrics-prom FILE   write Prometheus text exposition after the drain\n"
+               "  --trace-out FILE      write Chrome trace_event JSON after the drain\n"
+               "  --profile-out FILE    write the phase profile as JSON after the drain\n");
+  return 2;
+}
+
+net::Server* g_server = nullptr;
+
+void handle_signal(int) {
+  if (g_server != nullptr) g_server->request_shutdown();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::set<std::string> value_keys{
+      "snapshot",     "bind",      "port",        "port-file",    "threads",
+      "cache-mb",     "max-inflight", "max-batch", "max-connections",
+      "log-level",    "metrics-out", "metrics-prom", "trace-out", "profile-out"};
+  const std::set<std::string> flag_keys{"help"};
+  std::string error;
+  const auto args = util::Args::parse(argc, argv, value_keys, flag_keys, &error);
+  if (!args) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return usage();
+  }
+  if (args->flag("help") || !args->has("snapshot")) return usage();
+
+  if (args->has("threads")) {
+    const long threads = args->value_int("threads", 0);
+    if (threads <= 0) {
+      std::fprintf(stderr, "--threads needs a positive integer\n");
+      return 2;
+    }
+    exec::set_thread_count(static_cast<std::size_t>(threads));
+  }
+  if (args->has("log-level")) {
+    if (const auto level = util::log_level_from_string(args->value("log-level"))) {
+      util::set_log_level(*level);
+    } else {
+      std::fprintf(stderr, "unknown log level '%s'\n", args->value("log-level").c_str());
+      return 2;
+    }
+  }
+  const bool telemetry =
+      args->has("metrics-out") || args->has("metrics-prom") || args->has("trace-out");
+  if (telemetry) obs::set_enabled(true);
+  if (args->has("profile-out")) obs::set_profiling_enabled(true);
+  obs::name_current_thread("main");
+
+  const long cache_mb = args->value_int("cache-mb", 64);
+  const long port = args->value_int("port", 0);
+  const long max_inflight = args->value_int("max-inflight", 4096);
+  const long max_batch = args->value_int("max-batch", 512);
+  const long max_connections = args->value_int("max-connections", 1024);
+  if (cache_mb < 0 || port < 0 || port > 65535 || max_inflight < 1 || max_batch < 1 ||
+      max_connections < 1) {
+    std::fprintf(stderr, "error: invalid --cache-mb/--port/--max-* value\n");
+    return 2;
+  }
+
+  net::ServerConfig config;
+  config.bind_address = args->value("bind", "127.0.0.1");
+  config.port = static_cast<std::uint16_t>(port);
+  config.max_inflight = static_cast<std::size_t>(max_inflight);
+  config.max_batch = static_cast<std::size_t>(max_batch);
+  config.max_connections = static_cast<std::size_t>(max_connections);
+  config.cache_bytes = static_cast<std::size_t>(cache_mb) * 1024 * 1024;
+  net::Server server(config);
+
+  // --snapshot a.snap,floor2=b.snap: bare paths get map name "default" (first
+  // bare path) or their position; explicit NAME=PATH names the map.
+  std::size_t loaded = 0;
+  for (const std::string& entry : util::split_list(args->value("snapshot"))) {
+    std::string name;
+    std::string path = entry;
+    if (const std::size_t eq = entry.find('='); eq != std::string::npos) {
+      name = entry.substr(0, eq);
+      path = entry.substr(eq + 1);
+    } else {
+      name = loaded == 0 ? "default" : "map" + std::to_string(loaded);
+    }
+    if (name.empty() || path.empty()) {
+      std::fprintf(stderr, "error: malformed --snapshot entry '%s'\n", entry.c_str());
+      return 2;
+    }
+    try {
+      store::Snapshot snapshot = store::load_snapshot_file(path);
+      server.add_engine(name, std::make_shared<const serve::QueryEngine>(
+                                  std::move(snapshot), config.cache_bytes));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 1;
+    }
+    ++loaded;
+  }
+
+  std::uint16_t bound = 0;
+  try {
+    bound = server.bind_and_listen();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  if (const std::string port_file = args->value("port-file"); !port_file.empty()) {
+    std::FILE* f = std::fopen(port_file.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "error: cannot write port file '%s'\n", port_file.c_str());
+      return 1;
+    }
+    std::fprintf(f, "%u\n", static_cast<unsigned>(bound));
+    std::fclose(f);
+  }
+  std::printf("listening on %s:%u\n", config.bind_address.c_str(), static_cast<unsigned>(bound));
+  std::fflush(stdout);
+
+  g_server = &server;
+  struct sigaction action {};
+  action.sa_handler = handle_signal;
+  sigaction(SIGTERM, &action, nullptr);
+  sigaction(SIGINT, &action, nullptr);
+
+  try {
+    server.run();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  g_server = nullptr;
+
+  const net::ServerStats& stats = server.stats();
+  std::fprintf(stderr,
+               "drained: %llu connections, %llu requests, %llu responses, "
+               "%llu parse errors, %llu overloads, %llu reload swaps (%llu failed)\n",
+               static_cast<unsigned long long>(stats.connections_accepted),
+               static_cast<unsigned long long>(stats.requests),
+               static_cast<unsigned long long>(stats.responses),
+               static_cast<unsigned long long>(stats.parse_errors),
+               static_cast<unsigned long long>(stats.overload_rejections),
+               static_cast<unsigned long long>(stats.reload_swaps),
+               static_cast<unsigned long long>(stats.reload_failures));
+
+  if (telemetry || args->has("profile-out")) {
+    bool ok = true;
+    if (const std::string path = args->value("metrics-out"); !path.empty()) {
+      ok = obs::export_metrics_json_file(path) && ok;
+    }
+    if (const std::string path = args->value("metrics-prom"); !path.empty()) {
+      ok = obs::export_prometheus_file(path) && ok;
+    }
+    if (const std::string path = args->value("trace-out"); !path.empty()) {
+      ok = obs::export_trace_file(path) && ok;
+    }
+    if (const std::string path = args->value("profile-out"); !path.empty()) {
+      ok = obs::export_profile_json_file(path) && ok;
+    }
+    if (!ok) return 1;
+  }
+  return 0;
+}
