@@ -12,10 +12,12 @@
 #include <chrono>
 #include <cstring>
 #include <optional>
+#include <sstream>
 #include <stdexcept>
 #include <thread>
 #include <utility>
 
+#include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "store/snapshot.hpp"
 #include "util/fmt.hpp"
@@ -33,19 +35,50 @@ void set_nonblocking(int fd) {
   }
 }
 
+/// Bucket bounds (microseconds) shared by the lifecycle histograms and the
+/// rolling latency window; the windowed tail gauges interpolate inside them.
+const std::vector<double>& latency_bounds_us() {
+  static const std::vector<double> bounds{50,    100,   250,    500,    1000,  2500,
+                                          5000,  10000, 25000,  50000,  100000,
+                                          250000, 1000000};
+  return bounds;
+}
+
+const char* request_type_label(serve::RequestType type) {
+  switch (type) {
+    case serve::RequestType::Point: return "point";
+    case serve::RequestType::Batch: return "batch";
+    case serve::RequestType::Volume: return "volume";
+  }
+  return "unknown";
+}
+
 }  // namespace
 
 /// One accepted socket. The connection object outlives a half-closed peer
 /// while queued work still references it, so pipelined clients that
-/// shutdown(SHUT_WR) and then read still receive every response.
+/// shutdown(SHUT_WR) and then read still receive every response. HTTP
+/// metrics connections share the struct: they parse a request head instead
+/// of JSONL lines and close once their single response flushes.
 struct Server::Connection {
   std::uint64_t id = 0;
   int fd = -1;
+  bool http = false;          ///< Accepted on the HTTP metrics listener.
   std::string in;             ///< Bytes read, not yet split into lines.
   std::string out;            ///< Response bytes not yet written.
   bool peer_closed = false;   ///< recv saw EOF: no more requests.
   bool broken = false;        ///< Socket error: drop outstanding output.
   std::size_t queued = 0;     ///< queue_/reload entries still owed to this peer.
+
+  /// Write-completion tracking: bytes ever enqueued/flushed, plus the
+  /// lifecycle records waiting for their response bytes to reach the socket.
+  std::size_t enqueued_total = 0;
+  std::size_t written_total = 0;
+  struct WriteRecord {
+    std::size_t end_offset = 0;  ///< enqueued_total after this response.
+    Lifecycle life;
+  };
+  std::deque<WriteRecord> write_records;
 };
 
 /// One admitted queue entry: either a request waiting for an execution round
@@ -56,6 +89,7 @@ struct Server::Pending {
   std::optional<serve::Request> request;
   std::shared_ptr<const serve::QueryEngine> engine;  ///< Resolved at admission.
   serve::Response ready;
+  Lifecycle life;  ///< Meaningful only while `request` is set.
 };
 
 /// A hot snapshot reload in flight on its background thread. The worker only
@@ -72,7 +106,14 @@ struct Server::ReloadJob {
   std::thread worker;
 };
 
-Server::Server(ServerConfig config) : config_(std::move(config)) {}
+Server::Server(ServerConfig config)
+    : config_(std::move(config)),
+      start_time_(std::chrono::steady_clock::now()),
+      win_latency_us_(latency_bounds_us(), config_.window_count, config_.window_span_s),
+      win_loop_lag_us_(latency_bounds_us(), config_.window_count, config_.window_span_s),
+      win_responses_(config_.window_count, config_.window_span_s),
+      win_cache_hits_(config_.window_count, config_.window_span_s),
+      win_cache_misses_(config_.window_count, config_.window_span_s) {}
 
 Server::~Server() {
   finish_reloads(/*wait=*/true);
@@ -80,43 +121,69 @@ Server::~Server() {
     if (connection.fd >= 0) ::close(connection.fd);
   }
   if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (http_listen_fd_ >= 0) ::close(http_listen_fd_);
+}
+
+double Server::now_us() const {
+  return std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() -
+                                                   start_time_)
+      .count();
 }
 
 void Server::add_engine(std::string name, std::shared_ptr<const serve::QueryEngine> engine) {
   if (engine == nullptr) throw std::runtime_error("net: add_engine: null engine");
   if (default_map_.empty()) default_map_ = name;
+  map_stats_.try_emplace(name);
   engines_[std::move(name)] = std::move(engine);
+}
+
+int Server::listen_on(const std::string& address, std::uint16_t port, int backlog,
+                      std::uint16_t* bound_port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    throw std::runtime_error(util::format("net: socket: {}", std::strerror(errno)));
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, address.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    throw std::runtime_error(util::format("net: bad bind address '{}'", address));
+  }
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) < 0) {
+    const int saved = errno;
+    ::close(fd);
+    throw std::runtime_error(
+        util::format("net: bind {}:{}: {}", address, port, std::strerror(saved)));
+  }
+  if (::listen(fd, backlog) < 0) {
+    const int saved = errno;
+    ::close(fd);
+    throw std::runtime_error(util::format("net: listen: {}", std::strerror(saved)));
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) < 0) {
+    const int saved = errno;
+    ::close(fd);
+    throw std::runtime_error(util::format("net: getsockname: {}", std::strerror(saved)));
+  }
+  set_nonblocking(fd);
+  *bound_port = ntohs(bound.sin_port);
+  return fd;
 }
 
 std::uint16_t Server::bind_and_listen() {
   if (engines_.empty()) throw std::runtime_error("net: no engine registered");
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) {
-    throw std::runtime_error(util::format("net: socket: {}", std::strerror(errno)));
+  listen_fd_ = listen_on(config_.bind_address, config_.port, config_.backlog, &port_);
+  if (config_.http_metrics_port >= 0) {
+    http_listen_fd_ = listen_on(config_.bind_address,
+                                static_cast<std::uint16_t>(config_.http_metrics_port),
+                                config_.backlog, &http_port_);
   }
-  const int one = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
-
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(config_.port);
-  if (::inet_pton(AF_INET, config_.bind_address.c_str(), &addr.sin_addr) != 1) {
-    throw std::runtime_error(util::format("net: bad bind address '{}'", config_.bind_address));
-  }
-  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) < 0) {
-    throw std::runtime_error(util::format("net: bind {}:{}: {}", config_.bind_address,
-                                          config_.port, std::strerror(errno)));
-  }
-  if (::listen(listen_fd_, config_.backlog) < 0) {
-    throw std::runtime_error(util::format("net: listen: {}", std::strerror(errno)));
-  }
-  sockaddr_in bound{};
-  socklen_t len = sizeof bound;
-  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) < 0) {
-    throw std::runtime_error(util::format("net: getsockname: {}", std::strerror(errno)));
-  }
-  set_nonblocking(listen_fd_);
-  port_ = ntohs(bound.sin_port);
   return port_;
 }
 
@@ -128,9 +195,9 @@ serve::Response Server::make_error(std::int64_t id, const std::string& message) 
   return response;
 }
 
-void Server::accept_ready() {
+void Server::accept_ready(int listen_fd, bool http) {
   while (true) {
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
     if (fd < 0) {
       if (errno == EINTR) continue;
       return;  // EAGAIN/EWOULDBLOCK: drained.
@@ -147,30 +214,188 @@ void Server::accept_ready() {
     Connection connection;
     connection.id = next_conn_id_++;
     connection.fd = fd;
+    connection.http = http;
     connections_.emplace(connection.id, std::move(connection));
     ++stats_.connections_accepted;
     REMGEN_COUNTER_ADD("net.connections_accepted", 1);
   }
 }
 
+void Server::refresh_live_metrics(double now_s) {
+  obs::Registry& reg = obs::registry();
+  reg.gauge("net.uptime_seconds").set(now_s);
+  reg.gauge("net.window.span_seconds").set(win_latency_us_.span_seconds());
+  reg.gauge("net.window.requests").set(static_cast<double>(win_responses_.windowed(now_s)));
+  reg.gauge("net.window.qps").set(win_responses_.rate_per_second(now_s));
+
+  const obs::HistogramSnapshot latency = win_latency_us_.merged(now_s);
+  reg.gauge("net.window.latency_p50_us").set(obs::histogram_quantile(latency, 0.50));
+  reg.gauge("net.window.latency_p90_us").set(obs::histogram_quantile(latency, 0.90));
+  reg.gauge("net.window.latency_p99_us").set(obs::histogram_quantile(latency, 0.99));
+  reg.gauge("net.window.latency_p999_us").set(obs::histogram_quantile(latency, 0.999));
+
+  const std::uint64_t hits = win_cache_hits_.windowed(now_s);
+  const std::uint64_t misses = win_cache_misses_.windowed(now_s);
+  reg.gauge("net.window.cache_hit_rate")
+      .set(hits + misses > 0
+               ? static_cast<double>(hits) / static_cast<double>(hits + misses)
+               : 0.0);
+
+  const obs::HistogramSnapshot lag = win_loop_lag_us_.merged(now_s);
+  reg.gauge("net.loop.lag_p99_us").set(obs::histogram_quantile(lag, 0.99));
+  reg.gauge("net.loop.stalled").set(stalled_ ? 1.0 : 0.0);
+  reg.gauge("net.loop.stalled_rounds").set(static_cast<double>(stats_.stalled_rounds));
+
+  reg.gauge("net.connections_open").set(static_cast<double>(connections_.size()));
+  reg.gauge("net.inflight").set(static_cast<double>(queued_requests_));
+  reg.gauge("net.buffered_bytes").set(static_cast<double>(buffered_bytes_));
+  reg.gauge("net.limit.max_inflight").set(static_cast<double>(config_.max_inflight));
+  reg.gauge("net.limit.max_batch").set(static_cast<double>(config_.max_batch));
+  reg.gauge("net.limit.max_connections").set(static_cast<double>(config_.max_connections));
+  reg.gauge("net.limit.cache_mb").set(static_cast<double>(config_.cache_bytes >> 20));
+
+  // Per-map series. Values are lifetime-monotonic; they are mirrored as
+  // gauges at scrape time so the per-request path never touches the
+  // registry mutex for dynamic names.
+  for (const auto& [name, stats] : map_stats_) {
+    const std::string prefix = "net.map." + name + ".";
+    reg.gauge(prefix + "requests").set(static_cast<double>(stats.requests));
+    reg.gauge(prefix + "responses").set(static_cast<double>(stats.responses));
+    reg.gauge(prefix + "errors").set(static_cast<double>(stats.errors));
+    reg.gauge(prefix + "cache_hits").set(static_cast<double>(stats.cache_hits));
+    reg.gauge(prefix + "cache_misses").set(static_cast<double>(stats.cache_misses));
+  }
+}
+
+std::string Server::prometheus_text() {
+  refresh_live_metrics(now_us() / 1e6);
+  std::ostringstream out;
+  obs::write_prometheus(out, obs::registry().snapshot());
+  return std::move(out).str();
+}
+
+void Server::observe_life_histogram(const char* base, const Lifecycle& life, double value_us) {
+  if (!obs::enabled()) return;
+  obs::Registry& reg = obs::registry();
+  reg.histogram(base, latency_bounds_us()).observe(value_us);
+  reg.histogram(std::string(base) + ".type." + life.type, latency_bounds_us())
+      .observe(value_us);
+  reg.histogram(std::string(base) + ".map." + life.map, latency_bounds_us())
+      .observe(value_us);
+}
+
+void Server::maybe_slow_log(const Lifecycle& life, double total_us, double write_stall_us,
+                            double now_s) {
+  if (!slow_log_.is_open() || total_us < config_.slow_ms * 1000.0) return;
+  ++slow_seen_;
+  if (config_.slow_log_sample > 1 && (slow_seen_ - 1) % config_.slow_log_sample != 0) return;
+  obs::Json::Object entry;
+  entry["ts_s"] = obs::Json(now_s);
+  entry["id"] = obs::Json(life.id);
+  entry["type"] = obs::Json(std::string(life.type));
+  entry["map"] = obs::Json(life.map);
+  entry["points"] = obs::Json(static_cast<std::int64_t>(life.points));
+  entry["queue_wait_us"] = obs::Json(life.dequeue_us - life.admit_us);
+  entry["exec_us"] = obs::Json(life.exec_end_us - life.exec_start_us);
+  entry["write_stall_us"] = obs::Json(write_stall_us);
+  entry["total_us"] = obs::Json(total_us);
+  entry["round_size"] = obs::Json(static_cast<std::int64_t>(life.round_size));
+  entry["round_cache_hits"] = obs::Json(life.round_cache_hits);
+  slow_log_ << obs::Json(std::move(entry)).dump() << '\n';
+  slow_log_.flush();  // Slow requests are rare; make each visible immediately.
+  ++stats_.slow_logged;
+  REMGEN_COUNTER_ADD("net.slow_logged", 1);
+}
+
 void Server::handle_admin(Connection& connection, std::int64_t id, const std::string& type,
                           const obs::Json& doc) {
   if (type == "stats") {
+    const double now_s = now_us() / 1e6;
     serve::Response response;
     response.id = id;
     obs::Json::Object body;
+    body["uptime_seconds"] = obs::Json(now_s);
     body["connections"] = obs::Json(static_cast<std::int64_t>(connections_.size()));
     body["inflight"] = obs::Json(static_cast<std::int64_t>(queued_requests_));
+    body["buffered_bytes"] = obs::Json(static_cast<std::int64_t>(buffered_bytes_));
     body["requests"] = obs::Json(stats_.requests);
     body["responses"] = obs::Json(stats_.responses);
     body["parse_errors"] = obs::Json(stats_.parse_errors);
     body["overload_rejections"] = obs::Json(stats_.overload_rejections);
     body["reload_swaps"] = obs::Json(stats_.reload_swaps);
     body["reload_failures"] = obs::Json(stats_.reload_failures);
+    body["cache_hits"] = obs::Json(stats_.cache_hits);
+    body["cache_misses"] = obs::Json(stats_.cache_misses);
+    body["metrics_scrapes"] = obs::Json(stats_.metrics_scrapes);
+    body["slow_logged"] = obs::Json(stats_.slow_logged);
+
+    obs::Json::Object limits;
+    limits["max_inflight"] = obs::Json(static_cast<std::int64_t>(config_.max_inflight));
+    limits["max_batch"] = obs::Json(static_cast<std::int64_t>(config_.max_batch));
+    limits["max_connections"] = obs::Json(static_cast<std::int64_t>(config_.max_connections));
+    limits["cache_mb"] = obs::Json(static_cast<std::int64_t>(config_.cache_bytes >> 20));
+    limits["max_buffered_bytes"] =
+        obs::Json(static_cast<std::int64_t>(config_.max_buffered_bytes));
+    body["limits"] = obs::Json(std::move(limits));
+
+    const obs::HistogramSnapshot latency = win_latency_us_.merged(now_s);
+    obs::Json::Object latency_obj;
+    latency_obj["p50"] = obs::Json(obs::histogram_quantile(latency, 0.50));
+    latency_obj["p90"] = obs::Json(obs::histogram_quantile(latency, 0.90));
+    latency_obj["p99"] = obs::Json(obs::histogram_quantile(latency, 0.99));
+    latency_obj["p99.9"] = obs::Json(obs::histogram_quantile(latency, 0.999));
+    obs::Json::Object window;
+    window["span_seconds"] = obs::Json(win_latency_us_.span_seconds());
+    window["requests"] = obs::Json(win_responses_.windowed(now_s));
+    window["qps"] = obs::Json(win_responses_.rate_per_second(now_s));
+    const std::uint64_t win_hits = win_cache_hits_.windowed(now_s);
+    const std::uint64_t win_misses = win_cache_misses_.windowed(now_s);
+    window["cache_hit_rate"] =
+        obs::Json(win_hits + win_misses > 0
+                      ? static_cast<double>(win_hits) /
+                            static_cast<double>(win_hits + win_misses)
+                      : 0.0);
+    window["latency_us"] = obs::Json(std::move(latency_obj));
+    body["window"] = obs::Json(std::move(window));
+
+    obs::Json::Object loop;
+    loop["lag_p99_us"] =
+        obs::Json(obs::histogram_quantile(win_loop_lag_us_.merged(now_s), 0.99));
+    loop["stalled"] = obs::Json(stalled_);
+    loop["stalled_rounds"] = obs::Json(stats_.stalled_rounds);
+    body["loop"] = obs::Json(std::move(loop));
+
     obs::Json::Array maps;
     for (const auto& [name, engine] : engines_) maps.push_back(obs::Json(name));
     body["maps"] = obs::Json(std::move(maps));
+    obs::Json::Object per_map;
+    for (const auto& [name, ms] : map_stats_) {
+      obs::Json::Object entry;
+      entry["requests"] = obs::Json(ms.requests);
+      entry["responses"] = obs::Json(ms.responses);
+      entry["errors"] = obs::Json(ms.errors);
+      entry["cache_hits"] = obs::Json(ms.cache_hits);
+      entry["cache_misses"] = obs::Json(ms.cache_misses);
+      per_map[name] = obs::Json(std::move(entry));
+    }
+    body["map_stats"] = obs::Json(std::move(per_map));
+
     response.body = obs::Json(std::move(body));
+    enqueue_response(connection, std::move(response));
+    return;
+  }
+  if (type == "metrics") {
+    // In-flight scrape: a registry snapshot plus gauge refresh — no engine
+    // work, so it cannot block execution rounds. The exposition rides as a
+    // JSON string so the reply stays one line on the shared framing.
+    serve::Response response;
+    response.id = id;
+    obs::Json::Object body;
+    body["content_type"] = obs::Json(std::string("text/plain; version=0.0.4"));
+    body["prometheus"] = obs::Json(prometheus_text());
+    response.body = obs::Json(std::move(body));
+    ++stats_.metrics_scrapes;
+    REMGEN_COUNTER_ADD("net.metrics_scrapes", 1);
     enqueue_response(connection, std::move(response));
     return;
   }
@@ -233,7 +458,7 @@ void Server::handle_line(Connection& connection, const std::string& line) {
     doc = obs::Json::parse(line);
     if (doc.is_object() && doc.contains("type") && doc.at("type").is_string()) {
       const std::string& type = doc.at("type").as_string();
-      if (type == "stats" || type == "reload") {
+      if (type == "stats" || type == "reload" || type == "metrics") {
         // Admin types share the id contract with query requests.
         std::int64_t id = -1;
         if (doc.contains("id") && doc.at("id").is_int()) id = doc.at("id").as_int64();
@@ -277,11 +502,17 @@ void Server::handle_line(Connection& connection, const std::string& line) {
 
   Pending pending;
   pending.conn_id = connection.id;
+  pending.life.id = request.id;
+  pending.life.type = request_type_label(request.type);
+  pending.life.map = map;
+  pending.life.points = request.points.empty() ? 1 : request.points.size();
+  pending.life.admit_us = now_us();
   pending.request = std::move(request);
   pending.engine = engine_it->second;  // Pinned: reloads never touch in-flight work.
   ++connection.queued;
   ++queued_requests_;
   ++stats_.requests;
+  ++map_stats_[map].requests;
   REMGEN_COUNTER_ADD("net.requests", 1);
   queue_.push_back(std::move(pending));
 }
@@ -310,6 +541,10 @@ void Server::read_ready(Connection& connection) {
     connection.broken = true;
     return;
   }
+  if (connection.http) {
+    http_read_ready(connection);
+    return;
+  }
   std::size_t start = 0;
   while (true) {
     const std::size_t newline = connection.in.find('\n', start);
@@ -320,6 +555,58 @@ void Server::read_ready(Connection& connection) {
     start = newline + 1;
   }
   connection.in.erase(0, start);
+}
+
+void Server::http_read_ready(Connection& connection) {
+  // Minimal HTTP/1.0: wait for the end of the request head, answer one GET
+  // with text exposition, close after the flush. Anything else is a 404.
+  if (connection.in.size() > 16384) {
+    connection.broken = true;
+    return;
+  }
+  std::size_t head_end = connection.in.find("\r\n\r\n");
+  if (head_end == std::string::npos) {
+    head_end = connection.in.find("\n\n");
+    if (head_end == std::string::npos) {
+      if (connection.peer_closed && !connection.in.empty()) {
+        head_end = connection.in.size();  // Head without blank line, then EOF.
+      } else {
+        return;  // Head incomplete; keep reading.
+      }
+    }
+  }
+  const std::string head = connection.in.substr(0, head_end);
+  connection.in.clear();
+  connection.peer_closed = true;  // One request per connection; stop reading.
+
+  const std::size_t line_end = head.find_first_of("\r\n");
+  const std::string request_line =
+      line_end == std::string::npos ? head : head.substr(0, line_end);
+  const bool is_get = request_line.rfind("GET ", 0) == 0;
+  const std::size_t path_start = 4;
+  const std::size_t path_end = request_line.find(' ', path_start);
+  const std::string path =
+      is_get ? request_line.substr(path_start, path_end == std::string::npos
+                                                   ? std::string::npos
+                                                   : path_end - path_start)
+             : std::string();
+  std::string body;
+  const char* status = "200 OK";
+  const char* content_type = "text/plain; version=0.0.4; charset=utf-8";
+  if (is_get && (path == "/metrics" || path == "/")) {
+    body = prometheus_text();
+    ++stats_.metrics_scrapes;
+    REMGEN_COUNTER_ADD("net.metrics_scrapes", 1);
+  } else {
+    status = "404 Not Found";
+    content_type = "text/plain; charset=utf-8";
+    body = "not found; scrape GET /metrics\n";
+  }
+  append_output(connection,
+                util::format("HTTP/1.0 {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n"
+                             "Connection: close\r\n\r\n",
+                             status, content_type, body.size()) +
+                    body);
 }
 
 void Server::finish_reloads(bool wait) {
@@ -351,8 +638,7 @@ void Server::finish_reloads(bool wait) {
     }
     const auto conn_it = connections_.find(job.conn_id);
     if (conn_it != connections_.end()) {
-      conn_it->second.out += response.to_jsonl();
-      conn_it->second.out += '\n';
+      append_output(conn_it->second, response.to_jsonl() + '\n');
       --conn_it->second.queued;
       ++stats_.responses;
       REMGEN_COUNTER_ADD("net.responses", 1);
@@ -366,6 +652,7 @@ void Server::execute_round() {
   const std::size_t round_size = std::min(queue_.size(), config_.max_batch);
   std::vector<Pending> round;
   round.reserve(round_size);
+  const double dequeue_us = now_us();
   for (std::size_t i = 0; i < round_size; ++i) {
     round.push_back(std::move(queue_.front()));
     queue_.pop_front();
@@ -375,34 +662,84 @@ void Server::execute_round() {
   // steady state; two only mid-reload or with multiple maps) and run each
   // group through the coalescing batch path on the shared pool.
   std::map<const serve::QueryEngine*, std::vector<std::size_t>> by_engine;
+  std::size_t executable = 0;
   for (std::size_t i = 0; i < round.size(); ++i) {
-    if (round[i].request.has_value()) by_engine[round[i].engine.get()].push_back(i);
+    if (round[i].request.has_value()) {
+      by_engine[round[i].engine.get()].push_back(i);
+      round[i].life.dequeue_us = dequeue_us;
+      ++executable;
+    }
   }
   for (const auto& [engine, indices] : by_engine) {
     std::vector<serve::Request> requests;
     requests.reserve(indices.size());
     for (const std::size_t i : indices) requests.push_back(std::move(*round[i].request));
+    // Engine-cache deltas of this group: execute_coalesced is fork/join on
+    // the pool, so after it returns the counters are quiescent and the
+    // delta is exactly this round's activity on this engine.
+    const std::uint64_t hits_before = engine->cache().hits();
+    const std::uint64_t misses_before = engine->cache().misses();
+    const double exec_start_us = now_us();
     std::vector<serve::Response> responses = engine->execute_coalesced(requests);
+    const double exec_end_us = now_us();
+    const std::uint64_t hit_delta = engine->cache().hits() - hits_before;
+    const std::uint64_t miss_delta = engine->cache().misses() - misses_before;
+    const double now_s = exec_end_us / 1e6;
+    stats_.cache_hits += hit_delta;
+    stats_.cache_misses += miss_delta;
+    win_cache_hits_.add(hit_delta, now_s);
+    win_cache_misses_.add(miss_delta, now_s);
+    if (!indices.empty()) {
+      MapStats& ms = map_stats_[round[indices.front()].life.map];
+      ms.cache_hits += hit_delta;
+      ms.cache_misses += miss_delta;
+    }
     for (std::size_t j = 0; j < indices.size(); ++j) {
-      round[indices[j]].ready = std::move(responses[j]);
-      round[indices[j]].request.reset();
+      Pending& pending = round[indices[j]];
+      pending.ready = std::move(responses[j]);
+      pending.request.reset();
+      pending.life.exec_start_us = exec_start_us;
+      pending.life.exec_end_us = exec_end_us;
+      pending.life.round_cache_hits = hit_delta;
+      pending.life.round_size = executable;
+      observe_life_histogram("net.queue_wait_us", pending.life,
+                             pending.life.dequeue_us - pending.life.admit_us);
+      observe_life_histogram("net.exec_us", pending.life, exec_end_us - exec_start_us);
     }
     queued_requests_ -= indices.size();
   }
 
   // Deliver in admission order; per-connection response order is therefore
   // exactly the request order, pipelining included.
+  const double deliver_us = now_us();
+  const double deliver_s = deliver_us / 1e6;
   for (Pending& pending : round) {
     const auto it = connections_.find(pending.conn_id);
+    const bool executed = pending.life.admit_us > 0.0;
+    if (executed) {
+      win_responses_.add(1, deliver_s);
+      MapStats& ms = map_stats_[pending.life.map];
+      ++ms.responses;
+      if (!pending.ready.ok) ++ms.errors;
+    }
     if (it == connections_.end()) continue;  // Peer vanished; response unroutable.
     Connection& connection = it->second;
     --connection.queued;
     if (connection.broken) continue;
-    connection.out += pending.ready.to_jsonl();
-    connection.out += '\n';
+    append_output(connection, pending.ready.to_jsonl() + '\n');
+    if (executed) {
+      pending.life.enqueue_us = deliver_us;
+      connection.write_records.push_back(
+          Connection::WriteRecord{connection.enqueued_total, std::move(pending.life)});
+    }
     ++stats_.responses;
     REMGEN_COUNTER_ADD("net.responses", 1);
   }
+}
+
+void Server::append_output(Connection& connection, const std::string& bytes) {
+  connection.out += bytes;
+  connection.enqueued_total += bytes.size();
 }
 
 void Server::write_ready(Connection& connection) {
@@ -411,13 +748,32 @@ void Server::write_ready(Connection& connection) {
                              connection.out.size(), MSG_NOSIGNAL);
     if (n > 0) {
       connection.out.erase(0, static_cast<std::size_t>(n));
+      connection.written_total += static_cast<std::size_t>(n);
       continue;
     }
     if (n < 0 && errno == EINTR) continue;
-    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
     connection.broken = true;
-    return;
+    break;
   }
+  complete_writes(connection);
+}
+
+void Server::complete_writes(Connection& connection) {
+  if (connection.write_records.empty()) return;
+  const double done_us = now_us();
+  const double done_s = done_us / 1e6;
+  while (!connection.write_records.empty() &&
+         connection.write_records.front().end_offset <= connection.written_total) {
+    const Lifecycle& life = connection.write_records.front().life;
+    const double write_stall_us = done_us - life.enqueue_us;
+    const double total_us = done_us - life.admit_us;
+    observe_life_histogram("net.write_stall_us", life, write_stall_us);
+    win_latency_us_.observe(total_us, done_s);
+    maybe_slow_log(life, total_us, write_stall_us, done_s);
+    connection.write_records.pop_front();
+  }
+  if (connection.broken) connection.write_records.clear();
 }
 
 void Server::close_connection(std::uint64_t conn_id) {
@@ -432,12 +788,27 @@ void Server::run() {
   if (listen_fd_ < 0) bind_and_listen();
   util::logf(util::LogLevel::Info, "net", "serving {} map(s) on {}:{}", engines_.size(),
              config_.bind_address, port_);
+  if (http_listen_fd_ >= 0) {
+    util::logf(util::LogLevel::Info, "net", "metrics scrape on http://{}:{}/metrics",
+               config_.bind_address, http_port_);
+  }
+  if (!config_.slow_log_path.empty()) {
+    slow_log_.open(config_.slow_log_path, std::ios::app);
+    if (!slow_log_) {
+      util::logf(util::LogLevel::Warn, "net", "cannot open slow log '{}'",
+                 config_.slow_log_path);
+    }
+  }
   bool accepting = true;
   while (true) {
     const bool draining = shutdown_requested_.load(std::memory_order_relaxed);
     if (draining && accepting) {
       ::close(listen_fd_);
       listen_fd_ = -1;
+      if (http_listen_fd_ >= 0) {
+        ::close(http_listen_fd_);
+        http_listen_fd_ = -1;
+      }
       accepting = false;
       util::logf(util::LogLevel::Info, "net", "draining {} queued request(s) over {} connection(s)",
                  queue_.size(), connections_.size());
@@ -445,7 +816,14 @@ void Server::run() {
 
     std::vector<pollfd> fds;
     std::vector<std::uint64_t> fd_conn;  // fds[i + offset] -> connection id
-    if (accepting) fds.push_back({listen_fd_, POLLIN, 0});
+    std::size_t http_slot = static_cast<std::size_t>(-1);
+    if (accepting) {
+      fds.push_back({listen_fd_, POLLIN, 0});
+      if (http_listen_fd_ >= 0) {
+        http_slot = fds.size();
+        fds.push_back({http_listen_fd_, POLLIN, 0});
+      }
+    }
     const std::size_t conn_offset = fds.size();
     for (auto& [conn_id, connection] : connections_) {
       short events = 0;
@@ -469,9 +847,14 @@ void Server::run() {
     if (ready < 0 && errno != EINTR) {
       throw std::runtime_error(util::format("net: poll: {}", std::strerror(errno)));
     }
+    const double busy_start_us = now_us();  // Loop-lag clock starts after the sleep.
 
     if (ready > 0) {
-      if (accepting && (fds[0].revents & POLLIN) != 0) accept_ready();
+      if (accepting && (fds[0].revents & POLLIN) != 0) accept_ready(listen_fd_, /*http=*/false);
+      if (http_slot != static_cast<std::size_t>(-1) &&
+          (fds[http_slot].revents & POLLIN) != 0) {
+        accept_ready(http_listen_fd_, /*http=*/true);
+      }
       for (std::size_t i = 0; i < fd_conn.size(); ++i) {
         const auto it = connections_.find(fd_conn[i]);
         if (it == connections_.end()) continue;
@@ -491,8 +874,10 @@ void Server::run() {
     // Flush opportunistically after executing — most responses fit the
     // socket buffer and go out without waiting for the next POLLOUT round.
     std::vector<std::uint64_t> to_close;
+    std::size_t buffered = 0;
     for (auto& [conn_id, connection] : connections_) {
       if (!connection.out.empty() && !connection.broken) write_ready(connection);
+      buffered += connection.out.size();
       const bool done_sending = connection.out.empty() && connection.queued == 0;
       if (connection.broken || (connection.peer_closed && done_sending) ||
           (draining && done_sending)) {
@@ -500,11 +885,27 @@ void Server::run() {
       }
     }
     for (const std::uint64_t conn_id : to_close) close_connection(conn_id);
+    buffered_bytes_ = buffered;
     REMGEN_GAUGE_SET("net.connections_open", static_cast<double>(connections_.size()));
     REMGEN_GAUGE_SET("net.inflight", static_cast<double>(queued_requests_));
+    REMGEN_GAUGE_SET("net.buffered_bytes", static_cast<double>(buffered_bytes_));
+
+    // Event-loop health: the busy (non-poll) part of this iteration is the
+    // loop lag — how long queued work waited for the loop to come around.
+    const double busy_us = now_us() - busy_start_us;
+    win_loop_lag_us_.observe(busy_us, busy_start_us / 1e6);
+    if (obs::enabled()) {
+      obs::registry().histogram("net.loop_lag_us", latency_bounds_us()).observe(busy_us);
+    }
+    stalled_ = busy_us > config_.stall_ms * 1000.0;
+    if (stalled_) {
+      ++stats_.stalled_rounds;
+      REMGEN_COUNTER_ADD("net.stalled_rounds", 1);
+    }
 
     if (draining && queue_.empty() && reloads_.empty() && connections_.empty()) break;
   }
+  if (slow_log_.is_open()) slow_log_.close();
   util::logf(util::LogLevel::Info, "net", "drained; served {} request(s), {} response(s)",
              stats_.requests, stats_.responses);
 }

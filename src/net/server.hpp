@@ -22,19 +22,38 @@
 // drops, zero mixed-snapshot batches — and the old engine is freed when the
 // last in-flight holder releases it.
 //
+// Live observability plane: every admitted query is stamped through its
+// lifecycle (read/admit -> dequeue -> exec start/end -> response enqueued ->
+// bytes flushed), feeding net.queue_wait_us / net.exec_us /
+// net.write_stall_us histograms (global + per request type + per map) and
+// rolling windows (obs::WindowedHistogram, default 12 x 5 s) from which qps,
+// p50/p90/p99/p99.9 and cache hit rate over the last minute are derived. Two
+// in-flight scrape surfaces expose it: a "metrics" admin request on the
+// JSONL framing (the Prometheus text rides inside one JSON line) and an
+// optional plain-HTTP listener (`http_metrics_port`) answering GET /metrics
+// with text exposition. Both are served from the event loop between rounds —
+// a scrape is a registry snapshot plus gauge refresh, never an engine
+// execution, so it cannot block request rounds. Slow requests (total latency
+// >= slow_ms) are sampled into a JSONL log carrying the per-stage micros.
+// All windowed state is single-writer (event-loop thread); the metrics
+// registry itself is internally synchronised.
+//
 // Shutdown: request_shutdown() (async-signal-safe; call it from a SIGTERM/
 // SIGINT handler) makes the loop stop accepting, drain the queue, flush
 // every write buffer, and return. No admitted request is dropped.
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <deque>
+#include <fstream>
 #include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "obs/window.hpp"
 #include "serve/engine.hpp"
 
 namespace remgen::net {
@@ -51,6 +70,16 @@ struct ServerConfig {
                                              ///< reading pauses until it drains.
   int poll_timeout_ms = 50;             ///< Reload-completion / shutdown latency bound.
   std::size_t cache_bytes = 64 << 20;   ///< Result-cache budget for reloaded engines.
+
+  // Live observability plane.
+  int http_metrics_port = -1;        ///< >= 0 enables the HTTP GET /metrics
+                                     ///< listener (0 = ephemeral; Server::http_port()).
+  std::string slow_log_path;         ///< Non-empty enables the slow-request JSONL log.
+  double slow_ms = 0.0;              ///< Slow threshold on total latency (0 logs all).
+  std::size_t slow_log_sample = 1;   ///< Log every Nth request over the threshold.
+  std::size_t window_count = 12;     ///< Rolling-window ring size...
+  double window_span_s = 5.0;        ///< ...of sub-windows this long (12 x 5 s = 1 min).
+  double stall_ms = 250.0;           ///< Loop iteration busy time counted as a stall.
 };
 
 /// Counters mirrored into net.* metrics; stable across stats() calls.
@@ -63,6 +92,20 @@ struct ServerStats {
   std::uint64_t overload_rejections = 0;
   std::uint64_t reload_swaps = 0;
   std::uint64_t reload_failures = 0;
+  std::uint64_t cache_hits = 0;        ///< Engine-cache hits, summed per round.
+  std::uint64_t cache_misses = 0;
+  std::uint64_t metrics_scrapes = 0;   ///< Admin "metrics" + HTTP scrapes served.
+  std::uint64_t stalled_rounds = 0;    ///< Loop iterations busier than stall_ms.
+  std::uint64_t slow_logged = 0;       ///< Entries written to the slow log.
+};
+
+/// Lifetime request/cache tallies for one named map.
+struct MapStats {
+  std::uint64_t requests = 0;
+  std::uint64_t responses = 0;
+  std::uint64_t errors = 0;        ///< ok=false responses among those.
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
 };
 
 /// Single-threaded event loop + pool-executed request rounds over one or
@@ -82,6 +125,7 @@ class Server {
 
   /// Binds and listens; returns the bound port (resolves port 0). Throws
   /// std::runtime_error on socket failures or when no engine is registered.
+  /// Also binds the HTTP metrics listener when configured.
   std::uint16_t bind_and_listen();
 
   /// Runs the event loop until request_shutdown(), then drains: admitted
@@ -93,38 +137,92 @@ class Server {
   void request_shutdown() noexcept { shutdown_requested_.store(true); }
 
   [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+  /// Bound HTTP metrics port; 0 when the listener is disabled.
+  [[nodiscard]] std::uint16_t http_port() const noexcept { return http_port_; }
   [[nodiscard]] const ServerStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const std::map<std::string, MapStats>& map_stats() const noexcept {
+    return map_stats_;
+  }
 
  private:
   struct Connection;
   struct Pending;
   struct ReloadJob;
 
-  void accept_ready();
+  /// Per-request lifecycle stamps (microseconds on the server's monotonic
+  /// clock, 0 = not reached). Attached to executable queue entries only.
+  struct Lifecycle {
+    std::int64_t id = 0;
+    const char* type = "point";      ///< Request type label for metric names.
+    std::string map;                 ///< Resolved map name.
+    std::size_t points = 1;          ///< Batch size (points carried).
+    double admit_us = 0.0;           ///< Line parsed and admitted.
+    double dequeue_us = 0.0;         ///< Popped into an execution round.
+    double exec_start_us = 0.0;      ///< Round fan-out began for its engine group.
+    double exec_end_us = 0.0;        ///< Engine group finished.
+    double enqueue_us = 0.0;         ///< Response bytes appended to the write buffer.
+    std::uint64_t round_cache_hits = 0;  ///< Engine-cache hit delta of its round.
+    std::size_t round_size = 0;          ///< Requests executed in its round.
+  };
+
+  [[nodiscard]] double now_us() const;
+
+  void accept_ready(int fd, bool http);
   void read_ready(Connection& connection);
+  void http_read_ready(Connection& connection);
   void handle_line(Connection& connection, const std::string& line);
   void enqueue_response(Connection& connection, serve::Response response);
   void handle_admin(Connection& connection, std::int64_t id, const std::string& type,
                     const obs::Json& doc);
   void finish_reloads(bool wait);
   void execute_round();
+  void append_output(Connection& connection, const std::string& bytes);
   void write_ready(Connection& connection);
+  /// Pops write records whose bytes have reached the socket; observes
+  /// write-stall and total latency, feeds the windows and the slow log.
+  void complete_writes(Connection& connection);
   void close_connection(std::uint64_t conn_id);
   [[nodiscard]] serve::Response make_error(std::int64_t id, const std::string& message) const;
+
+  /// Refreshes the live gauges (windowed tails, qps, cache hit rate, per-map
+  /// series, limits) in the global registry, then renders text exposition.
+  [[nodiscard]] std::string prometheus_text();
+  void refresh_live_metrics(double now_s);
+  void observe_life_histogram(const char* base, const Lifecycle& life, double value_us);
+  void maybe_slow_log(const Lifecycle& life, double total_us, double write_stall_us,
+                      double now_s);
+
+  [[nodiscard]] static int listen_on(const std::string& address, std::uint16_t port,
+                                     int backlog, std::uint16_t* bound_port);
 
   ServerConfig config_;
   std::string default_map_;
   std::map<std::string, std::shared_ptr<const serve::QueryEngine>> engines_;
 
   int listen_fd_ = -1;
+  int http_listen_fd_ = -1;
   std::uint16_t port_ = 0;
+  std::uint16_t http_port_ = 0;
   std::uint64_t next_conn_id_ = 1;
   std::map<std::uint64_t, Connection> connections_;
   std::deque<Pending> queue_;           ///< FIFO of admitted work (front = oldest).
   std::size_t queued_requests_ = 0;     ///< Entries in queue_ that still need execution.
   std::vector<std::unique_ptr<ReloadJob>> reloads_;
   ServerStats stats_;
+  std::map<std::string, MapStats> map_stats_;
   std::atomic<bool> shutdown_requested_{false};
+
+  // Live observability state — event-loop thread only.
+  std::chrono::steady_clock::time_point start_time_;
+  obs::WindowedHistogram win_latency_us_;   ///< Admit -> bytes-on-socket latency.
+  obs::WindowedHistogram win_loop_lag_us_;  ///< Busy time of each loop iteration.
+  obs::WindowedCounter win_responses_;      ///< Executed query responses (qps source).
+  obs::WindowedCounter win_cache_hits_;
+  obs::WindowedCounter win_cache_misses_;
+  bool stalled_ = false;                ///< Last loop iteration exceeded stall_ms.
+  std::size_t buffered_bytes_ = 0;      ///< Sum of unwritten output, last iteration.
+  std::ofstream slow_log_;
+  std::uint64_t slow_seen_ = 0;         ///< Requests over the threshold (pre-sampling).
 };
 
 }  // namespace remgen::net

@@ -1,8 +1,14 @@
 #include "obs/export.hpp"
 
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <ostream>
+#include <set>
+#include <span>
+#include <string_view>
 
 #include "util/fmt.hpp"
 #include "util/log.hpp"
@@ -23,11 +29,61 @@ std::string prometheus_name(std::string_view name) {
   return out;
 }
 
+/// Sanitisation is lossy ("a.b" and "a_b" both fold to "remgen_a_b"), so
+/// emitted names are assigned through this collision tracker: the first raw
+/// name wins the plain form, later colliders get a "_dup2"/"_dup3" suffix —
+/// a scrape therefore never contains duplicate series. Histograms reserve
+/// their whole derived family (_bucket/_sum/_count) so a gauge named e.g.
+/// "x_count" cannot collide with histogram "x"'s count series either.
+class PrometheusNamer {
+ public:
+  /// Returns a unique emitted base name for `raw` (+ optional type suffix,
+  /// e.g. "_total"), reserving `family` suffixes derived from it too.
+  std::string assign(std::string_view raw, std::string_view type_suffix,
+                     std::span<const std::string_view> family = {}) {
+    const std::string base = prometheus_name(raw) + std::string(type_suffix);
+    for (int attempt = 1;; ++attempt) {
+      const std::string candidate =
+          attempt == 1 ? base : base + "_dup" + std::to_string(attempt);
+      if (is_free(candidate, family)) {
+        reserve(candidate, family);
+        return candidate;
+      }
+    }
+  }
+
+ private:
+  [[nodiscard]] bool is_free(const std::string& candidate,
+                             std::span<const std::string_view> family) const {
+    if (used_.count(candidate) != 0) return false;
+    for (const std::string_view suffix : family) {
+      if (used_.count(candidate + std::string(suffix)) != 0) return false;
+    }
+    return true;
+  }
+
+  void reserve(const std::string& candidate, std::span<const std::string_view> family) {
+    used_.insert(candidate);
+    for (const std::string_view suffix : family) used_.insert(candidate + std::string(suffix));
+  }
+
+  std::set<std::string> used_;
+};
+
+constexpr std::string_view kHistogramFamily[] = {"_bucket", "_sum", "_count"};
+
 std::string bound_label(double bound) {
   if (bound == static_cast<double>(static_cast<long long>(bound))) {
     return util::format("{}", static_cast<long long>(bound));
   }
-  return util::format("{}", bound);
+  // Shortest %g form that round-trips, so le="1.5" rather than le="1.500000"
+  // and scrape labels stay stable across writers.
+  for (int precision = 1; precision <= 17; ++precision) {
+    char buffer[64];
+    std::snprintf(buffer, sizeof buffer, "%.*g", precision, bound);
+    if (std::strtod(buffer, nullptr) == bound) return buffer;
+  }
+  return util::format("{:.17g}", bound);
 }
 
 }  // namespace
@@ -62,17 +118,24 @@ void write_metrics_json(std::ostream& out, const MetricsSnapshot& snapshot) {
 }
 
 void write_prometheus(std::ostream& out, const MetricsSnapshot& snapshot) {
+  PrometheusNamer namer;
+  const auto help = [&out](const std::string& pname, const std::string& raw) {
+    out << "# HELP " << pname << " remgen metric '" << raw << "'\n";
+  };
   for (const auto& [name, value] : snapshot.counters) {
-    const std::string pname = prometheus_name(name) + "_total";
+    const std::string pname = namer.assign(name, "_total");
+    help(pname, name);
     out << "# TYPE " << pname << " counter\n" << pname << ' ' << value << '\n';
   }
   for (const auto& [name, value] : snapshot.gauges) {
-    const std::string pname = prometheus_name(name);
+    const std::string pname = namer.assign(name, "");
+    help(pname, name);
     out << "# TYPE " << pname << " gauge\n"
         << pname << ' ' << util::format("{:.17g}", value) << '\n';
   }
   for (const auto& [name, h] : snapshot.histograms) {
-    const std::string pname = prometheus_name(name);
+    const std::string pname = namer.assign(name, "", kHistogramFamily);
+    help(pname, name);
     out << "# TYPE " << pname << " histogram\n";
     // Prometheus buckets are cumulative.
     std::uint64_t cumulative = 0;

@@ -20,9 +20,11 @@ namespace remgen::obs {
 [[nodiscard]] Json metrics_to_json(const MetricsSnapshot& snapshot);
 void write_metrics_json(std::ostream& out, const MetricsSnapshot& snapshot);
 
-/// Prometheus text exposition (# TYPE lines, histograms with _bucket/_sum/
-/// _count series). Metric names are sanitised ("campaign.samples_collected"
-/// -> "remgen_campaign_samples_collected_total").
+/// Prometheus text exposition (# HELP/# TYPE lines, histograms with
+/// _bucket/_sum/_count series). Metric names are sanitised
+/// ("campaign.samples_collected" -> "remgen_campaign_samples_collected_total");
+/// sanitisation collisions ("a.b" vs "a_b") are detected and deduplicated
+/// with a "_dupN" suffix so a scrape never contains duplicate series.
 void write_prometheus(std::ostream& out, const MetricsSnapshot& snapshot);
 
 /// Everything one Chrome-trace document carries: spans, per-chunk task

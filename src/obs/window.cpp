@@ -1,0 +1,141 @@
+#include "obs/window.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace remgen::obs {
+
+namespace {
+
+void validate_bounds(const std::vector<double>& bounds) {
+  if (bounds.empty()) throw std::invalid_argument("obs: windowed histogram needs bounds");
+  for (std::size_t i = 1; i < bounds.size(); ++i) {
+    if (bounds[i] <= bounds[i - 1]) {
+      throw std::invalid_argument("obs: histogram bounds must be strictly increasing");
+    }
+  }
+}
+
+}  // namespace
+
+WindowedHistogram::WindowedHistogram(std::vector<double> upper_bounds, std::size_t windows,
+                                     double window_span_s)
+    : bounds_(std::move(upper_bounds)), window_span_s_(window_span_s) {
+  validate_bounds(bounds_);
+  if (windows == 0 || window_span_s <= 0.0) {
+    throw std::invalid_argument("obs: windowed histogram needs positive windows and span");
+  }
+  slots_.resize(windows);
+  for (Slot& slot : slots_) slot.buckets.assign(bounds_.size() + 1, 0);
+}
+
+std::int64_t WindowedHistogram::window_index(double now_s) const {
+  return static_cast<std::int64_t>(std::floor(now_s / window_span_s_));
+}
+
+WindowedHistogram::Slot& WindowedHistogram::slot_for(std::int64_t index) {
+  Slot& slot = slots_[static_cast<std::size_t>(index % static_cast<std::int64_t>(slots_.size()) +
+                                               static_cast<std::int64_t>(slots_.size())) %
+                      slots_.size()];
+  if (slot.index != index) {
+    // The ring wrapped onto a stale sub-window: recycle it.
+    slot.index = index;
+    std::fill(slot.buckets.begin(), slot.buckets.end(), 0);
+    slot.count = 0;
+    slot.sum = 0.0;
+  }
+  return slot;
+}
+
+void WindowedHistogram::observe(double value, double now_s) {
+  Slot& slot = slot_for(window_index(now_s));
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  // NaN compares false against every bound: lower_bound lands on end(), the
+  // +Inf bucket, matching obs::Histogram's convention.
+  ++slot.buckets[static_cast<std::size_t>(it - bounds_.begin())];
+  ++slot.count;
+  slot.sum += value;
+}
+
+HistogramSnapshot WindowedHistogram::merged(double now_s) const {
+  HistogramSnapshot out;
+  out.upper_bounds = bounds_;
+  out.bucket_counts.assign(bounds_.size() + 1, 0);
+  const std::int64_t newest = window_index(now_s);
+  const std::int64_t oldest = newest - static_cast<std::int64_t>(slots_.size()) + 1;
+  for (const Slot& slot : slots_) {
+    if (slot.index < oldest || slot.index > newest) continue;  // Expired or unused.
+    for (std::size_t b = 0; b < slot.buckets.size(); ++b) out.bucket_counts[b] += slot.buckets[b];
+    out.count += slot.count;
+    out.sum += slot.sum;
+  }
+  return out;
+}
+
+std::uint64_t WindowedHistogram::count(double now_s) const { return merged(now_s).count; }
+
+double WindowedHistogram::rate_per_second(double now_s) const {
+  return static_cast<double>(count(now_s)) / span_seconds();
+}
+
+WindowedCounter::WindowedCounter(std::size_t windows, double window_span_s)
+    : window_span_s_(window_span_s) {
+  if (windows == 0 || window_span_s <= 0.0) {
+    throw std::invalid_argument("obs: windowed counter needs positive windows and span");
+  }
+  slots_.resize(windows);
+}
+
+std::int64_t WindowedCounter::window_index(double now_s) const {
+  return static_cast<std::int64_t>(std::floor(now_s / window_span_s_));
+}
+
+void WindowedCounter::add(std::uint64_t delta, double now_s) {
+  const std::int64_t index = window_index(now_s);
+  Slot& slot = slots_[static_cast<std::size_t>(index % static_cast<std::int64_t>(slots_.size()) +
+                                               static_cast<std::int64_t>(slots_.size())) %
+                      slots_.size()];
+  if (slot.index != index) {
+    slot.index = index;
+    slot.count = 0;
+  }
+  slot.count += delta;
+  total_ += delta;
+}
+
+std::uint64_t WindowedCounter::windowed(double now_s) const {
+  const std::int64_t newest = window_index(now_s);
+  const std::int64_t oldest = newest - static_cast<std::int64_t>(slots_.size()) + 1;
+  std::uint64_t sum = 0;
+  for (const Slot& slot : slots_) {
+    if (slot.index >= oldest && slot.index <= newest) sum += slot.count;
+  }
+  return sum;
+}
+
+double WindowedCounter::rate_per_second(double now_s) const {
+  return static_cast<double>(windowed(now_s)) / span_seconds();
+}
+
+double histogram_quantile(const HistogramSnapshot& snapshot, double q) {
+  if (snapshot.count == 0 || snapshot.upper_bounds.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(snapshot.count);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < snapshot.upper_bounds.size(); ++i) {
+    const std::uint64_t in_bucket = snapshot.bucket_counts[i];
+    if (static_cast<double>(cumulative + in_bucket) >= target && in_bucket > 0) {
+      const double lo = i == 0 ? 0.0 : snapshot.upper_bounds[i - 1];
+      const double hi = snapshot.upper_bounds[i];
+      const double fraction =
+          (target - static_cast<double>(cumulative)) / static_cast<double>(in_bucket);
+      return lo + (hi - lo) * std::clamp(fraction, 0.0, 1.0);
+    }
+    cumulative += in_bucket;
+  }
+  // Target lands in +Inf: clamp to the largest finite bound.
+  return snapshot.upper_bounds.back();
+}
+
+}  // namespace remgen::obs

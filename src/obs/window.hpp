@@ -1,0 +1,113 @@
+// Rolling-window metrics: histograms and counters whose reported values
+// cover only the recent past instead of the whole process lifetime.
+//
+// A WindowedHistogram is a ring of fixed-bucket sub-windows (e.g. 12 windows
+// of 5 s = one minute of history). Observations land in the sub-window their
+// timestamp falls into; merged() sums every sub-window still inside the
+// rolling span and returns an ordinary HistogramSnapshot, so the existing
+// exporters and quantile estimation apply unchanged. Sub-windows older than
+// the span are excluded by index comparison — merged() never mutates, which
+// makes it safe to call from a const context and keeps results a pure
+// function of (observations, now).
+//
+// Time is an explicit parameter everywhere (seconds on the caller's clock,
+// typically a steady-clock offset from process start). That keeps the type
+// deterministic under test — no hidden clock reads — and lets a single
+// event-loop thread drive many windows off one timestamp per iteration.
+//
+// Not internally synchronised: callers that record from multiple threads
+// must serialise access themselves. The intended discipline (see net::Server)
+// is single-writer — everything happens on the event-loop thread.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace remgen::obs {
+
+/// Fixed-bucket histogram over the last `windows * window_span_s` seconds.
+class WindowedHistogram {
+ public:
+  /// `upper_bounds` must be non-empty and strictly increasing; `windows` and
+  /// `window_span_s` must be positive.
+  WindowedHistogram(std::vector<double> upper_bounds, std::size_t windows,
+                    double window_span_s);
+
+  /// Records `value` into the sub-window containing `now_s`. Time must not
+  /// run backwards across calls (same-window repeats are fine).
+  void observe(double value, double now_s);
+
+  /// Sum of every sub-window still inside the rolling span at `now_s`.
+  [[nodiscard]] HistogramSnapshot merged(double now_s) const;
+
+  /// Observations inside the rolling span at `now_s`.
+  [[nodiscard]] std::uint64_t count(double now_s) const;
+
+  /// Observations per second over the rolling span (count / span).
+  [[nodiscard]] double rate_per_second(double now_s) const;
+
+  [[nodiscard]] const std::vector<double>& upper_bounds() const noexcept { return bounds_; }
+  [[nodiscard]] double span_seconds() const noexcept {
+    return window_span_s_ * static_cast<double>(slots_.size());
+  }
+
+ private:
+  struct Slot {
+    std::int64_t index = -1;  ///< floor(time / window_span_s); -1 = never used.
+    std::vector<std::uint64_t> buckets;  ///< bounds_.size() + 1 (last is +Inf).
+    std::uint64_t count = 0;
+    double sum = 0.0;
+  };
+
+  [[nodiscard]] std::int64_t window_index(double now_s) const;
+  Slot& slot_for(std::int64_t index);
+
+  std::vector<double> bounds_;
+  double window_span_s_;
+  std::vector<Slot> slots_;
+};
+
+/// Monotonic counter with a rolling-window view: lifetime total plus the sum
+/// of increments over the last `windows * window_span_s` seconds.
+class WindowedCounter {
+ public:
+  WindowedCounter(std::size_t windows, double window_span_s);
+
+  void add(std::uint64_t delta, double now_s);
+
+  /// Sum of increments inside the rolling span at `now_s`.
+  [[nodiscard]] std::uint64_t windowed(double now_s) const;
+
+  /// Increments per second over the rolling span.
+  [[nodiscard]] double rate_per_second(double now_s) const;
+
+  /// Lifetime total, independent of the window.
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+
+  [[nodiscard]] double span_seconds() const noexcept {
+    return window_span_s_ * static_cast<double>(slots_.size());
+  }
+
+ private:
+  struct Slot {
+    std::int64_t index = -1;
+    std::uint64_t count = 0;
+  };
+
+  [[nodiscard]] std::int64_t window_index(double now_s) const;
+
+  double window_span_s_;
+  std::vector<Slot> slots_;
+  std::uint64_t total_ = 0;
+};
+
+/// Prometheus-style quantile estimate from cumulative histogram buckets:
+/// finds the bucket holding the q-th observation and interpolates linearly
+/// inside it (the first bucket interpolates up from zero). q is in [0, 1].
+/// Returns 0 for an empty snapshot; observations beyond the last finite
+/// bound clamp to it (the +Inf bucket has no width to interpolate over).
+[[nodiscard]] double histogram_quantile(const HistogramSnapshot& snapshot, double q);
+
+}  // namespace remgen::obs

@@ -10,10 +10,13 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "core/rem_builder.hpp"
@@ -123,6 +126,10 @@ class Client {
     }
     return lines;
   }
+
+  /// Everything received but not yet returned as lines (raw bytes; used by
+  /// the HTTP tests where the response is not newline-framed).
+  std::string take_pending() { return std::exchange(pending_, {}); }
 
   /// True once recv reports EOF (server closed its side).
   bool wait_eof(int deadline_s = 20) {
@@ -269,6 +276,195 @@ TEST_F(NetServerTest, StatsAdminReportsCountersAndMaps) {
   EXPECT_EQ(stats.at("maps").as_array().size(), 1u);
   EXPECT_EQ(stats.at("maps").as_array()[0].as_string(), "default");
   EXPECT_EQ(stats.at("reload_swaps").as_int64(), 0);
+}
+
+TEST_F(NetServerTest, StatsAdminReportsEnrichedSchema) {
+  ServerConfig config;
+  config.max_inflight = 123;
+  config.max_batch = 17;
+  config.cache_bytes = 8 << 20;
+  ServerHarness harness(std::move(config));
+  harness.server().add_engine("default", make_engine());
+  const std::uint16_t port = harness.start();
+
+  Client client(port);
+  ASSERT_TRUE(client.connected());
+  // Stats snapshots are taken at admission: wait for the point's response so
+  // its execution-side counters (cache, per-map responses) are in.
+  client.send_all(point_line(1, 1.0));
+  ASSERT_EQ(client.read_lines(1).size(), 1u);
+  client.send_all("{\"id\":2,\"type\":\"stats\"}\n");
+  const std::vector<std::string> lines = client.read_lines(1);
+  ASSERT_EQ(lines.size(), 1u);
+  const obs::Json stats = obs::Json::parse(lines[0]);
+  EXPECT_TRUE(stats.at("ok").as_bool());
+  EXPECT_GE(stats.at("uptime_seconds").as_double(), 0.0);
+  EXPECT_GE(stats.at("cache_hits").as_int64() + stats.at("cache_misses").as_int64(), 1);
+  const obs::Json& limits = stats.at("limits");
+  EXPECT_EQ(limits.at("max_inflight").as_int64(), 123);
+  EXPECT_EQ(limits.at("max_batch").as_int64(), 17);
+  EXPECT_EQ(limits.at("cache_mb").as_int64(), 8);
+  const obs::Json& window = stats.at("window");
+  EXPECT_DOUBLE_EQ(window.at("span_seconds").as_double(), 60.0);  // 12 x 5 s.
+  EXPECT_GE(window.at("qps").as_double(), 0.0);
+  EXPECT_TRUE(window.at("latency_us").contains("p50"));
+  EXPECT_TRUE(window.at("latency_us").contains("p99.9"));
+  const obs::Json& loop = stats.at("loop");
+  EXPECT_TRUE(loop.contains("stalled"));
+  EXPECT_GE(loop.at("lag_p99_us").as_double(), 0.0);
+  const obs::Json& per_map = stats.at("map_stats").at("default");
+  EXPECT_GE(per_map.at("requests").as_int64(), 1);
+  EXPECT_EQ(per_map.at("errors").as_int64(), 0);
+}
+
+namespace prom {
+
+/// First sample value for `name` in a text exposition, or -1 when absent.
+double sample_value(const std::string& text, const std::string& name) {
+  std::size_t pos = 0;
+  while ((pos = text.find(name + " ", pos)) != std::string::npos) {
+    if (pos == 0 || text[pos - 1] == '\n') {
+      return std::stod(text.substr(pos + name.size() + 1));
+    }
+    pos += name.size();
+  }
+  return -1.0;
+}
+
+/// The sorted set of series names (# TYPE lines) in a text exposition.
+std::vector<std::string> series_names(const std::string& text) {
+  std::vector<std::string> names;
+  std::size_t pos = 0;
+  while ((pos = text.find("# TYPE ", pos)) != std::string::npos) {
+    const std::size_t start = pos + 7;
+    const std::size_t end = text.find(' ', start);
+    names.push_back(text.substr(start, end - start));
+    pos = end;
+  }
+  return names;
+}
+
+}  // namespace prom
+
+TEST_F(NetServerTest, MetricsAdminScrapesMidPipelineWithoutBlocking) {
+  ServerHarness harness;
+  harness.server().add_engine("default", make_engine());
+  const std::uint16_t port = harness.start();
+
+  // Pipelined burst with the scrape in the middle: the scrape's reply slots
+  // into per-connection order like any other response — it never jumps the
+  // queue and never waits on engine work beyond its queue position.
+  std::string burst;
+  for (int i = 1; i <= 8; ++i) burst += point_line(i, 0.25 * i);
+  burst += "{\"id\":99,\"type\":\"metrics\"}\n";
+  for (int i = 9; i <= 16; ++i) burst += point_line(i, 0.25 * i);
+  Client client(port);
+  ASSERT_TRUE(client.connected());
+  client.send_all(burst);
+  const std::vector<std::string> lines = client.read_lines(17);
+  ASSERT_EQ(lines.size(), 17u);
+  ASSERT_EQ(line_id(lines[8]), 99);  // In order: after the first 8 points.
+
+  const obs::Json scrape = obs::Json::parse(lines[8]);
+  EXPECT_TRUE(scrape.at("ok").as_bool());
+  EXPECT_EQ(scrape.at("content_type").as_string(), "text/plain; version=0.0.4");
+  const std::string text = scrape.at("prometheus").as_string();
+  // Windowed tail gauges and per-map series are present mid-load.
+  EXPECT_GE(prom::sample_value(text, "remgen_net_window_latency_p99_us"), 0.0);
+  EXPECT_GE(prom::sample_value(text, "remgen_net_window_qps"), 0.0);
+  EXPECT_GE(prom::sample_value(text, "remgen_net_map_default_requests"), 1.0);
+  EXPECT_DOUBLE_EQ(prom::sample_value(text, "remgen_net_limit_max_batch"), 512.0);
+
+  // Second scrape after more traffic: the series set is stable and the
+  // monotonic values never step backwards.
+  client.send_all(point_line(17, 3.0) + "{\"id\":100,\"type\":\"metrics\"}\n");
+  const std::vector<std::string> more = client.read_lines(2);
+  ASSERT_EQ(more.size(), 2u);
+  const std::string text2 = obs::Json::parse(more[1]).at("prometheus").as_string();
+  EXPECT_EQ(prom::series_names(text), prom::series_names(text2));
+  EXPECT_GT(prom::sample_value(text2, "remgen_net_map_default_requests"),
+            prom::sample_value(text, "remgen_net_map_default_requests"));
+  EXPECT_GE(prom::sample_value(text2, "remgen_net_map_default_responses"),
+            prom::sample_value(text, "remgen_net_map_default_responses"));
+  EXPECT_EQ(harness.server().stats().metrics_scrapes, 2u);
+}
+
+TEST_F(NetServerTest, HttpMetricsEndpointServesPrometheusText) {
+  ServerConfig config;
+  config.http_metrics_port = 0;  // Ephemeral.
+  ServerHarness harness(std::move(config));
+  harness.server().add_engine("default", make_engine());
+  const std::uint16_t port = harness.start();
+  const std::uint16_t http_port = harness.server().http_port();
+  ASSERT_NE(http_port, 0);
+  ASSERT_NE(http_port, port);
+
+  Client data(port);
+  ASSERT_TRUE(data.connected());
+  data.send_all(point_line(1, 1.0));
+  ASSERT_EQ(data.read_lines(1).size(), 1u);
+
+  Client scraper(http_port);
+  ASSERT_TRUE(scraper.connected());
+  scraper.send_all("GET /metrics HTTP/1.0\r\n\r\n");
+  std::string body;
+  EXPECT_TRUE(scraper.wait_eof());  // Server closes after the response.
+  // Everything buffered before EOF is the full HTTP response.
+  const std::string response = scraper.take_pending();
+  EXPECT_EQ(response.rfind("HTTP/1.0 200 OK\r\n", 0), 0u) << response.substr(0, 64);
+  EXPECT_NE(response.find("Content-Type: text/plain; version=0.0.4"), std::string::npos);
+  const std::size_t split = response.find("\r\n\r\n");
+  ASSERT_NE(split, std::string::npos);
+  EXPECT_GE(prom::sample_value(response.substr(split + 4),
+                               "remgen_net_map_default_requests"),
+            1.0);
+
+  // Unknown paths get a 404, not a hang.
+  Client missing(http_port);
+  ASSERT_TRUE(missing.connected());
+  missing.send_all("GET /nope HTTP/1.0\r\n\r\n");
+  EXPECT_TRUE(missing.wait_eof());
+  EXPECT_EQ(missing.take_pending().rfind("HTTP/1.0 404", 0), 0u);
+  EXPECT_GE(harness.server().stats().metrics_scrapes, 1u);
+}
+
+TEST_F(NetServerTest, SlowLogRecordsLifecycleStampsAsJsonl) {
+  const std::string path = ::testing::TempDir() + "net_slow.jsonl";
+  std::remove(path.c_str());
+  ServerConfig config;
+  config.slow_log_path = path;
+  config.slow_ms = 0.0;  // Log every request: deterministic under test.
+  ServerHarness harness(std::move(config));
+  harness.server().add_engine("default", make_engine());
+  const std::uint16_t port = harness.start();
+
+  Client client(port);
+  ASSERT_TRUE(client.connected());
+  std::string burst;
+  for (int i = 1; i <= 5; ++i) burst += point_line(i, 0.3 * i);
+  client.send_all(burst);
+  ASSERT_EQ(client.read_lines(5).size(), 5u);
+  harness.stop();  // Drain closes the log; every entry is flushed.
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open());
+  std::string line;
+  std::size_t entries = 0;
+  while (std::getline(in, line)) {
+    const obs::Json entry = obs::Json::parse(line);  // Throws on a torn line.
+    EXPECT_EQ(entry.at("map").as_string(), "default");
+    EXPECT_EQ(entry.at("type").as_string(), "point");
+    EXPECT_GE(entry.at("queue_wait_us").as_double(), 0.0);
+    EXPECT_GE(entry.at("exec_us").as_double(), 0.0);
+    EXPECT_GE(entry.at("write_stall_us").as_double(), 0.0);
+    EXPECT_GE(entry.at("total_us").as_double(),
+              entry.at("exec_us").as_double());  // Total spans all stages.
+    EXPECT_GE(entry.at("round_size").as_int64(), 1);
+    EXPECT_GE(entry.at("id").as_int64(), 1);
+    ++entries;
+  }
+  EXPECT_EQ(entries, 5u);
+  EXPECT_EQ(harness.server().stats().slow_logged, 5u);
 }
 
 TEST_F(NetServerTest, OverloadedRequestsGetErrorsNotUnboundedQueueing) {

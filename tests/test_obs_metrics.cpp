@@ -2,7 +2,9 @@
 // determinism, concurrent increments, runtime gating and exporter output.
 #include <gtest/gtest.h>
 
+#include <map>
 #include <sstream>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -149,6 +151,88 @@ TEST_F(ObsMetricsTest, PrometheusExposition) {
   EXPECT_NE(text.find("remgen_test_prom_histo_bucket{le=\"2\"} 2"), std::string::npos);
   EXPECT_NE(text.find("remgen_test_prom_histo_bucket{le=\"+Inf\"} 3"), std::string::npos);
   EXPECT_NE(text.find("remgen_test_prom_histo_count 3"), std::string::npos);
+}
+
+TEST_F(ObsMetricsTest, PrometheusHistogramExpositionIsComplete) {
+  obs::Histogram& histogram =
+      obs::registry().histogram("test.prom exposition.full", {1.5, 4.0});
+  histogram.reset();
+  histogram.observe(1.0);
+  histogram.observe(2.0);
+  histogram.observe(8.0);
+
+  std::ostringstream out;
+  obs::write_prometheus(out, obs::registry().snapshot());
+  const std::string text = out.str();
+  // Name sanitisation: spaces and dots fold to underscores under the prefix.
+  const std::string pname = "remgen_test_prom_exposition_full";
+  EXPECT_NE(text.find("# HELP " + pname + " remgen metric 'test.prom exposition.full'"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE " + pname + " histogram"), std::string::npos);
+  // Cumulative buckets, non-integer bound labels, +Inf, _sum and _count.
+  EXPECT_NE(text.find(pname + "_bucket{le=\"1.5\"} 1"), std::string::npos);
+  EXPECT_NE(text.find(pname + "_bucket{le=\"4\"} 2"), std::string::npos);
+  EXPECT_NE(text.find(pname + "_bucket{le=\"+Inf\"} 3"), std::string::npos);
+  EXPECT_NE(text.find(pname + "_sum 11"), std::string::npos);
+  EXPECT_NE(text.find(pname + "_count 3"), std::string::npos);
+  // Every # TYPE line is preceded by a matching # HELP line.
+  std::size_t pos = 0;
+  while ((pos = text.find("# TYPE ", pos)) != std::string::npos) {
+    const std::size_t name_start = pos + 7;
+    const std::size_t name_end = text.find(' ', name_start);
+    const std::string name = text.substr(name_start, name_end - name_start);
+    EXPECT_NE(text.find("# HELP " + name + " "), std::string::npos) << name;
+    pos = name_end;
+  }
+}
+
+TEST_F(ObsMetricsTest, PrometheusSanitisedNameCollisionsAreDeduplicated) {
+  // "a.b" and "a_b" both sanitise to the same Prometheus name; the exporter
+  // must emit distinct series rather than a duplicate scrape.
+  obs::registry().counter("test.collide/x").reset();
+  obs::registry().counter("test.collide/x").add(1);
+  obs::registry().counter("test.collide.x").reset();
+  obs::registry().counter("test.collide.x").add(2);
+
+  std::ostringstream out;
+  obs::write_prometheus(out, obs::registry().snapshot());
+  const std::string text = out.str();
+  EXPECT_NE(text.find("remgen_test_collide_x_total "), std::string::npos);
+  EXPECT_NE(text.find("remgen_test_collide_x_total_dup2 "), std::string::npos);
+  // No emitted sample name appears twice.
+  std::map<std::string, int> sample_names;
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const std::size_t cut = line.find_first_of(" {");
+    ++sample_names[line.substr(0, cut)];
+  }
+  for (const auto& [name, count] : sample_names) {
+    // Histogram _bucket series repeat once per bound; plain samples may not.
+    if (name.find("_bucket") == std::string::npos) {
+      EXPECT_EQ(count, 1) << "duplicate series " << name;
+    }
+  }
+}
+
+TEST_F(ObsMetricsTest, PrometheusHistogramFamilyIsCollisionProtected) {
+  // A gauge named "<histo>_count" must not collide with the histogram's
+  // derived _count series: the histogram reserves its whole family.
+  obs::registry().gauge("test.family_histo_count").set(42.0);
+  obs::Histogram& histogram = obs::registry().histogram("test.family_histo", {1.0});
+  histogram.reset();
+  histogram.observe(0.5);
+
+  std::ostringstream out;
+  obs::write_prometheus(out, obs::registry().snapshot());
+  const std::string text = out.str();
+  // Gauges are emitted before histograms, so the gauge keeps the plain name
+  // and the histogram's family moves to the _dup2 form — and both survive.
+  EXPECT_NE(text.find("remgen_test_family_histo_count 42"), std::string::npos);
+  EXPECT_NE(text.find("remgen_test_family_histo_dup2_count 1"), std::string::npos);
+  EXPECT_NE(text.find("remgen_test_family_histo_dup2_bucket{le=\"+Inf\"} 1"),
+            std::string::npos);
 }
 
 TEST_F(ObsMetricsTest, JsonParserHandlesCoreGrammar) {

@@ -1,0 +1,114 @@
+// Rolling-window metrics: sub-window rotation, expiry of stale slots, merge
+// determinism under the explicit-time API, quantile interpolation, and the
+// windowed counter's rate bookkeeping.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "obs/window.hpp"
+
+namespace {
+
+using namespace remgen;
+
+const std::vector<double> kBounds{10.0, 100.0, 1000.0};
+
+TEST(ObsWindowTest, ObservationsAccumulateWithinTheWindow) {
+  obs::WindowedHistogram window(kBounds, 4, 5.0);
+  window.observe(5.0, 1.0);
+  window.observe(50.0, 2.0);
+  window.observe(5000.0, 3.0);  // +Inf bucket.
+  const obs::HistogramSnapshot merged = window.merged(3.5);
+  EXPECT_EQ(merged.count, 3u);
+  EXPECT_DOUBLE_EQ(merged.sum, 5055.0);
+  ASSERT_EQ(merged.bucket_counts.size(), 4u);
+  EXPECT_EQ(merged.bucket_counts[0], 1u);
+  EXPECT_EQ(merged.bucket_counts[1], 1u);
+  EXPECT_EQ(merged.bucket_counts[2], 0u);
+  EXPECT_EQ(merged.bucket_counts[3], 1u);
+  EXPECT_DOUBLE_EQ(window.span_seconds(), 20.0);
+}
+
+TEST(ObsWindowTest, RotationRecyclesTheOldestSubWindow) {
+  // 3 sub-windows of 1 s: an observation at t=0 must survive merges at
+  // t=1 and t=2 and vanish at t=3 when its slot leaves the ring.
+  obs::WindowedHistogram window(kBounds, 3, 1.0);
+  window.observe(5.0, 0.5);
+  EXPECT_EQ(window.count(0.9), 1u);
+  window.observe(5.0, 1.5);
+  window.observe(5.0, 2.5);
+  EXPECT_EQ(window.count(2.9), 3u);
+  // t=3.5: slot index 0 expired; indices 1..3 remain (2 observations + the
+  // empty current slot).
+  EXPECT_EQ(window.count(3.5), 2u);
+  // Writing at t=3.5 recycles slot 0's storage without disturbing the rest.
+  window.observe(5.0, 3.5);
+  EXPECT_EQ(window.count(3.5), 3u);
+  EXPECT_EQ(window.count(100.0), 0u);  // Far future: everything expired.
+}
+
+TEST(ObsWindowTest, MergedIsConstAndDeterministic) {
+  obs::WindowedHistogram window(kBounds, 4, 5.0);
+  for (int i = 0; i < 100; ++i) window.observe(static_cast<double>(i), 0.1 * i);
+  const obs::HistogramSnapshot a = window.merged(10.0);
+  const obs::HistogramSnapshot b = window.merged(10.0);
+  EXPECT_EQ(a.count, b.count);
+  EXPECT_EQ(a.bucket_counts, b.bucket_counts);
+  EXPECT_DOUBLE_EQ(a.sum, b.sum);
+  // Querying a different now_s never mutates state: asking about the far
+  // future (everything expired) and then re-asking at t=10 must agree.
+  EXPECT_EQ(window.merged(1000.0).count, 0u);
+  EXPECT_EQ(window.merged(10.0).count, a.count);
+}
+
+TEST(ObsWindowTest, SkippedSubWindowsDoNotResurrectStaleCounts) {
+  obs::WindowedHistogram window(kBounds, 3, 1.0);
+  window.observe(5.0, 0.5);
+  // Jump far ahead without writing: the old slot still holds its counts but
+  // its index is out of the live range, so merges must mask it.
+  EXPECT_EQ(window.count(50.0), 0u);
+  window.observe(7.0, 50.5);
+  EXPECT_EQ(window.count(50.9), 1u);
+  EXPECT_DOUBLE_EQ(window.merged(50.9).sum, 7.0);
+}
+
+TEST(ObsWindowTest, QuantileInterpolatesWithinBuckets) {
+  obs::WindowedHistogram window(kBounds, 2, 60.0);
+  // 10 observations, all in the (10, 100] bucket.
+  for (int i = 0; i < 10; ++i) window.observe(50.0, 1.0);
+  const obs::HistogramSnapshot merged = window.merged(1.0);
+  // Prometheus-style: linear interpolation between the bucket's bounds.
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile(merged, 0.5), 10.0 + 0.5 * 90.0);
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile(merged, 1.0), 100.0);
+  // Empty snapshot -> 0; +Inf bucket clamps to the largest finite bound.
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile(obs::HistogramSnapshot{}, 0.99), 0.0);
+  obs::WindowedHistogram inf_window(kBounds, 2, 60.0);
+  inf_window.observe(1e9, 1.0);
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile(inf_window.merged(1.0), 0.99), 1000.0);
+}
+
+TEST(ObsWindowTest, WindowedCounterTracksRecentAndLifetimeSeparately) {
+  obs::WindowedCounter counter(3, 1.0);
+  counter.add(10, 0.5);
+  counter.add(5, 1.5);
+  EXPECT_EQ(counter.windowed(1.9), 15u);
+  EXPECT_DOUBLE_EQ(counter.rate_per_second(1.9), 15.0 / 3.0);
+  // The first sub-window expires; the lifetime total never does.
+  EXPECT_EQ(counter.windowed(3.5), 5u);
+  EXPECT_EQ(counter.windowed(100.0), 0u);
+  EXPECT_EQ(counter.total(), 15u);
+  // Re-entering an index region after a long gap starts clean.
+  counter.add(1, 100.5);
+  EXPECT_EQ(counter.windowed(100.9), 1u);
+}
+
+TEST(ObsWindowTest, RejectsDegenerateConfiguration) {
+  EXPECT_THROW(obs::WindowedHistogram({}, 4, 5.0), std::invalid_argument);
+  EXPECT_THROW(obs::WindowedHistogram({2.0, 1.0}, 4, 5.0), std::invalid_argument);
+  EXPECT_THROW(obs::WindowedHistogram(kBounds, 0, 5.0), std::invalid_argument);
+  EXPECT_THROW(obs::WindowedHistogram(kBounds, 4, 0.0), std::invalid_argument);
+  EXPECT_THROW(obs::WindowedCounter(0, 1.0), std::invalid_argument);
+  EXPECT_THROW(obs::WindowedCounter(3, -1.0), std::invalid_argument);
+}
+
+}  // namespace

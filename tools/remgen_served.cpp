@@ -3,16 +3,22 @@
 //   remgen-served --snapshot [NAME=]FILE[,NAME=FILE...] [--port N] [--bind A]
 //                 [--port-file FILE] [--threads N] [--cache-mb 64]
 //                 [--max-inflight N] [--max-batch N] [--max-connections N]
+//                 [--http-metrics PORT] [--slow-log FILE] [--slow-ms N]
 //                 [--log-level warn] [--metrics-out FILE] [...]
 //
 // Speaks the serve JSONL protocol (src/serve/request.hpp) over TCP, one JSON
 // object per line, responses per connection in request order. Multiple
 // snapshots are served as named maps (select with a "map" request field; the
-// first name is the default). Admin requests: {"id":N,"type":"stats"} and
+// first name is the default). Admin requests: {"id":N,"type":"stats"},
+// {"id":N,"type":"metrics"} (in-flight Prometheus scrape) and
 // {"id":N,"type":"reload","snapshot":"path"[,"map":"m"]} — reload loads the
 // new snapshot in the background and hot-swaps it with zero dropped
-// in-flight requests. SIGTERM/SIGINT drain gracefully: admitted requests
-// finish, buffers flush, then the process exits 0.
+// in-flight requests. The live observability plane (rolling-window tails,
+// lifecycle histograms, slow-request log) is always on; --http-metrics adds
+// a plain-HTTP GET /metrics scrape endpoint in the same event loop.
+// SIGTERM/SIGINT drain gracefully: admitted requests finish, buffers flush,
+// then the process exits 0. Telemetry files are exported even when the drain
+// fails, so a crashed run still leaves its metrics behind.
 #include <csignal>
 #include <cstdio>
 #include <memory>
@@ -22,6 +28,8 @@
 #include "exec/config.hpp"
 #include "net/server.hpp"
 #include "obs/export.hpp"
+#include "obs/profile.hpp"
+#include "obs/trace.hpp"
 #include "serve/engine.hpp"
 #include "store/snapshot.hpp"
 #include "util/args.hpp"
@@ -39,6 +47,13 @@ int usage() {
                "  --bind ADDR           listen address (default 127.0.0.1)\n"
                "  --port N              listen port (default 0 = ephemeral)\n"
                "  --port-file FILE      write the bound port to FILE once listening\n"
+               "  --http-metrics N      serve Prometheus text on HTTP GET /metrics at\n"
+               "                        port N (0 = ephemeral; disabled when absent)\n"
+               "  --http-port-file FILE write the bound HTTP metrics port to FILE\n"
+               "  --slow-log FILE       append slow-request records as JSONL to FILE\n"
+               "  --slow-ms N           slow threshold on total latency in ms\n"
+               "                        (default 100; 0 logs every request)\n"
+               "  --slow-sample N       log every Nth request over the threshold (default 1)\n"
                "  --threads N           execution width for request rounds (default:\n"
                "                        REMGEN_THREADS env, then hardware concurrency)\n"
                "  --cache-mb N          per-map result cache budget in MiB (default 64)\n"
@@ -60,13 +75,52 @@ void handle_signal(int) {
   if (g_server != nullptr) g_server->request_shutdown();
 }
 
+bool write_port_file(const std::string& path, std::uint16_t port) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "error: cannot write port file '%s'\n", path.c_str());
+    return false;
+  }
+  std::fprintf(f, "%u\n", static_cast<unsigned>(port));
+  std::fclose(f);
+  return true;
+}
+
+/// Writes the post-drain telemetry files. Runs on both the clean and the
+/// error path so a failed drain still leaves its evidence behind; reports
+/// dropped spans / task events on stderr so a truncated trace is visible.
+bool export_telemetry(const util::Args& args) {
+  bool ok = true;
+  if (const std::string path = args.value("metrics-out"); !path.empty()) {
+    ok = obs::export_metrics_json_file(path) && ok;
+  }
+  if (const std::string path = args.value("metrics-prom"); !path.empty()) {
+    ok = obs::export_prometheus_file(path) && ok;
+  }
+  if (const std::string path = args.value("trace-out"); !path.empty()) {
+    ok = obs::export_trace_file(path) && ok;
+  }
+  if (const std::string path = args.value("profile-out"); !path.empty()) {
+    ok = obs::export_profile_json_file(path) && ok;
+  }
+  const std::uint64_t dropped_spans = obs::trace().dropped();
+  const std::uint64_t dropped_tasks = obs::task_events_dropped();
+  if (dropped_spans > 0 || dropped_tasks > 0) {
+    std::fprintf(stderr, "telemetry: dropped %llu span(s), %llu task event(s)\n",
+                 static_cast<unsigned long long>(dropped_spans),
+                 static_cast<unsigned long long>(dropped_tasks));
+  }
+  return ok;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const std::set<std::string> value_keys{
-      "snapshot",     "bind",      "port",        "port-file",    "threads",
-      "cache-mb",     "max-inflight", "max-batch", "max-connections",
-      "log-level",    "metrics-out", "metrics-prom", "trace-out", "profile-out"};
+      "snapshot",     "bind",        "port",         "port-file",       "threads",
+      "cache-mb",     "max-inflight", "max-batch",   "max-connections", "log-level",
+      "metrics-out",  "metrics-prom", "trace-out",   "profile-out",     "http-metrics",
+      "http-port-file", "slow-log",   "slow-ms",     "slow-sample"};
   const std::set<std::string> flag_keys{"help"};
   std::string error;
   const auto args = util::Args::parse(argc, argv, value_keys, flag_keys, &error);
@@ -92,9 +146,9 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
-  const bool telemetry =
-      args->has("metrics-out") || args->has("metrics-prom") || args->has("trace-out");
-  if (telemetry) obs::set_enabled(true);
+  // The live plane (lifecycle histograms, scrape endpoints) is always on: a
+  // server you cannot observe is not a server you can run.
+  obs::set_enabled(true);
   if (args->has("profile-out")) obs::set_profiling_enabled(true);
   obs::name_current_thread("main");
 
@@ -103,9 +157,13 @@ int main(int argc, char** argv) {
   const long max_inflight = args->value_int("max-inflight", 4096);
   const long max_batch = args->value_int("max-batch", 512);
   const long max_connections = args->value_int("max-connections", 1024);
+  const long http_metrics = args->value_int("http-metrics", -1);
+  const double slow_ms = args->value_double("slow-ms", 100.0);
+  const long slow_sample = args->value_int("slow-sample", 1);
   if (cache_mb < 0 || port < 0 || port > 65535 || max_inflight < 1 || max_batch < 1 ||
-      max_connections < 1) {
-    std::fprintf(stderr, "error: invalid --cache-mb/--port/--max-* value\n");
+      max_connections < 1 || http_metrics > 65535 || slow_ms < 0 || slow_sample < 1) {
+    std::fprintf(stderr, "error: invalid --cache-mb/--port/--max-*/--http-metrics/"
+                         "--slow-* value\n");
     return 2;
   }
 
@@ -116,6 +174,10 @@ int main(int argc, char** argv) {
   config.max_batch = static_cast<std::size_t>(max_batch);
   config.max_connections = static_cast<std::size_t>(max_connections);
   config.cache_bytes = static_cast<std::size_t>(cache_mb) * 1024 * 1024;
+  config.http_metrics_port = args->has("http-metrics") ? static_cast<int>(http_metrics) : -1;
+  config.slow_log_path = args->value("slow-log");
+  config.slow_ms = slow_ms;
+  config.slow_log_sample = static_cast<std::size_t>(slow_sample);
   net::Server server(config);
 
   // --snapshot a.snap,floor2=b.snap: bare paths get map name "default" (first
@@ -153,15 +215,17 @@ int main(int argc, char** argv) {
     return 1;
   }
   if (const std::string port_file = args->value("port-file"); !port_file.empty()) {
-    std::FILE* f = std::fopen(port_file.c_str(), "w");
-    if (f == nullptr) {
-      std::fprintf(stderr, "error: cannot write port file '%s'\n", port_file.c_str());
-      return 1;
-    }
-    std::fprintf(f, "%u\n", static_cast<unsigned>(bound));
-    std::fclose(f);
+    if (!write_port_file(port_file, bound)) return 1;
+  }
+  if (const std::string http_port_file = args->value("http-port-file");
+      !http_port_file.empty()) {
+    if (!write_port_file(http_port_file, server.http_port())) return 1;
   }
   std::printf("listening on %s:%u\n", config.bind_address.c_str(), static_cast<unsigned>(bound));
+  if (server.http_port() != 0) {
+    std::printf("metrics on http://%s:%u/metrics\n", config.bind_address.c_str(),
+                static_cast<unsigned>(server.http_port()));
+  }
   std::fflush(stdout);
 
   g_server = &server;
@@ -170,41 +234,31 @@ int main(int argc, char** argv) {
   sigaction(SIGTERM, &action, nullptr);
   sigaction(SIGINT, &action, nullptr);
 
+  int exit_code = 0;
   try {
     server.run();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
+    exit_code = 1;
   }
   g_server = nullptr;
 
   const net::ServerStats& stats = server.stats();
   std::fprintf(stderr,
                "drained: %llu connections, %llu requests, %llu responses, "
-               "%llu parse errors, %llu overloads, %llu reload swaps (%llu failed)\n",
+               "%llu parse errors, %llu overloads, %llu reload swaps (%llu failed), "
+               "%llu scrapes, %llu slow-logged, %llu stalled rounds\n",
                static_cast<unsigned long long>(stats.connections_accepted),
                static_cast<unsigned long long>(stats.requests),
                static_cast<unsigned long long>(stats.responses),
                static_cast<unsigned long long>(stats.parse_errors),
                static_cast<unsigned long long>(stats.overload_rejections),
                static_cast<unsigned long long>(stats.reload_swaps),
-               static_cast<unsigned long long>(stats.reload_failures));
+               static_cast<unsigned long long>(stats.reload_failures),
+               static_cast<unsigned long long>(stats.metrics_scrapes),
+               static_cast<unsigned long long>(stats.slow_logged),
+               static_cast<unsigned long long>(stats.stalled_rounds));
 
-  if (telemetry || args->has("profile-out")) {
-    bool ok = true;
-    if (const std::string path = args->value("metrics-out"); !path.empty()) {
-      ok = obs::export_metrics_json_file(path) && ok;
-    }
-    if (const std::string path = args->value("metrics-prom"); !path.empty()) {
-      ok = obs::export_prometheus_file(path) && ok;
-    }
-    if (const std::string path = args->value("trace-out"); !path.empty()) {
-      ok = obs::export_trace_file(path) && ok;
-    }
-    if (const std::string path = args->value("profile-out"); !path.empty()) {
-      ok = obs::export_profile_json_file(path) && ok;
-    }
-    if (!ok) return 1;
-  }
-  return 0;
+  if (!export_telemetry(*args)) exit_code = exit_code == 0 ? 1 : exit_code;
+  return exit_code;
 }

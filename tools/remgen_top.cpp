@@ -1,0 +1,206 @@
+// remgen-top — live terminal dashboard for a running remgen-served.
+//
+//   remgen-top --port N [--host 127.0.0.1] [--interval 2] [--frames 0]
+//              [--no-clear]
+//
+// Polls the server's {"type":"stats"} admin request over the JSONL protocol
+// and renders the reply as a refreshing terminal view: rolling-window qps and
+// p50/p90/p99/p99.9 tail latency, cache hit rate, lifetime counters, loop
+// health, configured limits, and a per-map table. One TCP connection per
+// poll — the probe doubles as a liveness check; a failed connect exits
+// non-zero. --frames 1 --no-clear prints a single snapshot (scriptable);
+// --frames 0 runs until interrupted.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <set>
+#include <string>
+#include <thread>
+
+#include "obs/json.hpp"
+#include "util/args.hpp"
+
+namespace {
+
+using namespace remgen;
+
+int usage() {
+  std::fprintf(stderr,
+               "remgen-top — live dashboard for remgen-served\n\n"
+               "  --port N        server port (required)\n"
+               "  --host ADDR     server address (default 127.0.0.1)\n"
+               "  --interval S    seconds between polls (default 2)\n"
+               "  --frames N      stop after N frames (default 0 = run forever)\n"
+               "  --no-clear      append frames instead of redrawing in place\n");
+  return 2;
+}
+
+/// One stats round trip on a fresh connection; returns false on any socket
+/// or protocol failure (with the reason on stderr).
+bool poll_stats(const std::string& host, std::uint16_t port, std::uint64_t poll_id,
+                obs::Json* reply) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    std::fprintf(stderr, "remgen-top: socket: %s\n", std::strerror(errno));
+    return false;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    std::fprintf(stderr, "remgen-top: bad host '%s'\n", host.c_str());
+    ::close(fd);
+    return false;
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) < 0) {
+    std::fprintf(stderr, "remgen-top: connect %s:%u: %s\n", host.c_str(),
+                 static_cast<unsigned>(port), std::strerror(errno));
+    ::close(fd);
+    return false;
+  }
+  const std::string request =
+      "{\"id\":" + std::to_string(poll_id) + ",\"type\":\"stats\"}\n";
+  std::size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n = ::send(fd, request.data() + sent, request.size() - sent, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      std::fprintf(stderr, "remgen-top: send: %s\n", std::strerror(errno));
+      ::close(fd);
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  ::shutdown(fd, SHUT_WR);
+  std::string line;
+  char buffer[8192];
+  while (line.find('\n') == std::string::npos) {
+    const ssize_t n = ::recv(fd, buffer, sizeof buffer, 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    line.append(buffer, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  const std::size_t newline = line.find('\n');
+  if (newline == std::string::npos) {
+    std::fprintf(stderr, "remgen-top: server closed without a response\n");
+    return false;
+  }
+  try {
+    *reply = obs::Json::parse(line.substr(0, newline));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "remgen-top: bad response: %s\n", e.what());
+    return false;
+  }
+  return true;
+}
+
+double num(const obs::Json& doc, const std::string& key, double fallback = 0.0) {
+  if (!doc.is_object() || !doc.contains(key)) return fallback;
+  const obs::Json& v = doc.at(key);
+  if (v.is_int()) return static_cast<double>(v.as_int64());
+  if (v.is_number()) return v.as_double();
+  return fallback;
+}
+
+void render(const obs::Json& stats, bool clear, std::uint64_t frame) {
+  if (clear) std::printf("\x1b[2J\x1b[H");
+  const double uptime = num(stats, "uptime_seconds");
+  std::printf("remgen-top — frame %llu   uptime %.1fs\n",
+              static_cast<unsigned long long>(frame), uptime);
+  std::printf("─────────────────────────────────────────────────────────────\n");
+
+  if (stats.contains("window") && stats.at("window").is_object()) {
+    const obs::Json& window = stats.at("window");
+    std::printf("window (%.0fs)   qps %8.1f   requests %8.0f   cache hit %5.1f%%\n",
+                num(window, "span_seconds"), num(window, "qps"),
+                num(window, "requests"), 100.0 * num(window, "cache_hit_rate"));
+    if (window.contains("latency_us") && window.at("latency_us").is_object()) {
+      const obs::Json& lat = window.at("latency_us");
+      std::printf("latency (us)   p50 %8.0f   p90 %8.0f   p99 %8.0f   p99.9 %8.0f\n",
+                  num(lat, "p50"), num(lat, "p90"), num(lat, "p99"), num(lat, "p99.9"));
+    }
+  }
+  if (stats.contains("loop") && stats.at("loop").is_object()) {
+    const obs::Json& loop = stats.at("loop");
+    const bool stalled = loop.contains("stalled") && loop.at("stalled").is_bool() &&
+                         loop.at("stalled").as_bool();
+    std::printf("loop           lag p99 %6.0f us   stalled %s   stalled rounds %.0f\n",
+                num(loop, "lag_p99_us"), stalled ? "YES" : "no ",
+                num(loop, "stalled_rounds"));
+  }
+  std::printf("lifetime       requests %10.0f   responses %10.0f   errors %6.0f\n",
+              num(stats, "requests"), num(stats, "responses"),
+              num(stats, "parse_errors") + num(stats, "overload_rejections"));
+  std::printf("               cache hits %8.0f   misses %8.0f   scrapes %6.0f\n",
+              num(stats, "cache_hits"), num(stats, "cache_misses"),
+              num(stats, "metrics_scrapes"));
+  std::printf("now            connections %4.0f   inflight %6.0f   buffered %8.0f B\n",
+              num(stats, "connections"), num(stats, "inflight"),
+              num(stats, "buffered_bytes"));
+  std::printf("reloads        swaps %4.0f   failures %4.0f   slow-logged %6.0f\n",
+              num(stats, "reload_swaps"), num(stats, "reload_failures"),
+              num(stats, "slow_logged"));
+  if (stats.contains("limits") && stats.at("limits").is_object()) {
+    const obs::Json& limits = stats.at("limits");
+    std::printf("limits         inflight %6.0f   batch %5.0f   conns %5.0f   cache %4.0f MiB\n",
+                num(limits, "max_inflight"), num(limits, "max_batch"),
+                num(limits, "max_connections"), num(limits, "cache_mb"));
+  }
+  if (stats.contains("map_stats") && stats.at("map_stats").is_object()) {
+    std::printf("─────────────────────────────────────────────────────────────\n");
+    std::printf("%-16s %10s %10s %8s %10s %10s\n", "map", "requests", "responses",
+                "errors", "cache hit", "cache miss");
+    for (const auto& [name, ms] : stats.at("map_stats").as_object()) {
+      std::printf("%-16s %10.0f %10.0f %8.0f %10.0f %10.0f\n", name.c_str(),
+                  num(ms, "requests"), num(ms, "responses"), num(ms, "errors"),
+                  num(ms, "cache_hits"), num(ms, "cache_misses"));
+    }
+  }
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::set<std::string> value_keys{"port", "host", "interval", "frames"};
+  const std::set<std::string> flag_keys{"help", "no-clear"};
+  std::string error;
+  const auto args = util::Args::parse(argc, argv, value_keys, flag_keys, &error);
+  if (!args) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return usage();
+  }
+  if (args->flag("help") || !args->has("port")) return usage();
+  const long port = args->value_int("port", 0);
+  const double interval = args->value_double("interval", 2.0);
+  const long frames = args->value_int("frames", 0);
+  if (port < 1 || port > 65535 || interval < 0 || frames < 0) {
+    std::fprintf(stderr, "error: invalid --port/--interval/--frames value\n");
+    return 2;
+  }
+  const std::string host = args->value("host", "127.0.0.1");
+  const bool clear = !args->flag("no-clear");
+
+  std::uint64_t frame = 0;
+  while (frames == 0 || frame < static_cast<std::uint64_t>(frames)) {
+    obs::Json reply;
+    if (!poll_stats(host, static_cast<std::uint16_t>(port), frame, &reply)) return 1;
+    if (!reply.is_object() || !reply.contains("ok") || !reply.at("ok").is_bool() ||
+        !reply.at("ok").as_bool()) {
+      std::fprintf(stderr, "remgen-top: server replied with an error\n");
+      return 1;
+    }
+    render(reply, clear, frame);
+    ++frame;
+    if (frames != 0 && frame >= static_cast<std::uint64_t>(frames)) break;
+    std::this_thread::sleep_for(std::chrono::duration<double>(interval));
+  }
+  return 0;
+}
