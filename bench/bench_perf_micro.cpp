@@ -12,6 +12,7 @@
 #include <functional>
 #include <limits>
 #include <memory>
+#include <span>
 #include <sstream>
 #include <string>
 #include <string_view>
@@ -19,6 +20,7 @@
 
 #include "core/rem_builder.hpp"
 #include "exec/config.hpp"
+#include "ingest/pipeline.hpp"
 #include "mission/campaign.hpp"
 #include "ml/grid_search.hpp"
 #include "ml/kdtree.hpp"
@@ -426,6 +428,83 @@ void write_serve_report() {
   exec::set_thread_count(previous);
 }
 
+/// Streams the fixture dataset through an IngestPipeline — push-only first
+/// for raw acceptance throughput, then a two-epoch half/half split timing the
+/// full and delta epoch builds — and writes BENCH_ingest.json
+/// (REMGEN_INGEST_OUT overrides the path). stream_matches_batch records the
+/// subsystem's core invariant as a gated metric: the final streamed snapshot
+/// must be byte-identical to the one-shot batch build over the same samples.
+void write_ingest_report() {
+  Fixture& f = fixture();
+  const std::vector<data::Sample>& samples = f.dataset.samples();
+
+  ingest::IngestConfig config;
+  config.model = ml::ModelKind::KnnScaled16;
+  config.volume = f.scenario.scan_volume();
+  config.cache_bytes = 4 << 20;
+
+  // The one-shot batch reference: same filter, fresh estimator, same
+  // rasteriser — the exact recipe each streamed epoch takes.
+  std::string batch;
+  {
+    store::Snapshot snapshot;
+    snapshot.dataset = f.dataset.filter_min_samples_per_mac(config.rem.min_samples_per_mac);
+    auto model = ml::make_model(config.model);
+    snapshot.rem.emplace(core::build_rem(f.dataset, *model, config.volume, config.rem));
+    snapshot.model = std::move(model);
+    std::ostringstream serialized;
+    store::save_snapshot(serialized, snapshot);
+    batch = std::move(serialized).str();
+  }
+
+  // Push-only throughput: live-dataset accumulation + KD-index growth, no
+  // epoch trigger configured, so no build cost pollutes the number.
+  const double push_seconds = time_seconds([&] {
+    ingest::IngestPipeline pipeline(config);
+    pipeline.push_batch(samples);
+    benchmark::DoNotOptimize(pipeline.samples());
+  });
+  const double samples_per_sec =
+      push_seconds > 0.0 ? static_cast<double>(samples.size()) / push_seconds : 0.0;
+
+  // Two-epoch split: epoch 1 is a full REMSNAP1 over the first half, epoch 2
+  // adds the rest and emits a REMDELT1 against epoch 1.
+  ingest::IngestPipeline pipeline(config);
+  const std::size_t half = samples.size() / 2;
+  pipeline.push_batch(std::span<const data::Sample>(samples.data(), half));
+  const auto t_full = std::chrono::steady_clock::now();
+  const auto epoch1 = pipeline.flush();
+  const double epoch_full_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t_full).count();
+  pipeline.push_batch(std::span<const data::Sample>(samples.data() + half, samples.size() - half));
+  const auto t_delta = std::chrono::steady_clock::now();
+  const auto epoch2 = pipeline.flush();
+  const double epoch_delta_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t_delta).count();
+
+  const std::size_t snapshot_bytes = epoch2.has_value() ? epoch2->snapshot_bytes : 0;
+  const std::size_t delta_bytes = epoch2.has_value() ? epoch2->delta_bytes : 0;
+  const bool matches = epoch1.has_value() && epoch2.has_value() &&
+                       pipeline.latest_snapshot_bytes() == batch;
+
+  const char* out_path = std::getenv("REMGEN_INGEST_OUT");
+  std::FILE* out = std::fopen(out_path != nullptr ? out_path : "BENCH_ingest.json", "w");
+  if (out == nullptr) return;
+  std::fprintf(out,
+               "{\n  \"commit\": \"%s\",\n  \"samples\": %zu,\n"
+               "  \"samples_per_sec\": %.1f,\n  \"epoch_full_seconds\": %.6f,\n"
+               "  \"epoch_delta_seconds\": %.6f,\n  \"snapshot_bytes\": %zu,\n"
+               "  \"delta_bytes\": %zu,\n  \"delta_ratio\": %.4f,\n"
+               "  \"stream_matches_batch\": %d\n}\n",
+               perf_commit(), samples.size(), samples_per_sec, epoch_full_seconds,
+               epoch_delta_seconds, snapshot_bytes, delta_bytes,
+               snapshot_bytes > 0 ? static_cast<double>(delta_bytes) /
+                                        static_cast<double>(snapshot_bytes)
+                                  : 0.0,
+               matches ? 1 : 0);
+  std::fclose(out);
+}
+
 }  // namespace
 
 // Custom main instead of BENCHMARK_MAIN(): runs with telemetry enabled and
@@ -456,6 +535,7 @@ int main(int argc, char** argv) {
   write_perf_report(reporter.rows());
   write_parallel_report();
   write_serve_report();
+  write_ingest_report();
 
   const char* metrics_out = std::getenv("REMGEN_METRICS_OUT");
   remgen::obs::export_metrics_json_file(metrics_out != nullptr

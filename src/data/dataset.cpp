@@ -8,6 +8,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "data/sample_io.hpp"
 #include "util/contracts.hpp"
 #include "util/csv.hpp"
 #include "util/fmt.hpp"
@@ -134,30 +135,31 @@ Dataset Dataset::read_csv(std::istream& in) {
   std::ostringstream buffer;
   buffer << in.rdbuf();
   const util::CsvTable table = util::parse_csv(buffer.str());
-  const std::array<const char*, 10> columns{"x",   "y",           "z",      "ssid",
-                                            "rss_dbm", "mac",     "channel", "timestamp_s",
-                                            "uav_id",  "waypoint_index"};
-  std::array<int, 10> idx{};
+  const auto& columns = sample_columns();
+  std::array<int, kSampleColumnCount> idx{};
   for (std::size_t c = 0; c < columns.size(); ++c) {
     idx[c] = table.column_index(columns[c]);
-    if (idx[c] < 0) throw std::runtime_error(std::string("dataset csv: missing column ") + columns[c]);
+    if (idx[c] < 0) throw std::runtime_error("dataset csv: missing column " + columns[c]);
   }
   Dataset out;
-  for (const util::CsvRow& row : table.rows) {
+  std::vector<std::string> fields(kSampleColumnCount);
+  for (std::size_t r = 0; r < table.rows.size(); ++r) {
+    const util::CsvRow& row = table.rows[r];
+    // The reported line assumes one physical line per row (quoted embedded
+    // newlines would shift it); row r follows the header on line r + 2.
+    const std::size_t line = r + 2;
+    if (row.size() != kSampleColumnCount) {
+      throw std::runtime_error(util::format("dataset csv: line {}: expected {} columns, got {}",
+                                            line, kSampleColumnCount, row.size()));
+    }
+    for (std::size_t c = 0; c < columns.size(); ++c) {
+      fields[c] = row[static_cast<std::size_t>(idx[c])];
+    }
     Sample s;
-    auto field = [&](std::size_t c) -> const std::string& {
-      return row.at(static_cast<std::size_t>(idx[c]));
-    };
-    s.position = {std::stod(field(0)), std::stod(field(1)), std::stod(field(2))};
-    s.ssid = field(3);
-    s.rss_dbm = std::stod(field(4));
-    const auto mac = radio::MacAddress::parse(field(5));
-    if (!mac) throw std::runtime_error("dataset csv: bad mac " + field(5));
-    s.mac = *mac;
-    s.channel = std::stoi(field(6));
-    s.timestamp_s = std::stod(field(7));
-    s.uav_id = std::stoi(field(8));
-    s.waypoint_index = std::stoi(field(9));
+    std::string error;
+    if (!parse_sample_fields(fields, line, &s, &error)) {
+      throw std::runtime_error("dataset csv: " + error);
+    }
     out.add(std::move(s));
   }
   return out;

@@ -1,0 +1,34 @@
+#include "data/live_dataset.hpp"
+
+namespace remgen::data {
+
+void LiveDataset::push(const Sample& sample) {
+  samples_.push_back(sample);
+  MacStats& s = stats_[sample.mac];
+  ++s.count;
+  s.mean_rss_dbm += (sample.rss_dbm - s.mean_rss_dbm) / static_cast<double>(s.count);
+}
+
+std::size_t LiveDataset::qualified_macs(std::size_t min_samples) const {
+  std::size_t out = 0;
+  for (const auto& [mac, s] : stats_) {
+    if (s.count >= min_samples) ++out;
+  }
+  return out;
+}
+
+Dataset LiveDataset::prepared(std::size_t min_samples, std::size_t* dropped) const {
+  Dataset out;
+  std::size_t dropped_count = 0;
+  for (const Sample& s : samples_) {
+    if (stats_.at(s.mac).count >= min_samples) {
+      out.add(s);
+    } else {
+      ++dropped_count;
+    }
+  }
+  if (dropped != nullptr) *dropped = dropped_count;
+  return out;
+}
+
+}  // namespace remgen::data

@@ -1,0 +1,60 @@
+// LiveDataset: the mutable half of the ingest split.
+//
+// A Dataset is a frozen artefact — the thing a snapshot serialises and a
+// model trains on. A LiveDataset is the accumulating stream state: samples
+// in arrival order plus per-MAC incremental statistics (count and running
+// mean RSS, updated in O(1) per sample) so the epoch gate and dashboards
+// never rescan the whole history. The paper's >= 16-samples-per-MAC
+// preprocessing rule is applied per epoch via prepared(): qualification is
+// monotone (a MAC that ever reaches the gate keeps every sample, including
+// the early ones), which is what makes snapshot deltas pure row-insertions.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "data/sink.hpp"
+
+namespace remgen::data {
+
+/// Arrival-ordered sample accumulator with O(1) per-MAC running stats.
+class LiveDataset final : public SampleSink {
+ public:
+  /// Per-MAC incremental statistics, maintained as samples arrive.
+  struct MacStats {
+    std::size_t count = 0;
+    double mean_rss_dbm = 0.0;  ///< Running mean (Welford-style update).
+  };
+
+  void push(const Sample& sample) override;
+  using SampleSink::push_batch;
+
+  [[nodiscard]] const std::vector<Sample>& samples() const noexcept { return samples_; }
+  [[nodiscard]] std::size_t size() const noexcept { return samples_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return samples_.empty(); }
+
+  [[nodiscard]] const std::map<radio::MacAddress, MacStats>& mac_stats() const noexcept {
+    return stats_;
+  }
+
+  /// MACs currently at or above the sample gate.
+  [[nodiscard]] std::size_t qualified_macs(std::size_t min_samples) const;
+
+  /// The raw stream as an immutable Dataset (arrival order preserved).
+  [[nodiscard]] Dataset dataset() const { return Dataset(samples_); }
+
+  /// The epoch gate: samples of MACs with >= min_samples observations, in
+  /// arrival order — byte-identical to
+  /// dataset().filter_min_samples_per_mac(min_samples). Uses the incremental
+  /// counts, so no per-epoch rescan of the MAC histogram.
+  [[nodiscard]] Dataset prepared(std::size_t min_samples, std::size_t* dropped = nullptr) const;
+
+ private:
+  std::vector<Sample> samples_;
+  std::map<radio::MacAddress, MacStats> stats_;
+};
+
+}  // namespace remgen::data

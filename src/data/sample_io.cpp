@@ -1,0 +1,160 @@
+#include "data/sample_io.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <stdexcept>
+
+#include "obs/json.hpp"
+#include "util/csv.hpp"
+#include "util/fmt.hpp"
+
+namespace remgen::data {
+
+namespace {
+
+std::string line_error(std::size_t line, const std::string& reason) {
+  return util::format("line {}: {}", line, reason);
+}
+
+bool fail(std::size_t line, const std::string& reason, std::string* error) {
+  if (error != nullptr) *error = line_error(line, reason);
+  return false;
+}
+
+}  // namespace
+
+const std::vector<std::string>& sample_columns() {
+  static const std::vector<std::string> columns{
+      "x",   "y",       "z",         "ssid",   "rss_dbm",
+      "mac", "channel", "timestamp_s", "uav_id", "waypoint_index"};
+  return columns;
+}
+
+bool parse_finite_double(std::string_view token, double* out) {
+  if (token.empty()) return false;
+  double value = 0.0;
+  const char* end = token.data() + token.size();
+  const auto [ptr, ec] = std::from_chars(token.data(), end, value);
+  // from_chars happily parses "nan"/"inf" tokens; a sample with a non-finite
+  // coordinate or RSS is garbage, so finiteness is part of the contract.
+  if (ec != std::errc{} || ptr != end || !std::isfinite(value)) return false;
+  *out = value;
+  return true;
+}
+
+bool parse_int(std::string_view token, int* out) {
+  if (token.empty()) return false;
+  int value = 0;
+  const char* end = token.data() + token.size();
+  const auto [ptr, ec] = std::from_chars(token.data(), end, value);
+  if (ec != std::errc{} || ptr != end) return false;
+  *out = value;
+  return true;
+}
+
+bool parse_sample_fields(const std::vector<std::string>& fields, std::size_t line,
+                         Sample* out, std::string* error) {
+  if (fields.size() != kSampleColumnCount) {
+    return fail(line,
+                util::format("expected {} columns, got {}", kSampleColumnCount, fields.size()),
+                error);
+  }
+  Sample s;
+  const char* axis_names[3] = {"x", "y", "z"};
+  double coords[3] = {0.0, 0.0, 0.0};
+  for (std::size_t a = 0; a < 3; ++a) {
+    if (!parse_finite_double(fields[a], &coords[a])) {
+      return fail(line, util::format("bad {} coordinate '{}'", axis_names[a], fields[a]), error);
+    }
+  }
+  s.position = {coords[0], coords[1], coords[2]};
+  s.ssid = fields[3];
+  if (!parse_finite_double(fields[4], &s.rss_dbm)) {
+    return fail(line, util::format("bad rss_dbm '{}'", fields[4]), error);
+  }
+  const auto mac = radio::MacAddress::parse(fields[5]);
+  if (!mac) return fail(line, util::format("bad mac '{}'", fields[5]), error);
+  s.mac = *mac;
+  if (!parse_int(fields[6], &s.channel)) {
+    return fail(line, util::format("bad channel '{}'", fields[6]), error);
+  }
+  if (!parse_finite_double(fields[7], &s.timestamp_s)) {
+    return fail(line, util::format("bad timestamp_s '{}'", fields[7]), error);
+  }
+  if (!parse_int(fields[8], &s.uav_id)) {
+    return fail(line, util::format("bad uav_id '{}'", fields[8]), error);
+  }
+  if (!parse_int(fields[9], &s.waypoint_index)) {
+    return fail(line, util::format("bad waypoint_index '{}'", fields[9]), error);
+  }
+  *out = std::move(s);
+  return true;
+}
+
+bool parse_csv_sample_line(std::string_view text, std::size_t line, Sample* out,
+                           std::string* error) {
+  // parse_csv treats its first row as the header; for a single line that IS
+  // the row, so the "header" is exactly the parsed field list.
+  util::CsvTable table;
+  try {
+    table = util::parse_csv(text);
+  } catch (const std::exception& e) {
+    return fail(line, e.what(), error);
+  }
+  if (!table.rows.empty()) return fail(line, "embedded newline in row", error);
+  return parse_sample_fields(table.header, line, out, error);
+}
+
+bool parse_jsonl_sample_line(std::string_view text, std::size_t line, Sample* out,
+                             std::string* error) {
+  obs::Json doc;
+  try {
+    doc = obs::Json::parse(text);
+  } catch (const std::exception& e) {
+    return fail(line, e.what(), error);
+  }
+  if (!doc.is_object()) return fail(line, "expected a JSON object", error);
+  std::vector<std::string> fields(kSampleColumnCount);
+  const auto& columns = sample_columns();
+  for (const auto& [key, value] : doc.as_object()) {
+    std::size_t column = kSampleColumnCount;
+    for (std::size_t c = 0; c < columns.size(); ++c) {
+      if (key == columns[c]) {
+        column = c;
+        break;
+      }
+    }
+    if (column == kSampleColumnCount) {
+      return fail(line, util::format("unknown field '{}'", key), error);
+    }
+    // Re-tokenise through the strict field parser: numeric JSON values are
+    // re-rendered exactly (Json keeps integers exact and doubles shortest-
+    // round-trip), strings pass through, and any other kind is rejected.
+    if (value.is_string()) {
+      fields[column] = value.as_string();
+    } else if (value.is_number()) {
+      fields[column] = value.dump();
+    } else {
+      return fail(line, util::format("field '{}' must be a number or string", key), error);
+    }
+  }
+  for (std::size_t c = 0; c < columns.size(); ++c) {
+    // ssid may legitimately be empty; every other field must be present.
+    if (fields[c].empty() && c != 3 && !doc.contains(columns[c])) {
+      return fail(line, util::format("missing field '{}'", columns[c]), error);
+    }
+  }
+  return parse_sample_fields(fields, line, out, error);
+}
+
+bool is_sample_csv_header(std::string_view text) {
+  util::CsvTable table;
+  try {
+    table = util::parse_csv(text);
+  } catch (const std::exception&) {
+    return false;
+  }
+  return table.rows.empty() && table.header == sample_columns();
+}
+
+}  // namespace remgen::data

@@ -1,0 +1,55 @@
+// Strict sample-row parsing for streaming ingestion.
+//
+// Dataset::read_csv historically leaned on std::stod, which accepts trailing
+// garbage ("3.2abc"), silently truncates, and says nothing about which row
+// was bad. A streaming source cannot afford that: one malformed line must be
+// rejected with a line-numbered reason and counted, never folded into the
+// live dataset where it would skew every later epoch. These parsers are the
+// strict path both the batch CSV reader and the ingest tail sources share:
+// full-token numeric parsing (no prefixes, no trailing bytes), finite-value
+// enforcement (NaN/inf RSS or coordinates are rejected), exact column
+// counts, and errors that carry the 1-based line number.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "data/sample.hpp"
+
+namespace remgen::data {
+
+/// Canonical CSV column order (also the JSONL field set).
+inline constexpr std::size_t kSampleColumnCount = 10;
+[[nodiscard]] const std::vector<std::string>& sample_columns();
+
+/// Full-token strict parses: the entire token must be consumed and the value
+/// must be finite (parse_finite_double) / in range (parse_int). Returns false
+/// on any violation. Exposed for tests and other strict readers.
+[[nodiscard]] bool parse_finite_double(std::string_view token, double* out);
+[[nodiscard]] bool parse_int(std::string_view token, int* out);
+
+/// Parses one sample from `fields` given in canonical column order
+/// (x, y, z, ssid, rss_dbm, mac, channel, timestamp_s, uav_id,
+/// waypoint_index). On failure returns false and sets `*error` to a
+/// "line N: reason" message. `line` is the 1-based source line for messages.
+[[nodiscard]] bool parse_sample_fields(const std::vector<std::string>& fields,
+                                       std::size_t line, Sample* out, std::string* error);
+
+/// Parses one CSV data line (canonical column order, quoting per util::csv).
+/// Same error contract as parse_sample_fields.
+[[nodiscard]] bool parse_csv_sample_line(std::string_view text, std::size_t line,
+                                         Sample* out, std::string* error);
+
+/// Parses one JSONL object line with the canonical field names (numbers for
+/// the numeric fields, strings for ssid/mac). Unknown keys are rejected so a
+/// typo'd field name fails loudly instead of silently defaulting.
+[[nodiscard]] bool parse_jsonl_sample_line(std::string_view text, std::size_t line,
+                                           Sample* out, std::string* error);
+
+/// True when `text` looks like the canonical CSV header row ("x,y,z,...").
+/// Tail sources use it to skip a leading header without a schema handshake.
+[[nodiscard]] bool is_sample_csv_header(std::string_view text);
+
+}  // namespace remgen::data

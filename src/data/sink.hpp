@@ -1,0 +1,30 @@
+// SampleSink: the streaming handoff between sample producers (a running
+// campaign, a tailed capture file) and consumers (the ingest pipeline).
+//
+// Producers push samples in a deterministic order — mission::run_campaign
+// streams its merged dataset in UAV index order, identical at any thread
+// count — so a sink that folds samples into derived state sees the same byte
+// stream as a batch consumer reading the final Dataset.
+#pragma once
+
+#include <span>
+
+#include "data/sample.hpp"
+
+namespace remgen::data {
+
+/// Receives samples as they are produced. Implementations are not required
+/// to be thread-safe; producers call from one thread in stream order.
+class SampleSink {
+ public:
+  virtual ~SampleSink() = default;
+
+  virtual void push(const Sample& sample) = 0;
+
+  /// Batched push; equivalent to push() per element, in order.
+  virtual void push_batch(std::span<const Sample> samples) {
+    for (const Sample& s : samples) push(s);
+  }
+};
+
+}  // namespace remgen::data

@@ -1,0 +1,70 @@
+#include "ingest/source.hpp"
+
+#include <fstream>
+
+#include "data/sample_io.hpp"
+#include "obs/metrics.hpp"
+#include "util/log.hpp"
+
+namespace remgen::ingest {
+
+StreamFormat stream_format_for_path(std::string_view path) {
+  const auto dot = path.rfind('.');
+  if (dot == std::string_view::npos) return StreamFormat::Csv;
+  const std::string_view ext = path.substr(dot);
+  if (ext == ".jsonl" || ext == ".ndjson" || ext == ".json") return StreamFormat::Jsonl;
+  return StreamFormat::Csv;
+}
+
+FileTailSource::FileTailSource(std::string path, StreamFormat format)
+    : path_(std::move(path)), format_(format) {}
+
+std::size_t FileTailSource::poll(data::SampleSink& sink) {
+  std::ifstream in(path_, std::ios::binary);
+  if (!in) return 0;  // Not created yet; try again next poll.
+  in.seekg(static_cast<std::streamoff>(offset_));
+  if (!in) return 0;
+
+  std::size_t accepted = 0;
+  char chunk[1 << 16];
+  while (in.read(chunk, sizeof chunk) || in.gcount() > 0) {
+    const std::size_t got = static_cast<std::size_t>(in.gcount());
+    offset_ += got;
+    carry_.append(chunk, got);
+    std::size_t start = 0;
+    for (std::size_t nl = carry_.find('\n', start); nl != std::string::npos;
+         nl = carry_.find('\n', start)) {
+      std::string_view line(carry_.data() + start, nl - start);
+      if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+      if (consume_line(line, sink)) ++accepted;
+      start = nl + 1;
+    }
+    carry_.erase(0, start);
+    if (got < sizeof chunk) break;
+  }
+  return accepted;
+}
+
+bool FileTailSource::consume_line(std::string_view text, data::SampleSink& sink) {
+  ++stats_.lines;
+  if (text.empty()) return false;
+  if (format_ == StreamFormat::Csv && stats_.lines == 1 && data::is_sample_csv_header(text)) {
+    return false;
+  }
+  data::Sample sample;
+  std::string error;
+  const bool ok = format_ == StreamFormat::Csv
+                      ? data::parse_csv_sample_line(text, stats_.lines, &sample, &error)
+                      : data::parse_jsonl_sample_line(text, stats_.lines, &sample, &error);
+  if (!ok) {
+    ++stats_.rejected;
+    REMGEN_COUNTER_ADD("ingest.rejected_rows", 1);
+    util::logf(util::LogLevel::Warn, "ingest", "{}: rejected {}", path_, error);
+    return false;
+  }
+  sink.push(sample);
+  ++stats_.accepted;
+  return true;
+}
+
+}  // namespace remgen::ingest

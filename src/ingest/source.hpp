@@ -1,0 +1,70 @@
+// Streaming sample sources: where live rows come from.
+//
+// The ingest pipeline is a data::SampleSink; a source is whatever feeds it.
+// The in-process feed is mission::CampaignConfig::sample_sink (the campaign
+// pushes every collected sample during its deterministic merge). This header
+// adds the out-of-process feed: FileTailSource follows a growing CSV or
+// JSONL file — the idiom of a ground station appending rows as UAVs report —
+// delivering each complete new line exactly once. Parsing is the strict
+// data/sample_io path: a malformed row is rejected with a line-numbered
+// reason, counted in ingest.rejected_rows, and never reaches the live
+// dataset.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "data/sink.hpp"
+
+namespace remgen::ingest {
+
+/// Wire format of a tailed stream.
+enum class StreamFormat {
+  Csv,    ///< Canonical dataset CSV (header line optional).
+  Jsonl,  ///< One JSON object per line, canonical field names.
+};
+
+/// Guesses the format from the file extension (.jsonl/.ndjson/.json ->
+/// Jsonl, anything else -> Csv).
+[[nodiscard]] StreamFormat stream_format_for_path(std::string_view path);
+
+/// Lifetime tallies of one tail source.
+struct TailStats {
+  std::uint64_t lines = 0;     ///< Complete lines consumed (header included).
+  std::uint64_t accepted = 0;  ///< Samples delivered to the sink.
+  std::uint64_t rejected = 0;  ///< Malformed rows dropped (and counted in
+                               ///< the ingest.rejected_rows metric).
+};
+
+/// Follows a growing file, delivering each complete new line exactly once.
+///
+/// poll() reads everything appended since the last call, keeps any trailing
+/// partial line buffered until its newline arrives, and pushes parsed
+/// samples into the sink in file order. A leading canonical CSV header is
+/// skipped. Not thread-safe; poll from one thread.
+class FileTailSource {
+ public:
+  FileTailSource(std::string path, StreamFormat format);
+
+  /// Drains newly appended complete lines into `sink`; returns the number of
+  /// samples accepted this call. A missing file is "nothing new yet", not an
+  /// error (the writer may not have created it).
+  std::size_t poll(data::SampleSink& sink);
+
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+  [[nodiscard]] StreamFormat format() const noexcept { return format_; }
+  [[nodiscard]] const TailStats& stats() const noexcept { return stats_; }
+
+ private:
+  /// Parses one complete line; pushes into `sink` on success.
+  bool consume_line(std::string_view text, data::SampleSink& sink);
+
+  std::string path_;
+  StreamFormat format_;
+  std::uint64_t offset_ = 0;  ///< Bytes of the file already consumed.
+  std::string carry_;         ///< Trailing partial line awaiting its newline.
+  TailStats stats_;
+};
+
+}  // namespace remgen::ingest

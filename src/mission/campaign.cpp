@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "data/sink.hpp"
 #include "exec/parallel.hpp"
 #include "flightlog/flightlog.hpp"
 #include "obs/metrics.hpp"
@@ -171,6 +172,9 @@ CampaignResult run_campaign(const radio::Scenario& scenario, const CampaignConfi
     record_mission_stats(outcome.stats);
     result.uav_stats.push_back(outcome.stats);
     result.dataset.append(outcome.dataset);
+    if (config.sample_sink != nullptr) {
+      config.sample_sink->push_batch(outcome.dataset.samples());
+    }
     for (const WaypointReport& report : outcome.stats.waypoint_reports) {
       WaypointCoverage c;
       c.uav = u;
@@ -246,6 +250,9 @@ CampaignResult run_campaign(const radio::Scenario& scenario, const CampaignConfi
       REMGEN_COUNTER_ADD("campaign.rescue_missions", 1);
       result.uav_stats.push_back(outcome.stats);
       result.dataset.append(outcome.dataset);
+      if (config.sample_sink != nullptr) {
+        config.sample_sink->push_batch(outcome.dataset.samples());
+      }
       result.assignments.push_back(rescue_slabs[k]);
       for (const WaypointReport& report : outcome.stats.waypoint_reports) {
         const geom::Vec3& pos = rescue_slabs[k][report.waypoint_index];

@@ -15,6 +15,10 @@
 #include "uwb/anchor.hpp"
 #include "util/rng.hpp"
 
+namespace remgen::data {
+class SampleSink;
+}  // namespace remgen::data
+
 namespace remgen::mission {
 
 /// Localization technology mounted on the fleet.
@@ -51,6 +55,13 @@ struct CampaignConfig {
                                     ///< left uncovered by the primary fleet to
                                     ///< fresh UAVs, up to this many rounds
                                     ///< (0 disables; no-op when all covered).
+  data::SampleSink* sample_sink = nullptr;  ///< Live streaming hook: every
+                                    ///< collected sample is pushed here during
+                                    ///< the deterministic UAV-order merge, so a
+                                    ///< sink (e.g. ingest::IngestPipeline) sees
+                                    ///< exactly the final dataset's row stream,
+                                    ///< in order. Not owned; may be null.
+                                    ///< Called on the campaign thread.
 };
 
 /// Per-waypoint campaign coverage, aggregated across the fleet and any rescue

@@ -1,0 +1,95 @@
+// DynamicKdTree: a growing point index for the ingest path.
+//
+// KdTree is deliberately static — build once, query forever — which is
+// exactly right for a frozen snapshot and exactly wrong for a live dataset
+// absorbing samples. DynamicKdTree layers mutability on top without ever
+// mutating a tree readers can see: inserts land in a small pending buffer;
+// once the buffer reaches rebuild_interval, a fresh KdTree is built from
+// scratch over ALL points (in insertion order, so indices are stable global
+// stream positions) and swapped in behind a single atomic shared_ptr store.
+//
+// Readers load one immutable State (tree + pending snapshot) per query and
+// never block: a query either sees the pre-swap state or the post-swap
+// state, never a tree mid-rebuild. The pending buffer is republished as a
+// fresh immutable vector on every insert (it is bounded by
+// rebuild_interval, so the copy is O(interval), amortised O(1) per insert).
+// Queries merge tree hits with a brute-force scan of the pending snapshot,
+// ordered by (distance, insertion index) — deterministic for a given point
+// stream regardless of when rebuilds happened. Immediately after a rebuild
+// (empty pending) nearest() is the underlying KdTree verbatim, so results
+// are bit-identical to a from-scratch KdTree over the same rows — the
+// invariant test_ml_kdtree locks in.
+//
+// Concurrency contract: one writer (insert/rebuild), any number of
+// concurrent readers (nearest/size). Writer calls must be externally
+// serialised; readers need no synchronisation at all.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "ml/kdtree.hpp"
+
+namespace remgen::ml {
+
+/// Buffered-insert KD-tree with rebuild-behind-atomic-swap publication.
+class DynamicKdTree {
+ public:
+  /// Pending inserts accumulated before an automatic rebuild. Must be >= 1.
+  explicit DynamicKdTree(std::size_t rebuild_interval = 1024);
+
+  /// Buffers one point; rebuilds (and swaps) when the buffer is full.
+  void insert(const geom::Vec3& point);
+  void insert_batch(std::span<const geom::Vec3> points);
+
+  /// Forces a rebuild over all points now; no-op when nothing is pending.
+  void rebuild();
+
+  /// Total points visible to queries (tree + pending).
+  [[nodiscard]] std::size_t size() const;
+  /// Points covered by the current tree (size() - pending).
+  [[nodiscard]] std::size_t tree_size() const;
+  [[nodiscard]] std::size_t pending() const;
+  [[nodiscard]] std::uint64_t rebuilds() const noexcept {
+    return rebuilds_.load(std::memory_order_relaxed);
+  }
+
+  /// The k nearest points across tree + pending, ordered by ascending
+  /// (distance, insertion index). Hit indices are global stream positions.
+  /// With an empty pending buffer this is KdTree::nearest verbatim
+  /// (bit-identical hits, including tie order).
+  [[nodiscard]] std::vector<KdHit> nearest(const geom::Vec3& query, std::size_t k) const;
+
+  /// Scratch-reusing variant (see KdTree::nearest(query, k, scratch)): fills
+  /// scratch.heap with the merged hits and returns the count.
+  std::size_t nearest(const geom::Vec3& query, std::size_t k, KdQueryScratch& scratch) const;
+
+ private:
+  /// One immutable published generation. Readers hold it via shared_ptr, so
+  /// a rebuild can never free state a query is still traversing.
+  struct State {
+    std::shared_ptr<const KdTree> tree;  ///< Null before the first rebuild.
+    std::size_t covered = 0;             ///< Points inside `tree`.
+    /// Points inserted after the tree was built; global index of
+    /// pending[i] is covered + i.
+    std::shared_ptr<const std::vector<geom::Vec3>> pending;
+  };
+
+  [[nodiscard]] std::shared_ptr<const State> state() const {
+    return state_.load(std::memory_order_acquire);
+  }
+  void publish(std::shared_ptr<const State> next);
+  static void merge_pending(const State& s, const geom::Vec3& query, std::size_t k,
+                            std::vector<KdHit>& hits);
+
+  std::size_t rebuild_interval_;
+  std::vector<geom::Vec3> all_points_;  ///< Writer-only master copy.
+  /// The swap point: a single pointer-atomic store publishes a generation.
+  std::atomic<std::shared_ptr<const State>> state_;
+  std::atomic<std::uint64_t> rebuilds_{0};
+};
+
+}  // namespace remgen::ml

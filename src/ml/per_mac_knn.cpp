@@ -2,6 +2,7 @@
 
 #include <map>
 
+#include "exec/parallel.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profile.hpp"
 #include "obs/trace.hpp"
@@ -26,14 +27,33 @@ void PerMacKnn::fit(std::span<const data::Sample> train) {
   REMGEN_COUNTER_ADD("ml.per_mac_knn.fits", 1);
   fallback_.fit(train);
 
-  std::unordered_map<radio::MacAddress, std::vector<data::Sample>> groups;
+  std::map<radio::MacAddress, std::vector<data::Sample>> groups;
   for (const data::Sample& s : train) groups[s.mac].push_back(s);
 
+  // Per-MAC models are independent, so refits (the ingest epoch path hits
+  // this on every epoch) fan out across the exec pool. Groups are fitted in
+  // MAC-sorted slot order and inserted sequentially afterwards — the fitted
+  // ensemble is byte-identical at any thread count.
+  std::vector<const std::vector<data::Sample>*> group_samples;
+  std::vector<radio::MacAddress> group_macs;
+  group_samples.reserve(groups.size());
+  group_macs.reserve(groups.size());
+  for (const auto& [mac, samples] : groups) {
+    group_macs.push_back(mac);
+    group_samples.push_back(&samples);
+  }
+  std::vector<std::unique_ptr<KnnRegressor>> fitted = exec::parallel_map(
+      group_samples.size(),
+      [&](std::size_t g) {
+        auto model = std::make_unique<KnnRegressor>(config_);
+        model->fit(*group_samples[g]);
+        return model;
+      },
+      /*chunk=*/1, "ml.per_mac_knn.fit");
+
   models_.clear();
-  for (auto& [mac, samples] : groups) {
-    auto model = std::make_unique<KnnRegressor>(config_);
-    model->fit(samples);
-    models_[mac] = std::move(model);
+  for (std::size_t g = 0; g < group_macs.size(); ++g) {
+    models_[group_macs[g]] = std::move(fitted[g]);
   }
 }
 

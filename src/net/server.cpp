@@ -134,7 +134,33 @@ void Server::add_engine(std::string name, std::shared_ptr<const serve::QueryEngi
   if (engine == nullptr) throw std::runtime_error("net: add_engine: null engine");
   if (default_map_.empty()) default_map_ = name;
   map_stats_.try_emplace(name);
+  map_epochs_.try_emplace(name, 0);
   engines_[std::move(name)] = std::move(engine);
+}
+
+void Server::publish(std::string name, std::shared_ptr<const serve::QueryEngine> engine,
+                     std::uint64_t epoch) {
+  if (engine == nullptr) throw std::runtime_error("net: publish: null engine");
+  const std::lock_guard<std::mutex> lock(publish_mutex_);
+  publishes_.push_back(PublishJob{std::move(name), std::move(engine), epoch});
+}
+
+void Server::finish_publishes() {
+  std::vector<PublishJob> jobs;
+  {
+    const std::lock_guard<std::mutex> lock(publish_mutex_);
+    jobs.swap(publishes_);
+  }
+  for (PublishJob& job : jobs) {
+    // Same swap discipline as finish_reloads: only this (event-loop) thread
+    // touches engines_, and admitted requests pinned their engine already.
+    if (default_map_.empty()) default_map_ = job.map;
+    map_stats_.try_emplace(job.map);
+    map_epochs_[job.map] = job.epoch;
+    engines_[std::move(job.map)] = std::move(job.engine);
+    ++stats_.publish_swaps;
+    REMGEN_COUNTER_ADD("net.publish_swaps", 1);
+  }
 }
 
 int Server::listen_on(const std::string& address, std::uint16_t port, int backlog,
@@ -177,6 +203,9 @@ int Server::listen_on(const std::string& address, std::uint16_t port, int backlo
 }
 
 std::uint16_t Server::bind_and_listen() {
+  // An engine published before serving (the remgen-ingestd startup path)
+  // counts as registration: drain the handover queue before the check.
+  finish_publishes();
   if (engines_.empty()) throw std::runtime_error("net: no engine registered");
   listen_fd_ = listen_on(config_.bind_address, config_.port, config_.backlog, &port_);
   if (config_.http_metrics_port >= 0) {
@@ -264,6 +293,9 @@ void Server::refresh_live_metrics(double now_s) {
     reg.gauge(prefix + "errors").set(static_cast<double>(stats.errors));
     reg.gauge(prefix + "cache_hits").set(static_cast<double>(stats.cache_hits));
     reg.gauge(prefix + "cache_misses").set(static_cast<double>(stats.cache_misses));
+    const auto epoch_it = map_epochs_.find(name);
+    reg.gauge(prefix + "epoch")
+        .set(epoch_it != map_epochs_.end() ? static_cast<double>(epoch_it->second) : 0.0);
   }
 }
 
@@ -324,6 +356,7 @@ void Server::handle_admin(Connection& connection, std::int64_t id, const std::st
     body["overload_rejections"] = obs::Json(stats_.overload_rejections);
     body["reload_swaps"] = obs::Json(stats_.reload_swaps);
     body["reload_failures"] = obs::Json(stats_.reload_failures);
+    body["publish_swaps"] = obs::Json(stats_.publish_swaps);
     body["cache_hits"] = obs::Json(stats_.cache_hits);
     body["cache_misses"] = obs::Json(stats_.cache_misses);
     body["metrics_scrapes"] = obs::Json(stats_.metrics_scrapes);
@@ -376,6 +409,9 @@ void Server::handle_admin(Connection& connection, std::int64_t id, const std::st
       entry["errors"] = obs::Json(ms.errors);
       entry["cache_hits"] = obs::Json(ms.cache_hits);
       entry["cache_misses"] = obs::Json(ms.cache_misses);
+      const auto epoch_it = map_epochs_.find(name);
+      entry["epoch"] =
+          obs::Json(epoch_it != map_epochs_.end() ? epoch_it->second : std::uint64_t{0});
       per_map[name] = obs::Json(std::move(entry));
     }
     body["map_stats"] = obs::Json(std::move(per_map));
@@ -810,6 +846,15 @@ void Server::run() {
         http_listen_fd_ = -1;
       }
       accepting = false;
+      // One final read pass: requests the peer fully delivered before the
+      // drain began are owed a response, even though POLLIN stays off from
+      // here on. Without it a pipelined burst still sitting in the socket
+      // buffer would be dropped when the connection closes as "done".
+      for (auto& [conn_id, connection] : connections_) {
+        if (!connection.http && !connection.broken && !connection.peer_closed) {
+          read_ready(connection);
+        }
+      }
       util::logf(util::LogLevel::Info, "net", "draining {} queued request(s) over {} connection(s)",
                  queue_.size(), connections_.size());
     }
@@ -869,6 +914,7 @@ void Server::run() {
     }
 
     finish_reloads(/*wait=*/false);
+    finish_publishes();
     execute_round();
 
     // Flush opportunistically after executing — most responses fit the

@@ -50,6 +50,7 @@
 #include <fstream>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -92,6 +93,7 @@ struct ServerStats {
   std::uint64_t overload_rejections = 0;
   std::uint64_t reload_swaps = 0;
   std::uint64_t reload_failures = 0;
+  std::uint64_t publish_swaps = 0;     ///< Engines hot-published via publish().
   std::uint64_t cache_hits = 0;        ///< Engine-cache hits, summed per round.
   std::uint64_t cache_misses = 0;
   std::uint64_t metrics_scrapes = 0;   ///< Admin "metrics" + HTTP scrapes served.
@@ -123,6 +125,17 @@ class Server {
   /// field. Must not be called while run() is active.
   void add_engine(std::string name, std::shared_ptr<const serve::QueryEngine> engine);
 
+  /// Thread-safe hot publish: hands a finished engine (e.g. a freshly built
+  /// ingest epoch) to the event loop, which swaps it in between execution
+  /// rounds under the same zero-drop discipline as a reload — in-flight
+  /// requests pinned the old engine at admission and finish on it. New maps
+  /// are registered on first publish (becoming the default map when none
+  /// exists yet, so a publish before bind_and_listen() is enough to serve).
+  /// `epoch` is the monotonic snapshot version surfaced in "stats" and the
+  /// net.map.<name>.epoch gauge.
+  void publish(std::string name, std::shared_ptr<const serve::QueryEngine> engine,
+               std::uint64_t epoch);
+
   /// Binds and listens; returns the bound port (resolves port 0). Throws
   /// std::runtime_error on socket failures or when no engine is registered.
   /// Also binds the HTTP metrics listener when configured.
@@ -143,11 +156,22 @@ class Server {
   [[nodiscard]] const std::map<std::string, MapStats>& map_stats() const noexcept {
     return map_stats_;
   }
+  /// Current published epoch per map (0 until the first publish()).
+  [[nodiscard]] const std::map<std::string, std::uint64_t>& map_epochs() const noexcept {
+    return map_epochs_;
+  }
 
  private:
   struct Connection;
   struct Pending;
   struct ReloadJob;
+
+  /// One engine handed over by publish(), waiting for the event-loop swap.
+  struct PublishJob {
+    std::string map;
+    std::shared_ptr<const serve::QueryEngine> engine;
+    std::uint64_t epoch = 0;
+  };
 
   /// Per-request lifecycle stamps (microseconds on the server's monotonic
   /// clock, 0 = not reached). Attached to executable queue entries only.
@@ -175,6 +199,8 @@ class Server {
   void handle_admin(Connection& connection, std::int64_t id, const std::string& type,
                     const obs::Json& doc);
   void finish_reloads(bool wait);
+  /// Drains publish() handovers on the event-loop thread and swaps engines_.
+  void finish_publishes();
   void execute_round();
   void append_output(Connection& connection, const std::string& bytes);
   void write_ready(Connection& connection);
@@ -208,8 +234,11 @@ class Server {
   std::deque<Pending> queue_;           ///< FIFO of admitted work (front = oldest).
   std::size_t queued_requests_ = 0;     ///< Entries in queue_ that still need execution.
   std::vector<std::unique_ptr<ReloadJob>> reloads_;
+  std::mutex publish_mutex_;            ///< Guards publishes_ only (cross-thread handover).
+  std::vector<PublishJob> publishes_;   ///< Engines awaiting the event-loop swap.
   ServerStats stats_;
   std::map<std::string, MapStats> map_stats_;
+  std::map<std::string, std::uint64_t> map_epochs_;  ///< Event-loop thread only.
   std::atomic<bool> shutdown_requested_{false};
 
   // Live observability state — event-loop thread only.

@@ -12,38 +12,44 @@
 
 namespace remgen::store {
 
-namespace {
-
-void write_dataset(util::BinaryWriter& w, const data::Dataset& dataset) {
-  w.u64(dataset.size());
-  for (const data::Sample& s : dataset.samples()) {
-    w.f64(s.position.x);
-    w.f64(s.position.y);
-    w.f64(s.position.z);
-    w.str(s.ssid);
-    w.f64(s.rss_dbm);
-    ml::save_mac(w, s.mac);
-    w.i64(s.channel);
-    w.f64(s.timestamp_s);
-    w.i64(s.uav_id);
-    w.i64(s.waypoint_index);
-  }
+void write_sample_row(util::BinaryWriter& w, const data::Sample& s) {
+  w.f64(s.position.x);
+  w.f64(s.position.y);
+  w.f64(s.position.z);
+  w.str(s.ssid);
+  w.f64(s.rss_dbm);
+  ml::save_mac(w, s.mac);
+  w.i64(s.channel);
+  w.f64(s.timestamp_s);
+  w.i64(s.uav_id);
+  w.i64(s.waypoint_index);
 }
+
+data::Sample read_sample_row(util::BinaryReader& r) {
+  data::Sample s;
+  s.position.x = r.f64();
+  s.position.y = r.f64();
+  s.position.z = r.f64();
+  s.ssid = r.str();
+  s.rss_dbm = r.f64();
+  s.mac = ml::load_mac(r);
+  s.channel = static_cast<int>(r.i64());
+  s.timestamp_s = r.f64();
+  s.uav_id = static_cast<int>(r.i64());
+  s.waypoint_index = static_cast<int>(r.i64());
+  return s;
+}
+
+void write_dataset_payload(util::BinaryWriter& w, const data::Dataset& dataset) {
+  w.u64(dataset.size());
+  for (const data::Sample& s : dataset.samples()) write_sample_row(w, s);
+}
+
+namespace {
 
 data::Dataset read_dataset(util::BinaryReader& r) {
   std::vector<data::Sample> samples(r.u64());
-  for (data::Sample& s : samples) {
-    s.position.x = r.f64();
-    s.position.y = r.f64();
-    s.position.z = r.f64();
-    s.ssid = r.str();
-    s.rss_dbm = r.f64();
-    s.mac = ml::load_mac(r);
-    s.channel = static_cast<int>(r.i64());
-    s.timestamp_s = r.f64();
-    s.uav_id = static_cast<int>(r.i64());
-    s.waypoint_index = static_cast<int>(r.i64());
-  }
+  for (data::Sample& s : samples) s = read_sample_row(r);
   return data::Dataset(std::move(samples));
 }
 
@@ -124,7 +130,7 @@ void save_snapshot(std::ostream& out, const Snapshot& snapshot) {
 
   {
     util::BinaryWriter payload;
-    write_dataset(payload, snapshot.dataset);
+    write_dataset_payload(payload, snapshot.dataset);
     write_section(w, SectionId::Dataset, payload);
   }
   if (snapshot.rem.has_value()) {

@@ -28,6 +28,11 @@
 #include "data/dataset.hpp"
 #include "ml/estimator.hpp"
 
+namespace remgen::util {
+class BinaryWriter;
+class BinaryReader;
+}  // namespace remgen::util
+
 namespace remgen::store {
 
 /// Format constants, exposed for tests and tooling.
@@ -61,5 +66,11 @@ void save_snapshot_file(const std::string& path, const Snapshot& snapshot);
 
 /// load_snapshot from a file; throws std::runtime_error if unreadable.
 [[nodiscard]] Snapshot load_snapshot_file(const std::string& path);
+
+/// The dataset row / section payload encodings, shared with the REMDELT1
+/// delta format (store/delta.hpp) so both formats stay bit-compatible.
+void write_sample_row(util::BinaryWriter& w, const data::Sample& s);
+[[nodiscard]] data::Sample read_sample_row(util::BinaryReader& r);
+void write_dataset_payload(util::BinaryWriter& w, const data::Dataset& dataset);
 
 }  // namespace remgen::store

@@ -1,0 +1,159 @@
+// Strict sample-row parsing: malformed CSV/JSONL rows are rejected with a
+// line-numbered reason instead of being folded into the dataset. These are
+// the bad-row fixtures the streaming ingest path leans on.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "data/sample_io.hpp"
+
+namespace remgen::data {
+namespace {
+
+constexpr std::string_view kHeader =
+    "x,y,z,ssid,rss_dbm,mac,channel,timestamp_s,uav_id,waypoint_index";
+constexpr std::string_view kGoodCsv =
+    "1.5,2.25,0.75,lab,-52.5,02:00:00:00:00:0a,6,12.5,1,3";
+constexpr std::string_view kGoodJsonl =
+    "{\"x\":1.5,\"y\":2.25,\"z\":0.75,\"ssid\":\"lab\",\"rss_dbm\":-52.5,"
+    "\"mac\":\"02:00:00:00:00:0a\",\"channel\":6,\"timestamp_s\":12.5,"
+    "\"uav_id\":1,\"waypoint_index\":3}";
+
+void expect_rejected(std::string_view text, std::size_t line, const std::string& reason,
+                     bool jsonl = false) {
+  Sample sample;
+  std::string error;
+  const bool ok = jsonl ? parse_jsonl_sample_line(text, line, &sample, &error)
+                        : parse_csv_sample_line(text, line, &sample, &error);
+  EXPECT_FALSE(ok) << text;
+  EXPECT_NE(error.find("line " + std::to_string(line) + ":"), std::string::npos) << error;
+  EXPECT_NE(error.find(reason), std::string::npos) << error;
+}
+
+TEST(IngestSampleIo, GoodCsvRowParsesEveryField) {
+  Sample s;
+  std::string error;
+  ASSERT_TRUE(parse_csv_sample_line(kGoodCsv, 1, &s, &error)) << error;
+  EXPECT_DOUBLE_EQ(s.position.x, 1.5);
+  EXPECT_DOUBLE_EQ(s.position.y, 2.25);
+  EXPECT_DOUBLE_EQ(s.position.z, 0.75);
+  EXPECT_EQ(s.ssid, "lab");
+  EXPECT_DOUBLE_EQ(s.rss_dbm, -52.5);
+  EXPECT_EQ(s.mac.to_string(), "02:00:00:00:00:0a");
+  EXPECT_EQ(s.channel, 6);
+  EXPECT_DOUBLE_EQ(s.timestamp_s, 12.5);
+  EXPECT_EQ(s.uav_id, 1);
+  EXPECT_EQ(s.waypoint_index, 3);
+}
+
+TEST(IngestSampleIo, GoodJsonlRowMatchesCsvExactly) {
+  Sample csv;
+  Sample jsonl;
+  std::string error;
+  ASSERT_TRUE(parse_csv_sample_line(kGoodCsv, 1, &csv, &error)) << error;
+  ASSERT_TRUE(parse_jsonl_sample_line(kGoodJsonl, 1, &jsonl, &error)) << error;
+  EXPECT_EQ(csv.position.x, jsonl.position.x);
+  EXPECT_EQ(csv.position.y, jsonl.position.y);
+  EXPECT_EQ(csv.position.z, jsonl.position.z);
+  EXPECT_EQ(csv.ssid, jsonl.ssid);
+  EXPECT_EQ(csv.rss_dbm, jsonl.rss_dbm);
+  EXPECT_EQ(csv.mac, jsonl.mac);
+  EXPECT_EQ(csv.channel, jsonl.channel);
+  EXPECT_EQ(csv.timestamp_s, jsonl.timestamp_s);
+  EXPECT_EQ(csv.uav_id, jsonl.uav_id);
+  EXPECT_EQ(csv.waypoint_index, jsonl.waypoint_index);
+}
+
+TEST(IngestSampleIo, WrongColumnCountRejectedWithLineNumber) {
+  expect_rejected("1.0,2.0,3.0", 7, "expected 10 columns, got 3");
+  expect_rejected(std::string(kGoodCsv) + ",extra", 8, "expected 10 columns, got 11");
+}
+
+TEST(IngestSampleIo, NonNumericAndTrailingGarbageCoordinatesRejected) {
+  expect_rejected("abc,2.25,0.75,lab,-52.5,02:00:00:00:00:0a,6,12.5,1,3", 2,
+                  "bad x coordinate 'abc'");
+  expect_rejected("1.5,2.25xyz,0.75,lab,-52.5,02:00:00:00:00:0a,6,12.5,1,3", 3,
+                  "bad y coordinate '2.25xyz'");
+  expect_rejected("1.5,2.25,,lab,-52.5,02:00:00:00:00:0a,6,12.5,1,3", 4,
+                  "bad z coordinate ''");
+}
+
+TEST(IngestSampleIo, NonFiniteValuesRejected) {
+  expect_rejected("1.5,2.25,0.75,lab,nan,02:00:00:00:00:0a,6,12.5,1,3", 5, "bad rss_dbm 'nan'");
+  expect_rejected("1.5,2.25,inf,lab,-52.5,02:00:00:00:00:0a,6,12.5,1,3", 6,
+                  "bad z coordinate 'inf'");
+  expect_rejected("1.5,2.25,0.75,lab,-52.5,02:00:00:00:00:0a,6,-inf,1,3", 7,
+                  "bad timestamp_s '-inf'");
+}
+
+TEST(IngestSampleIo, BadMacChannelAndIndicesRejected) {
+  expect_rejected("1.5,2.25,0.75,lab,-52.5,zz:00:00:00:00:0a,6,12.5,1,3", 2,
+                  "bad mac 'zz:00:00:00:00:0a'");
+  expect_rejected("1.5,2.25,0.75,lab,-52.5,02:00:00:00:00:0a,6.5,12.5,1,3", 3,
+                  "bad channel '6.5'");
+  expect_rejected("1.5,2.25,0.75,lab,-52.5,02:00:00:00:00:0a,6,12.5,one,3", 4,
+                  "bad uav_id 'one'");
+  expect_rejected("1.5,2.25,0.75,lab,-52.5,02:00:00:00:00:0a,6,12.5,1,3.0", 5,
+                  "bad waypoint_index '3.0'");
+}
+
+TEST(IngestSampleIo, JsonlUnknownFieldRejected) {
+  expect_rejected(
+      "{\"x\":1.0,\"y\":1.0,\"z\":1.0,\"ssid\":\"lab\",\"rssi\":-40,"
+      "\"mac\":\"02:00:00:00:00:0a\",\"channel\":6,\"timestamp_s\":1.0,"
+      "\"uav_id\":1,\"waypoint_index\":0}",
+      3, "unknown field 'rssi'", /*jsonl=*/true);
+}
+
+TEST(IngestSampleIo, JsonlMissingFieldRejected) {
+  expect_rejected(
+      "{\"x\":1.0,\"y\":1.0,\"z\":1.0,\"ssid\":\"lab\",\"rss_dbm\":-40,"
+      "\"channel\":6,\"timestamp_s\":1.0,\"uav_id\":1,\"waypoint_index\":0}",
+      4, "missing field 'mac'", /*jsonl=*/true);
+}
+
+TEST(IngestSampleIo, JsonlWrongValueKindAndMalformedDocumentRejected) {
+  expect_rejected(
+      "{\"x\":true,\"y\":1.0,\"z\":1.0,\"ssid\":\"lab\",\"rss_dbm\":-40,"
+      "\"mac\":\"02:00:00:00:00:0a\",\"channel\":6,\"timestamp_s\":1.0,"
+      "\"uav_id\":1,\"waypoint_index\":0}",
+      5, "field 'x' must be a number or string", /*jsonl=*/true);
+  Sample s;
+  std::string error;
+  EXPECT_FALSE(parse_jsonl_sample_line("{not json", 6, &s, &error));
+  EXPECT_NE(error.find("line 6:"), std::string::npos) << error;
+  EXPECT_FALSE(parse_jsonl_sample_line("[1,2,3]", 7, &s, &error));
+  EXPECT_NE(error.find("expected a JSON object"), std::string::npos) << error;
+}
+
+TEST(IngestSampleIo, HeaderRowIsDetectedAndIsNotASample) {
+  EXPECT_TRUE(is_sample_csv_header(kHeader));
+  EXPECT_FALSE(is_sample_csv_header(kGoodCsv));
+  EXPECT_FALSE(is_sample_csv_header("x,y,z"));
+  Sample s;
+  std::string error;
+  EXPECT_FALSE(parse_csv_sample_line(kHeader, 1, &s, &error));
+  EXPECT_NE(error.find("bad x coordinate 'x'"), std::string::npos) << error;
+}
+
+TEST(IngestSampleIo, StrictNumericTokenParsers) {
+  double d = 0.0;
+  EXPECT_TRUE(parse_finite_double("-52.5", &d));
+  EXPECT_DOUBLE_EQ(d, -52.5);
+  EXPECT_TRUE(parse_finite_double("1e3", &d));
+  EXPECT_DOUBLE_EQ(d, 1000.0);
+  EXPECT_FALSE(parse_finite_double("", &d));
+  EXPECT_FALSE(parse_finite_double("1e", &d));
+  EXPECT_FALSE(parse_finite_double("nan", &d));
+  EXPECT_FALSE(parse_finite_double("-inf", &d));
+  EXPECT_FALSE(parse_finite_double("3.2abc", &d));
+  int i = 0;
+  EXPECT_TRUE(parse_int("-3", &i));
+  EXPECT_EQ(i, -3);
+  EXPECT_FALSE(parse_int("3.5", &i));
+  EXPECT_FALSE(parse_int("", &i));
+  EXPECT_FALSE(parse_int("99999999999999999999", &i));
+}
+
+}  // namespace
+}  // namespace remgen::data

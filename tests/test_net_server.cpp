@@ -14,6 +14,7 @@
 #include <cstring>
 #include <fstream>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <utility>
@@ -21,6 +22,7 @@
 
 #include "core/rem_builder.hpp"
 #include "exec/config.hpp"
+#include "ingest/pipeline.hpp"
 #include "ml/model_zoo.hpp"
 #include "net/server.hpp"
 #include "serve/engine.hpp"
@@ -102,6 +104,19 @@ class Client {
   /// Reads until `count` lines arrived, EOF, or the deadline (seconds).
   std::vector<std::string> read_lines(std::size_t count, int deadline_s = 20) {
     std::vector<std::string> lines;
+    const auto harvest = [this, &lines, count] {
+      std::size_t start = 0;
+      while (lines.size() < count) {  // Surplus stays buffered for later calls.
+        const std::size_t nl = pending_.find('\n', start);
+        if (nl == std::string::npos) break;
+        lines.push_back(pending_.substr(start, nl - start));
+        start = nl + 1;
+      }
+      pending_.erase(0, start);
+    };
+    // Lines a previous call buffered come first: a fast server may deliver
+    // many responses in one recv, and EOF after them must not hide them.
+    harvest();
     const auto deadline_ms = deadline_s * 1000;
     int waited_ms = 0;
     while (lines.size() < count && waited_ms < deadline_ms) {
@@ -115,14 +130,7 @@ class Client {
       const ssize_t n = ::recv(fd_, buffer, sizeof buffer, 0);
       if (n <= 0) break;  // EOF or error: return what we have.
       pending_.append(buffer, static_cast<std::size_t>(n));
-      std::size_t start = 0;
-      while (lines.size() < count) {  // Surplus stays buffered for later calls.
-        const std::size_t nl = pending_.find('\n', start);
-        if (nl == std::string::npos) break;
-        lines.push_back(pending_.substr(start, nl - start));
-        start = nl + 1;
-      }
-      pending_.erase(0, start);
+      harvest();
     }
     return lines;
   }
@@ -552,6 +560,102 @@ TEST_F(NetServerTest, HotReloadSwapsWithZeroDroppedRequests) {
   EXPECT_FALSE(line_ok(failed[0]));
   EXPECT_NE(failed[0].find("reload failed"), std::string::npos);
   EXPECT_EQ(harness.server().stats().reload_failures, 1u);
+}
+
+TEST_F(NetServerTest, IngestPublishServesAcrossEpochsWithZeroDrops) {
+  // A live IngestPipeline hot-publishes into the running server while a
+  // client pipelines point queries across two epoch swaps: no request may
+  // drop, every response must be byte-identical to the engine pinned at its
+  // admission, and stats must surface the new epoch id after each swap.
+  ingest::IngestConfig config;
+  config.volume = geom::Aabb({0, 0, 0}, {4.0, 3.0, 2.0});
+  config.rem.voxel_m = 0.5;
+  config.rem.min_samples_per_mac = 1;
+  config.cache_bytes = 1 << 20;
+  config.map = "default";
+
+  ServerHarness harness;
+  config.server = &harness.server();
+  ingest::IngestPipeline pipeline(std::move(config));
+
+  // An engine equivalent to what each publish installed, rebuilt from the
+  // same serialised epoch bytes.
+  const auto engine_for = [&pipeline] {
+    std::istringstream in(pipeline.latest_snapshot_bytes());
+    return std::make_shared<const serve::QueryEngine>(store::load_snapshot(in), 1 << 20);
+  };
+
+  pipeline.push_batch(synthetic_dataset(21).samples());
+  ASSERT_TRUE(pipeline.flush().has_value());  // Epoch 1 published pre-bind.
+  const auto engine1 = engine_for();
+  const std::uint16_t port = harness.start();
+
+  Client data(port);
+  ASSERT_TRUE(data.connected());
+  std::vector<std::string> requests;
+  const auto burst = [&requests](int from, int to) {
+    std::string text;
+    for (int i = from; i <= to; ++i) {
+      requests.push_back(point_line(i, 0.05 * i));
+      text += requests.back();
+    }
+    return text;
+  };
+
+  data.send_all(burst(1, 20));
+  pipeline.push_batch(synthetic_dataset(33).samples());
+  const auto epoch2 = pipeline.flush();  // Epoch 2, live under traffic.
+  ASSERT_TRUE(epoch2.has_value() && epoch2->published);
+  const auto engine2 = engine_for();
+  data.send_all(burst(21, 40));
+  pipeline.push_batch(synthetic_dataset(44).samples());
+  const auto epoch3 = pipeline.flush();  // Epoch 3.
+  ASSERT_TRUE(epoch3.has_value() && epoch3->published);
+  const auto engine3 = engine_for();
+  data.send_all(burst(41, 60));
+
+  // Zero drops across both swaps: all 60 responses, in order, all ok.
+  const std::vector<std::string> lines = data.read_lines(60);
+  ASSERT_EQ(lines.size(), 60u);
+  const std::vector<std::shared_ptr<const serve::QueryEngine>> engines{engine1, engine2,
+                                                                       engine3};
+  std::size_t epoch_floor = 0;  // Swaps only move forward, never back.
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    EXPECT_EQ(line_id(lines[i]), static_cast<std::int64_t>(i) + 1);
+    EXPECT_TRUE(line_ok(lines[i])) << lines[i];
+    const serve::Request request = serve::parse_request(requests[i]);
+    std::size_t matched = engines.size();
+    for (std::size_t e = epoch_floor; e < engines.size(); ++e) {
+      if (lines[i] == engines[e]->execute(request).to_jsonl()) {
+        matched = e;
+        break;
+      }
+    }
+    ASSERT_LT(matched, engines.size()) << "line " << i << " matches no epoch: " << lines[i];
+    epoch_floor = matched;
+  }
+
+  // Queries sent after the last publish run on the epoch-3 engine.
+  data.send_all(point_line(61, 1.25));
+  const std::vector<std::string> swapped = data.read_lines(1);
+  ASSERT_EQ(swapped.size(), 1u);
+  EXPECT_EQ(swapped[0],
+            engine3->execute(serve::parse_request(point_line(61, 1.25))).to_jsonl());
+
+  // The admin plane reports the publishes and the live epoch id.
+  Client admin(port);
+  ASSERT_TRUE(admin.connected());
+  admin.send_all("{\"id\":900,\"type\":\"stats\"}\n");
+  const std::vector<std::string> stats_lines = admin.read_lines(1);
+  ASSERT_EQ(stats_lines.size(), 1u);
+  const obs::Json stats = obs::Json::parse(stats_lines[0]);
+  EXPECT_TRUE(stats.at("ok").as_bool());
+  EXPECT_EQ(stats.at("publish_swaps").as_int64(), 3);
+  EXPECT_EQ(stats.at("map_stats").at("default").at("epoch").as_int64(), 3);
+
+  harness.stop();  // Join first: the epoch map is loop-thread state.
+  EXPECT_EQ(harness.server().stats().publish_swaps, 3u);
+  EXPECT_EQ(harness.server().map_epochs().at("default"), 3u);
 }
 
 TEST_F(NetServerTest, GracefulDrainFinishesQueuedWorkThenCloses) {

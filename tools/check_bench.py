@@ -11,8 +11,8 @@ Compares the benchmark artifacts written by bench_perf_micro against the
 baselines committed under bench/baselines/ and exits non-zero when any
 metric regressed beyond tolerance. Two tolerance tiers:
 
-  * ratio metrics (speedup_at_max, qps) are machine-relative, so they get the
-    tight --tolerance (default 0.25: a 25% drop fails);
+  * ratio metrics (speedup_at_max, qps, samples_per_sec) are machine-relative,
+    so they get the tight --tolerance (default 0.25: a 25% drop fails);
   * absolute time metrics (seconds_per_iteration, wall_seconds, latency
     percentiles, per-width seconds) vary wildly across machines, so they get
     the loose --time-tolerance (default 1.0: only a 2x slowdown fails).
@@ -38,7 +38,7 @@ import sys
 from pathlib import Path
 
 DEFAULT_FILES = ["BENCH_perf.json", "BENCH_parallel.json", "BENCH_serve.json",
-                 "BENCH_serve_net.json"]
+                 "BENCH_serve_net.json", "BENCH_ingest.json"]
 
 # Provenance fields that legitimately differ between runs.
 IGNORED_KEYS = {"commit", "threads", "threads_max", "hardware_threads",
@@ -49,7 +49,9 @@ IGNORED_KEYS = {"commit", "threads", "threads_max", "hardware_threads",
                 "dropped", "overload_rejections"}
 
 # Metrics where HIGHER is better and the unit is machine-relative.
-RATIO_KEYS = {"speedup_at_max", "qps"}
+# stream_matches_batch is a 0/1 correctness flag: baseline 1, any drop to 0
+# falls below the floor at every sane tolerance, failing the gate.
+RATIO_KEYS = {"speedup_at_max", "qps", "samples_per_sec", "stream_matches_batch"}
 
 
 def flatten(doc, prefix=""):
